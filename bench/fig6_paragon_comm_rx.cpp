@@ -1,0 +1,9 @@
+// Figure 6: same experiment as Figure 5 in the opposite direction (bursts
+// from the Paragon to the front-end). Paper: average error within 14%.
+#include "harness.hpp"
+
+int main() {
+  const auto report = contend::bench::runContendedBurstFigure(
+      /*fromBackend=*/true, "fig6_rx", "avg error within 14%");
+  return report.averageError < 0.25 ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Figure 7: SOR executing on the front-end, non-dedicated, with two extra
+// applications that communicate with the back-end 66% of the time (800-word
+// messages) and 33% of the time (1200-word messages).
+//
+// The paper reports average error 4% with j = 1000 (the correct bin for a
+// 1200-word system maximum), 16% with j = 500, and 32% with j = 1 —
+// demonstrating that the contenders' message size must be reflected in the
+// computation slowdown. This harness regenerates the sweep for all three
+// bins plus the dedicated curve.
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "kernels/sor.hpp"
+#include "model/paragon_model.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+constexpr int kIterations = 30;
+
+/// "Actual": simulate the SOR compute phase against the two generators.
+double actualSorSeconds(std::size_t gridSize) {
+  const kernels::SorCostModel costs;
+  workload::RunSpec spec;
+  spec.config = bench::defaultConfig();
+  spec.probe = workload::makeCpuProbe(
+      kernels::sorFrontEndTime(costs, gridSize, kIterations));
+
+  workload::GeneratorSpec genA;
+  genA.commFraction = 0.66;
+  genA.messageWords = 800;
+  genA.direction = workload::CommDirection::kBoth;
+  workload::GeneratorSpec genB;
+  genB.commFraction = 0.33;
+  genB.messageWords = 1200;
+  genB.direction = workload::CommDirection::kBoth;
+  spec.contenders.push_back(workload::makeCommGenerator(spec.config, genA));
+  spec.contenders.push_back(workload::makeCommGenerator(spec.config, genB));
+  return workload::runMeasured(spec).regionSeconds(0);
+}
+
+}  // namespace
+
+int main() {
+  const calib::PlatformProfile& profile = bench::defaultProfile();
+  const kernels::SorCostModel costs;
+
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.66, 800});
+  mix.add(model::CompetingApp{0.33, 1200});
+
+  const std::vector<std::size_t> grids = {64, 128, 192, 256, 320, 384, 448, 512};
+
+  // Dedicated curve (the figure's baseline).
+  TextTable dedicated({"M", "dedicated (s)"});
+  for (std::size_t m : grids) {
+    dedicated.addRow({TextTable::num(static_cast<double>(m), 0),
+                      TextTable::num(toSeconds(kernels::sorFrontEndTime(
+                                         costs, m, kIterations)),
+                                     4)});
+  }
+  printTable("Figure 7 baseline: SOR on the front-end, dedicated", dedicated);
+
+  // Actual contended times are the same regardless of j (j only affects the
+  // model), so measure once.
+  std::vector<double> actual;
+  actual.reserve(grids.size());
+  for (std::size_t m : grids) actual.push_back(actualSorSeconds(m));
+
+  const model::DelayTables& tables = profile.paragon.delays;
+  const Words systemMax = mix.maxMessageWords();  // 1200 -> bin 1000
+  const std::size_t autoBin = model::chooseJBin(tables.jBins, systemMax);
+  std::cout << "\nsystem max message size = " << systemMax
+            << " words; automatic j bin = " << tables.jBins[autoBin] << "\n";
+
+  for (std::size_t bin = 0; bin < tables.jBins.size(); ++bin) {
+    const double slowdown = model::paragonCompSlowdown(mix, tables, bin);
+    std::vector<bench::SeriesPoint> series;
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      bench::SeriesPoint p;
+      p.x = static_cast<double>(grids[g]);
+      p.modeled =
+          toSeconds(kernels::sorFrontEndTime(costs, grids[g], kIterations)) *
+          slowdown;
+      p.actual = actual[g];
+      series.push_back(p);
+    }
+    const std::string jname = std::to_string(tables.jBins[bin]);
+    const auto report = bench::reportSeries(
+        "Figure 7: SOR on front-end, 2 contenders (66%@800w, 33%@1200w), j=" +
+            jname,
+        "M", series, "fig7_j" + jname + ".csv");
+    const char* claim = tables.jBins[bin] == 1000  ? "avg error 4%"
+                        : tables.jBins[bin] == 500 ? "avg error ~16%"
+                                                   : "avg error ~32%";
+    bench::printClaim("Fig7 j=" + jname, claim, report);
+  }
+  return 0;
+}

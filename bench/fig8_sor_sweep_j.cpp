@@ -1,0 +1,87 @@
+// Figure 8: SOR on the front-end, non-dedicated, with two extra applications
+// that communicate with the back-end 40% of the time (500-word messages) and
+// 76% of the time (200-word messages).
+//
+// Here the system's maximum message size is 500 words, so j = 500 is the
+// right bin: the paper reports 5% average error with j = 500 and ~25% with
+// j = 1 or j = 1000 — overshooting j is as bad as ignoring message size.
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "kernels/sor.hpp"
+#include "model/paragon_model.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+constexpr int kIterations = 30;
+
+double actualSorSeconds(std::size_t gridSize) {
+  const kernels::SorCostModel costs;
+  workload::RunSpec spec;
+  spec.config = bench::defaultConfig();
+  spec.probe = workload::makeCpuProbe(
+      kernels::sorFrontEndTime(costs, gridSize, kIterations));
+
+  workload::GeneratorSpec genA;
+  genA.commFraction = 0.40;
+  genA.messageWords = 500;
+  genA.direction = workload::CommDirection::kBoth;
+  workload::GeneratorSpec genB;
+  genB.commFraction = 0.76;
+  genB.messageWords = 200;
+  genB.direction = workload::CommDirection::kBoth;
+  spec.contenders.push_back(workload::makeCommGenerator(spec.config, genA));
+  spec.contenders.push_back(workload::makeCommGenerator(spec.config, genB));
+  return workload::runMeasured(spec).regionSeconds(0);
+}
+
+}  // namespace
+
+int main() {
+  const calib::PlatformProfile& profile = bench::defaultProfile();
+  const kernels::SorCostModel costs;
+
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.40, 500});
+  mix.add(model::CompetingApp{0.76, 200});
+
+  const std::vector<std::size_t> grids = {64, 128, 192, 256, 320, 384, 448, 512};
+
+  std::vector<double> actual;
+  actual.reserve(grids.size());
+  for (std::size_t m : grids) actual.push_back(actualSorSeconds(m));
+
+  const model::DelayTables& tables = profile.paragon.delays;
+  const Words systemMax = mix.maxMessageWords();  // 500 -> bin 500
+  const std::size_t autoBin = model::chooseJBin(tables.jBins, systemMax);
+  std::cout << "system max message size = " << systemMax
+            << " words; automatic j bin = " << tables.jBins[autoBin] << "\n";
+
+  for (std::size_t bin = 0; bin < tables.jBins.size(); ++bin) {
+    const double slowdown = model::paragonCompSlowdown(mix, tables, bin);
+    std::vector<bench::SeriesPoint> series;
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+      bench::SeriesPoint p;
+      p.x = static_cast<double>(grids[g]);
+      p.modeled =
+          toSeconds(kernels::sorFrontEndTime(costs, grids[g], kIterations)) *
+          slowdown;
+      p.actual = actual[g];
+      series.push_back(p);
+    }
+    const std::string jname = std::to_string(tables.jBins[bin]);
+    const auto report = bench::reportSeries(
+        "Figure 8: SOR on front-end, 2 contenders (40%@500w, 76%@200w), j=" +
+            jname,
+        "M", series, "fig8_j" + jname + ".csv");
+    const char* claim = tables.jBins[bin] == 500 ? "avg error 5%"
+                                                 : "avg error ~25%";
+    bench::printClaim("Fig8 j=" + jname, claim, report);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "harness.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend::bench {
+
+const sim::PlatformConfig& defaultConfig() {
+  static const sim::PlatformConfig config;
+  return config;
+}
+
+const calib::PlatformProfile& defaultProfile() {
+  static const calib::PlatformProfile profile = [] {
+    std::cout << "[calibrating 1-HOP platform profile...]\n";
+    return calib::calibratePlatform(defaultConfig());
+  }();
+  return profile;
+}
+
+SeriesReport reportSeries(const std::string& title, const std::string& xLabel,
+                          const std::vector<SeriesPoint>& series,
+                          const std::string& csvName) {
+  if (series.empty()) throw std::invalid_argument("reportSeries: empty series");
+
+  TextTable table({xLabel, "modeled (s)", "actual (s)", "error"});
+  CsvWriter csv(csvName, {xLabel, "modeled_sec", "actual_sec", "rel_error"});
+  std::vector<double> modeled, actual;
+  for (const SeriesPoint& p : series) {
+    const double err = relativeError(p.modeled, p.actual);
+    table.addRow({TextTable::num(p.x, 0), TextTable::num(p.modeled, 4),
+                  TextTable::num(p.actual, 4), TextTable::percent(err)});
+    csv.addRow({TextTable::num(p.x, 6), TextTable::num(p.modeled, 9),
+                TextTable::num(p.actual, 9), TextTable::num(err, 6)});
+    modeled.push_back(p.modeled);
+    actual.push_back(p.actual);
+  }
+  printTable(title, table);
+
+  SeriesReport report;
+  report.averageError = averageRelativeError(modeled, actual);
+  report.maxError = maxRelativeError(modeled, actual);
+  std::cout << "average error " << TextTable::percent(report.averageError)
+            << ", max error " << TextTable::percent(report.maxError) << "  ["
+            << csvName << "]\n";
+  return report;
+}
+
+void printClaim(const std::string& artifact, const std::string& paperClaim,
+                const SeriesReport& report) {
+  std::cout << "[" << artifact << "] paper: " << paperClaim << " | measured: "
+            << "avg " << TextTable::percent(report.averageError) << ", max "
+            << TextTable::percent(report.maxError) << "\n";
+}
+
+SeriesReport runContendedBurstFigure(bool fromBackend,
+                                     const std::string& artifact,
+                                     const std::string& paperClaim) {
+  const calib::PlatformProfile& profile = defaultProfile();
+  const sim::PlatformConfig& config = defaultConfig();
+  constexpr std::int64_t kBurst = 1000;
+  const auto direction = fromBackend ? workload::CommDirection::kFromBackend
+                                     : workload::CommDirection::kToBackend;
+
+  // The two contenders of Figures 5-6.
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.25, 200});
+  mix.add(model::CompetingApp{0.76, 200});
+  std::vector<sim::Program> contenders;
+  for (double fraction : {0.25, 0.76}) {
+    workload::GeneratorSpec spec;
+    spec.commFraction = fraction;
+    spec.messageWords = 200;
+    spec.direction = workload::CommDirection::kBoth;
+    contenders.push_back(workload::makeCommGenerator(config, spec));
+  }
+
+  const double slowdown =
+      model::paragonCommSlowdown(mix, profile.paragon.delays);
+  const model::PiecewiseCommParams& link =
+      fromBackend ? profile.paragon.fromBackend : profile.paragon.toBackend;
+
+  std::vector<SeriesPoint> series;
+  for (Words words : {1, 64, 256, 512, 1024, 2048, 4096, 8192}) {
+    const model::DataSet burst{kBurst, words};
+    SeriesPoint point;
+    point.x = static_cast<double>(words);
+    point.modeled = model::dcomm(link, std::span(&burst, 1)) * slowdown;
+
+    workload::RunSpec spec;
+    spec.config = config;
+    spec.probe = workload::makeBurstProgram(words, kBurst, direction);
+    spec.contenders = contenders;
+    point.actual = workload::runMeasured(spec).regionSeconds(0);
+    series.push_back(point);
+  }
+  std::cout << "\ncommunication slowdown factor (model): " << slowdown << "\n";
+  const SeriesReport report = reportSeries(
+      artifact + ": bursts of 1000 messages, 2 contenders (25% and 76% comm, "
+                 "200-word messages)",
+      "words", series, artifact + ".csv");
+  printClaim(artifact, paperClaim, report);
+  return report;
+}
+
+}  // namespace contend::bench

@@ -1,0 +1,53 @@
+// harness.hpp — shared plumbing for the figure/table regeneration binaries.
+//
+// Each bench prints the paper artifact as an ASCII table (modeled vs actual
+// plus relative error), writes the same series to a CSV next to the binary,
+// and ends with an error summary line comparing against the paper's claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "sim/platform.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace contend::bench {
+
+/// Calibrates (and memoizes per-process) the default 1-HOP platform profile.
+[[nodiscard]] const calib::PlatformProfile& defaultProfile();
+[[nodiscard]] const sim::PlatformConfig& defaultConfig();
+
+/// One point of a modeled-vs-actual series.
+struct SeriesPoint {
+  double x = 0.0;        // sweep variable (matrix size, message words, ...)
+  double modeled = 0.0;  // seconds
+  double actual = 0.0;   // seconds
+};
+
+struct SeriesReport {
+  double averageError = 0.0;
+  double maxError = 0.0;
+};
+
+/// Prints the series as a table, writes `csvName` (in the working
+/// directory), and returns the error summary.
+SeriesReport reportSeries(const std::string& title, const std::string& xLabel,
+                          const std::vector<SeriesPoint>& series,
+                          const std::string& csvName);
+
+/// Prints the paper-claimed vs measured error band line used by
+/// EXPERIMENTS.md.
+void printClaim(const std::string& artifact, const std::string& paperClaim,
+                const SeriesReport& report);
+
+/// Shared harness for Figures 5 and 6: bursts of 1000 equal-sized messages
+/// in one direction, with two contending applications on the front-end that
+/// alternate computing with communicating (commFraction 0.25 and 0.76,
+/// 200-word messages). Returns the modeled-vs-actual report.
+SeriesReport runContendedBurstFigure(bool fromBackend,
+                                     const std::string& artifact,
+                                     const std::string& paperClaim);
+
+}  // namespace contend::bench

@@ -1,0 +1,105 @@
+// O1: the paper's complexity claims for the run-time slowdown calculation
+// (§3.2.1): building all pcomp_i/pcomm_i takes O(p²), adding an application
+// O(p), and evaluating the slowdown O(p) — "the overhead imposed by its
+// calculation is negligible" relative to scheduling decisions.
+//
+// google-benchmark microbenchmarks over p confirm the asymptotics and the
+// absolute cost (nanoseconds to microseconds — negligible indeed).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "model/mix.hpp"
+#include "model/paragon_model.hpp"
+
+namespace {
+
+using contend::model::CompetingApp;
+using contend::model::DelayTables;
+using contend::model::WorkloadMix;
+
+CompetingApp appFor(int index) {
+  // Deterministic varied fractions/sizes.
+  const double fraction = 0.1 + 0.8 * ((index * 37) % 100) / 100.0;
+  const contend::Words words = 50 + (index * 131) % 1500;
+  return CompetingApp{fraction, words};
+}
+
+DelayTables tablesFor(int p) {
+  DelayTables tables;
+  tables.jBins = {1, 500, 1000};
+  tables.compFromComm.assign(3, {});
+  for (int i = 1; i <= p; ++i) {
+    tables.commFromComp.push_back(0.5 * i);
+    tables.commFromComm.push_back(0.3 * i);
+    for (auto& row : tables.compFromComm) row.push_back(0.25 * i);
+  }
+  tables.validate();
+  return tables;
+}
+
+void BM_MixRebuild(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  WorkloadMix mix;
+  for (int i = 0; i < p; ++i) mix.add(appFor(i));
+  for (auto _ : state) {
+    mix.rebuild();  // O(p^2) dynamic programming
+    benchmark::DoNotOptimize(mix.pcomm(p / 2));
+  }
+  state.SetComplexityN(p);
+}
+BENCHMARK(BM_MixRebuild)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_MixIncrementalAdd(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  WorkloadMix base;
+  for (int i = 0; i < p; ++i) base.add(appFor(i));
+  for (auto _ : state) {
+    WorkloadMix mix = base;  // copy dominates less as p grows
+    mix.add(appFor(p));      // O(p)
+    benchmark::DoNotOptimize(mix.pcomm(1));
+  }
+  state.SetComplexityN(p);
+}
+BENCHMARK(BM_MixIncrementalAdd)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_MixRemove(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  WorkloadMix base;
+  for (int i = 0; i < p; ++i) base.add(appFor(i));
+  for (auto _ : state) {
+    WorkloadMix mix = base;
+    mix.removeAt(static_cast<std::size_t>(p / 2));
+    benchmark::DoNotOptimize(mix.pcomm(0));
+  }
+  state.SetComplexityN(p);
+}
+BENCHMARK(BM_MixRemove)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_CommSlowdown(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  WorkloadMix mix;
+  for (int i = 0; i < p; ++i) mix.add(appFor(i));
+  const DelayTables tables = tablesFor(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paragonCommSlowdown(mix, tables));
+  }
+  state.SetComplexityN(p);
+}
+BENCHMARK(BM_CommSlowdown)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_CompSlowdown(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  WorkloadMix mix;
+  for (int i = 0; i < p; ++i) mix.add(appFor(i));
+  const DelayTables tables = tablesFor(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paragonCompSlowdown(mix, tables));
+  }
+  state.SetComplexityN(p);
+}
+BENCHMARK(BM_CompSlowdown)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// §3.2 validation sweep: "different sets of contention generators which use
+// different message sizes, communicate with different frequencies, and have
+// various computation per communication ratios."
+//
+// Paper claims regenerated here:
+//  - communication cost predictions: typical average error 15%, worst-case
+//    average up to ~30% when competing applications communicate intensively
+//    (their message size is not in the communication model);
+//  - computation predictions: typical below 15%, up to ~33% for intensive
+//    communicators / small bursts.
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "model/paragon_model.hpp"
+#include "util/stats.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+struct Config {
+  std::vector<model::CompetingApp> apps;
+};
+
+std::vector<sim::Program> makeGenerators(const Config& config) {
+  std::vector<sim::Program> generators;
+  for (const model::CompetingApp& app : config.apps) {
+    workload::GeneratorSpec spec;
+    spec.commFraction = app.commFraction;
+    spec.messageWords = app.messageWords == 0 ? 1 : app.messageWords;
+    spec.direction = workload::CommDirection::kBoth;
+    generators.push_back(
+        workload::makeCommGenerator(bench::defaultConfig(), spec));
+  }
+  return generators;
+}
+
+std::string describe(const Config& config) {
+  std::string out;
+  for (const auto& app : config.apps) {
+    if (!out.empty()) out += " + ";
+    out += TextTable::percent(app.commFraction, 0) + "@" +
+           std::to_string(app.messageWords) + "w";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const calib::PlatformProfile& profile = bench::defaultProfile();
+  const model::DelayTables& tables = profile.paragon.delays;
+
+  std::vector<Config> configs = {
+      // Mild load, medium messages.
+      {{{0.2, 200}, {0.3, 200}}},
+      // The paper's Figures 5-6 pair.
+      {{{0.25, 200}, {0.76, 200}}},
+      // Large messages, compute-leaning.
+      {{{0.3, 1500}, {0.4, 1000}}},
+      // Small messages, frequent communication.
+      {{{0.6, 50}, {0.5, 50}}},
+      // Intensive communicators (the paper's worst case for comm).
+      {{{0.9, 800}, {0.9, 800}}},
+      // Three contenders, mixed sizes.
+      {{{0.25, 100}, {0.5, 500}, {0.75, 1200}}},
+      // Mostly CPU-bound trio.
+      {{{0.1, 200}, {0.05, 100}, {0.0, 0}}},
+  };
+
+  constexpr Words kProbeWords = 600;
+  constexpr std::int64_t kProbeMessages = 500;
+  const Tick cpuProbeWork = 3 * kSecond;
+
+  TextTable table({"generators", "comm err", "comp err"});
+  RunningStats commErrors, compErrors;
+  for (const Config& config : configs) {
+    model::WorkloadMix mix;
+    for (const auto& app : config.apps) mix.add(app);
+    const auto generators = makeGenerators(config);
+
+    // --- communication prediction ---
+    const model::DataSet burst{kProbeMessages, kProbeWords};
+    const double commModeled =
+        model::predictParagonComm(profile.paragon.toBackend,
+                                  std::span(&burst, 1), mix, tables);
+    workload::RunSpec commRun;
+    commRun.config = bench::defaultConfig();
+    commRun.probe = workload::makeBurstProgram(
+        kProbeWords, kProbeMessages, workload::CommDirection::kToBackend);
+    commRun.contenders = generators;
+    const double commActual = workload::runMeasured(commRun).regionSeconds(0);
+    const double commErr = relativeError(commModeled, commActual);
+    commErrors.add(commErr);
+
+    // --- computation prediction ---
+    const double compModeled =
+        model::predictParagonComp(toSeconds(cpuProbeWork), mix, tables);
+    workload::RunSpec compRun;
+    compRun.config = bench::defaultConfig();
+    compRun.probe = workload::makeCpuProbe(cpuProbeWork);
+    compRun.contenders = generators;
+    const double compActual = workload::runMeasured(compRun).regionSeconds(0);
+    const double compErr = relativeError(compModeled, compActual);
+    compErrors.add(compErr);
+
+    table.addRow({describe(config), TextTable::percent(commErr),
+                  TextTable::percent(compErr)});
+  }
+  printTable("Paragon generator-configuration sweep (§3.2)", table);
+  std::cout << "[S2 comm] paper: typical 15%, worst ~30% | measured: avg "
+            << TextTable::percent(commErrors.mean()) << ", max "
+            << TextTable::percent(commErrors.max()) << "\n";
+  std::cout << "[S2 comp] paper: typical <15%, worst ~33% | measured: avg "
+            << TextTable::percent(compErrors.mean()) << ", max "
+            << TextTable::percent(compErrors.max()) << "\n";
+  return (commErrors.mean() < 0.20 && compErrors.mean() < 0.20) ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+// cluster_planner — the k-machine generalization in action (§4: "the
+// slowdown factors developed for these small platforms can be used for
+// larger heterogeneous systems").
+//
+// A site operates a workstation, a mesh-connected MPP, and a SIMD machine.
+// Each carries its own contention state: the workstation a workload mix, the
+// MPP a gang count and mesh traffic from scattered neighbours, the SIMD
+// machine its front-end's CPU load. The planner folds every effect into
+// per-machine/per-link slowdowns and places a four-stage pipeline optimally
+// by dynamic programming.
+#include <iostream>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "ext/gang.hpp"
+#include "ext/mesh_contention.hpp"
+#include "ext/multi_machine.hpp"
+#include "model/paragon_model.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+namespace {
+
+constexpr std::size_t kWorkstation = 0;
+constexpr std::size_t kMpp = 1;
+constexpr std::size_t kSimd = 2;
+
+ext::MultiMachinePlatform buildPlatform(
+    const calib::PlatformProfile& profile, double wsCompSlowdown,
+    double wsCommSlowdown, double mppTpFactor, double simdSlowdown) {
+  std::vector<ext::MachineSpec> machines = {
+      {"workstation", wsCompSlowdown},
+      {"mpp", mppTpFactor},
+      {"simd", simdSlowdown},
+  };
+  // Links: the calibrated piecewise models; everything that touches the
+  // workstation inherits its communication slowdown.
+  std::vector<ext::LinkSpec> links;
+  const auto addPair = [&](std::size_t a, std::size_t b,
+                           const model::PiecewiseCommParams& ab,
+                           const model::PiecewiseCommParams& ba,
+                           double slowdown) {
+    links.push_back(ext::LinkSpec{a, b, ab, slowdown});
+    links.push_back(ext::LinkSpec{b, a, ba, slowdown});
+  };
+  addPair(kWorkstation, kMpp, profile.paragon.toBackend,
+          profile.paragon.fromBackend, wsCommSlowdown);
+  // SIMD link: single-piece CM2 fits promoted to a degenerate piecewise.
+  model::PiecewiseCommParams toSimd;
+  toSimd.small = toSimd.large = profile.cm2.comm.toCm2;
+  toSimd.thresholdWords = 1;
+  model::PiecewiseCommParams fromSimd;
+  fromSimd.small = fromSimd.large = profile.cm2.comm.fromCm2;
+  fromSimd.thresholdWords = 1;
+  addPair(kWorkstation, kSimd, toSimd, fromSimd, wsCommSlowdown);
+  // MPP <-> SIMD staging goes through the workstation in reality; model it
+  // as a pricier direct link (sum of both hops).
+  model::PiecewiseCommParams staged = profile.paragon.toBackend;
+  staged.small.alphaSec += profile.cm2.comm.toCm2.alphaSec;
+  staged.large.alphaSec += profile.cm2.comm.toCm2.alphaSec;
+  addPair(kMpp, kSimd, staged, staged, wsCommSlowdown);
+  return ext::MultiMachinePlatform(std::move(machines), std::move(links));
+}
+
+std::vector<ext::MultiTask> pipeline() {
+  // ingest -> transform (data-parallel) -> solve (vector-friendly) -> report
+  std::vector<ext::MultiTask> tasks(4);
+  tasks[0] = {"ingest", {4.0, 20.0, 25.0}, {{2000, 1024}}};
+  tasks[1] = {"transform", {60.0, 6.0, 14.0}, {{2000, 1024}}};
+  tasks[2] = {"solve", {45.0, 18.0, 7.0}, {{200, 512}}};
+  tasks[3] = {"report", {2.0, 15.0, 18.0}, {}};
+  return tasks;
+}
+
+void plan(const std::string& title,
+          const ext::MultiMachinePlatform& platform) {
+  const auto tasks = pipeline();
+  const ext::MultiAllocation alloc = ext::placeChain(platform, tasks);
+  TextTable table({"stage", "placed on"});
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    table.addRow({tasks[i].name,
+                  platform.machine(alloc.assignment[i]).name});
+  }
+  printTable(title + " (makespan " + TextTable::num(alloc.makespan, 1) + " s)",
+             table);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "calibrating link models...\n";
+  const calib::PlatformProfile profile =
+      calib::calibratePlatform(sim::PlatformConfig{});
+
+  // --- scenario A: everything quiet --------------------------------------
+  plan("scenario A: quiet site",
+       buildPlatform(profile, 1.0, 1.0, 1.0, 1.0));
+
+  // --- scenario B: workstation swamped ------------------------------------
+  model::WorkloadMix wsMix;
+  for (int i = 0; i < 3; ++i) wsMix.add(model::CompetingApp{0.0, 0});
+  const double wsComp =
+      model::paragonCompSlowdown(wsMix, profile.paragon.delays);
+  const double wsComm =
+      model::paragonCommSlowdown(wsMix, profile.paragon.delays);
+  plan("scenario B: 3 CPU-bound jobs on the workstation",
+       buildPlatform(profile, wsComp, wsComm, 1.0, 1.0));
+
+  // --- scenario C: MPP partition squeezed ---------------------------------
+  // Two gangs share the nodes and a scattered neighbour floods the mesh.
+  ext::MeshInterconnect mesh{ext::MeshConfig{}};
+  ext::Partition mine, neighbour;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ((x + y) % 2 == 0 ? mine : neighbour).nodes.push_back(
+          ext::NodeId{x, y});
+    }
+  }
+  ext::addPartitionTraffic(mesh, neighbour, 0.3);
+  const double meshFactor =
+      ext::partitionContentionFactor(mesh, mine, 1024);
+  const double tp = ext::adjustedBackEndTime(ext::GangScheduleParams{}, 1.0,
+                                             2, meshFactor);
+  std::cout << "\nMPP T_p factor: gangs x mesh = " << tp << "\n";
+  plan("scenario C: MPP gang-shared + mesh traffic",
+       buildPlatform(profile, 1.0, 1.0, tp, 1.0));
+
+  std::cout << "\nEach stage migrates toward wherever contention is NOT — "
+               "with every factor produced by the paper's slowdown "
+               "machinery.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// molecular_pipeline — allocating a coarse-grained heterogeneous application.
+//
+// The paper's introduction motivates the model with applications like
+// molecular structure determination [14]: a handful of coarse tasks, some
+// parallel (good on the MPP), some serial (good on the workstation), chained
+// by data transfers. This example builds such a pipeline, derives dedicated
+// costs from the bundled kernels, and shows how the best allocation shifts
+// across three load scenarios — the Tables 1-4 story with calibrated models
+// instead of hand-picked numbers.
+#include <iostream>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "model/predictor.hpp"
+#include "sched/allocation.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+namespace {
+
+/// Dedicated transfer cost of a data set bundle over the calibrated link.
+double transferSec(const calib::PlatformProfile& profile, bool toBackEnd,
+                   const std::vector<model::DataSet>& data) {
+  return model::dcomm(
+      toBackEnd ? profile.paragon.toBackend : profile.paragon.fromBackend,
+      data);
+}
+
+void showScenario(const std::string& title, const sched::TaskChain& chain,
+                  const sched::SlowdownSet& slowdown) {
+  const auto ranking = sched::rankAllocations(chain, slowdown);
+  TextTable table({"rank", "assignment", "makespan (s)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(4, ranking.size()); ++i) {
+    std::string assignment;
+    for (std::size_t t = 0; t < ranking[i].assignment.size(); ++t) {
+      if (t) assignment += " / ";
+      assignment += chain.tasks[t].name + ":" +
+                    (ranking[i].assignment[t] == sched::Machine::kFrontEnd
+                         ? "ws"
+                         : "mpp");
+    }
+    table.addRow({TextTable::integer(static_cast<long long>(i + 1)),
+                  assignment, TextTable::num(ranking[i].makespan, 2)});
+  }
+  printTable(title, table);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "calibrating platform...\n";
+  const calib::PlatformProfile profile =
+      calib::calibratePlatform(sim::PlatformConfig{});
+
+  // ----- the pipeline ------------------------------------------------------
+  // energy-matrix assembly (Gauss-like, parallelizes well), conformation
+  // solve (SOR-like relaxation), and a serial minimization/report step.
+  const kernels::GaussCostModel gaussCosts;
+  const kernels::SorCostModel sorCosts;
+  constexpr std::size_t kSystem = 400;   // energy matrix dimension
+  constexpr std::size_t kGrid = 384;     // relaxation grid
+  constexpr int kSweeps = 60;
+
+  sched::TaskChain chain;
+  chain.tasks.push_back(sched::TaskCosts{
+      "assembly", toSeconds(gaussFrontEndTime(gaussCosts, kSystem)),
+      // The MPP runs it ~14x faster (space-shared partition).
+      toSeconds(gaussFrontEndTime(gaussCosts, kSystem)) / 14.0});
+  chain.tasks.push_back(sched::TaskCosts{
+      "relax", toSeconds(sorFrontEndTime(sorCosts, kGrid, kSweeps)),
+      toSeconds(sorFrontEndTime(sorCosts, kGrid, kSweeps)) / 10.0});
+  chain.tasks.push_back(sched::TaskCosts{"minimize", 2.0, 9.0});  // serial
+
+  const auto matrixData = kernels::gaussMatrixDataSets(kSystem);
+  const auto gridData = kernels::sorGridDataSets(kGrid);
+  chain.edges.push_back(sched::EdgeCosts{
+      transferSec(profile, true, matrixData),
+      transferSec(profile, false, matrixData)});
+  chain.edges.push_back(sched::EdgeCosts{
+      transferSec(profile, true, gridData),
+      transferSec(profile, false, gridData)});
+
+  // ----- scenario 1: dedicated --------------------------------------------
+  showScenario("scenario 1: dedicated workstation",
+               chain, sched::SlowdownSet::dedicated());
+
+  // ----- scenario 2: CPU-bound load ---------------------------------------
+  // Three CPU-bound batch jobs appear on the workstation.
+  model::WorkloadMix cpuMix;
+  for (int i = 0; i < 3; ++i) cpuMix.add(model::CompetingApp{0.0, 0});
+  model::ParagonPredictor cpuPredictor(profile.paragon, cpuMix);
+  sched::SlowdownSet cpuLoad;
+  cpuLoad.frontEndComp = cpuPredictor.compSlowdown();
+  cpuLoad.commToBackEnd = cpuPredictor.commSlowdown();
+  cpuLoad.commToFrontEnd = cpuPredictor.commSlowdown();
+  std::cout << "\nscenario 2 slowdowns: comp " << cpuLoad.frontEndComp
+            << ", comm " << cpuLoad.commToBackEnd << "\n";
+  showScenario("scenario 2: 3 CPU-bound jobs on the workstation", chain,
+               cpuLoad);
+
+  // ----- scenario 3: communicating load -----------------------------------
+  // Two jobs hammer the link with large messages: transfers get expensive,
+  // pulling work back onto the workstation.
+  model::WorkloadMix commMix;
+  commMix.add(model::CompetingApp{0.85, 1000});
+  commMix.add(model::CompetingApp{0.85, 1000});
+  model::ParagonPredictor commPredictor(profile.paragon, commMix);
+  sched::SlowdownSet commLoad;
+  commLoad.frontEndComp = commPredictor.compSlowdown();
+  commLoad.commToBackEnd = commPredictor.commSlowdown();
+  commLoad.commToFrontEnd = commPredictor.commSlowdown();
+  std::cout << "\nscenario 3 slowdowns: comp " << commLoad.frontEndComp
+            << ", comm " << commLoad.commToBackEnd << "\n";
+  showScenario("scenario 3: 2 link-intensive jobs on the workstation", chain,
+               commLoad);
+
+  std::cout << "\nNote how the winning assignment changes with the *kind* of "
+               "load, not just its amount —\nthe paper's core argument for "
+               "contention-aware allocation.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// quickstart — the five-minute tour of the contend library.
+//
+// 1. Calibrate a platform profile (the paper's "system test suite").
+// 2. Describe the competing applications currently on the front-end.
+// 3. Ask the predictor for contention-adjusted computation/communication
+//    costs and an offload decision.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "model/predictor.hpp"
+#include "sim/platform.hpp"
+
+int main() {
+  using namespace contend;
+
+  // --- 1. Calibrate -------------------------------------------------------
+  // One-time, per-platform: ping-pong sweeps fit the piecewise (alpha, beta)
+  // link model; contention probes fill the delay tables. On a real system
+  // this runs against the hardware; here it runs against the bundled
+  // simulator of a Sun/Paragon-class coupled platform.
+  std::cout << "calibrating platform (takes a moment)...\n";
+  sim::PlatformConfig platform;  // defaults: 1-HOP TCP profile
+  const calib::PlatformProfile profile = calib::calibratePlatform(platform);
+  std::cout << "  link threshold: " << profile.paragon.toBackend.thresholdWords
+            << " words\n"
+            << "  alpha/beta (small msgs): "
+            << profile.paragon.toBackend.small.alphaSec * 1e3 << " ms, "
+            << profile.paragon.toBackend.small.betaWordsPerSec / 1e3
+            << " Kwords/s\n\n";
+
+  // --- 2. Describe the current load --------------------------------------
+  // Two other applications share the front-end: one communicates with the
+  // back-end 30% of the time using 800-word messages, one is CPU-bound.
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.30, 800});
+  mix.add(model::CompetingApp{0.0, 0});
+
+  model::ParagonPredictor predictor(profile.paragon, mix);
+  std::cout << "with " << predictor.mix().p() << " competing applications:\n"
+            << "  computation slowdown:   " << predictor.compSlowdown() << "\n"
+            << "  communication slowdown: " << predictor.commSlowdown()
+            << "\n\n";
+
+  // --- 3. Predict and decide ---------------------------------------------
+  // A task that needs 8 s of front-end compute (dedicated), or 1.5 s on the
+  // space-shared back-end after moving a 512x512 matrix each way.
+  const double dedicatedFrontEnd = 8.0;
+  const double backEnd = 1.5;
+  const std::vector<model::DataSet> matrix = {{512, 512}};
+
+  const double tFront = predictor.predictFrontEndComp(dedicatedFrontEnd);
+  const double cTo = predictor.predictCommToBackend(matrix);
+  const double cBack = predictor.predictCommFromBackend(matrix);
+  std::cout << "task estimates under load:\n"
+            << "  front-end:        " << tFront << " s\n"
+            << "  back-end + comm:  " << backEnd + cTo + cBack << " s  ("
+            << backEnd << " + " << cTo << " + " << cBack << ")\n"
+            << "  decision: run on the "
+            << (predictor.shouldOffload(dedicatedFrontEnd, backEnd, matrix,
+                                        matrix)
+                    ? "BACK-END (offload pays off)"
+                    : "FRONT-END (transfers too expensive)")
+            << "\n";
+  return 0;
+}

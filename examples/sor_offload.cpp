@@ -1,0 +1,122 @@
+// sor_offload — should the SOR solver run on the host or the SIMD back-end?
+//
+// The Host/SIMD scenario of §3.1: the front-end owns the application and can
+// execute the SOR kernel locally or stream it to the CM2-style back-end,
+// paying the matrix transfer both ways. Contention on the front-end (p extra
+// CPU-bound processes) changes the answer — and, non-obviously, it does NOT
+// always favour the back-end, because the transfers and the serial part of
+// the back-end code are slowed by the same p + 1 factor.
+//
+// The example prints the model's decision for a sweep of grid sizes and
+// contention levels, then validates one decision against the simulator.
+#include <iostream>
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "kernels/sor.hpp"
+#include "model/predictor.hpp"
+#include "util/table.hpp"
+#include "workload/cm2_programs.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+constexpr int kIterations = 40;
+
+/// Dedicated-mode model inputs for the back-end variant, measured once per
+/// grid size from a dedicated simulated run (as a real system would profile).
+model::Cm2TaskDedicated profileBackEnd(const sim::PlatformConfig& config,
+                                       std::size_t gridSize) {
+  const kernels::SorCostModel costs;
+  workload::RunSpec spec;
+  spec.config = config;
+  spec.probe = workload::makeCm2KernelProgram(
+      kernels::sorCm2Steps(costs, gridSize, kIterations));
+  const workload::RunResult run = workload::runMeasured(spec);
+  model::Cm2TaskDedicated inputs;
+  inputs.dcompCm2 = toSeconds(run.backendExec);
+  inputs.didleCm2 = toSeconds(run.backendIdleWithinRegion0);
+  inputs.dserialCm2 = toSeconds(run.probeCpuTicks);
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  const sim::PlatformConfig config;
+  std::cout << "calibrating CM2 link...\n";
+  const model::Cm2CommParams link =
+      calib::calibrateCm2Link(config, calib::Cm2CalibrationOptions{});
+
+  const kernels::SorCostModel costs;
+  const std::vector<std::size_t> grids = {64, 128, 256, 384, 512};
+
+  TextTable table({"M", "p", "front-end (s)", "back-end total (s)", "run on"});
+  for (std::size_t m : grids) {
+    const model::Cm2TaskDedicated backEnd = profileBackEnd(config, m);
+    const auto transfer = kernels::sorGridDataSets(m);
+    const double dedicatedFront =
+        toSeconds(kernels::sorFrontEndTime(costs, m, kIterations));
+
+    for (int p : {0, 3}) {
+      model::Cm2Predictor predictor(model::Cm2PlatformModel{link}, p);
+      const double tFront = predictor.predictFrontEndComp(dedicatedFront);
+      const double tBack = predictor.predictBackEndTask(backEnd) +
+                           predictor.predictCommToBackend(transfer) +
+                           predictor.predictCommFromBackend(transfer);
+      const bool offload =
+          predictor.shouldOffload(dedicatedFront, backEnd, transfer, transfer);
+      table.addRow({TextTable::integer(static_cast<long long>(m)),
+                    TextTable::integer(p), TextTable::num(tFront, 3),
+                    TextTable::num(tBack, 3),
+                    offload ? "back-end" : "front-end"});
+    }
+  }
+  printTable("SOR placement decisions (model)", table);
+
+  // Validate the M = 512, p = 3 decision against the simulator: execute both
+  // variants under contention and compare.
+  constexpr std::size_t kCheckM = 512;
+  const auto contender = workload::makeCpuBoundGenerator();
+
+  workload::RunSpec front;
+  front.config = config;
+  front.probe = workload::makeCpuProbe(
+      kernels::sorFrontEndTime(costs, kCheckM, kIterations));
+  front.contenders.assign(3, contender);
+  const double frontActual = workload::runMeasured(front).regionSeconds(0);
+
+  workload::RunSpec back;
+  back.config = config;
+  {
+    // Transfer in, run on the back-end, transfer out — one program.
+    sim::ProgramBuilder b;
+    b.stamp(0);
+    b.cm2Copy(static_cast<Words>(kCheckM),
+              static_cast<std::int64_t>(kCheckM), true);
+    const auto steps = kernels::sorCm2Steps(costs, kCheckM, kIterations);
+    for (const auto& step : steps) {
+      if (step.serial > 0) b.compute(step.serial, "serial");
+      if (step.parallelWork > 0) {
+        b.dispatch(step.parallelWork, step.waitForResult);
+      }
+    }
+    b.cm2Copy(static_cast<Words>(kCheckM),
+              static_cast<std::int64_t>(kCheckM), false);
+    b.stamp(1);
+    back.probe = b.build();
+  }
+  back.contenders.assign(3, contender);
+  const double backActual = workload::runMeasured(back).regionSeconds(0);
+
+  std::cout << "simulated check at M=" << kCheckM << ", p=3: front-end "
+            << frontActual << " s vs back-end " << backActual
+            << " s -> the model's choice "
+            << (backActual < frontActual ? "(back-end) " : "(front-end) ")
+            << "is confirmed by simulation\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "calib/calibration.hpp"
+
+namespace contend::calib {
+
+PlatformProfile calibrateDedicatedOnly(const sim::PlatformConfig& config,
+                                       const CalibrationOptions& options) {
+  PlatformProfile profile;
+  profile.platformName = config.paragon.name;
+
+  profile.pingTx =
+      runPingPongSweep(config, options.pingPongSizes, options.burstMessages,
+                       workload::CommDirection::kToBackend);
+  profile.pingRx =
+      runPingPongSweep(config, options.pingPongSizes, options.burstMessages,
+                       workload::CommDirection::kFromBackend);
+
+  profile.paragon.toBackend = fitCommParams(profile.pingTx);
+  profile.paragon.fromBackend = fitCommParams(profile.pingRx);
+  profile.singlePieceTx = fitCommParamsSinglePiece(profile.pingTx);
+  profile.singlePieceRx = fitCommParamsSinglePiece(profile.pingRx);
+
+  profile.cm2.comm = calibrateCm2Link(config, options.cm2);
+  return profile;
+}
+
+PlatformProfile calibratePlatform(const sim::PlatformConfig& config,
+                                  const CalibrationOptions& options) {
+  PlatformProfile profile = calibrateDedicatedOnly(config, options);
+  profile.paragon.delays = measureDelayTables(config, options.delays);
+  return profile;
+}
+
+}  // namespace contend::calib

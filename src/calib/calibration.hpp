@@ -1,0 +1,55 @@
+// calibration.hpp — full "system test suite" orchestration.
+//
+// Produces a PlatformProfile: every system-dependent constant the
+// contention model needs, measured from the platform exactly as §3.1.1 and
+// §3.2.1 prescribe. Profiles are computed once per platform configuration
+// and reused by schedulers at run-time (the paper stresses that none of
+// these constants change dynamically).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "calib/cm2_calib.hpp"
+#include "calib/delay_probe.hpp"
+#include "calib/pingpong.hpp"
+#include "model/predictor.hpp"
+#include "sim/platform.hpp"
+
+namespace contend::calib {
+
+struct CalibrationOptions {
+  std::vector<Words> pingPongSizes = {1,    16,   64,   128,  256,  512,
+                                      768,  1024, 1536, 2048, 3072, 4096,
+                                      6144, 8192, 12288, 16384};
+  std::int64_t burstMessages = 1000;  // the paper's burst size
+  Cm2CalibrationOptions cm2;
+  DelayProbeOptions delays;
+};
+
+struct PlatformProfile {
+  model::Cm2PlatformModel cm2;
+  model::ParagonPlatformModel paragon;
+
+  /// Raw sweep samples kept for inspection, ablations, and plotting.
+  std::vector<PingPongSample> pingTx;
+  std::vector<PingPongSample> pingRx;
+
+  /// Single-piece fits for the A1 ablation.
+  model::LinkParams singlePieceTx;
+  model::LinkParams singlePieceRx;
+
+  std::string platformName;
+};
+
+/// Runs the complete suite: ping-pong sweeps + piecewise fits (both
+/// directions), CM2 link benchmarks, and the delay tables.
+[[nodiscard]] PlatformProfile calibratePlatform(
+    const sim::PlatformConfig& config, const CalibrationOptions& options = {});
+
+/// Cheaper variant that skips the delay tables (several simulation runs per
+/// cell); used by harnesses that only need the dedicated-mode fits.
+[[nodiscard]] PlatformProfile calibrateDedicatedOnly(
+    const sim::PlatformConfig& config, const CalibrationOptions& options = {});
+
+}  // namespace contend::calib

@@ -1,0 +1,66 @@
+#include "calib/cm2_calib.hpp"
+
+#include <stdexcept>
+
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend::calib {
+
+model::Cm2CommParams calibrateCm2Link(const sim::PlatformConfig& config,
+                                      const Cm2CalibrationOptions& options) {
+  if (options.bandwidthWords <= 0 || options.startupArrays <= 0) {
+    throw std::invalid_argument("calibrateCm2Link: bad options");
+  }
+
+  // Bandwidth benchmark: one large array each way. The startup term is
+  // negligible against 10^6 per-word costs, so beta ~= words / time (the
+  // paper's approximation).
+  workload::RunSpec bwSpec;
+  bwSpec.config = config;
+  bwSpec.probe =
+      workload::makeCm2RoundTripProgram(options.bandwidthWords, 1);
+  bwSpec.regions = 2;
+  const workload::RunResult bw = runMeasured(bwSpec);
+
+  const double betaTx =
+      static_cast<double>(options.bandwidthWords) / bw.regionSeconds(0);
+  const double betaRx =
+      static_cast<double>(options.bandwidthWords) / bw.regionSeconds(1);
+  if (betaTx <= 0.0 || betaRx <= 0.0) {
+    throw std::runtime_error("calibrateCm2Link: non-positive bandwidth");
+  }
+
+  // Startup benchmark: a stream of one-element arrays each way; per-array
+  // time minus the (now known) per-word term leaves alpha.
+  workload::RunSpec suSpec;
+  suSpec.config = config;
+  suSpec.probe = workload::makeCm2StartupProbe(options.startupArrays);
+  suSpec.regions = 2;
+  const workload::RunResult su = runMeasured(suSpec);
+
+  const double arrays = static_cast<double>(options.startupArrays);
+  const double perArrayTx = su.regionSeconds(0) / arrays;
+  const double perArrayRx = su.regionSeconds(1) / arrays;
+
+  model::Cm2CommParams params;
+  params.toCm2.betaWordsPerSec = betaTx;
+  params.fromCm2.betaWordsPerSec = betaRx;
+  if (options.assumeSymmetricAlpha) {
+    // Paper variant: alpha_sun ~= alpha_cm2 ~= (C/N - 1/b_tx - 1/b_rx) / 2
+    // with C the *total* round-trip time of the two streams.
+    const double alpha =
+        (perArrayTx + perArrayRx - 1.0 / betaTx - 1.0 / betaRx) / 2.0;
+    params.toCm2.alphaSec = alpha;
+    params.fromCm2.alphaSec = alpha;
+  } else {
+    params.toCm2.alphaSec = perArrayTx - 1.0 / betaTx;
+    params.fromCm2.alphaSec = perArrayRx - 1.0 / betaRx;
+  }
+  if (params.toCm2.alphaSec < 0.0 || params.fromCm2.alphaSec < 0.0) {
+    throw std::runtime_error("calibrateCm2Link: negative startup time");
+  }
+  return params;
+}
+
+}  // namespace contend::calib

@@ -1,0 +1,28 @@
+// cm2_calib.hpp — §3.1.1 CM2 link benchmarks.
+//
+// Two benchmarks parameterize the dedicated Sun/CM2 link: a large-array
+// transfer dominated by the per-word term (yields β), and a stream of
+// one-element arrays dominated by the per-message term (yields α once β is
+// known). The paper assumes α_sun = α_cm2 to split the round-trip measure;
+// we implement that variant for fidelity plus a refined one that measures
+// each direction separately.
+#pragma once
+
+#include "model/cm2_model.hpp"
+#include "sim/platform.hpp"
+
+namespace contend::calib {
+
+struct Cm2CalibrationOptions {
+  Words bandwidthWords = 1'000'000;   // the paper's 10^6-element array
+  std::int64_t startupArrays = 10'000;  // scaled from the paper's 10^6 (sim cost)
+  /// true: assume alpha equal in both directions, as the paper does.
+  bool assumeSymmetricAlpha = false;
+};
+
+/// Measures Cm2CommParams (alpha/beta per direction) on a dedicated
+/// platform.
+[[nodiscard]] model::Cm2CommParams calibrateCm2Link(
+    const sim::PlatformConfig& config, const Cm2CalibrationOptions& options);
+
+}  // namespace contend::calib

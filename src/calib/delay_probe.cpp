@@ -1,0 +1,138 @@
+#include "calib/delay_probe.hpp"
+
+#include <stdexcept>
+
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend::calib {
+
+namespace {
+
+using workload::CommDirection;
+using workload::GeneratorSpec;
+
+/// Runs `probe` against `i` copies of `generator`; returns region-0 ticks.
+Tick timedAgainst(const sim::PlatformConfig& config, const sim::Program& probe,
+                  const sim::Program& generator, int i) {
+  workload::RunSpec spec;
+  spec.config = config;
+  spec.probe = probe;
+  spec.contenders.assign(static_cast<std::size_t>(i), generator);
+  const workload::RunResult result = runMeasured(spec);
+  return result.regionTicks.at(0);
+}
+
+double excess(Tick contended, Tick dedicated) {
+  if (dedicated <= 0) {
+    throw std::runtime_error("delay probe: non-positive dedicated time");
+  }
+  return static_cast<double>(contended) / static_cast<double>(dedicated) - 1.0;
+}
+
+sim::Program commProbe(const DelayProbeOptions& options) {
+  return workload::makeBurstProgram(options.commProbeWords,
+                                    options.commProbeMessages,
+                                    CommDirection::kToBackend);
+}
+
+sim::Program pureCommGenerator(const sim::PlatformConfig& config, Words words,
+                               CommDirection direction,
+                               const DelayProbeOptions& options) {
+  GeneratorSpec spec;
+  spec.commFraction = 1.0;
+  spec.messageWords = words;
+  spec.direction = direction;
+  spec.cycleLength = options.generatorCycle;
+  return workload::makeCommGenerator(config, spec);
+}
+
+}  // namespace
+
+double measureCommDelayFromComp(const sim::PlatformConfig& config,
+                                const DelayProbeOptions& options, int i) {
+  const sim::Program probe = commProbe(options);
+  const Tick dedicated = timedAgainst(config, probe, {}, 0);
+  const Tick contended =
+      timedAgainst(config, probe, workload::makeCpuBoundGenerator(), i);
+  return excess(contended, dedicated);
+}
+
+double measureCommDelayFromComm(const sim::PlatformConfig& config,
+                                const DelayProbeOptions& options, int i) {
+  const sim::Program probe = commProbe(options);
+  const Tick dedicated = timedAgainst(config, probe, {}, 0);
+  const Tick viaTx = timedAgainst(
+      config, probe,
+      pureCommGenerator(config, 1, CommDirection::kToBackend, options), i);
+  const Tick viaRx = timedAgainst(
+      config, probe,
+      pureCommGenerator(config, 1, CommDirection::kFromBackend, options), i);
+  return (excess(viaTx, dedicated) + excess(viaRx, dedicated)) / 2.0;
+}
+
+double measureCompDelayFromComm(const sim::PlatformConfig& config,
+                                const DelayProbeOptions& options, int i,
+                                Words j) {
+  const sim::Program probe = workload::makeCpuProbe(options.cpuProbeWork);
+  const Tick dedicated = timedAgainst(config, probe, {}, 0);
+  const Tick viaTx = timedAgainst(
+      config, probe,
+      pureCommGenerator(config, j, CommDirection::kToBackend, options), i);
+  const Tick viaRx = timedAgainst(
+      config, probe,
+      pureCommGenerator(config, j, CommDirection::kFromBackend, options), i);
+  return (excess(viaTx, dedicated) + excess(viaRx, dedicated)) / 2.0;
+}
+
+model::DelayTables measureDelayTables(const sim::PlatformConfig& config,
+                                      const DelayProbeOptions& options) {
+  if (options.maxContenders <= 0) {
+    throw std::invalid_argument("measureDelayTables: maxContenders must be > 0");
+  }
+  if (options.jBins.empty()) {
+    throw std::invalid_argument("measureDelayTables: no j bins");
+  }
+
+  model::DelayTables tables;
+  tables.jBins = options.jBins;
+  tables.compFromComm.assign(options.jBins.size(), {});
+
+  // Dedicated baselines, measured once.
+  const sim::Program ping = commProbe(options);
+  const sim::Program cpuProbe = workload::makeCpuProbe(options.cpuProbeWork);
+  const Tick pingDedicated = timedAgainst(config, ping, {}, 0);
+  const Tick cpuDedicated = timedAgainst(config, cpuProbe, {}, 0);
+
+  const sim::Program cpuGen = workload::makeCpuBoundGenerator();
+  for (int i = 1; i <= options.maxContenders; ++i) {
+    tables.commFromComp.push_back(
+        excess(timedAgainst(config, ping, cpuGen, i), pingDedicated));
+
+    const Tick pingTx = timedAgainst(
+        config, ping,
+        pureCommGenerator(config, 1, CommDirection::kToBackend, options), i);
+    const Tick pingRx = timedAgainst(
+        config, ping,
+        pureCommGenerator(config, 1, CommDirection::kFromBackend, options), i);
+    tables.commFromComm.push_back(
+        (excess(pingTx, pingDedicated) + excess(pingRx, pingDedicated)) / 2.0);
+
+    for (std::size_t b = 0; b < options.jBins.size(); ++b) {
+      const Words j = options.jBins[b];
+      const Tick cpuTx = timedAgainst(
+          config, cpuProbe,
+          pureCommGenerator(config, j, CommDirection::kToBackend, options), i);
+      const Tick cpuRx = timedAgainst(
+          config, cpuProbe,
+          pureCommGenerator(config, j, CommDirection::kFromBackend, options),
+          i);
+      tables.compFromComm[b].push_back(
+          (excess(cpuTx, cpuDedicated) + excess(cpuRx, cpuDedicated)) / 2.0);
+    }
+  }
+  tables.validate();
+  return tables;
+}
+
+}  // namespace contend::calib

@@ -1,0 +1,60 @@
+// delay_probe.hpp — measuring the system-dependent delay tables (§3.2).
+//
+// Each table entry answers "how much longer does a probe take with i
+// contention generators of a given kind?", expressed as the *excess* factor
+// (contended / dedicated - 1):
+//   delay_comp^i    — ping-pong probe vs i CPU-bound generators
+//   delay_comm^i    — ping-pong probe vs i one-word-message communicators,
+//                     averaged over the two generator directions
+//   delay_comm^{i,j}— CPU-bound probe vs i communicators using j-word
+//                     messages, averaged over the two generator directions
+// These are measured once per platform; the model composes them with the
+// run-time workload mix.
+#pragma once
+
+#include <vector>
+
+#include "model/paragon_model.hpp"
+#include "sim/platform.hpp"
+#include "util/units.hpp"
+
+namespace contend::calib {
+
+struct DelayProbeOptions {
+  int maxContenders = 4;
+  std::vector<Words> jBins = {1, 500, 1000};
+
+  /// Ping-pong probe used for the communication-delay rows.
+  Words commProbeWords = 500;
+  std::int64_t commProbeMessages = 400;
+
+  /// CPU probe used for the computation-delay rows.
+  Tick cpuProbeWork = 2 * kSecond;
+
+  /// Dedicated-mode cycle length of the generators.
+  Tick generatorCycle = 200 * kMillisecond;
+};
+
+/// Measures all three tables. The same dedicated baselines are reused across
+/// contender counts, so the whole suite costs
+/// O(maxContenders × (2 + 2 × jBins)) simulation runs.
+[[nodiscard]] model::DelayTables measureDelayTables(
+    const sim::PlatformConfig& config, const DelayProbeOptions& options);
+
+/// Single-cell helpers, exposed for tests and the ablation benches.
+/// Excess delay on the ping-pong probe from `i` CPU-bound generators.
+[[nodiscard]] double measureCommDelayFromComp(const sim::PlatformConfig& config,
+                                              const DelayProbeOptions& options,
+                                              int i);
+/// Excess delay on the ping-pong probe from `i` communicating generators
+/// (averaged over generator directions).
+[[nodiscard]] double measureCommDelayFromComm(const sim::PlatformConfig& config,
+                                              const DelayProbeOptions& options,
+                                              int i);
+/// Excess delay on the CPU probe from `i` generators sending j-word
+/// messages (averaged over generator directions).
+[[nodiscard]] double measureCompDelayFromComm(const sim::PlatformConfig& config,
+                                              const DelayProbeOptions& options,
+                                              int i, Words j);
+
+}  // namespace contend::calib

@@ -1,0 +1,78 @@
+#include "calib/pingpong.hpp"
+
+#include <stdexcept>
+
+#include "util/regression.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend::calib {
+
+std::vector<PingPongSample> runPingPongSweep(
+    const sim::PlatformConfig& config, std::span<const Words> sizesWords,
+    std::int64_t burstMessages, workload::CommDirection direction) {
+  workload::RunSpec spec;
+  spec.config = config;
+  spec.probe =
+      workload::makePingPongProgram(sizesWords, burstMessages, direction);
+  spec.regions = static_cast<int>(sizesWords.size());
+  const workload::RunResult result = runMeasured(spec);
+
+  std::vector<PingPongSample> samples;
+  samples.reserve(sizesWords.size());
+  for (std::size_t i = 0; i < sizesWords.size(); ++i) {
+    samples.push_back(PingPongSample{
+        sizesWords[i],
+        result.regionSeconds(static_cast<int>(i)) /
+            static_cast<double>(burstMessages)});
+  }
+  return samples;
+}
+
+namespace {
+void splitSamples(std::span<const PingPongSample> samples,
+                  std::vector<double>& x, std::vector<double>& y) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("fitCommParams: need at least 4 samples");
+  }
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const PingPongSample& s : samples) {
+    x.push_back(static_cast<double>(s.words));
+    y.push_back(s.perMessageSec);
+  }
+}
+
+model::LinkParams toLinkParams(const LinearFit& fit) {
+  if (fit.slope <= 0.0) {
+    throw std::runtime_error(
+        "fitCommParams: non-positive slope; per-message time must grow with "
+        "size");
+  }
+  model::LinkParams params;
+  params.alphaSec = fit.intercept;
+  params.betaWordsPerSec = 1.0 / fit.slope;
+  return params;
+}
+}  // namespace
+
+model::PiecewiseCommParams fitCommParams(
+    std::span<const PingPongSample> samples) {
+  std::vector<double> x, y;
+  splitSamples(samples, x, y);
+  const PiecewiseFit fit = fitPiecewise(x, y);
+  model::PiecewiseCommParams params;
+  params.small = toLinkParams(fit.low);
+  params.large = toLinkParams(fit.high);
+  params.thresholdWords = static_cast<Words>(fit.threshold);
+  return params;
+}
+
+model::LinkParams fitCommParamsSinglePiece(
+    std::span<const PingPongSample> samples) {
+  std::vector<double> x, y;
+  splitSamples(samples, x, y);
+  return toLinkParams(fitLine(x, y));
+}
+
+}  // namespace contend::calib

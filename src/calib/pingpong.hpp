@@ -1,0 +1,43 @@
+// pingpong.hpp — §3.2.1 ping-pong benchmark and the (α, β) fits.
+//
+// The benchmark transfers bursts of same-sized messages across the
+// front-end/back-end link, one burst per message size, closing each burst
+// with a one-word reply. Dividing burst time by message count gives the
+// dedicated per-message cost, which a two-piece linear regression (with
+// exhaustive threshold search) converts into the paper's (α1, β1, α2, β2,
+// threshold) parameterization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/comm_model.hpp"
+#include "sim/platform.hpp"
+#include "workload/generators.hpp"
+
+namespace contend::calib {
+
+struct PingPongSample {
+  Words words = 0;
+  double perMessageSec = 0.0;  // burst time / messages
+};
+
+/// Runs the ping-pong sweep on a dedicated platform (no contenders; the
+/// config's daemon still runs — calibration happens on the production
+/// system, not a sterile one).
+[[nodiscard]] std::vector<PingPongSample> runPingPongSweep(
+    const sim::PlatformConfig& config, std::span<const Words> sizesWords,
+    std::int64_t burstMessages, workload::CommDirection direction);
+
+/// Two-piece fit of per-message cost vs size, converted to the paper's
+/// parameterization: alphaSec = intercept, beta = 1 / slope (words/sec).
+/// Throws if a fitted slope is non-positive (calibration would be garbage).
+[[nodiscard]] model::PiecewiseCommParams fitCommParams(
+    std::span<const PingPongSample> samples);
+
+/// Single-piece variant, for the A1 ablation (how much accuracy the
+/// threshold buys).
+[[nodiscard]] model::LinkParams fitCommParamsSinglePiece(
+    std::span<const PingPongSample> samples);
+
+}  // namespace contend::calib

@@ -1,0 +1,209 @@
+#include "calib/profile_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace contend::calib {
+
+namespace {
+
+std::string joinDoubles(const std::vector<double>& xs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ' ';
+    os << xs[i];
+  }
+  return os.str();
+}
+
+std::string joinWords(const std::vector<Words>& xs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ' ';
+    os << xs[i];
+  }
+  return os.str();
+}
+
+std::string joinSamples(const std::vector<PingPongSample>& xs) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) os << ' ';
+    os << xs[i].words << ':' << xs[i].perMessageSec;
+  }
+  return os.str();
+}
+
+std::vector<double> parseDoubles(const std::string& value) {
+  std::istringstream is(value);
+  std::vector<double> out;
+  double x;
+  while (is >> x) out.push_back(x);
+  return out;
+}
+
+std::vector<Words> parseWords(const std::string& value) {
+  std::istringstream is(value);
+  std::vector<Words> out;
+  Words x;
+  while (is >> x) out.push_back(x);
+  return out;
+}
+
+std::vector<PingPongSample> parseSamples(const std::string& value) {
+  std::istringstream is(value);
+  std::vector<PingPongSample> out;
+  std::string token;
+  while (is >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("profile: bad sample token '" + token + "'");
+    }
+    PingPongSample s;
+    s.words = std::stoll(token.substr(0, colon));
+    s.perMessageSec = std::stod(token.substr(colon + 1));
+    out.push_back(s);
+  }
+  return out;
+}
+
+void emitLink(std::ostream& out, const std::string& prefix,
+              const model::LinkParams& link) {
+  out.precision(17);
+  out << prefix << ".alpha = " << link.alphaSec << '\n';
+  out << prefix << ".beta = " << link.betaWordsPerSec << '\n';
+}
+
+void emitPiecewise(std::ostream& out, const std::string& prefix,
+                   const model::PiecewiseCommParams& p) {
+  emitLink(out, prefix + ".small", p.small);
+  emitLink(out, prefix + ".large", p.large);
+  out << prefix << ".threshold = " << p.thresholdWords << '\n';
+}
+
+class KeyValueReader {
+ public:
+  explicit KeyValueReader(std::istream& in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto eq = line.find(" = ");
+      if (eq == std::string::npos) {
+        throw std::runtime_error("profile: malformed line '" + line + "'");
+      }
+      entries_.emplace(line.substr(0, eq), line.substr(eq + 3));
+    }
+  }
+
+  [[nodiscard]] std::string take(const std::string& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      throw std::runtime_error("profile: missing key '" + key + "'");
+    }
+    std::string value = it->second;
+    entries_.erase(it);
+    return value;
+  }
+
+  [[nodiscard]] double takeDouble(const std::string& key) {
+    return std::stod(take(key));
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return entries_.count(key) != 0;
+  }
+
+  void requireDrained() const {
+    if (!entries_.empty()) {
+      throw std::runtime_error("profile: unknown key '" +
+                               entries_.begin()->first + "'");
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+model::LinkParams readLink(KeyValueReader& r, const std::string& prefix) {
+  model::LinkParams link;
+  link.alphaSec = r.takeDouble(prefix + ".alpha");
+  link.betaWordsPerSec = r.takeDouble(prefix + ".beta");
+  return link;
+}
+
+model::PiecewiseCommParams readPiecewise(KeyValueReader& r,
+                                         const std::string& prefix) {
+  model::PiecewiseCommParams p;
+  p.small = readLink(r, prefix + ".small");
+  p.large = readLink(r, prefix + ".large");
+  p.thresholdWords = static_cast<Words>(std::stoll(r.take(prefix + ".threshold")));
+  return p;
+}
+
+}  // namespace
+
+void saveProfile(const PlatformProfile& profile, std::ostream& out) {
+  out << "# contend platform profile\n";
+  out << "name = " << profile.platformName << '\n';
+  emitLink(out, "cm2.tx", profile.cm2.comm.toCm2);
+  emitLink(out, "cm2.rx", profile.cm2.comm.fromCm2);
+  emitPiecewise(out, "paragon.tx", profile.paragon.toBackend);
+  emitPiecewise(out, "paragon.rx", profile.paragon.fromBackend);
+  emitLink(out, "single.tx", profile.singlePieceTx);
+  emitLink(out, "single.rx", profile.singlePieceRx);
+
+  const model::DelayTables& d = profile.paragon.delays;
+  out << "delays.commFromComp = " << joinDoubles(d.commFromComp) << '\n';
+  out << "delays.commFromComm = " << joinDoubles(d.commFromComm) << '\n';
+  out << "delays.jBins = " << joinWords(d.jBins) << '\n';
+  for (std::size_t b = 0; b < d.compFromComm.size(); ++b) {
+    out << "delays.compFromComm." << b << " = "
+        << joinDoubles(d.compFromComm[b]) << '\n';
+  }
+  out << "ping.tx = " << joinSamples(profile.pingTx) << '\n';
+  out << "ping.rx = " << joinSamples(profile.pingRx) << '\n';
+}
+
+void saveProfile(const PlatformProfile& profile, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveProfile: cannot open " + path);
+  saveProfile(profile, out);
+}
+
+PlatformProfile loadProfile(std::istream& in) {
+  KeyValueReader r(in);
+  PlatformProfile profile;
+  profile.platformName = r.take("name");
+  profile.cm2.comm.toCm2 = readLink(r, "cm2.tx");
+  profile.cm2.comm.fromCm2 = readLink(r, "cm2.rx");
+  profile.paragon.toBackend = readPiecewise(r, "paragon.tx");
+  profile.paragon.fromBackend = readPiecewise(r, "paragon.rx");
+  profile.singlePieceTx = readLink(r, "single.tx");
+  profile.singlePieceRx = readLink(r, "single.rx");
+
+  model::DelayTables& d = profile.paragon.delays;
+  d.commFromComp = parseDoubles(r.take("delays.commFromComp"));
+  d.commFromComm = parseDoubles(r.take("delays.commFromComm"));
+  d.jBins = parseWords(r.take("delays.jBins"));
+  for (std::size_t b = 0; b < d.jBins.size(); ++b) {
+    d.compFromComm.push_back(
+        parseDoubles(r.take("delays.compFromComm." + std::to_string(b))));
+  }
+  profile.pingTx = parseSamples(r.take("ping.tx"));
+  profile.pingRx = parseSamples(r.take("ping.rx"));
+  r.requireDrained();
+  d.validate();
+  return profile;
+}
+
+PlatformProfile loadProfileFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadProfile: cannot open " + path);
+  return loadProfile(in);
+}
+
+}  // namespace contend::calib

@@ -1,0 +1,24 @@
+// profile_io.hpp — PlatformProfile (de)serialization.
+//
+// Calibration costs dozens of simulation runs, so profiles are cached on
+// disk. The format is a line-oriented `key = value` text file: diff-able,
+// hand-editable, and stable across versions that add keys (unknown keys are
+// an error — a profile is a measurement record, not a config file).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "calib/calibration.hpp"
+
+namespace contend::calib {
+
+void saveProfile(const PlatformProfile& profile, std::ostream& out);
+void saveProfile(const PlatformProfile& profile, const std::string& path);
+
+/// Throws std::runtime_error on malformed input, unknown keys, or a profile
+/// that fails DelayTables::validate().
+[[nodiscard]] PlatformProfile loadProfile(std::istream& in);
+[[nodiscard]] PlatformProfile loadProfileFile(const std::string& path);
+
+}  // namespace contend::calib

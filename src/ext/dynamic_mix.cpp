@@ -1,0 +1,81 @@
+#include "ext/dynamic_mix.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace contend::ext {
+
+MixTimeline::MixTimeline(std::vector<MixEpoch> epochs)
+    : epochs_(std::move(epochs)) {
+  for (std::size_t i = 1; i < epochs_.size(); ++i) {
+    if (epochs_[i].startSec <= epochs_[i - 1].startSec) {
+      throw std::invalid_argument("MixTimeline: epochs must be increasing");
+    }
+  }
+}
+
+const model::WorkloadMix& MixTimeline::mixAt(double tSec) const {
+  const model::WorkloadMix* current = &dedicated_;
+  for (const MixEpoch& epoch : epochs_) {
+    if (epoch.startSec > tSec) break;
+    current = &epoch.mix;
+  }
+  return *current;
+}
+
+void MixTimeline::appendChange(
+    double tSec, const std::function<void(model::WorkloadMix&)>& edit) {
+  if (!epochs_.empty() && tSec <= epochs_.back().startSec) {
+    throw std::invalid_argument("MixTimeline: changes must be appended in order");
+  }
+  MixEpoch epoch;
+  epoch.startSec = tSec;
+  epoch.mix = mixAt(tSec);
+  edit(epoch.mix);
+  epochs_.push_back(std::move(epoch));
+}
+
+double predictCompletionWithTimeline(double dcompSec, double startSec,
+                                     const MixTimeline& timeline,
+                                     const model::DelayTables& tables) {
+  if (dcompSec < 0.0) {
+    throw std::invalid_argument("predictCompletionWithTimeline: negative work");
+  }
+  if (dcompSec == 0.0) return 0.0;
+
+  double remaining = dcompSec;  // dedicated-work still to do
+  double now = startSec;
+  const auto& epochs = timeline.epochs();
+
+  // Index of the first epoch strictly after `now`.
+  std::size_t next = 0;
+  while (next < epochs.size() && epochs[next].startSec <= now) ++next;
+
+  for (;;) {
+    const double slowdown =
+        model::paragonCompSlowdown(timeline.mixAt(now), tables);
+    const double epochEnd = next < epochs.size()
+                                ? epochs[next].startSec
+                                : std::numeric_limits<double>::infinity();
+    const double span = epochEnd - now;
+    const double progress = span / slowdown;  // dedicated work done this epoch
+    if (progress >= remaining) {
+      return (now - startSec) + remaining * slowdown;
+    }
+    remaining -= progress;
+    now = epochEnd;
+    ++next;
+  }
+}
+
+double effectiveSlowdown(double dcompSec, double startSec,
+                         const MixTimeline& timeline,
+                         const model::DelayTables& tables) {
+  if (dcompSec <= 0.0) {
+    throw std::invalid_argument("effectiveSlowdown: work must be > 0");
+  }
+  return predictCompletionWithTimeline(dcompSec, startSec, timeline, tables) /
+         dcompSec;
+}
+
+}  // namespace contend::ext

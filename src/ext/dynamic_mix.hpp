@@ -1,0 +1,61 @@
+// dynamic_mix.hpp — time-varying job mix (§4 future work).
+//
+// The base model assumes contention lasts for the whole execution. This
+// extension models a schedule of mix changes (applications arriving and
+// leaving) and predicts completion times by *progress integration*: a task
+// with dedicated work W advances at rate 1/slowdown(t), so the predictor
+// walks the intervals consuming work until W is exhausted. The paper notes
+// slowdown factors "should be recalculated when the job mix changes" — this
+// is that recalculation, made continuous.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/mix.hpp"
+#include "model/paragon_model.hpp"
+#include "util/units.hpp"
+
+namespace contend::ext {
+
+/// One epoch of constant workload mix, starting at `startSec` (seconds).
+/// Epochs must be sorted by start time; the last epoch extends forever.
+struct MixEpoch {
+  double startSec = 0.0;
+  model::WorkloadMix mix;
+};
+
+class MixTimeline {
+ public:
+  explicit MixTimeline(std::vector<MixEpoch> epochs);
+
+  /// The mix in force at time `tSec`. Before the first epoch the platform is
+  /// taken as dedicated (empty mix).
+  [[nodiscard]] const model::WorkloadMix& mixAt(double tSec) const;
+
+  [[nodiscard]] const std::vector<MixEpoch>& epochs() const { return epochs_; }
+
+  /// Records an arrival/departure at time `tSec`: copies the mix in force,
+  /// applies `edit`, and inserts a new epoch. Later epochs must not exist
+  /// yet (the timeline is built forward).
+  void appendChange(double tSec,
+                    const std::function<void(model::WorkloadMix&)>& edit);
+
+ private:
+  std::vector<MixEpoch> epochs_;
+  model::WorkloadMix dedicated_;
+};
+
+/// Predicted completion time (seconds after `startSec`) of a front-end task
+/// with dedicated compute time `dcompSec`, advancing at 1/slowdown(t) per
+/// the computation model. Throws if the tables do not cover some epoch.
+[[nodiscard]] double predictCompletionWithTimeline(
+    double dcompSec, double startSec, const MixTimeline& timeline,
+    const model::DelayTables& tables);
+
+/// Average slowdown experienced by that task (elapsed / dedicated).
+[[nodiscard]] double effectiveSlowdown(double dcompSec, double startSec,
+                                       const MixTimeline& timeline,
+                                       const model::DelayTables& tables);
+
+}  // namespace contend::ext

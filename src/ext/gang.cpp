@@ -1,0 +1,37 @@
+#include "ext/gang.hpp"
+
+#include <stdexcept>
+
+namespace contend::ext {
+
+double gangSlowdown(const GangScheduleParams& params, int residentGangs) {
+  if (residentGangs < 1) {
+    throw std::invalid_argument("gangSlowdown: need at least one gang");
+  }
+  if (params.sliceLength <= 0 || params.switchCost < 0) {
+    throw std::invalid_argument("gangSlowdown: bad slice parameters");
+  }
+  if (residentGangs == 1) return 1.0;
+  // Each round of `residentGangs` slices delivers one slice of useful time
+  // to this gang; every slice boundary pays the switch cost.
+  const double slice = static_cast<double>(params.sliceLength);
+  const double switchCost = static_cast<double>(params.switchCost);
+  const double round = residentGangs * (slice + switchCost);
+  return round / slice;
+}
+
+double adjustedBackEndTime(const GangScheduleParams& params,
+                           double dedicatedSec, int residentGangs,
+                           double meshContentionFactor) {
+  if (dedicatedSec < 0.0) {
+    throw std::invalid_argument("adjustedBackEndTime: negative time");
+  }
+  if (meshContentionFactor < 1.0) {
+    throw std::invalid_argument(
+        "adjustedBackEndTime: mesh factor below 1 (use 1.0 for a clean mesh)");
+  }
+  return dedicatedSec * gangSlowdown(params, residentGangs) *
+         meshContentionFactor;
+}
+
+}  // namespace contend::ext

@@ -1,0 +1,36 @@
+// gang.hpp — gang-scheduled back-end nodes (§3.2: "contention for CPU in
+// each node may occur if the nodes are time-shared and gang-scheduling is
+// implemented. These effects can be included in T_p").
+//
+// Under gang scheduling, the machine alternates whole time slices between
+// resident gangs, so an application's back-end time stretches by the number
+// of gangs sharing its node set, plus a per-switch overhead amortized over
+// the slice. This is the standard first-order gang model (Feitelson's
+// survey, the paper's reference [7]).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace contend::ext {
+
+struct GangScheduleParams {
+  /// Length of one gang time slice.
+  Tick sliceLength = 100 * kMillisecond;
+  /// Cost of switching gangs (context flush, coscheduling barrier).
+  Tick switchCost = 2 * kMillisecond;
+};
+
+/// Multiplier on a back-end task's dedicated time when `residentGangs`
+/// applications (including itself) are gang-scheduled over its nodes.
+/// residentGangs = 1 gives exactly 1.0.
+[[nodiscard]] double gangSlowdown(const GangScheduleParams& params,
+                                  int residentGangs);
+
+/// Adjusted back-end time: T_p = dedicated x gangSlowdown x meshFactor.
+/// Composes the two back-end effects the paper says to fold into T_p.
+[[nodiscard]] double adjustedBackEndTime(const GangScheduleParams& params,
+                                         double dedicatedSec,
+                                         int residentGangs,
+                                         double meshContentionFactor = 1.0);
+
+}  // namespace contend::ext

@@ -1,0 +1,39 @@
+#include "ext/memory_model.hpp"
+
+#include <stdexcept>
+
+namespace contend::ext {
+
+double overcommitRatio(const MemoryModelParams& params, Words taskWorkingSet,
+                       std::span<const Words> competitorSets) {
+  if (params.capacityWords <= 0) {
+    throw std::invalid_argument("MemoryModelParams: capacity must be > 0");
+  }
+  if (taskWorkingSet < 0) {
+    throw std::invalid_argument("overcommitRatio: negative working set");
+  }
+  Words total = taskWorkingSet;
+  for (Words w : competitorSets) {
+    if (w < 0) throw std::invalid_argument("overcommitRatio: negative set");
+    total += w;
+  }
+  return static_cast<double>(total) / static_cast<double>(params.capacityWords);
+}
+
+double memorySlowdown(const MemoryModelParams& params, Words taskWorkingSet,
+                      std::span<const Words> competitorSets) {
+  if (params.pagingFactor < 0.0 || params.thrashFactor < 0.0 ||
+      params.thrashKnee < 1.0) {
+    throw std::invalid_argument("MemoryModelParams: bad penalty parameters");
+  }
+  const double ratio =
+      overcommitRatio(params, taskWorkingSet, competitorSets);
+  if (ratio <= 1.0) return 1.0;
+  if (ratio <= params.thrashKnee) {
+    return 1.0 + params.pagingFactor * (ratio - 1.0);
+  }
+  const double atKnee = 1.0 + params.pagingFactor * (params.thrashKnee - 1.0);
+  return atKnee + params.thrashFactor * (ratio - params.thrashKnee);
+}
+
+}  // namespace contend::ext

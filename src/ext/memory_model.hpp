@@ -1,0 +1,42 @@
+// memory_model.hpp — memory-constraint extension (§4 future work).
+//
+// The base model assumes every working set fits in memory ("no delay is
+// imposed by swapping"). This extension lifts that assumption: when the
+// working sets of the co-resident applications overcommit physical memory,
+// the front-end pays a paging penalty that multiplies on top of the CPU
+// slowdown. The penalty model is deliberately simple — linear in the
+// overcommit ratio up to a thrashing knee, steeper beyond — and is validated
+// against a simulator extension in the tests.
+#pragma once
+
+#include <span>
+
+#include "util/units.hpp"
+
+namespace contend::ext {
+
+struct MemoryModelParams {
+  /// Physical memory available to applications.
+  Words capacityWords = 16'000'000;  // 64 MB of 4-byte words
+  /// Penalty slope while moderately overcommitted: each 100% overcommit
+  /// adds this factor to the slowdown.
+  double pagingFactor = 1.5;
+  /// Overcommit ratio beyond which the system thrashes.
+  double thrashKnee = 1.5;
+  /// Penalty slope past the knee.
+  double thrashFactor = 6.0;
+};
+
+/// Combined working set of the application under prediction plus all
+/// competitors, divided by capacity.
+[[nodiscard]] double overcommitRatio(const MemoryModelParams& params,
+                                     Words taskWorkingSet,
+                                     std::span<const Words> competitorSets);
+
+/// Multiplicative slowdown from paging; exactly 1.0 while everything fits
+/// (ratio <= 1), continuous and increasing beyond.
+[[nodiscard]] double memorySlowdown(const MemoryModelParams& params,
+                                    Words taskWorkingSet,
+                                    std::span<const Words> competitorSets);
+
+}  // namespace contend::ext

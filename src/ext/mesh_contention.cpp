@@ -1,0 +1,215 @@
+#include "ext/mesh_contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace contend::ext {
+
+namespace {
+constexpr double kMaxUtilization = 0.98;  // keep residual bandwidth positive
+
+bool adjacent(NodeId a, NodeId b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y) == 1;
+}
+}  // namespace
+
+MeshInterconnect::MeshInterconnect(MeshConfig config) : config_(config) {
+  if (config_.width <= 0 || config_.height <= 0) {
+    throw std::invalid_argument("MeshInterconnect: empty mesh");
+  }
+  if (config_.linkTimePerWord <= 0 || config_.hopLatency < 0) {
+    throw std::invalid_argument("MeshInterconnect: bad link timing");
+  }
+  // Four directed links per node (out-of-range ones simply never used).
+  utilization_.assign(
+      static_cast<std::size_t>(config_.width) * config_.height * 4, 0.0);
+}
+
+bool MeshInterconnect::contains(NodeId node) const {
+  return node.x >= 0 && node.x < config_.width && node.y >= 0 &&
+         node.y < config_.height;
+}
+
+std::size_t MeshInterconnect::linkIndex(const MeshLink& link) const {
+  if (!contains(link.from) || !contains(link.to) ||
+      !adjacent(link.from, link.to)) {
+    throw std::invalid_argument("MeshInterconnect: not a mesh link");
+  }
+  int direction = 0;  // 0:+x 1:-x 2:+y 3:-y
+  if (link.to.x == link.from.x + 1) {
+    direction = 0;
+  } else if (link.to.x == link.from.x - 1) {
+    direction = 1;
+  } else if (link.to.y == link.from.y + 1) {
+    direction = 2;
+  } else {
+    direction = 3;
+  }
+  return (static_cast<std::size_t>(link.from.y) * config_.width +
+          static_cast<std::size_t>(link.from.x)) *
+             4 +
+         static_cast<std::size_t>(direction);
+}
+
+std::vector<MeshLink> MeshInterconnect::route(NodeId src, NodeId dst) const {
+  if (!contains(src) || !contains(dst)) {
+    throw std::invalid_argument("MeshInterconnect: endpoint outside mesh");
+  }
+  std::vector<MeshLink> links;
+  NodeId at = src;
+  while (at.x != dst.x) {
+    const NodeId next{at.x + (dst.x > at.x ? 1 : -1), at.y};
+    links.push_back(MeshLink{at, next});
+    at = next;
+  }
+  while (at.y != dst.y) {
+    const NodeId next{at.x, at.y + (dst.y > at.y ? 1 : -1)};
+    links.push_back(MeshLink{at, next});
+    at = next;
+  }
+  return links;
+}
+
+void MeshInterconnect::addFlow(const TrafficFlow& flow) {
+  if (flow.utilization < 0.0 || flow.utilization > 1.0) {
+    throw std::invalid_argument("MeshInterconnect: utilization outside [0,1]");
+  }
+  const auto links = route(flow.src, flow.dst);
+  for (const MeshLink& link : links) {
+    if (utilization_[linkIndex(link)] + flow.utilization > kMaxUtilization) {
+      throw std::runtime_error(
+          "MeshInterconnect: link oversubscribed by background traffic");
+    }
+  }
+  for (const MeshLink& link : links) {
+    utilization_[linkIndex(link)] += flow.utilization;
+  }
+}
+
+void MeshInterconnect::clearFlows() {
+  std::fill(utilization_.begin(), utilization_.end(), 0.0);
+}
+
+double MeshInterconnect::linkUtilization(const MeshLink& link) const {
+  return utilization_[linkIndex(link)];
+}
+
+double MeshInterconnect::pathContention(NodeId src, NodeId dst) const {
+  double worst = 0.0;
+  for (const MeshLink& link : route(src, dst)) {
+    worst = std::max(worst, utilization_[linkIndex(link)]);
+  }
+  return worst;
+}
+
+Tick MeshInterconnect::transferTime(NodeId src, NodeId dst,
+                                    Words words) const {
+  if (words < 0) throw std::invalid_argument("transferTime: negative size");
+  if (src == dst) return 0;
+  const auto links = route(src, dst);
+  const double residual = 1.0 - pathContention(src, dst);
+  const double serialization =
+      static_cast<double>(words) *
+      static_cast<double>(config_.linkTimePerWord) / residual;
+  return static_cast<Tick>(links.size()) * config_.hopLatency +
+         static_cast<Tick>(std::llround(serialization));
+}
+
+std::optional<Partition> allocateContiguous(const MeshConfig& mesh,
+                                            std::span<const Partition> existing,
+                                            int w, int h) {
+  if (w <= 0 || h <= 0) {
+    throw std::invalid_argument("allocateContiguous: empty request");
+  }
+  std::vector<bool> taken(
+      static_cast<std::size_t>(mesh.width) * mesh.height, false);
+  for (const Partition& p : existing) {
+    for (const NodeId& n : p.nodes) {
+      taken[static_cast<std::size_t>(n.y) * mesh.width + n.x] = true;
+    }
+  }
+  for (int y0 = 0; y0 + h <= mesh.height; ++y0) {
+    for (int x0 = 0; x0 + w <= mesh.width; ++x0) {
+      bool free = true;
+      for (int y = y0; free && y < y0 + h; ++y) {
+        for (int x = x0; free && x < x0 + w; ++x) {
+          free = !taken[static_cast<std::size_t>(y) * mesh.width + x];
+        }
+      }
+      if (!free) continue;
+      Partition p;
+      for (int y = y0; y < y0 + h; ++y) {
+        for (int x = x0; x < x0 + w; ++x) p.nodes.push_back(NodeId{x, y});
+      }
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Partition> allocateScattered(const MeshConfig& mesh,
+                                           std::span<const Partition> existing,
+                                           int count) {
+  if (count <= 0) {
+    throw std::invalid_argument("allocateScattered: empty request");
+  }
+  std::vector<bool> taken(
+      static_cast<std::size_t>(mesh.width) * mesh.height, false);
+  for (const Partition& p : existing) {
+    for (const NodeId& n : p.nodes) {
+      taken[static_cast<std::size_t>(n.y) * mesh.width + n.x] = true;
+    }
+  }
+  Partition p;
+  for (int y = 0; y < mesh.height && static_cast<int>(p.nodes.size()) < count;
+       ++y) {
+    for (int x = 0; x < mesh.width && static_cast<int>(p.nodes.size()) < count;
+         ++x) {
+      if (!taken[static_cast<std::size_t>(y) * mesh.width + x]) {
+        p.nodes.push_back(NodeId{x, y});
+      }
+    }
+  }
+  if (static_cast<int>(p.nodes.size()) < count) return std::nullopt;
+  return p;
+}
+
+void addPartitionTraffic(MeshInterconnect& mesh, const Partition& partition,
+                         double utilizationPerFlow) {
+  if (partition.nodes.size() < 2) return;
+  for (std::size_t i = 0; i < partition.nodes.size(); ++i) {
+    const NodeId src = partition.nodes[i];
+    const NodeId dst = partition.nodes[(i + 1) % partition.nodes.size()];
+    if (src == dst) continue;
+    mesh.addFlow(TrafficFlow{src, dst, utilizationPerFlow});
+  }
+}
+
+double partitionContentionFactor(const MeshInterconnect& mesh,
+                                 const Partition& partition,
+                                 Words messageWords) {
+  if (partition.nodes.size() < 2) return 1.0;
+  if (messageWords <= 0) {
+    throw std::invalid_argument("partitionContentionFactor: bad message size");
+  }
+  // Mean over the partition's nearest-neighbour ring of
+  // contended / clean transfer time.
+  MeshInterconnect clean(mesh.config());
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < partition.nodes.size(); ++i) {
+    const NodeId src = partition.nodes[i];
+    const NodeId dst = partition.nodes[(i + 1) % partition.nodes.size()];
+    if (src == dst) continue;
+    const double contended =
+        static_cast<double>(mesh.transferTime(src, dst, messageWords));
+    const double base =
+        static_cast<double>(clean.transferTime(src, dst, messageWords));
+    sum += contended / base;
+    ++pairs;
+  }
+  return pairs == 0 ? 1.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace contend::ext

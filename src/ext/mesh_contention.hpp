@@ -1,0 +1,120 @@
+// mesh_contention.hpp — inter-partition contention on the MIMD back-end.
+//
+// §3.2: "even though the Paragon is space-shared, traffic on the mesh may
+// affect an application's performance by slowing down its communication.
+// This kind of inter-partition contention is addressed by Liu et al. [12]
+// ... These effects can be included in T_p." This module supplies that
+// inclusion: a 2D mesh with dimension-order (XY) routing, rectangular or
+// scattered partition allocation, background traffic flows, and an analytic
+// contention factor a scheduler can fold into T_p.
+//
+// The model is intentionally first-order (per-link utilization accumulation,
+// bottleneck-link effective bandwidth): the same altitude as the paper's
+// front-end model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::ext {
+
+struct NodeId {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+};
+
+/// Directed mesh link between adjacent nodes.
+struct MeshLink {
+  NodeId from;
+  NodeId to;
+
+  friend bool operator==(const MeshLink&, const MeshLink&) = default;
+};
+
+struct MeshConfig {
+  int width = 8;
+  int height = 8;
+  /// Per-word transfer time of one mesh link.
+  Tick linkTimePerWord = 25;  // ns/word
+  /// Per-hop latency.
+  Tick hopLatency = 2 * kMicrosecond;
+};
+
+/// A steady background traffic flow between two nodes.
+struct TrafficFlow {
+  NodeId src;
+  NodeId dst;
+  /// Fraction of a link's capacity this flow consumes on every link of its
+  /// path, in [0, 1].
+  double utilization = 0.0;
+};
+
+class MeshInterconnect {
+ public:
+  explicit MeshInterconnect(MeshConfig config);
+
+  [[nodiscard]] const MeshConfig& config() const { return config_; }
+  [[nodiscard]] bool contains(NodeId node) const;
+
+  /// Dimension-order (X then Y) route; returns the traversed links.
+  [[nodiscard]] std::vector<MeshLink> route(NodeId src, NodeId dst) const;
+
+  /// Registers background traffic. Throws if a link would exceed full
+  /// utilization.
+  void addFlow(const TrafficFlow& flow);
+  void clearFlows();
+
+  /// Background utilization of a specific link, in [0, 1).
+  [[nodiscard]] double linkUtilization(const MeshLink& link) const;
+
+  /// Worst background utilization along the src->dst path.
+  [[nodiscard]] double pathContention(NodeId src, NodeId dst) const;
+
+  /// Time to move `words` from src to dst given background traffic: hop
+  /// latencies plus words over the bottleneck link's *residual* bandwidth.
+  /// src == dst costs nothing.
+  [[nodiscard]] Tick transferTime(NodeId src, NodeId dst, Words words) const;
+
+ private:
+  [[nodiscard]] std::size_t linkIndex(const MeshLink& link) const;
+
+  MeshConfig config_;
+  std::vector<double> utilization_;  // per directed link
+};
+
+/// A space-shared partition: the set of nodes one application owns.
+struct Partition {
+  std::vector<NodeId> nodes;
+};
+
+/// Contiguous allocation: the first free w x h rectangle (first-fit, row
+/// scan). Returns nullopt when no rectangle fits.
+[[nodiscard]] std::optional<Partition> allocateContiguous(
+    const MeshConfig& mesh, std::span<const Partition> existing, int w, int h);
+
+/// Scattered allocation: the first w*h free nodes in row order — the
+/// non-contiguous strategy whose traffic interference Liu et al. study.
+[[nodiscard]] std::optional<Partition> allocateScattered(
+    const MeshConfig& mesh, std::span<const Partition> existing, int count);
+
+/// Adds `utilizationPerFlow` of background traffic between consecutive nodes
+/// of the partition (a ring pattern approximating nearest-neighbour
+/// exchanges).
+void addPartitionTraffic(MeshInterconnect& mesh, const Partition& partition,
+                         double utilizationPerFlow);
+
+/// Mean pairwise contention factor (1 = clean mesh) over a partition's
+/// internal communication: the multiplier to fold into T_p for an
+/// application whose partition shares mesh links with the given traffic.
+[[nodiscard]] double partitionContentionFactor(const MeshInterconnect& mesh,
+                                               const Partition& partition,
+                                               Words messageWords);
+
+}  // namespace contend::ext

@@ -1,0 +1,32 @@
+#include "ext/migration.hpp"
+
+#include <stdexcept>
+
+namespace contend::ext {
+
+MigrationDecision adviseMigration(double remainingDedicatedSec,
+                                  double slowdownHere, double slowdownThere,
+                                  const model::PiecewiseCommParams& transferLink,
+                                  std::span<const model::DataSet> stateTransfer,
+                                  double transferSlowdown, double hysteresis) {
+  if (remainingDedicatedSec < 0.0) {
+    throw std::invalid_argument("adviseMigration: negative remaining work");
+  }
+  if (slowdownHere < 1.0 || slowdownThere < 1.0 || transferSlowdown < 1.0) {
+    throw std::invalid_argument("adviseMigration: slowdown below 1");
+  }
+  if (hysteresis < 0.0) {
+    throw std::invalid_argument("adviseMigration: negative hysteresis");
+  }
+
+  MigrationDecision decision;
+  decision.staySec = remainingDedicatedSec * slowdownHere;
+  const double moveCost =
+      model::dcomm(transferLink, stateTransfer) * transferSlowdown;
+  decision.moveSec = moveCost + remainingDedicatedSec * slowdownThere;
+  decision.migrate =
+      decision.gainSec() > hysteresis * decision.staySec;
+  return decision;
+}
+
+}  // namespace contend::ext

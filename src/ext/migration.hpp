@@ -1,0 +1,35 @@
+// migration.hpp — task-migration advisor (§4 future work).
+//
+// When the job mix changes mid-execution, finishing a task where it started
+// may no longer be best. The advisor compares: remaining dedicated work at
+// the current location's slowdown, against the cost of moving the task's
+// state plus the remaining work at the destination's slowdown.
+#pragma once
+
+#include <span>
+
+#include "model/comm_model.hpp"
+
+namespace contend::ext {
+
+struct MigrationDecision {
+  bool migrate = false;
+  double staySec = 0.0;  // predicted remaining time if the task stays
+  double moveSec = 0.0;  // migration cost + predicted remaining time if moved
+  /// Positive when migrating wins.
+  [[nodiscard]] double gainSec() const { return staySec - moveSec; }
+};
+
+/// `remainingDedicatedSec` — dedicated-mode work left;
+/// `slowdownHere` / `slowdownThere` — current contention-adjusted factors;
+/// `stateTransfer` — data sets that must move, priced by `transferLink` and
+/// multiplied by `transferSlowdown` (the link is contended too);
+/// `hysteresis` — migrate only when the gain exceeds this fraction of the
+/// stay cost, preventing oscillation when the two options are close.
+[[nodiscard]] MigrationDecision adviseMigration(
+    double remainingDedicatedSec, double slowdownHere, double slowdownThere,
+    const model::PiecewiseCommParams& transferLink,
+    std::span<const model::DataSet> stateTransfer, double transferSlowdown,
+    double hysteresis = 0.1);
+
+}  // namespace contend::ext

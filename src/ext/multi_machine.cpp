@@ -1,0 +1,124 @@
+#include "ext/multi_machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace contend::ext {
+
+MultiMachinePlatform::MultiMachinePlatform(std::vector<MachineSpec> machines,
+                                           std::vector<LinkSpec> links)
+    : machines_(std::move(machines)), links_(std::move(links)) {
+  if (machines_.empty()) {
+    throw std::invalid_argument("MultiMachinePlatform: no machines");
+  }
+  for (const MachineSpec& m : machines_) {
+    if (m.compSlowdown < 1.0) {
+      throw std::invalid_argument("MultiMachinePlatform: slowdown below 1");
+    }
+  }
+  for (const LinkSpec& l : links_) {
+    if (l.from >= machines_.size() || l.to >= machines_.size() ||
+        l.from == l.to) {
+      throw std::invalid_argument("MultiMachinePlatform: bad link endpoints");
+    }
+    if (l.commSlowdown < 1.0) {
+      throw std::invalid_argument("MultiMachinePlatform: link slowdown < 1");
+    }
+  }
+}
+
+const MachineSpec& MultiMachinePlatform::machine(std::size_t m) const {
+  if (m >= machines_.size()) {
+    throw std::out_of_range("MultiMachinePlatform: bad machine index");
+  }
+  return machines_[m];
+}
+
+bool MultiMachinePlatform::hasLink(std::size_t a, std::size_t b) const {
+  if (a == b) return true;
+  return std::any_of(links_.begin(), links_.end(), [&](const LinkSpec& l) {
+    return l.from == a && l.to == b;
+  });
+}
+
+double MultiMachinePlatform::transferCost(
+    std::size_t a, std::size_t b, std::span<const model::DataSet> data) const {
+  if (a == b) return 0.0;
+  for (const LinkSpec& l : links_) {
+    if (l.from == a && l.to == b) {
+      return model::dcomm(l.comm, data) * l.commSlowdown;
+    }
+  }
+  throw std::invalid_argument("MultiMachinePlatform: no link " +
+                              machines_[a].name + " -> " + machines_[b].name);
+}
+
+MultiAllocation placeChain(const MultiMachinePlatform& platform,
+                           std::span<const MultiTask> tasks) {
+  if (tasks.empty()) throw std::invalid_argument("placeChain: no tasks");
+  const std::size_t k = platform.machineCount();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (const MultiTask& t : tasks) {
+    if (t.dedicatedSec.size() != k) {
+      throw std::invalid_argument("placeChain: task '" + t.name +
+                                  "' needs one time per machine");
+    }
+  }
+
+  // dp[m] = best makespan with the current task on machine m.
+  std::vector<double> dp(k), prev(k);
+  std::vector<std::vector<std::size_t>> parent(tasks.size(),
+                                               std::vector<std::size_t>(k, 0));
+
+  auto adjusted = [&](const MultiTask& t, std::size_t m) {
+    const double base = t.dedicatedSec[m];
+    return std::isfinite(base) ? base * platform.machine(m).compSlowdown
+                               : kInf;
+  };
+
+  for (std::size_t m = 0; m < k; ++m) dp[m] = adjusted(tasks[0], m);
+
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    prev.swap(dp);
+    for (std::size_t m = 0; m < k; ++m) {
+      double best = kInf;
+      std::size_t bestFrom = 0;
+      for (std::size_t f = 0; f < k; ++f) {
+        if (!std::isfinite(prev[f]) || !platform.hasLink(f, m)) continue;
+        const double cost =
+            prev[f] +
+            platform.transferCost(f, m, tasks[i - 1].outputData);
+        if (cost < best) {
+          best = cost;
+          bestFrom = f;
+        }
+      }
+      const double own = adjusted(tasks[i], m);
+      dp[m] = std::isfinite(best) && std::isfinite(own) ? best + own : kInf;
+      parent[i][m] = bestFrom;
+    }
+  }
+
+  std::size_t last = 0;
+  for (std::size_t m = 1; m < k; ++m) {
+    if (dp[m] < dp[last]) last = m;
+  }
+  if (!std::isfinite(dp[last])) {
+    throw std::runtime_error("placeChain: no feasible placement");
+  }
+
+  MultiAllocation alloc;
+  alloc.makespan = dp[last];
+  alloc.assignment.assign(tasks.size(), 0);
+  std::size_t cursor = last;
+  for (std::size_t i = tasks.size(); i-- > 0;) {
+    alloc.assignment[i] = cursor;
+    if (i > 0) cursor = parent[i][cursor];
+  }
+  return alloc;
+}
+
+}  // namespace contend::ext

@@ -1,0 +1,74 @@
+// multi_machine.hpp — k-machine generalization (§4: "the slowdown factors
+// developed for these small platforms can be used for larger heterogeneous
+// systems").
+//
+// Machines carry a contention-adjusted compute slowdown; directed links
+// between machine pairs carry a comm model and a comm slowdown. A chain of
+// tasks is placed optimally by dynamic programming over (task, machine) —
+// O(n·k²) instead of the two-machine module's exhaustive 2^n.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/comm_model.hpp"
+
+namespace contend::ext {
+
+struct MachineSpec {
+  std::string name;
+  /// Contention-adjusted multiplier on this machine's dedicated times
+  /// (1.0 = dedicated / space-shared).
+  double compSlowdown = 1.0;
+};
+
+/// Directed link between two machines.
+struct LinkSpec {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  model::PiecewiseCommParams comm;
+  double commSlowdown = 1.0;
+};
+
+struct MultiTask {
+  std::string name;
+  /// Dedicated execution time per machine (size k). Use +infinity for
+  /// machines that cannot run this task.
+  std::vector<double> dedicatedSec;
+  /// Data this task ships to its successor, priced by the connecting link.
+  std::vector<model::DataSet> outputData;
+};
+
+class MultiMachinePlatform {
+ public:
+  MultiMachinePlatform(std::vector<MachineSpec> machines,
+                       std::vector<LinkSpec> links);
+
+  [[nodiscard]] std::size_t machineCount() const { return machines_.size(); }
+  [[nodiscard]] const MachineSpec& machine(std::size_t m) const;
+
+  /// Adjusted transfer cost for `data` from machine a to machine b; zero
+  /// when a == b; throws std::invalid_argument if no link exists.
+  [[nodiscard]] double transferCost(std::size_t a, std::size_t b,
+                                    std::span<const model::DataSet> data) const;
+
+  [[nodiscard]] bool hasLink(std::size_t a, std::size_t b) const;
+
+ private:
+  std::vector<MachineSpec> machines_;
+  std::vector<LinkSpec> links_;
+};
+
+struct MultiAllocation {
+  std::vector<std::size_t> assignment;  // machine index per task
+  double makespan = 0.0;
+};
+
+/// Optimal chain placement by DP. Placements requiring a missing link or an
+/// infinite task time are infeasible; throws std::runtime_error if no
+/// feasible placement exists.
+[[nodiscard]] MultiAllocation placeChain(const MultiMachinePlatform& platform,
+                                         std::span<const MultiTask> tasks);
+
+}  // namespace contend::ext

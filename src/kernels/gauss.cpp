@@ -1,0 +1,79 @@
+#include "kernels/gauss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace contend::kernels {
+
+std::vector<double> solveGaussian(Matrix augmented) {
+  const std::size_t n = augmented.rows();
+  if (augmented.cols() != n + 1) {
+    throw std::invalid_argument("solveGaussian: matrix must be M x (M+1)");
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |value| in column k on/below the diagonal.
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::abs(augmented.at(r, k)) > std::abs(augmented.at(pivot, k))) {
+        pivot = r;
+      }
+    }
+    if (std::abs(augmented.at(pivot, k)) < 1e-12) {
+      throw std::runtime_error("solveGaussian: singular system");
+    }
+    if (pivot != k) {
+      for (std::size_t c = k; c <= n; ++c) {
+        std::swap(augmented.at(k, c), augmented.at(pivot, c));
+      }
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = augmented.at(r, k) / augmented.at(k, k);
+      augmented.at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c <= n; ++c) {
+        augmented.at(r, c) -= factor * augmented.at(k, c);
+      }
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double sum = augmented.at(r, n);
+    for (std::size_t c = r + 1; c < n; ++c) sum -= augmented.at(r, c) * x[c];
+    x[r] = sum / augmented.at(r, r);
+  }
+  return x;
+}
+
+std::vector<workload::Cm2Step> gaussCm2Steps(const GaussCostModel& costs,
+                                             std::size_t matrixSize) {
+  if (matrixSize == 0) throw std::invalid_argument("gaussCm2Steps: empty");
+  std::vector<workload::Cm2Step> steps;
+  steps.reserve(2 * matrixSize);
+  for (std::size_t k = 0; k < matrixSize; ++k) {
+    // Serial bookkeeping, then the pivot reduction the host waits for.
+    steps.push_back(
+        workload::Cm2Step{costs.serialPerStep, costs.pivotReduceWork, true});
+    // Elimination of the remaining rows; the host pipelines past it.
+    const auto remaining = static_cast<Tick>(matrixSize - 1 - k);
+    steps.push_back(workload::Cm2Step{
+        0, costs.eliminateBase + remaining * costs.eliminatePerRow, false});
+  }
+  return steps;
+}
+
+Tick gaussFrontEndTime(const GaussCostModel& costs, std::size_t matrixSize) {
+  const double m = static_cast<double>(matrixSize);
+  const double flops = (2.0 / 3.0) * m * m * m + 2.0 * m * m;
+  return static_cast<Tick>(flops * static_cast<double>(costs.frontEndPerFlop));
+}
+
+std::vector<model::DataSet> gaussMatrixDataSets(std::size_t matrixSize) {
+  if (matrixSize == 0) {
+    throw std::invalid_argument("gaussMatrixDataSets: empty");
+  }
+  return {model::DataSet{static_cast<std::int64_t>(matrixSize),
+                         static_cast<Words>(matrixSize + 1)}};
+}
+
+}  // namespace contend::kernels

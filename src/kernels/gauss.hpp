@@ -1,0 +1,52 @@
+// gauss.hpp — Gaussian Elimination (the paper's second benchmark, Figure 3),
+// with the CM2 step structure whose serial fraction produces the paper's
+// crossover: for small matrices the slowed-down serial part dominates and
+// contention hurts; past M ≈ 200 the back-end work dominates and the
+// dedicated/non-dedicated curves coincide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/matrix.hpp"
+#include "model/comm_model.hpp"
+#include "workload/cm2_programs.hpp"
+
+namespace contend::kernels {
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting.
+/// `augmented` is M×(M+1) (the paper's layout); returns x of size M.
+/// Throws std::runtime_error on a (numerically) singular system.
+[[nodiscard]] std::vector<double> solveGaussian(Matrix augmented);
+
+struct GaussCostModel {
+  /// CM2: serial bookkeeping per elimination step (pivot exchange logic,
+  /// loop control on the host).
+  Tick serialPerStep = 150 * kMicrosecond;
+  /// CM2: pivot search — a reduction the host must wait for.
+  Tick pivotReduceWork = 100 * kMicrosecond;
+  /// CM2: row elimination — fixed part.
+  Tick eliminateBase = 250 * kMicrosecond;
+  /// CM2: row elimination — per remaining row (virtual-processor looping).
+  /// Sized so the back-end work overtakes the slowed serial part
+  /// (serial x 4 with p = 3) near M ~ 200, the paper's crossover.
+  Tick eliminatePerRow = 6 * kMicrosecond;
+  /// Front-end time per flop for the all-on-host variant.
+  Tick frontEndPerFlop = 110;  // ns
+};
+
+/// CM2 step list for eliminating an M×(M+1) system: per step, serial work,
+/// then a pivot reduction (waited on), then the elimination update (pipelined).
+[[nodiscard]] std::vector<workload::Cm2Step> gaussCm2Steps(
+    const GaussCostModel& costs, std::size_t matrixSize);
+
+/// Dedicated front-end time for the all-on-host elimination (2/3·M³ flops).
+[[nodiscard]] Tick gaussFrontEndTime(const GaussCostModel& costs,
+                                     std::size_t matrixSize);
+
+/// Data sets for moving the M×(M+1) augmented matrix: M messages of M+1
+/// words.
+[[nodiscard]] std::vector<model::DataSet> gaussMatrixDataSets(
+    std::size_t matrixSize);
+
+}  // namespace contend::kernels

@@ -1,0 +1,88 @@
+#include "kernels/sor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace contend::kernels {
+
+SorResult solveLaplace(std::size_t gridSize, double omega, int maxIterations,
+                       double tolerance, double boundaryValue) {
+  if (gridSize < 3) throw std::invalid_argument("solveLaplace: grid too small");
+  if (omega <= 0.0 || omega >= 2.0) {
+    throw std::invalid_argument("solveLaplace: omega must be in (0, 2)");
+  }
+  if (maxIterations <= 0) {
+    throw std::invalid_argument("solveLaplace: maxIterations must be > 0");
+  }
+
+  Matrix grid(gridSize, gridSize, 0.0);
+  // Dirichlet boundary: top edge held at boundaryValue, others at 0.
+  for (std::size_t c = 0; c < gridSize; ++c) grid.at(0, c) = boundaryValue;
+
+  SorResult result;
+  double residual = 0.0;
+  for (int iter = 0; iter < maxIterations; ++iter) {
+    residual = 0.0;
+    for (std::size_t r = 1; r + 1 < gridSize; ++r) {
+      for (std::size_t c = 1; c + 1 < gridSize; ++c) {
+        const double neighbors = grid.at(r - 1, c) + grid.at(r + 1, c) +
+                                 grid.at(r, c - 1) + grid.at(r, c + 1);
+        const double updated =
+            (1.0 - omega) * grid.at(r, c) + omega * 0.25 * neighbors;
+        residual = std::max(residual, std::abs(updated - grid.at(r, c)));
+        grid.at(r, c) = updated;
+      }
+    }
+    result.iterations = iter + 1;
+    if (residual < tolerance) break;
+  }
+  result.finalResidual = residual;
+  result.grid = std::move(grid);
+  return result;
+}
+
+Tick sorFrontEndTime(const SorCostModel& costs, std::size_t gridSize,
+                     int iterations) {
+  if (iterations <= 0) {
+    throw std::invalid_argument("sorFrontEndTime: iterations must be > 0");
+  }
+  const auto points = static_cast<Tick>(gridSize) * static_cast<Tick>(gridSize);
+  return static_cast<Tick>(iterations) * points * costs.frontEndPerPoint;
+}
+
+std::vector<workload::Cm2Step> sorCm2Steps(const SorCostModel& costs,
+                                           std::size_t gridSize,
+                                           int iterations) {
+  if (iterations <= 0) {
+    throw std::invalid_argument("sorCm2Steps: iterations must be > 0");
+  }
+  const double points =
+      static_cast<double>(gridSize) * static_cast<double>(gridSize);
+  const Tick parallelWork =
+      costs.cm2ParallelBase +
+      static_cast<Tick>(points * costs.cm2ParallelPerPoint);
+
+  std::vector<workload::Cm2Step> steps;
+  steps.reserve(static_cast<std::size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    workload::Cm2Step step;
+    step.serial = costs.cm2SerialPerIteration;
+    step.parallelWork = parallelWork;
+    step.waitForResult =
+        costs.reduceEvery > 0 && (i + 1) % costs.reduceEvery == 0;
+    steps.push_back(step);
+    if (step.waitForResult && costs.cm2ReduceWork > 0) {
+      // The convergence test itself: a short reduction the host waits on.
+      steps.push_back(workload::Cm2Step{0, costs.cm2ReduceWork, true});
+    }
+  }
+  return steps;
+}
+
+std::vector<model::DataSet> sorGridDataSets(std::size_t gridSize) {
+  if (gridSize == 0) throw std::invalid_argument("sorGridDataSets: empty grid");
+  return {model::DataSet{static_cast<std::int64_t>(gridSize),
+                         static_cast<Words>(gridSize)}};
+}
+
+}  // namespace contend::kernels

@@ -1,0 +1,64 @@
+// sor.hpp — Successive Over-Relaxation for Laplace's equation, plus the
+// workload descriptors the contention model consumes.
+//
+// The paper uses an SOR solver as one of its two scientific benchmarks
+// (Figures 1, 7, 8). Two things are needed from it:
+//   1. a real, testable kernel (solveLaplace) proving the workload is the
+//      genuine algorithm, and
+//   2. cost descriptors — dedicated front-end time, CM2 step structure, and
+//      the data sets its matrix transfer generates — which parameterize both
+//      the analytical model and the simulated programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/matrix.hpp"
+#include "model/comm_model.hpp"
+#include "workload/cm2_programs.hpp"
+
+namespace contend::kernels {
+
+struct SorResult {
+  Matrix grid;
+  int iterations = 0;
+  double finalResidual = 0.0;
+};
+
+/// Solves Laplace's equation on an M×M grid with fixed boundary values using
+/// SOR with relaxation factor `omega`. Stops after `maxIterations` or when
+/// the max update falls below `tolerance`.
+[[nodiscard]] SorResult solveLaplace(std::size_t gridSize, double omega,
+                                     int maxIterations, double tolerance,
+                                     double boundaryValue = 100.0);
+
+/// Cost model constants for an era-plausible front-end (a ~10 MFLOP/s
+/// workstation) and SIMD back-end. All values are dedicated-mode.
+struct SorCostModel {
+  /// Front-end time per grid-point update (5 flops + load/store).
+  Tick frontEndPerPoint = 550;  // ns
+  /// CM2: serial bookkeeping per iteration (loop control, boundary logic).
+  Tick cm2SerialPerIteration = 150 * kMicrosecond;
+  /// CM2: fixed parallel-instruction overhead per iteration.
+  Tick cm2ParallelBase = 200 * kMicrosecond;
+  /// CM2: per-point parallel execution time (virtual-processor looping).
+  double cm2ParallelPerPoint = 20.0;  // ns
+  /// Convergence check (a global reduction) every `reduceEvery` iterations.
+  int reduceEvery = 10;
+  Tick cm2ReduceWork = 100 * kMicrosecond;
+};
+
+/// Dedicated front-end compute time for `iterations` sweeps of an M×M grid.
+[[nodiscard]] Tick sorFrontEndTime(const SorCostModel& costs,
+                                   std::size_t gridSize, int iterations);
+
+/// CM2 step list for `iterations` sweeps (one step per iteration).
+[[nodiscard]] std::vector<workload::Cm2Step> sorCm2Steps(
+    const SorCostModel& costs, std::size_t gridSize, int iterations);
+
+/// Data sets for moving the M×M grid across a link: M messages of M words
+/// (row-by-row transfer, the paper's Figure 1 workload).
+[[nodiscard]] std::vector<model::DataSet> sorGridDataSets(
+    std::size_t gridSize);
+
+}  // namespace contend::kernels

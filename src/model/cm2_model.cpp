@@ -1,0 +1,47 @@
+#include "model/cm2_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace contend::model {
+
+double cm2Slowdown(int extraProcesses) {
+  if (extraProcesses < 0) {
+    throw std::invalid_argument("cm2Slowdown: negative process count");
+  }
+  return static_cast<double>(extraProcesses) + 1.0;
+}
+
+double predictTsun(double dcompSun, int extraProcesses) {
+  if (dcompSun < 0.0) throw std::invalid_argument("predictTsun: negative time");
+  return dcompSun * cm2Slowdown(extraProcesses);
+}
+
+double predictTcm2(const Cm2TaskDedicated& task, int extraProcesses) {
+  if (task.dcompCm2 < 0.0 || task.didleCm2 < 0.0 || task.dserialCm2 < 0.0) {
+    throw std::invalid_argument("predictTcm2: negative dedicated time");
+  }
+  const double dedicatedElapsed = task.dcompCm2 + task.didleCm2;
+  const double stretchedSerial =
+      task.dserialCm2 * cm2Slowdown(extraProcesses);
+  return std::max(dedicatedElapsed, stretchedSerial);
+}
+
+double predictCommToCm2(const Cm2CommParams& params,
+                        std::span<const DataSet> dataSets,
+                        int extraProcesses) {
+  return dcomm(params.toCm2, dataSets) * cm2Slowdown(extraProcesses);
+}
+
+double predictCommFromCm2(const Cm2CommParams& params,
+                          std::span<const DataSet> dataSets,
+                          int extraProcesses) {
+  return dcomm(params.fromCm2, dataSets) * cm2Slowdown(extraProcesses);
+}
+
+bool shouldOffload(double tFront, double tBack, double cToBack,
+                   double cFromBack) {
+  return tFront > tBack + cToBack + cFromBack;
+}
+
+}  // namespace contend::model

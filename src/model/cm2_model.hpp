@@ -1,0 +1,60 @@
+// cm2_model.hpp — contention model for the Host/SIMD platform (§3.1).
+//
+// The CM2 has a single sequencer, so the only contention source is the p
+// extra CPU-bound processes time-sharing the front-end. Because the
+// front-end drives the dedicated link element-by-element, the same
+// slowdown = p + 1 applies to computation on the front-end, to communication
+// in both directions, and to the serial/scalar portion of a task whose
+// parallel instructions execute on the back-end.
+#pragma once
+
+#include <span>
+
+#include "model/comm_model.hpp"
+
+namespace contend::model {
+
+/// slowdown = p + 1 (p extra CPU-bound processes on the front-end).
+[[nodiscard]] double cm2Slowdown(int extraProcesses);
+
+/// Dedicated-mode decomposition of a task that runs on the CM2 (Figure 2):
+///   dcompCm2   — back-end execution time of the parallel instructions
+///   didleCm2   — back-end idle time while waiting for the front-end
+///   dserialCm2 — front-end time for the serial/scalar parts
+/// Invariant from the paper: didleCm2 <= dserialCm2 (the front-end may
+/// pre-execute serial code while the back-end computes).
+struct Cm2TaskDedicated {
+  double dcompCm2 = 0.0;
+  double didleCm2 = 0.0;
+  double dserialCm2 = 0.0;
+};
+
+/// T_sun = dcomp_sun × slowdown.
+[[nodiscard]] double predictTsun(double dcompSun, int extraProcesses);
+
+/// T_cm2 = max(dcomp_cm2 + didle_cm2, dserial_cm2 × slowdown).
+[[nodiscard]] double predictTcm2(const Cm2TaskDedicated& task,
+                                 int extraProcesses);
+
+/// Per-direction link parameters for the Sun/CM2 dedicated link. One linear
+/// piece suffices (§3.1.1).
+struct Cm2CommParams {
+  LinkParams toCm2;    // alpha_sun, beta_sun
+  LinkParams fromCm2;  // alpha_cm2, beta_cm2
+};
+
+/// C = dcomm × slowdown for transfers toward the back-end.
+[[nodiscard]] double predictCommToCm2(const Cm2CommParams& params,
+                                      std::span<const DataSet> dataSets,
+                                      int extraProcesses);
+/// C = dcomm × slowdown for transfers back to the front-end.
+[[nodiscard]] double predictCommFromCm2(const Cm2CommParams& params,
+                                        std::span<const DataSet> dataSets,
+                                        int extraProcesses);
+
+/// Offload rule (equation 1): run on the back-end only when the front-end
+/// time exceeds back-end time plus both transfer costs.
+[[nodiscard]] bool shouldOffload(double tFront, double tBack, double cToBack,
+                                 double cFromBack);
+
+}  // namespace contend::model

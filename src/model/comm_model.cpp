@@ -1,0 +1,51 @@
+#include "model/comm_model.hpp"
+
+#include <stdexcept>
+
+namespace contend::model {
+
+double LinkParams::messageCost(Words words) const {
+  if (words < 0) throw std::invalid_argument("LinkParams: negative size");
+  if (betaWordsPerSec <= 0.0) {
+    throw std::invalid_argument("LinkParams: bandwidth must be positive");
+  }
+  return alphaSec + static_cast<double>(words) / betaWordsPerSec;
+}
+
+double dcomm(const LinkParams& link, std::span<const DataSet> dataSets) {
+  double total = 0.0;
+  for (const DataSet& ds : dataSets) {
+    if (ds.messages < 0) throw std::invalid_argument("dcomm: negative count");
+    total += static_cast<double>(ds.messages) * link.messageCost(ds.words);
+  }
+  return total;
+}
+
+double PiecewiseCommParams::messageCost(Words words) const {
+  return words <= thresholdWords ? small.messageCost(words)
+                                 : large.messageCost(words);
+}
+
+double dcomm(const PiecewiseCommParams& link,
+             std::span<const DataSet> dataSets) {
+  double total = 0.0;
+  for (const DataSet& ds : dataSets) {
+    if (ds.messages < 0) throw std::invalid_argument("dcomm: negative count");
+    total += static_cast<double>(ds.messages) * link.messageCost(ds.words);
+  }
+  return total;
+}
+
+std::int64_t totalWords(std::span<const DataSet> dataSets) {
+  std::int64_t total = 0;
+  for (const DataSet& ds : dataSets) total += ds.messages * ds.words;
+  return total;
+}
+
+std::int64_t totalMessages(std::span<const DataSet> dataSets) {
+  std::int64_t total = 0;
+  for (const DataSet& ds : dataSets) total += ds.messages;
+  return total;
+}
+
+}  // namespace contend::model

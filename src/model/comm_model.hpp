@@ -1,0 +1,56 @@
+// comm_model.hpp — dedicated-mode communication cost model (dcomm).
+//
+// The paper models the time to move a *data set* (N_i same-sized messages of
+// size_i words) as N_i × (α + size_i/β), where α is the startup time and β
+// the effective bandwidth. On the Sun/Paragon the per-message cost is
+// piecewise linear in the size with a system-dependent threshold (found to
+// be 1024 words); on the Sun/CM2 a single piece suffices. Costs here are in
+// seconds (the model layer is analytical; the simulator deals in ticks).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::model {
+
+/// One linear piece: time(size) = alpha + size / beta.
+struct LinkParams {
+  double alphaSec = 0.0;          // startup time (seconds)
+  double betaWordsPerSec = 1.0;   // effective bandwidth (words/second)
+
+  /// Per-message cost in seconds.
+  [[nodiscard]] double messageCost(Words words) const;
+};
+
+/// A group of same-sized messages (the paper's "data set").
+struct DataSet {
+  std::int64_t messages = 0;  // N_i
+  Words words = 0;            // size_i
+};
+
+/// Single-piece dcomm: Σ N_i × (α + size_i/β). Used for the Sun/CM2 link.
+[[nodiscard]] double dcomm(const LinkParams& link,
+                           std::span<const DataSet> dataSets);
+
+/// Two-piece per-message cost with a size threshold (Sun/Paragon, §3.2.1).
+struct PiecewiseCommParams {
+  LinkParams small;        // messages with size <= thresholdWords
+  LinkParams large;        // messages with size >  thresholdWords
+  Words thresholdWords = 0;
+
+  [[nodiscard]] double messageCost(Words words) const;
+};
+
+/// Piecewise dcomm: each data set is charged against the piece its message
+/// size falls into, exactly as in the paper's two-term formula.
+[[nodiscard]] double dcomm(const PiecewiseCommParams& link,
+                           std::span<const DataSet> dataSets);
+
+/// Total words moved by a set of data sets (used by harnesses for rates).
+[[nodiscard]] std::int64_t totalWords(std::span<const DataSet> dataSets);
+/// Total message count across data sets.
+[[nodiscard]] std::int64_t totalMessages(std::span<const DataSet> dataSets);
+
+}  // namespace contend::model

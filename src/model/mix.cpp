@@ -1,0 +1,108 @@
+#include "model/mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace contend::model {
+
+namespace {
+void validate(const CompetingApp& app) {
+  if (app.commFraction < 0.0 || app.commFraction > 1.0) {
+    throw std::invalid_argument("CompetingApp: commFraction outside [0, 1]");
+  }
+  if (app.messageWords < 0) {
+    throw std::invalid_argument("CompetingApp: negative message size");
+  }
+  if (app.commFraction > 0.0 && app.messageWords <= 0) {
+    throw std::invalid_argument(
+        "CompetingApp: communicating applications need a message size");
+  }
+}
+}  // namespace
+
+WorkloadMix::WorkloadMix(std::span<const CompetingApp> apps) {
+  for (const CompetingApp& app : apps) add(app);
+}
+
+void WorkloadMix::convolve(std::vector<double>& coeff, double q) {
+  // coeff(x) *= (1 - q) + q x : one O(p) pass, highest degree first.
+  coeff.push_back(0.0);
+  for (std::size_t i = coeff.size(); i-- > 0;) {
+    coeff[i] = coeff[i] * (1.0 - q) + (i > 0 ? coeff[i - 1] * q : 0.0);
+  }
+}
+
+bool WorkloadMix::tryDeconvolve(std::vector<double>& coeff, double q) {
+  // Invert the multiplication by (1-q) + q x. Stable only when 1-q is not
+  // tiny; reject outright when it is, and verify the result afterwards.
+  constexpr double kMinPivot = 0.25;
+  if (1.0 - q < kMinPivot) return false;
+  std::vector<double> out(coeff.size() - 1, 0.0);
+  double carry = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (coeff[i] - carry * q) / (1.0 - q);
+    if (!std::isfinite(out[i]) || out[i] < -1e-9 || out[i] > 1.0 + 1e-9) {
+      return false;
+    }
+    carry = out[i];
+  }
+  // The discarded top coefficient must be consistent with the division.
+  if (std::abs(coeff.back() - carry * q) > 1e-9) return false;
+  for (double& c : out) c = std::clamp(c, 0.0, 1.0);
+  coeff = std::move(out);
+  return true;
+}
+
+void WorkloadMix::add(const CompetingApp& app) {
+  validate(app);
+  apps_.push_back(app);
+  convolve(commPoly_, app.commFraction);
+  convolve(compPoly_, 1.0 - app.commFraction);
+}
+
+void WorkloadMix::removeAt(std::size_t index) {
+  if (index >= apps_.size()) {
+    throw std::out_of_range("WorkloadMix::removeAt: bad index");
+  }
+  const double f = apps_[index].commFraction;
+  apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(index));
+
+  std::vector<double> comm = commPoly_;
+  std::vector<double> comp = compPoly_;
+  if (tryDeconvolve(comm, f) && tryDeconvolve(comp, 1.0 - f)) {
+    commPoly_ = std::move(comm);
+    compPoly_ = std::move(comp);
+    return;
+  }
+  rebuild();
+}
+
+void WorkloadMix::rebuild() {
+  commPoly_.assign(1, 1.0);
+  compPoly_.assign(1, 1.0);
+  for (const CompetingApp& app : apps_) {
+    convolve(commPoly_, app.commFraction);
+    convolve(compPoly_, 1.0 - app.commFraction);
+  }
+}
+
+double WorkloadMix::pcomm(int i) const {
+  if (i < 0 || i > p()) throw std::out_of_range("pcomm: i outside [0, p]");
+  return commPoly_[static_cast<std::size_t>(i)];
+}
+
+double WorkloadMix::pcomp(int i) const {
+  if (i < 0 || i > p()) throw std::out_of_range("pcomp: i outside [0, p]");
+  return compPoly_[static_cast<std::size_t>(i)];
+}
+
+Words WorkloadMix::maxMessageWords() const {
+  Words best = 0;
+  for (const CompetingApp& app : apps_) {
+    if (app.commFraction > 0.0) best = std::max(best, app.messageWords);
+  }
+  return best;
+}
+
+}  // namespace contend::model

@@ -1,0 +1,73 @@
+// mix.hpp — the competing-application workload mix and its Poisson-binomial
+// concurrency probabilities (pcomp_i / pcomm_i).
+//
+// §3.2.1: each of the p competing applications alternates computing and
+// communicating; app k communicates a fraction f_k of the time. pcomm_i is
+// the probability that exactly i of them are communicating simultaneously
+// (and pcomp_i that exactly i are computing) — a Poisson-binomial
+// distribution over the f_k. The paper's complexity claims are implemented
+// literally: the full build is O(p²) dynamic programming, adding an
+// application is O(p), and removal triggers an O(p²) regeneration (with an
+// O(p) deconvolution fast path when it is numerically safe).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::model {
+
+/// One application competing with the task being predicted.
+struct CompetingApp {
+  /// Fraction of time spent communicating with the back-end, in [0, 1].
+  /// The application computes the remaining 1 - commFraction.
+  double commFraction = 0.0;
+  /// Message size it transfers, used to select the j bin of
+  /// delay_comm^{i,j} ("j should reflect the maximum message size used in
+  /// the system"). Zero for purely CPU-bound applications.
+  Words messageWords = 0;
+};
+
+class WorkloadMix {
+ public:
+  WorkloadMix() = default;
+  explicit WorkloadMix(std::span<const CompetingApp> apps);
+
+  /// Adds an application, updating both distributions in O(p).
+  void add(const CompetingApp& app);
+
+  /// Removes the application at `index`. Tries the O(p) polynomial
+  /// deconvolution first; falls back to the O(p²) rebuild when the division
+  /// is ill-conditioned (commFraction near 0 or 1), matching the paper's
+  /// stated O(p²) bound.
+  void removeAt(std::size_t index);
+
+  /// Number of competing applications (the paper's p).
+  [[nodiscard]] int p() const { return static_cast<int>(apps_.size()); }
+  [[nodiscard]] std::span<const CompetingApp> apps() const { return apps_; }
+
+  /// P[exactly i of the p apps are communicating], 0 <= i <= p.
+  [[nodiscard]] double pcomm(int i) const;
+  /// P[exactly i of the p apps are computing], 0 <= i <= p.
+  [[nodiscard]] double pcomp(int i) const;
+
+  /// Largest message size among competing apps (0 if none communicate).
+  [[nodiscard]] Words maxMessageWords() const;
+
+  /// Rebuilds both distributions from scratch (O(p²)); exposed for tests and
+  /// for the overhead benchmark of the paper's complexity claims.
+  void rebuild();
+
+ private:
+  static void convolve(std::vector<double>& coeff, double q);
+  static bool tryDeconvolve(std::vector<double>& coeff, double q);
+
+  std::vector<CompetingApp> apps_;
+  // commPoly_[i] = pcomm_i, compPoly_[i] = pcomp_i; both sized p, + 1.
+  std::vector<double> commPoly_{1.0};
+  std::vector<double> compPoly_{1.0};
+};
+
+}  // namespace contend::model

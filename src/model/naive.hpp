@@ -1,0 +1,53 @@
+// naive.hpp — baseline predictors the paper argues against.
+//
+// §1: "Machine workload has been used to parameterize the allocation of
+// tasks to workstations in a network, however many allocation strategies do
+// not consider load characteristics in the measurement of workload." These
+// baselines implement exactly that: they see only the *number* of competing
+// applications (the load average), not what those applications do. The
+// benches run them beside the paper's model to show what workload
+// characterization buys.
+#pragma once
+
+#include "model/mix.hpp"
+
+namespace contend::model {
+
+/// Load-average predictor: every competitor is assumed CPU-bound, so both
+/// computation and communication slow by p + 1. Over-predicts whenever
+/// competitors spend time blocked on the link, and under-predicts
+/// communication when the link itself is the bottleneck.
+struct LoadAveragePredictor {
+  int p = 0;
+
+  [[nodiscard]] double compSlowdown() const {
+    return static_cast<double>(p) + 1.0;
+  }
+  [[nodiscard]] double commSlowdown() const {
+    return static_cast<double>(p) + 1.0;
+  }
+};
+
+/// CPU-utilization predictor: weights each competitor by its *average* CPU
+/// demand (its compute fraction), but still ignores communication effects
+/// entirely — competitors' conversion load, link queueing, and message
+/// sizes. One step better than the load average, still short of the paper.
+struct UtilizationPredictor {
+  double totalComputeFraction = 0.0;  // sum over competitors of (1 - f_k)
+
+  [[nodiscard]] static UtilizationPredictor fromMix(const WorkloadMix& mix) {
+    UtilizationPredictor predictor;
+    for (const CompetingApp& app : mix.apps()) {
+      predictor.totalComputeFraction += 1.0 - app.commFraction;
+    }
+    return predictor;
+  }
+
+  [[nodiscard]] double compSlowdown() const {
+    return 1.0 + totalComputeFraction;
+  }
+  /// Communication assumed unaffected by load — the common 1990s default.
+  [[nodiscard]] double commSlowdown() const { return 1.0; }
+};
+
+}  // namespace contend::model

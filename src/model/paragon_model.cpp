@@ -1,0 +1,115 @@
+#include "model/paragon_model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace contend::model {
+
+namespace {
+/// The j = 1 bin is only representative of very small messages (footnote 2).
+constexpr Words kSmallMessageCutoff = 95;
+
+void requireCoverage(const WorkloadMix& mix, const DelayTables& tables) {
+  if (mix.p() > tables.maxContenders()) {
+    throw std::out_of_range(
+        "DelayTables cover " + std::to_string(tables.maxContenders()) +
+        " contenders but the mix has " + std::to_string(mix.p()));
+  }
+}
+}  // namespace
+
+void DelayTables::validate() const {
+  if (commFromComm.size() != commFromComp.size()) {
+    throw std::invalid_argument(
+        "DelayTables: commFromComp/commFromComm size mismatch");
+  }
+  if (jBins.empty()) throw std::invalid_argument("DelayTables: no j bins");
+  if (!std::is_sorted(jBins.begin(), jBins.end())) {
+    throw std::invalid_argument("DelayTables: jBins must be ascending");
+  }
+  if (compFromComm.size() != jBins.size()) {
+    throw std::invalid_argument(
+        "DelayTables: one compFromComm row per j bin required");
+  }
+  for (const auto& row : compFromComm) {
+    if (row.size() != commFromComp.size()) {
+      throw std::invalid_argument(
+          "DelayTables: compFromComm row size mismatch");
+    }
+  }
+  for (double d : commFromComp) {
+    if (d < 0.0) throw std::invalid_argument("DelayTables: negative delay");
+  }
+}
+
+std::size_t chooseJBin(std::span<const Words> bins, Words maxMessageWords) {
+  if (bins.empty()) throw std::invalid_argument("chooseJBin: no bins");
+  std::size_t best = bins.size();  // sentinel: none chosen yet
+  Words bestDist = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (bins[b] <= kSmallMessageCutoff &&
+        maxMessageWords >= kSmallMessageCutoff) {
+      continue;  // small-message bin is ineligible for larger sizes
+    }
+    const Words dist = std::abs(bins[b] - maxMessageWords);
+    if (best == bins.size() || dist < bestDist ||
+        (dist == bestDist && bins[b] > bins[best])) {
+      best = b;
+      bestDist = dist;
+    }
+  }
+  if (best == bins.size()) {
+    // Every bin was ineligible (all bins tiny, message large): fall back to
+    // the largest bin, the closest representative available.
+    best = bins.size() - 1;
+  }
+  return best;
+}
+
+double paragonCommSlowdown(const WorkloadMix& mix, const DelayTables& tables) {
+  requireCoverage(mix, tables);
+  double slowdown = 1.0;
+  for (int i = 1; i <= mix.p(); ++i) {
+    slowdown += mix.pcomp(i) * tables.commFromComp[static_cast<std::size_t>(i - 1)];
+    slowdown += mix.pcomm(i) * tables.commFromComm[static_cast<std::size_t>(i - 1)];
+  }
+  return slowdown;
+}
+
+double paragonCompSlowdown(const WorkloadMix& mix, const DelayTables& tables) {
+  return paragonCompSlowdown(
+      mix, tables, chooseJBin(tables.jBins, mix.maxMessageWords()));
+}
+
+double paragonCompSlowdown(const WorkloadMix& mix, const DelayTables& tables,
+                           std::size_t jBinIndex) {
+  requireCoverage(mix, tables);
+  if (jBinIndex >= tables.compFromComm.size()) {
+    throw std::out_of_range("paragonCompSlowdown: bad j bin index");
+  }
+  const std::vector<double>& delays = tables.compFromComm[jBinIndex];
+  double slowdown = 1.0;
+  for (int i = 1; i <= mix.p(); ++i) {
+    // CPU cycles are split evenly: i computing contenders impose delay i.
+    slowdown += mix.pcomp(i) * static_cast<double>(i);
+    slowdown += mix.pcomm(i) * delays[static_cast<std::size_t>(i - 1)];
+  }
+  return slowdown;
+}
+
+double predictParagonComm(const PiecewiseCommParams& link,
+                          std::span<const DataSet> dataSets,
+                          const WorkloadMix& mix, const DelayTables& tables) {
+  return dcomm(link, dataSets) * paragonCommSlowdown(mix, tables);
+}
+
+double predictParagonComp(double dcompSun, const WorkloadMix& mix,
+                          const DelayTables& tables) {
+  if (dcompSun < 0.0) {
+    throw std::invalid_argument("predictParagonComp: negative time");
+  }
+  return dcompSun * paragonCompSlowdown(mix, tables);
+}
+
+}  // namespace contend::model

@@ -1,0 +1,79 @@
+// paragon_model.hpp — contention model for the Host/MIMD platform (§3.2).
+//
+// Communication slowdown:
+//   slowdown = 1 + Σ_{i=1..p} pcomp_i · delay_comp^i
+//                + Σ_{i=1..p} pcomm_i · delay_comm^i
+// Computation slowdown:
+//   slowdown = 1 + Σ_{i=1..p} pcomp_i · i
+//                + Σ_{i=1..p} pcomm_i · delay_comm^{i,j}
+// The delay tables are system-dependent constants measured once by the
+// calibration suite ("delay" is the *excess* factor: i contenders making a
+// probe take r times longer contribute delay = r - 1, so a pure-CPU mix
+// reproduces slowdown = p + 1). j indexes contender message size; the paper
+// measures three bins {1, 500, 1000} and uses the bin closest to the largest
+// message size in the system, with j = 1 eligible only below 95 words.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/comm_model.hpp"
+#include "model/mix.hpp"
+#include "util/units.hpp"
+
+namespace contend::model {
+
+/// Calibrated delay tables for one platform. Index convention: entry [i-1]
+/// holds the delay imposed by exactly i contenders, for i = 1..maxContenders.
+struct DelayTables {
+  /// delay_comp^i: excess delay on *communication* from i computing apps.
+  std::vector<double> commFromComp;
+  /// delay_comm^i: excess delay on *communication* from i communicating apps
+  /// (average of the Sun->Paragon and Paragon->Sun generator directions).
+  std::vector<double> commFromComm;
+  /// Message-size bins for delay_comm^{i,j} (ascending, e.g. {1, 500, 1000}).
+  std::vector<Words> jBins;
+  /// delay_comm^{i,j}: excess delay on *computation* from i apps
+  /// communicating with j-word messages; compFromComm[b][i-1] is bin b.
+  std::vector<std::vector<double>> compFromComm;
+
+  [[nodiscard]] int maxContenders() const {
+    return static_cast<int>(commFromComp.size());
+  }
+
+  /// Validates internal consistency (sizes, ordering); throws otherwise.
+  void validate() const;
+};
+
+/// Picks the index of the bin whose size is closest to `maxMessageWords`.
+/// Paper footnote 2: the j = 1 bin may only be chosen for sizes below 95
+/// words. Ties go to the larger bin.
+[[nodiscard]] std::size_t chooseJBin(std::span<const Words> bins,
+                                     Words maxMessageWords);
+
+/// Communication slowdown for the given mix. Throws std::out_of_range if the
+/// mix has more contenders than the tables cover.
+[[nodiscard]] double paragonCommSlowdown(const WorkloadMix& mix,
+                                         const DelayTables& tables);
+
+/// Computation slowdown; selects the j bin from mix.maxMessageWords(). The
+/// explicit overload lets harnesses force a bin (the paper's Figures 7–8
+/// report accuracy for each choice of j).
+[[nodiscard]] double paragonCompSlowdown(const WorkloadMix& mix,
+                                         const DelayTables& tables);
+[[nodiscard]] double paragonCompSlowdown(const WorkloadMix& mix,
+                                         const DelayTables& tables,
+                                         std::size_t jBinIndex);
+
+/// Predicted non-dedicated communication cost: dcomm × slowdown.
+[[nodiscard]] double predictParagonComm(const PiecewiseCommParams& link,
+                                        std::span<const DataSet> dataSets,
+                                        const WorkloadMix& mix,
+                                        const DelayTables& tables);
+
+/// Predicted non-dedicated front-end computation time: dcomp × slowdown.
+[[nodiscard]] double predictParagonComp(double dcompSun,
+                                        const WorkloadMix& mix,
+                                        const DelayTables& tables);
+
+}  // namespace contend::model

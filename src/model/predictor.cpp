@@ -1,0 +1,83 @@
+#include "model/predictor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace contend::model {
+
+Cm2Predictor::Cm2Predictor(Cm2PlatformModel platform, int extraProcesses)
+    : platform_(std::move(platform)), extraProcesses_(extraProcesses) {
+  if (extraProcesses < 0) {
+    throw std::invalid_argument("Cm2Predictor: negative process count");
+  }
+}
+
+double Cm2Predictor::slowdown() const { return cm2Slowdown(extraProcesses_); }
+
+double Cm2Predictor::predictFrontEndComp(double dcompSun) const {
+  return predictTsun(dcompSun, extraProcesses_);
+}
+
+double Cm2Predictor::predictBackEndTask(const Cm2TaskDedicated& task) const {
+  return predictTcm2(task, extraProcesses_);
+}
+
+double Cm2Predictor::predictCommToBackend(
+    std::span<const DataSet> dataSets) const {
+  return predictCommToCm2(platform_.comm, dataSets, extraProcesses_);
+}
+
+double Cm2Predictor::predictCommFromBackend(
+    std::span<const DataSet> dataSets) const {
+  return predictCommFromCm2(platform_.comm, dataSets, extraProcesses_);
+}
+
+bool Cm2Predictor::shouldOffload(double dcompSun,
+                                 const Cm2TaskDedicated& backEndTask,
+                                 std::span<const DataSet> toBackend,
+                                 std::span<const DataSet> fromBackend) const {
+  return model::shouldOffload(predictFrontEndComp(dcompSun),
+                              predictBackEndTask(backEndTask),
+                              predictCommToBackend(toBackend),
+                              predictCommFromBackend(fromBackend));
+}
+
+ParagonPredictor::ParagonPredictor(ParagonPlatformModel platform,
+                                   WorkloadMix mix)
+    : platform_(std::move(platform)), mix_(std::move(mix)) {
+  platform_.delays.validate();
+}
+
+double ParagonPredictor::commSlowdown() const {
+  return paragonCommSlowdown(mix_, platform_.delays);
+}
+
+double ParagonPredictor::compSlowdown() const {
+  return paragonCompSlowdown(mix_, platform_.delays);
+}
+
+double ParagonPredictor::predictFrontEndComp(double dcompSun) const {
+  return predictParagonComp(dcompSun, mix_, platform_.delays);
+}
+
+double ParagonPredictor::predictCommToBackend(
+    std::span<const DataSet> dataSets) const {
+  return predictParagonComm(platform_.toBackend, dataSets, mix_,
+                            platform_.delays);
+}
+
+double ParagonPredictor::predictCommFromBackend(
+    std::span<const DataSet> dataSets) const {
+  return predictParagonComm(platform_.fromBackend, dataSets, mix_,
+                            platform_.delays);
+}
+
+bool ParagonPredictor::shouldOffload(
+    double dcompSun, double tBackEnd, std::span<const DataSet> toBackend,
+    std::span<const DataSet> fromBackend) const {
+  return model::shouldOffload(predictFrontEndComp(dcompSun), tBackEnd,
+                              predictCommToBackend(toBackend),
+                              predictCommFromBackend(fromBackend));
+}
+
+}  // namespace contend::model

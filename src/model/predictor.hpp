@@ -1,0 +1,85 @@
+// predictor.hpp — user-facing facade over the contention models.
+//
+// A predictor binds (a) the system-dependent calibration results for one
+// platform and (b) the current application-dependent workload mix, and
+// answers the questions a scheduler asks: how long will this task take on
+// the front-end / back-end right now, what do the transfers cost, and should
+// the task be offloaded (equation 1).
+#pragma once
+
+#include <span>
+
+#include "model/cm2_model.hpp"
+#include "model/comm_model.hpp"
+#include "model/mix.hpp"
+#include "model/paragon_model.hpp"
+
+namespace contend::model {
+
+/// Calibration results for a Host/SIMD (Sun/CM2-like) platform.
+struct Cm2PlatformModel {
+  Cm2CommParams comm;
+};
+
+/// Calibration results for a Host/MIMD (Sun/Paragon-like) platform.
+struct ParagonPlatformModel {
+  PiecewiseCommParams toBackend;
+  PiecewiseCommParams fromBackend;
+  DelayTables delays;
+};
+
+/// Predictor for the Host/SIMD platform. Contention is characterized by the
+/// number of extra CPU-bound processes on the front-end (§3.1).
+class Cm2Predictor {
+ public:
+  Cm2Predictor(Cm2PlatformModel platform, int extraProcesses);
+
+  [[nodiscard]] double slowdown() const;
+  [[nodiscard]] double predictFrontEndComp(double dcompSun) const;
+  [[nodiscard]] double predictBackEndTask(const Cm2TaskDedicated& task) const;
+  [[nodiscard]] double predictCommToBackend(
+      std::span<const DataSet> dataSets) const;
+  [[nodiscard]] double predictCommFromBackend(
+      std::span<const DataSet> dataSets) const;
+
+  /// Equation 1 applied to a task with the given dedicated-mode profile.
+  [[nodiscard]] bool shouldOffload(double dcompSun,
+                                   const Cm2TaskDedicated& backEndTask,
+                                   std::span<const DataSet> toBackend,
+                                   std::span<const DataSet> fromBackend) const;
+
+ private:
+  Cm2PlatformModel platform_;
+  int extraProcesses_;
+};
+
+/// Predictor for the Host/MIMD platform. Contention is characterized by the
+/// workload mix of competing applications (§3.2).
+class ParagonPredictor {
+ public:
+  ParagonPredictor(ParagonPlatformModel platform, WorkloadMix mix);
+
+  [[nodiscard]] const WorkloadMix& mix() const { return mix_; }
+  [[nodiscard]] WorkloadMix& mix() { return mix_; }
+
+  [[nodiscard]] double commSlowdown() const;
+  [[nodiscard]] double compSlowdown() const;
+
+  [[nodiscard]] double predictFrontEndComp(double dcompSun) const;
+  [[nodiscard]] double predictCommToBackend(
+      std::span<const DataSet> dataSets) const;
+  [[nodiscard]] double predictCommFromBackend(
+      std::span<const DataSet> dataSets) const;
+
+  /// Equation 1: tBackEnd is the (space-shared, hence load-independent)
+  /// back-end time of the task.
+  [[nodiscard]] bool shouldOffload(double dcompSun, double tBackEnd,
+                                   std::span<const DataSet> toBackend,
+                                   std::span<const DataSet> fromBackend) const;
+
+ private:
+  ParagonPlatformModel platform_;
+  WorkloadMix mix_;
+};
+
+}  // namespace contend::model

@@ -1,0 +1,105 @@
+#include "sched/allocation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace contend::sched {
+
+const char* machineName(Machine m) {
+  return m == Machine::kFrontEnd ? "front-end" : "back-end";
+}
+
+void TaskChain::validate() const {
+  if (tasks.empty()) {
+    throw std::invalid_argument("TaskChain: no tasks");
+  }
+  if (edges.size() + 1 != tasks.size()) {
+    throw std::invalid_argument(
+        "TaskChain: need exactly tasks.size() - 1 edges");
+  }
+  for (const TaskCosts& t : tasks) {
+    if (t.onFrontEnd < 0.0 || t.onBackEnd < 0.0) {
+      throw std::invalid_argument("TaskChain: negative task cost");
+    }
+  }
+  for (const EdgeCosts& e : edges) {
+    if (e.frontToBack < 0.0 || e.backToFront < 0.0) {
+      throw std::invalid_argument("TaskChain: negative edge cost");
+    }
+  }
+}
+
+SlowdownSet SlowdownSet::uniform(double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("SlowdownSet: factor below 1");
+  }
+  return SlowdownSet{factor, factor, factor};
+}
+
+double chainMakespan(const TaskChain& chain,
+                     std::span<const Machine> assignment,
+                     const SlowdownSet& slowdown) {
+  chain.validate();
+  if (assignment.size() != chain.tasks.size()) {
+    throw std::invalid_argument("chainMakespan: assignment size mismatch");
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < chain.tasks.size(); ++i) {
+    const TaskCosts& task = chain.tasks[i];
+    total += assignment[i] == Machine::kFrontEnd
+                 ? task.onFrontEnd * slowdown.frontEndComp
+                 : task.onBackEnd;
+    if (i + 1 < chain.tasks.size() && assignment[i] != assignment[i + 1]) {
+      const EdgeCosts& edge = chain.edges[i];
+      total += assignment[i] == Machine::kFrontEnd
+                   ? edge.frontToBack * slowdown.commToBackEnd
+                   : edge.backToFront * slowdown.commToFrontEnd;
+    }
+  }
+  return total;
+}
+
+std::vector<Allocation> rankAllocations(const TaskChain& chain,
+                                        const SlowdownSet& slowdown) {
+  chain.validate();
+  const std::size_t n = chain.tasks.size();
+  if (n > 24) {
+    throw std::invalid_argument(
+        "rankAllocations: exhaustive enumeration limited to 24 tasks");
+  }
+
+  std::vector<Allocation> all;
+  all.reserve(std::size_t{1} << n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Allocation a;
+    a.assignment.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.assignment.push_back((mask >> i) & 1 ? Machine::kBackEnd
+                                             : Machine::kFrontEnd);
+    }
+    a.makespan = chainMakespan(chain, a.assignment, slowdown);
+    all.push_back(std::move(a));
+  }
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Allocation& a, const Allocation& b) {
+                     if (a.makespan != b.makespan) {
+                       return a.makespan < b.makespan;
+                     }
+                     const auto backCount = [](const Allocation& x) {
+                       return std::count(x.assignment.begin(),
+                                         x.assignment.end(),
+                                         Machine::kBackEnd);
+                     };
+                     return backCount(a) < backCount(b);
+                   });
+  return all;
+}
+
+Allocation bestAllocation(const TaskChain& chain,
+                          const SlowdownSet& slowdown) {
+  return rankAllocations(chain, slowdown).front();
+}
+
+}  // namespace contend::sched

@@ -1,0 +1,79 @@
+// allocation.hpp — task-to-machine allocation for two-machine platforms.
+//
+// The paper's introduction (Tables 1–4) walks a two-task application through
+// three contention scenarios and shows that the best allocation changes each
+// time. This module generalizes that engine: a chain of coarse-grained tasks
+// with dedicated-mode costs, a slowdown set produced by the contention
+// model, and exhaustive ranking of the 2^n assignments (n is small for the
+// coarse-grained heterogeneous applications the paper targets).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace contend::sched {
+
+enum class Machine { kFrontEnd, kBackEnd };
+
+[[nodiscard]] const char* machineName(Machine m);
+
+/// Dedicated-mode execution times of one task on each machine (the rows of
+/// Table 1).
+struct TaskCosts {
+  std::string name;
+  double onFrontEnd = 0.0;
+  double onBackEnd = 0.0;
+};
+
+/// Dedicated-mode transfer costs between consecutive tasks when they are
+/// placed on different machines (Table 2). frontToBack applies when the
+/// producer runs on the front-end, backToFront when it runs on the back-end.
+struct EdgeCosts {
+  double frontToBack = 0.0;
+  double backToFront = 0.0;
+};
+
+/// A linear chain of tasks: edges[i] joins tasks[i] -> tasks[i+1].
+struct TaskChain {
+  std::vector<TaskCosts> tasks;
+  std::vector<EdgeCosts> edges;
+
+  void validate() const;  // throws std::invalid_argument on size mismatch
+};
+
+/// Multipliers produced by the contention model for the *front-end* side:
+/// computation on the front-end, and transfers in each direction (both of
+/// which involve the front-end). Back-end execution is space-shared and
+/// unaffected, matching the paper's platforms.
+struct SlowdownSet {
+  double frontEndComp = 1.0;
+  double commToBackEnd = 1.0;
+  double commToFrontEnd = 1.0;
+
+  [[nodiscard]] static SlowdownSet dedicated() { return {}; }
+  /// The Sun/CM2 law: everything involving the front-end slows by p + 1.
+  [[nodiscard]] static SlowdownSet uniform(double factor);
+};
+
+/// Contention-adjusted makespan of the chain under `assignment` (sequential
+/// execution: task times plus cross-machine transfer times).
+[[nodiscard]] double chainMakespan(const TaskChain& chain,
+                                   std::span<const Machine> assignment,
+                                   const SlowdownSet& slowdown);
+
+struct Allocation {
+  std::vector<Machine> assignment;
+  double makespan = 0.0;
+};
+
+/// All 2^n assignments, best (smallest makespan) first; ties broken toward
+/// fewer back-end tasks, then lexicographically (front-end < back-end).
+[[nodiscard]] std::vector<Allocation> rankAllocations(
+    const TaskChain& chain, const SlowdownSet& slowdown);
+
+/// Convenience: the top-ranked allocation.
+[[nodiscard]] Allocation bestAllocation(const TaskChain& chain,
+                                        const SlowdownSet& slowdown);
+
+}  // namespace contend::sched

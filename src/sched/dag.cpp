@@ -1,0 +1,282 @@
+#include "sched/dag.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace contend::sched {
+
+namespace {
+
+/// Kahn topological order; throws on cycles.
+std::vector<std::size_t> topologicalOrder(const TaskDag& dag) {
+  const std::size_t n = dag.tasks.size();
+  std::vector<int> indegree(n, 0);
+  for (const DagEdge& e : dag.edges) ++indegree[e.to];
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  // Pop smallest index first for determinism.
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end(), std::greater<>());
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (const DagEdge& e : dag.edges) {
+      if (e.from == u && --indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != n) {
+    throw std::invalid_argument("TaskDag: dependency cycle");
+  }
+  return order;
+}
+
+double adjustedTaskCost(const DagTask& task, Machine machine,
+                        const SlowdownSet& slowdown) {
+  return machine == Machine::kFrontEnd
+             ? task.onFrontEnd * slowdown.frontEndComp
+             : task.onBackEnd;
+}
+
+double adjustedEdgeCost(const DagEdge& edge, Machine from, Machine to,
+                        const SlowdownSet& slowdown) {
+  if (from == to) return 0.0;
+  return from == Machine::kFrontEnd
+             ? edge.frontToBack * slowdown.commToBackEnd
+             : edge.backToFront * slowdown.commToFrontEnd;
+}
+
+/// Schedules tasks in `order` with a fixed machine assignment; returns the
+/// full schedule (machines execute sequentially, transfers overlap).
+DagSchedule scheduleWithAssignment(const TaskDag& dag,
+                                   std::span<const std::size_t> order,
+                                   std::span<const Machine> assignment,
+                                   const SlowdownSet& slowdown) {
+  DagSchedule schedule;
+  schedule.tasks.assign(dag.tasks.size(), ScheduledTask{});
+  double freeAt[2] = {0.0, 0.0};
+
+  for (const std::size_t task : order) {
+    const Machine machine = assignment[task];
+    double est = 0.0;
+    for (const DagEdge& e : dag.edges) {
+      if (e.to != task) continue;
+      est = std::max(est,
+                     schedule.tasks[e.from].finish +
+                         adjustedEdgeCost(e, assignment[e.from], machine,
+                                          slowdown));
+    }
+    auto& slot = schedule.tasks[task];
+    slot.machine = machine;
+    slot.start = std::max(est, freeAt[machine == Machine::kBackEnd ? 1 : 0]);
+    slot.finish =
+        slot.start + adjustedTaskCost(dag.tasks[task], machine, slowdown);
+    freeAt[machine == Machine::kBackEnd ? 1 : 0] = slot.finish;
+    schedule.makespan = std::max(schedule.makespan, slot.finish);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+void TaskDag::validate() const {
+  if (tasks.empty()) throw std::invalid_argument("TaskDag: no tasks");
+  for (const DagTask& t : tasks) {
+    if (t.onFrontEnd < 0.0 || t.onBackEnd < 0.0) {
+      throw std::invalid_argument("TaskDag: negative task cost");
+    }
+  }
+  for (const DagEdge& e : edges) {
+    if (e.from >= tasks.size() || e.to >= tasks.size() || e.from == e.to) {
+      throw std::invalid_argument("TaskDag: bad edge endpoints");
+    }
+    if (e.frontToBack < 0.0 || e.backToFront < 0.0) {
+      throw std::invalid_argument("TaskDag: negative edge cost");
+    }
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (edges[i].from == edges[j].from && edges[i].to == edges[j].to) {
+        throw std::invalid_argument("TaskDag: duplicate edge");
+      }
+    }
+  }
+  (void)topologicalOrder(*this);  // throws on cycles
+}
+
+std::vector<double> upwardRanks(const TaskDag& dag,
+                                const SlowdownSet& slowdown) {
+  dag.validate();
+  const auto order = topologicalOrder(dag);
+  std::vector<double> rank(dag.tasks.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t task = *it;
+    const double meanCost =
+        0.5 * (adjustedTaskCost(dag.tasks[task], Machine::kFrontEnd, slowdown) +
+               adjustedTaskCost(dag.tasks[task], Machine::kBackEnd, slowdown));
+    double tail = 0.0;
+    for (const DagEdge& e : dag.edges) {
+      if (e.from != task) continue;
+      const double meanEdge =
+          0.5 * (adjustedEdgeCost(e, Machine::kFrontEnd, Machine::kBackEnd,
+                                  slowdown) +
+                 adjustedEdgeCost(e, Machine::kBackEnd, Machine::kFrontEnd,
+                                  slowdown)) /
+          2.0;  // cross-machine placements happen in half the cases
+      tail = std::max(tail, meanEdge + rank[e.to]);
+    }
+    rank[task] = meanCost + tail;
+  }
+  return rank;
+}
+
+namespace {
+/// Rank-descending priority order (topological position breaks ties), shared
+/// by the list heuristic and the exhaustive reference so their makespans are
+/// comparable.
+std::vector<std::size_t> priorityOrder(const TaskDag& dag,
+                                       const SlowdownSet& slowdown) {
+  const auto ranks = upwardRanks(dag, slowdown);
+  const auto topo = topologicalOrder(dag);
+  std::vector<std::size_t> topoPosition(dag.tasks.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) topoPosition[topo[i]] = i;
+
+  std::vector<std::size_t> order(dag.tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+    return topoPosition[a] < topoPosition[b];  // respect topology on ties
+  });
+  return order;
+}
+}  // namespace
+
+DagSchedule scheduleDagList(const TaskDag& dag, const SlowdownSet& slowdown) {
+  const auto order = priorityOrder(dag, slowdown);
+
+  // Greedy earliest-finish-time placement, task by task in priority order.
+  DagSchedule schedule;
+  schedule.tasks.assign(dag.tasks.size(), ScheduledTask{});
+  double freeAt[2] = {0.0, 0.0};
+  for (const std::size_t task : order) {
+    double bestFinish = std::numeric_limits<double>::infinity();
+    ScheduledTask best;
+    for (const Machine machine : {Machine::kFrontEnd, Machine::kBackEnd}) {
+      double est = 0.0;
+      for (const DagEdge& e : dag.edges) {
+        if (e.to != task) continue;
+        est = std::max(est, schedule.tasks[e.from].finish +
+                                adjustedEdgeCost(e,
+                                                 schedule.tasks[e.from].machine,
+                                                 machine, slowdown));
+      }
+      ScheduledTask candidate;
+      candidate.machine = machine;
+      candidate.start =
+          std::max(est, freeAt[machine == Machine::kBackEnd ? 1 : 0]);
+      candidate.finish =
+          candidate.start +
+          adjustedTaskCost(dag.tasks[task], machine, slowdown);
+      if (candidate.finish < bestFinish) {
+        bestFinish = candidate.finish;
+        best = candidate;
+      }
+    }
+    schedule.tasks[task] = best;
+    freeAt[best.machine == Machine::kBackEnd ? 1 : 0] = best.finish;
+    schedule.makespan = std::max(schedule.makespan, best.finish);
+  }
+  return schedule;
+}
+
+
+DagSchedule scheduleDagListInsertion(const TaskDag& dag,
+                                     const SlowdownSet& slowdown) {
+  const auto order = priorityOrder(dag, slowdown);
+
+  DagSchedule schedule;
+  schedule.tasks.assign(dag.tasks.size(), ScheduledTask{});
+  // Occupied intervals per machine, kept sorted by start time.
+  std::vector<std::pair<double, double>> busy[2];
+
+  // Earliest slot of length `duration` on `machine` starting no earlier
+  // than `est`, allowing insertion into idle gaps.
+  const auto earliestSlot = [&](int machine, double est, double duration) {
+    double candidate = est;
+    for (const auto& [start, finish] : busy[machine]) {
+      if (candidate + duration <= start + 1e-12) break;  // fits before this
+      candidate = std::max(candidate, finish);
+    }
+    return candidate;
+  };
+
+  for (const std::size_t task : order) {
+    double bestFinish = std::numeric_limits<double>::infinity();
+    ScheduledTask best;
+    for (const Machine machine : {Machine::kFrontEnd, Machine::kBackEnd}) {
+      double est = 0.0;
+      for (const DagEdge& e : dag.edges) {
+        if (e.to != task) continue;
+        est = std::max(est, schedule.tasks[e.from].finish +
+                                adjustedEdgeCost(e,
+                                                 schedule.tasks[e.from].machine,
+                                                 machine, slowdown));
+      }
+      const double duration =
+          adjustedTaskCost(dag.tasks[task], machine, slowdown);
+      const int lane = machine == Machine::kBackEnd ? 1 : 0;
+      ScheduledTask candidate;
+      candidate.machine = machine;
+      candidate.start = earliestSlot(lane, est, duration);
+      candidate.finish = candidate.start + duration;
+      if (candidate.finish < bestFinish) {
+        bestFinish = candidate.finish;
+        best = candidate;
+      }
+    }
+    schedule.tasks[task] = best;
+    const int lane = best.machine == Machine::kBackEnd ? 1 : 0;
+    auto& lanes = busy[lane];
+    lanes.insert(std::upper_bound(
+                     lanes.begin(), lanes.end(),
+                     std::make_pair(best.start, best.finish)),
+                 {best.start, best.finish});
+    schedule.makespan = std::max(schedule.makespan, best.finish);
+  }
+  return schedule;
+}
+
+DagSchedule scheduleDagExhaustive(const TaskDag& dag,
+                                  const SlowdownSet& slowdown) {
+  dag.validate();
+  const std::size_t n = dag.tasks.size();
+  if (n > 16) {
+    throw std::invalid_argument(
+        "scheduleDagExhaustive: limited to 16 tasks (2^n assignments)");
+  }
+  // Same priority order as the list heuristic, so the heuristic's own
+  // assignment is one of the 2^n candidates and exhaustive <= heuristic.
+  const auto order = priorityOrder(dag, slowdown);
+
+  DagSchedule best;
+  best.makespan = std::numeric_limits<double>::infinity();
+  std::vector<Machine> assignment(n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    for (std::size_t i = 0; i < n; ++i) {
+      assignment[i] =
+          (mask >> i) & 1 ? Machine::kBackEnd : Machine::kFrontEnd;
+    }
+    DagSchedule candidate =
+        scheduleWithAssignment(dag, order, assignment, slowdown);
+    if (candidate.makespan < best.makespan) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace contend::sched

@@ -1,0 +1,97 @@
+#include "sched/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace contend::sched {
+
+OnlineContentionTracker::OnlineContentionTracker(
+    model::ParagonPlatformModel platform)
+    : platform_(std::move(platform)) {
+  platform_.delays.validate();
+  recomputeSlowdowns();
+}
+
+std::uint64_t OnlineContentionTracker::applicationArrived(
+    double timeSec, const model::CompetingApp& app) {
+  if (timeSec < lastEventTime_) {
+    throw std::invalid_argument(
+        "OnlineContentionTracker: events must arrive in time order");
+  }
+  if (mix_.p() >= platform_.delays.maxContenders()) {
+    throw std::runtime_error(
+        "OnlineContentionTracker: delay tables cover only " +
+        std::to_string(platform_.delays.maxContenders()) +
+        " contenders; recalibrate with a larger maxContenders");
+  }
+  mix_.add(app);  // O(p)
+  const std::uint64_t id = nextId_++;
+  idsByMixIndex_.push_back(id);
+  lastEventTime_ = timeSec;
+  recomputeSlowdowns();
+  log(LoadEventKind::kArrival, timeSec, id);
+  return id;
+}
+
+void OnlineContentionTracker::applicationDeparted(double timeSec,
+                                                  std::uint64_t applicationId) {
+  if (timeSec < lastEventTime_) {
+    throw std::invalid_argument(
+        "OnlineContentionTracker: events must arrive in time order");
+  }
+  const auto it = std::find(idsByMixIndex_.begin(), idsByMixIndex_.end(),
+                            applicationId);
+  if (it == idsByMixIndex_.end()) {
+    throw std::invalid_argument(
+        "OnlineContentionTracker: unknown application id " +
+        std::to_string(applicationId));
+  }
+  const auto index =
+      static_cast<std::size_t>(it - idsByMixIndex_.begin());
+  mix_.removeAt(index);  // O(p) fast path, O(p²) regeneration fallback
+  idsByMixIndex_.erase(it);
+  lastEventTime_ = timeSec;
+  recomputeSlowdowns();
+  log(LoadEventKind::kDeparture, timeSec, applicationId);
+}
+
+int OnlineContentionTracker::activeApplications() const { return mix_.p(); }
+
+double OnlineContentionTracker::predictFrontEndComp(double dedicatedSec) const {
+  return dedicatedSec * compSlowdown_;
+}
+
+double OnlineContentionTracker::predictCommToBackend(
+    std::span<const model::DataSet> dataSets) const {
+  return model::dcomm(platform_.toBackend, dataSets) * commSlowdown_;
+}
+
+double OnlineContentionTracker::predictCommFromBackend(
+    std::span<const model::DataSet> dataSets) const {
+  return model::dcomm(platform_.fromBackend, dataSets) * commSlowdown_;
+}
+
+std::optional<LoadEvent> OnlineContentionTracker::lastEvent() const {
+  if (history_.empty()) return std::nullopt;
+  return history_.back();
+}
+
+void OnlineContentionTracker::recomputeSlowdowns() {
+  // O(p) given the maintained distributions (the paper's headline bound).
+  compSlowdown_ = model::paragonCompSlowdown(mix_, platform_.delays);
+  commSlowdown_ = model::paragonCommSlowdown(mix_, platform_.delays);
+}
+
+void OnlineContentionTracker::log(LoadEventKind kind, double timeSec,
+                                  std::uint64_t id) {
+  LoadEvent event;
+  event.kind = kind;
+  event.timeSec = timeSec;
+  event.applicationId = id;
+  event.mixSizeAfter = mix_.p();
+  event.compSlowdownAfter = compSlowdown_;
+  event.commSlowdownAfter = commSlowdown_;
+  history_.push_back(event);
+}
+
+}  // namespace contend::sched

@@ -1,0 +1,86 @@
+// online.hpp — run-time contention tracking for a scheduler daemon.
+//
+// §2: "The slowdown factor reflects the current load of the system and is
+// always calculated at run-time. It can be recalculated every time the
+// system status changes or when new applications arrive... it must be
+// efficient to compute relative to how quickly applications enter and leave
+// the system." This module is that run-time half: it maintains the workload
+// mix as applications register and deregister (O(p) add, O(p²) worst-case
+// remove — the paper's bounds), caches the current slowdowns, and logs every
+// recalculation so operators can audit scheduling decisions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/mix.hpp"
+#include "model/paragon_model.hpp"
+#include "model/predictor.hpp"
+
+namespace contend::sched {
+
+/// Why the slowdowns were recalculated.
+enum class LoadEventKind { kArrival, kDeparture };
+
+/// One entry of the audit log.
+struct LoadEvent {
+  LoadEventKind kind = LoadEventKind::kArrival;
+  double timeSec = 0.0;
+  std::uint64_t applicationId = 0;
+  int mixSizeAfter = 0;
+  double compSlowdownAfter = 1.0;
+  double commSlowdownAfter = 1.0;
+};
+
+/// Tracks the applications sharing the front-end and exposes up-to-date
+/// slowdown factors. Not thread-safe by design: a scheduler daemon owns it.
+class OnlineContentionTracker {
+ public:
+  explicit OnlineContentionTracker(model::ParagonPlatformModel platform);
+
+  /// Registers an application; returns its id. O(p).
+  std::uint64_t applicationArrived(double timeSec,
+                                   const model::CompetingApp& app);
+
+  /// Deregisters. O(p²) worst case (mix regeneration). Throws
+  /// std::invalid_argument for unknown ids.
+  void applicationDeparted(double timeSec, std::uint64_t applicationId);
+
+  [[nodiscard]] int activeApplications() const;
+  [[nodiscard]] double compSlowdown() const { return compSlowdown_; }
+  [[nodiscard]] double commSlowdown() const { return commSlowdown_; }
+  [[nodiscard]] const model::WorkloadMix& mix() const { return mix_; }
+
+  /// Contention-adjusted prediction helpers (delegate to the model).
+  [[nodiscard]] double predictFrontEndComp(double dedicatedSec) const;
+  [[nodiscard]] double predictCommToBackend(
+      std::span<const model::DataSet> dataSets) const;
+  [[nodiscard]] double predictCommFromBackend(
+      std::span<const model::DataSet> dataSets) const;
+
+  /// The audit log, oldest first.
+  [[nodiscard]] const std::vector<LoadEvent>& history() const {
+    return history_;
+  }
+
+  /// The most recent event, if any.
+  [[nodiscard]] std::optional<LoadEvent> lastEvent() const;
+
+ private:
+  void recomputeSlowdowns();
+  void log(LoadEventKind kind, double timeSec, std::uint64_t id);
+
+  model::ParagonPlatformModel platform_;
+  model::WorkloadMix mix_;
+  std::vector<std::uint64_t> idsByMixIndex_;  // parallel to mix_.apps()
+  std::uint64_t nextId_ = 1;
+  double compSlowdown_ = 1.0;
+  double commSlowdown_ = 1.0;
+  double lastEventTime_ = 0.0;
+  std::vector<LoadEvent> history_;
+};
+
+}  // namespace contend::sched

@@ -1,0 +1,323 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace contend::sim {
+
+namespace {
+/// Virtual-time comparison slack: completions may land a fraction of a tick
+/// early because real completion times are rounded up to integer ticks.
+constexpr long double kVirtualEpsilon = 1e-6L;
+}  // namespace
+
+TimeSharedCpu::TimeSharedCpu(EventQueue& queue, TraceRecorder& trace,
+                             CpuConfig config)
+    : queue_(queue), trace_(trace), config_(config) {
+  if (config_.policy != SchedulingPolicy::kProcessorSharing) {
+    if (config_.quantum <= 0) {
+      throw std::invalid_argument("TimeSharedCpu: quantum must be positive");
+    }
+    if (config_.contextSwitchCost < 0) {
+      throw std::invalid_argument(
+          "TimeSharedCpu: negative context-switch cost");
+    }
+  }
+  if (config_.policy == SchedulingPolicy::kMultilevelFeedback &&
+      config_.feedbackLevels <= 0) {
+    throw std::invalid_argument("TimeSharedCpu: feedbackLevels must be > 0");
+  }
+}
+
+void TimeSharedCpu::submit(CpuClient* client, Tick work, std::string note) {
+  if (client == nullptr) {
+    throw std::invalid_argument("TimeSharedCpu: null client");
+  }
+  if (work < 0) throw std::invalid_argument("TimeSharedCpu: negative work");
+  if (work == 0) {
+    // Degenerate burst: complete immediately but asynchronously, so the
+    // caller's state machine sees a uniform callback discipline.
+    queue_.scheduleAfter(0, [client] { client->cpuBurstDone(); });
+    return;
+  }
+  switch (config_.policy) {
+    case SchedulingPolicy::kProcessorSharing:
+      psSubmit(client, work, std::move(note));
+      return;
+    case SchedulingPolicy::kRoundRobin:
+      rrSubmit(client, work, std::move(note));
+      return;
+    case SchedulingPolicy::kMultilevelFeedback:
+      mlfSubmit(client, work, std::move(note));
+      return;
+  }
+}
+
+int TimeSharedCpu::load() const {
+  switch (config_.policy) {
+    case SchedulingPolicy::kProcessorSharing:
+      return static_cast<int>(psActive_.size());
+    case SchedulingPolicy::kRoundRobin:
+      return static_cast<int>(rrReady_.size()) + (rrRunning_ ? 1 : 0);
+    case SchedulingPolicy::kMultilevelFeedback:
+      return mlfLoad();
+  }
+  return 0;
+}
+
+Tick TimeSharedCpu::busyTime() const {
+  if (config_.policy == SchedulingPolicy::kProcessorSharing) {
+    return static_cast<Tick>(llroundl(psBusy_));
+  }
+  return rrBusy_;
+}
+
+Tick TimeSharedCpu::consumedBy(int processId) const {
+  if (config_.policy == SchedulingPolicy::kProcessorSharing) {
+    const auto it = psConsumed_.find(processId);
+    return it == psConsumed_.end()
+               ? 0
+               : static_cast<Tick>(llroundl(it->second));
+  }
+  const auto it = rrConsumed_.find(processId);
+  return it == rrConsumed_.end() ? 0 : it->second;
+}
+
+// ------------------------------------------------------ processor sharing --
+
+void TimeSharedCpu::psAdvanceVirtualTime() {
+  const Tick now = queue_.now();
+  const auto n = static_cast<long double>(psActive_.size());
+  if (!psActive_.empty() && now > psLastUpdate_) {
+    const auto elapsed = static_cast<long double>(now - psLastUpdate_);
+    psVirtualNow_ += elapsed / n;
+    psBusy_ += elapsed;  // the CPU is fully busy whenever bursts are active
+    const long double share = elapsed / n;
+    for (const PsBurst& b : psActive_) {
+      psConsumed_[b.client->processId()] += share;
+    }
+  }
+  psLastUpdate_ = now;
+}
+
+void TimeSharedCpu::psSubmit(CpuClient* client, Tick work, std::string note) {
+  psAdvanceVirtualTime();
+  PsBurst burst;
+  burst.client = client;
+  burst.finishVirtual = psVirtualNow_ + static_cast<long double>(work);
+  burst.arrivedAt = queue_.now();
+  burst.work = work;
+  burst.note = std::move(note);
+  psActive_.push_back(std::move(burst));
+  psReschedule();
+}
+
+void TimeSharedCpu::psReschedule() {
+  ++psGeneration_;
+  if (psActive_.empty()) return;
+  long double minFinish = psActive_.front().finishVirtual;
+  for (const PsBurst& b : psActive_) {
+    minFinish = std::min(minFinish, b.finishVirtual);
+  }
+  const auto n = static_cast<long double>(psActive_.size());
+  const long double virtualLeft =
+      std::max(0.0L, minFinish - psVirtualNow_);
+  const auto delay =
+      static_cast<Tick>(ceill(virtualLeft * n - kVirtualEpsilon));
+  const std::uint64_t generation = psGeneration_;
+  queue_.scheduleAfter(std::max<Tick>(delay, 0),
+                       [this, generation] { psOnCompletion(generation); });
+}
+
+void TimeSharedCpu::psOnCompletion(std::uint64_t generation) {
+  if (generation != psGeneration_) return;  // superseded by a reschedule
+  psAdvanceVirtualTime();
+
+  // Retire every burst whose virtual finish has been reached. Retirement
+  // preserves submission order for deterministic tie-breaking.
+  std::vector<PsBurst> finished;
+  for (auto it = psActive_.begin(); it != psActive_.end();) {
+    if (it->finishVirtual <= psVirtualNow_ + kVirtualEpsilon) {
+      finished.push_back(std::move(*it));
+      it = psActive_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const PsBurst& b : finished) {
+    trace_.record(b.arrivedAt, queue_.now(), Activity::kCpuRun,
+                  b.client->processId(), b.note);
+  }
+  // Notify completions before rescheduling so immediate resubmissions are
+  // included in the new schedule.
+  for (const PsBurst& b : finished) b.client->cpuBurstDone();
+  psReschedule();
+}
+
+// ------------------------------------------------------------ round robin --
+
+void TimeSharedCpu::rrSubmit(CpuClient* client, Tick work, std::string note) {
+  rrReady_.push_back(RrBurst{client, work, std::move(note)});
+  if (!rrRunning_) rrDispatch();
+}
+
+void TimeSharedCpu::rrDispatch() {
+  if (rrRunning_ || rrReady_.empty()) return;
+  rrCurrent_ = std::move(rrReady_.front());
+  rrReady_.pop_front();
+  rrRunning_ = true;
+
+  const bool switching = rrLastClientId_ != rrCurrent_.client->processId();
+  const Tick switchCost = switching ? config_.contextSwitchCost : 0;
+  rrLastClientId_ = rrCurrent_.client->processId();
+
+  const Tick slice = std::min(config_.quantum, rrCurrent_.remaining);
+  const Tick begin = queue_.now();
+  queue_.scheduleAfter(switchCost + slice, [this, begin, slice, switchCost] {
+    rrOnSliceEnd(begin, slice, switchCost);
+  });
+}
+
+void TimeSharedCpu::rrOnSliceEnd(Tick sliceBegin, Tick slice, Tick switchCost) {
+  if (switchCost > 0) {
+    switchOverhead_ += switchCost;
+    trace_.record(sliceBegin, sliceBegin + switchCost, Activity::kCpuSwitch,
+                  rrCurrent_.client->processId());
+  }
+  trace_.record(sliceBegin + switchCost, sliceBegin + switchCost + slice,
+                Activity::kCpuRun, rrCurrent_.client->processId(),
+                rrCurrent_.note);
+  rrBusy_ += slice;
+  rrConsumed_[rrCurrent_.client->processId()] += slice;
+  rrCurrent_.remaining -= slice;
+
+  CpuClient* finished = nullptr;
+  if (rrCurrent_.remaining > 0) {
+    rrReady_.push_back(std::move(rrCurrent_));
+  } else {
+    finished = rrCurrent_.client;
+  }
+  rrRunning_ = false;
+
+  // Notify completion before dispatching: a finished process usually submits
+  // its next burst right away, and it should compete fairly in this round.
+  if (finished != nullptr) finished->cpuBurstDone();
+  rrDispatch();
+}
+
+
+// ------------------------------------------------- multilevel feedback --
+
+int TimeSharedCpu::mlfLevelOf(int processId) const {
+  const auto it = mlfLevel_.find(processId);
+  return it == mlfLevel_.end() ? 0 : it->second;
+}
+
+int TimeSharedCpu::mlfLoad() const {
+  int n = mlfRunning_ ? 1 : 0;
+  for (const auto& q : mlfQueues_) n += static_cast<int>(q.size());
+  return n;
+}
+
+void TimeSharedCpu::mlfSubmit(CpuClient* client, Tick work, std::string note) {
+  if (mlfQueues_.empty()) {
+    if (config_.feedbackLevels <= 0) {
+      throw std::invalid_argument("TimeSharedCpu: feedbackLevels must be > 0");
+    }
+    mlfQueues_.resize(static_cast<std::size_t>(config_.feedbackLevels));
+  }
+  const int level = mlfLevelOf(client->processId());
+  mlfQueues_[static_cast<std::size_t>(level)].push_back(
+      MlfBurst{client, work, level, std::move(note)});
+  if (!mlfRunning_) {
+    mlfDispatch();
+  } else if (level < mlfCurrent_.level) {
+    // A higher-priority burst arrived: preempt the running one.
+    mlfPreempt();
+  }
+}
+
+void TimeSharedCpu::mlfAccountPartialRun(Tick ran) {
+  const Tick switchSpent =
+      std::min(queue_.now(), mlfWorkStartedAt_) - mlfRunStartedAt_;
+  if (switchSpent > 0) {
+    switchOverhead_ += switchSpent;
+    trace_.record(mlfRunStartedAt_, mlfRunStartedAt_ + switchSpent,
+                  Activity::kCpuSwitch, mlfCurrent_.client->processId());
+  }
+  if (ran > 0) {
+    trace_.record(mlfWorkStartedAt_, mlfWorkStartedAt_ + ran,
+                  Activity::kCpuRun, mlfCurrent_.client->processId(),
+                  mlfCurrent_.note);
+    rrBusy_ += ran;
+    rrConsumed_[mlfCurrent_.client->processId()] += ran;
+    mlfCurrent_.remaining -= ran;
+  }
+}
+
+void TimeSharedCpu::mlfDispatch() {
+  if (mlfRunning_) return;
+  for (auto& queue : mlfQueues_) {
+    if (queue.empty()) continue;
+    mlfCurrent_ = std::move(queue.front());
+    queue.pop_front();
+    mlfRunning_ = true;
+
+    const bool switching =
+        mlfLastClientId_ != mlfCurrent_.client->processId();
+    const Tick switchCost = switching ? config_.contextSwitchCost : 0;
+    mlfLastClientId_ = mlfCurrent_.client->processId();
+
+    const Tick quantum = config_.quantum << mlfCurrent_.level;
+    mlfSlice_ = std::min(quantum, mlfCurrent_.remaining);
+    mlfRunStartedAt_ = queue_.now();
+    mlfWorkStartedAt_ = queue_.now() + switchCost;
+
+    const std::uint64_t generation = ++mlfGeneration_;
+    queue_.scheduleAfter(switchCost + mlfSlice_, [this, generation] {
+      mlfOnSliceEnd(generation);
+    });
+    return;
+  }
+}
+
+void TimeSharedCpu::mlfPreempt() {
+  ++mlfGeneration_;  // invalidate the pending slice-end event
+  const Tick ran = std::max<Tick>(0, queue_.now() - mlfWorkStartedAt_);
+  mlfAccountPartialRun(ran);
+  // Interrupted, not quantum-expired: return to the FRONT of its level so it
+  // resumes as soon as higher levels drain.
+  const auto level = static_cast<std::size_t>(mlfCurrent_.level);
+  mlfQueues_[level].push_front(std::move(mlfCurrent_));
+  mlfRunning_ = false;
+  mlfDispatch();
+}
+
+void TimeSharedCpu::mlfOnSliceEnd(std::uint64_t generation) {
+  if (generation != mlfGeneration_) return;  // superseded by preemption
+  mlfAccountPartialRun(mlfSlice_);
+
+  CpuClient* finished = nullptr;
+  if (mlfCurrent_.remaining > 0) {
+    // Used the full quantum: demote one level (clamped) and requeue.
+    const int demoted = std::min(mlfCurrent_.level + 1,
+                                 config_.feedbackLevels - 1);
+    mlfLevel_[mlfCurrent_.client->processId()] = demoted;
+    mlfCurrent_.level = demoted;
+    mlfQueues_[static_cast<std::size_t>(demoted)].push_back(
+        std::move(mlfCurrent_));
+  } else {
+    // Completed: the process is off to block; boost its next burst.
+    const int boosted = std::max(mlfCurrent_.level - 1, 0);
+    mlfLevel_[mlfCurrent_.client->processId()] = boosted;
+    finished = mlfCurrent_.client;
+  }
+  mlfRunning_ = false;
+
+  if (finished != nullptr) finished->cpuBurstDone();
+  mlfDispatch();
+}
+
+}  // namespace contend::sim

@@ -1,0 +1,156 @@
+// cpu.hpp — time-shared CPU (the simulated front-end).
+//
+// §3.1.1 of the paper observes that "CPU cycles are split equally among all
+// the processes running on the Sun with the same priority", which yields the
+// slowdown = p + 1 law. Two scheduling policies are provided:
+//
+//  * kProcessorSharing (default): the generalized-processor-sharing fluid
+//    model — every runnable burst advances at rate 1/n. This matches the
+//    equal-split behaviour the paper measured (a real scheduler's priority
+//    decay and I/O boosts approximate PS at the timescales of interest), and
+//    it is what the analytical model abstracts.
+//  * kRoundRobin: explicit quantum + context-switch mechanism. Under RR a
+//    process whose bursts are shorter than the quantum pays a full rotation
+//    of queueing per burst, breaking the p + 1 law — the ablation benches
+//    use this to show how scheduler granularity erodes the model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// Implemented by anything that consumes CPU bursts (processes).
+class CpuClient {
+ public:
+  /// Invoked when a submitted burst has fully executed.
+  virtual void cpuBurstDone() = 0;
+  [[nodiscard]] virtual int processId() const = 0;
+
+ protected:
+  ~CpuClient() = default;
+};
+
+enum class SchedulingPolicy {
+  kProcessorSharing,
+  kRoundRobin,
+  /// Multilevel feedback (SunOS-flavoured): bursts that exhaust their
+  /// quantum sink to lower-priority levels with longer quanta; bursts that
+  /// complete (the process goes off to block on I/O) float back up. Higher
+  /// levels preempt lower ones, so a process waking from a message transfer
+  /// runs almost immediately — the mechanism real systems use to approximate
+  /// the equal-split behaviour the paper measured.
+  kMultilevelFeedback,
+};
+
+struct CpuConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kProcessorSharing;
+  /// RR: the quantum; MLF: the top-level quantum (level l gets quantum<<l).
+  Tick quantum = 2 * kMillisecond;
+  /// RR/MLF: overhead charged when switching between clients.
+  /// (Processor sharing is a fluid abstraction; it charges no switch cost.)
+  Tick contextSwitchCost = 20 * kMicrosecond;
+  /// MLF only: number of priority levels.
+  int feedbackLevels = 4;
+};
+
+/// Single time-shared processor. Clients submit bursts of dedicated-mode CPU
+/// work; one burst per client may be in flight (a process is sequential).
+class TimeSharedCpu {
+ public:
+  TimeSharedCpu(EventQueue& queue, TraceRecorder& trace, CpuConfig config);
+
+  TimeSharedCpu(const TimeSharedCpu&) = delete;
+  TimeSharedCpu& operator=(const TimeSharedCpu&) = delete;
+
+  /// Enqueues `work` ticks of CPU demand for `client`.
+  void submit(CpuClient* client, Tick work, std::string note = {});
+
+  /// Number of bursts currently queued or running.
+  [[nodiscard]] int load() const;
+
+  /// Total ticks the CPU spent running client work (excl. switch overhead).
+  [[nodiscard]] Tick busyTime() const;
+  /// Total ticks lost to context switches (always 0 under PS).
+  [[nodiscard]] Tick switchOverhead() const { return switchOverhead_; }
+  /// CPU time consumed so far by the given process id.
+  [[nodiscard]] Tick consumedBy(int processId) const;
+
+ private:
+  // --- shared ---
+  EventQueue& queue_;
+  TraceRecorder& trace_;
+  CpuConfig config_;
+  Tick switchOverhead_ = 0;
+
+  // --- processor sharing ---
+  struct PsBurst {
+    CpuClient* client;
+    long double finishVirtual;
+    Tick arrivedAt;
+    Tick work;
+    std::string note;
+  };
+  void psSubmit(CpuClient* client, Tick work, std::string note);
+  void psAdvanceVirtualTime();
+  void psReschedule();
+  void psOnCompletion(std::uint64_t generation);
+
+  std::vector<PsBurst> psActive_;
+  long double psVirtualNow_ = 0.0L;
+  Tick psLastUpdate_ = 0;
+  std::uint64_t psGeneration_ = 0;
+  long double psBusy_ = 0.0L;
+  std::unordered_map<int, long double> psConsumed_;
+
+  // --- round robin ---
+  struct RrBurst {
+    CpuClient* client;
+    Tick remaining;
+    std::string note;
+  };
+  void rrSubmit(CpuClient* client, Tick work, std::string note);
+  void rrDispatch();
+  void rrOnSliceEnd(Tick sliceBegin, Tick slice, Tick switchCost);
+
+  std::deque<RrBurst> rrReady_;
+  RrBurst rrCurrent_{};
+  bool rrRunning_ = false;
+  int rrLastClientId_ = -1;
+  Tick rrBusy_ = 0;
+  std::unordered_map<int, Tick> rrConsumed_;
+
+  // --- multilevel feedback ---
+  struct MlfBurst {
+    CpuClient* client;
+    Tick remaining;
+    int level;
+    std::string note;
+  };
+  void mlfSubmit(CpuClient* client, Tick work, std::string note);
+  void mlfDispatch();
+  void mlfPreempt();
+  void mlfOnSliceEnd(std::uint64_t generation);
+  void mlfAccountPartialRun(Tick ran);
+  [[nodiscard]] int mlfLevelOf(int processId) const;
+  [[nodiscard]] int mlfLoad() const;
+
+  std::vector<std::deque<MlfBurst>> mlfQueues_;
+  MlfBurst mlfCurrent_{};
+  bool mlfRunning_ = false;
+  Tick mlfRunStartedAt_ = 0;   // includes the switch period
+  Tick mlfWorkStartedAt_ = 0;  // first tick of real work
+  Tick mlfSlice_ = 0;
+  std::uint64_t mlfGeneration_ = 0;
+  int mlfLastClientId_ = -1;
+  std::unordered_map<int, int> mlfLevel_;
+};
+
+}  // namespace contend::sim

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace contend::sim {
+
+void EventQueue::scheduleAt(Tick when, Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("EventQueue: scheduling into the past");
+  }
+  heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+bool EventQueue::dispatchNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the callback must be moved out, so pull
+  // the event via const_cast before pop — safe because pop follows at once.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run() {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (!stopRequested_ && dispatchNext()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::runUntil(Tick until) {
+  stopRequested_ = false;
+  std::uint64_t n = 0;
+  while (!stopRequested_ && !heap_.empty() && heap_.top().when <= until) {
+    dispatchNext();
+    ++n;
+  }
+  if (heap_.empty() || heap_.top().when > until) {
+    now_ = std::max(now_, until);
+  }
+  return n;
+}
+
+}  // namespace contend::sim

@@ -1,0 +1,44 @@
+#include "sim/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace contend::sim {
+
+SharedLink::SharedLink(EventQueue& queue, TraceRecorder& trace)
+    : queue_(queue), trace_(trace) {}
+
+void SharedLink::requestTransfer(LinkClient* client, Tick wireTime,
+                                 int processId, std::string note) {
+  if (client == nullptr) throw std::invalid_argument("SharedLink: null client");
+  if (wireTime < 0) {
+    throw std::invalid_argument("SharedLink: negative wire time");
+  }
+  waiting_.push_back(
+      Transfer{client, wireTime, queue_.now(), processId, std::move(note)});
+  if (!busyNow_) startNext();
+}
+
+void SharedLink::startNext() {
+  if (busyNow_ || waiting_.empty()) return;
+  Transfer t = std::move(waiting_.front());
+  waiting_.pop_front();
+  busyNow_ = true;
+
+  queueing_ += queue_.now() - t.enqueuedAt;
+  const Tick begin = queue_.now();
+  queue_.scheduleAfter(t.wireTime, [this, t = std::move(t), begin]() mutable {
+    trace_.record(begin, begin + t.wireTime, Activity::kLinkBusy, t.processId,
+                  std::move(t.note));
+    busy_ += t.wireTime;
+    ++completed_;
+    busyNow_ = false;
+    // Hand the wire to the next queued transfer *before* notifying, so a
+    // client that immediately requests again re-enters at the back of the
+    // FIFO instead of jumping ahead of earlier waiters.
+    startNext();
+    t.client->transferDone();
+  });
+}
+
+}  // namespace contend::sim

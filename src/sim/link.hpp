@@ -1,0 +1,73 @@
+// link.hpp — shared half-duplex wire between the front-end and the MIMD
+// back-end (the Sun/Paragon Ethernet of §3.2).
+//
+// The wire is a FIFO single server: one transfer occupies it at a time, in
+// either direction, which is what makes concurrently-communicating
+// applications delay each other (the delay_comm^i term of the model).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// Implemented by processes waiting on wire transfers.
+class LinkClient {
+ public:
+  virtual void transferDone() = 0;
+
+ protected:
+  ~LinkClient() = default;
+};
+
+/// FIFO wire. Callers compute the wire occupancy time themselves (it depends
+/// on direction, hop mode, and fragmentation — see ParagonLinkProfile); the
+/// link only arbitrates and accounts.
+class SharedLink {
+ public:
+  SharedLink(EventQueue& queue, TraceRecorder& trace);
+
+  SharedLink(const SharedLink&) = delete;
+  SharedLink& operator=(const SharedLink&) = delete;
+
+  /// Enqueues a transfer occupying the wire for `wireTime` ticks; calls
+  /// client->transferDone() when it completes. One outstanding transfer per
+  /// client (processes are sequential).
+  void requestTransfer(LinkClient* client, Tick wireTime, int processId,
+                       std::string note = {});
+
+  [[nodiscard]] Tick busyTime() const { return busy_; }
+  /// Accumulated time transfers spent queued behind other transfers.
+  [[nodiscard]] Tick totalQueueingTime() const { return queueing_; }
+  [[nodiscard]] std::uint64_t transfersCompleted() const { return completed_; }
+  [[nodiscard]] int queueLength() const {
+    return static_cast<int>(waiting_.size()) + (busyNow_ ? 1 : 0);
+  }
+
+ private:
+  struct Transfer {
+    LinkClient* client;
+    Tick wireTime;
+    Tick enqueuedAt;
+    int processId;
+    std::string note;
+  };
+
+  void startNext();
+
+  EventQueue& queue_;
+  TraceRecorder& trace_;
+  std::deque<Transfer> waiting_;
+  bool busyNow_ = false;
+
+  Tick busy_ = 0;
+  Tick queueing_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace contend::sim

@@ -1,0 +1,83 @@
+// paragon_link.hpp — per-message cost profile for the front-end <-> MIMD
+// back-end path (the Sun/Paragon Ethernet of §3.2).
+//
+// A message costs two resources:
+//   * front-end CPU, for data-format conversion and protocol processing
+//     (this is why CPU-bound contenders slow communication down, and why
+//     communicating contenders slow computation down), and
+//   * the shared wire.
+// Messages larger than `fragmentWords` are fragmented (TCP segmentation over
+// a small MTU); each fragment pays fixed CPU and wire costs. The fixed
+// per-fragment costs are what make the dedicated per-message time a
+// *piecewise-linear* function of size with a knee at the fragment boundary —
+// the paper found threshold = 1024 words on the real platform, and the
+// calibration suite re-discovers the knee on the simulator the same way.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// Cost split of one message on one direction of the path.
+struct MessageCost {
+  Tick cpu = 0;   // front-end CPU time (conversion + per-fragment protocol)
+  Tick wire = 0;  // wire occupancy
+
+  [[nodiscard]] Tick total() const { return cpu + wire; }
+};
+
+/// One direction (tx: front-end -> back-end, rx: back-end -> front-end).
+struct LinkDirection {
+  Tick convPerMessage = 0;   // fixed CPU cost per message
+  Tick convPerWord = 0;      // CPU cost per payload word
+  Tick convPerFragment = 0;  // CPU cost per fragment beyond the message cost
+  Tick wirePerFragment = 0;  // fixed wire cost per fragment
+  Tick wirePerWord = 0;      // wire cost per payload word
+};
+
+/// Full path profile. 1-HOP (direct TCP to a compute node) and 2-HOPS
+/// (TCP to a service node, NX onwards) are just different parameterizations;
+/// factory functions for both live in platform.hpp.
+struct ParagonLinkProfile {
+  LinkDirection tx;
+  LinkDirection rx;
+  Words fragmentWords = 1024;
+  std::string name = "1-HOP";
+};
+
+/// Number of fragments a message of `words` payload words occupies.
+[[nodiscard]] inline std::int64_t fragmentCount(const ParagonLinkProfile& p,
+                                                Words words) {
+  if (words < 0) throw std::invalid_argument("fragmentCount: negative size");
+  if (p.fragmentWords <= 0) {
+    throw std::invalid_argument("fragmentCount: fragmentWords must be > 0");
+  }
+  if (words == 0) return 1;  // a zero-payload message still occupies a frame
+  return (words + p.fragmentWords - 1) / p.fragmentWords;
+}
+
+/// Dedicated-mode cost of one message in the given direction.
+[[nodiscard]] inline MessageCost messageCost(const ParagonLinkProfile& p,
+                                             const LinkDirection& d,
+                                             Words words) {
+  const std::int64_t frags = fragmentCount(p, words);
+  MessageCost c;
+  c.cpu = d.convPerMessage + words * d.convPerWord + frags * d.convPerFragment;
+  c.wire = frags * d.wirePerFragment + words * d.wirePerWord;
+  return c;
+}
+
+[[nodiscard]] inline MessageCost txCost(const ParagonLinkProfile& p,
+                                        Words words) {
+  return messageCost(p, p.tx, words);
+}
+
+[[nodiscard]] inline MessageCost rxCost(const ParagonLinkProfile& p,
+                                        Words words) {
+  return messageCost(p, p.rx, words);
+}
+
+}  // namespace contend::sim

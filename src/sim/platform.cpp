@@ -1,0 +1,119 @@
+#include "sim/platform.hpp"
+
+#include <utility>
+
+namespace contend::sim {
+
+ParagonLinkProfile makeOneHopProfile() {
+  // Conversion (XDR-style data-format translation on the front-end) costs
+  // more per word than the wire: that is what makes large-message contenders
+  // impose more CPU load than small-message ones, the j-dependence of
+  // delay_comm^{i,j} the paper measures (§3.2.2).
+  ParagonLinkProfile p;
+  p.name = "1-HOP";
+  p.fragmentWords = 1024;
+  // Fixed per-message cost is wire-dominated (round-trip latency and frame
+  // overheads), per-word cost is conversion-dominated: small messages load
+  // the CPU lightly, large ones heavily, with the ratio saturating around
+  // the fragment size — the shape §3.2.2 measures for delay_comm^{i,j}.
+  p.tx.convPerMessage = 50 * kMicrosecond;
+  p.tx.convPerWord = 1200;  // ns/word
+  p.tx.convPerFragment = 50 * kMicrosecond;
+  p.tx.wirePerFragment = 600 * kMicrosecond;
+  p.tx.wirePerWord = 150;  // ns/word
+  p.rx.convPerMessage = 60 * kMicrosecond;
+  p.rx.convPerWord = 1300;
+  p.rx.convPerFragment = 55 * kMicrosecond;
+  p.rx.wirePerFragment = 640 * kMicrosecond;
+  p.rx.wirePerWord = 170;
+  return p;
+}
+
+ParagonLinkProfile makeTwoHopProfile() {
+  // TCP to the service node, NX to the compute node: the extra hop raises
+  // per-fragment wire costs; NX-side conversion is cheaper than raw TCP.
+  ParagonLinkProfile p;
+  p.name = "2-HOPS";
+  p.fragmentWords = 1024;
+  p.tx.convPerMessage = 45 * kMicrosecond;
+  p.tx.convPerWord = 1100;
+  p.tx.convPerFragment = 45 * kMicrosecond;
+  p.tx.wirePerFragment = 780 * kMicrosecond;
+  p.tx.wirePerWord = 180;
+  p.rx.convPerMessage = 50 * kMicrosecond;
+  p.rx.convPerWord = 1200;
+  p.rx.convPerFragment = 50 * kMicrosecond;
+  p.rx.wirePerFragment = 820 * kMicrosecond;
+  p.rx.wirePerWord = 200;
+  return p;
+}
+
+ParagonLinkProfile makeC90T3dProfile() {
+  ParagonLinkProfile p;
+  p.name = "C90/T3D";
+  p.fragmentWords = 4096;  // larger transfer units on the channel
+  p.tx.convPerMessage = 20 * kMicrosecond;
+  p.tx.convPerWord = 120;  // vector front-end converts much faster
+  p.tx.convPerFragment = 15 * kMicrosecond;
+  p.tx.wirePerFragment = 80 * kMicrosecond;
+  p.tx.wirePerWord = 40;  // HIPPI-class channel
+  p.rx.convPerMessage = 22 * kMicrosecond;
+  p.rx.convPerWord = 130;
+  p.rx.convPerFragment = 16 * kMicrosecond;
+  p.rx.wirePerFragment = 85 * kMicrosecond;
+  p.rx.wirePerWord = 45;
+  return p;
+}
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)), seeder_(config_.seed) {
+  cpu_ = std::make_unique<TimeSharedCpu>(queue_, trace_, config_.cpu);
+  link_ = std::make_unique<SharedLink>(queue_, trace_);
+  linkRx_ = std::make_unique<SharedLink>(queue_, trace_);
+  disk_ = std::make_unique<SharedLink>(queue_, trace_);
+  simd_ = std::make_unique<SimdBackend>(queue_, trace_);
+  if (config_.enableDaemon) spawnDaemon();
+}
+
+std::uint64_t Platform::nextProcessSeed() { return seeder_.next(); }
+
+Process& Platform::addProcess(std::string name, Program program,
+                              ProcessKind kind, Tick startAt) {
+  const int id = static_cast<int>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(
+      *this, id, std::move(name), std::move(program), kind,
+      nextProcessSeed()));
+  Process& proc = *processes_.back();
+  if (kind == ProcessKind::kApplication) ++pendingApplications_;
+  queue_.scheduleAt(startAt, [&proc] { proc.begin(); });
+  return proc;
+}
+
+void Platform::run(Tick horizon) {
+  if (pendingApplications_ == 0) return;
+  queue_.runUntil(horizon);
+  if (pendingApplications_ > 0) {
+    throw std::runtime_error(
+        "Platform::run: horizon exceeded with applications still pending "
+        "(workload stuck or horizon too small)");
+  }
+}
+
+void Platform::onProcessHalted(Process& process) {
+  if (process.kind() != ProcessKind::kApplication) return;
+  if (--pendingApplications_ == 0) queue_.stop();
+}
+
+void Platform::spawnDaemon() {
+  // Periodic short CPU burn: enough to perturb timings at the ~1% level
+  // (burst lengths pick up the per-process work jitter), deterministic under
+  // the platform seed.
+  ProgramBuilder b;
+  b.loopBegin();
+  b.sleep(config_.daemonPeriod);
+  b.compute(config_.daemonBurst, "daemon");
+  b.loopEnd(-1);
+  addProcess("os-daemon", b.build(), ProcessKind::kDaemon, 0);
+}
+
+}  // namespace contend::sim

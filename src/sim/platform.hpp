@@ -1,0 +1,138 @@
+// platform.hpp — the coupled two-machine platform under simulation.
+//
+// One Platform = one experiment run: a time-shared front-end CPU, a shared
+// wire to a MIMD back-end (Paragon-like), and a single-sequencer SIMD
+// back-end (CM2-like). Experiments use whichever back-end their workload
+// references; nothing is charged for the unused one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "sim/paragon_link.hpp"
+#include "sim/process.hpp"
+#include "sim/program.hpp"
+#include "sim/simd_backend.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// CM2-side cost constants: every cost here is *front-end CPU time*, because
+/// the CM2's dedicated link is driven element-by-element by the host (§3.1.1).
+struct Cm2Config {
+  Tick dispatchCost = 10 * kMicrosecond;  // CPU cost to issue one parallel op
+  Tick copyPerMessageTx = 1000 * kMicrosecond;  // alpha_sun
+  Tick copyPerWordTx = 800;                     // 1/beta_sun  (ns per word)
+  Tick copyPerMessageRx = 1100 * kMicrosecond;  // alpha_cm2
+  Tick copyPerWordRx = 900;                     // 1/beta_cm2  (ns per word)
+};
+
+/// 1-HOP: front-end speaks TCP/IP directly to a Paragon compute node.
+[[nodiscard]] ParagonLinkProfile makeOneHopProfile();
+/// 2-HOPS: TCP/IP to a service node which forwards over NX. Similar shape,
+/// slightly higher per-fragment costs (the extra hop), cheaper conversion.
+[[nodiscard]] ParagonLinkProfile makeTwoHopProfile();
+/// C90/T3D-flavoured coupling (§2: "we believe that these techniques will
+/// prove useful for such systems as the C90/T3D"): a vector front-end with a
+/// much faster channel, cheaper per-word conversion, and larger transfer
+/// units. Same mechanisms, different constants — the generality bench
+/// recalibrates and revalidates the model on it without code changes.
+[[nodiscard]] ParagonLinkProfile makeC90T3dProfile();
+
+/// Front-end disk: one request at a time (FIFO), each paying a syscall CPU
+/// burst plus seek + per-word transfer on the device.
+struct DiskConfig {
+  Tick syscallCpu = 150 * kMicrosecond;  // front-end CPU per request
+  Tick seekTime = 12 * kMillisecond;     // per-request device latency
+  Tick timePerWord = 500;                // ns/word (~8 MB/s device)
+};
+
+struct PlatformConfig {
+  CpuConfig cpu;
+  Cm2Config cm2;
+  DiskConfig disk;
+  ParagonLinkProfile paragon = makeOneHopProfile();
+
+  /// Fractional, symmetric jitter applied per CPU burst / wire transfer.
+  /// Models run-to-run OS and device variability; keep small.
+  double workJitter = 0.01;
+  double wireJitter = 0.005;
+
+  std::uint64_t seed = 0x5EEDF00DULL;
+
+  /// false (default): one half-duplex wire carries both directions, as on
+  /// the paper's Ethernet. true: independent wires per direction — the
+  /// duplex ablation quantifies how much of delay_comm^i is half-duplex
+  /// arbitration.
+  bool fullDuplexWire = false;
+
+  /// Background "OS daemon": periodically wakes and burns a short CPU burst,
+  /// so even the dedicated runs carry realistic measurement noise.
+  bool enableDaemon = true;
+  Tick daemonPeriod = 100 * kMillisecond;
+  Tick daemonBurst = 600 * kMicrosecond;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] TimeSharedCpu& cpu() { return *cpu_; }
+  [[nodiscard]] SharedLink& link() { return *link_; }
+  /// The wire serving the given direction: the shared half-duplex wire by
+  /// default, a dedicated reverse wire under fullDuplexWire.
+  [[nodiscard]] SharedLink& wireFor(bool outbound) {
+    return (!outbound && config_.fullDuplexWire) ? *linkRx_ : *link_;
+  }
+  [[nodiscard]] SharedLink& disk() { return *disk_; }
+  [[nodiscard]] SimdBackend& simd() { return *simd_; }
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+  /// Adds a process that starts executing at `startAt`.
+  Process& addProcess(std::string name, Program program,
+                      ProcessKind kind = ProcessKind::kApplication,
+                      Tick startAt = 0);
+
+  /// Runs until every kApplication process has halted. Throws
+  /// std::runtime_error if the horizon is exceeded (stuck workload).
+  void run(Tick horizon = 100'000 * kSecond);
+
+  [[nodiscard]] Tick now() const { return queue_.now(); }
+
+  /// Fresh RNG seed derived from the platform seed (one per process).
+  [[nodiscard]] std::uint64_t nextProcessSeed();
+
+  /// Internal: processes report completion here.
+  void onProcessHalted(Process& process);
+
+ private:
+  void spawnDaemon();
+
+  PlatformConfig config_;
+  EventQueue queue_;
+  TraceRecorder trace_;
+  std::unique_ptr<TimeSharedCpu> cpu_;
+  std::unique_ptr<SharedLink> link_;
+  std::unique_ptr<SharedLink> linkRx_;  // only used under fullDuplexWire
+  std::unique_ptr<SharedLink> disk_;
+  std::unique_ptr<SimdBackend> simd_;
+  SplitMix64 seeder_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  int pendingApplications_ = 0;
+};
+
+}  // namespace contend::sim

@@ -1,0 +1,238 @@
+#include "sim/process.hpp"
+
+#include <stdexcept>
+#include <variant>
+
+#include "sim/platform.hpp"
+
+namespace contend::sim {
+
+Process::Process(Platform& platform, int id, std::string name, Program program,
+                 ProcessKind kind, std::uint64_t rngSeed)
+    : platform_(platform),
+      id_(id),
+      name_(std::move(name)),
+      program_(std::move(program)),
+      kind_(kind),
+      rng_(rngSeed),
+      loopCounters_(program_.size(), 0) {
+  if (program_.empty()) {
+    throw std::invalid_argument("Process: empty program");
+  }
+}
+
+void Process::begin() {
+  if (state_ != ProcessState::kNotStarted) {
+    throw std::logic_error("Process: begin() called twice");
+  }
+  state_ = ProcessState::kReady;
+  advance();
+}
+
+Tick Process::stampAt(int slot) const {
+  if (!hasStamp(slot)) {
+    throw std::out_of_range("Process: stamp slot " + std::to_string(slot) +
+                            " was never recorded by '" + name_ + "'");
+  }
+  return stamps_[static_cast<std::size_t>(slot)];
+}
+
+bool Process::hasStamp(int slot) const {
+  return slot >= 0 && static_cast<std::size_t>(slot) < stamps_.size() &&
+         stamps_[static_cast<std::size_t>(slot)] >= 0;
+}
+
+Tick Process::jitteredWork(Tick base) {
+  const double frac = platform_.config().workJitter;
+  if (frac <= 0.0 || base <= 0) return base;
+  const auto magnitude = static_cast<Tick>(static_cast<double>(base) * frac);
+  return base + rng_.nextJitter(magnitude);
+}
+
+Tick Process::jitteredWire(Tick base) {
+  const double frac = platform_.config().wireJitter;
+  if (frac <= 0.0 || base <= 0) return base;
+  const auto magnitude = static_cast<Tick>(static_cast<double>(base) * frac);
+  return base + rng_.nextJitter(magnitude);
+}
+
+void Process::advance() {
+  for (;;) {
+    const Op& op = program_.ops()[pc_];
+
+    if (const auto* c = std::get_if<ComputeOp>(&op)) {
+      state_ = ProcessState::kReady;
+      platform_.cpu().submit(this, jitteredWork(c->work), c->note);
+      return;
+    }
+    if (const auto* s = std::get_if<SleepOp>(&op)) {
+      state_ = ProcessState::kSleeping;
+      platform_.queue().scheduleAfter(s->duration, [this] { opComplete(); });
+      return;
+    }
+    if (const auto* s = std::get_if<SendOp>(&op)) {
+      // Stage 0: CPU data-format conversion; stage 1 (in cpuBurstDone):
+      // occupy the wire.
+      const MessageCost cost = txCost(platform_.config().paragon, s->words);
+      stage_ = 0;
+      state_ = ProcessState::kReady;
+      platform_.cpu().submit(this, jitteredWork(cost.cpu), "send-conv");
+      return;
+    }
+    if (const auto* r = std::get_if<RecvOp>(&op)) {
+      // Stage 0: inbound wire transfer; stage 1: CPU conversion.
+      const MessageCost cost = rxCost(platform_.config().paragon, r->words);
+      stage_ = 0;
+      state_ = ProcessState::kBlockedOnLink;
+      platform_.wireFor(false).requestTransfer(
+          this, jitteredWire(cost.wire), id_, "recv");
+      return;
+    }
+    if (const auto* c = std::get_if<Cm2CopyOp>(&op)) {
+      const Cm2Config& cm2 = platform_.config().cm2;
+      const Tick perMessage = c->toBackend
+          ? cm2.copyPerMessageTx + c->wordsPerMessage * cm2.copyPerWordTx
+          : cm2.copyPerMessageRx + c->wordsPerMessage * cm2.copyPerWordRx;
+      state_ = ProcessState::kReady;
+      platform_.cpu().submit(this, jitteredWork(perMessage * c->messages),
+                             c->toBackend ? "cm2-copy-tx" : "cm2-copy-rx");
+      return;
+    }
+    if (const auto* d = std::get_if<DispatchOp>(&op)) {
+      // Stage 0: CPU burst issuing the instruction; stage 1: sequencer.
+      stage_ = 0;
+      state_ = ProcessState::kReady;
+      platform_.cpu().submit(this, jitteredWork(platform_.config().cm2.dispatchCost),
+                             d->note.empty() ? "dispatch" : d->note);
+      return;
+    }
+    if (const auto* d = std::get_if<DiskOp>(&op)) {
+      // Stage 0: syscall CPU burst; stage 1 (in cpuBurstDone): occupy the
+      // disk for seek + transfer.
+      (void)d;
+      stage_ = 0;
+      state_ = ProcessState::kReady;
+      platform_.cpu().submit(
+          this, jitteredWork(platform_.config().disk.syscallCpu), "disk-sys");
+      return;
+    }
+    if (const auto* s = std::get_if<StampOp>(&op)) {
+      const auto slot = static_cast<std::size_t>(s->slot);
+      if (stamps_.size() <= slot) stamps_.resize(slot + 1, -1);
+      stamps_[slot] = platform_.now();
+      ++pc_;
+      continue;
+    }
+    if (const auto* l = std::get_if<LoopOp>(&op)) {
+      auto& counter = loopCounters_[pc_];
+      ++counter;
+      if (l->iterations < 0 || counter < l->iterations) {
+        pc_ = l->bodyStart;
+      } else {
+        counter = 0;  // reset so an enclosing loop can re-enter this body
+        ++pc_;
+      }
+      continue;
+    }
+    // HaltOp
+    state_ = ProcessState::kHalted;
+    haltedAt_ = platform_.now();
+    platform_.onProcessHalted(*this);
+    return;
+  }
+}
+
+void Process::opComplete() {
+  ++pc_;
+  stage_ = 0;
+  advance();
+}
+
+void Process::cpuBurstDone() {
+  const Op& op = program_.ops()[pc_];
+  if (std::holds_alternative<ComputeOp>(op) ||
+      std::holds_alternative<Cm2CopyOp>(op)) {
+    opComplete();
+    return;
+  }
+  if (const auto* s = std::get_if<SendOp>(&op)) {
+    // Conversion finished; now occupy the wire.
+    stage_ = 1;
+    state_ = ProcessState::kBlockedOnLink;
+    const MessageCost cost = txCost(platform_.config().paragon, s->words);
+    platform_.wireFor(true).requestTransfer(this, jitteredWire(cost.wire),
+                                            id_, "send");
+    return;
+  }
+  if (std::holds_alternative<RecvOp>(op)) {
+    // Stage 1 conversion burst finished: message delivered.
+    opComplete();
+    return;
+  }
+  if (const auto* d = std::get_if<DispatchOp>(&op)) {
+    stage_ = 1;
+    startDispatchOnBackend(*d);
+    return;
+  }
+  if (const auto* d = std::get_if<DiskOp>(&op)) {
+    // Syscall done; queue the device request.
+    stage_ = 1;
+    state_ = ProcessState::kBlockedOnLink;
+    const DiskConfig& disk = platform_.config().disk;
+    const Tick device = disk.seekTime + d->words * disk.timePerWord;
+    platform_.disk().requestTransfer(this, jitteredWire(device), id_, "disk");
+    return;
+  }
+  throw std::logic_error("Process: unexpected cpuBurstDone in '" + name_ + "'");
+}
+
+void Process::startDispatchOnBackend(const DispatchOp& op) {
+  const bool started = platform_.simd().tryStart(
+      op.backendWork, this, op.waitForResult, id_, op.note);
+  if (!started) {
+    state_ = ProcessState::kBlockedOnBackend;
+    return;  // backendFree() will retry
+  }
+  if (op.waitForResult) {
+    state_ = ProcessState::kBlockedOnBackend;
+    return;  // backendOpDone() completes the op
+  }
+  opComplete();
+}
+
+void Process::transferDone() {
+  const Op& op = program_.ops()[pc_];
+  if (std::holds_alternative<SendOp>(op) ||
+      std::holds_alternative<DiskOp>(op)) {
+    opComplete();
+    return;
+  }
+  if (const auto* r = std::get_if<RecvOp>(&op)) {
+    // Wire transfer landed; unpack/convert on the front-end CPU.
+    stage_ = 1;
+    state_ = ProcessState::kReady;
+    const MessageCost cost = rxCost(platform_.config().paragon, r->words);
+    platform_.cpu().submit(this, jitteredWork(cost.cpu), "recv-conv");
+    return;
+  }
+  throw std::logic_error("Process: unexpected transferDone in '" + name_ + "'");
+}
+
+void Process::backendFree() {
+  const auto* d = std::get_if<DispatchOp>(&program_.ops()[pc_]);
+  if (d == nullptr || stage_ != 1) {
+    throw std::logic_error("Process: unexpected backendFree in '" + name_ + "'");
+  }
+  startDispatchOnBackend(*d);
+}
+
+void Process::backendOpDone() {
+  const auto* d = std::get_if<DispatchOp>(&program_.ops()[pc_]);
+  if (d == nullptr || !d->waitForResult) {
+    throw std::logic_error("Process: unexpected backendOpDone in '" + name_ +
+                           "'");
+  }
+  opComplete();
+}
+
+}  // namespace contend::sim

@@ -1,0 +1,87 @@
+// process.hpp — a simulated sequential process executing a phase Program.
+//
+// Each process is a small state machine: the interpreter walks the op list,
+// and multi-resource ops (send = CPU conversion then wire; dispatch = CPU
+// burst then sequencer) advance through stages driven by resource callbacks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/link.hpp"
+#include "sim/program.hpp"
+#include "sim/simd_backend.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+class Platform;
+
+enum class ProcessKind {
+  kApplication,  // tracked: Platform::run() returns when all of these halt
+  kDaemon,       // background noise: ignored by completion tracking
+};
+
+enum class ProcessState {
+  kNotStarted,
+  kReady,           // waiting for / using the CPU
+  kSleeping,
+  kBlockedOnLink,
+  kBlockedOnBackend,
+  kHalted,
+};
+
+class Process final : public CpuClient, public LinkClient, public BackendClient {
+ public:
+  Process(Platform& platform, int id, std::string name, Program program,
+          ProcessKind kind, std::uint64_t rngSeed);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Begins executing the program. Invoked by the Platform at start time.
+  void begin();
+
+  [[nodiscard]] int processId() const override { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ProcessKind kind() const { return kind_; }
+  [[nodiscard]] ProcessState state() const { return state_; }
+  [[nodiscard]] bool halted() const { return state_ == ProcessState::kHalted; }
+  [[nodiscard]] Tick haltedAt() const { return haltedAt_; }
+
+  /// Time recorded by StampOp for `slot`; throws if the slot was never hit.
+  [[nodiscard]] Tick stampAt(int slot) const;
+  [[nodiscard]] bool hasStamp(int slot) const;
+
+  // Resource callbacks (CpuClient / LinkClient / BackendClient).
+  void cpuBurstDone() override;
+  void transferDone() override;
+  void backendFree() override;
+  void backendOpDone() override;
+
+ private:
+  void advance();
+  void opComplete();
+  void startDispatchOnBackend(const DispatchOp& op);
+  [[nodiscard]] Tick jitteredWork(Tick base);
+  [[nodiscard]] Tick jitteredWire(Tick base);
+
+  Platform& platform_;
+  const int id_;
+  const std::string name_;
+  const Program program_;
+  const ProcessKind kind_;
+  SplitMix64 rng_;
+
+  std::size_t pc_ = 0;
+  int stage_ = 0;  // progress within a multi-stage op
+  std::vector<std::int64_t> loopCounters_;
+  std::vector<Tick> stamps_;
+  ProcessState state_ = ProcessState::kNotStarted;
+  Tick haltedAt_ = -1;
+};
+
+}  // namespace contend::sim

@@ -1,0 +1,176 @@
+// program.hpp — phase programs: what a simulated process does.
+//
+// A process is a sequential interpreter over a small op list. This mirrors
+// how the paper characterizes workloads: applications alternate computation
+// and communication cycles, and the CM2 programs alternate serial
+// instructions with parallel instructions streamed to the back-end.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// Dedicated-mode CPU burst on the front-end.
+struct ComputeOp {
+  Tick work;
+  std::string note;
+};
+
+/// Wall-clock delay consuming no resources (timers, space-shared back-end
+/// compute, daemon periods).
+struct SleepOp {
+  Tick duration;
+};
+
+/// Synchronous message front-end -> MIMD back-end: CPU conversion burst,
+/// then wire occupancy. The process blocks until the wire transfer retires.
+struct SendOp {
+  Words words;
+};
+
+/// Synchronous message MIMD back-end -> front-end: wire occupancy, then CPU
+/// conversion burst on the front-end.
+struct RecvOp {
+  Words words;
+};
+
+/// CM2-style transfer: `messages` point-to-point copies of `wordsPerMessage`
+/// words each, driven entirely by the front-end CPU (§3.1.1 — element-by-
+/// element copies over the dedicated link are front-end work, which is why
+/// CPU contention slows them by p + 1).
+struct Cm2CopyOp {
+  Words wordsPerMessage;
+  std::int64_t messages;
+  bool toBackend;
+};
+
+/// Issue a parallel instruction to the SIMD back-end: small dispatch CPU
+/// burst, then the back-end executes for `backendWork`. With
+/// `waitForResult`, the process blocks until the instruction retires (a
+/// reduction); otherwise it continues pre-executing serial code (Fig. 2).
+struct DispatchOp {
+  Tick backendWork;
+  bool waitForResult;
+  std::string note;
+};
+
+/// Records the current simulation time into the process's stamp slot.
+struct StampOp {
+  int slot;
+};
+
+/// Jump back to `bodyStart` until the body has run `iterations` times;
+/// iterations < 0 loops forever.
+struct LoopOp {
+  std::size_t bodyStart;
+  std::int64_t iterations;
+};
+
+/// Synchronous disk request on the front-end: a small syscall CPU burst,
+/// then exclusive disk occupancy (seek + transfer). Added for the §4
+/// extension that folds I/O contention into the model.
+struct DiskOp {
+  Words words;
+};
+
+struct HaltOp {};
+
+using Op = std::variant<ComputeOp, SleepOp, SendOp, RecvOp, Cm2CopyOp,
+                        DispatchOp, StampOp, LoopOp, DiskOp, HaltOp>;
+
+/// Immutable op list; always terminated by HaltOp (the builder appends it).
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  [[nodiscard]] const std::vector<Op>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// Fluent builder. Loops nest:
+///   b.loopBegin(); ... body ...; b.loopEnd(100);
+class ProgramBuilder {
+ public:
+  ProgramBuilder& compute(Tick work, std::string note = {}) {
+    if (work < 0) throw std::invalid_argument("compute: negative work");
+    ops_.emplace_back(ComputeOp{work, std::move(note)});
+    return *this;
+  }
+  ProgramBuilder& sleep(Tick duration) {
+    if (duration < 0) throw std::invalid_argument("sleep: negative duration");
+    ops_.emplace_back(SleepOp{duration});
+    return *this;
+  }
+  ProgramBuilder& send(Words words) {
+    if (words < 0) throw std::invalid_argument("send: negative size");
+    ops_.emplace_back(SendOp{words});
+    return *this;
+  }
+  ProgramBuilder& recv(Words words) {
+    if (words < 0) throw std::invalid_argument("recv: negative size");
+    ops_.emplace_back(RecvOp{words});
+    return *this;
+  }
+  ProgramBuilder& diskIo(Words words) {
+    if (words < 0) throw std::invalid_argument("diskIo: negative size");
+    ops_.emplace_back(DiskOp{words});
+    return *this;
+  }
+  ProgramBuilder& cm2Copy(Words wordsPerMessage, std::int64_t messages,
+                          bool toBackend) {
+    if (wordsPerMessage < 0 || messages < 0) {
+      throw std::invalid_argument("cm2Copy: negative arguments");
+    }
+    ops_.emplace_back(Cm2CopyOp{wordsPerMessage, messages, toBackend});
+    return *this;
+  }
+  ProgramBuilder& dispatch(Tick backendWork, bool waitForResult = false,
+                           std::string note = {}) {
+    if (backendWork < 0) throw std::invalid_argument("dispatch: negative work");
+    ops_.emplace_back(DispatchOp{backendWork, waitForResult, std::move(note)});
+    return *this;
+  }
+  ProgramBuilder& stamp(int slot) {
+    if (slot < 0) throw std::invalid_argument("stamp: negative slot");
+    ops_.emplace_back(StampOp{slot});
+    return *this;
+  }
+  ProgramBuilder& loopBegin() {
+    loopStack_.push_back(ops_.size());
+    return *this;
+  }
+  ProgramBuilder& loopEnd(std::int64_t iterations) {
+    if (loopStack_.empty()) throw std::logic_error("loopEnd without loopBegin");
+    if (iterations == 0) {
+      throw std::invalid_argument("loopEnd: zero iterations (use -1 for forever)");
+    }
+    ops_.emplace_back(LoopOp{loopStack_.back(), iterations});
+    loopStack_.pop_back();
+    return *this;
+  }
+
+  [[nodiscard]] Program build() {
+    if (!loopStack_.empty()) throw std::logic_error("unclosed loopBegin");
+    std::vector<Op> ops = std::move(ops_);
+    ops.emplace_back(HaltOp{});
+    ops_.clear();
+    return Program(std::move(ops));
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::vector<std::size_t> loopStack_;
+};
+
+}  // namespace contend::sim

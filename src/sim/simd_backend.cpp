@@ -1,0 +1,55 @@
+#include "sim/simd_backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace contend::sim {
+
+SimdBackend::SimdBackend(EventQueue& queue, TraceRecorder& trace)
+    : queue_(queue), trace_(trace) {}
+
+bool SimdBackend::tryStart(Tick work, BackendClient* client,
+                           bool notifyCompletion, int processId,
+                           std::string note) {
+  if (client == nullptr) throw std::invalid_argument("SimdBackend: null client");
+  if (work < 0) throw std::invalid_argument("SimdBackend: negative work");
+
+  if (busy_) {
+    if (blockedDispatcher_ != nullptr) {
+      throw std::logic_error(
+          "SimdBackend: a second process tried to use the sequencer; the CM2 "
+          "admits one application at a time");
+    }
+    blockedDispatcher_ = client;
+    return false;
+  }
+
+  busy_ = true;
+  if (firstDispatch_ < 0) firstDispatch_ = queue_.now();
+  const Tick begin = queue_.now();
+  queue_.scheduleAfter(
+      work, [this, client, notifyCompletion, processId, begin, work,
+             note = std::move(note)]() mutable {
+        trace_.record(begin, begin + work, Activity::kBackendExec, processId,
+                      std::move(note));
+        exec_ += work;
+        ++retired_;
+        lastRetire_ = queue_.now();
+        busy_ = false;
+        // Wake a dispatcher that blocked on the sequencer before delivering
+        // the completion notification: the paper's pipeline frees the
+        // sequencer first, then the host observes the result.
+        if (BackendClient* waiter = std::exchange(blockedDispatcher_, nullptr)) {
+          waiter->backendFree();
+        }
+        if (notifyCompletion) client->backendOpDone();
+      });
+  return true;
+}
+
+Tick SimdBackend::idleTimeWithinSpan() const {
+  if (firstDispatch_ < 0 || lastRetire_ < firstDispatch_) return 0;
+  return (lastRetire_ - firstDispatch_) - exec_;
+}
+
+}  // namespace contend::sim

@@ -1,0 +1,73 @@
+// simd_backend.hpp — CM2-like SIMD back-end.
+//
+// §3.1 of the paper: the back-end never runs a program by itself; the
+// front-end streams instructions to it. There is a single sequencer, so only
+// one application can use the back-end at a time. The front-end may
+// pre-execute serial code while the back-end runs a parallel instruction
+// (Figure 2), but blocks when it needs a result (reduction) or when it wants
+// to issue an instruction while the sequencer is still busy.
+#pragma once
+
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// Implemented by the process driving the back-end.
+class BackendClient {
+ public:
+  /// The sequencer became free after this client blocked trying to dispatch.
+  virtual void backendFree() = 0;
+  /// The instruction this client chose to wait on (a reduction) completed.
+  virtual void backendOpDone() = 0;
+
+ protected:
+  ~BackendClient() = default;
+};
+
+/// Single-sequencer SIMD back-end. Tracks busy/idle integrals so harnesses
+/// can measure dcomp_cm2 and didle_cm2 the way the paper defines them.
+class SimdBackend {
+ public:
+  SimdBackend(EventQueue& queue, TraceRecorder& trace);
+
+  SimdBackend(const SimdBackend&) = delete;
+  SimdBackend& operator=(const SimdBackend&) = delete;
+
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Attempts to start a parallel instruction taking `work` ticks.
+  /// - If the sequencer is idle, starts it and returns true. When
+  ///   `notifyCompletion` is set, client->backendOpDone() fires at completion
+  ///   (the dispatching process waits on a result).
+  /// - If busy, registers `client` to receive backendFree() when the current
+  ///   instruction retires, and returns false. Only one blocked dispatcher is
+  ///   supported (single application owns the sequencer).
+  bool tryStart(Tick work, BackendClient* client, bool notifyCompletion,
+                int processId, std::string note = {});
+
+  /// Total ticks the sequencer spent executing parallel instructions.
+  [[nodiscard]] Tick execTime() const { return exec_; }
+  /// Idle time between the first dispatch and the latest retire.
+  [[nodiscard]] Tick idleTimeWithinSpan() const;
+  [[nodiscard]] Tick firstDispatchAt() const { return firstDispatch_; }
+  [[nodiscard]] Tick lastRetireAt() const { return lastRetire_; }
+  [[nodiscard]] std::int64_t instructionsRetired() const { return retired_; }
+
+ private:
+  EventQueue& queue_;
+  TraceRecorder& trace_;
+
+  bool busy_ = false;
+  BackendClient* blockedDispatcher_ = nullptr;
+
+  Tick exec_ = 0;
+  Tick firstDispatch_ = -1;
+  Tick lastRetire_ = -1;
+  std::int64_t retired_ = 0;
+};
+
+}  // namespace contend::sim

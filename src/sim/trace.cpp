@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace contend::sim {
+
+const char* activityName(Activity a) {
+  switch (a) {
+    case Activity::kCpuRun:
+      return "cpu-run";
+    case Activity::kCpuSwitch:
+      return "cpu-switch";
+    case Activity::kLinkBusy:
+      return "link-busy";
+    case Activity::kBackendExec:
+      return "backend-exec";
+    case Activity::kBackendIdle:
+      return "backend-idle";
+    case Activity::kProcBlocked:
+      return "proc-blocked";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::record(Tick begin, Tick end, Activity activity,
+                           int processId, std::string note) {
+  if (!enabled_) return;
+  if (end < begin) throw std::logic_error("TraceRecorder: end < begin");
+  if (begin == end) return;  // zero-length intervals add nothing
+  intervals_.push_back(TraceInterval{begin, end, activity, processId,
+                                     std::move(note)});
+}
+
+Tick TraceRecorder::totalTime(Activity activity, int processId) const {
+  Tick total = 0;
+  for (const auto& iv : intervals_) {
+    if (iv.activity != activity) continue;
+    if (processId >= 0 && iv.processId != processId) continue;
+    total += iv.end - iv.begin;
+  }
+  return total;
+}
+
+}  // namespace contend::sim

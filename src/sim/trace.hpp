@@ -1,0 +1,62 @@
+// trace.hpp — interval trace recorder.
+//
+// Records who occupied which resource when, so the harness can reproduce the
+// paper's Figure 2 (the Sun/CM2 instruction interleaving) and so tests can
+// assert scheduling invariants (no overlapping occupancy of an exclusive
+// resource, conservation of CPU time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::sim {
+
+/// What a resource was doing during an interval.
+enum class Activity {
+  kCpuRun,       // process executing on the front-end CPU
+  kCpuSwitch,    // context-switch overhead
+  kLinkBusy,     // wire occupied by a transfer
+  kBackendExec,  // back-end executing a parallel instruction
+  kBackendIdle,  // back-end idle, waiting for the front-end
+  kProcBlocked,  // process blocked (link, backend, or sleep)
+};
+
+[[nodiscard]] const char* activityName(Activity a);
+
+struct TraceInterval {
+  Tick begin = 0;
+  Tick end = 0;
+  Activity activity = Activity::kCpuRun;
+  /// Owning process id, or -1 when not applicable (e.g. backend idle).
+  int processId = -1;
+  /// Free-form annotation ("serial", "parallel op 3", "send 200w", ...).
+  std::string note;
+};
+
+/// Append-only interval log. Disabled by default: recording every CPU slice
+/// of a long run is costly, so benches enable it only for the trace figure.
+class TraceRecorder {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Tick begin, Tick end, Activity activity, int processId,
+              std::string note = {});
+
+  [[nodiscard]] const std::vector<TraceInterval>& intervals() const {
+    return intervals_;
+  }
+  void clear() { intervals_.clear(); }
+
+  /// Total recorded duration of a given activity (optionally one process).
+  [[nodiscard]] Tick totalTime(Activity activity, int processId = -1) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace contend::sim

@@ -1,0 +1,87 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace contend::sim {
+
+void exportTraceCsv(const TraceRecorder& trace, std::ostream& out) {
+  out << "begin_ns,end_ns,activity,process,note\n";
+  for (const TraceInterval& iv : trace.intervals()) {
+    // Notes are free-form; quote them (doubling embedded quotes).
+    std::string note = "\"";
+    for (char ch : iv.note) {
+      if (ch == '"') note += '"';
+      note += ch;
+    }
+    note += '"';
+    out << iv.begin << ',' << iv.end << ',' << activityName(iv.activity)
+        << ',' << iv.processId << ',' << note << '\n';
+  }
+}
+
+void exportTraceCsv(const TraceRecorder& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("exportTraceCsv: cannot open " + path);
+  exportTraceCsv(trace, out);
+}
+
+std::string renderGantt(const TraceRecorder& trace,
+                        const GanttOptions& options) {
+  if (options.width < 10) {
+    throw std::invalid_argument("renderGantt: width too small");
+  }
+  const auto& intervals = trace.intervals();
+  if (intervals.empty()) return "(empty trace)\n";
+
+  Tick lo = options.begin;
+  Tick hi = options.end;
+  if (hi < 0) {
+    hi = 0;
+    for (const TraceInterval& iv : intervals) hi = std::max(hi, iv.end);
+  }
+  if (hi <= lo) throw std::invalid_argument("renderGantt: empty window");
+
+  // Lane per (activity, process).
+  std::map<std::pair<int, int>, std::string> lanes;
+  const double span = static_cast<double>(hi - lo);
+  const auto column = [&](Tick t) {
+    const double f = static_cast<double>(t - lo) / span;
+    return std::clamp(static_cast<int>(f * options.width), 0,
+                      options.width - 1);
+  };
+
+  for (const TraceInterval& iv : intervals) {
+    if (iv.end <= lo || iv.begin >= hi) continue;
+    auto key = std::make_pair(static_cast<int>(iv.activity), iv.processId);
+    auto [it, inserted] =
+        lanes.emplace(key, std::string(static_cast<std::size_t>(options.width), '.'));
+    const int from = column(std::max(iv.begin, lo));
+    const int to = std::max(from + 1, column(std::min(iv.end, hi)));
+    for (int c = from; c < to; ++c) {
+      it->second[static_cast<std::size_t>(c)] = '#';
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& [key, lane] : lanes) {
+    std::ostringstream label;
+    label << activityName(static_cast<Activity>(key.first));
+    if (key.second >= 0) label << "/p" << key.second;
+    out << label.str();
+    for (std::size_t pad = label.str().size(); pad < 18; ++pad) out << ' ';
+    out << '|' << lane << "|\n";
+  }
+  out << std::string(18, ' ') << '|' << toMilliseconds(lo) << " ms"
+      << std::string(
+             std::max<std::size_t>(
+                 1, static_cast<std::size_t>(options.width) - 20),
+             ' ')
+      << toMilliseconds(hi) << " ms|\n";
+  return out.str();
+}
+
+}  // namespace contend::sim

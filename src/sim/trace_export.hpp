@@ -1,0 +1,33 @@
+// trace_export.hpp — exporting recorded traces for inspection.
+//
+// Two renderers: a CSV dump (one row per interval, for external plotting)
+// and an ASCII Gantt chart (one lane per process/resource) used by the
+// Figure-2 harness and handy when debugging simulated schedules.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace contend::sim {
+
+/// Writes `begin_ns,end_ns,activity,process,note` rows.
+void exportTraceCsv(const TraceRecorder& trace, std::ostream& out);
+void exportTraceCsv(const TraceRecorder& trace, const std::string& path);
+
+struct GanttOptions {
+  /// Total character width of the time axis.
+  int width = 100;
+  /// Render only intervals overlapping [begin, end); end < 0 = everything.
+  Tick begin = 0;
+  Tick end = -1;
+};
+
+/// Renders lanes: one per (activity kind, process id) pair that appears in
+/// the trace, each a row of '#' blocks on a '.' background, plus a time
+/// scale. Deterministic lane order (activity, then process id).
+[[nodiscard]] std::string renderGantt(const TraceRecorder& trace,
+                                      const GanttOptions& options = {});
+
+}  // namespace contend::sim

@@ -1,0 +1,128 @@
+#include "tools/workload_file.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace contend::tools {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("workload file, line " + std::to_string(line) +
+                           ": " + message);
+}
+
+std::string stripComment(const std::string& line) {
+  const auto hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+/// Parses "N x W" into a DataSet.
+model::DataSet parseDataSet(std::istringstream& in, int line) {
+  std::int64_t messages = 0;
+  std::string x;
+  Words words = 0;
+  if (!(in >> messages >> x >> words) || x != "x") {
+    fail(line, "expected '<messages> x <words>'");
+  }
+  if (messages <= 0 || words < 0) fail(line, "sizes must be positive");
+  std::string extra;
+  if (in >> extra) fail(line, "trailing tokens: '" + extra + "'");
+  return model::DataSet{messages, words};
+}
+
+}  // namespace
+
+WorkloadFile parseWorkload(std::istream& in) {
+  WorkloadFile workload;
+  std::optional<TaskSpec> current;
+  bool sawFront = false, sawBack = false;
+
+  std::string raw;
+  int lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    std::istringstream line(stripComment(raw));
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only
+
+    if (keyword == "competitor") {
+      if (current) fail(lineNo, "'competitor' not allowed inside a task");
+      model::CompetingApp app;
+      if (!(line >> app.commFraction >> app.messageWords)) {
+        fail(lineNo, "expected 'competitor <fraction> <words>'");
+      }
+      if (app.commFraction < 0.0 || app.commFraction > 1.0) {
+        fail(lineNo, "comm fraction outside [0, 1]");
+      }
+      if (app.commFraction > 0.0 && app.messageWords <= 0) {
+        fail(lineNo, "communicating competitor needs a message size");
+      }
+      workload.competitors.push_back(app);
+    } else if (keyword == "task") {
+      if (current) fail(lineNo, "nested 'task' (missing 'end'?)");
+      TaskSpec task;
+      if (!(line >> task.name)) fail(lineNo, "task needs a name");
+      current = std::move(task);
+      sawFront = sawBack = false;
+    } else if (keyword == "front" || keyword == "back") {
+      if (!current) fail(lineNo, "'" + keyword + "' outside a task");
+      double seconds = 0.0;
+      if (!(line >> seconds) || seconds < 0.0) {
+        fail(lineNo, "expected a non-negative duration in seconds");
+      }
+      (keyword == "front" ? current->frontEndSec : current->backEndSec) =
+          seconds;
+      (keyword == "front" ? sawFront : sawBack) = true;
+    } else if (keyword == "to_backend" || keyword == "from_backend") {
+      if (!current) fail(lineNo, "'" + keyword + "' outside a task");
+      (keyword == "to_backend" ? current->toBackend : current->fromBackend)
+          .push_back(parseDataSet(line, lineNo));
+    } else if (keyword == "end") {
+      if (!current) fail(lineNo, "'end' without 'task'");
+      if (!sawFront || !sawBack) {
+        fail(lineNo, "task '" + current->name +
+                         "' needs both 'front' and 'back' costs");
+      }
+      workload.tasks.push_back(std::move(*current));
+      current.reset();
+    } else {
+      fail(lineNo, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (current) {
+    throw std::runtime_error("workload file: task '" + current->name +
+                             "' not closed with 'end'");
+  }
+  return workload;
+}
+
+WorkloadFile parseWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload file " + path);
+  return parseWorkload(in);
+}
+
+void writeWorkload(const WorkloadFile& workload, std::ostream& out) {
+  out << "# contend workload description\n";
+  for (const model::CompetingApp& app : workload.competitors) {
+    out << "competitor " << app.commFraction << ' ' << app.messageWords
+        << '\n';
+  }
+  for (const TaskSpec& task : workload.tasks) {
+    out << "task " << task.name << '\n';
+    out << "  front " << task.frontEndSec << '\n';
+    out << "  back " << task.backEndSec << '\n';
+    for (const model::DataSet& ds : task.toBackend) {
+      out << "  to_backend " << ds.messages << " x " << ds.words << '\n';
+    }
+    for (const model::DataSet& ds : task.fromBackend) {
+      out << "  from_backend " << ds.messages << " x " << ds.words << '\n';
+    }
+    out << "end\n";
+  }
+}
+
+}  // namespace contend::tools

@@ -1,0 +1,52 @@
+// workload_file.hpp — parser for the `.workload` text format used by the
+// contend_predict CLI.
+//
+// The format describes what a scheduler needs at run-time: the competing
+// applications currently on the front-end, and the candidate tasks with
+// their dedicated-mode costs and transfer volumes. Example:
+//
+//     # two competitors share the front-end
+//     competitor 0.30 800      # comm fraction, message words
+//     competitor 0.0  0        # CPU-bound
+//
+//     task solver
+//       front 8.0              # dedicated front-end seconds
+//       back  1.5              # back-end seconds (space-shared)
+//       to_backend   512 x 512 # messages x words per message
+//       from_backend 512 x 512
+//     end
+//
+// Lines are independent; '#' starts a comment; blank lines ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/comm_model.hpp"
+#include "model/mix.hpp"
+
+namespace contend::tools {
+
+struct TaskSpec {
+  std::string name;
+  double frontEndSec = 0.0;
+  double backEndSec = 0.0;
+  std::vector<model::DataSet> toBackend;
+  std::vector<model::DataSet> fromBackend;
+};
+
+struct WorkloadFile {
+  std::vector<model::CompetingApp> competitors;
+  std::vector<TaskSpec> tasks;
+};
+
+/// Parses the format above. Throws std::runtime_error with a line-numbered
+/// message on any syntax or semantic problem.
+[[nodiscard]] WorkloadFile parseWorkload(std::istream& in);
+[[nodiscard]] WorkloadFile parseWorkloadFile(const std::string& path);
+
+/// Serializes back to the same format (round-trip tested).
+void writeWorkload(const WorkloadFile& workload, std::ostream& out);
+
+}  // namespace contend::tools

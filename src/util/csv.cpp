@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace contend {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) {
+    throw std::invalid_argument("CsvWriter: header must be nonempty");
+  }
+  writeRow(header);
+}
+
+void CsvWriter::addRow(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width != header width");
+  }
+  writeRow(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace contend

@@ -1,0 +1,36 @@
+// csv.hpp — minimal CSV writer so bench harnesses can emit machine-readable
+// series (one file per figure) alongside the ASCII tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace contend {
+
+/// Writes rows of already-formatted cells. Cells containing commas, quotes,
+/// or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void addRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes. Also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void writeRow(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace contend

@@ -1,0 +1,104 @@
+#include "util/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace contend {
+
+LinearFit fitLine(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fitLine: x/y size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("fitLine: need at least 2 points");
+
+  const double nd = static_cast<double>(n);
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / nd;
+  const double my = sy / nd;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fitLine: x values are constant");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double rss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - fit.at(x[i]);
+    rss += r * r;
+  }
+  fit.rss = rss;
+  fit.r2 = (syy == 0.0) ? 1.0 : 1.0 - rss / syy;
+  return fit;
+}
+
+PiecewiseFit fitPiecewise(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fitPiecewise: x/y size mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 4) throw std::invalid_argument("fitPiecewise: need at least 4 points");
+
+  // Sort points by x so candidate thresholds split contiguously.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = x[order[i]];
+    ys[i] = y[order[i]];
+  }
+
+  PiecewiseFit best;
+  best.totalRss = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  // Candidate thresholds are distinct x values; both sides need >= 2 points
+  // and >= 2 distinct x values for the per-side OLS to be well-posed.
+  for (std::size_t cut = 1; cut + 2 <= n; ++cut) {
+    // cut = number of points in the low piece; boundary between xs[cut-1]
+    // and xs[cut]. Skip splits in the middle of equal x runs.
+    if (xs[cut - 1] == xs[cut]) continue;
+    if (cut < 2 || n - cut < 2) continue;
+
+    const std::span lowX(xs.data(), cut), lowY(ys.data(), cut);
+    const std::span highX(xs.data() + cut, n - cut),
+        highY(ys.data() + cut, n - cut);
+    // Per-side fits require non-constant x.
+    if (lowX.front() == lowX.back() || highX.front() == highX.back()) continue;
+
+    const LinearFit lo = fitLine(lowX, lowY);
+    const LinearFit hi = fitLine(highX, highY);
+    const double rss = lo.rss + hi.rss;
+    if (rss < best.totalRss) {
+      best.low = lo;
+      best.high = hi;
+      best.threshold = xs[cut - 1];
+      best.totalRss = rss;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument(
+        "fitPiecewise: no valid split (need >= 4 distinct x values)");
+  }
+  return best;
+}
+
+}  // namespace contend

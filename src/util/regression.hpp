@@ -1,0 +1,53 @@
+// regression.hpp — least-squares fits used by the calibration suite.
+//
+// §3.2.1 of the paper models per-message communication cost as a piecewise
+// linear function of message size: time(size) = α + size/β, with separate
+// (α, β) below and above a threshold found by exhaustive search over the
+// ping-pong sample sizes. This header provides the single-piece OLS fit and
+// the exhaustive two-piece fit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace contend {
+
+/// A fitted line y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Residual sum of squares of the fit.
+  double rss = 0.0;
+  /// Coefficient of determination; 1.0 for a perfect fit.
+  double r2 = 0.0;
+
+  [[nodiscard]] double at(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares on (x, y) pairs. Requires >= 2 points and
+/// non-constant x; throws std::invalid_argument otherwise.
+[[nodiscard]] LinearFit fitLine(std::span<const double> x,
+                                std::span<const double> y);
+
+/// Two-piece linear model split at `threshold`: points with x <= threshold
+/// use `low`, the rest use `high`.
+struct PiecewiseFit {
+  LinearFit low;
+  LinearFit high;
+  double threshold = 0.0;
+  double totalRss = 0.0;
+
+  [[nodiscard]] double at(double x) const {
+    return x <= threshold ? low.at(x) : high.at(x);
+  }
+};
+
+/// Exhaustive threshold search (the paper's method): every distinct x value
+/// that leaves >= 2 points on each side is tried as the threshold, and the
+/// split minimizing total RSS wins. Input need not be sorted. Requires >= 4
+/// points with >= 4 distinct x values.
+[[nodiscard]] PiecewiseFit fitPiecewise(std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace contend

@@ -1,0 +1,54 @@
+// rng.hpp — small deterministic PRNG for simulation jitter.
+//
+// The simulator injects bounded "OS noise" (daemon wakeups, service-time
+// jitter) so the analytical model is validated against a testbed that is
+// realistic but reproducible. std::mt19937_64 is avoided because its state
+// is heavy to copy and its distributions are not bit-stable across standard
+// library implementations; SplitMix64 + explicit scaling is.
+#pragma once
+
+#include <cstdint>
+
+namespace contend {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Simple modulo
+  /// reduction; the bias (< 2^-40 for the bounds used here) is negligible
+  /// for simulation jitter.
+  constexpr std::uint64_t nextBelow(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Symmetric jitter in [-magnitude, +magnitude].
+  constexpr std::int64_t nextJitter(std::int64_t magnitude) {
+    if (magnitude <= 0) return 0;
+    const auto span = static_cast<std::uint64_t>(2 * magnitude + 1);
+    return static_cast<std::int64_t>(nextBelow(span)) - magnitude;
+  }
+
+  /// Derive an independent stream (e.g., one per simulated process).
+  constexpr SplitMix64 split() { return SplitMix64(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace contend

@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace contend {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double relativeError(double predicted, double actual) {
+  if (actual == 0.0) {
+    throw std::invalid_argument("relativeError: actual value is zero");
+  }
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+double averageRelativeError(std::span<const double> predicted,
+                            std::span<const double> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument(
+        "averageRelativeError: series must be nonempty and equal-sized");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    sum += relativeError(predicted[i], actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+double maxRelativeError(std::span<const double> predicted,
+                        std::span<const double> actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    throw std::invalid_argument(
+        "maxRelativeError: series must be nonempty and equal-sized");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    worst = std::max(worst, relativeError(predicted[i], actual[i]));
+  }
+  return worst;
+}
+
+}  // namespace contend

@@ -1,0 +1,52 @@
+// stats.hpp — descriptive statistics and the error metrics used throughout
+// the reproduction (the paper reports "average error" = mean relative error
+// between modeled and actual times, and a maximum average error).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace contend {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable; used
+/// by calibration probes that run many repetitions.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator (parallel reduction of per-run stats).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+[[nodiscard]] double median(std::vector<double> xs);  // by value: sorts a copy
+
+/// Relative error |predicted - actual| / actual. actual must be nonzero.
+[[nodiscard]] double relativeError(double predicted, double actual);
+
+/// Paper-style "average error": mean of pointwise relative errors over a
+/// series of (predicted, actual) pairs. Sizes must match and be nonzero.
+[[nodiscard]] double averageRelativeError(std::span<const double> predicted,
+                                          std::span<const double> actual);
+
+/// Largest pointwise relative error over a series.
+[[nodiscard]] double maxRelativeError(std::span<const double> predicted,
+                                      std::span<const double> actual);
+
+}  // namespace contend

@@ -1,0 +1,38 @@
+// table.hpp — ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates a paper table/figure as rows of text; this
+// keeps the formatting consistent and the harness code declarative.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace contend {
+
+/// Column-aligned ASCII table. Build with addRow(); render with toString().
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Row length must equal the header length.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+  /// Formats a fraction as a percentage string, e.g. 0.123 -> "12.3%".
+  static std::string percent(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string toString() const;
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") followed by the table.
+void printTable(const std::string& title, const TextTable& table);
+
+}  // namespace contend

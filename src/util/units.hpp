@@ -1,0 +1,37 @@
+// units.hpp — simulation time and data-size units.
+//
+// The simulator measures time in integer ticks (1 tick = 1 nanosecond) so
+// event ordering is exact and runs are bit-reproducible. Data volumes follow
+// the paper's convention of 32-bit *words* (the CM-2 and Paragon experiments
+// in Figueira & Berman are all expressed in words).
+#pragma once
+
+#include <cstdint>
+
+namespace contend {
+
+/// Simulation time in nanoseconds. Signed so durations/differences are safe.
+using Tick = std::int64_t;
+
+/// Message/data sizes in 32-bit words (paper convention).
+using Words = std::int64_t;
+
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1'000;
+inline constexpr Tick kMillisecond = 1'000'000;
+inline constexpr Tick kSecond = 1'000'000'000;
+
+inline constexpr int kBytesPerWord = 4;
+
+/// Convert a tick count to (floating-point) seconds, for reporting.
+constexpr double toSeconds(Tick t) { return static_cast<double>(t) / 1e9; }
+
+/// Convert seconds to ticks, rounding to nearest. Intended for constants and
+/// calibration output, not hot paths.
+constexpr Tick fromSeconds(double s) {
+  return static_cast<Tick>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double toMilliseconds(Tick t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace contend

@@ -1,0 +1,74 @@
+#include "workload/cm2_programs.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "workload/probes.hpp"
+
+namespace contend::workload {
+
+sim::Program makeCm2KernelProgram(std::span<const Cm2Step> steps) {
+  if (steps.empty()) {
+    throw std::invalid_argument("makeCm2KernelProgram: no steps");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  for (const Cm2Step& step : steps) {
+    if (step.serial < 0 || step.parallelWork < 0) {
+      throw std::invalid_argument("makeCm2KernelProgram: negative work");
+    }
+    if (step.serial > 0) b.compute(step.serial, "serial");
+    if (step.parallelWork > 0) {
+      b.dispatch(step.parallelWork, step.waitForResult,
+                 step.waitForResult ? "reduce" : "parallel");
+    }
+  }
+  b.stamp(regionEnd(0));
+  return b.build();
+}
+
+std::vector<Cm2Step> makeSyntheticCm2Steps(const SyntheticCm2Spec& spec) {
+  if (spec.numSteps <= 0) {
+    throw std::invalid_argument("makeSyntheticCm2Steps: numSteps must be > 0");
+  }
+  if (spec.serialMin < 0 || spec.serialMax < spec.serialMin ||
+      spec.parallelMin < 0 || spec.parallelMax < spec.parallelMin) {
+    throw std::invalid_argument("makeSyntheticCm2Steps: bad work ranges");
+  }
+  if (spec.reduceProbability < 0.0 || spec.reduceProbability > 1.0) {
+    throw std::invalid_argument(
+        "makeSyntheticCm2Steps: reduceProbability outside [0, 1]");
+  }
+
+  SplitMix64 rng(spec.seed);
+  auto uniform = [&rng](Tick lo, Tick hi) {
+    if (hi == lo) return lo;
+    return lo + static_cast<Tick>(
+                    rng.nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  };
+
+  std::vector<Cm2Step> steps;
+  steps.reserve(static_cast<std::size_t>(spec.numSteps));
+  for (std::int64_t i = 0; i < spec.numSteps; ++i) {
+    Cm2Step step;
+    step.serial = uniform(spec.serialMin, spec.serialMax);
+    step.parallelWork = uniform(spec.parallelMin, spec.parallelMax);
+    step.waitForResult = rng.nextDouble() < spec.reduceProbability;
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+Cm2StepTotals totals(std::span<const Cm2Step> steps) {
+  Cm2StepTotals t;
+  for (const Cm2Step& step : steps) {
+    t.serial += step.serial;
+    if (step.parallelWork > 0) {
+      t.parallel += step.parallelWork;
+      ++t.dispatches;
+    }
+  }
+  return t;
+}
+
+}  // namespace contend::workload

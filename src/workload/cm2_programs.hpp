@@ -1,0 +1,59 @@
+// cm2_programs.hpp — Host/SIMD application programs.
+//
+// A CM2 task is a stream of steps; each step runs serial/scalar code on the
+// front-end, then issues a parallel instruction to the back-end, optionally
+// waiting for the result (reductions). This is the structure of Figure 2 and
+// of the SOR / Gaussian Elimination kernels the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/program.hpp"
+#include "util/units.hpp"
+
+namespace contend::workload {
+
+struct Cm2Step {
+  /// Front-end serial/scalar work preceding the parallel instruction.
+  Tick serial = 0;
+  /// Back-end execution time of the parallel instruction (0 = none).
+  Tick parallelWork = 0;
+  /// Block the front-end until the instruction retires (reduction).
+  bool waitForResult = false;
+};
+
+/// Program executing `steps` in order; region 0 spans the whole task.
+[[nodiscard]] sim::Program makeCm2KernelProgram(std::span<const Cm2Step> steps);
+
+/// Deterministic synthetic CM2 task (§3.1.2's validation suite): `numSteps`
+/// steps with serial work in [serialMin, serialMax], parallel work in
+/// [parallelMin, parallelMax], and a `reduceProbability` chance that a step
+/// waits on its result. Same seed -> same program.
+struct SyntheticCm2Spec {
+  std::int64_t numSteps = 100;
+  Tick serialMin = 50 * kMicrosecond;
+  Tick serialMax = 2 * kMillisecond;
+  Tick parallelMin = 100 * kMicrosecond;
+  Tick parallelMax = 5 * kMillisecond;
+  double reduceProbability = 0.2;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<Cm2Step> makeSyntheticCm2Steps(
+    const SyntheticCm2Spec& spec);
+
+/// Dedicated-mode totals of a step list, for building model inputs:
+/// dserial (front-end serial work including dispatch costs) and dcomp
+/// (back-end execution). didle is *not* derivable statically — it depends on
+/// pipeline overlap — so harnesses measure it from a dedicated run.
+struct Cm2StepTotals {
+  Tick serial = 0;        // sum of step serial work (excl. dispatch cost)
+  Tick parallel = 0;      // sum of back-end work
+  std::int64_t dispatches = 0;
+};
+
+[[nodiscard]] Cm2StepTotals totals(std::span<const Cm2Step> steps);
+
+}  // namespace contend::workload

@@ -1,0 +1,97 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace contend::workload {
+
+sim::Program makeCpuBoundGenerator(Tick burst) {
+  if (burst <= 0) {
+    throw std::invalid_argument("makeCpuBoundGenerator: burst must be > 0");
+  }
+  sim::ProgramBuilder b;
+  b.loopBegin();
+  b.compute(burst, "cpu-gen");
+  b.loopEnd(-1);
+  return b.build();
+}
+
+Tick dedicatedMessageTime(const sim::PlatformConfig& config, Words words,
+                          CommDirection direction) {
+  const auto& p = config.paragon;
+  const Tick tx = txCost(p, words).total();
+  const Tick rx = rxCost(p, words).total();
+  switch (direction) {
+    case CommDirection::kToBackend:
+      return tx;
+    case CommDirection::kFromBackend:
+      return rx;
+    case CommDirection::kBoth:
+      return (tx + rx) / 2;
+  }
+  throw std::logic_error("dedicatedMessageTime: bad direction");
+}
+
+std::int64_t messagesPerCycle(const sim::PlatformConfig& config,
+                              const GeneratorSpec& spec) {
+  if (spec.commFraction <= 0.0) return 0;
+  const Tick perMessage =
+      dedicatedMessageTime(config, spec.messageWords, spec.direction);
+  const double target =
+      spec.commFraction * static_cast<double>(spec.cycleLength);
+  return std::max<std::int64_t>(
+      1, std::llround(target / static_cast<double>(perMessage)));
+}
+
+sim::Program makeCommGenerator(const sim::PlatformConfig& config,
+                               const GeneratorSpec& spec) {
+  if (spec.commFraction < 0.0 || spec.commFraction > 1.0) {
+    throw std::invalid_argument("makeCommGenerator: commFraction outside [0,1]");
+  }
+  if (spec.commFraction == 0.0) {
+    return makeCpuBoundGenerator(spec.cycleLength);
+  }
+  if (spec.messageWords <= 0) {
+    throw std::invalid_argument(
+        "makeCommGenerator: communicating generator needs a message size");
+  }
+  if (spec.cycleLength <= 0) {
+    throw std::invalid_argument("makeCommGenerator: cycleLength must be > 0");
+  }
+
+  const std::int64_t messages = messagesPerCycle(config, spec);
+  const Tick commTime =
+      messages * dedicatedMessageTime(config, spec.messageWords, spec.direction);
+  // Size the compute phase so dedicated comm : comp matches the fraction
+  // exactly (commFraction == 1 means no compute phase at all).
+  const Tick computeTime =
+      (spec.commFraction >= 1.0)
+          ? 0
+          : static_cast<Tick>(static_cast<double>(commTime) *
+                              (1.0 - spec.commFraction) / spec.commFraction);
+
+  sim::ProgramBuilder b;
+  b.loopBegin();
+  if (computeTime > 0) b.compute(computeTime, "gen-compute");
+  if (spec.direction == CommDirection::kBoth) {
+    // Alternate directions message by message; odd counts get one extra
+    // outbound message, a negligible asymmetry.
+    b.loopBegin();
+    b.send(spec.messageWords);
+    b.recv(spec.messageWords);
+    b.loopEnd(std::max<std::int64_t>(1, messages / 2));
+  } else if (spec.direction == CommDirection::kToBackend) {
+    b.loopBegin();
+    b.send(spec.messageWords);
+    b.loopEnd(messages);
+  } else {
+    b.loopBegin();
+    b.recv(spec.messageWords);
+    b.loopEnd(messages);
+  }
+  b.loopEnd(-1);
+  return b.build();
+}
+
+}  // namespace contend::workload

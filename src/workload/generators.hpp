@@ -1,0 +1,55 @@
+// generators.hpp — contention generators (the paper's emulated load).
+//
+// The paper validates the model on production systems with *emulated
+// contention*: CPU-bound processes, and processes that alternate computing
+// with communicating x% of the time using j-word messages. These builders
+// produce the equivalent phase programs for the simulator. The fractions are
+// exact in dedicated mode; under contention the phases stretch, which is
+// precisely the behaviour the model has to approximate.
+#pragma once
+
+#include "sim/platform.hpp"
+#include "sim/program.hpp"
+#include "util/units.hpp"
+
+namespace contend::workload {
+
+enum class CommDirection {
+  kToBackend,    // front-end -> MIMD back-end
+  kFromBackend,  // MIMD back-end -> front-end
+  kBoth,         // alternate directions message by message
+};
+
+/// An application competing for the front-end and the link.
+struct GeneratorSpec {
+  /// Fraction of (dedicated-mode) time spent communicating, in [0, 1].
+  double commFraction = 0.0;
+  /// Size of each message it transfers; required when commFraction > 0.
+  Words messageWords = 0;
+  CommDirection direction = CommDirection::kToBackend;
+  /// Approximate dedicated-mode cycle length. Shorter cycles interleave the
+  /// phases more finely (closer to the model's steady-state assumption).
+  Tick cycleLength = 200 * kMillisecond;
+};
+
+/// Pure CPU-bound generator: infinite loop of `burst`-long compute phases.
+[[nodiscard]] sim::Program makeCpuBoundGenerator(
+    Tick burst = 50 * kMillisecond);
+
+/// Mixed generator per `spec`. Each cycle computes then transfers enough
+/// messages that the dedicated-mode time split matches spec.commFraction.
+/// The platform config is needed to size the message count from the
+/// dedicated per-message cost.
+[[nodiscard]] sim::Program makeCommGenerator(const sim::PlatformConfig& config,
+                                             const GeneratorSpec& spec);
+
+/// Dedicated-mode wall time of one message for a generator direction
+/// (kBoth averages the two directions).
+[[nodiscard]] Tick dedicatedMessageTime(const sim::PlatformConfig& config,
+                                        Words words, CommDirection direction);
+
+/// Messages per cycle the generator will issue (exposed for tests).
+[[nodiscard]] std::int64_t messagesPerCycle(const sim::PlatformConfig& config,
+                                            const GeneratorSpec& spec);
+
+}  // namespace contend::workload

@@ -1,0 +1,125 @@
+#include "workload/probes.hpp"
+
+#include <stdexcept>
+
+namespace contend::workload {
+
+sim::Program makePingPongProgram(std::span<const Words> sizesWords,
+                                 std::int64_t burstMessages,
+                                 CommDirection direction) {
+  if (sizesWords.empty()) {
+    throw std::invalid_argument("makePingPongProgram: no sizes");
+  }
+  if (burstMessages <= 0) {
+    throw std::invalid_argument("makePingPongProgram: burst must be > 0");
+  }
+  if (direction == CommDirection::kBoth) {
+    throw std::invalid_argument(
+        "makePingPongProgram: calibrate one direction at a time");
+  }
+
+  sim::ProgramBuilder b;
+  int region = 0;
+  for (Words size : sizesWords) {
+    b.stamp(regionBegin(region));
+    b.loopBegin();
+    if (direction == CommDirection::kToBackend) {
+      b.send(size);
+    } else {
+      b.recv(size);
+    }
+    b.loopEnd(burstMessages);
+    // Closing one-word reply travels opposite to the burst.
+    if (direction == CommDirection::kToBackend) {
+      b.recv(1);
+    } else {
+      b.send(1);
+    }
+    b.stamp(regionEnd(region));
+    ++region;
+  }
+  return b.build();
+}
+
+sim::Program makeBurstProgram(Words words, std::int64_t messages,
+                              CommDirection direction) {
+  if (messages <= 0) {
+    throw std::invalid_argument("makeBurstProgram: messages must be > 0");
+  }
+  if (direction == CommDirection::kBoth) {
+    throw std::invalid_argument("makeBurstProgram: pick one direction");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  b.loopBegin();
+  if (direction == CommDirection::kToBackend) {
+    b.send(words);
+  } else {
+    b.recv(words);
+  }
+  b.loopEnd(messages);
+  b.stamp(regionEnd(0));
+  return b.build();
+}
+
+sim::Program makeCpuProbe(Tick work, std::int64_t chunks) {
+  if (work <= 0) throw std::invalid_argument("makeCpuProbe: work must be > 0");
+  if (chunks <= 0 || chunks > work) {
+    throw std::invalid_argument("makeCpuProbe: bad chunk count");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  if (chunks == 1) {
+    b.compute(work, "probe");
+  } else {
+    b.loopBegin();
+    b.compute(work / chunks, "probe");
+    b.loopEnd(chunks);
+  }
+  b.stamp(regionEnd(0));
+  return b.build();
+}
+
+sim::Program makeCm2BandwidthProbe(Words bigWords) {
+  if (bigWords <= 0) {
+    throw std::invalid_argument("makeCm2BandwidthProbe: size must be > 0");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  b.cm2Copy(bigWords, 1, /*toBackend=*/true);
+  b.stamp(regionEnd(0));
+  b.stamp(regionBegin(1));
+  b.cm2Copy(1, 1, /*toBackend=*/false);
+  b.stamp(regionEnd(1));
+  return b.build();
+}
+
+sim::Program makeCm2StartupProbe(std::int64_t arrays) {
+  if (arrays <= 0) {
+    throw std::invalid_argument("makeCm2StartupProbe: arrays must be > 0");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  b.cm2Copy(1, arrays, /*toBackend=*/true);
+  b.stamp(regionEnd(0));
+  b.stamp(regionBegin(1));
+  b.cm2Copy(1, arrays, /*toBackend=*/false);
+  b.stamp(regionEnd(1));
+  return b.build();
+}
+
+sim::Program makeCm2RoundTripProgram(Words words, std::int64_t messages) {
+  if (words <= 0 || messages <= 0) {
+    throw std::invalid_argument("makeCm2RoundTripProgram: bad arguments");
+  }
+  sim::ProgramBuilder b;
+  b.stamp(regionBegin(0));
+  b.cm2Copy(words, messages, /*toBackend=*/true);
+  b.stamp(regionEnd(0));
+  b.stamp(regionBegin(1));
+  b.cm2Copy(words, messages, /*toBackend=*/false);
+  b.stamp(regionEnd(1));
+  return b.build();
+}
+
+}  // namespace contend::workload

@@ -1,0 +1,53 @@
+// probes.hpp — measurement workloads: the ping-pong benchmark, message
+// bursts, and CPU probes used both by the calibration suite and by the
+// figure-regeneration harnesses.
+//
+// Every probe records StampOp timestamps; slot convention: the region for
+// index k spans stamps (2k, 2k + 1).
+#pragma once
+
+#include <span>
+
+#include "sim/program.hpp"
+#include "workload/generators.hpp"
+
+namespace contend::workload {
+
+/// Stamp slots delimiting measured region `index`.
+[[nodiscard]] constexpr int regionBegin(int index) { return 2 * index; }
+[[nodiscard]] constexpr int regionEnd(int index) { return 2 * index + 1; }
+
+/// §3.2.1 ping-pong: for each size in `sizesWords`, transfer a burst of
+/// `burstMessages` equal-sized messages in `direction`, then one 1-word
+/// message the other way. Region k measures the burst for sizesWords[k]
+/// (including the closing 1-word reply, as in the paper's benchmark).
+[[nodiscard]] sim::Program makePingPongProgram(
+    std::span<const Words> sizesWords, std::int64_t burstMessages,
+    CommDirection direction);
+
+/// One-shot burst without the reply: `messages` messages of `words` each.
+/// Region 0 spans the burst. Used by the figure harnesses (Figures 4–6
+/// report per-burst times).
+[[nodiscard]] sim::Program makeBurstProgram(Words words,
+                                            std::int64_t messages,
+                                            CommDirection direction);
+
+/// CPU-bound probe: region 0 spans `work` of dedicated compute (optionally
+/// split into `chunks` equal bursts; chunking changes nothing under
+/// round-robin but exercises the scheduler path in tests).
+[[nodiscard]] sim::Program makeCpuProbe(Tick work, std::int64_t chunks = 1);
+
+/// §3.1.1 CM2 bandwidth benchmark: one `bigWords`-word array to the CM2
+/// (region 0), then one word back (region 1).
+[[nodiscard]] sim::Program makeCm2BandwidthProbe(Words bigWords);
+
+/// §3.1.1 CM2 startup benchmark: `arrays` one-element arrays to the CM2
+/// (region 0), then the same back (region 1).
+[[nodiscard]] sim::Program makeCm2StartupProbe(std::int64_t arrays);
+
+/// CM2 data-set transfer: `messages` messages of `words` words to the CM2
+/// (region 0) and back (region 1). Figure 1's workload.
+[[nodiscard]] sim::Program makeCm2RoundTripProgram(Words words,
+                                                   std::int64_t messages);
+
+}  // namespace contend::workload

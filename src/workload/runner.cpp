@@ -1,0 +1,47 @@
+#include "workload/runner.hpp"
+
+#include <stdexcept>
+
+#include "workload/probes.hpp"
+
+namespace contend::workload {
+
+RunResult runMeasured(const RunSpec& spec) {
+  if (spec.regions <= 0) {
+    throw std::invalid_argument("runMeasured: regions must be > 0");
+  }
+  sim::Platform platform(spec.config);
+
+  Tick start = 0;
+  int genIndex = 0;
+  for (const sim::Program& gen : spec.contenders) {
+    platform.addProcess("contender-" + std::to_string(genIndex++), gen,
+                        sim::ProcessKind::kDaemon, start);
+    start += spec.contenderStagger;
+  }
+  if (spec.probeStart <= start && !spec.contenders.empty()) {
+    throw std::invalid_argument(
+        "runMeasured: probeStart must fall after the last contender start");
+  }
+
+  sim::Process& probe = platform.addProcess(
+      "probe", spec.probe, sim::ProcessKind::kApplication, spec.probeStart);
+  platform.run(spec.horizon);
+
+  RunResult result;
+  result.regionTicks.reserve(static_cast<std::size_t>(spec.regions));
+  for (int r = 0; r < spec.regions; ++r) {
+    result.regionTicks.push_back(probe.stampAt(regionEnd(r)) -
+                                 probe.stampAt(regionBegin(r)));
+  }
+  result.probeElapsed = probe.haltedAt() - spec.probeStart;
+  result.cpuBusy = platform.cpu().busyTime();
+  result.linkBusy = platform.link().busyTime();
+  result.backendExec = platform.simd().execTime();
+  result.probeCpuTicks = platform.cpu().consumedBy(probe.processId());
+  result.backendIdleWithinRegion0 =
+      result.regionTicks.at(0) - result.backendExec;
+  return result;
+}
+
+}  // namespace contend::workload

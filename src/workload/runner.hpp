@@ -1,0 +1,60 @@
+// runner.hpp — one-shot measurement harness.
+//
+// Builds a fresh platform, starts the contention generators, lets them reach
+// steady state, runs the measured probe, and returns the stamped region
+// durations. Every calibration probe and every "actual" series in the
+// figure harnesses goes through here.
+#pragma once
+
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "sim/program.hpp"
+#include "util/units.hpp"
+
+namespace contend::workload {
+
+struct RunSpec {
+  sim::PlatformConfig config;
+  /// The measured program (its StampOp regions are returned).
+  sim::Program probe;
+  /// Contention generators; they run as daemons (infinite loops) and never
+  /// block simulation completion.
+  std::vector<sim::Program> contenders;
+  /// When the probe starts; generators start earlier, staggered, so the
+  /// probe observes a steady-state load (the paper assumes contention lasts
+  /// for the whole application execution).
+  Tick probeStart = 250 * kMillisecond;
+  Tick contenderStagger = 35 * kMillisecond;
+  /// Number of stamped regions the probe records.
+  int regions = 1;
+  /// Simulation horizon guard.
+  Tick horizon = 200'000 * kSecond;
+};
+
+struct RunResult {
+  /// Duration of each stamped region, in ticks.
+  std::vector<Tick> regionTicks;
+  /// Probe halt time minus probe start time.
+  Tick probeElapsed = 0;
+  /// Diagnostics from the run.
+  Tick cpuBusy = 0;
+  Tick linkBusy = 0;
+  Tick backendExec = 0;
+  /// CPU time consumed by the probe itself (the dedicated-run value of this
+  /// is the paper's dserial_cm2 for back-end tasks).
+  Tick probeCpuTicks = 0;
+  /// Back-end idle time within the probe's stamped span 0 (elapsed minus
+  /// execution) — the paper's didle_cm2 when measured dedicated.
+  Tick backendIdleWithinRegion0 = 0;
+
+  [[nodiscard]] double regionSeconds(int index) const {
+    return toSeconds(regionTicks.at(static_cast<std::size_t>(index)));
+  }
+};
+
+/// Executes the spec on a fresh platform. Throws if the probe never halts
+/// within the horizon or a stamped region is missing.
+[[nodiscard]] RunResult runMeasured(const RunSpec& spec);
+
+}  // namespace contend::workload

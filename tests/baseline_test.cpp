@@ -1,0 +1,113 @@
+// Tests for the §1 baseline predictors and the platform profile presets.
+#include <gtest/gtest.h>
+
+#include "calib/calibration.hpp"
+#include "model/naive.hpp"
+#include "sim/paragon_link.hpp"
+#include "sim/platform.hpp"
+
+namespace contend {
+namespace {
+
+// ------------------------------------------------------------ baselines ---
+
+TEST(LoadAverage, EverythingIsPPlusOne) {
+  const model::LoadAveragePredictor predictor{3};
+  EXPECT_DOUBLE_EQ(predictor.compSlowdown(), 4.0);
+  EXPECT_DOUBLE_EQ(predictor.commSlowdown(), 4.0);
+  EXPECT_DOUBLE_EQ(model::LoadAveragePredictor{0}.compSlowdown(), 1.0);
+}
+
+TEST(Utilization, WeightsByComputeFraction) {
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.25, 100});  // computes 75%
+  mix.add(model::CompetingApp{0.75, 100});  // computes 25%
+  const auto predictor = model::UtilizationPredictor::fromMix(mix);
+  EXPECT_DOUBLE_EQ(predictor.compSlowdown(), 1.0 + 0.75 + 0.25);
+  EXPECT_DOUBLE_EQ(predictor.commSlowdown(), 1.0);  // ignores the link
+}
+
+TEST(Utilization, PureCpuMixMatchesLoadAverage) {
+  model::WorkloadMix mix;
+  for (int i = 0; i < 3; ++i) mix.add(model::CompetingApp{0.0, 0});
+  const auto utilization = model::UtilizationPredictor::fromMix(mix);
+  const model::LoadAveragePredictor loadAverage{3};
+  EXPECT_DOUBLE_EQ(utilization.compSlowdown(), loadAverage.compSlowdown());
+}
+
+TEST(Baselines, BracketThePaperModelOnComputation) {
+  // For any mix, utilization <= paper model <= load-average on computation
+  // (monotone delay tables): utilization counts only mean CPU demand,
+  // load-average assumes everyone always computes.
+  model::DelayTables tables;
+  tables.jBins = {1, 500, 1000};
+  tables.compFromComm.assign(3, {});
+  for (int i = 1; i <= 6; ++i) {
+    tables.commFromComp.push_back(0.5 * i);
+    tables.commFromComm.push_back(0.2 * i);
+    for (auto& row : tables.compFromComm) row.push_back(0.3 * i);
+  }
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.3, 400});
+  mix.add(model::CompetingApp{0.7, 900});
+  mix.add(model::CompetingApp{0.5, 100});
+  const double paper = paragonCompSlowdown(mix, tables);
+  const double lower =
+      model::UtilizationPredictor::fromMix(mix).compSlowdown();
+  const double upper = model::LoadAveragePredictor{mix.p()}.compSlowdown();
+  EXPECT_LE(lower, paper + 1e-9);
+  EXPECT_LE(paper, upper + 1e-9);
+}
+
+// -------------------------------------------------------------- presets ---
+
+TEST(Presets, ProfilesAreInternallyConsistent) {
+  for (const auto& profile :
+       {sim::makeOneHopProfile(), sim::makeTwoHopProfile(),
+        sim::makeC90T3dProfile()}) {
+    EXPECT_GT(profile.fragmentWords, 0) << profile.name;
+    EXPECT_GT(profile.tx.convPerWord, 0) << profile.name;
+    EXPECT_GT(profile.tx.wirePerFragment, 0) << profile.name;
+    // Conversion dominates per-word cost (the j-dependence mechanism).
+    EXPECT_GT(profile.tx.convPerWord, profile.tx.wirePerWord) << profile.name;
+    EXPECT_GT(profile.rx.convPerWord, profile.rx.wirePerWord) << profile.name;
+  }
+}
+
+TEST(Presets, CalibrationFindsEachPresetsKnee) {
+  // The exhaustive threshold search must land on each preset's fragment
+  // size without being told.
+  struct Case {
+    sim::ParagonLinkProfile profile;
+    Words lo, hi;
+  };
+  const std::vector<Case> cases = {
+      {sim::makeOneHopProfile(), 768, 1536},
+      {sim::makeTwoHopProfile(), 768, 1536},
+      {sim::makeC90T3dProfile(), 3072, 6144},
+  };
+  for (const Case& c : cases) {
+    sim::PlatformConfig config;
+    config.paragon = c.profile;
+    config.enableDaemon = false;
+    config.workJitter = 0.0;
+    config.wireJitter = 0.0;
+    const auto profile = calib::calibrateDedicatedOnly(config);
+    EXPECT_GE(profile.paragon.toBackend.thresholdWords, c.lo)
+        << c.profile.name;
+    EXPECT_LE(profile.paragon.toBackend.thresholdWords, c.hi)
+        << c.profile.name;
+  }
+}
+
+TEST(Presets, C90IsFasterAcrossTheBoard) {
+  const auto paragon = sim::makeOneHopProfile();
+  const auto c90 = sim::makeC90T3dProfile();
+  for (Words size : {1, 1000, 20000}) {
+    EXPECT_LT(txCost(c90, size).total(), txCost(paragon, size).total())
+        << size;
+  }
+}
+
+}  // namespace
+}  // namespace contend

@@ -1,0 +1,222 @@
+// Tests for the calibration suite: ping-pong fits, CM2 benchmarks, delay
+// probes, the orchestrator, and profile (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "calib/calibration.hpp"
+#include "calib/profile_io.hpp"
+#include "sim/paragon_link.hpp"
+
+namespace contend::calib {
+namespace {
+
+sim::PlatformConfig quietConfig() {
+  sim::PlatformConfig config;
+  config.workJitter = 0.0;
+  config.wireJitter = 0.0;
+  config.enableDaemon = false;
+  return config;
+}
+
+TEST(PingPong, SweepMatchesGroundTruthCosts) {
+  const sim::PlatformConfig config = quietConfig();
+  const std::vector<Words> sizes = {16, 512, 2048};
+  const auto samples = runPingPongSweep(config, sizes, 100,
+                                        workload::CommDirection::kToBackend);
+  ASSERT_EQ(samples.size(), 3u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Tick perMessage = txCost(config.paragon, sizes[i]).total();
+    // The per-message estimate includes 1/100th of the closing reply.
+    EXPECT_NEAR(samples[i].perMessageSec, toSeconds(perMessage),
+                toSeconds(perMessage) * 0.02)
+        << "size " << sizes[i];
+  }
+}
+
+TEST(PingPong, FitFindsFragmentKnee) {
+  const sim::PlatformConfig config = quietConfig();
+  const CalibrationOptions options;
+  const auto samples =
+      runPingPongSweep(config, options.pingPongSizes, 200,
+                       workload::CommDirection::kToBackend);
+  const model::PiecewiseCommParams fit = fitCommParams(samples);
+  EXPECT_GE(fit.thresholdWords, 768);
+  EXPECT_LE(fit.thresholdWords, 1536);
+  // Below the knee the per-word slope must be smaller than above it.
+  EXPECT_GT(fit.small.betaWordsPerSec, fit.large.betaWordsPerSec);
+  // The fit must predict the dedicated cost accurately on both sides.
+  for (Words probe : {100, 700, 3000, 10000}) {
+    const double truth = toSeconds(txCost(config.paragon, probe).total());
+    EXPECT_NEAR(fit.messageCost(probe), truth, truth * 0.10) << probe;
+  }
+}
+
+TEST(PingPong, SinglePieceFitIsWorseAtExtremes) {
+  const sim::PlatformConfig config = quietConfig();
+  const CalibrationOptions options;
+  const auto samples =
+      runPingPongSweep(config, options.pingPongSizes, 200,
+                       workload::CommDirection::kToBackend);
+  const auto piecewise = fitCommParams(samples);
+  const auto single = fitCommParamsSinglePiece(samples);
+  const double truthSmall = toSeconds(txCost(config.paragon, 16).total());
+  EXPECT_LT(std::abs(piecewise.messageCost(16) - truthSmall),
+            std::abs(single.messageCost(16) - truthSmall));
+}
+
+TEST(PingPong, FitRejectsTinySamples) {
+  std::vector<PingPongSample> three = {{1, 0.1}, {2, 0.2}, {3, 0.3}};
+  EXPECT_THROW((void)fitCommParams(three), std::invalid_argument);
+}
+
+TEST(Cm2Calib, RecoversConfiguredParameters) {
+  const sim::PlatformConfig config = quietConfig();
+  Cm2CalibrationOptions options;
+  options.bandwidthWords = 1'000'000;
+  options.startupArrays = 10'000;
+  const model::Cm2CommParams params = calibrateCm2Link(config, options);
+
+  // Ground truth from the simulator config (per-word cost in ns).
+  const double betaTxTruth = 1e9 / static_cast<double>(config.cm2.copyPerWordTx);
+  const double betaRxTruth = 1e9 / static_cast<double>(config.cm2.copyPerWordRx);
+  EXPECT_NEAR(params.toCm2.betaWordsPerSec, betaTxTruth, betaTxTruth * 0.02);
+  EXPECT_NEAR(params.fromCm2.betaWordsPerSec, betaRxTruth, betaRxTruth * 0.02);
+  EXPECT_NEAR(params.toCm2.alphaSec, toSeconds(config.cm2.copyPerMessageTx),
+              toSeconds(config.cm2.copyPerMessageTx) * 0.02);
+  EXPECT_NEAR(params.fromCm2.alphaSec, toSeconds(config.cm2.copyPerMessageRx),
+              toSeconds(config.cm2.copyPerMessageRx) * 0.02);
+}
+
+TEST(Cm2Calib, PaperStyleSymmetricAlphaAverages) {
+  const sim::PlatformConfig config = quietConfig();
+  Cm2CalibrationOptions options;
+  options.assumeSymmetricAlpha = true;
+  const model::Cm2CommParams params = calibrateCm2Link(config, options);
+  EXPECT_DOUBLE_EQ(params.toCm2.alphaSec, params.fromCm2.alphaSec);
+  const double expected = (toSeconds(config.cm2.copyPerMessageTx) +
+                           toSeconds(config.cm2.copyPerMessageRx)) /
+                          2.0;
+  EXPECT_NEAR(params.toCm2.alphaSec, expected, expected * 0.05);
+}
+
+TEST(DelayProbe, CpuBoundContendersDelayCommunication) {
+  const sim::PlatformConfig config = quietConfig();
+  DelayProbeOptions options;
+  options.commProbeMessages = 100;
+  const double d1 = measureCommDelayFromComp(config, options, 1);
+  const double d2 = measureCommDelayFromComp(config, options, 2);
+  EXPECT_GT(d1, 0.1);   // communication is genuinely delayed...
+  EXPECT_LT(d1, 1.0);   // ...but less than computation would be (conv only)
+  EXPECT_GT(d2, d1 * 1.5);  // and the delay grows with i
+}
+
+TEST(DelayProbe, MessageSizeMattersForComputationDelay) {
+  const sim::PlatformConfig config = quietConfig();
+  DelayProbeOptions options;
+  options.cpuProbeWork = kSecond;
+  const double small = measureCompDelayFromComm(config, options, 2, 1);
+  const double large = measureCompDelayFromComm(config, options, 2, 1000);
+  // §3.2.2: larger contender messages impose (much) more CPU load.
+  EXPECT_GT(large, small * 2.0);
+}
+
+TEST(DelayProbe, TablesAreInternallyConsistent) {
+  const sim::PlatformConfig config = quietConfig();
+  DelayProbeOptions options;
+  options.maxContenders = 2;
+  options.commProbeMessages = 100;
+  options.cpuProbeWork = kSecond;
+  const model::DelayTables tables = measureDelayTables(config, options);
+  EXPECT_NO_THROW(tables.validate());
+  EXPECT_EQ(tables.maxContenders(), 2);
+  // Monotone in i for every table.
+  EXPECT_GT(tables.commFromComp[1], tables.commFromComp[0]);
+  EXPECT_GE(tables.commFromComm[1], tables.commFromComm[0]);
+  for (const auto& row : tables.compFromComm) {
+    EXPECT_GE(row[1], row[0]);
+  }
+  // Monotone in j for fixed i.
+  EXPECT_GT(tables.compFromComm[2][1], tables.compFromComm[0][1]);
+}
+
+TEST(Calibration, DedicatedOnlySkipsDelays) {
+  const auto profile = calibrateDedicatedOnly(quietConfig());
+  EXPECT_EQ(profile.paragon.delays.maxContenders(), 0);
+  EXPECT_FALSE(profile.pingTx.empty());
+  EXPECT_GT(profile.paragon.toBackend.small.betaWordsPerSec, 0.0);
+  EXPECT_GT(profile.cm2.comm.toCm2.betaWordsPerSec, 0.0);
+  EXPECT_EQ(profile.platformName, "1-HOP");
+}
+
+TEST(ProfileIo, RoundTripsThroughText) {
+  CalibrationOptions options;
+  options.delays.maxContenders = 2;
+  options.delays.commProbeMessages = 100;
+  options.delays.cpuProbeWork = kSecond;
+  const PlatformProfile original = calibratePlatform(quietConfig(), options);
+
+  std::stringstream stream;
+  saveProfile(original, stream);
+  const PlatformProfile loaded = loadProfile(stream);
+
+  EXPECT_EQ(loaded.platformName, original.platformName);
+  EXPECT_DOUBLE_EQ(loaded.paragon.toBackend.small.alphaSec,
+                   original.paragon.toBackend.small.alphaSec);
+  EXPECT_DOUBLE_EQ(loaded.paragon.fromBackend.large.betaWordsPerSec,
+                   original.paragon.fromBackend.large.betaWordsPerSec);
+  EXPECT_EQ(loaded.paragon.toBackend.thresholdWords,
+            original.paragon.toBackend.thresholdWords);
+  ASSERT_EQ(loaded.paragon.delays.commFromComp.size(),
+            original.paragon.delays.commFromComp.size());
+  for (std::size_t i = 0; i < loaded.paragon.delays.commFromComp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.paragon.delays.commFromComp[i],
+                     original.paragon.delays.commFromComp[i]);
+  }
+  ASSERT_EQ(loaded.pingTx.size(), original.pingTx.size());
+  EXPECT_DOUBLE_EQ(loaded.pingTx[3].perMessageSec,
+                   original.pingTx[3].perMessageSec);
+  EXPECT_DOUBLE_EQ(loaded.cm2.comm.fromCm2.alphaSec,
+                   original.cm2.comm.fromCm2.alphaSec);
+}
+
+TEST(ProfileIo, RejectsMalformedInput) {
+  std::stringstream missing("name = x\n");
+  EXPECT_THROW((void)loadProfile(missing), std::runtime_error);
+
+  std::stringstream garbage("this is not a profile\n");
+  EXPECT_THROW((void)loadProfile(garbage), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsUnknownKeys) {
+  CalibrationOptions options;
+  options.delays.maxContenders = 1;
+  options.delays.commProbeMessages = 50;
+  options.delays.cpuProbeWork = 500 * kMillisecond;
+  const PlatformProfile profile = calibratePlatform(quietConfig(), options);
+  std::stringstream stream;
+  saveProfile(profile, stream);
+  stream.clear();
+  stream.seekp(0, std::ios::end);
+  stream << "mystery.key = 42\n";
+  EXPECT_THROW((void)loadProfile(stream), std::runtime_error);
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  CalibrationOptions options;
+  options.delays.maxContenders = 1;
+  options.delays.commProbeMessages = 50;
+  options.delays.cpuProbeWork = 500 * kMillisecond;
+  const PlatformProfile profile = calibratePlatform(quietConfig(), options);
+  const std::string path = testing::TempDir() + "contend_profile_test.txt";
+  saveProfile(profile, path);
+  const PlatformProfile loaded = loadProfileFile(path);
+  EXPECT_EQ(loaded.platformName, profile.platformName);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)loadProfileFile("/nonexistent/profile.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace contend::calib

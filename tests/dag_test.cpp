@@ -1,0 +1,236 @@
+// Tests for contention-aware DAG list scheduling.
+#include <gtest/gtest.h>
+
+#include "sched/dag.hpp"
+#include "util/rng.hpp"
+
+namespace contend::sched {
+namespace {
+
+/// fork-join diamond: src -> {left, right} -> sink.
+TaskDag diamond() {
+  TaskDag dag;
+  // Branch costs are comparable across machines, so exploiting parallelism
+  // (one branch per machine) beats serializing both on the faster one.
+  dag.tasks = {{"src", 1.0, 2.0},
+               {"left", 4.0, 3.5},
+               {"right", 4.0, 3.5},
+               {"sink", 1.0, 2.0}};
+  dag.edges = {{0, 1, 0.5, 0.5},
+               {0, 2, 0.5, 0.5},
+               {1, 3, 0.5, 0.5},
+               {2, 3, 0.5, 0.5}};
+  return dag;
+}
+
+TEST(Dag, ValidateCatchesProblems) {
+  TaskDag empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  TaskDag bad = diamond();
+  bad.edges[0].to = 9;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = diamond();
+  bad.edges[0].frontToBack = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = diamond();
+  bad.edges.push_back(bad.edges[0]);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = diamond();
+  bad.edges.push_back(DagEdge{3, 0, 0.1, 0.1});  // cycle
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad = diamond();
+  bad.tasks[1].onBackEnd = -2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(diamond().validate());
+}
+
+TEST(Dag, UpwardRanksDecreaseAlongEdges) {
+  const TaskDag dag = diamond();
+  const auto ranks = upwardRanks(dag, SlowdownSet::dedicated());
+  for (const DagEdge& e : dag.edges) {
+    EXPECT_GT(ranks[e.from], ranks[e.to]);
+  }
+  // Symmetric branches get equal rank.
+  EXPECT_DOUBLE_EQ(ranks[1], ranks[2]);
+}
+
+TEST(Dag, ScheduleRespectsDependencies) {
+  const TaskDag dag = diamond();
+  const DagSchedule s = scheduleDagList(dag, SlowdownSet::dedicated());
+  for (const DagEdge& e : dag.edges) {
+    EXPECT_GE(s.tasks[e.to].start, s.tasks[e.from].finish - 1e-12);
+  }
+  // No overlap per machine.
+  for (std::size_t a = 0; a < dag.tasks.size(); ++a) {
+    for (std::size_t b = a + 1; b < dag.tasks.size(); ++b) {
+      if (s.tasks[a].machine != s.tasks[b].machine) continue;
+      const bool disjoint = s.tasks[a].finish <= s.tasks[b].start + 1e-12 ||
+                            s.tasks[b].finish <= s.tasks[a].start + 1e-12;
+      EXPECT_TRUE(disjoint) << a << " overlaps " << b;
+    }
+  }
+}
+
+TEST(Dag, ParallelBranchesUseBothMachines) {
+  // The two branches cost about the same on either machine, so running them
+  // *concurrently*, one per machine, beats serializing both on one.
+  const DagSchedule s = scheduleDagList(diamond(), SlowdownSet::dedicated());
+  EXPECT_NE(s.tasks[1].machine, s.tasks[2].machine);
+  // Serial all-front-end would cost 1+4+4+1 = 10; the DAG schedule must
+  // exploit the parallelism.
+  EXPECT_LT(s.makespan, 8.0);
+}
+
+TEST(Dag, ContentionShiftsWorkToBackEnd) {
+  TaskDag dag;
+  dag.tasks = {{"a", 2.0, 5.0}, {"b", 2.0, 5.0}};
+  dag.edges = {{0, 1, 0.1, 0.1}};
+  // Dedicated: both on the front-end (4.0 < back-end options).
+  const DagSchedule ded = scheduleDagList(dag, SlowdownSet::dedicated());
+  EXPECT_EQ(ded.tasks[0].machine, Machine::kFrontEnd);
+  EXPECT_EQ(ded.tasks[1].machine, Machine::kFrontEnd);
+  // Front-end CPU x4: back-end (5.0 each) now wins.
+  SlowdownSet loaded;
+  loaded.frontEndComp = 4.0;
+  const DagSchedule hot = scheduleDagList(dag, loaded);
+  EXPECT_EQ(hot.tasks[0].machine, Machine::kBackEnd);
+  EXPECT_EQ(hot.tasks[1].machine, Machine::kBackEnd);
+}
+
+TEST(Dag, ExpensiveTransfersKeepChainTogether) {
+  TaskDag dag;
+  dag.tasks = {{"a", 2.0, 1.0}, {"b", 2.0, 1.0}};
+  dag.edges = {{0, 1, 50.0, 50.0}};
+  SlowdownSet loaded = SlowdownSet::uniform(3.0);
+  const DagSchedule s = scheduleDagList(dag, loaded);
+  EXPECT_EQ(s.tasks[0].machine, s.tasks[1].machine);
+}
+
+TEST(Dag, ChainMatchesChainScheduler) {
+  // A pure chain scheduled by the DAG scheduler must equal the chain
+  // engine's optimum (both machines idle-free for chains).
+  TaskChain chain;
+  chain.tasks = {{"A", 12.0, 18.0}, {"B", 4.0, 30.0}};
+  chain.edges = {{7.0, 8.0}};
+
+  TaskDag dag;
+  dag.tasks = {{"A", 12.0, 18.0}, {"B", 4.0, 30.0}};
+  dag.edges = {{0, 1, 7.0, 8.0}};
+
+  for (const auto& slowdown :
+       {SlowdownSet::dedicated(), SlowdownSet::uniform(3.0)}) {
+    const double chainBest = bestAllocation(chain, slowdown).makespan;
+    const double dagBest = scheduleDagExhaustive(dag, slowdown).makespan;
+    EXPECT_DOUBLE_EQ(dagBest, chainBest);
+  }
+}
+
+TEST(Dag, ListHeuristicNearExhaustiveOnRandomGraphs) {
+  SplitMix64 rng(314159);
+  double worstRatio = 1.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    TaskDag dag;
+    const std::size_t n = 4 + rng.nextBelow(5);  // 4..8 tasks
+    for (std::size_t i = 0; i < n; ++i) {
+      dag.tasks.push_back(DagTask{"t" + std::to_string(i),
+                                  1.0 + rng.nextDouble() * 9.0,
+                                  1.0 + rng.nextDouble() * 9.0});
+    }
+    // Random forward edges (guaranteed acyclic), ~30% density.
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (rng.nextDouble() < 0.3) {
+          dag.edges.push_back(
+              DagEdge{a, b, rng.nextDouble() * 3.0, rng.nextDouble() * 3.0});
+        }
+      }
+    }
+    SlowdownSet slowdown;
+    slowdown.frontEndComp = 1.0 + rng.nextDouble() * 3.0;
+    slowdown.commToBackEnd = 1.0 + rng.nextDouble() * 2.0;
+    slowdown.commToFrontEnd = 1.0 + rng.nextDouble();
+
+    const double heuristic = scheduleDagList(dag, slowdown).makespan;
+    const double reference = scheduleDagExhaustive(dag, slowdown).makespan;
+    EXPECT_GE(heuristic, reference - 1e-9);
+    worstRatio = std::max(worstRatio, heuristic / reference);
+  }
+  // The list heuristic must stay within 50% of the assignment-exhaustive
+  // reference on these sizes (it is typically equal or a few % off).
+  EXPECT_LT(worstRatio, 1.5);
+}
+
+
+TEST(Dag, InsertionFillsIdleGaps) {
+  // fork-join where the non-insertion scheduler strands a gap: src on the
+  // front-end, two branches, then a tiny independent task that fits into
+  // the front-end's idle window while the branches run.
+  TaskDag dag;
+  dag.tasks = {{"src", 1.0, 5.0},
+               {"big", 6.0, 5.5},
+               {"tiny", 1.0, 8.0},
+               {"sink", 1.0, 4.0}};
+  dag.edges = {{0, 1, 0.1, 0.1}, {0, 3, 0.1, 0.1}, {1, 3, 0.1, 0.1}};
+  const DagSchedule plain = scheduleDagList(dag, SlowdownSet::dedicated());
+  const DagSchedule insertion =
+      scheduleDagListInsertion(dag, SlowdownSet::dedicated());
+  EXPECT_LE(insertion.makespan, plain.makespan + 1e-9);
+}
+
+TEST(Dag, InsertionNeverWorseOnRandomGraphs) {
+  SplitMix64 rng(271828);
+  for (int trial = 0; trial < 40; ++trial) {
+    TaskDag dag;
+    const std::size_t n = 4 + rng.nextBelow(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      dag.tasks.push_back(DagTask{"t" + std::to_string(i),
+                                  0.5 + rng.nextDouble() * 9.0,
+                                  0.5 + rng.nextDouble() * 9.0});
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (rng.nextDouble() < 0.25) {
+          dag.edges.push_back(
+              DagEdge{a, b, rng.nextDouble() * 2.0, rng.nextDouble() * 2.0});
+        }
+      }
+    }
+    SlowdownSet slowdown;
+    slowdown.frontEndComp = 1.0 + rng.nextDouble() * 3.0;
+    const double plain = scheduleDagList(dag, slowdown).makespan;
+    const double inserted = scheduleDagListInsertion(dag, slowdown).makespan;
+    EXPECT_LE(inserted, plain + 1e-9) << "trial " << trial;
+
+    // Insertion schedules must still respect dependencies and not overlap.
+    const DagSchedule s = scheduleDagListInsertion(dag, slowdown);
+    for (const DagEdge& e : dag.edges) {
+      EXPECT_GE(s.tasks[e.to].start, s.tasks[e.from].finish - 1e-9);
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (s.tasks[a].machine != s.tasks[b].machine) continue;
+        const bool disjoint = s.tasks[a].finish <= s.tasks[b].start + 1e-9 ||
+                              s.tasks[b].finish <= s.tasks[a].start + 1e-9;
+        EXPECT_TRUE(disjoint) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Dag, ExhaustiveRejectsHugeGraphs) {
+  TaskDag dag;
+  for (int i = 0; i < 17; ++i) {
+    dag.tasks.push_back(DagTask{"t", 1.0, 1.0});
+  }
+  EXPECT_THROW((void)scheduleDagExhaustive(dag, SlowdownSet::dedicated()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contend::sched

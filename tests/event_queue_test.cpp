@@ -1,0 +1,121 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace contend::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(30, [&] { order.push_back(3); });
+  q.scheduleAt(10, [&] { order.push_back(1); });
+  q.scheduleAt(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(5, [&] { order.push_back(1); });
+  q.scheduleAt(5, [&] { order.push_back(2); });
+  q.scheduleAt(5, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(1, [&] {
+    ++fired;
+    q.scheduleAfter(1, [&] { ++fired; });
+  });
+  const auto n = q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(q.now(), 2);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.scheduleAt(10, [] {});
+  q.run();
+  EXPECT_THROW(q.scheduleAt(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ZeroDelayRunsAtCurrentTime) {
+  EventQueue q;
+  Tick seen = -1;
+  q.scheduleAt(7, [&] { q.scheduleAfter(0, [&] { seen = q.now(); }); });
+  q.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, StopHaltsRun) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(1, [&] { ++fired; });
+  q.scheduleAt(2, [&] {
+    ++fired;
+    q.stop();
+  });
+  q.scheduleAt(3, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pendingEvents(), 1u);
+  // A later run() resumes.
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilInclusiveBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(10, [&] { ++fired; });
+  q.scheduleAt(20, [&] { ++fired; });
+  q.scheduleAt(21, [&] { ++fired; });
+  q.runUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  q.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.runUntil(100);
+  EXPECT_EQ(q.now(), 100);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.scheduleAt(i, [] {});
+  q.run();
+  EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  EventQueue q;
+  Tick last = -1;
+  bool monotone = true;
+  // Insert in a scrambled deterministic order.
+  for (int i = 0; i < 2000; ++i) {
+    const Tick t = (i * 7919) % 1000;
+    q.scheduleAt(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  q.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace contend::sim

@@ -1,0 +1,368 @@
+// Unit tests for the future-work extensions (§4): memory constraints,
+// time-varying job mixes, migration, and the k-machine generalization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <limits>
+
+#include "ext/dynamic_mix.hpp"
+#include "ext/memory_model.hpp"
+#include "ext/migration.hpp"
+#include "ext/multi_machine.hpp"
+#include "util/rng.hpp"
+
+namespace contend::ext {
+namespace {
+
+// ---------------------------------------------------------------- memory ---
+
+TEST(MemoryModel, NoPenaltyWhenEverythingFits) {
+  MemoryModelParams params;
+  params.capacityWords = 1000;
+  const Words sets[] = {300, 200};
+  EXPECT_DOUBLE_EQ(memorySlowdown(params, 500, sets), 1.0);
+  EXPECT_DOUBLE_EQ(overcommitRatio(params, 500, sets), 1.0);
+}
+
+TEST(MemoryModel, LinearPagingRegion) {
+  MemoryModelParams params;
+  params.capacityWords = 1000;
+  params.pagingFactor = 2.0;
+  params.thrashKnee = 1.5;
+  const Words sets[] = {400};
+  // ratio 1.2 -> 1 + 2.0 * 0.2 = 1.4
+  EXPECT_NEAR(memorySlowdown(params, 800, sets), 1.4, 1e-12);
+}
+
+TEST(MemoryModel, ThrashingIsSteeper) {
+  MemoryModelParams params;
+  params.capacityWords = 1000;
+  params.pagingFactor = 2.0;
+  params.thrashKnee = 1.5;
+  params.thrashFactor = 10.0;
+  // ratio 2.0: knee value 1 + 2*0.5 = 2, plus 10*(2-1.5) = 5 -> 7.
+  EXPECT_NEAR(memorySlowdown(params, 2000, std::span<const Words>{}), 7.0,
+              1e-12);
+}
+
+TEST(MemoryModel, ContinuousAtKnee) {
+  MemoryModelParams params;
+  params.capacityWords = 1000;
+  const double below =
+      memorySlowdown(params, 1499, std::span<const Words>{});
+  const double above =
+      memorySlowdown(params, 1501, std::span<const Words>{});
+  EXPECT_NEAR(below, above, 0.05);
+}
+
+TEST(MemoryModel, Validation) {
+  MemoryModelParams params;
+  params.capacityWords = 0;
+  EXPECT_THROW((void)overcommitRatio(params, 10, {}), std::invalid_argument);
+  params.capacityWords = 100;
+  EXPECT_THROW((void)overcommitRatio(params, -1, {}), std::invalid_argument);
+  const Words bad[] = {-5};
+  EXPECT_THROW((void)overcommitRatio(params, 1, bad), std::invalid_argument);
+  params.thrashKnee = 0.5;
+  EXPECT_THROW((void)memorySlowdown(params, 10, {}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- dynamic mix ---
+
+model::DelayTables simpleTables() {
+  model::DelayTables tables;
+  tables.jBins = {1, 500, 1000};
+  tables.compFromComm.assign(3, {});
+  for (int i = 1; i <= 4; ++i) {
+    tables.commFromComp.push_back(0.5 * i);
+    tables.commFromComm.push_back(0.2 * i);
+    for (auto& row : tables.compFromComm) row.push_back(0.25 * i);
+  }
+  return tables;
+}
+
+TEST(MixTimeline, MixAtPicksEpoch) {
+  model::WorkloadMix one;
+  one.add(model::CompetingApp{0.0, 0});
+  model::WorkloadMix two = one;
+  two.add(model::CompetingApp{0.0, 0});
+  MixTimeline timeline({{10.0, one}, {20.0, two}});
+  EXPECT_EQ(timeline.mixAt(5.0).p(), 0);
+  EXPECT_EQ(timeline.mixAt(10.0).p(), 1);
+  EXPECT_EQ(timeline.mixAt(19.9).p(), 1);
+  EXPECT_EQ(timeline.mixAt(25.0).p(), 2);
+}
+
+TEST(MixTimeline, RejectsUnorderedEpochs) {
+  model::WorkloadMix mix;
+  EXPECT_THROW(MixTimeline({{10.0, mix}, {10.0, mix}}), std::invalid_argument);
+  MixTimeline timeline({{10.0, mix}});
+  EXPECT_THROW((void)timeline.appendChange(5.0, [](model::WorkloadMix&) {}),
+               std::invalid_argument);
+}
+
+TEST(MixTimeline, AppendChangeBuildsOnCurrentMix) {
+  MixTimeline timeline({});
+  timeline.appendChange(
+      5.0, [](model::WorkloadMix& m) { m.add(model::CompetingApp{0.0, 0}); });
+  timeline.appendChange(
+      10.0, [](model::WorkloadMix& m) { m.add(model::CompetingApp{0.0, 0}); });
+  timeline.appendChange(15.0,
+                        [](model::WorkloadMix& m) { m.removeAt(0); });
+  EXPECT_EQ(timeline.mixAt(6.0).p(), 1);
+  EXPECT_EQ(timeline.mixAt(11.0).p(), 2);
+  EXPECT_EQ(timeline.mixAt(16.0).p(), 1);
+}
+
+TEST(DynamicMix, ConstantMixMatchesStaticPrediction) {
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.0, 0});  // CPU-bound: slowdown 2
+  MixTimeline timeline({{0.0, mix}});
+  const auto tables = simpleTables();
+  EXPECT_NEAR(predictCompletionWithTimeline(10.0, 0.0, timeline, tables), 20.0,
+              1e-9);
+  EXPECT_NEAR(effectiveSlowdown(10.0, 0.0, timeline, tables), 2.0, 1e-9);
+}
+
+TEST(DynamicMix, ProgressIntegrationAcrossEpochs) {
+  // Dedicated until t=10, then one CPU-bound competitor (slowdown 2).
+  model::WorkloadMix busy;
+  busy.add(model::CompetingApp{0.0, 0});
+  MixTimeline timeline({{10.0, busy}});
+  const auto tables = simpleTables();
+  // 16 s of work starting at 0: 10 s done dedicated, 6 left at rate 1/2
+  // -> 10 + 12 = 22 s elapsed.
+  EXPECT_NEAR(predictCompletionWithTimeline(16.0, 0.0, timeline, tables), 22.0,
+              1e-9);
+  // Same task starting at t=10 runs entirely contended: 32 s.
+  EXPECT_NEAR(predictCompletionWithTimeline(16.0, 10.0, timeline, tables),
+              32.0, 1e-9);
+}
+
+TEST(DynamicMix, DepartureSpeedsUpTail) {
+  model::WorkloadMix busy;
+  busy.add(model::CompetingApp{0.0, 0});
+  // Contended from 0, competitor leaves at t=6.
+  MixTimeline timeline({{0.0, busy}});
+  timeline.appendChange(6.0, [](model::WorkloadMix& m) { m.removeAt(0); });
+  const auto tables = simpleTables();
+  // 10 s of work: 3 s done by t=6 (rate 1/2), 7 s remain dedicated -> 13 s.
+  EXPECT_NEAR(predictCompletionWithTimeline(10.0, 0.0, timeline, tables), 13.0,
+              1e-9);
+}
+
+TEST(DynamicMix, ZeroWorkAndValidation) {
+  MixTimeline timeline({});
+  const auto tables = simpleTables();
+  EXPECT_DOUBLE_EQ(predictCompletionWithTimeline(0.0, 3.0, timeline, tables),
+                   0.0);
+  EXPECT_THROW((void)predictCompletionWithTimeline(-1.0, 0.0, timeline, tables),
+               std::invalid_argument);
+  EXPECT_THROW((void)effectiveSlowdown(0.0, 0.0, timeline, tables),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- migration --
+
+model::PiecewiseCommParams flatLink() {
+  model::PiecewiseCommParams link;
+  link.small = {0.01, 10000.0};
+  link.large = {0.02, 8000.0};
+  link.thresholdWords = 1024;
+  return link;
+}
+
+TEST(Migration, StaysWhenGainSmall) {
+  const std::vector<model::DataSet> state = {{10, 2000}};
+  // here 2x, there 1.9x: tiny gain, transfer costs real money -> stay.
+  const MigrationDecision d =
+      adviseMigration(100.0, 2.0, 1.9, flatLink(), state, 1.0);
+  EXPECT_FALSE(d.migrate);
+  EXPECT_GT(d.staySec, 0.0);
+}
+
+TEST(Migration, MovesWhenDestinationMuchFaster) {
+  const std::vector<model::DataSet> state = {{10, 2000}};
+  const MigrationDecision d =
+      adviseMigration(100.0, 4.0, 1.0, flatLink(), state, 1.0);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_NEAR(d.staySec, 400.0, 1e-9);
+  EXPECT_NEAR(d.moveSec, 100.0 + 10 * (0.02 + 2000.0 / 8000.0), 1e-9);
+  EXPECT_GT(d.gainSec(), 0.0);
+}
+
+TEST(Migration, HysteresisPreventsMarginalMoves) {
+  const std::vector<model::DataSet> state = {};
+  // 10% faster over there, zero transfer cost: gain fraction exactly 0.1.
+  const MigrationDecision strict =
+      adviseMigration(100.0, 2.0, 1.8, flatLink(), state, 1.0, 0.2);
+  EXPECT_FALSE(strict.migrate);
+  const MigrationDecision loose =
+      adviseMigration(100.0, 2.0, 1.8, flatLink(), state, 1.0, 0.05);
+  EXPECT_TRUE(loose.migrate);
+}
+
+TEST(Migration, TransferSlowdownCounts) {
+  const std::vector<model::DataSet> state = {{100, 1000}};
+  const MigrationDecision cheap =
+      adviseMigration(50.0, 3.0, 1.0, flatLink(), state, 1.0);
+  const MigrationDecision congested =
+      adviseMigration(50.0, 3.0, 1.0, flatLink(), state, 8.0);
+  EXPECT_GT(congested.moveSec, cheap.moveSec);
+}
+
+TEST(Migration, Validation) {
+  EXPECT_THROW((void)adviseMigration(-1.0, 2.0, 1.0, flatLink(), {}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)adviseMigration(1.0, 0.5, 1.0, flatLink(), {}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)adviseMigration(1.0, 2.0, 1.0, flatLink(), {}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)adviseMigration(1.0, 2.0, 1.0, flatLink(), {}, 1.0, -0.1),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- multi-machine --
+
+MultiMachinePlatform triangle() {
+  std::vector<MachineSpec> machines = {
+      {"sun", 2.0}, {"paragon", 1.0}, {"cm2", 1.0}};
+  model::PiecewiseCommParams link;
+  link.small = {0.001, 100000.0};
+  link.large = {0.001, 100000.0};
+  link.thresholdWords = 1024;
+  std::vector<LinkSpec> links;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a != b) links.push_back(LinkSpec{a, b, link, 1.0});
+    }
+  }
+  return MultiMachinePlatform(std::move(machines), std::move(links));
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(MultiMachine, PicksCheapestMachinePerTaskWhenTransfersFree) {
+  const auto platform = triangle();
+  const std::vector<MultiTask> tasks = {
+      {"serial", {1.0, 5.0, 5.0}, {}},   // cheapest on sun (2.0 x 1.0 = 2)
+      {"parallel", {10.0, 1.0, 3.0}, {}},  // cheapest on paragon
+  };
+  const MultiAllocation alloc = placeChain(platform, tasks);
+  EXPECT_EQ(alloc.assignment[0], 0u);
+  EXPECT_EQ(alloc.assignment[1], 1u);
+  EXPECT_NEAR(alloc.makespan, 2.0 + 1.0 + 0.0, 1e-6);
+}
+
+TEST(MultiMachine, TransferCostKeepsChainTogether) {
+  std::vector<MachineSpec> machines = {{"a", 1.0}, {"b", 1.0}};
+  model::PiecewiseCommParams slow;
+  slow.small = {10.0, 1.0};
+  slow.large = {10.0, 1.0};
+  slow.thresholdWords = 1024;
+  std::vector<LinkSpec> links = {{0, 1, slow, 1.0}, {1, 0, slow, 1.0}};
+  MultiMachinePlatform platform(std::move(machines), std::move(links));
+
+  const std::vector<MultiTask> tasks = {
+      {"t0", {1.0, 2.0}, {{1, 1}}},  // slightly cheaper on a
+      {"t1", {2.0, 1.0}, {}},        // slightly cheaper on b
+  };
+  const MultiAllocation alloc = placeChain(platform, tasks);
+  // Moving costs > 11 s; the 1 s gain cannot justify it.
+  EXPECT_EQ(alloc.assignment[0], alloc.assignment[1]);
+}
+
+TEST(MultiMachine, InfeasibleMachineSkipped) {
+  const auto platform = triangle();
+  const std::vector<MultiTask> tasks = {
+      {"vector-only", {kInf, kInf, 4.0}, {}}};
+  const MultiAllocation alloc = placeChain(platform, tasks);
+  EXPECT_EQ(alloc.assignment[0], 2u);
+}
+
+TEST(MultiMachine, ThrowsWhenNoFeasiblePlacement) {
+  const auto platform = triangle();
+  const std::vector<MultiTask> tasks = {{"impossible", {kInf, kInf, kInf}, {}}};
+  EXPECT_THROW((void)placeChain(platform, tasks), std::runtime_error);
+}
+
+TEST(MultiMachine, MissingLinkBlocksPath) {
+  std::vector<MachineSpec> machines = {{"a", 1.0}, {"b", 1.0}};
+  model::PiecewiseCommParams link;
+  link.small = {0.0, 1000.0};
+  link.large = {0.0, 1000.0};
+  link.thresholdWords = 10;
+  // Only a -> b exists; no way back.
+  std::vector<LinkSpec> links = {{0, 1, link, 1.0}};
+  MultiMachinePlatform platform(std::move(machines), std::move(links));
+  const std::vector<MultiTask> tasks = {
+      {"t0", {kInf, 1.0}, {{1, 1}}},  // must run on b
+      {"t1", {1.0, kInf}, {}},        // must run on a: needs b -> a
+  };
+  EXPECT_THROW((void)placeChain(platform, tasks), std::runtime_error);
+}
+
+TEST(MultiMachine, DpMatchesBruteForceOnRandomInstances) {
+  const auto platform = triangle();
+  SplitMix64 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<MultiTask> tasks;
+    const int n = 2 + static_cast<int>(rng.nextBelow(4));
+    for (int t = 0; t < n; ++t) {
+      MultiTask task;
+      task.name = "t" + std::to_string(t);
+      for (int m = 0; m < 3; ++m) {
+        task.dedicatedSec.push_back(1.0 + rng.nextDouble() * 9.0);
+      }
+      task.outputData.push_back(
+          model::DataSet{1 + static_cast<std::int64_t>(rng.nextBelow(50)),
+                         1 + static_cast<Words>(rng.nextBelow(4000))});
+      tasks.push_back(std::move(task));
+    }
+
+    const MultiAllocation dp = placeChain(platform, tasks);
+
+    // Brute force over 3^n assignments.
+    double best = kInf;
+    const std::size_t total = static_cast<std::size_t>(std::pow(3.0, n));
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      std::size_t code = mask;
+      std::vector<std::size_t> assignment(static_cast<std::size_t>(n));
+      for (int t = 0; t < n; ++t) {
+        assignment[static_cast<std::size_t>(t)] = code % 3;
+        code /= 3;
+      }
+      double cost = 0.0;
+      for (int t = 0; t < n; ++t) {
+        const auto m = assignment[static_cast<std::size_t>(t)];
+        cost += tasks[static_cast<std::size_t>(t)].dedicatedSec[m] *
+                platform.machine(m).compSlowdown;
+        if (t > 0) {
+          cost += platform.transferCost(
+              assignment[static_cast<std::size_t>(t - 1)], m,
+              tasks[static_cast<std::size_t>(t - 1)].outputData);
+        }
+      }
+      best = std::min(best, cost);
+    }
+    EXPECT_NEAR(dp.makespan, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MultiMachine, Validation) {
+  EXPECT_THROW(MultiMachinePlatform({}, {}), std::invalid_argument);
+  EXPECT_THROW(MultiMachinePlatform({{"a", 0.5}}, {}), std::invalid_argument);
+  model::PiecewiseCommParams link;
+  EXPECT_THROW(
+      MultiMachinePlatform({{"a", 1.0}}, {{0, 0, link, 1.0}}),
+      std::invalid_argument);
+  const auto platform = triangle();
+  EXPECT_THROW((void)platform.machine(9), std::out_of_range);
+  EXPECT_THROW((void)placeChain(platform, {}), std::invalid_argument);
+  const std::vector<MultiTask> bad = {{"t", {1.0}, {}}};  // wrong width
+  EXPECT_THROW((void)placeChain(platform, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contend::ext

@@ -1,0 +1,222 @@
+// End-to-end integration tests: the analytical model, calibrated by the
+// system test suite, must predict simulated "actual" times within the
+// paper's error bands on the paper's experiment shapes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "calib/calibration.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "model/cm2_model.hpp"
+#include "model/paragon_model.hpp"
+#include "util/stats.hpp"
+#include "workload/cm2_programs.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend {
+namespace {
+
+/// Shared calibrated profile (expensive: calibrate once per test binary).
+const calib::PlatformProfile& profile() {
+  static const calib::PlatformProfile p = [] {
+    calib::CalibrationOptions options;
+    options.delays.maxContenders = 3;
+    return calib::calibratePlatform(sim::PlatformConfig{}, options);
+  }();
+  return p;
+}
+
+sim::PlatformConfig defaultConfig() { return sim::PlatformConfig{}; }
+
+// ------------------------------------------------------------- Sun/CM2 ---
+
+TEST(Integration, Cm2CommunicationScalesWithPPlusOne) {
+  // Figure 1's law: transfers to/from the SIMD back-end slow by p + 1.
+  for (int p : {0, 2, 3}) {
+    workload::RunSpec spec;
+    spec.config = defaultConfig();
+    spec.probe = workload::makeCm2RoundTripProgram(256, 256);
+    spec.regions = 2;
+    spec.contenders.assign(static_cast<std::size_t>(p),
+                           workload::makeCpuBoundGenerator());
+    const workload::RunResult run = workload::runMeasured(spec);
+    const double actual = run.regionSeconds(0) + run.regionSeconds(1);
+
+    const auto dataSets = kernels::sorGridDataSets(256);
+    const double modeled =
+        model::predictCommToCm2(profile().cm2.comm, dataSets, p) +
+        model::predictCommFromCm2(profile().cm2.comm, dataSets, p);
+    EXPECT_LT(relativeError(modeled, actual), 0.10) << "p=" << p;
+  }
+}
+
+TEST(Integration, Cm2GaussPredictionWithinPaperBand) {
+  const kernels::GaussCostModel costs;
+  RunningStats errors;
+  for (std::size_t m : {100, 200, 300}) {
+    const auto steps = kernels::gaussCm2Steps(costs, m);
+    const auto program = workload::makeCm2KernelProgram(steps);
+
+    workload::RunSpec dedicated;
+    dedicated.config = defaultConfig();
+    dedicated.probe = program;
+    const workload::RunResult ded = workload::runMeasured(dedicated);
+
+    model::Cm2TaskDedicated inputs;
+    inputs.dcompCm2 = toSeconds(ded.backendExec);
+    inputs.didleCm2 = toSeconds(ded.backendIdleWithinRegion0);
+    inputs.dserialCm2 = toSeconds(ded.probeCpuTicks);
+
+    workload::RunSpec contended = dedicated;
+    contended.contenders.assign(3, workload::makeCpuBoundGenerator());
+    const double actual = workload::runMeasured(contended).regionSeconds(0);
+    errors.add(relativeError(model::predictTcm2(inputs, 3), actual));
+  }
+  // Paper: within 15% on average for the scientific benchmarks.
+  EXPECT_LT(errors.mean(), 0.20);
+}
+
+TEST(Integration, Cm2DedicatedInvariantDidleBelowDserial) {
+  // The paper: didle_cm2 never exceeds dserial_cm2 (the host can pre-execute
+  // serial code while the back-end computes). Check across kernels.
+  const kernels::SorCostModel sorCosts;
+  const kernels::GaussCostModel gaussCosts;
+  std::vector<sim::Program> programs = {
+      workload::makeCm2KernelProgram(kernels::sorCm2Steps(sorCosts, 128, 20)),
+      workload::makeCm2KernelProgram(kernels::gaussCm2Steps(gaussCosts, 150)),
+  };
+  for (auto& program : programs) {
+    workload::RunSpec spec;
+    spec.config = defaultConfig();
+    spec.probe = std::move(program);
+    const workload::RunResult run = workload::runMeasured(spec);
+    EXPECT_LE(run.backendIdleWithinRegion0, run.probeCpuTicks);
+  }
+}
+
+// --------------------------------------------------------- Sun/Paragon ---
+
+TEST(Integration, ParagonCommPredictionFigure5Scenario) {
+  // Two contenders, 25% and 76% comm with 200-word messages; burst probe.
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.25, 200});
+  mix.add(model::CompetingApp{0.76, 200});
+
+  std::vector<sim::Program> contenders;
+  for (double f : {0.25, 0.76}) {
+    workload::GeneratorSpec gen;
+    gen.commFraction = f;
+    gen.messageWords = 200;
+    gen.direction = workload::CommDirection::kBoth;
+    contenders.push_back(workload::makeCommGenerator(defaultConfig(), gen));
+  }
+
+  RunningStats errors;
+  for (Words words : {64, 512, 4096}) {
+    const model::DataSet burst{500, words};
+    const double modeled = model::predictParagonComm(
+        profile().paragon.toBackend, std::span(&burst, 1), mix,
+        profile().paragon.delays);
+
+    workload::RunSpec spec;
+    spec.config = defaultConfig();
+    spec.probe = workload::makeBurstProgram(
+        words, 500, workload::CommDirection::kToBackend);
+    spec.contenders = contenders;
+    const double actual = workload::runMeasured(spec).regionSeconds(0);
+    errors.add(relativeError(modeled, actual));
+  }
+  // Paper: within 12% average on this scenario.
+  EXPECT_LT(errors.mean(), 0.18);
+}
+
+TEST(Integration, ParagonCompPredictionPrefersCorrectJBin) {
+  // Figure 7's scenario: the j = 1000 bin must beat the j = 1 bin.
+  model::WorkloadMix mix;
+  mix.add(model::CompetingApp{0.66, 800});
+  mix.add(model::CompetingApp{0.33, 1200});
+
+  std::vector<sim::Program> contenders;
+  for (const auto& app : mix.apps()) {
+    workload::GeneratorSpec gen;
+    gen.commFraction = app.commFraction;
+    gen.messageWords = app.messageWords;
+    gen.direction = workload::CommDirection::kBoth;
+    contenders.push_back(workload::makeCommGenerator(defaultConfig(), gen));
+  }
+
+  const Tick work = 2 * kSecond;
+  workload::RunSpec spec;
+  spec.config = defaultConfig();
+  spec.probe = workload::makeCpuProbe(work);
+  spec.contenders = contenders;
+  const double actual = workload::runMeasured(spec).regionSeconds(0);
+
+  const auto& tables = profile().paragon.delays;
+  const double dedicated = toSeconds(work);
+  const double withCorrectBin =
+      dedicated * model::paragonCompSlowdown(mix, tables);  // auto: j=1000
+  const double withSmallBin =
+      dedicated * model::paragonCompSlowdown(mix, tables, 0);  // j=1
+
+  EXPECT_LT(relativeError(withCorrectBin, actual), 0.10);
+  EXPECT_GT(relativeError(withSmallBin, actual),
+            relativeError(withCorrectBin, actual));
+}
+
+TEST(Integration, PureCpuContendersGivePPlusOneOnComputation) {
+  for (int p : {1, 2, 3}) {
+    workload::RunSpec spec;
+    spec.config = defaultConfig();
+    spec.probe = workload::makeCpuProbe(kSecond);
+    spec.contenders.assign(static_cast<std::size_t>(p),
+                           workload::makeCpuBoundGenerator());
+    const double actual = workload::runMeasured(spec).regionSeconds(0);
+    EXPECT_NEAR(actual, p + 1.0, 0.03 * (p + 1)) << "p=" << p;
+  }
+}
+
+TEST(Integration, DedicatedBurstMatchesPiecewiseFitOnHoldoutSizes) {
+  // Sizes not in the calibration sweep.
+  for (Words words : {200, 3000}) {
+    workload::RunSpec spec;
+    spec.config = defaultConfig();
+    spec.probe = workload::makeBurstProgram(
+        words, 300, workload::CommDirection::kToBackend);
+    const double actual = workload::runMeasured(spec).regionSeconds(0);
+    const double modeled =
+        300.0 * profile().paragon.toBackend.messageCost(words);
+    EXPECT_LT(relativeError(modeled, actual), 0.10) << words;
+  }
+}
+
+TEST(Integration, CommunicationSlowdownBelowComputationSlowdown) {
+  // CPU-bound contenders hit computation by p + 1 but communication only by
+  // its conversion share — the asymmetry the Paragon model encodes.
+  const int p = 2;
+  workload::RunSpec cpuProbe;
+  cpuProbe.config = defaultConfig();
+  cpuProbe.probe = workload::makeCpuProbe(kSecond);
+  cpuProbe.contenders.assign(p, workload::makeCpuBoundGenerator());
+  const double compSlowdown =
+      workload::runMeasured(cpuProbe).regionSeconds(0) / 1.0;
+
+  workload::RunSpec commDed;
+  commDed.config = defaultConfig();
+  commDed.probe = workload::makeBurstProgram(
+      500, 300, workload::CommDirection::kToBackend);
+  const double dedicated = workload::runMeasured(commDed).regionSeconds(0);
+  workload::RunSpec commRun = commDed;
+  commRun.contenders.assign(p, workload::makeCpuBoundGenerator());
+  const double commSlowdown =
+      workload::runMeasured(commRun).regionSeconds(0) / dedicated;
+
+  EXPECT_GT(commSlowdown, 1.2);
+  EXPECT_LT(commSlowdown, compSlowdown);
+}
+
+}  // namespace
+}  // namespace contend

@@ -1,0 +1,185 @@
+// Unit tests for the numeric kernels: they must be real solvers, not stubs,
+// and their cost descriptors must be consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/gauss.hpp"
+#include "kernels/matrix.hpp"
+#include "kernels/sor.hpp"
+#include "util/rng.hpp"
+
+namespace contend::kernels {
+namespace {
+
+// ---------------------------------------------------------------- matrix ---
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- sor ---
+
+TEST(Sor, ConvergesToHarmonicSolution) {
+  const SorResult result = solveLaplace(33, 1.8, 5000, 1e-8, 100.0);
+  EXPECT_LT(result.finalResidual, 1e-8);
+  EXPECT_LT(result.iterations, 5000);
+  // Laplace solution is bounded by its boundary values and symmetric about
+  // the vertical midline (boundary: top edge hot, rest cold).
+  const auto& g = result.grid;
+  for (std::size_t r = 1; r + 1 < g.rows(); ++r) {
+    for (std::size_t c = 1; c + 1 < g.cols(); ++c) {
+      EXPECT_GE(g.at(r, c), 0.0);
+      EXPECT_LE(g.at(r, c), 100.0);
+      EXPECT_NEAR(g.at(r, c), g.at(r, g.cols() - 1 - c), 1e-5);
+    }
+  }
+  // Mean-value property: interior point equals average of neighbors.
+  const std::size_t mid = g.rows() / 2;
+  const double avg = 0.25 * (g.at(mid - 1, mid) + g.at(mid + 1, mid) +
+                             g.at(mid, mid - 1) + g.at(mid, mid + 1));
+  EXPECT_NEAR(g.at(mid, mid), avg, 1e-5);
+}
+
+TEST(Sor, HigherOmegaConvergesFaster) {
+  const SorResult slow = solveLaplace(25, 1.0, 20000, 1e-7);
+  const SorResult fast = solveLaplace(25, 1.85, 20000, 1e-7);
+  EXPECT_LT(fast.iterations, slow.iterations);
+}
+
+TEST(Sor, Validation) {
+  EXPECT_THROW((void)solveLaplace(2, 1.5, 10, 1e-6), std::invalid_argument);
+  EXPECT_THROW((void)solveLaplace(10, 0.0, 10, 1e-6), std::invalid_argument);
+  EXPECT_THROW((void)solveLaplace(10, 2.0, 10, 1e-6), std::invalid_argument);
+  EXPECT_THROW((void)solveLaplace(10, 1.5, 0, 1e-6), std::invalid_argument);
+}
+
+TEST(Sor, FrontEndTimeQuadraticInGrid) {
+  const SorCostModel costs;
+  const Tick t1 = sorFrontEndTime(costs, 100, 10);
+  const Tick t2 = sorFrontEndTime(costs, 200, 10);
+  EXPECT_EQ(t2, 4 * t1);
+  EXPECT_EQ(sorFrontEndTime(costs, 100, 20), 2 * t1);
+  EXPECT_THROW((void)sorFrontEndTime(costs, 100, 0), std::invalid_argument);
+}
+
+TEST(Sor, Cm2StepsStructure) {
+  SorCostModel costs;
+  costs.reduceEvery = 5;
+  const auto steps = sorCm2Steps(costs, 64, 10);
+  // 10 iterations + 2 convergence reductions.
+  ASSERT_EQ(steps.size(), 12u);
+  int reduces = 0;
+  for (const auto& s : steps) reduces += s.waitForResult ? 1 : 0;
+  EXPECT_EQ(reduces, 4);  // 2 marked iterations + 2 reduce steps
+  EXPECT_THROW((void)sorCm2Steps(costs, 64, 0), std::invalid_argument);
+}
+
+TEST(Sor, GridDataSetsAreRowMessages) {
+  const auto sets = sorGridDataSets(256);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].messages, 256);
+  EXPECT_EQ(sets[0].words, 256);
+  EXPECT_EQ(model::totalWords(sets), 256 * 256);
+}
+
+// ----------------------------------------------------------------- gauss ---
+
+TEST(Gauss, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  Matrix aug(2, 3);
+  aug.at(0, 0) = 2;
+  aug.at(0, 1) = 1;
+  aug.at(0, 2) = 5;
+  aug.at(1, 0) = 1;
+  aug.at(1, 1) = -1;
+  aug.at(1, 2) = 1;
+  const auto x = solveGaussian(aug);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Gauss, RandomSystemRoundTrips) {
+  // Build A and x, compute b = Ax, then recover x.
+  constexpr std::size_t n = 40;
+  SplitMix64 rng(99);
+  Matrix aug(n, n + 1);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.nextDouble() * 10.0 - 5.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double b = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double a = rng.nextDouble() * 2.0 - 1.0;
+      aug.at(r, c) = a;
+      b += a * x[c];
+    }
+    aug.at(r, r) += 5.0;  // diagonally dominant: well-conditioned
+    b += 5.0 * x[r];
+    aug.at(r, n) = b;
+  }
+  const auto solved = solveGaussian(aug);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(solved[i], x[i], 1e-9);
+}
+
+TEST(Gauss, PivotingHandlesZeroDiagonal) {
+  Matrix aug(2, 3);
+  aug.at(0, 0) = 0;
+  aug.at(0, 1) = 1;
+  aug.at(0, 2) = 3;
+  aug.at(1, 0) = 2;
+  aug.at(1, 1) = 0;
+  aug.at(1, 2) = 4;
+  const auto x = solveGaussian(aug);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Gauss, SingularSystemThrows) {
+  Matrix aug(2, 3);
+  aug.at(0, 0) = 1;
+  aug.at(0, 1) = 2;
+  aug.at(0, 2) = 3;
+  aug.at(1, 0) = 2;
+  aug.at(1, 1) = 4;
+  aug.at(1, 2) = 6;
+  EXPECT_THROW((void)solveGaussian(std::move(aug)), std::runtime_error);
+}
+
+TEST(Gauss, RejectsNonAugmented) {
+  EXPECT_THROW((void)solveGaussian(Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(Gauss, Cm2StepsShrinkWithElimination) {
+  const GaussCostModel costs;
+  const auto steps = gaussCm2Steps(costs, 10);
+  ASSERT_EQ(steps.size(), 20u);  // pivot + eliminate per elimination step
+  // Elimination work decreases as rows are eliminated.
+  EXPECT_GT(steps[1].parallelWork, steps[17].parallelWork);
+  // Pivot steps wait; elimination steps pipeline.
+  EXPECT_TRUE(steps[0].waitForResult);
+  EXPECT_FALSE(steps[1].waitForResult);
+}
+
+TEST(Gauss, FrontEndTimeCubic) {
+  const GaussCostModel costs;
+  const double t1 = static_cast<double>(gaussFrontEndTime(costs, 100));
+  const double t2 = static_cast<double>(gaussFrontEndTime(costs, 200));
+  EXPECT_NEAR(t2 / t1, 8.0, 0.3);
+}
+
+TEST(Gauss, MatrixDataSets) {
+  const auto sets = gaussMatrixDataSets(100);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].messages, 100);
+  EXPECT_EQ(sets[0].words, 101);
+}
+
+}  // namespace
+}  // namespace contend::kernels

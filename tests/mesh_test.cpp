@@ -1,0 +1,191 @@
+// Tests for the mesh-contention extension (inter-partition contention on the
+// space-shared MIMD back-end, §3.2 / Liu et al.).
+#include <gtest/gtest.h>
+
+#include "ext/mesh_contention.hpp"
+
+namespace contend::ext {
+namespace {
+
+MeshConfig smallMesh() {
+  MeshConfig config;
+  config.width = 4;
+  config.height = 4;
+  return config;
+}
+
+TEST(MeshRoute, XyDimensionOrder) {
+  MeshInterconnect mesh(smallMesh());
+  const auto links = mesh.route(NodeId{0, 0}, NodeId{2, 1});
+  ASSERT_EQ(links.size(), 3u);
+  // X first, then Y.
+  EXPECT_EQ(links[0].to, (NodeId{1, 0}));
+  EXPECT_EQ(links[1].to, (NodeId{2, 0}));
+  EXPECT_EQ(links[2].to, (NodeId{2, 1}));
+}
+
+TEST(MeshRoute, SelfRouteIsEmpty) {
+  MeshInterconnect mesh(smallMesh());
+  EXPECT_TRUE(mesh.route(NodeId{1, 1}, NodeId{1, 1}).empty());
+  EXPECT_EQ(mesh.transferTime(NodeId{1, 1}, NodeId{1, 1}, 100), 0);
+}
+
+TEST(MeshRoute, NegativeDirections) {
+  MeshInterconnect mesh(smallMesh());
+  const auto links = mesh.route(NodeId{3, 3}, NodeId{1, 2});
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0].to, (NodeId{2, 3}));
+  EXPECT_EQ(links[2].to, (NodeId{1, 2}));
+}
+
+TEST(MeshRoute, RejectsOutsideEndpoints) {
+  MeshInterconnect mesh(smallMesh());
+  EXPECT_THROW(mesh.route(NodeId{0, 0}, NodeId{4, 0}), std::invalid_argument);
+  EXPECT_THROW(mesh.route(NodeId{-1, 0}, NodeId{0, 0}), std::invalid_argument);
+}
+
+TEST(MeshFlows, UtilizationAccumulatesPerLink) {
+  MeshInterconnect mesh(smallMesh());
+  mesh.addFlow(TrafficFlow{{0, 0}, {2, 0}, 0.3});
+  mesh.addFlow(TrafficFlow{{1, 0}, {3, 0}, 0.2});
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{0, 0}, {1, 0}}), 0.3);
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{1, 0}, {2, 0}}), 0.5);
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{2, 0}, {3, 0}}), 0.2);
+  // Opposite direction unaffected (directed links).
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{1, 0}, {0, 0}}), 0.0);
+}
+
+TEST(MeshFlows, OversubscriptionRejected) {
+  MeshInterconnect mesh(smallMesh());
+  mesh.addFlow(TrafficFlow{{0, 0}, {1, 0}, 0.6});
+  EXPECT_THROW(mesh.addFlow(TrafficFlow{{0, 0}, {1, 0}, 0.6}),
+               std::runtime_error);
+  // The failed flow must not partially apply.
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{0, 0}, {1, 0}}), 0.6);
+  mesh.clearFlows();
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(MeshLink{{0, 0}, {1, 0}}), 0.0);
+}
+
+TEST(MeshTransfer, ContentionStretchesSerialization) {
+  MeshInterconnect mesh(smallMesh());
+  const Tick clean = mesh.transferTime({0, 0}, {3, 0}, 10000);
+  mesh.addFlow(TrafficFlow{{1, 0}, {3, 0}, 0.5});
+  const Tick contended = mesh.transferTime({0, 0}, {3, 0}, 10000);
+  EXPECT_GT(contended, clean);
+  // Residual bandwidth 0.5 -> serialization doubles; latency unchanged.
+  const Tick latency = 3 * mesh.config().hopLatency;
+  EXPECT_NEAR(static_cast<double>(contended - latency),
+              2.0 * static_cast<double>(clean - latency), 5.0);
+}
+
+TEST(MeshTransfer, SmallMessagesLessAffected) {
+  // The paper (citing Liu et al.): "traffic effects vary with the size of
+  // the messages" — latency-dominated small messages barely notice.
+  MeshInterconnect mesh(smallMesh());
+  const Tick smallClean = mesh.transferTime({0, 0}, {3, 0}, 8);
+  const Tick bigClean = mesh.transferTime({0, 0}, {3, 0}, 100000);
+  mesh.addFlow(TrafficFlow{{0, 0}, {3, 0}, 0.5});
+  const double smallRatio =
+      static_cast<double>(mesh.transferTime({0, 0}, {3, 0}, 8)) /
+      static_cast<double>(smallClean);
+  const double bigRatio =
+      static_cast<double>(mesh.transferTime({0, 0}, {3, 0}, 100000)) /
+      static_cast<double>(bigClean);
+  EXPECT_LT(smallRatio, 1.1);
+  EXPECT_GT(bigRatio, 1.8);
+}
+
+TEST(MeshAlloc, ContiguousFirstFit) {
+  const MeshConfig config = smallMesh();
+  std::vector<Partition> existing;
+  const auto first = allocateContiguous(config, existing, 2, 2);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->nodes.size(), 4u);
+  EXPECT_EQ(first->nodes[0], (NodeId{0, 0}));
+  existing.push_back(*first);
+  const auto second = allocateContiguous(config, existing, 2, 2);
+  ASSERT_TRUE(second.has_value());
+  // Must not overlap the first.
+  for (const NodeId& n : second->nodes) {
+    for (const NodeId& m : first->nodes) EXPECT_FALSE(n == m);
+  }
+  // A 4x3 cannot fit beside a 2x2 in a 4x4.
+  EXPECT_FALSE(allocateContiguous(config, existing, 4, 3).has_value());
+}
+
+TEST(MeshAlloc, ScatteredFillsGaps) {
+  const MeshConfig config = smallMesh();
+  std::vector<Partition> existing;
+  existing.push_back(*allocateContiguous(config, existing, 3, 3));
+  // 7 nodes remain; scattered allocation can take them, contiguous cannot
+  // take a 2x2.
+  EXPECT_FALSE(allocateContiguous(config, existing, 2, 2).has_value());
+  const auto scattered = allocateScattered(config, existing, 7);
+  ASSERT_TRUE(scattered.has_value());
+  EXPECT_EQ(scattered->nodes.size(), 7u);
+  EXPECT_FALSE(allocateScattered(config, existing, 8).has_value());
+}
+
+TEST(MeshContention, ContiguousPartitionUnaffectedByNeighbourTraffic) {
+  // Two side-by-side rectangles: each one's ring traffic stays inside its
+  // rectangle, so the neighbour sees factor 1.
+  const MeshConfig config = smallMesh();
+  std::vector<Partition> existing;
+  const Partition left = *allocateContiguous(config, existing, 2, 4);
+  existing.push_back(left);
+  const Partition right = *allocateContiguous(config, existing, 2, 4);
+
+  MeshInterconnect mesh(config);
+  addPartitionTraffic(mesh, left, 0.4);
+  EXPECT_DOUBLE_EQ(partitionContentionFactor(mesh, right, 1000), 1.0);
+  EXPECT_GT(partitionContentionFactor(mesh, left, 1000), 1.0);
+}
+
+TEST(MeshContention, ScatteredPartitionsInterfere) {
+  // Interleave two scattered partitions; their ring traffic crosses, so
+  // each slows the other — the Liu et al. effect the paper cites.
+  const MeshConfig config = smallMesh();
+  Partition a, b;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      ((x + y) % 2 == 0 ? a : b).nodes.push_back(NodeId{x, y});
+    }
+  }
+  MeshInterconnect mesh(config);
+  addPartitionTraffic(mesh, a, 0.4);
+  EXPECT_GT(partitionContentionFactor(mesh, b, 1000), 1.05);
+}
+
+TEST(MeshContention, FactorGrowsWithMessageSize) {
+  const MeshConfig config = smallMesh();
+  Partition a, b;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      ((x + y) % 2 == 0 ? a : b).nodes.push_back(NodeId{x, y});
+    }
+  }
+  MeshInterconnect mesh(config);
+  addPartitionTraffic(mesh, a, 0.4);
+  EXPECT_LT(partitionContentionFactor(mesh, b, 16),
+            partitionContentionFactor(mesh, b, 50000));
+}
+
+TEST(MeshContention, Validation) {
+  EXPECT_THROW(MeshInterconnect(MeshConfig{0, 4, 25, 0}),
+               std::invalid_argument);
+  MeshInterconnect mesh(smallMesh());
+  EXPECT_THROW(mesh.addFlow(TrafficFlow{{0, 0}, {1, 0}, 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mesh.transferTime({0, 0}, {1, 0}, -1), std::invalid_argument);
+  EXPECT_THROW((void)mesh.linkUtilization(MeshLink{{0, 0}, {2, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)allocateContiguous(smallMesh(), {}, 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)allocateScattered(smallMesh(), {}, 0), std::invalid_argument);
+  Partition single;
+  single.nodes.push_back(NodeId{0, 0});
+  EXPECT_DOUBLE_EQ(partitionContentionFactor(mesh, single, 100), 1.0);
+}
+
+}  // namespace
+}  // namespace contend::ext

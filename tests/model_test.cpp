@@ -1,0 +1,407 @@
+// Unit tests for the model module — the paper's formulas themselves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/cm2_model.hpp"
+#include "model/comm_model.hpp"
+#include "model/mix.hpp"
+#include "model/paragon_model.hpp"
+#include "model/predictor.hpp"
+
+namespace contend::model {
+namespace {
+
+// ----------------------------------------------------------- comm model ---
+
+TEST(CommModel, SinglePieceDcomm) {
+  LinkParams link{0.001, 100000.0};  // 1 ms + size/100K s
+  const std::vector<DataSet> sets = {{10, 1000}, {5, 2000}};
+  // 10*(0.001+0.01) + 5*(0.001+0.02) = 0.11 + 0.105
+  EXPECT_NEAR(dcomm(link, sets), 0.215, 1e-12);
+}
+
+TEST(CommModel, EmptyDataSetsCostNothing) {
+  LinkParams link{0.001, 1000.0};
+  EXPECT_DOUBLE_EQ(dcomm(link, std::span<const DataSet>{}), 0.0);
+}
+
+TEST(CommModel, PiecewiseRoutesBySize) {
+  PiecewiseCommParams params;
+  params.small = {0.001, 1000.0};
+  params.large = {0.004, 500.0};
+  params.thresholdWords = 1024;
+  EXPECT_NEAR(params.messageCost(1024), 0.001 + 1024.0 / 1000.0, 1e-12);
+  EXPECT_NEAR(params.messageCost(1025), 0.004 + 1025.0 / 500.0, 1e-12);
+}
+
+TEST(CommModel, PiecewiseDcommSplitsTerms) {
+  PiecewiseCommParams params;
+  params.small = {0.0, 1000.0};
+  params.large = {0.0, 500.0};
+  params.thresholdWords = 100;
+  const std::vector<DataSet> sets = {{2, 50}, {3, 200}};
+  EXPECT_NEAR(dcomm(params, sets), 2 * 0.05 + 3 * 0.4, 1e-12);
+}
+
+TEST(CommModel, RejectsBadInputs) {
+  LinkParams bad{0.0, 0.0};
+  EXPECT_THROW((void)bad.messageCost(10), std::invalid_argument);
+  LinkParams ok{0.0, 1.0};
+  EXPECT_THROW((void)ok.messageCost(-1), std::invalid_argument);
+  const std::vector<DataSet> negative = {{-1, 10}};
+  EXPECT_THROW((void)dcomm(ok, negative), std::invalid_argument);
+}
+
+TEST(CommModel, Totals) {
+  const std::vector<DataSet> sets = {{10, 100}, {5, 20}};
+  EXPECT_EQ(totalWords(sets), 1100);
+  EXPECT_EQ(totalMessages(sets), 15);
+}
+
+// ------------------------------------------------------------------ mix ---
+
+TEST(WorkloadMix, PaperExampleProbabilities) {
+  // §3.2.1: p = 2, apps communicating 20% and 30% of the time.
+  WorkloadMix mix;
+  mix.add(CompetingApp{0.2, 100});
+  mix.add(CompetingApp{0.3, 100});
+  EXPECT_NEAR(mix.pcomm(1), 0.2 * 0.7 + 0.3 * 0.8, 1e-12);
+  EXPECT_NEAR(mix.pcomm(2), 0.2 * 0.3, 1e-12);
+  EXPECT_NEAR(mix.pcomp(1), 0.2 * 0.7 + 0.3 * 0.8, 1e-12);
+  EXPECT_NEAR(mix.pcomp(2), 0.7 * 0.8, 1e-12);
+  EXPECT_NEAR(mix.pcomm(0), 0.8 * 0.7, 1e-12);
+  EXPECT_NEAR(mix.pcomp(0), 0.3 * 0.2, 1e-12);
+}
+
+TEST(WorkloadMix, DistributionsSumToOne) {
+  WorkloadMix mix;
+  const double fractions[] = {0.1, 0.37, 0.66, 0.92, 0.5};
+  for (double f : fractions) mix.add(CompetingApp{f, 64});
+  double commSum = 0.0, compSum = 0.0;
+  for (int i = 0; i <= mix.p(); ++i) {
+    commSum += mix.pcomm(i);
+    compSum += mix.pcomp(i);
+  }
+  EXPECT_NEAR(commSum, 1.0, 1e-12);
+  EXPECT_NEAR(compSum, 1.0, 1e-12);
+}
+
+TEST(WorkloadMix, ComplementarySymmetry) {
+  // pcomp of a mix equals pcomm of the complemented mix.
+  WorkloadMix mix, complemented;
+  for (double f : {0.25, 0.6, 0.83}) {
+    mix.add(CompetingApp{f, 10});
+    complemented.add(CompetingApp{1.0 - f, 10});
+  }
+  for (int i = 0; i <= 3; ++i) {
+    EXPECT_NEAR(mix.pcomp(i), complemented.pcomm(i), 1e-12);
+  }
+}
+
+TEST(WorkloadMix, IncrementalAddMatchesRebuild) {
+  WorkloadMix incremental;
+  for (double f : {0.15, 0.5, 0.85, 0.99, 0.01}) {
+    incremental.add(CompetingApp{f, 32});
+  }
+  WorkloadMix rebuilt = incremental;
+  rebuilt.rebuild();
+  for (int i = 0; i <= incremental.p(); ++i) {
+    EXPECT_NEAR(incremental.pcomm(i), rebuilt.pcomm(i), 1e-12);
+    EXPECT_NEAR(incremental.pcomp(i), rebuilt.pcomp(i), 1e-12);
+  }
+}
+
+TEST(WorkloadMix, RemovalMatchesFreshBuild) {
+  const std::vector<CompetingApp> apps = {
+      {0.2, 10}, {0.5, 20}, {0.95, 30}, {0.05, 40}, {0.7, 50}};
+  for (std::size_t remove = 0; remove < apps.size(); ++remove) {
+    WorkloadMix mix(apps);
+    mix.removeAt(remove);
+    WorkloadMix expected;
+    for (std::size_t k = 0; k < apps.size(); ++k) {
+      if (k != remove) expected.add(apps[k]);
+    }
+    ASSERT_EQ(mix.p(), expected.p());
+    for (int i = 0; i <= mix.p(); ++i) {
+      EXPECT_NEAR(mix.pcomm(i), expected.pcomm(i), 1e-9) << "remove " << remove;
+      EXPECT_NEAR(mix.pcomp(i), expected.pcomp(i), 1e-9) << "remove " << remove;
+    }
+  }
+}
+
+TEST(WorkloadMix, RemovalOfExtremeFractionsFallsBackSafely) {
+  WorkloadMix mix;
+  mix.add(CompetingApp{1.0, 10});  // deconvolution pivot 1-q = 0
+  mix.add(CompetingApp{0.0, 0});   // and q = 0 on the comp side
+  mix.add(CompetingApp{0.5, 10});
+  mix.removeAt(0);
+  EXPECT_EQ(mix.p(), 2);
+  double sum = 0.0;
+  for (int i = 0; i <= 2; ++i) sum += mix.pcomm(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(WorkloadMix, MaxMessageWordsIgnoresPureCpuApps) {
+  WorkloadMix mix;
+  mix.add(CompetingApp{0.0, 0});
+  EXPECT_EQ(mix.maxMessageWords(), 0);
+  mix.add(CompetingApp{0.4, 700});
+  mix.add(CompetingApp{0.2, 1200});
+  EXPECT_EQ(mix.maxMessageWords(), 1200);
+}
+
+TEST(WorkloadMix, Validation) {
+  WorkloadMix mix;
+  EXPECT_THROW(mix.add(CompetingApp{-0.1, 10}), std::invalid_argument);
+  EXPECT_THROW(mix.add(CompetingApp{1.1, 10}), std::invalid_argument);
+  EXPECT_THROW(mix.add(CompetingApp{0.5, 0}), std::invalid_argument);
+  EXPECT_THROW(mix.add(CompetingApp{0.5, -5}), std::invalid_argument);
+  EXPECT_THROW(mix.removeAt(0), std::out_of_range);
+  EXPECT_THROW((void)mix.pcomm(1), std::out_of_range);
+  EXPECT_THROW((void)mix.pcomp(-1), std::out_of_range);
+}
+
+// ------------------------------------------------------------ cm2 model ---
+
+TEST(Cm2Model, SlowdownIsPPlusOne) {
+  EXPECT_DOUBLE_EQ(cm2Slowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm2Slowdown(3), 4.0);
+  EXPECT_THROW((void)cm2Slowdown(-1), std::invalid_argument);
+}
+
+TEST(Cm2Model, TsunScales) {
+  EXPECT_DOUBLE_EQ(predictTsun(2.5, 3), 10.0);
+  EXPECT_THROW((void)predictTsun(-1.0, 0), std::invalid_argument);
+}
+
+TEST(Cm2Model, Tcm2MaxRule) {
+  Cm2TaskDedicated task;
+  task.dcompCm2 = 10.0;
+  task.didleCm2 = 2.0;
+  task.dserialCm2 = 3.0;
+  // Dedicated: back-end bound.
+  EXPECT_DOUBLE_EQ(predictTcm2(task, 0), 12.0);
+  // p = 3: serial stretched to 12 -> tie with the dedicated elapsed.
+  EXPECT_DOUBLE_EQ(predictTcm2(task, 3), 12.0);
+  // p = 5: serial dominates.
+  EXPECT_DOUBLE_EQ(predictTcm2(task, 5), 18.0);
+}
+
+TEST(Cm2Model, CommScalesBySlowdownBothDirections) {
+  Cm2CommParams params;
+  params.toCm2 = {0.001, 1000.0};
+  params.fromCm2 = {0.002, 500.0};
+  const std::vector<DataSet> sets = {{10, 100}};
+  const double dedTo = 10 * (0.001 + 0.1);
+  const double dedFrom = 10 * (0.002 + 0.2);
+  EXPECT_NEAR(predictCommToCm2(params, sets, 0), dedTo, 1e-12);
+  EXPECT_NEAR(predictCommToCm2(params, sets, 3), 4 * dedTo, 1e-12);
+  EXPECT_NEAR(predictCommFromCm2(params, sets, 3), 4 * dedFrom, 1e-12);
+}
+
+TEST(Cm2Model, OffloadRule) {
+  EXPECT_TRUE(shouldOffload(10.0, 5.0, 2.0, 2.0));
+  EXPECT_FALSE(shouldOffload(9.0, 5.0, 2.0, 2.0));   // equal: stay local
+  EXPECT_FALSE(shouldOffload(8.0, 5.0, 2.0, 2.0));
+}
+
+// -------------------------------------------------------- paragon model ---
+
+DelayTables makeTables(int p) {
+  DelayTables tables;
+  tables.jBins = {1, 500, 1000};
+  tables.compFromComm.assign(3, {});
+  for (int i = 1; i <= p; ++i) {
+    tables.commFromComp.push_back(0.5 * i);
+    tables.commFromComm.push_back(0.2 * i);
+    tables.compFromComm[0].push_back(0.1 * i);
+    tables.compFromComm[1].push_back(0.3 * i);
+    tables.compFromComm[2].push_back(0.4 * i);
+  }
+  return tables;
+}
+
+TEST(DelayTables, ValidateAcceptsConsistent) {
+  EXPECT_NO_THROW(makeTables(4).validate());
+}
+
+TEST(DelayTables, ValidateRejectsInconsistent) {
+  DelayTables t = makeTables(3);
+  t.commFromComm.pop_back();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = makeTables(3);
+  t.jBins = {1000, 500, 1};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = makeTables(3);
+  t.compFromComm.pop_back();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = makeTables(3);
+  t.commFromComp[0] = -0.5;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(ChooseJBin, NearestBinWins) {
+  const std::vector<Words> bins = {1, 500, 1000};
+  EXPECT_EQ(chooseJBin(bins, 200), 1u);   // 95 <= 200: j=1 ineligible; 500
+  EXPECT_EQ(chooseJBin(bins, 600), 1u);   // closest to 500
+  EXPECT_EQ(chooseJBin(bins, 800), 2u);   // closest to 1000
+  EXPECT_EQ(chooseJBin(bins, 5000), 2u);  // saturates at the top bin
+}
+
+TEST(ChooseJBin, SmallMessageCutoff) {
+  // Footnote 2: j = 1 only for sizes < 95 words.
+  const std::vector<Words> bins = {1, 500, 1000};
+  EXPECT_EQ(chooseJBin(bins, 1), 0u);
+  EXPECT_EQ(chooseJBin(bins, 94), 0u);
+  EXPECT_EQ(chooseJBin(bins, 95), 1u);
+  EXPECT_EQ(chooseJBin(bins, 96), 1u);
+}
+
+TEST(ChooseJBin, TieGoesToLargerBin) {
+  const std::vector<Words> bins = {1, 500, 1000};
+  EXPECT_EQ(chooseJBin(bins, 750), 2u);
+}
+
+TEST(ParagonModel, PureCpuMixReproducesPPlusOneOnComputation) {
+  // p CPU-bound apps: pcomp_p = 1, so slowdown = 1 + p exactly.
+  for (int p = 1; p <= 4; ++p) {
+    WorkloadMix mix;
+    for (int i = 0; i < p; ++i) mix.add(CompetingApp{0.0, 0});
+    EXPECT_NEAR(paragonCompSlowdown(mix, makeTables(4)), 1.0 + p, 1e-12);
+  }
+}
+
+TEST(ParagonModel, PureCommMixUsesCommDelaysOnly) {
+  WorkloadMix mix;
+  mix.add(CompetingApp{1.0, 1000});
+  mix.add(CompetingApp{1.0, 1000});
+  const DelayTables tables = makeTables(4);
+  // pcomm_2 = 1: computation slowdown = 1 + delay_comm^{2,1000} = 1 + 0.8.
+  EXPECT_NEAR(paragonCompSlowdown(mix, tables), 1.8, 1e-12);
+  // communication slowdown = 1 + delay_comm^2 = 1.4.
+  EXPECT_NEAR(paragonCommSlowdown(mix, tables), 1.4, 1e-12);
+}
+
+TEST(ParagonModel, PaperExampleCommSlowdown) {
+  // p = 2 with the paper's 20%/30% mix against known tables.
+  WorkloadMix mix;
+  mix.add(CompetingApp{0.2, 100});
+  mix.add(CompetingApp{0.3, 100});
+  const DelayTables tables = makeTables(2);
+  const double pcomp1 = 0.2 * 0.7 + 0.3 * 0.8;
+  const double pcomp2 = 0.7 * 0.8;
+  const double pcomm1 = pcomp1;
+  const double pcomm2 = 0.2 * 0.3;
+  const double expected = 1.0 + pcomp1 * 0.5 + pcomp2 * 1.0 + pcomm1 * 0.2 +
+                          pcomm2 * 0.4;
+  EXPECT_NEAR(paragonCommSlowdown(mix, tables), expected, 1e-12);
+}
+
+TEST(ParagonModel, ThrowsWhenTablesTooSmall) {
+  WorkloadMix mix;
+  for (int i = 0; i < 5; ++i) mix.add(CompetingApp{0.5, 100});
+  EXPECT_THROW((void)paragonCommSlowdown(mix, makeTables(4)), std::out_of_range);
+  EXPECT_THROW((void)paragonCompSlowdown(mix, makeTables(4)), std::out_of_range);
+}
+
+TEST(ParagonModel, CompSlowdownSelectsBinFromMix) {
+  const DelayTables tables = makeTables(2);
+  WorkloadMix small;
+  small.add(CompetingApp{1.0, 10});  // bin j=1
+  WorkloadMix large;
+  large.add(CompetingApp{1.0, 2000});  // bin j=1000
+  EXPECT_LT(paragonCompSlowdown(small, tables),
+            paragonCompSlowdown(large, tables));
+  EXPECT_NEAR(paragonCompSlowdown(small, tables),
+              paragonCompSlowdown(small, tables, 0), 1e-12);
+  EXPECT_NEAR(paragonCompSlowdown(large, tables),
+              paragonCompSlowdown(large, tables, 2), 1e-12);
+}
+
+TEST(ParagonModel, PredictsScaleDcomm) {
+  const DelayTables tables = makeTables(2);
+  WorkloadMix mix;
+  mix.add(CompetingApp{0.5, 500});
+  PiecewiseCommParams link;
+  link.small = {0.001, 1000.0};
+  link.large = {0.002, 800.0};
+  link.thresholdWords = 1024;
+  const std::vector<DataSet> sets = {{100, 500}};
+  const double expected =
+      dcomm(link, sets) * paragonCommSlowdown(mix, tables);
+  EXPECT_NEAR(predictParagonComm(link, sets, mix, tables), expected, 1e-12);
+  EXPECT_NEAR(predictParagonComp(10.0, mix, tables),
+              10.0 * paragonCompSlowdown(mix, tables), 1e-12);
+}
+
+// -------------------------------------------------------------- facades ---
+
+TEST(Predictor, Cm2FacadeMatchesFreeFunctions) {
+  Cm2PlatformModel platform;
+  platform.comm.toCm2 = {0.001, 1000.0};
+  platform.comm.fromCm2 = {0.001, 1000.0};
+  Cm2Predictor predictor(platform, 3);
+  EXPECT_DOUBLE_EQ(predictor.slowdown(), 4.0);
+  EXPECT_DOUBLE_EQ(predictor.predictFrontEndComp(2.0), 8.0);
+
+  Cm2TaskDedicated task{5.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(predictor.predictBackEndTask(task), 6.0);
+
+  const std::vector<DataSet> sets = {{10, 100}};
+  EXPECT_NEAR(predictor.predictCommToBackend(sets),
+              predictCommToCm2(platform.comm, sets, 3), 1e-12);
+  EXPECT_THROW(Cm2Predictor(platform, -1), std::invalid_argument);
+}
+
+TEST(Predictor, Cm2OffloadDecisionFlipsWithContention) {
+  Cm2PlatformModel platform;
+  platform.comm.toCm2 = {0.5, 1000.0};
+  platform.comm.fromCm2 = {0.5, 1000.0};
+  Cm2TaskDedicated backEnd{2.0, 0.5, 0.5};
+  const std::vector<DataSet> transfer = {{1, 1000}};
+
+  // Dedicated: local 5 s vs remote 2.5 + 1.5 + 1.5 = 5.5 -> stay.
+  Cm2Predictor dedicated(platform, 0);
+  EXPECT_FALSE(dedicated.shouldOffload(5.0, backEnd, transfer, transfer));
+  // With p = 3 everything front-end inflates x4: local 20 vs
+  // remote max(2.5, 2) + 6 + 6 = 14.5 -> offload.
+  Cm2Predictor contended(platform, 3);
+  EXPECT_TRUE(contended.shouldOffload(5.0, backEnd, transfer, transfer));
+}
+
+TEST(Predictor, ParagonFacadeMatchesFreeFunctions) {
+  ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays = makeTables(3);
+
+  WorkloadMix mix;
+  mix.add(CompetingApp{0.4, 500});
+  ParagonPredictor predictor(platform, mix);
+  EXPECT_NEAR(predictor.commSlowdown(),
+              paragonCommSlowdown(predictor.mix(), platform.delays), 1e-12);
+  EXPECT_NEAR(predictor.compSlowdown(),
+              paragonCompSlowdown(predictor.mix(), platform.delays), 1e-12);
+  const std::vector<DataSet> sets = {{10, 2000}};
+  EXPECT_NEAR(predictor.predictCommToBackend(sets),
+              predictParagonComm(platform.toBackend, sets, predictor.mix(),
+                                 platform.delays),
+              1e-12);
+}
+
+TEST(Predictor, ParagonValidatesTables) {
+  ParagonPlatformModel platform;
+  platform.delays = makeTables(2);
+  platform.delays.jBins.clear();  // now inconsistent
+  EXPECT_THROW(ParagonPredictor(platform, WorkloadMix{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contend::model

@@ -1,0 +1,339 @@
+// Integration tests of Process + Platform: programs drive the CPU, wire, and
+// SIMD back-end together, and the Figure-2 pipeline semantics emerge.
+#include <gtest/gtest.h>
+
+#include "sim/paragon_link.hpp"
+#include "sim/platform.hpp"
+#include "sim/program.hpp"
+
+namespace contend::sim {
+namespace {
+
+/// Noise-free config so arithmetic is exact.
+PlatformConfig quietConfig() {
+  PlatformConfig config;
+  config.workJitter = 0.0;
+  config.wireJitter = 0.0;
+  config.enableDaemon = false;
+  config.cpu.contextSwitchCost = 0;
+  return config;
+}
+
+TEST(ProgramBuilder, RejectsMalformedPrograms) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.compute(-1), std::invalid_argument);
+  EXPECT_THROW(b.loopEnd(3), std::logic_error);  // no loopBegin
+  b.loopBegin();
+  EXPECT_THROW(b.loopEnd(0), std::invalid_argument);
+  EXPECT_THROW(b.build(), std::logic_error);  // unclosed loop
+}
+
+TEST(Process, ComputeAndStamps) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.stamp(0).compute(5 * kMillisecond).stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_TRUE(p.halted());
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 5 * kMillisecond);
+}
+
+TEST(Process, SleepConsumesNoCpu) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.stamp(0).sleep(7 * kMillisecond).stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 7 * kMillisecond);
+  EXPECT_EQ(platform.cpu().busyTime(), 0);
+}
+
+TEST(Process, LoopsExecuteExactCount) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.stamp(0);
+  b.loopBegin();
+  b.compute(kMillisecond);
+  b.loopEnd(10);
+  b.stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 10 * kMillisecond);
+}
+
+TEST(Process, NestedLoops) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.loopBegin();  // outer x3
+  b.loopBegin();  // inner x4
+  b.compute(kMillisecond);
+  b.loopEnd(4);
+  b.loopEnd(3);
+  platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(platform.cpu().busyTime(), 12 * kMillisecond);
+}
+
+TEST(Process, SendChargesConversionThenWire) {
+  PlatformConfig config = quietConfig();
+  Platform platform(config);
+  const Words size = 100;
+  const MessageCost cost = txCost(config.paragon, size);
+  ProgramBuilder b;
+  b.stamp(0).send(size).stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), cost.cpu + cost.wire);
+  EXPECT_EQ(platform.cpu().busyTime(), cost.cpu);
+  EXPECT_EQ(platform.link().busyTime(), cost.wire);
+}
+
+TEST(Process, RecvChargesWireThenConversion) {
+  PlatformConfig config = quietConfig();
+  Platform platform(config);
+  const Words size = 2048;  // two fragments
+  const MessageCost cost = rxCost(config.paragon, size);
+  ProgramBuilder b;
+  b.stamp(0).recv(size).stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), cost.cpu + cost.wire);
+}
+
+TEST(Process, Cm2CopyIsPureFrontEndCpu) {
+  PlatformConfig config = quietConfig();
+  Platform platform(config);
+  ProgramBuilder b;
+  b.stamp(0).cm2Copy(64, 10, /*toBackend=*/true).stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  const Tick expected =
+      10 * (config.cm2.copyPerMessageTx + 64 * config.cm2.copyPerWordTx);
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), expected);
+  EXPECT_EQ(platform.cpu().busyTime(), expected);
+  EXPECT_EQ(platform.link().busyTime(), 0);  // dedicated link = host CPU
+}
+
+TEST(Process, DispatchOverlapsSerialCode) {
+  // Figure 2: the host pre-executes serial code while the back-end runs a
+  // parallel instruction, so elapsed < serial + parallel.
+  PlatformConfig config = quietConfig();
+  config.cm2.dispatchCost = 0;
+  Platform platform(config);
+  ProgramBuilder b;
+  b.stamp(0);
+  b.dispatch(10 * kMillisecond, /*waitForResult=*/false);
+  b.compute(10 * kMillisecond, "serial");  // overlaps the parallel op
+  b.stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 10 * kMillisecond);
+  EXPECT_EQ(platform.simd().execTime(), 10 * kMillisecond);
+}
+
+TEST(Process, WaitedDispatchBlocksHost) {
+  PlatformConfig config = quietConfig();
+  config.cm2.dispatchCost = 0;
+  Platform platform(config);
+  ProgramBuilder b;
+  b.stamp(0);
+  b.dispatch(10 * kMillisecond, /*waitForResult=*/true);
+  b.compute(10 * kMillisecond);
+  b.stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 20 * kMillisecond);
+}
+
+TEST(Process, BackToBackDispatchesSerializeOnSequencer) {
+  PlatformConfig config = quietConfig();
+  config.cm2.dispatchCost = 0;
+  Platform platform(config);
+  ProgramBuilder b;
+  b.stamp(0);
+  b.dispatch(10 * kMillisecond, false);
+  b.dispatch(10 * kMillisecond, false);  // blocks until the first retires
+  b.dispatch(10 * kMillisecond, true);   // and waits for the last
+  b.stamp(1);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 30 * kMillisecond);
+  EXPECT_EQ(platform.simd().instructionsRetired(), 3);
+  EXPECT_EQ(platform.simd().idleTimeWithinSpan(), 0);
+}
+
+TEST(Process, StampThrowsWhenUnset) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.stamp(0).compute(kMillisecond);
+  Process& p = platform.addProcess("t", b.build());
+  platform.run();
+  EXPECT_TRUE(p.hasStamp(0));
+  EXPECT_FALSE(p.hasStamp(5));
+  EXPECT_THROW((void)p.stampAt(5), std::out_of_range);
+}
+
+TEST(Platform, DaemonDoesNotBlockCompletion) {
+  PlatformConfig config = quietConfig();
+  config.enableDaemon = true;  // infinite-loop daemon runs alongside
+  Platform platform(config);
+  ProgramBuilder b;
+  b.compute(kMillisecond);
+  platform.addProcess("t", b.build());
+  platform.run();  // must terminate despite the daemon's infinite program
+  SUCCEED();
+}
+
+TEST(Platform, HorizonGuardThrows) {
+  Platform platform(quietConfig());
+  ProgramBuilder b;
+  b.loopBegin();
+  b.compute(kSecond);
+  b.loopEnd(-1);  // never halts
+  platform.addProcess("t", b.build());
+  EXPECT_THROW(platform.run(10 * kSecond), std::runtime_error);
+}
+
+TEST(Platform, TwoCpuBoundProcessesShareEqually) {
+  PlatformConfig config = quietConfig();
+  Platform platform(config);
+  ProgramBuilder b;
+  b.stamp(0).compute(kSecond).stamp(1);
+  Process& a = platform.addProcess("a", b.build());
+  ProgramBuilder b2;
+  b2.stamp(0).compute(kSecond).stamp(1);
+  Process& c = platform.addProcess("c", b2.build());
+  platform.run();
+  // Both present for the whole run: each takes ~2x its dedicated time.
+  const Tick ea = a.stampAt(1) - a.stampAt(0);
+  const Tick ec = c.stampAt(1) - c.stampAt(0);
+  EXPECT_NEAR(static_cast<double>(ea), 2e9, 2e7);
+  EXPECT_NEAR(static_cast<double>(ec), 2e9, 2e7);
+}
+
+TEST(Platform, DeterministicAcrossRuns) {
+  auto runOnce = [] {
+    PlatformConfig config;  // default: jitter + daemon ON
+    config.seed = 1234;
+    Platform platform(config);
+    ProgramBuilder b;
+    b.stamp(0);
+    b.loopBegin();
+    b.compute(3 * kMillisecond);
+    b.send(256);
+    b.loopEnd(50);
+    b.stamp(1);
+    Process& p = platform.addProcess("t", b.build());
+    platform.run();
+    return p.stampAt(1) - p.stampAt(0);
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(Platform, SeedChangesJitteredTimings) {
+  auto runWithSeed = [](std::uint64_t seed) {
+    PlatformConfig config;
+    config.seed = seed;
+    Platform platform(config);
+    ProgramBuilder b;
+    b.stamp(0);
+    b.loopBegin();
+    b.compute(3 * kMillisecond);
+    b.loopEnd(100);
+    b.stamp(1);
+    Process& p = platform.addProcess("t", b.build());
+    platform.run();
+    return p.stampAt(1) - p.stampAt(0);
+  };
+  EXPECT_NE(runWithSeed(1), runWithSeed(2));
+}
+
+TEST(ParagonLink, FragmentationMath) {
+  const ParagonLinkProfile profile = makeOneHopProfile();
+  EXPECT_EQ(fragmentCount(profile, 0), 1);
+  EXPECT_EQ(fragmentCount(profile, 1), 1);
+  EXPECT_EQ(fragmentCount(profile, 1024), 1);
+  EXPECT_EQ(fragmentCount(profile, 1025), 2);
+  EXPECT_EQ(fragmentCount(profile, 4096), 4);
+  EXPECT_THROW((void)fragmentCount(profile, -1), std::invalid_argument);
+}
+
+TEST(ParagonLink, CostIsMonotoneInSize) {
+  const ParagonLinkProfile profile = makeOneHopProfile();
+  Tick last = 0;
+  for (Words s : {1, 64, 512, 1024, 1025, 2048, 8192}) {
+    const Tick total = txCost(profile, s).total();
+    EXPECT_GT(total, last);
+    last = total;
+  }
+}
+
+TEST(ParagonLink, KneeRaisesMarginalCost) {
+  // Per-word marginal cost above the fragment boundary exceeds the one
+  // below it (the piecewise-linear knee the calibration must find).
+  const ParagonLinkProfile profile = makeOneHopProfile();
+  const double below =
+      static_cast<double>(txCost(profile, 1024).total() -
+                          txCost(profile, 512).total()) /
+      512.0;
+  const double above =
+      static_cast<double>(txCost(profile, 4096).total() -
+                          txCost(profile, 2048).total()) /
+      2048.0;
+  EXPECT_GT(above, below);
+}
+
+
+TEST(Platform, FullDuplexWireSeparatesDirections) {
+  // Half duplex: an inbound and an outbound transfer serialize on one wire.
+  // Full duplex: they proceed concurrently.
+  auto measure = [](bool fullDuplex) {
+    PlatformConfig config;
+    config.workJitter = 0.0;
+    config.wireJitter = 0.0;
+    config.enableDaemon = false;
+    config.fullDuplexWire = fullDuplex;
+    Platform platform(config);
+    // One-word messages are wire-dominated (600 us wire vs 100 us CPU), so
+    // half-duplex arbitration is the binding resource.
+    ProgramBuilder sender;
+    sender.stamp(0);
+    sender.loopBegin();
+    sender.send(1);
+    sender.loopEnd(200);
+    sender.stamp(1);
+    Process& tx = platform.addProcess("tx", sender.build());
+    ProgramBuilder receiver;
+    receiver.loopBegin();
+    receiver.recv(1);
+    receiver.loopEnd(200);
+    platform.addProcess("rx", receiver.build());
+    platform.run();
+    return tx.stampAt(1) - tx.stampAt(0);
+  };
+  const Tick half = measure(false);
+  const Tick full = measure(true);
+  // Removing wire arbitration must make the sender markedly faster. (The
+  // directions still share the front-end CPU for conversions.)
+  EXPECT_LT(static_cast<double>(full), 0.85 * static_cast<double>(half));
+}
+
+TEST(Platform, FullDuplexSameDirectionStillQueues) {
+  PlatformConfig config;
+  config.workJitter = 0.0;
+  config.wireJitter = 0.0;
+  config.enableDaemon = false;
+  config.fullDuplexWire = true;
+  Platform platform(config);
+  for (int i = 0; i < 2; ++i) {
+    ProgramBuilder b;
+    b.send(8192);
+    platform.addProcess("tx" + std::to_string(i), b.build());
+  }
+  platform.run();
+  // Both outbound transfers used the same directional wire.
+  EXPECT_GT(platform.link().totalQueueingTime(), 0);
+}
+
+}  // namespace
+}  // namespace contend::sim

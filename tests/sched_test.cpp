@@ -1,0 +1,127 @@
+// Unit tests for the allocation engine, including the paper's Tables 1-4.
+#include <gtest/gtest.h>
+
+#include "sched/allocation.hpp"
+
+namespace contend::sched {
+namespace {
+
+TaskChain paperChain() {
+  TaskChain chain;
+  chain.tasks = {{"A", 12.0, 18.0}, {"B", 4.0, 30.0}};
+  chain.edges = {{7.0, 8.0}};
+  return chain;
+}
+
+TEST(Allocation, PaperDedicatedScenario) {
+  const Allocation best = bestAllocation(paperChain(), SlowdownSet::dedicated());
+  EXPECT_EQ(best.makespan, 16.0);
+  EXPECT_EQ(best.assignment[0], Machine::kFrontEnd);
+  EXPECT_EQ(best.assignment[1], Machine::kFrontEnd);
+}
+
+TEST(Allocation, PaperCpuContentionScenario) {
+  // Table 3: CPU on M1 slowed x3 -> A moves to M2, B stays: 18 + 8 + 12 = 38.
+  SlowdownSet slowdown;
+  slowdown.frontEndComp = 3.0;
+  const Allocation best = bestAllocation(paperChain(), slowdown);
+  EXPECT_EQ(best.makespan, 38.0);
+  EXPECT_EQ(best.assignment[0], Machine::kBackEnd);
+  EXPECT_EQ(best.assignment[1], Machine::kFrontEnd);
+}
+
+TEST(Allocation, PaperCpuPlusLinkScenario) {
+  // Tables 3-4: everything front-end-related slowed x3 -> both stay on M1:
+  // 36 + 12 = 48 (offloading A would cost 18 + 24 + 12 = 54).
+  const Allocation best =
+      bestAllocation(paperChain(), SlowdownSet::uniform(3.0));
+  EXPECT_EQ(best.makespan, 48.0);
+  EXPECT_EQ(best.assignment[0], Machine::kFrontEnd);
+  EXPECT_EQ(best.assignment[1], Machine::kFrontEnd);
+}
+
+TEST(Allocation, MakespanCountsCrossMachineEdgesOnly) {
+  TaskChain chain = paperChain();
+  const Machine both[] = {Machine::kBackEnd, Machine::kBackEnd};
+  EXPECT_EQ(chainMakespan(chain, both, SlowdownSet::dedicated()), 48.0);
+  const Machine split[] = {Machine::kFrontEnd, Machine::kBackEnd};
+  EXPECT_EQ(chainMakespan(chain, split, SlowdownSet::dedicated()),
+            12.0 + 7.0 + 30.0);
+}
+
+TEST(Allocation, RankingIsSortedAndComplete) {
+  const auto ranking = rankAllocations(paperChain(), SlowdownSet::dedicated());
+  ASSERT_EQ(ranking.size(), 4u);
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].makespan, ranking[i].makespan);
+  }
+}
+
+TEST(Allocation, TieBreakPrefersFewerBackEndTasks) {
+  TaskChain chain;
+  chain.tasks = {{"T", 10.0, 10.0}};
+  chain.edges = {};
+  const auto ranking = rankAllocations(chain, SlowdownSet::dedicated());
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].assignment[0], Machine::kFrontEnd);
+}
+
+TEST(Allocation, LongerChains) {
+  TaskChain chain;
+  chain.tasks = {{"t0", 1.0, 10.0},
+                 {"t1", 10.0, 1.0},
+                 {"t2", 1.0, 10.0},
+                 {"t3", 10.0, 1.0}};
+  chain.edges = {{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}};
+  const Allocation best = bestAllocation(chain, SlowdownSet::dedicated());
+  // Alternating is optimal despite transfer costs: 4 x 1 + 3 x 0.5 = 5.5.
+  EXPECT_DOUBLE_EQ(best.makespan, 5.5);
+  EXPECT_EQ(best.assignment[0], Machine::kFrontEnd);
+  EXPECT_EQ(best.assignment[1], Machine::kBackEnd);
+}
+
+TEST(Allocation, ContentionFlipsLongChainDecision) {
+  TaskChain chain;
+  chain.tasks = {{"t0", 1.0, 10.0},
+                 {"t1", 10.0, 1.0},
+                 {"t2", 1.0, 10.0}};
+  chain.edges = {{5.0, 5.0}, {5.0, 5.0}};
+  // Dedicated: everything on the front-end (12) beats ping-pong (13).
+  EXPECT_EQ(bestAllocation(chain, SlowdownSet::dedicated()).makespan, 12.0);
+  // Front-end CPU x5 (link unaffected): t1 moves to the back-end.
+  SlowdownSet cpuHeavy;
+  cpuHeavy.frontEndComp = 5.0;
+  const Allocation best = bestAllocation(chain, cpuHeavy);
+  EXPECT_EQ(best.assignment[1], Machine::kBackEnd);
+  EXPECT_DOUBLE_EQ(best.makespan, 5.0 + 5.0 + 1.0 + 5.0 + 5.0);
+}
+
+TEST(Allocation, Validation) {
+  TaskChain chain;
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+  chain.tasks = {{"A", 1.0, 1.0}, {"B", 1.0, 1.0}};
+  EXPECT_THROW(chain.validate(), std::invalid_argument);  // missing edge
+  chain.edges = {{1.0, 1.0}};
+  EXPECT_NO_THROW(chain.validate());
+
+  chain.tasks[0].onFrontEnd = -1.0;
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+  chain.tasks[0].onFrontEnd = 1.0;
+  chain.edges[0].frontToBack = -1.0;
+  EXPECT_THROW(chain.validate(), std::invalid_argument);
+
+  EXPECT_THROW((void)SlowdownSet::uniform(0.5), std::invalid_argument);
+
+  chain.edges[0].frontToBack = 1.0;
+  const Machine tooFew[] = {Machine::kFrontEnd};
+  EXPECT_THROW((void)chainMakespan(chain, tooFew, SlowdownSet::dedicated()),
+               std::invalid_argument);
+}
+
+TEST(Allocation, MachineNames) {
+  EXPECT_STREQ(machineName(Machine::kFrontEnd), "front-end");
+  EXPECT_STREQ(machineName(Machine::kBackEnd), "back-end");
+}
+
+}  // namespace
+}  // namespace contend::sched

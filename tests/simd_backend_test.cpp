@@ -1,0 +1,103 @@
+// Unit tests for the single-sequencer SIMD back-end.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simd_backend.hpp"
+#include "sim/trace.hpp"
+
+namespace contend::sim {
+namespace {
+
+class TestBackendClient : public BackendClient {
+ public:
+  explicit TestBackendClient(EventQueue& q) : queue_(q) {}
+  void backendFree() override { freeAt_ = queue_.now(); }
+  void backendOpDone() override { opDoneAt_ = queue_.now(); }
+  Tick freeAt_ = -1;
+  Tick opDoneAt_ = -1;
+
+ private:
+  EventQueue& queue_;
+};
+
+struct SimdFixture : ::testing::Test {
+  EventQueue queue;
+  TraceRecorder trace;
+};
+
+TEST_F(SimdFixture, AsyncDispatchDoesNotNotify) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  EXPECT_TRUE(backend.tryStart(100, &c, /*notifyCompletion=*/false, 0));
+  EXPECT_TRUE(backend.busy());
+  queue.run();
+  EXPECT_FALSE(backend.busy());
+  EXPECT_EQ(c.opDoneAt_, -1);
+  EXPECT_EQ(backend.execTime(), 100);
+  EXPECT_EQ(backend.instructionsRetired(), 1);
+}
+
+TEST_F(SimdFixture, WaitedDispatchNotifiesAtRetire) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  EXPECT_TRUE(backend.tryStart(250, &c, /*notifyCompletion=*/true, 0));
+  queue.run();
+  EXPECT_EQ(c.opDoneAt_, 250);
+}
+
+TEST_F(SimdFixture, BusySequencerBlocksDispatcher) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  EXPECT_TRUE(backend.tryStart(100, &c, false, 0));
+  EXPECT_FALSE(backend.tryStart(50, &c, false, 0));  // queued as waiter
+  queue.run();
+  EXPECT_EQ(c.freeAt_, 100);  // woken when the first op retires
+}
+
+TEST_F(SimdFixture, SecondProcessRejected) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient a(queue), b(queue);
+  EXPECT_TRUE(backend.tryStart(100, &a, false, 0));
+  EXPECT_FALSE(backend.tryStart(50, &a, false, 0));
+  // A third dispatcher while one is already blocked: single application only.
+  EXPECT_THROW(backend.tryStart(10, &b, false, 1), std::logic_error);
+}
+
+TEST_F(SimdFixture, IdleTimeWithinSpan) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  backend.tryStart(100, &c, false, 0);
+  queue.run();
+  // Second instruction 50 ticks later: the gap is idle time.
+  queue.scheduleAfter(50, [&] { backend.tryStart(30, &c, false, 0); });
+  queue.run();
+  EXPECT_EQ(backend.execTime(), 130);
+  EXPECT_EQ(backend.firstDispatchAt(), 0);
+  EXPECT_EQ(backend.lastRetireAt(), 180);
+  EXPECT_EQ(backend.idleTimeWithinSpan(), 50);
+}
+
+TEST_F(SimdFixture, RejectsBadArguments) {
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  EXPECT_THROW(backend.tryStart(10, nullptr, false, 0), std::invalid_argument);
+  EXPECT_THROW(backend.tryStart(-1, &c, false, 0), std::invalid_argument);
+}
+
+TEST_F(SimdFixture, TraceRecordsExecIntervals) {
+  trace.enable();
+  SimdBackend backend(queue, trace);
+  TestBackendClient c(queue);
+  backend.tryStart(75, &c, false, 3, "elim");
+  queue.run();
+  EXPECT_EQ(trace.totalTime(Activity::kBackendExec, 3), 75);
+}
+
+TEST_F(SimdFixture, NoDispatchesMeansZeroIdle) {
+  SimdBackend backend(queue, trace);
+  EXPECT_EQ(backend.idleTimeWithinSpan(), 0);
+  EXPECT_EQ(backend.execTime(), 0);
+}
+
+}  // namespace
+}  // namespace contend::sim

@@ -1,0 +1,148 @@
+// Stress and robustness tests: many processes, mixed resources, long runs,
+// and numerical-drift checks on the processor-sharing scheduler.
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend {
+namespace {
+
+sim::PlatformConfig quietConfig(sim::SchedulingPolicy policy =
+                                    sim::SchedulingPolicy::kProcessorSharing) {
+  sim::PlatformConfig config;
+  config.cpu.policy = policy;
+  config.workJitter = 0.0;
+  config.wireJitter = 0.0;
+  config.enableDaemon = false;
+  return config;
+}
+
+TEST(Stress, SixteenProcessesShareExactly) {
+  sim::Platform platform(quietConfig());
+  constexpr int kProcs = 16;
+  std::vector<sim::Process*> procs;
+  for (int i = 0; i < kProcs; ++i) {
+    sim::ProgramBuilder b;
+    b.stamp(0).compute(250 * kMillisecond).stamp(1);
+    procs.push_back(&platform.addProcess("p" + std::to_string(i), b.build()));
+  }
+  platform.run();
+  for (sim::Process* p : procs) {
+    const Tick elapsed = p->stampAt(1) - p->stampAt(0);
+    EXPECT_NEAR(static_cast<double>(elapsed), 16.0 * 250e6, 1e3);
+    EXPECT_NEAR(static_cast<double>(platform.cpu().consumedBy(p->processId())),
+                250e6, 10.0);
+  }
+}
+
+TEST(Stress, PsNoDriftOverManyBursts) {
+  // 20k tiny bursts under sharing: consumed totals must match demand to
+  // sub-microsecond accuracy (long-double virtual time must not drift).
+  sim::Platform platform(quietConfig());
+  sim::ProgramBuilder a;
+  a.loopBegin();
+  a.compute(100 * kMicrosecond);
+  a.loopEnd(20000);
+  platform.addProcess("a", a.build());
+  sim::ProgramBuilder b;
+  b.loopBegin();
+  b.compute(333 * kMicrosecond);
+  b.loopEnd(6000);
+  platform.addProcess("b", b.build());
+  platform.run();
+  EXPECT_NEAR(static_cast<double>(platform.cpu().consumedBy(0)), 20000 * 1e5,
+              1e3);
+  EXPECT_NEAR(static_cast<double>(platform.cpu().consumedBy(1)), 6000 * 3.33e5,
+              1e3);
+  EXPECT_EQ(platform.cpu().load(), 0);
+}
+
+TEST(Stress, AllResourcesInOneProgram) {
+  // CPU + wire + disk + SIMD back-end, interleaved, under contention: must
+  // terminate with conserved accounting.
+  sim::PlatformConfig config = quietConfig();
+  sim::Platform platform(config);
+  sim::ProgramBuilder app;
+  app.stamp(0);
+  app.loopBegin();
+  app.compute(3 * kMillisecond);
+  app.send(500);
+  app.diskIo(2000);
+  app.dispatch(2 * kMillisecond, false);
+  app.recv(300);
+  app.dispatch(kMillisecond, true);
+  app.loopEnd(25);
+  app.stamp(1);
+  sim::Process& proc = platform.addProcess("app", app.build());
+  platform.addProcess("hog", workload::makeCpuBoundGenerator(),
+                      sim::ProcessKind::kDaemon);
+  platform.run();
+
+  EXPECT_TRUE(proc.halted());
+  EXPECT_EQ(platform.simd().instructionsRetired(), 50);
+  EXPECT_EQ(platform.link().transfersCompleted(), 50u);   // 25 send + 25 recv
+  EXPECT_EQ(platform.disk().transfersCompleted(), 25u);
+  // The wire and disk never overlap-execute two transfers.
+  EXPECT_EQ(platform.link().queueLength(), 0);
+  EXPECT_EQ(platform.disk().queueLength(), 0);
+}
+
+TEST(Stress, ManyContendersAgainstOneProbe) {
+  // 8 mixed contenders; the simulation must stay stable and the probe's
+  // slowdown must be bounded by p + 1.
+  workload::RunSpec spec;
+  spec.config = quietConfig();
+  spec.probe = workload::makeCpuProbe(500 * kMillisecond);
+  spec.probeStart = 600 * kMillisecond;  // after all 8 staggered starts
+  for (int i = 0; i < 8; ++i) {
+    workload::GeneratorSpec gen;
+    gen.commFraction = (i % 4) * 0.25;
+    gen.messageWords = gen.commFraction > 0 ? 200 * (i + 1) : 0;
+    spec.contenders.push_back(workload::makeCommGenerator(spec.config, gen));
+  }
+  const workload::RunResult result = workload::runMeasured(spec);
+  const double slowdown = result.regionSeconds(0) / 0.5;
+  EXPECT_GT(slowdown, 1.0);
+  EXPECT_LT(slowdown, 9.0);
+}
+
+TEST(Stress, LongSimulationManyEvents) {
+  // ~10 simulated minutes of churning workload; sanity: completes, conserves.
+  sim::PlatformConfig config = quietConfig();
+  sim::Platform platform(config);
+  sim::ProgramBuilder app;
+  app.loopBegin();
+  app.compute(40 * kMillisecond);
+  app.send(64);
+  app.loopEnd(10000);
+  platform.addProcess("app", app.build());
+  platform.run();
+  EXPECT_GT(platform.queue().executedEvents(), 30000u);
+  EXPECT_EQ(platform.link().transfersCompleted(), 10000u);
+}
+
+TEST(Stress, MlfManyInteractiveProcessesPreempting) {
+  sim::PlatformConfig config =
+      quietConfig(sim::SchedulingPolicy::kMultilevelFeedback);
+  sim::Platform platform(config);
+  for (int i = 0; i < 6; ++i) {
+    sim::ProgramBuilder b;
+    b.loopBegin();
+    b.compute(300 * kMicrosecond);
+    b.sleep((2 + i) * kMillisecond);
+    b.loopEnd(500);
+    platform.addProcess("inter" + std::to_string(i), b.build());
+  }
+  platform.addProcess("hog", workload::makeCpuBoundGenerator(),
+                      sim::ProcessKind::kDaemon);
+  platform.run();
+  // All interactive processes progressed to completion under heavy
+  // preemption churn.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace contend

@@ -1,0 +1,132 @@
+// Tests for trace CSV export and the ASCII Gantt renderer, plus the gang
+// scheduling extension.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ext/gang.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
+
+namespace contend {
+namespace {
+
+sim::TraceRecorder sampleTrace() {
+  sim::TraceRecorder trace;
+  trace.enable();
+  trace.record(0, 5 * kMillisecond, sim::Activity::kCpuRun, 0, "serial");
+  trace.record(5 * kMillisecond, 9 * kMillisecond, sim::Activity::kBackendExec,
+               0, "par");
+  trace.record(2 * kMillisecond, 7 * kMillisecond, sim::Activity::kLinkBusy, 1,
+               "has \"quotes\"");
+  return trace;
+}
+
+TEST(TraceExport, CsvContainsAllIntervals) {
+  const auto trace = sampleTrace();
+  std::ostringstream out;
+  sim::exportTraceCsv(trace, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("begin_ns,end_ns,activity,process,note"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,5000000,cpu-run,0,\"serial\""), std::string::npos);
+  EXPECT_NE(csv.find("backend-exec"), std::string::npos);
+  // Embedded quotes doubled per CSV convention.
+  EXPECT_NE(csv.find("\"has \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(TraceExport, GanttRendersLanesInOrder) {
+  const auto trace = sampleTrace();
+  const std::string gantt = sim::renderGantt(trace);
+  // One lane per (activity, process).
+  EXPECT_NE(gantt.find("cpu-run/p0"), std::string::npos);
+  EXPECT_NE(gantt.find("link-busy/p1"), std::string::npos);
+  EXPECT_NE(gantt.find("backend-exec/p0"), std::string::npos);
+  // Each lane has occupancy marks.
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(TraceExport, GanttProportions) {
+  sim::TraceRecorder trace;
+  trace.enable();
+  // First half busy, second half idle.
+  trace.record(0, 50, sim::Activity::kCpuRun, 0);
+  trace.record(50, 100, sim::Activity::kLinkBusy, 0);
+  sim::GanttOptions options;
+  options.width = 100;
+  const std::string gantt = sim::renderGantt(trace, options);
+  std::istringstream lines(gantt);
+  std::string cpuLane;
+  std::getline(lines, cpuLane);
+  // CPU lane: roughly the first 50 columns marked, the rest background.
+  const auto hashes = std::count(cpuLane.begin(), cpuLane.end(), '#');
+  EXPECT_NEAR(static_cast<double>(hashes), 50.0, 2.0);
+}
+
+TEST(TraceExport, GanttWindowClipsIntervals) {
+  const auto trace = sampleTrace();
+  sim::GanttOptions options;
+  options.begin = 8 * kMillisecond;
+  options.end = 9 * kMillisecond;
+  const std::string gantt = sim::renderGantt(trace, options);
+  // Only the backend-exec interval overlaps the window.
+  EXPECT_EQ(gantt.find("cpu-run"), std::string::npos);
+  EXPECT_NE(gantt.find("backend-exec"), std::string::npos);
+}
+
+TEST(TraceExport, GanttValidation) {
+  const auto trace = sampleTrace();
+  sim::GanttOptions narrow;
+  narrow.width = 5;
+  EXPECT_THROW((void)sim::renderGantt(trace, narrow), std::invalid_argument);
+  sim::GanttOptions empty;
+  empty.begin = 10;
+  empty.end = 10;
+  EXPECT_THROW((void)sim::renderGantt(trace, empty), std::invalid_argument);
+  sim::TraceRecorder none;
+  EXPECT_EQ(sim::renderGantt(none), "(empty trace)\n");
+}
+
+// ---------------------------------------------------------------- gang ---
+
+TEST(Gang, SingleGangIsFree) {
+  EXPECT_DOUBLE_EQ(ext::gangSlowdown(ext::GangScheduleParams{}, 1), 1.0);
+}
+
+TEST(Gang, SlowdownScalesWithGangs) {
+  ext::GangScheduleParams params;
+  params.sliceLength = 100 * kMillisecond;
+  params.switchCost = 0;
+  EXPECT_DOUBLE_EQ(ext::gangSlowdown(params, 2), 2.0);
+  EXPECT_DOUBLE_EQ(ext::gangSlowdown(params, 4), 4.0);
+}
+
+TEST(Gang, SwitchCostAddsOverhead) {
+  ext::GangScheduleParams params;
+  params.sliceLength = 100 * kMillisecond;
+  params.switchCost = 2 * kMillisecond;
+  // 2 gangs: round = 2 * 102 ms per 100 ms useful -> 2.04.
+  EXPECT_NEAR(ext::gangSlowdown(params, 2), 2.04, 1e-12);
+}
+
+TEST(Gang, AdjustedBackEndComposesMeshFactor) {
+  ext::GangScheduleParams params;
+  params.switchCost = 0;
+  EXPECT_DOUBLE_EQ(ext::adjustedBackEndTime(params, 10.0, 2, 1.5), 30.0);
+  EXPECT_DOUBLE_EQ(ext::adjustedBackEndTime(params, 10.0, 1), 10.0);
+}
+
+TEST(Gang, Validation) {
+  EXPECT_THROW((void)ext::gangSlowdown(ext::GangScheduleParams{}, 0),
+               std::invalid_argument);
+  ext::GangScheduleParams bad;
+  bad.sliceLength = 0;
+  EXPECT_THROW((void)ext::gangSlowdown(bad, 2), std::invalid_argument);
+  EXPECT_THROW((void)ext::adjustedBackEndTime(ext::GangScheduleParams{}, -1.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)ext::adjustedBackEndTime(ext::GangScheduleParams{}, 1.0, 1, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contend

@@ -1,0 +1,293 @@
+// Unit tests for workload builders and the measurement runner.
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "workload/cm2_programs.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+namespace contend::workload {
+namespace {
+
+sim::PlatformConfig quietConfig() {
+  sim::PlatformConfig config;
+  config.workJitter = 0.0;
+  config.wireJitter = 0.0;
+  config.enableDaemon = false;
+  return config;
+}
+
+// ------------------------------------------------------------ generators ---
+
+TEST(Generators, CpuBoundLoopsForever) {
+  const sim::Program gen = makeCpuBoundGenerator(10 * kMillisecond);
+  sim::Platform platform(quietConfig());
+  platform.addProcess("gen", gen, sim::ProcessKind::kDaemon);
+  // A short application bounds the run; the generator must consume CPU the
+  // whole time.
+  sim::ProgramBuilder b;
+  b.compute(50 * kMillisecond);
+  platform.addProcess("app", b.build());
+  platform.run();
+  EXPECT_GE(platform.cpu().consumedBy(0), 45 * kMillisecond);
+}
+
+TEST(Generators, MessagesPerCycleMatchesFraction) {
+  const sim::PlatformConfig config = quietConfig();
+  GeneratorSpec spec;
+  spec.commFraction = 0.5;
+  spec.messageWords = 200;
+  spec.cycleLength = 200 * kMillisecond;
+  const std::int64_t messages = messagesPerCycle(config, spec);
+  EXPECT_GT(messages, 0);
+  const Tick perMessage =
+      dedicatedMessageTime(config, 200, CommDirection::kToBackend);
+  // Communication share of the cycle should approximate the fraction.
+  const double commTime = static_cast<double>(messages * perMessage);
+  EXPECT_NEAR(commTime / (0.5 * 200e6), 1.0, 0.15);
+}
+
+TEST(Generators, DedicatedFractionIsAccurate) {
+  // Run a 40% communicator alone; its dedicated comm share must be ~40%.
+  const sim::PlatformConfig config = quietConfig();
+  GeneratorSpec spec;
+  spec.commFraction = 0.4;
+  spec.messageWords = 300;
+  spec.direction = CommDirection::kToBackend;
+  const sim::Program gen = makeCommGenerator(config, spec);
+
+  sim::Platform platform(config);
+  platform.addProcess("gen", gen, sim::ProcessKind::kDaemon);
+  sim::ProgramBuilder b;
+  b.sleep(4 * kSecond);
+  platform.addProcess("clock", b.build());
+  platform.run();
+
+  // CPU time = compute phases + conversion part of each message; wire time =
+  // the rest. Communication wall share = (conv + wire) fraction.
+  const Tick wire = platform.link().busyTime();
+  const double wallShare = static_cast<double>(wire) / 4e9;
+  const sim::MessageCost cost = txCost(config.paragon, 300);
+  const double wireFractionOfComm =
+      static_cast<double>(cost.wire) / static_cast<double>(cost.total());
+  EXPECT_NEAR(wallShare, 0.4 * wireFractionOfComm, 0.05);
+}
+
+TEST(Generators, PureCommunicatorHasNoComputePhase) {
+  const sim::PlatformConfig config = quietConfig();
+  GeneratorSpec spec;
+  spec.commFraction = 1.0;
+  spec.messageWords = 100;
+  const sim::Program gen = makeCommGenerator(config, spec);
+  sim::Platform platform(config);
+  platform.addProcess("gen", gen, sim::ProcessKind::kDaemon);
+  sim::ProgramBuilder b;
+  b.sleep(kSecond);
+  platform.addProcess("clock", b.build());
+  platform.run();
+  // All of the generator's CPU is message conversion, which equals
+  // cost.cpu / cost.total() of the elapsed time (no compute phases).
+  const sim::MessageCost cost = txCost(config.paragon, 100);
+  const double expectShare =
+      static_cast<double>(cost.cpu) / static_cast<double>(cost.total());
+  const double cpuShare = static_cast<double>(platform.cpu().busyTime()) / 1e9;
+  EXPECT_NEAR(cpuShare, expectShare, 0.05);
+}
+
+TEST(Generators, ZeroFractionFallsBackToCpuBound) {
+  const sim::PlatformConfig config = quietConfig();
+  GeneratorSpec spec;
+  spec.commFraction = 0.0;
+  EXPECT_NO_THROW(makeCommGenerator(config, spec));
+}
+
+TEST(Generators, Validation) {
+  const sim::PlatformConfig config = quietConfig();
+  GeneratorSpec spec;
+  spec.commFraction = 1.5;
+  EXPECT_THROW((void)makeCommGenerator(config, spec), std::invalid_argument);
+  spec.commFraction = 0.5;
+  spec.messageWords = 0;
+  EXPECT_THROW((void)makeCommGenerator(config, spec), std::invalid_argument);
+  spec.messageWords = 100;
+  spec.cycleLength = 0;
+  EXPECT_THROW((void)makeCommGenerator(config, spec), std::invalid_argument);
+  EXPECT_THROW((void)makeCpuBoundGenerator(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- probes ---
+
+TEST(Probes, PingPongRegionsMeasureEachSize) {
+  const std::vector<Words> sizes = {16, 256};
+  const sim::Program program =
+      makePingPongProgram(sizes, 10, CommDirection::kToBackend);
+  sim::Platform platform(quietConfig());
+  sim::Process& p = platform.addProcess("ping", program);
+  platform.run();
+  const Tick r0 = p.stampAt(regionEnd(0)) - p.stampAt(regionBegin(0));
+  const Tick r1 = p.stampAt(regionEnd(1)) - p.stampAt(regionBegin(1));
+  const auto& profile = platform.config().paragon;
+  const Tick expect0 =
+      10 * txCost(profile, 16).total() + rxCost(profile, 1).total();
+  const Tick expect1 =
+      10 * txCost(profile, 256).total() + rxCost(profile, 1).total();
+  EXPECT_EQ(r0, expect0);
+  EXPECT_EQ(r1, expect1);
+}
+
+TEST(Probes, PingPongRejectsBothDirection) {
+  const std::vector<Words> sizes = {16};
+  EXPECT_THROW((void)makePingPongProgram(sizes, 10, CommDirection::kBoth),
+               std::invalid_argument);
+  EXPECT_THROW((void)makePingPongProgram(sizes, 0, CommDirection::kToBackend),
+               std::invalid_argument);
+  EXPECT_THROW((void)makePingPongProgram(std::span<const Words>{}, 10,
+                          CommDirection::kToBackend),
+      std::invalid_argument);
+}
+
+TEST(Probes, BurstProgramDedicatedCostIsExact) {
+  const sim::Program program =
+      makeBurstProgram(512, 20, CommDirection::kFromBackend);
+  sim::Platform platform(quietConfig());
+  sim::Process& p = platform.addProcess("burst", program);
+  platform.run();
+  const Tick expected =
+      20 * rxCost(platform.config().paragon, 512).total();
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0), expected);
+}
+
+TEST(Probes, CpuProbeChunksEquivalent) {
+  for (std::int64_t chunks : {std::int64_t{1}, std::int64_t{10}}) {
+    sim::Platform platform(quietConfig());
+    sim::Process& p =
+        platform.addProcess("probe", makeCpuProbe(100 * kMillisecond, chunks));
+    platform.run();
+    EXPECT_EQ(p.stampAt(1) - p.stampAt(0), 100 * kMillisecond)
+        << "chunks=" << chunks;
+  }
+}
+
+TEST(Probes, Cm2RoundTripRegions) {
+  sim::Platform platform(quietConfig());
+  sim::Process& p =
+      platform.addProcess("rt", makeCm2RoundTripProgram(64, 8));
+  platform.run();
+  const auto& cm2 = platform.config().cm2;
+  EXPECT_EQ(p.stampAt(1) - p.stampAt(0),
+            8 * (cm2.copyPerMessageTx + 64 * cm2.copyPerWordTx));
+  EXPECT_EQ(p.stampAt(3) - p.stampAt(2),
+            8 * (cm2.copyPerMessageRx + 64 * cm2.copyPerWordRx));
+}
+
+// ----------------------------------------------------------- cm2 programs --
+
+TEST(Cm2Programs, SyntheticDeterministicUnderSeed) {
+  SyntheticCm2Spec spec;
+  spec.seed = 77;
+  const auto a = makeSyntheticCm2Steps(spec);
+  const auto b = makeSyntheticCm2Steps(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].serial, b[i].serial);
+    EXPECT_EQ(a[i].parallelWork, b[i].parallelWork);
+    EXPECT_EQ(a[i].waitForResult, b[i].waitForResult);
+  }
+  spec.seed = 78;
+  const auto c = makeSyntheticCm2Steps(spec);
+  bool different = false;
+  for (std::size_t i = 0; i < a.size() && !different; ++i) {
+    different = a[i].serial != c[i].serial;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Cm2Programs, SyntheticRespectsRanges) {
+  SyntheticCm2Spec spec;
+  spec.numSteps = 500;
+  spec.serialMin = 10;
+  spec.serialMax = 20;
+  spec.parallelMin = 30;
+  spec.parallelMax = 40;
+  spec.reduceProbability = 0.5;
+  int reduces = 0;
+  for (const Cm2Step& s : makeSyntheticCm2Steps(spec)) {
+    EXPECT_GE(s.serial, 10);
+    EXPECT_LE(s.serial, 20);
+    EXPECT_GE(s.parallelWork, 30);
+    EXPECT_LE(s.parallelWork, 40);
+    reduces += s.waitForResult ? 1 : 0;
+  }
+  EXPECT_GT(reduces, 150);
+  EXPECT_LT(reduces, 350);
+}
+
+TEST(Cm2Programs, TotalsAccumulate) {
+  const std::vector<Cm2Step> steps = {
+      {100, 200, false}, {50, 0, false}, {25, 300, true}};
+  const Cm2StepTotals t = totals(steps);
+  EXPECT_EQ(t.serial, 175);
+  EXPECT_EQ(t.parallel, 500);
+  EXPECT_EQ(t.dispatches, 2);
+}
+
+TEST(Cm2Programs, Validation) {
+  EXPECT_THROW((void)makeCm2KernelProgram(std::span<const Cm2Step>{}),
+               std::invalid_argument);
+  SyntheticCm2Spec bad;
+  bad.numSteps = 0;
+  EXPECT_THROW((void)makeSyntheticCm2Steps(bad), std::invalid_argument);
+  bad = SyntheticCm2Spec{};
+  bad.reduceProbability = 2.0;
+  EXPECT_THROW((void)makeSyntheticCm2Steps(bad), std::invalid_argument);
+  bad = SyntheticCm2Spec{};
+  bad.serialMax = bad.serialMin - 1;
+  EXPECT_THROW((void)makeSyntheticCm2Steps(bad), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- runner --
+
+TEST(Runner, MeasuresRegionsAndDiagnostics) {
+  RunSpec spec;
+  spec.config = quietConfig();
+  spec.probe = makeCpuProbe(50 * kMillisecond);
+  const RunResult result = runMeasured(spec);
+  EXPECT_EQ(result.regionTicks.size(), 1u);
+  EXPECT_EQ(result.regionTicks[0], 50 * kMillisecond);
+  EXPECT_EQ(result.probeCpuTicks, 50 * kMillisecond);
+  EXPECT_DOUBLE_EQ(result.regionSeconds(0), 0.05);
+}
+
+TEST(Runner, ContendersSlowTheProbe) {
+  RunSpec spec;
+  spec.config = quietConfig();
+  spec.probe = makeCpuProbe(100 * kMillisecond);
+  spec.contenders.assign(2, makeCpuBoundGenerator());
+  const RunResult result = runMeasured(spec);
+  EXPECT_NEAR(static_cast<double>(result.regionTicks[0]), 3 * 100e6, 1e6);
+}
+
+TEST(Runner, RejectsBadSpecs) {
+  RunSpec spec;
+  spec.config = quietConfig();
+  spec.probe = makeCpuProbe(kMillisecond);
+  spec.regions = 0;
+  EXPECT_THROW((void)runMeasured(spec), std::invalid_argument);
+
+  spec.regions = 1;
+  spec.contenders.assign(10, makeCpuBoundGenerator());
+  spec.probeStart = 0;  // before the staggered contender starts
+  EXPECT_THROW((void)runMeasured(spec), std::invalid_argument);
+}
+
+TEST(Runner, HorizonGuard) {
+  RunSpec spec;
+  spec.config = quietConfig();
+  spec.probe = makeCpuProbe(10 * kSecond);
+  spec.horizon = kSecond;
+  EXPECT_THROW((void)runMeasured(spec), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace contend::workload

@@ -1,0 +1,141 @@
+// contend_predict — command-line predictor.
+//
+// Usage:
+//   contend_predict <profile.txt> <workload.workload>
+//   contend_predict --calibrate <profile.txt>
+//   contend_predict --validate <profile.txt> <workload.workload>
+//
+// The first form loads a calibrated platform profile and a workload
+// description, then prints contention-adjusted cost estimates and an offload
+// recommendation for every task. --calibrate runs the system test suite
+// against the bundled simulator and saves the profile. --validate
+// additionally *runs* each task's front-end variant on the simulator under
+// the described mix and reports prediction error.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "calib/calibration.hpp"
+#include "calib/profile_io.hpp"
+#include "model/predictor.hpp"
+#include "sim/platform.hpp"
+#include "tools/workload_file.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+#include "workload/probes.hpp"
+#include "workload/runner.hpp"
+
+using namespace contend;
+
+namespace {
+
+int calibrate(const std::string& path) {
+  std::cout << "running the system test suite (simulated 1-HOP platform)...\n";
+  const calib::PlatformProfile profile =
+      calib::calibratePlatform(sim::PlatformConfig{});
+  calib::saveProfile(profile, path);
+  std::cout << "profile saved to " << path << "\n";
+  return 0;
+}
+
+int predict(const std::string& profilePath, const std::string& workloadPath) {
+  const calib::PlatformProfile profile =
+      calib::loadProfileFile(profilePath);
+  const tools::WorkloadFile workload =
+      tools::parseWorkloadFile(workloadPath);
+
+  model::WorkloadMix mix;
+  for (const model::CompetingApp& app : workload.competitors) mix.add(app);
+  model::ParagonPredictor predictor(profile.paragon, mix);
+
+  std::cout << "platform: " << profile.platformName << ", competitors: "
+            << mix.p() << "\n"
+            << "computation slowdown:   " << predictor.compSlowdown() << "\n"
+            << "communication slowdown: " << predictor.commSlowdown() << "\n";
+
+  if (workload.tasks.empty()) {
+    std::cout << "(no tasks in the workload file)\n";
+    return 0;
+  }
+
+  TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision"});
+  for (const tools::TaskSpec& task : workload.tasks) {
+    const double front = predictor.predictFrontEndComp(task.frontEndSec);
+    const double remote = task.backEndSec +
+                          predictor.predictCommToBackend(task.toBackend) +
+                          predictor.predictCommFromBackend(task.fromBackend);
+    const bool offload = predictor.shouldOffload(
+        task.frontEndSec, task.backEndSec, task.toBackend, task.fromBackend);
+    table.addRow({task.name, TextTable::num(front, 3),
+                  TextTable::num(remote, 3),
+                  offload ? "back-end" : "front-end"});
+  }
+  printTable("contention-adjusted placement", table);
+  return 0;
+}
+
+int validate(const std::string& profilePath, const std::string& workloadPath) {
+  const calib::PlatformProfile profile = calib::loadProfileFile(profilePath);
+  const tools::WorkloadFile workload = tools::parseWorkloadFile(workloadPath);
+  const sim::PlatformConfig config;  // the simulator the profile came from
+
+  model::WorkloadMix mix;
+  std::vector<sim::Program> generators;
+  for (const model::CompetingApp& app : workload.competitors) {
+    mix.add(app);
+    workload::GeneratorSpec gen;
+    gen.commFraction = app.commFraction;
+    gen.messageWords = app.messageWords == 0 ? 1 : app.messageWords;
+    gen.direction = workload::CommDirection::kBoth;
+    generators.push_back(workload::makeCommGenerator(config, gen));
+  }
+  model::ParagonPredictor predictor(profile.paragon, mix);
+
+  if (workload.tasks.empty()) {
+    std::cout << "(no tasks to validate)\n";
+    return 0;
+  }
+
+  TextTable table({"task", "predicted (s)", "simulated (s)", "error"});
+  RunningStats errors;
+  for (const tools::TaskSpec& task : workload.tasks) {
+    const double predicted = predictor.predictFrontEndComp(task.frontEndSec);
+    workload::RunSpec run;
+    run.config = config;
+    run.probe = workload::makeCpuProbe(fromSeconds(task.frontEndSec));
+    run.contenders = generators;
+    const double simulated = workload::runMeasured(run).regionSeconds(0);
+    const double err = relativeError(predicted, simulated);
+    errors.add(err);
+    table.addRow({task.name, TextTable::num(predicted, 3),
+                  TextTable::num(simulated, 3), TextTable::percent(err)});
+  }
+  printTable("validation: front-end execution under the described mix",
+             table);
+  std::cout << "average error " << TextTable::percent(errors.mean()) << "\n";
+  return errors.mean() < 0.20 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::strcmp(argv[1], "--calibrate") == 0) {
+      return calibrate(argv[2]);
+    }
+    if (argc == 4 && std::strcmp(argv[1], "--validate") == 0) {
+      return validate(argv[2], argv[3]);
+    }
+    if (argc == 3) return predict(argv[1], argv[2]);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "usage:\n"
+            << "  contend_predict --calibrate <profile.txt>\n"
+            << "  contend_predict <profile.txt> <workload.workload>\n"
+            << "  contend_predict --validate <profile.txt> "
+               "<workload.workload>\n";
+  return 2;
+}
