@@ -1,0 +1,178 @@
+// serve_throughput — closed-loop benchmark of the contend-serve daemon.
+//
+// Spins up an in-process Server on a Unix socket, registers a fixed
+// competing mix, then hammers PREDICT from N concurrent client connections
+// (closed loop: each client issues the next request as soon as the previous
+// response lands). Because the mix never changes, every request after the
+// first rides the ConcurrentTracker memo cache — this measures the serving
+// hot path, not the model.
+//
+// Usage: serve_throughput [--seconds S] [--clients N] [--workers N]
+//                         [--min-rps R]
+// Exits non-zero when --min-rps is given and the measured rate is below it
+// (used as the acceptance gate: >= 10000 req/s with 8 clients).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+namespace {
+
+/// Synthetic-but-valid delay tables; the bench measures serving overhead,
+/// not calibration, so there is no need to run the system test suite.
+model::ParagonPlatformModel benchPlatform(int maxContenders = 8) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.0005, 2.0e6};
+  platform.toBackend.large = {0.0010, 3.0e6};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+tools::TaskSpec benchTask() {
+  tools::TaskSpec task;
+  task.name = "solver";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  task.fromBackend.push_back({512, 512});
+  return task;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  int clients = 8;
+  int workers = 8;
+  double minRps = 0.0;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--seconds") seconds = std::atof(value);
+    else if (flag == "--clients") clients = std::atoi(value);
+    else if (flag == "--workers") workers = std::atoi(value);
+    else if (flag == "--min-rps") minRps = std::atof(value);
+    else {
+      std::cerr << "usage: serve_throughput [--seconds S] [--clients N] "
+                   "[--workers N] [--min-rps R]\n";
+      return 2;
+    }
+  }
+  if (seconds <= 0 || clients < 1 || workers < 1) {
+    std::cerr << "error: bad arguments\n";
+    return 2;
+  }
+
+  const std::string socketPath =
+      "/tmp/contend_serve_bench_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerConfig config;
+  config.endpoint = serve::parseEndpoint("unix:" + socketPath);
+  config.workers = workers;
+  config.queueCapacity = static_cast<std::size_t>(clients) * 4;
+
+  serve::ConcurrentTracker tracker(benchPlatform());
+  serve::Metrics metrics;
+  serve::Server server(config, tracker, metrics);
+  try {
+    server.start();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+
+  // A fixed mix: one chatty app, one CPU-bound app. It stays unchanged for
+  // the whole run, so every PREDICT after the first is a cache hit.
+  {
+    serve::Client setup(config.endpoint);
+    if (!setup.arrive(0.30, 800).ok || !setup.arrive(0.0, 0).ok) {
+      std::cerr << "error: mix setup failed\n";
+      return 1;
+    }
+  }
+
+  const tools::TaskSpec task = benchTask();
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto begin = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client(config.endpoint);
+        std::uint64_t sent = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+          const serve::Response response = client.predict(task);
+          if (!response.ok) break;
+          ++sent;
+        }
+        counts[static_cast<std::size_t>(c)] = sent;
+      } catch (const std::exception& error) {
+        std::cerr << "client " << c << ": " << error.what() << "\n";
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  done.store(true);
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  serve::Response stats;
+  {
+    serve::Client reader(config.endpoint);
+    stats = reader.stats();
+  }
+  server.stop();
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts) total += count;
+  const double rps = static_cast<double>(total) / elapsed;
+
+  TextTable table({"metric", "value"});
+  table.addRow({"clients", std::to_string(clients)});
+  table.addRow({"workers", std::to_string(workers)});
+  table.addRow({"elapsed (s)", TextTable::num(elapsed, 3)});
+  table.addRow({"PREDICT requests", std::to_string(total)});
+  table.addRow({"requests/sec", TextTable::num(rps, 0)});
+  if (stats.ok) {
+    table.addRow({"cache hit rate",
+                  TextTable::num(stats.number("cache_hit_rate"), 4)});
+    table.addRow({"p50 latency (us)", *stats.find("p50_us")});
+    table.addRow({"p99 latency (us)", *stats.find("p99_us")});
+    table.addRow({"queue high-water", *stats.find("queue_hwm")});
+  }
+  printTable("contend-serve closed-loop throughput", table);
+
+  if (minRps > 0.0 && rps < minRps) {
+    std::cerr << "FAIL: " << rps << " req/s below required " << minRps
+              << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace contend::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int connectTo(const Endpoint& endpoint, int timeoutMs) {
+  int fd = -1;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throwErrno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throwErrno("connect(" + endpoint.path + ")");
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throwErrno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+    if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("bad host '" + endpoint.host +
+                               "' (numeric IPv4 expected)");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throwErrno("connect(" + endpointToString(endpoint) + ")");
+    }
+  }
+  if (timeoutMs > 0) {
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const Endpoint& endpoint, int timeoutMs)
+    : fd_(connectTo(endpoint, timeoutMs)), reader_(fd_) {}
+
+Client::Client(const std::string& endpointSpec, int timeoutMs)
+    : Client(parseEndpoint(endpointSpec), timeoutMs) {}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::raw(const std::string& text) {
+  if (fd_ < 0) throw std::runtime_error("client is disconnected");
+  if (!sendAll(fd_, text)) throwErrno("send");
+  std::string line;
+  if (!reader_.readLine(line)) {
+    throw std::runtime_error("server closed the connection (or timed out)");
+  }
+  return parseResponse(line);
+}
+
+Response Client::call(const Request& request) {
+  return raw(formatRequest(request));
+}
+
+Response Client::arrive(double commFraction, Words messageWords) {
+  Request request;
+  request.verb = Verb::kArrive;
+  request.app.commFraction = commFraction;
+  request.app.messageWords = messageWords;
+  return call(request);
+}
+
+Response Client::depart(std::uint64_t applicationId) {
+  Request request;
+  request.verb = Verb::kDepart;
+  request.applicationId = applicationId;
+  return call(request);
+}
+
+Response Client::predict(const tools::TaskSpec& task) {
+  Request request;
+  request.verb = Verb::kPredict;
+  request.task = task;
+  return call(request);
+}
+
+Response Client::slowdown() {
+  Request request;
+  request.verb = Verb::kSlowdown;
+  return call(request);
+}
+
+Response Client::stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  return call(request);
+}
+
+}  // namespace contend::serve

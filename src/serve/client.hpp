@@ -1,0 +1,50 @@
+// client.hpp — blocking client for the contend-serve protocol.
+//
+// One Client owns one connection. Calls are synchronous request/response;
+// the server serializes requests per connection, so a Client must not be
+// shared between threads without external locking (open one per thread —
+// connections are cheap, and that is what the throughput bench does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/net_util.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"  // Endpoint
+
+namespace contend::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit Client(const Endpoint& endpoint, int timeoutMs = 10000);
+  explicit Client(const std::string& endpointSpec, int timeoutMs = 10000);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Sends one request and reads its one-line response. Throws
+  /// std::runtime_error on transport failure, ProtocolError on a garbled
+  /// response. An `ERR` from the server is returned (ok == false), not
+  /// thrown.
+  Response call(const Request& request);
+
+  Response arrive(double commFraction, Words messageWords);
+  Response depart(std::uint64_t applicationId);
+  Response predict(const tools::TaskSpec& task);
+  Response slowdown();
+  Response stats();
+
+  /// Sends raw bytes and reads one response line; for protocol tests and
+  /// debugging (`contend_client raw`).
+  Response raw(const std::string& text);
+
+ private:
+  int fd_ = -1;
+  FdLineReader reader_;
+};
+
+}  // namespace contend::serve

@@ -1,0 +1,161 @@
+#include "serve/concurrent_tracker.hpp"
+
+#include <bit>
+
+#include "model/cm2_model.hpp"  // model::shouldOffload (equation 1)
+#include "model/comm_model.hpp"
+
+namespace contend::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Hash of one competing app. The mix signature is the wrap-around *sum* of
+/// these, which makes it order-independent — the Poisson-binomial
+/// distributions only depend on the multiset of apps, not their order.
+std::uint64_t appHash(const model::CompetingApp& app) {
+  std::uint64_t hash = fnvMix(kFnvOffset,
+                              std::bit_cast<std::uint64_t>(app.commFraction));
+  return fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+}
+
+/// Hash of the prediction-relevant task fields (the name is presentation
+/// only, so tasks differing only in name share cache entries).
+std::uint64_t taskHash(const tools::TaskSpec& task) {
+  std::uint64_t hash = fnvMix(kFnvOffset,
+                              std::bit_cast<std::uint64_t>(task.frontEndSec));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.backEndSec));
+  for (const auto* sets : {&task.toBackend, &task.fromBackend}) {
+    hash = fnvMix(hash, sets->size());
+    for (const model::DataSet& set : *sets) {
+      hash = fnvMix(hash, static_cast<std::uint64_t>(set.messages));
+      hash = fnvMix(hash, static_cast<std::uint64_t>(set.words));
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t ConcurrentTracker::CacheKeyHash::operator()(
+    const CacheKey& key) const noexcept {
+  return static_cast<std::size_t>(fnvMix(key.signature, key.taskHash));
+}
+
+ConcurrentTracker::ConcurrentTracker(model::ParagonPlatformModel platform,
+                                     std::size_t cacheCapacity)
+    : tracker_(std::move(platform)),
+      cacheCapacity_(cacheCapacity == 0 ? 1 : cacheCapacity),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ConcurrentTracker::nowSec() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+SlowdownSnapshot ConcurrentTracker::snapshotLocked() const {
+  SlowdownSnapshot snapshot;
+  snapshot.epoch = epoch_;
+  snapshot.signature = signature_;
+  snapshot.active = tracker_.activeApplications();
+  snapshot.comp = tracker_.compSlowdown();
+  snapshot.comm = tracker_.commSlowdown();
+  return snapshot;
+}
+
+MutationResult ConcurrentTracker::arrive(const model::CompetingApp& app) {
+  std::lock_guard lock(mutex_);
+  MutationResult result;
+  result.id = tracker_.applicationArrived(nowSec(), app);  // may throw
+  signature_ += appHash(app);
+  ++epoch_;
+  ++arrivals_;
+  liveApps_.emplace(result.id, app);
+  arrivalLog_.push_back({result.id, app});
+  result.after = snapshotLocked();
+  return result;
+}
+
+MutationResult ConcurrentTracker::depart(std::uint64_t applicationId) {
+  std::lock_guard lock(mutex_);
+  tracker_.applicationDeparted(nowSec(), applicationId);  // may throw
+  const auto it = liveApps_.find(applicationId);
+  signature_ -= appHash(it->second);
+  liveApps_.erase(it);
+  ++epoch_;
+  ++departures_;
+  MutationResult result;
+  result.id = applicationId;
+  result.after = snapshotLocked();
+  return result;
+}
+
+SlowdownSnapshot ConcurrentTracker::slowdowns() const {
+  std::lock_guard lock(mutex_);
+  return snapshotLocked();
+}
+
+TaskPrediction ConcurrentTracker::predict(const tools::TaskSpec& task) {
+  const std::uint64_t payloadHash = taskHash(task);
+  std::lock_guard lock(mutex_);
+  TaskPrediction out;
+  out.epoch = epoch_;
+  const CacheKey key{signature_, payloadHash};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    out.frontSec = it->second.frontSec;
+    out.remoteSec = it->second.remoteSec;
+    out.offload = it->second.offload;
+    out.cacheHit = true;
+    return out;
+  }
+  cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+  const double toBackend = tracker_.predictCommToBackend(task.toBackend);
+  const double fromBackend = tracker_.predictCommFromBackend(task.fromBackend);
+  out.frontSec = tracker_.predictFrontEndComp(task.frontEndSec);
+  out.remoteSec = task.backEndSec + toBackend + fromBackend;
+  out.offload = model::shouldOffload(out.frontSec, task.backEndSec, toBackend,
+                                     fromBackend);
+  // Bounded memo: a full cache is wiped rather than LRU-tracked — entries are
+  // three doubles, and refilling costs one model evaluation each.
+  if (cache_.size() >= cacheCapacity_) cache_.clear();
+  cache_.emplace(key,
+                 CachedPrediction{out.frontSec, out.remoteSec, out.offload});
+  return out;
+}
+
+TrackerStats ConcurrentTracker::stats() const {
+  std::lock_guard lock(mutex_);
+  TrackerStats stats;
+  stats.epoch = epoch_;
+  stats.active = tracker_.activeApplications();
+  stats.arrivals = arrivals_;
+  stats.departures = departures_;
+  stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+  stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+  stats.cacheEntries = cache_.size();
+  return stats;
+}
+
+std::vector<sched::LoadEvent> ConcurrentTracker::history() const {
+  std::lock_guard lock(mutex_);
+  return tracker_.history();
+}
+
+std::vector<ArrivalRecord> ConcurrentTracker::arrivals() const {
+  std::lock_guard lock(mutex_);
+  return arrivalLog_;
+}
+
+}  // namespace contend::serve

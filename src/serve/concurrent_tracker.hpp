@@ -1,0 +1,131 @@
+// concurrent_tracker.hpp — thread-safe, epoch-versioned facade over the
+// run-time contention tracker; the state backbone of the contend-serve
+// daemon.
+//
+// §2: slowdown factors are "always calculated at run-time" and must be cheap
+// relative to how quickly applications enter and leave the system.
+// sched::OnlineContentionTracker implements the paper's O(p)/O(p²) update
+// bounds but is single-owner by design; this wrapper adds the two properties
+// a serving daemon needs on top of it:
+//
+//   1. Mutual exclusion — every operation is serialized under one mutex, and
+//      every result carries the epoch (mutation count) it was computed at, so
+//      concurrent readers can reason about staleness.
+//   2. Memoization — predictions are cached under a content signature of the
+//      mix (order-independent hash over the competing apps), so the PREDICT
+//      hot path does no model evaluation at all while the mix is unchanged,
+//      and still hits when a mix *recurs* (an arrival followed by the
+//      matching departure returns to the previous signature).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/mix.hpp"
+#include "model/predictor.hpp"
+#include "sched/online.hpp"
+#include "tools/workload_file.hpp"
+
+namespace contend::serve {
+
+/// The slowdown pair at a specific version of the mix.
+struct SlowdownSnapshot {
+  std::uint64_t epoch = 0;      // mutations applied so far
+  std::uint64_t signature = 0;  // content hash of the mix
+  int active = 0;               // the paper's p
+  double comp = 1.0;
+  double comm = 1.0;
+};
+
+/// Result of an arrive/depart, with the post-mutation snapshot.
+struct MutationResult {
+  std::uint64_t id = 0;
+  SlowdownSnapshot after;
+};
+
+/// Contention-adjusted costs for one task (equation 1 inputs and verdict).
+struct TaskPrediction {
+  std::uint64_t epoch = 0;
+  double frontSec = 0.0;   // front-end time under the current mix
+  double remoteSec = 0.0;  // back-end time + both transfers
+  bool offload = false;    // equation 1: run on the back-end?
+  bool cacheHit = false;
+};
+
+/// Counters surfaced through the STATS verb.
+struct TrackerStats {
+  std::uint64_t epoch = 0;
+  int active = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::size_t cacheEntries = 0;
+};
+
+/// One arrival as recorded for serial replay (tests, debugging).
+struct ArrivalRecord {
+  std::uint64_t id = 0;
+  model::CompetingApp app;
+};
+
+class ConcurrentTracker {
+ public:
+  explicit ConcurrentTracker(model::ParagonPlatformModel platform,
+                             std::size_t cacheCapacity = 4096);
+
+  /// Both throw what OnlineContentionTracker throws (unknown id, delay-table
+  /// coverage exceeded); the mix and epoch are untouched on failure.
+  MutationResult arrive(const model::CompetingApp& app);
+  MutationResult depart(std::uint64_t applicationId);
+
+  [[nodiscard]] SlowdownSnapshot slowdowns() const;
+  TaskPrediction predict(const tools::TaskSpec& task);
+  [[nodiscard]] TrackerStats stats() const;
+
+  /// Copies of the audit trail. `history()` is the serialized mutation
+  /// order; `arrivals()` pairs each arrival with its app parameters so a
+  /// fresh OnlineContentionTracker can replay the exact sequence.
+  [[nodiscard]] std::vector<sched::LoadEvent> history() const;
+  [[nodiscard]] std::vector<ArrivalRecord> arrivals() const;
+
+ private:
+  struct CacheKey {
+    std::uint64_t signature = 0;
+    std::uint64_t taskHash = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept;
+  };
+  struct CachedPrediction {
+    double frontSec = 0.0;
+    double remoteSec = 0.0;
+    bool offload = false;
+  };
+
+  [[nodiscard]] SlowdownSnapshot snapshotLocked() const;
+  [[nodiscard]] double nowSec() const;
+
+  mutable std::mutex mutex_;
+  sched::OnlineContentionTracker tracker_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t signature_ = 0;  // order-independent sum of per-app hashes
+  std::unordered_map<std::uint64_t, model::CompetingApp> liveApps_;
+  std::vector<ArrivalRecord> arrivalLog_;
+  std::unordered_map<CacheKey, CachedPrediction, CacheKeyHash> cache_;
+  std::size_t cacheCapacity_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t departures_ = 0;
+  std::chrono::steady_clock::time_point start_;
+
+  // Atomic so the hot path can count hits without widening the lock scope.
+  mutable std::atomic<std::uint64_t> cacheHits_{0};
+  mutable std::atomic<std::uint64_t> cacheMisses_{0};
+};
+
+}  // namespace contend::serve

@@ -1,0 +1,87 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace contend::serve {
+
+void Metrics::observeQueueDepth(std::size_t depth) {
+  const auto observed = static_cast<std::uint64_t>(depth);
+  std::uint64_t current = queueHighWater_.load(std::memory_order_relaxed);
+  while (observed > current &&
+         !queueHighWater_.compare_exchange_weak(current, observed,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void Metrics::observeLatency(std::chrono::nanoseconds elapsed) {
+  const auto us64 = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  // Clamp to the slot width and keep zero-duration samples distinguishable
+  // from never-written slots.
+  const std::uint32_t us = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      us64 + 1, 1, std::numeric_limits<std::uint32_t>::max()));
+  const std::uint64_t index =
+      latencyCount_.fetch_add(1, std::memory_order_relaxed);
+  ringUs_[index % kLatencyRingSize].store(us, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot snapshot;
+  for (std::size_t i = 0; i < byVerb_.size(); ++i) {
+    snapshot.requestsByVerb[i] = byVerb_[i].load(std::memory_order_relaxed);
+    snapshot.requestsTotal += snapshot.requestsByVerb[i];
+  }
+  snapshot.errors = errors_.load(std::memory_order_relaxed);
+  snapshot.connectionsAccepted = accepted_.load(std::memory_order_relaxed);
+  snapshot.connectionsRejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.queueDepthHighWater =
+      queueHighWater_.load(std::memory_order_relaxed);
+  snapshot.latencySamples = latencyCount_.load(std::memory_order_relaxed);
+
+  std::vector<std::uint32_t> window;
+  window.reserve(kLatencyRingSize);
+  for (const auto& slot : ringUs_) {
+    const std::uint32_t us = slot.load(std::memory_order_relaxed);
+    if (us > 0) window.push_back(us - 1);  // undo the +1 written above
+  }
+  if (!window.empty()) {
+    const auto rank = [&](double quantile) {
+      const auto index = static_cast<std::size_t>(
+          quantile * static_cast<double>(window.size() - 1));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(index),
+                       window.end());
+      return static_cast<double>(window[index]);
+    };
+    snapshot.p50Us = rank(0.50);
+    snapshot.p99Us = rank(0.99);
+    snapshot.maxUs = static_cast<double>(
+        *std::max_element(window.begin(), window.end()));
+  }
+  return snapshot;
+}
+
+void Metrics::fill(Response& response) const {
+  const MetricsSnapshot s = snapshot();
+  response.add("requests", s.requestsTotal);
+  for (int verb = 0; verb < kVerbCount; ++verb) {
+    std::string key = verbName(static_cast<Verb>(verb));
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    response.add(key, s.requestsByVerb[static_cast<std::size_t>(verb)]);
+  }
+  response.add("errors", s.errors);
+  response.add("accepted", s.connectionsAccepted);
+  response.add("rejected", s.connectionsRejected);
+  response.add("queue_hwm", s.queueDepthHighWater);
+  response.add("lat_samples", s.latencySamples);
+  response.add("p50_us", s.p50Us);
+  response.add("p99_us", s.p99Us);
+  response.add("max_us", s.maxUs);
+}
+
+}  // namespace contend::serve

@@ -1,0 +1,67 @@
+// metrics.hpp — lock-free serving counters, surfaced through the STATS verb.
+//
+// Everything here is written from worker threads on the request hot path, so
+// the write side is atomics only: monotonic counters, a CAS-max high-water
+// mark, and a fixed latency ring that overwrites the oldest sample. Reads
+// (snapshot) are approximate by design — a snapshot taken while requests are
+// in flight may tear across counters, which is fine for operational
+// monitoring and keeps zero synchronization on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "serve/protocol.hpp"
+
+namespace contend::serve {
+
+inline constexpr std::size_t kLatencyRingSize = 4096;
+
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kVerbCount> requestsByVerb{};
+  std::uint64_t requestsTotal = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsRejected = 0;
+  std::uint64_t queueDepthHighWater = 0;
+  std::uint64_t latencySamples = 0;  // total observed (ring keeps the tail)
+  double p50Us = 0.0;
+  double p99Us = 0.0;
+  double maxUs = 0.0;
+};
+
+class Metrics {
+ public:
+  void countRequest(Verb verb) {
+    byVerb_[static_cast<std::size_t>(verb)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void countError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void countAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void countRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records the observed queue depth; keeps the maximum ever seen.
+  void observeQueueDepth(std::size_t depth);
+
+  /// Records one request's service latency into the ring.
+  void observeLatency(std::chrono::nanoseconds elapsed);
+
+  /// Approximate totals plus p50/p99/max over the ring's tail window.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Appends the snapshot as `key=value` response fields (STATS verb).
+  void fill(Response& response) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kVerbCount> byVerb_{};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> queueHighWater_{0};
+  std::atomic<std::uint64_t> latencyCount_{0};
+  std::array<std::atomic<std::uint32_t>, kLatencyRingSize> ringUs_{};
+};
+
+}  // namespace contend::serve

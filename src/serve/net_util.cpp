@@ -1,0 +1,44 @@
+#include "serve/net_util.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace contend::serve {
+
+bool sendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool FdLineReader::readLine(std::string& line) {
+  line.clear();
+  while (true) {
+    const auto newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      line.assign(buffer_, pos_, newline - pos_);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      pos_ = newline + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // EOF, error, or SO_RCVTIMEO expiry
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace contend::serve

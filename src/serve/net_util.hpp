@@ -1,0 +1,28 @@
+// net_util.hpp — small fd helpers shared by the server and client halves.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace contend::serve {
+
+/// Writes the whole buffer (MSG_NOSIGNAL, so a dead peer yields EPIPE rather
+/// than killing the process). Returns false on any error.
+bool sendAll(int fd, std::string_view data);
+
+/// Buffered line reader over a socket fd. readLine strips the trailing
+/// '\n' (and a preceding '\r'); returns false on EOF, error, or a receive
+/// timeout (SO_RCVTIMEO) — in every case the connection is done.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool readLine(std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace contend::serve

@@ -1,0 +1,263 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+#include <charconv>
+#include <istream>
+#include <sstream>
+
+namespace contend::serve {
+
+namespace {
+
+constexpr std::array<const char*, kVerbCount> kVerbNames = {
+    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN", "STATS"};
+
+std::string stripComment(const std::string& line) {
+  const auto hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  throw ProtocolError(message);
+}
+
+void rejectTrailing(std::istringstream& line, std::string_view verb) {
+  std::string extra;
+  if (line >> extra) {
+    fail(std::string(verb) + ": trailing tokens: '" + extra + "'");
+  }
+}
+
+/// Formats doubles with round-trip precision (requests carry measured
+/// fractions; responses carry predictions operators compare across runs).
+std::string formatDouble(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+Request parseArrive(std::istringstream& line) {
+  Request request;
+  request.verb = Verb::kArrive;
+  if (!(line >> request.app.commFraction >> request.app.messageWords)) {
+    fail("ARRIVE: expected '<commFraction> <messageWords>'");
+  }
+  if (request.app.commFraction < 0.0 || request.app.commFraction > 1.0) {
+    fail("ARRIVE: comm fraction outside [0, 1]");
+  }
+  if (request.app.messageWords < 0) {
+    fail("ARRIVE: message words must be non-negative");
+  }
+  if (request.app.commFraction > 0.0 && request.app.messageWords <= 0) {
+    fail("ARRIVE: communicating application needs a message size");
+  }
+  rejectTrailing(line, "ARRIVE");
+  return request;
+}
+
+Request parseDepart(std::istringstream& line) {
+  Request request;
+  request.verb = Verb::kDepart;
+  std::string token;
+  if (!(line >> token)) fail("DEPART: expected '<applicationId>'");
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] =
+      std::from_chars(first, last, request.applicationId);
+  if (ec != std::errc{} || ptr != last) {
+    fail("DEPART: bad application id '" + token + "'");
+  }
+  rejectTrailing(line, "DEPART");
+  return request;
+}
+
+Request parsePredict(std::istringstream& firstLine, std::istream& in) {
+  Request request;
+  request.verb = Verb::kPredict;
+  std::string name;
+  if (!(firstLine >> name)) name = "task";
+  rejectTrailing(firstLine, "PREDICT");
+
+  // Collect the block up to (and including) its `end`, then reuse the
+  // workload-file parser so PREDICT payloads stay byte-compatible with
+  // `.workload` task bodies, error messages included.
+  std::string block = "task " + name + "\n";
+  bool closed = false;
+  std::string raw;
+  for (int lines = 0; lines < kMaxPredictBlockLines && std::getline(in, raw);
+       ++lines) {
+    block += raw;
+    block += '\n';
+    std::istringstream tokens(stripComment(raw));
+    std::string keyword;
+    if ((tokens >> keyword) && keyword == "end") {
+      closed = true;
+      break;
+    }
+  }
+  if (!closed) {
+    fail("PREDICT: block not closed with 'end' within " +
+         std::to_string(kMaxPredictBlockLines) + " lines");
+  }
+  std::istringstream blockStream(block);
+  tools::WorkloadFile parsed;
+  try {
+    parsed = tools::parseWorkload(blockStream);
+  } catch (const std::runtime_error& error) {
+    fail(std::string("PREDICT: ") + error.what());
+  }
+  request.task = std::move(parsed.tasks.at(0));
+  return request;
+}
+
+}  // namespace
+
+const char* verbName(Verb verb) {
+  return kVerbNames[static_cast<int>(verb)];
+}
+
+std::optional<Verb> verbFromName(std::string_view name) {
+  for (int i = 0; i < kVerbCount; ++i) {
+    if (name == kVerbNames[i]) return static_cast<Verb>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<Request> readRequest(std::istream& in) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::istringstream line(stripComment(raw));
+    std::string verbToken;
+    if (!(line >> verbToken)) continue;  // blank / comment-only
+
+    const auto verb = verbFromName(verbToken);
+    if (!verb) fail("unknown verb '" + verbToken + "'");
+    switch (*verb) {
+      case Verb::kArrive:
+        return parseArrive(line);
+      case Verb::kDepart:
+        return parseDepart(line);
+      case Verb::kPredict:
+        return parsePredict(line, in);
+      case Verb::kSlowdown:
+      case Verb::kStats: {
+        rejectTrailing(line, verbToken);
+        Request request;
+        request.verb = *verb;
+        return request;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string formatRequest(const Request& request) {
+  switch (request.verb) {
+    case Verb::kArrive:
+      return "ARRIVE " + formatDouble(request.app.commFraction) + ' ' +
+             std::to_string(request.app.messageWords) + '\n';
+    case Verb::kDepart:
+      return "DEPART " + std::to_string(request.applicationId) + '\n';
+    case Verb::kSlowdown:
+      return "SLOWDOWN\n";
+    case Verb::kStats:
+      return "STATS\n";
+    case Verb::kPredict: {
+      const tools::TaskSpec& task = request.task;
+      std::string out =
+          "PREDICT " + (task.name.empty() ? std::string("task") : task.name) +
+          '\n';
+      out += "front " + formatDouble(task.frontEndSec) + '\n';
+      out += "back " + formatDouble(task.backEndSec) + '\n';
+      for (const model::DataSet& set : task.toBackend) {
+        out += "to_backend " + std::to_string(set.messages) + " x " +
+               std::to_string(set.words) + '\n';
+      }
+      for (const model::DataSet& set : task.fromBackend) {
+        out += "from_backend " + std::to_string(set.messages) + " x " +
+               std::to_string(set.words) + '\n';
+      }
+      out += "end\n";
+      return out;
+    }
+  }
+  fail("formatRequest: invalid verb");
+}
+
+void Response::add(std::string key, std::string value) {
+  fields.emplace_back(std::move(key), std::move(value));
+}
+
+void Response::add(std::string key, double value) {
+  fields.emplace_back(std::move(key), formatDouble(value));
+}
+
+void Response::add(std::string key, std::uint64_t value) {
+  fields.emplace_back(std::move(key), std::to_string(value));
+}
+
+const std::string* Response::find(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double Response::number(std::string_view key) const {
+  const std::string* value = find(key);
+  if (!value) fail("response missing field '" + std::string(key) + "'");
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument(*value);
+    return parsed;
+  } catch (const std::exception&) {
+    fail("response field '" + std::string(key) + "' is not numeric: '" +
+         *value + "'");
+  }
+}
+
+std::string formatResponse(const Response& response) {
+  if (!response.ok) {
+    std::string message = response.error.empty() ? "unspecified error"
+                                                 : response.error;
+    // The wire format is line-based; keep the error on one line.
+    for (char& c : message) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    return "ERR " + message;
+  }
+  std::string out = "OK";
+  for (const auto& [key, value] : response.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+Response parseResponse(const std::string& line) {
+  std::istringstream in(line);
+  std::string status;
+  if (!(in >> status)) fail("empty response line");
+  Response response;
+  if (status == "ERR") {
+    response.ok = false;
+    std::getline(in >> std::ws, response.error);
+    return response;
+  }
+  if (status != "OK") fail("bad response status '" + status + "'");
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("bad response field '" + token + "'");
+    }
+    response.fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return response;
+}
+
+}  // namespace contend::serve

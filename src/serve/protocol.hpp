@@ -1,0 +1,90 @@
+// protocol.hpp — the contend-serve wire protocol.
+//
+// Line-based text, one request per line, except PREDICT which carries a task
+// block in the `.workload` task syntax (see tools/workload_file.hpp) and is
+// terminated by an `end` line:
+//
+//     ARRIVE <commFraction> <messageWords>
+//     DEPART <applicationId>
+//     SLOWDOWN
+//     STATS
+//     PREDICT <name>
+//       front 8.0
+//       back  1.5
+//       to_backend   512 x 512
+//       from_backend 512 x 512
+//     end
+//
+// Blank lines and `#` comments between requests are ignored (same convention
+// as workload files). Every response is a single line: `OK key=value ...` or
+// `ERR <message>`. Field order is stable so responses are diff-able; clients
+// should nevertheless look fields up by key.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "model/mix.hpp"
+#include "tools/workload_file.hpp"
+
+namespace contend::serve {
+
+enum class Verb { kArrive, kDepart, kPredict, kSlowdown, kStats };
+inline constexpr int kVerbCount = 5;
+
+[[nodiscard]] const char* verbName(Verb verb);
+[[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);
+
+/// Thrown on any malformed request or response. The daemon turns these into
+/// `ERR` lines instead of dropping the connection.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Request {
+  Verb verb = Verb::kSlowdown;
+  model::CompetingApp app;          // ARRIVE
+  std::uint64_t applicationId = 0;  // DEPART
+  tools::TaskSpec task;             // PREDICT
+};
+
+/// Reads the next request (skipping blanks/comments); nullopt at EOF.
+/// Throws ProtocolError on malformed input, including an unterminated or
+/// oversized PREDICT block.
+[[nodiscard]] std::optional<Request> readRequest(std::istream& in);
+
+/// Serializes a request in wire format (always newline-terminated;
+/// round-trips through readRequest).
+[[nodiscard]] std::string formatRequest(const Request& request);
+
+struct Response {
+  bool ok = true;
+  std::string error;  // set when !ok
+  std::vector<std::pair<std::string, std::string>> fields;  // set when ok
+
+  void add(std::string key, std::string value);
+  void add(std::string key, double value);
+  void add(std::string key, std::uint64_t value);
+
+  /// nullptr when the key is absent.
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+  /// Throws ProtocolError when the key is absent or not numeric.
+  [[nodiscard]] double number(std::string_view key) const;
+};
+
+/// One line, no trailing newline: `OK k=v ...` or `ERR message`.
+[[nodiscard]] std::string formatResponse(const Response& response);
+[[nodiscard]] Response parseResponse(const std::string& line);
+
+/// Cap on PREDICT block length, so a hostile client cannot grow a request
+/// without bound.
+inline constexpr int kMaxPredictBlockLines = 256;
+
+}  // namespace contend::serve

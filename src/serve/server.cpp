@@ -1,0 +1,367 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "serve/net_util.hpp"
+
+namespace contend::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void setRecvTimeout(int fd, int timeoutMs) {
+  if (timeoutMs <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Endpoint parseEndpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) {
+      throw std::invalid_argument("endpoint '" + spec + "': empty socket path");
+    }
+    sockaddr_un probe{};
+    if (endpoint.path.size() >= sizeof(probe.sun_path)) {
+      throw std::invalid_argument("endpoint '" + spec +
+                                  "': unix socket path too long");
+    }
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    const std::string portText =
+        colon == std::string::npos ? rest : rest.substr(colon + 1);
+    if (colon != std::string::npos && colon > 0) {
+      endpoint.host = rest.substr(0, colon);
+    }
+    const char* first = portText.data();
+    const char* last = portText.data() + portText.size();
+    const auto [ptr, ec] = std::from_chars(first, last, endpoint.port);
+    if (portText.empty() || ec != std::errc{} || ptr != last ||
+        endpoint.port < 0 || endpoint.port > 65535) {
+      throw std::invalid_argument("endpoint '" + spec + "': bad port '" +
+                                  portText + "'");
+    }
+    return endpoint;
+  }
+  throw std::invalid_argument("endpoint '" + spec +
+                              "': expected 'unix:<path>' or 'tcp:[host:]port'");
+}
+
+std::string endpointToString(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) return "unix:" + endpoint.path;
+  return "tcp:" + endpoint.host + ':' + std::to_string(endpoint.port);
+}
+
+Server::Server(ServerConfig config, ConcurrentTracker& tracker,
+               Metrics& metrics)
+    : config_(std::move(config)), tracker_(tracker), metrics_(metrics) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.queueCapacity < 1) config_.queueCapacity = 1;
+}
+
+Server::~Server() {
+  if (started_ && !joined_) stop();
+  if (listenFd_ >= 0) ::close(listenFd_);
+  for (int fd : {stopPipe_[0], stopPipe_[1]}) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (started_ && config_.endpoint.kind == Endpoint::Kind::kUnix) {
+    (void)::unlink(config_.endpoint.path.c_str());
+  }
+}
+
+void Server::start() {
+  if (started_) throw std::runtime_error("Server::start called twice");
+  if (::pipe(stopPipe_) != 0) throwErrno("pipe");
+  (void)::fcntl(stopPipe_[0], F_SETFD, FD_CLOEXEC);
+  (void)::fcntl(stopPipe_[1], F_SETFD, FD_CLOEXEC);
+
+  const Endpoint& ep = config_.endpoint;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) throwErrno("socket(AF_UNIX)");
+    (void)::unlink(ep.path.c_str());  // stale socket from a previous run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throwErrno("bind(" + ep.path + ")");
+    }
+  } else {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) throwErrno("socket(AF_INET)");
+    const int one = 1;
+    (void)::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("bad listen host '" + ep.host +
+                               "' (numeric IPv4 expected)");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throwErrno("bind(" + endpointToString(ep) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      throwErrno("getsockname");
+    }
+    boundPort_ = ntohs(bound.sin_port);
+    config_.endpoint.port = boundPort_;
+  }
+  if (::listen(listenFd_, 128) != 0) throwErrno("listen");
+
+  started_ = true;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+void Server::requestStop() {
+  stopping_.store(true, std::memory_order_release);
+  if (stopPipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const auto n = ::write(stopPipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_ || joined_) return;
+  if (acceptThread_.joinable()) acceptThread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  joined_ = true;
+}
+
+void Server::stop() {
+  requestStop();
+  wait();
+}
+
+bool Server::pushConnection(int fd) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(queueMutex_);
+    if (queueClosed_ || queue_.size() >= config_.queueCapacity) return false;
+    queue_.push_back(fd);
+    depth = queue_.size();
+  }
+  metrics_.observeQueueDepth(depth);
+  queueCv_.notify_one();
+  return true;
+}
+
+int Server::popConnection() {
+  std::unique_lock lock(queueMutex_);
+  queueCv_.wait(lock, [this] { return queueClosed_ || !queue_.empty(); });
+  if (queue_.empty()) return -1;  // closed and drained
+  const int fd = queue_.front();
+  queue_.pop_front();
+  return fd;
+}
+
+void Server::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listenFd_, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    metrics_.countAccepted();
+    setRecvTimeout(fd, config_.requestTimeoutMs);
+    if (!pushConnection(fd)) {
+      metrics_.countRejected();
+      sendAll(fd, "ERR server overloaded, try again\n");
+      ::close(fd);
+    }
+  }
+  // Graceful drain: close the listen socket so late connects fail fast
+  // (ECONNREFUSED instead of queueing in the kernel backlog), stop feeding
+  // workers, and nudge in-flight connections: a read-side shutdown lets
+  // requests already received finish while idle keep-alives end immediately.
+  const int listening = listenFd_;
+  listenFd_ = -1;
+  ::close(listening);
+  {
+    std::lock_guard lock(queueMutex_);
+    queueClosed_ = true;
+  }
+  queueCv_.notify_all();
+  {
+    std::lock_guard lock(activeMutex_);
+    for (const int fd : activeFds_) (void)::shutdown(fd, SHUT_RD);
+  }
+}
+
+void Server::workerLoop() {
+  while (true) {
+    const int fd = popConnection();
+    if (fd < 0) return;
+    {
+      std::lock_guard lock(activeMutex_);
+      activeFds_.push_back(fd);
+    }
+    // Connections popped after the drain began were never swept by the
+    // accept loop; give them one short grace window instead of the full
+    // request timeout.
+    if (stopping_.load(std::memory_order_acquire)) setRecvTimeout(fd, 250);
+    serveConnection(fd);
+    {
+      std::lock_guard lock(activeMutex_);
+      std::erase(activeFds_, fd);
+    }
+    ::close(fd);
+  }
+}
+
+void Server::serveConnection(int fd) {
+  FdLineReader reader(fd);
+  std::string line;
+  while (reader.readLine(line)) {
+    // Assemble one logical request: a single line, except PREDICT whose
+    // block runs through its `end` line.
+    std::string requestText = line;
+    requestText += '\n';
+    std::istringstream probe(line);
+    std::string verbToken;
+    probe >> verbToken;
+    if (verbToken.empty()) continue;  // blank / keep-alive noise
+    if (verbToken == "PREDICT") {
+      bool closed = false;
+      for (int extra = 0; extra < kMaxPredictBlockLines; ++extra) {
+        if (!reader.readLine(line)) break;
+        requestText += line;
+        requestText += '\n';
+        std::istringstream tokens(line);
+        std::string keyword;
+        if ((tokens >> keyword) && keyword == "end") {
+          closed = true;
+          break;
+        }
+      }
+      if (!closed) {
+        metrics_.countError();
+        if (!sendAll(fd, "ERR PREDICT: block not closed with 'end'\n")) return;
+        return;  // can't resync a half-read block; drop the connection
+      }
+    }
+
+    const auto begin = std::chrono::steady_clock::now();
+    Response response;
+    std::optional<Verb> verb;
+    try {
+      std::istringstream in(requestText);
+      const std::optional<Request> request = readRequest(in);
+      if (!request) continue;
+      verb = request->verb;
+      response = handle(*request);
+    } catch (const std::exception& error) {
+      response.ok = false;
+      response.error = error.what();
+    }
+    if (verb) metrics_.countRequest(*verb);
+    if (!response.ok) metrics_.countError();
+    const std::string wire = formatResponse(response) + '\n';
+    const bool sent = sendAll(fd, wire);
+    metrics_.observeLatency(std::chrono::steady_clock::now() - begin);
+    if (!sent) return;
+  }
+}
+
+Response Server::handle(const Request& request) {
+  Response response;
+  response.add("verb", std::string(verbName(request.verb)));
+  const auto addSnapshot = [&response](const SlowdownSnapshot& snapshot) {
+    response.add("epoch", snapshot.epoch);
+    response.add("p", static_cast<std::uint64_t>(snapshot.active));
+    response.add("comp", snapshot.comp);
+    response.add("comm", snapshot.comm);
+  };
+  switch (request.verb) {
+    case Verb::kArrive: {
+      const MutationResult result = tracker_.arrive(request.app);
+      response.add("id", result.id);
+      addSnapshot(result.after);
+      break;
+    }
+    case Verb::kDepart: {
+      const MutationResult result = tracker_.depart(request.applicationId);
+      response.add("id", result.id);
+      addSnapshot(result.after);
+      break;
+    }
+    case Verb::kSlowdown:
+      addSnapshot(tracker_.slowdowns());
+      break;
+    case Verb::kPredict: {
+      const TaskPrediction prediction = tracker_.predict(request.task);
+      response.add("name", request.task.name);
+      response.add("epoch", prediction.epoch);
+      response.add("front", prediction.frontSec);
+      response.add("remote", prediction.remoteSec);
+      response.add("decision", std::string(prediction.offload ? "back-end"
+                                                              : "front-end"));
+      response.add("cache", std::string(prediction.cacheHit ? "hit" : "miss"));
+      break;
+    }
+    case Verb::kStats: {
+      const TrackerStats stats = tracker_.stats();
+      response.add("epoch", stats.epoch);
+      response.add("p", static_cast<std::uint64_t>(stats.active));
+      response.add("arrivals", stats.arrivals);
+      response.add("departures", stats.departures);
+      response.add("cache_hits", stats.cacheHits);
+      response.add("cache_misses", stats.cacheMisses);
+      response.add("cache_entries",
+                   static_cast<std::uint64_t>(stats.cacheEntries));
+      const std::uint64_t lookups = stats.cacheHits + stats.cacheMisses;
+      response.add("cache_hit_rate",
+                   lookups == 0 ? 0.0
+                                : static_cast<double>(stats.cacheHits) /
+                                      static_cast<double>(lookups));
+      metrics_.fill(response);
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace contend::serve

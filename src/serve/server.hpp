@@ -1,0 +1,109 @@
+// server.hpp — the contend-serve network front: accept loop, bounded
+// connection queue, fixed worker pool, graceful drain.
+//
+// Design: one thread accepts connections and pushes the fds onto a bounded
+// queue; N workers pop a connection each and serve its requests until the
+// client closes, errors, or a read times out (per-request timeout via
+// SO_RCVTIMEO, so a stalled client can never pin a worker forever). When the
+// queue is full, new connections are refused with a one-line `ERR` so
+// clients fail fast instead of piling up. `requestStop()` is async-signal
+// safe (an atomic flag plus a self-pipe write), which is what lets the
+// daemon drain gracefully from a SIGTERM handler: stop accepting, finish
+// queued and in-flight connections, join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace contend::serve {
+
+/// Where to listen/connect. Specs: `unix:/path/to.sock`,
+/// `tcp:host:port`, or `tcp:port` (host defaults to 127.0.0.1).
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;               // unix
+  std::string host = "127.0.0.1";  // tcp
+  int port = 0;                   // tcp; 0 picks an ephemeral port
+};
+
+/// Throws std::invalid_argument on a malformed spec.
+[[nodiscard]] Endpoint parseEndpoint(const std::string& spec);
+[[nodiscard]] std::string endpointToString(const Endpoint& endpoint);
+
+struct ServerConfig {
+  Endpoint endpoint;
+  int workers = 8;
+  std::size_t queueCapacity = 128;
+  int requestTimeoutMs = 5000;  // per socket read; bounds drain time too
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, ConcurrentTracker& tracker, Metrics& metrics);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept thread plus workers. Throws
+  /// std::runtime_error on socket errors.
+  void start();
+
+  /// Async-signal-safe shutdown trigger (callable from a SIGTERM handler).
+  void requestStop();
+
+  /// Blocks until the accept loop has stopped and all workers have drained.
+  void wait();
+
+  /// requestStop() + wait().
+  void stop();
+
+  /// The port actually bound (after start()); useful with `tcp:...:0`.
+  [[nodiscard]] int boundPort() const { return boundPort_; }
+  [[nodiscard]] const Endpoint& endpoint() const { return config_.endpoint; }
+
+ private:
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int fd);
+  [[nodiscard]] Response handle(const Request& request);
+  bool pushConnection(int fd);
+  int popConnection();  // -1 once draining is complete
+
+  ServerConfig config_;
+  ConcurrentTracker& tracker_;
+  Metrics& metrics_;
+
+  int listenFd_ = -1;
+  int stopPipe_[2] = {-1, -1};
+  int boundPort_ = 0;
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::thread acceptThread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<int> queue_;
+  bool queueClosed_ = false;
+
+  // Connections currently held by workers; on drain they get a read-side
+  // shutdown so already-received requests finish but idle ones end now.
+  std::mutex activeMutex_;
+  std::vector<int> activeFds_;
+
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace contend::serve

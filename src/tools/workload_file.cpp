@@ -27,7 +27,9 @@ model::DataSet parseDataSet(std::istringstream& in, int line) {
   if (!(in >> messages >> x >> words) || x != "x") {
     fail(line, "expected '<messages> x <words>'");
   }
-  if (messages <= 0 || words < 0) fail(line, "sizes must be positive");
+  if (messages <= 0 || words < 0) {
+    fail(line, "message count must be positive and words non-negative");
+  }
   std::string extra;
   if (in >> extra) fail(line, "trailing tokens: '" + extra + "'");
   return model::DataSet{messages, words};

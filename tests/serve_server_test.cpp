@@ -1,0 +1,241 @@
+// End-to-end tests for serve::Server + serve::Client over real sockets:
+// endpoint parsing, the full verb set over Unix and TCP transports,
+// concurrent clients, error surfacing, and graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+namespace {
+
+model::ParagonPlatformModel testPlatform(int maxContenders = 8) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+std::string uniqueSocketPath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/contend_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + ".sock";
+}
+
+TEST(Endpoint, ParsesSpecs) {
+  const Endpoint unixEp = parseEndpoint("unix:/tmp/x.sock");
+  EXPECT_EQ(unixEp.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(unixEp.path, "/tmp/x.sock");
+  EXPECT_EQ(endpointToString(unixEp), "unix:/tmp/x.sock");
+
+  const Endpoint tcpShort = parseEndpoint("tcp:7411");
+  EXPECT_EQ(tcpShort.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcpShort.host, "127.0.0.1");
+  EXPECT_EQ(tcpShort.port, 7411);
+
+  const Endpoint tcpFull = parseEndpoint("tcp:0.0.0.0:80");
+  EXPECT_EQ(tcpFull.host, "0.0.0.0");
+  EXPECT_EQ(tcpFull.port, 80);
+}
+
+TEST(Endpoint, RejectsBadSpecs) {
+  EXPECT_THROW((void)parseEndpoint("http:8080"), std::invalid_argument);
+  EXPECT_THROW((void)parseEndpoint("unix:"), std::invalid_argument);
+  EXPECT_THROW((void)parseEndpoint("tcp:"), std::invalid_argument);
+  EXPECT_THROW((void)parseEndpoint("tcp:host:notaport"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseEndpoint("tcp:1.2.3.4:70000"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseEndpoint("unix:" + std::string(200, 'a')),
+               std::invalid_argument);
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void startUnix() {
+    config_.endpoint = parseEndpoint("unix:" + uniqueSocketPath("fixture"));
+    config_.workers = 4;
+    config_.requestTimeoutMs = 2000;
+    server_ = std::make_unique<Server>(config_, tracker_, metrics_);
+    server_->start();
+  }
+
+  ServerConfig config_;
+  ConcurrentTracker tracker_{testPlatform()};
+  Metrics metrics_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerFixture, FullVerbSetOverUnixSocket) {
+  startUnix();
+  Client client(config_.endpoint);
+
+  const Response arrived = client.arrive(0.3, 800);
+  ASSERT_TRUE(arrived.ok) << arrived.error;
+  EXPECT_EQ(*arrived.find("verb"), "ARRIVE");
+  const auto id = static_cast<std::uint64_t>(arrived.number("id"));
+  EXPECT_EQ(arrived.number("epoch"), 1.0);
+  EXPECT_EQ(arrived.number("p"), 1.0);
+  EXPECT_GT(arrived.number("comp"), 1.0);
+
+  const Response slowdown = client.slowdown();
+  ASSERT_TRUE(slowdown.ok);
+  EXPECT_DOUBLE_EQ(slowdown.number("comp"), arrived.number("comp"));
+  EXPECT_DOUBLE_EQ(slowdown.number("comm"), arrived.number("comm"));
+
+  tools::TaskSpec task;
+  task.name = "solver";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  const Response first = client.predict(task);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(*first.find("cache"), "miss");
+  EXPECT_DOUBLE_EQ(first.number("front"),
+                   8.0 * slowdown.number("comp"));
+  const Response second = client.predict(task);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(*second.find("cache"), "hit");
+  EXPECT_DOUBLE_EQ(second.number("front"), first.number("front"));
+  EXPECT_NE(first.find("decision"), nullptr);
+
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("requests"), 4.0);
+  EXPECT_EQ(stats.number("cache_hits"), 1.0);
+  EXPECT_EQ(stats.number("cache_misses"), 1.0);
+  EXPECT_GE(stats.number("accepted"), 1.0);
+  EXPECT_GE(stats.number("lat_samples"), 4.0);
+
+  const Response departed = client.depart(id);
+  ASSERT_TRUE(departed.ok);
+  EXPECT_DOUBLE_EQ(departed.number("comp"), 1.0);
+  EXPECT_DOUBLE_EQ(departed.number("p"), 0.0);
+
+  server_->stop();
+}
+
+TEST_F(ServerFixture, ErrorsAreReportedNotFatal) {
+  startUnix();
+  Client client(config_.endpoint);
+
+  const Response unknownId = client.depart(12345);
+  EXPECT_FALSE(unknownId.ok);
+  EXPECT_NE(unknownId.error.find("unknown application id"), std::string::npos)
+      << unknownId.error;
+
+  const Response badVerb = client.raw("FROBNICATE\n");
+  EXPECT_FALSE(badVerb.ok);
+  EXPECT_NE(badVerb.error.find("unknown verb"), std::string::npos);
+
+  const Response badArrive = client.raw("ARRIVE 2.0 100\n");
+  EXPECT_FALSE(badArrive.ok);
+
+  // The connection survives all of the above.
+  const Response alive = client.slowdown();
+  ASSERT_TRUE(alive.ok);
+  EXPECT_DOUBLE_EQ(alive.number("comp"), 1.0);
+
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("errors"), 3.0);
+  server_->stop();
+}
+
+TEST_F(ServerFixture, ServesOverTcp) {
+  config_.endpoint = parseEndpoint("tcp:127.0.0.1:0");  // ephemeral port
+  config_.workers = 2;
+  server_ = std::make_unique<Server>(config_, tracker_, metrics_);
+  server_->start();
+  ASSERT_GT(server_->boundPort(), 0);
+
+  Client client(server_->endpoint());
+  const Response response = client.slowdown();
+  ASSERT_TRUE(response.ok);
+  EXPECT_DOUBLE_EQ(response.number("comp"), 1.0);
+  server_->stop();
+}
+
+TEST_F(ServerFixture, ManyConcurrentClients) {
+  startUnix();
+  constexpr int kClients = 8;
+  constexpr int kRequests = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> okCounts(kClients, 0);
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(config_.endpoint);
+      tools::TaskSpec task;
+      task.name = "t" + std::to_string(c);
+      task.frontEndSec = 1.0 + c;
+      task.backEndSec = 0.5;
+      for (int r = 0; r < kRequests; ++r) {
+        if (client.predict(task).ok) ++okCounts[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(okCounts[static_cast<std::size_t>(c)], kRequests) << c;
+  }
+  const Response stats = Client(config_.endpoint).stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("predict"), double(kClients * kRequests));
+  server_->stop();
+}
+
+TEST_F(ServerFixture, GracefulShutdownStopsAccepting) {
+  startUnix();
+  {
+    Client client(config_.endpoint);
+    ASSERT_TRUE(client.slowdown().ok);
+  }
+  server_->stop();
+  // The socket file is unlinked only at destruction; connecting now must
+  // fail either way because nobody is accepting.
+  EXPECT_THROW(
+      {
+        Client late(config_.endpoint);
+        (void)late.slowdown();
+      },
+      std::runtime_error);
+}
+
+TEST_F(ServerFixture, PredictBlockArrivesOverTheWire) {
+  startUnix();
+  Client client(config_.endpoint);
+  const Response response = client.raw(
+      "PREDICT wired\n"
+      "front 2.0\n"
+      "back 1.0\n"
+      "to_backend 10 x 100\n"
+      "end\n");
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(*response.find("name"), "wired");
+  EXPECT_DOUBLE_EQ(response.number("front"), 2.0);  // dedicated: no mix
+  server_->stop();
+}
+
+}  // namespace
+}  // namespace contend::serve

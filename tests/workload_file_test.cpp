@@ -56,6 +56,18 @@ TEST(WorkloadFile, RoundTrips) {
             original.tasks[0].fromBackend[0].words);
 }
 
+TEST(WorkloadFile, ZeroWordMessagesAreAccepted) {
+  // Boundary: `words == 0` is legal (a data set of empty messages still pays
+  // the per-message startup alpha); only `messages` must be positive.
+  std::istringstream in(
+      "task pings\nfront 1.0\nback 1.0\nto_backend 5 x 0\nend\n");
+  const WorkloadFile w = parseWorkload(in);
+  ASSERT_EQ(w.tasks.size(), 1u);
+  ASSERT_EQ(w.tasks[0].toBackend.size(), 1u);
+  EXPECT_EQ(w.tasks[0].toBackend[0].messages, 5);
+  EXPECT_EQ(w.tasks[0].toBackend[0].words, 0);
+}
+
 TEST(WorkloadFile, EmptyInputIsEmptyWorkload) {
   std::istringstream in("\n# nothing here\n");
   const WorkloadFile w = parseWorkload(in);
@@ -96,6 +108,12 @@ INSTANTIATE_TEST_SUITE_P(
                 "needs both 'front' and 'back'"},
         BadCase{"badDataSet", "task a\nfront 1\nback 1\nto_backend 5 y 9\nend\n",
                 "expected '<messages> x <words>'"},
+        BadCase{"zeroMessages",
+                "task a\nfront 1\nback 1\nto_backend 0 x 9\nend\n",
+                "message count must be positive"},
+        BadCase{"negativeWords",
+                "task a\nfront 1\nback 1\nto_backend 5 x -1\nend\n",
+                "words non-negative"},
         BadCase{"negDuration", "task a\nfront -1\n", "non-negative"},
         BadCase{"trailing", "task a\nfront 1\nback 1\nto_backend 5 x 9 zz\nend\n",
                 "trailing tokens"},

@@ -1,0 +1,131 @@
+// contend_client — command-line client for contend_served.
+//
+// Usage:
+//   contend_client <endpoint> slowdown
+//   contend_client <endpoint> stats
+//   contend_client <endpoint> arrive <commFraction> <messageWords>
+//   contend_client <endpoint> depart <applicationId>
+//   contend_client <endpoint> load <file.workload>     # ARRIVE every competitor
+//   contend_client <endpoint> predict <file.workload>  # PREDICT every task
+//   contend_client <endpoint> raw '<request line>'
+//
+// `load` + `predict` together reproduce what `contend_predict` computes
+// offline, but against the *live* mix held by the daemon, which other
+// clients may be mutating concurrently.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "tools/workload_file.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: contend_client <endpoint> <command> [args]\n"
+         "  slowdown                      current slowdown factors\n"
+         "  stats                         serving + cache metrics\n"
+         "  arrive <fraction> <words>     register one competing app\n"
+         "  depart <id>                   deregister an app by id\n"
+         "  load <file.workload>          ARRIVE every competitor in the file\n"
+         "  predict <file.workload>       PREDICT every task in the file\n"
+         "  raw '<request>'               send one raw request line\n"
+         "endpoints: unix:/path/to.sock | tcp:[host:]port\n";
+  std::exit(2);
+}
+
+int printResponse(const serve::Response& response) {
+  if (!response.ok) {
+    std::cerr << "ERR " << response.error << "\n";
+    return 1;
+  }
+  for (const auto& [key, value] : response.fields) {
+    std::cout << key << " = " << value << "\n";
+  }
+  return 0;
+}
+
+int load(serve::Client& client, const std::string& path) {
+  const tools::WorkloadFile workload = tools::parseWorkloadFile(path);
+  int rc = 0;
+  for (const model::CompetingApp& app : workload.competitors) {
+    const serve::Response response =
+        client.arrive(app.commFraction, app.messageWords);
+    if (!response.ok) {
+      std::cerr << "ERR " << response.error << "\n";
+      rc = 1;
+      continue;
+    }
+    std::cout << "arrived id=" << *response.find("id")
+              << " p=" << *response.find("p")
+              << " comp=" << response.number("comp")
+              << " comm=" << response.number("comm") << "\n";
+  }
+  return rc;
+}
+
+int predict(serve::Client& client, const std::string& path) {
+  const tools::WorkloadFile workload = tools::parseWorkloadFile(path);
+  if (workload.tasks.empty()) {
+    std::cout << "(no tasks in the workload file)\n";
+    return 0;
+  }
+  TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision",
+                   "cache"});
+  int rc = 0;
+  for (const tools::TaskSpec& task : workload.tasks) {
+    const serve::Response response = client.predict(task);
+    if (!response.ok) {
+      std::cerr << "task " << task.name << ": ERR " << response.error << "\n";
+      rc = 1;
+      continue;
+    }
+    table.addRow({task.name, TextTable::num(response.number("front"), 3),
+                  TextTable::num(response.number("remote"), 3),
+                  *response.find("decision"), *response.find("cache")});
+  }
+  printTable("live contention-adjusted placement", table);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  try {
+    serve::Client client{std::string(argv[1])};
+    const std::string command = argv[2];
+    if (command == "slowdown" && argc == 3) {
+      return printResponse(client.slowdown());
+    }
+    if (command == "stats" && argc == 3) {
+      return printResponse(client.stats());
+    }
+    if (command == "arrive" && argc == 5) {
+      return printResponse(
+          client.arrive(std::stod(argv[3]), std::stoll(argv[4])));
+    }
+    if (command == "depart" && argc == 4) {
+      return printResponse(client.depart(std::stoull(argv[3])));
+    }
+    if (command == "load" && argc == 4) {
+      return load(client, argv[3]);
+    }
+    if (command == "predict" && argc == 4) {
+      return predict(client, argv[3]);
+    }
+    if (command == "raw" && argc == 4) {
+      std::string text = argv[3];
+      if (text.empty() || text.back() != '\n') text += '\n';
+      return printResponse(client.raw(text));
+    }
+    usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,14 +1,18 @@
 // contend_predict — command-line predictor.
 //
 // Usage:
-//   contend_predict <profile.txt> <workload.workload>
+//   contend_predict [--platform {paragon,cm2,both}] <profile.txt> <workload.workload>
 //   contend_predict --calibrate <profile.txt>
 //   contend_predict --validate <profile.txt> <workload.workload>
 //
 // The first form loads a calibrated platform profile and a workload
 // description, then prints contention-adjusted cost estimates and an offload
-// recommendation for every task. --calibrate runs the system test suite
-// against the bundled simulator and saves the profile. --validate
+// recommendation for every task. A profile carries calibrations for *both*
+// coupled platforms the paper models; --platform selects which half to
+// apply: the Host/MIMD (Paragon, §3.2) mix model — the default — or the
+// Host/SIMD (CM2, §3.1) p + 1 model, where contention is the number of
+// competing processes on the front-end. --calibrate runs the system test
+// suite against the bundled simulator and saves the profile. --validate
 // additionally *runs* each task's front-end variant on the simulator under
 // the described mix and reports prediction error.
 #include <cstring>
@@ -39,24 +43,20 @@ int calibrate(const std::string& path) {
   return 0;
 }
 
-int predict(const std::string& profilePath, const std::string& workloadPath) {
-  const calib::PlatformProfile profile =
-      calib::loadProfileFile(profilePath);
-  const tools::WorkloadFile workload =
-      tools::parseWorkloadFile(workloadPath);
-
+void predictParagon(const calib::PlatformProfile& profile,
+                    const tools::WorkloadFile& workload) {
   model::WorkloadMix mix;
   for (const model::CompetingApp& app : workload.competitors) mix.add(app);
   model::ParagonPredictor predictor(profile.paragon, mix);
 
-  std::cout << "platform: " << profile.platformName << ", competitors: "
-            << mix.p() << "\n"
+  std::cout << "platform: " << profile.platformName
+            << " (Host/MIMD model), competitors: " << mix.p() << "\n"
             << "computation slowdown:   " << predictor.compSlowdown() << "\n"
             << "communication slowdown: " << predictor.commSlowdown() << "\n";
 
   if (workload.tasks.empty()) {
     std::cout << "(no tasks in the workload file)\n";
-    return 0;
+    return;
   }
 
   TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision"});
@@ -71,7 +71,58 @@ int predict(const std::string& profilePath, const std::string& workloadPath) {
                   TextTable::num(remote, 3),
                   offload ? "back-end" : "front-end"});
   }
-  printTable("contention-adjusted placement", table);
+  printTable("contention-adjusted placement (Host/MIMD)", table);
+}
+
+void predictCm2(const calib::PlatformProfile& profile,
+                const tools::WorkloadFile& workload) {
+  // §3.1: CM2 front-end contention is characterized by the *number* of
+  // competing processes; their comm fractions and message sizes are
+  // irrelevant because the single-sequencer link is driven by the front-end.
+  const int extraProcesses = static_cast<int>(workload.competitors.size());
+  model::Cm2Predictor predictor(profile.cm2, extraProcesses);
+
+  std::cout << "platform: " << profile.platformName
+            << " (Host/SIMD model), extra processes: " << extraProcesses
+            << "\n"
+            << "slowdown (p + 1):       " << predictor.slowdown() << "\n";
+
+  if (workload.tasks.empty()) {
+    std::cout << "(no tasks in the workload file)\n";
+    return;
+  }
+
+  TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision"});
+  for (const tools::TaskSpec& task : workload.tasks) {
+    // A .workload task gives the back-end cost as one number; treat it as
+    // pure parallel-instruction time (no idle, no serial residue).
+    const model::Cm2TaskDedicated backEnd{task.backEndSec, 0.0, 0.0};
+    const double front = predictor.predictFrontEndComp(task.frontEndSec);
+    const double remote = predictor.predictBackEndTask(backEnd) +
+                          predictor.predictCommToBackend(task.toBackend) +
+                          predictor.predictCommFromBackend(task.fromBackend);
+    const bool offload = predictor.shouldOffload(
+        task.frontEndSec, backEnd, task.toBackend, task.fromBackend);
+    table.addRow({task.name, TextTable::num(front, 3),
+                  TextTable::num(remote, 3),
+                  offload ? "back-end" : "front-end"});
+  }
+  printTable("contention-adjusted placement (Host/SIMD)", table);
+}
+
+int predict(const std::string& platform, const std::string& profilePath,
+            const std::string& workloadPath) {
+  const calib::PlatformProfile profile =
+      calib::loadProfileFile(profilePath);
+  const tools::WorkloadFile workload =
+      tools::parseWorkloadFile(workloadPath);
+
+  if (platform == "paragon" || platform == "both") {
+    predictParagon(profile, workload);
+  }
+  if (platform == "cm2" || platform == "both") {
+    predictCm2(profile, workload);
+  }
   return 0;
 }
 
@@ -127,14 +178,32 @@ int main(int argc, char** argv) {
     if (argc == 4 && std::strcmp(argv[1], "--validate") == 0) {
       return validate(argv[2], argv[3]);
     }
-    if (argc == 3) return predict(argv[1], argv[2]);
+    std::string platform = "paragon";
+    int first = 1;
+    if (argc >= 2 && std::strcmp(argv[1], "--platform") == 0) {
+      if (argc < 3) {
+        std::cerr << "error: --platform expects {paragon,cm2,both}\n";
+        return 2;
+      }
+      platform = argv[2];
+      if (platform != "paragon" && platform != "cm2" && platform != "both") {
+        std::cerr << "error: unknown platform '" << platform
+                  << "' (expected paragon, cm2, or both)\n";
+        return 2;
+      }
+      first = 3;
+    }
+    if (argc - first == 2) {
+      return predict(platform, argv[first], argv[first + 1]);
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
   std::cerr << "usage:\n"
             << "  contend_predict --calibrate <profile.txt>\n"
-            << "  contend_predict <profile.txt> <workload.workload>\n"
+            << "  contend_predict [--platform {paragon,cm2,both}] "
+               "<profile.txt> <workload.workload>\n"
             << "  contend_predict --validate <profile.txt> "
                "<workload.workload>\n";
   return 2;

@@ -1,0 +1,116 @@
+// contend_served — the contention-advisory daemon.
+//
+// Usage:
+//   contend_served <profile.txt> [--listen <endpoint>] [--workers N]
+//                  [--queue N] [--timeout-ms N] [--cache N]
+//
+// Loads a calibrated platform profile (see `contend_predict --calibrate`)
+// and serves the Paragon-style slowdown models over a line protocol (see
+// docs/SERVING.md). Endpoints: `unix:/path/to.sock` (default
+// unix:/tmp/contend.sock) or `tcp:[host:]port`. SIGTERM/SIGINT drain
+// gracefully: in-flight and queued connections finish, then the process
+// exits 0.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "calib/profile_io.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+
+using namespace contend;
+
+namespace {
+
+serve::Server* gServer = nullptr;
+
+void onSignal(int) {
+  if (gServer != nullptr) gServer->requestStop();  // async-signal-safe
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: contend_served <profile.txt> [--listen <endpoint>]\n"
+               "                      [--workers N] [--queue N]\n"
+               "                      [--timeout-ms N] [--cache N]\n"
+               "endpoints: unix:/path/to.sock | tcp:[host:]port\n";
+  std::exit(2);
+}
+
+long parseCount(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) {
+    std::cerr << "error: " << flag << " expects a positive integer, got '"
+              << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string profilePath = argv[1];
+  serve::ServerConfig config;
+  config.endpoint = serve::parseEndpoint("unix:/tmp/contend.sock");
+  std::size_t cacheCapacity = 4096;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) usage();
+    const char* value = argv[++i];
+    try {
+      if (flag == "--listen") {
+        config.endpoint = serve::parseEndpoint(value);
+      } else if (flag == "--workers") {
+        config.workers = static_cast<int>(parseCount(value, "--workers"));
+      } else if (flag == "--queue") {
+        config.queueCapacity =
+            static_cast<std::size_t>(parseCount(value, "--queue"));
+      } else if (flag == "--timeout-ms") {
+        config.requestTimeoutMs =
+            static_cast<int>(parseCount(value, "--timeout-ms"));
+      } else if (flag == "--cache") {
+        cacheCapacity = static_cast<std::size_t>(parseCount(value, "--cache"));
+      } else {
+        usage();
+      }
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const calib::PlatformProfile profile =
+        calib::loadProfileFile(profilePath);
+    serve::ConcurrentTracker tracker(profile.paragon, cacheCapacity);
+    serve::Metrics metrics;
+    serve::Server server(config, tracker, metrics);
+    server.start();
+    gServer = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    std::cout << "contend_served: profile '" << profile.platformName
+              << "', listening on "
+              << serve::endpointToString(server.endpoint()) << ", "
+              << config.workers << " workers\n"
+              << std::flush;
+    server.wait();
+    gServer = nullptr;
+
+    const serve::TrackerStats stats = tracker.stats();
+    std::cout << "contend_served: drained after epoch " << stats.epoch
+              << " (" << stats.arrivals << " arrivals, " << stats.departures
+              << " departures, cache " << stats.cacheHits << " hits / "
+              << stats.cacheMisses << " misses)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
