@@ -1,23 +1,33 @@
 // serve_throughput — closed-loop benchmark of the contend-serve daemon.
 //
 // Spins up an in-process Server on a Unix socket, registers a fixed
-// competing mix, then hammers PREDICT from N concurrent client connections
-// (closed loop: each client issues the next request as soon as the previous
-// response lands). Because the mix never changes, every request after the
-// first rides the ConcurrentTracker memo cache — this measures the serving
-// hot path, not the model.
+// competing mix, then hammers the daemon from N concurrent client
+// connections (closed loop: each client issues the next request as soon as
+// the previous response lands). By default every request is a PREDICT
+// against an unchanged mix, so everything after the first request rides the
+// prediction cache — this measures the serving hot path, not the model.
+// `--write-ratio` mixes in ARRIVE/DEPART pairs to exercise the read path
+// *under mutation* (the mix signature churns and recurs), and `--batch`
+// switches the readers to batched PREDICT so protocol overhead amortizes.
 //
-// Usage: serve_throughput [--seconds S] [--clients N] [--workers N]
-//                         [--min-rps R]
+// Usage: serve_throughput [--seconds S] [--warmup S] [--clients N]
+//                         [--workers N] [--write-ratio F] [--batch N]
+//                         [--min-rps R] [--json <path>]
 // Exits non-zero when --min-rps is given and the measured rate is below it
-// (used as the acceptance gate: >= 10000 req/s with 8 clients).
+// (used as the acceptance gate). --json writes a machine-readable
+// BENCH_serve.json-style record so the perf trajectory is diffable across
+// PRs; --baseline-rps embeds a reference number (e.g. the pre-RCU mutex
+// build) and the computed speedup in that record.
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,7 +44,7 @@ namespace {
 
 /// Synthetic-but-valid delay tables; the bench measures serving overhead,
 /// not calibration, so there is no need to run the system test suite.
-model::ParagonPlatformModel benchPlatform(int maxContenders = 8) {
+model::ParagonPlatformModel benchPlatform(int maxContenders) {
   model::ParagonPlatformModel platform;
   platform.toBackend.small = {0.0005, 2.0e6};
   platform.toBackend.large = {0.0010, 3.0e6};
@@ -62,41 +72,107 @@ tools::TaskSpec benchTask() {
   return task;
 }
 
+std::string jsonNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+struct BenchConfig {
+  double seconds = 2.0;
+  double warmup = 0.0;
+  int clients = 8;
+  int workers = 8;
+  double writeRatio = 0.0;
+  int batch = 1;
+  double minRps = 0.0;
+  double baselineRps = 0.0;
+  std::string jsonPath;
+};
+
+void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
+               double rps, const serve::Response& stats) {
+  std::ofstream out(config.jsonPath);
+  if (!out) {
+    std::cerr << "warning: cannot write " << config.jsonPath << "\n";
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serve_throughput\",\n"
+      << "  \"config\": {\n"
+      << "    \"clients\": " << config.clients << ",\n"
+      << "    \"workers\": " << config.workers << ",\n"
+      << "    \"seconds\": " << jsonNumber(config.seconds) << ",\n"
+      << "    \"warmup\": " << jsonNumber(config.warmup) << ",\n"
+      << "    \"write_ratio\": " << jsonNumber(config.writeRatio) << ",\n"
+      << "    \"batch\": " << config.batch << "\n"
+      << "  },\n"
+      << "  \"results\": {\n"
+      << "    \"elapsed_sec\": " << jsonNumber(elapsed) << ",\n"
+      << "    \"requests\": " << total << ",\n"
+      << "    \"rps\": " << jsonNumber(rps);
+  if (stats.ok) {
+    out << ",\n    \"cache_hit_rate\": "
+        << jsonNumber(stats.number("cache_hit_rate"))
+        << ",\n    \"p50_us\": " << *stats.find("p50_us")
+        << ",\n    \"p99_us\": " << *stats.find("p99_us")
+        << ",\n    \"queue_hwm\": " << *stats.find("queue_hwm");
+    if (const std::string* epoch = stats.find("epoch")) {
+      out << ",\n    \"epoch\": " << *epoch;
+    }
+  }
+  out << "\n  }";
+  if (config.baselineRps > 0.0) {
+    out << ",\n  \"baseline\": {\n"
+        << "    \"mutex_rps\": " << jsonNumber(config.baselineRps) << ",\n"
+        << "    \"speedup\": " << jsonNumber(rps / config.baselineRps) << "\n"
+        << "  }";
+  }
+  out << "\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  double seconds = 2.0;
-  int clients = 8;
-  int workers = 8;
-  double minRps = 0.0;
+  BenchConfig config;
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string flag = argv[i];
     const char* value = argv[i + 1];
-    if (flag == "--seconds") seconds = std::atof(value);
-    else if (flag == "--clients") clients = std::atoi(value);
-    else if (flag == "--workers") workers = std::atoi(value);
-    else if (flag == "--min-rps") minRps = std::atof(value);
+    if (flag == "--seconds") config.seconds = std::atof(value);
+    else if (flag == "--warmup") config.warmup = std::atof(value);
+    else if (flag == "--clients") config.clients = std::atoi(value);
+    else if (flag == "--workers") config.workers = std::atoi(value);
+    else if (flag == "--write-ratio") config.writeRatio = std::atof(value);
+    else if (flag == "--batch") config.batch = std::atoi(value);
+    else if (flag == "--min-rps") config.minRps = std::atof(value);
+    else if (flag == "--baseline-rps") config.baselineRps = std::atof(value);
+    else if (flag == "--json") config.jsonPath = value;
     else {
-      std::cerr << "usage: serve_throughput [--seconds S] [--clients N] "
-                   "[--workers N] [--min-rps R]\n";
+      std::cerr << "usage: serve_throughput [--seconds S] [--warmup S] "
+                   "[--clients N] [--workers N] [--write-ratio F] "
+                   "[--batch N] [--min-rps R] [--baseline-rps R] "
+                   "[--json <path>]\n";
       return 2;
     }
   }
-  if (seconds <= 0 || clients < 1 || workers < 1) {
+  if (config.seconds <= 0 || config.clients < 1 || config.workers < 1 ||
+      config.writeRatio < 0.0 || config.writeRatio > 1.0 ||
+      config.batch < 1) {
     std::cerr << "error: bad arguments\n";
     return 2;
   }
 
   const std::string socketPath =
       "/tmp/contend_serve_bench_" + std::to_string(::getpid()) + ".sock";
-  serve::ServerConfig config;
-  config.endpoint = serve::parseEndpoint("unix:" + socketPath);
-  config.workers = workers;
-  config.queueCapacity = static_cast<std::size_t>(clients) * 4;
+  serve::ServerConfig serverConfig;
+  serverConfig.endpoint = serve::parseEndpoint("unix:" + socketPath);
+  serverConfig.workers = config.workers;
+  serverConfig.queueCapacity = static_cast<std::size_t>(config.clients) * 4;
 
-  serve::ConcurrentTracker tracker(benchPlatform());
+  // Two base apps plus at most one in-flight transient per writer client.
+  serve::ConcurrentTracker tracker(benchPlatform(config.clients + 2));
   serve::Metrics metrics;
-  serve::Server server(config, tracker, metrics);
+  serve::Server server(serverConfig, tracker, metrics);
   try {
     server.start();
   } catch (const std::exception& error) {
@@ -104,10 +180,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // A fixed mix: one chatty app, one CPU-bound app. It stays unchanged for
-  // the whole run, so every PREDICT after the first is a cache hit.
+  // A fixed base mix: one chatty app, one CPU-bound app. Writer iterations
+  // push a transient third app and pop it again, so the signature churns but
+  // keeps *recurring* — the steady-state read mix stays cacheable.
   {
-    serve::Client setup(config.endpoint);
+    serve::Client setup(serverConfig.endpoint);
     if (!setup.arrive(0.30, 800).ok || !setup.arrive(0.0, 0).ok) {
       std::cerr << "error: mix setup failed\n";
       return 1;
@@ -115,20 +192,43 @@ int main(int argc, char** argv) {
   }
 
   const tools::TaskSpec task = benchTask();
-  std::atomic<bool> done{false};
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(clients), 0);
+  const std::vector<tools::TaskSpec> batchTasks(
+      static_cast<std::size_t>(config.batch), task);
+  // 0 = warming up (don't count), 1 = measuring, 2 = done.
+  std::atomic<int> phase{config.warmup > 0.0 ? 0 : 1};
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(config.clients),
+                                    0);
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(clients));
-  const auto begin = std::chrono::steady_clock::now();
-  for (int c = 0; c < clients; ++c) {
+  threads.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
     threads.emplace_back([&, c] {
       try {
-        serve::Client client(config.endpoint);
+        serve::Client client(serverConfig.endpoint);
+        std::mt19937 rng(7777u + static_cast<unsigned>(c));
+        std::uniform_real_distribution<double> uniform(0.0, 1.0);
         std::uint64_t sent = 0;
-        while (!done.load(std::memory_order_relaxed)) {
-          const serve::Response response = client.predict(task);
-          if (!response.ok) break;
-          ++sent;
+        int current;
+        while ((current = phase.load(std::memory_order_relaxed)) != 2) {
+          std::uint64_t requests = 0;
+          if (config.writeRatio > 0.0 && uniform(rng) < config.writeRatio) {
+            // One write "iteration" is an arrive/depart pair: the mix
+            // mutates twice and returns to the base signature.
+            const serve::Response arrived = client.arrive(0.20, 400);
+            if (!arrived.ok) break;
+            const serve::Response departed = client.depart(
+                static_cast<std::uint64_t>(arrived.number("id")));
+            if (!departed.ok) break;
+            requests = 2;
+          } else if (config.batch > 1) {
+            const serve::Response response = client.predictBatch(batchTasks);
+            if (!response.ok) break;
+            requests = static_cast<std::uint64_t>(config.batch);
+          } else {
+            const serve::Response response = client.predict(task);
+            if (!response.ok) break;
+            requests = 1;
+          }
+          if (current == 1) sent += requests;
         }
         counts[static_cast<std::size_t>(c)] = sent;
       } catch (const std::exception& error) {
@@ -136,8 +236,13 @@ int main(int argc, char** argv) {
       }
     });
   }
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-  done.store(true);
+  if (config.warmup > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(config.warmup));
+    phase.store(1, std::memory_order_relaxed);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(config.seconds));
+  phase.store(2, std::memory_order_relaxed);
   for (std::thread& thread : threads) thread.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
@@ -145,7 +250,7 @@ int main(int argc, char** argv) {
 
   serve::Response stats;
   {
-    serve::Client reader(config.endpoint);
+    serve::Client reader(serverConfig.endpoint);
     stats = reader.stats();
   }
   server.stop();
@@ -155,10 +260,12 @@ int main(int argc, char** argv) {
   const double rps = static_cast<double>(total) / elapsed;
 
   TextTable table({"metric", "value"});
-  table.addRow({"clients", std::to_string(clients)});
-  table.addRow({"workers", std::to_string(workers)});
+  table.addRow({"clients", std::to_string(config.clients)});
+  table.addRow({"workers", std::to_string(config.workers)});
+  table.addRow({"write ratio", TextTable::num(config.writeRatio, 2)});
+  table.addRow({"batch", std::to_string(config.batch)});
   table.addRow({"elapsed (s)", TextTable::num(elapsed, 3)});
-  table.addRow({"PREDICT requests", std::to_string(total)});
+  table.addRow({"requests", std::to_string(total)});
   table.addRow({"requests/sec", TextTable::num(rps, 0)});
   if (stats.ok) {
     table.addRow({"cache hit rate",
@@ -169,8 +276,11 @@ int main(int argc, char** argv) {
   }
   printTable("contend-serve closed-loop throughput", table);
 
-  if (minRps > 0.0 && rps < minRps) {
-    std::cerr << "FAIL: " << rps << " req/s below required " << minRps
+  if (!config.jsonPath.empty()) {
+    writeJson(config, elapsed, total, rps, stats);
+  }
+  if (config.minRps > 0.0 && rps < config.minRps) {
+    std::cerr << "FAIL: " << rps << " req/s below required " << config.minRps
               << "\n";
     return 1;
   }

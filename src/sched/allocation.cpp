@@ -1,6 +1,7 @@
 #include "sched/allocation.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace contend::sched {
@@ -36,14 +37,14 @@ SlowdownSet SlowdownSet::uniform(double factor) {
   return SlowdownSet{factor, factor, factor};
 }
 
-double chainMakespan(const TaskChain& chain,
-                     std::span<const Machine> assignment,
-                     const SlowdownSet& slowdown) {
-  chain.validate();
-  if (assignment.size() != chain.tasks.size()) {
-    throw std::invalid_argument("chainMakespan: assignment size mismatch");
-  }
+namespace {
 
+/// chainMakespan without the validation pass. Enumeration and the DP call
+/// this after validating the chain once up front; re-validating per
+/// assignment made rankAllocations quadratic in practice.
+double makespanUnchecked(const TaskChain& chain,
+                         std::span<const Machine> assignment,
+                         const SlowdownSet& slowdown) {
   double total = 0.0;
   for (std::size_t i = 0; i < chain.tasks.size(); ++i) {
     const TaskCosts& task = chain.tasks[i];
@@ -58,6 +59,18 @@ double chainMakespan(const TaskChain& chain,
     }
   }
   return total;
+}
+
+}  // namespace
+
+double chainMakespan(const TaskChain& chain,
+                     std::span<const Machine> assignment,
+                     const SlowdownSet& slowdown) {
+  chain.validate();
+  if (assignment.size() != chain.tasks.size()) {
+    throw std::invalid_argument("chainMakespan: assignment size mismatch");
+  }
+  return makespanUnchecked(chain, assignment, slowdown);
 }
 
 std::vector<Allocation> rankAllocations(const TaskChain& chain,
@@ -78,7 +91,7 @@ std::vector<Allocation> rankAllocations(const TaskChain& chain,
       a.assignment.push_back((mask >> i) & 1 ? Machine::kBackEnd
                                              : Machine::kFrontEnd);
     }
-    a.makespan = chainMakespan(chain, a.assignment, slowdown);
+    a.makespan = makespanUnchecked(chain, a.assignment, slowdown);
     all.push_back(std::move(a));
   }
 
@@ -99,7 +112,82 @@ std::vector<Allocation> rankAllocations(const TaskChain& chain,
 
 Allocation bestAllocation(const TaskChain& chain,
                           const SlowdownSet& slowdown) {
-  return rankAllocations(chain, slowdown).front();
+  chain.validate();
+  const std::size_t n = chain.tasks.size();
+
+  // Prefix DP: for each task the optimal cost of placing the prefix ending
+  // with that task on each machine, plus a backpointer. The chain's makespan
+  // is a sum of per-task and per-crossed-edge terms, and each transition
+  // depends only on where the adjacent tasks sit, so optimal prefixes
+  // compose. Ties are resolved exactly like rankAllocations: fewer back-end
+  // tasks first, then front-end preferred position by position — tracking
+  // the back-end count as a secondary additive cost keeps that ordering
+  // valid inside the DP.
+  struct State {
+    double cost = 0.0;
+    std::size_t backEndTasks = 0;
+  };
+  const auto better = [](const State& a, const State& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.backEndTasks < b.backEndTasks;
+  };
+  const auto taskCost = [&](std::size_t i, Machine m) {
+    const TaskCosts& task = chain.tasks[i];
+    return m == Machine::kFrontEnd ? task.onFrontEnd * slowdown.frontEndComp
+                                   : task.onBackEnd;
+  };
+  const auto edgeCost = [&](std::size_t i, Machine from, Machine to) {
+    if (from == to) return 0.0;
+    const EdgeCosts& edge = chain.edges[i];
+    return from == Machine::kFrontEnd
+               ? edge.frontToBack * slowdown.commToBackEnd
+               : edge.backToFront * slowdown.commToFrontEnd;
+  };
+
+  constexpr std::size_t kFront = 0, kBack = 1;
+  State best[2] = {State{taskCost(0, Machine::kFrontEnd), 0},
+                   State{taskCost(0, Machine::kBackEnd), 1}};
+  std::vector<std::array<Machine, 2>> parent(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    State next[2];
+    for (const std::size_t cur : {kFront, kBack}) {
+      const Machine machine =
+          cur == kFront ? Machine::kFrontEnd : Machine::kBackEnd;
+      // Front-end predecessor first, so an exact tie keeps the
+      // lexicographically smaller (front-end-leaning) prefix.
+      State viaFront{
+          best[kFront].cost + edgeCost(i - 1, Machine::kFrontEnd, machine) +
+              taskCost(i, machine),
+          best[kFront].backEndTasks + (cur == kBack ? 1u : 0u)};
+      State viaBack{
+          best[kBack].cost + edgeCost(i - 1, Machine::kBackEnd, machine) +
+              taskCost(i, machine),
+          best[kBack].backEndTasks + (cur == kBack ? 1u : 0u)};
+      if (better(viaBack, viaFront)) {
+        next[cur] = viaBack;
+        parent[i][cur] = Machine::kBackEnd;
+      } else {
+        next[cur] = viaFront;
+        parent[i][cur] = Machine::kFrontEnd;
+      }
+    }
+    best[kFront] = next[kFront];
+    best[kBack] = next[kBack];
+  }
+
+  Allocation result;
+  result.assignment.resize(n);
+  Machine machine = better(best[kBack], best[kFront]) ? Machine::kBackEnd
+                                                      : Machine::kFrontEnd;
+  result.makespan = (machine == Machine::kBackEnd ? best[kBack] : best[kFront])
+                        .cost;
+  for (std::size_t i = n; i-- > 0;) {
+    result.assignment[i] = machine;
+    if (i > 0) {
+      machine = parent[i][machine == Machine::kFrontEnd ? kFront : kBack];
+    }
+  }
+  return result;
 }
 
 }  // namespace contend::sched

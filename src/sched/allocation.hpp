@@ -72,7 +72,11 @@ struct Allocation {
 [[nodiscard]] std::vector<Allocation> rankAllocations(
     const TaskChain& chain, const SlowdownSet& slowdown);
 
-/// Convenience: the top-ranked allocation.
+/// The optimal allocation via an O(n) prefix dynamic program (best cost of
+/// each prefix ending on each machine, with backpointers). Produces the same
+/// assignment rankAllocations would rank first — including its tie-breaks —
+/// but has no 24-task cap, so it also serves chains far beyond what the
+/// exhaustive ranking can enumerate.
 [[nodiscard]] Allocation bestAllocation(const TaskChain& chain,
                                         const SlowdownSet& slowdown);
 

@@ -75,6 +75,11 @@ Client::~Client() {
 Response Client::raw(const std::string& text) {
   if (fd_ < 0) throw std::runtime_error("client is disconnected");
   if (!sendAll(fd_, text)) throwErrno("send");
+  return readResponse();
+}
+
+Response Client::readResponse() {
+  if (fd_ < 0) throw std::runtime_error("client is disconnected");
   std::string line;
   if (!reader_.readLine(line)) {
     throw std::runtime_error("server closed the connection (or timed out)");
@@ -105,6 +110,13 @@ Response Client::predict(const tools::TaskSpec& task) {
   Request request;
   request.verb = Verb::kPredict;
   request.task = task;
+  return call(request);
+}
+
+Response Client::predictBatch(const std::vector<tools::TaskSpec>& tasks) {
+  Request request;
+  request.verb = Verb::kPredictBatch;
+  request.batch = tasks;
   return call(request);
 }
 

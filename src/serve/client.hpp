@@ -35,12 +35,19 @@ class Client {
   Response arrive(double commFraction, Words messageWords);
   Response depart(std::uint64_t applicationId);
   Response predict(const tools::TaskSpec& task);
+  /// One PREDICT_BATCH round trip; per-task results come back as indexed
+  /// fields (`name.0`, `front.0`, ...) plus `count` and a shared `epoch`.
+  Response predictBatch(const std::vector<tools::TaskSpec>& tasks);
   Response slowdown();
   Response stats();
 
   /// Sends raw bytes and reads one response line; for protocol tests and
   /// debugging (`contend_client raw`).
   Response raw(const std::string& text);
+
+  /// Reads one response line without sending anything — for draining the
+  /// remaining responses after pipelining several requests through raw().
+  Response readResponse();
 
  private:
   int fd_ = -1;

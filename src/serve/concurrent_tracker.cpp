@@ -1,6 +1,7 @@
 #include "serve/concurrent_tracker.hpp"
 
 #include <bit>
+#include <stdexcept>
 
 #include "model/cm2_model.hpp"  // model::shouldOffload (equation 1)
 #include "model/comm_model.hpp"
@@ -47,15 +48,13 @@ std::uint64_t taskHash(const tools::TaskSpec& task) {
 
 }  // namespace
 
-std::size_t ConcurrentTracker::CacheKeyHash::operator()(
-    const CacheKey& key) const noexcept {
-  return static_cast<std::size_t>(fnvMix(key.signature, key.taskHash));
-}
-
 ConcurrentTracker::ConcurrentTracker(model::ParagonPlatformModel platform,
-                                     std::size_t cacheCapacity)
-    : tracker_(std::move(platform)),
-      cacheCapacity_(cacheCapacity == 0 ? 1 : cacheCapacity),
+                                     std::size_t cacheCapacity,
+                                     std::size_t cacheShards)
+    : toBackend_(platform.toBackend),
+      fromBackend_(platform.fromBackend),
+      tracker_(std::move(platform)),
+      cache_(cacheCapacity, cacheShards),
       start_(std::chrono::steady_clock::now()) {}
 
 double ConcurrentTracker::nowSec() const {
@@ -64,97 +63,120 @@ double ConcurrentTracker::nowSec() const {
       .count();
 }
 
-SlowdownSnapshot ConcurrentTracker::snapshotLocked() const {
-  SlowdownSnapshot snapshot;
-  snapshot.epoch = epoch_;
-  snapshot.signature = signature_;
-  snapshot.active = tracker_.activeApplications();
-  snapshot.comp = tracker_.compSlowdown();
-  snapshot.comm = tracker_.commSlowdown();
-  return snapshot;
+void ConcurrentTracker::publishSnapshotLocked() {
+  snapshot_.publish(MixSnapshot{epoch_, signature_,
+                                tracker_.activeApplications(),
+                                tracker_.compSlowdown(),
+                                tracker_.commSlowdown()});
 }
 
 MutationResult ConcurrentTracker::arrive(const model::CompetingApp& app) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(writeMutex_);
   MutationResult result;
   result.id = tracker_.applicationArrived(nowSec(), app);  // may throw
   signature_ += appHash(app);
   ++epoch_;
-  ++arrivals_;
+  arrivals_.fetch_add(1, std::memory_order_relaxed);
   liveApps_.emplace(result.id, app);
   arrivalLog_.push_back({result.id, app});
-  result.after = snapshotLocked();
+  publishSnapshotLocked();
+  result.after = loadSnapshot();
   return result;
 }
 
 MutationResult ConcurrentTracker::depart(std::uint64_t applicationId) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(writeMutex_);
   tracker_.applicationDeparted(nowSec(), applicationId);  // may throw
   const auto it = liveApps_.find(applicationId);
   signature_ -= appHash(it->second);
   liveApps_.erase(it);
   ++epoch_;
-  ++departures_;
+  departures_.fetch_add(1, std::memory_order_relaxed);
+  publishSnapshotLocked();
   MutationResult result;
   result.id = applicationId;
-  result.after = snapshotLocked();
+  result.after = loadSnapshot();
   return result;
 }
 
 SlowdownSnapshot ConcurrentTracker::slowdowns() const {
-  std::lock_guard lock(mutex_);
-  return snapshotLocked();
+  return loadSnapshot();
 }
 
-TaskPrediction ConcurrentTracker::predict(const tools::TaskSpec& task) {
-  const std::uint64_t payloadHash = taskHash(task);
-  std::lock_guard lock(mutex_);
+TaskPrediction ConcurrentTracker::predictFromSnapshot(
+    const MixSnapshot& snapshot, const tools::TaskSpec& task,
+    std::uint64_t taskHashValue) {
   TaskPrediction out;
-  out.epoch = epoch_;
-  const CacheKey key{signature_, payloadHash};
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    cacheHits_.fetch_add(1, std::memory_order_relaxed);
-    out.frontSec = it->second.frontSec;
-    out.remoteSec = it->second.remoteSec;
-    out.offload = it->second.offload;
+  out.epoch = snapshot.epoch;
+  const PredictionCache::Key key{snapshot.signature, taskHashValue};
+  PredictionCache::Value cached;
+  if (cache_.lookup(key, cached)) {
+    out.frontSec = cached.frontSec;
+    out.remoteSec = cached.remoteSec;
+    out.offload = cached.offload;
     out.cacheHit = true;
     return out;
   }
-  cacheMisses_.fetch_add(1, std::memory_order_relaxed);
-  const double toBackend = tracker_.predictCommToBackend(task.toBackend);
-  const double fromBackend = tracker_.predictCommFromBackend(task.fromBackend);
-  out.frontSec = tracker_.predictFrontEndComp(task.frontEndSec);
+  // A prediction is a pure function of the snapshot and the immutable
+  // transfer-cost parameters, so the model evaluation runs outside every
+  // lock (same arithmetic as OnlineContentionTracker's predict helpers).
+  const double toBackend = model::dcomm(toBackend_, task.toBackend) *
+                           snapshot.comm;
+  const double fromBackend = model::dcomm(fromBackend_, task.fromBackend) *
+                             snapshot.comm;
+  out.frontSec = task.frontEndSec * snapshot.comp;
   out.remoteSec = task.backEndSec + toBackend + fromBackend;
   out.offload = model::shouldOffload(out.frontSec, task.backEndSec, toBackend,
                                      fromBackend);
-  // Bounded memo: a full cache is wiped rather than LRU-tracked — entries are
-  // three doubles, and refilling costs one model evaluation each.
-  if (cache_.size() >= cacheCapacity_) cache_.clear();
-  cache_.emplace(key,
-                 CachedPrediction{out.frontSec, out.remoteSec, out.offload});
+  cache_.insert(key, {out.frontSec, out.remoteSec, out.offload});
+  return out;
+}
+
+TaskPrediction ConcurrentTracker::predict(const tools::TaskSpec& task) {
+  const MixSnapshot snapshot = loadSnapshot();
+  return predictFromSnapshot(snapshot, task, taskHash(task));
+}
+
+std::vector<TaskPrediction> ConcurrentTracker::predictBatch(
+    std::span<const tools::TaskSpec> tasks) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("predictBatch: empty batch");
+  }
+  // One snapshot load for the whole batch: every result is consistent with
+  // the same mix version even while mutations land concurrently.
+  const MixSnapshot snapshot = loadSnapshot();
+  std::vector<TaskPrediction> out;
+  out.reserve(tasks.size());
+  for (const tools::TaskSpec& task : tasks) {
+    out.push_back(predictFromSnapshot(snapshot, task, taskHash(task)));
+  }
   return out;
 }
 
 TrackerStats ConcurrentTracker::stats() const {
-  std::lock_guard lock(mutex_);
+  const MixSnapshot snapshot = loadSnapshot();
   TrackerStats stats;
-  stats.epoch = epoch_;
-  stats.active = tracker_.activeApplications();
-  stats.arrivals = arrivals_;
-  stats.departures = departures_;
-  stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
-  stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
-  stats.cacheEntries = cache_.size();
+  stats.epoch = snapshot.epoch;
+  stats.active = snapshot.active;
+  stats.arrivals = arrivals_.load(std::memory_order_relaxed);
+  stats.departures = departures_.load(std::memory_order_relaxed);
+  stats.cacheShards = cache_.shardStats();
+  for (const PredictionCache::ShardStats& shard : stats.cacheShards) {
+    stats.cacheHits += shard.hits;
+    stats.cacheMisses += shard.misses;
+    stats.cacheEvictions += shard.evictions;
+    stats.cacheEntries += shard.entries;
+  }
   return stats;
 }
 
 std::vector<sched::LoadEvent> ConcurrentTracker::history() const {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(writeMutex_);
   return tracker_.history();
 }
 
 std::vector<ArrivalRecord> ConcurrentTracker::arrivals() const {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(writeMutex_);
   return arrivalLog_;
 }
 

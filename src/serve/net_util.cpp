@@ -18,6 +18,13 @@ bool sendAll(int fd, std::string_view data) {
   return true;
 }
 
+bool BufferedWriter::flush() {
+  if (buffer_.empty()) return true;
+  const bool sent = sendAll(fd_, buffer_);
+  buffer_.clear();
+  return sent;
+}
+
 bool FdLineReader::readLine(std::string& line) {
   line.clear();
   while (true) {

@@ -19,10 +19,39 @@ class FdLineReader {
 
   bool readLine(std::string& line);
 
+  /// True when a complete line is already buffered, i.e. the next readLine
+  /// will not block on the socket. Lets a response writer batch its flushes
+  /// across pipelined requests.
+  [[nodiscard]] bool hasBufferedLine() const {
+    return buffer_.find('\n', pos_) != std::string::npos;
+  }
+
  private:
   int fd_;
   std::string buffer_;
   std::size_t pos_ = 0;
+};
+
+/// Buffered response writer: append() accumulates, flush() performs one
+/// sendAll. The server appends one response per request and flushes only
+/// when the peer has no further request buffered, so pipelined clients (and
+/// multi-task PREDICT_BATCH responses) cost one write syscall per burst.
+class BufferedWriter {
+ public:
+  explicit BufferedWriter(int fd) : fd_(fd) {}
+
+  void append(std::string_view data) { buffer_.append(data); }
+
+  /// True on success (including an empty buffer); false once the peer is
+  /// gone. The buffer is cleared either way — the connection is done on
+  /// failure.
+  bool flush();
+
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+
+ private:
+  int fd_;
+  std::string buffer_;
 };
 
 }  // namespace contend::serve

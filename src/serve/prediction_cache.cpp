@@ -1,0 +1,92 @@
+#include "serve/prediction_cache.hpp"
+
+namespace contend::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t PredictionCache::KeyHash::operator()(
+    const Key& key) const noexcept {
+  return static_cast<std::size_t>(fnvMix(key.signature, key.taskHash));
+}
+
+PredictionCache::PredictionCache(std::size_t capacity, std::size_t shards)
+    : capacityPerShard_(0), shards_(shards == 0 ? 1 : shards) {
+  if (capacity == 0) capacity = 1;
+  capacityPerShard_ = capacity / shards_.size();
+  if (capacityPerShard_ == 0) capacityPerShard_ = 1;
+}
+
+PredictionCache::Shard& PredictionCache::shardFor(const Key& key) {
+  // The map already consumes the low bits of the FNV hash; pick the shard
+  // from the high bits so shard choice and bucket choice stay decorrelated.
+  const std::uint64_t hash = fnvMix(key.signature, key.taskHash);
+  return shards_[(hash >> 48) % shards_.size()];
+}
+
+bool PredictionCache::lookup(const Key& key, Value& out) {
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  out = it->second->second;
+  return true;
+}
+
+void PredictionCache::insert(const Key& key, const Value& value) {
+  Shard& shard = shardFor(key);
+  std::lock_guard lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    // A concurrent reader raced us to the same miss; refresh rather than
+    // duplicate.
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= capacityPerShard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+std::size_t PredictionCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+std::vector<PredictionCache::ShardStats> PredictionCache::shardStats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    stats.push_back(
+        {shard.hits, shard.misses, shard.evictions, shard.lru.size()});
+  }
+  return stats;
+}
+
+}  // namespace contend::serve

@@ -1,0 +1,87 @@
+// prediction_cache.hpp — N-way sharded LRU cache for memoized predictions.
+//
+// The serve read path memoizes PREDICT results under (mix signature, task
+// hash). A single map behind a single mutex would re-serialize the lock-free
+// read path this cache exists to serve, and the previous clear-on-full memo
+// wiped *everything* at capacity, turning one overflow into a thundering
+// herd of model re-evaluations. This cache fixes both:
+//
+//   * Sharding — the key hash picks one of N independently locked shards, so
+//     concurrent readers only collide when they hash to the same shard.
+//   * LRU per shard — at capacity the shard evicts its least-recently-used
+//     entry only; hot keys survive overflow indefinitely.
+//   * Observability — every shard keeps hit/miss/eviction counters, surfaced
+//     through the STATS verb for capacity tuning in production.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace contend::serve {
+
+class PredictionCache {
+ public:
+  struct Key {
+    std::uint64_t signature = 0;  // content hash of the mix
+    std::uint64_t taskHash = 0;   // hash of the prediction-relevant fields
+    bool operator==(const Key&) const = default;
+  };
+  struct Value {
+    double frontSec = 0.0;
+    double remoteSec = 0.0;
+    bool offload = false;
+  };
+  struct ShardStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry). Both are clamped to >= 1.
+  explicit PredictionCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// True (and fills `out`) on a hit; refreshes the entry's LRU position.
+  /// Counts a hit or a miss either way.
+  bool lookup(const Key& key, Value& out);
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU entry at capacity.
+  void insert(const Key& key, const Value& value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shardCount() const { return shards_.size(); }
+  [[nodiscard]] std::size_t capacityPerShard() const {
+    return capacityPerShard_;
+  }
+
+  /// Per-shard counters (exact: taken under each shard's lock in turn, so
+  /// cross-shard totals may tear, same as every STATS read).
+  [[nodiscard]] std::vector<ShardStats> shardStats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    // Most-recent first; the map indexes into the list for O(1) refresh.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator,
+                       KeyHash>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shardFor(const Key& key);
+
+  std::size_t capacityPerShard_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace contend::serve

@@ -5,42 +5,64 @@
 #include <istream>
 #include <sstream>
 
+#include "util/tokens.hpp"
+
 namespace contend::serve {
 
 namespace {
 
-constexpr std::array<const char*, kVerbCount> kVerbNames = {
-    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN", "STATS"};
+using util::TokenCursor;
 
-std::string stripComment(const std::string& line) {
-  const auto hash = line.find('#');
-  return hash == std::string::npos ? line : line.substr(0, hash);
-}
+constexpr std::array<const char*, kVerbCount> kVerbNames = {
+    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN", "STATS", "PREDICT_BATCH"};
 
 [[noreturn]] void fail(const std::string& message) {
   throw ProtocolError(message);
 }
 
-void rejectTrailing(std::istringstream& line, std::string_view verb) {
-  std::string extra;
-  if (line >> extra) {
-    fail(std::string(verb) + ": trailing tokens: '" + extra + "'");
+void rejectTrailing(TokenCursor& cursor, std::string_view verb) {
+  if (const auto extra = cursor.next()) {
+    fail(std::string(verb) + ": trailing tokens: '" + std::string(*extra) +
+         "'");
   }
 }
 
 /// Formats doubles with round-trip precision (requests carry measured
 /// fractions; responses carry predictions operators compare across runs).
+/// std::to_chars emits the shortest representation that parses back to the
+/// same bits — and skips the iostream/locale machinery on the hot path.
 std::string formatDouble(double value) {
-  std::ostringstream out;
-  out.precision(17);
-  out << value;
-  return out.str();
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) fail("formatDouble: unrepresentable value");
+  return std::string(buffer, ptr);
 }
 
-Request parseArrive(std::istringstream& line) {
+/// The `.workload` task body shared by PREDICT and PREDICT_BATCH payloads
+/// (everything between the opening line and its `end`).
+std::string formatTaskBody(const tools::TaskSpec& task) {
+  std::string out = "front " + formatDouble(task.frontEndSec) + '\n';
+  out += "back " + formatDouble(task.backEndSec) + '\n';
+  for (const model::DataSet& set : task.toBackend) {
+    out += "to_backend " + std::to_string(set.messages) + " x " +
+           std::to_string(set.words) + '\n';
+  }
+  for (const model::DataSet& set : task.fromBackend) {
+    out += "from_backend " + std::to_string(set.messages) + " x " +
+           std::to_string(set.words) + '\n';
+  }
+  return out;
+}
+
+Request parseArrive(TokenCursor& line) {
   Request request;
   request.verb = Verb::kArrive;
-  if (!(line >> request.app.commFraction >> request.app.messageWords)) {
+  const auto fraction = line.next();
+  const auto words = line.next();
+  if (!fraction || !words ||
+      !util::parseDouble(*fraction, request.app.commFraction) ||
+      !util::parseInteger(*words, request.app.messageWords)) {
     fail("ARRIVE: expected '<commFraction> <messageWords>'");
   }
   if (request.app.commFraction < 0.0 || request.app.commFraction > 1.0) {
@@ -56,27 +78,28 @@ Request parseArrive(std::istringstream& line) {
   return request;
 }
 
-Request parseDepart(std::istringstream& line) {
+Request parseDepart(TokenCursor& line) {
   Request request;
   request.verb = Verb::kDepart;
-  std::string token;
-  if (!(line >> token)) fail("DEPART: expected '<applicationId>'");
-  const char* first = token.data();
-  const char* last = token.data() + token.size();
+  const auto token = line.next();
+  if (!token) fail("DEPART: expected '<applicationId>'");
+  const char* first = token->data();
+  const char* last = token->data() + token->size();
   const auto [ptr, ec] =
       std::from_chars(first, last, request.applicationId);
   if (ec != std::errc{} || ptr != last) {
-    fail("DEPART: bad application id '" + token + "'");
+    fail("DEPART: bad application id '" + std::string(*token) + "'");
   }
   rejectTrailing(line, "DEPART");
   return request;
 }
 
-Request parsePredict(std::istringstream& firstLine, std::istream& in) {
+Request parsePredict(TokenCursor& firstLine, std::istream& in) {
   Request request;
   request.verb = Verb::kPredict;
-  std::string name;
-  if (!(firstLine >> name)) name = "task";
+  const auto nameToken = firstLine.next();
+  const std::string name =
+      nameToken ? std::string(*nameToken) : std::string("task");
   rejectTrailing(firstLine, "PREDICT");
 
   // Collect the block up to (and including) its `end`, then reuse the
@@ -89,9 +112,7 @@ Request parsePredict(std::istringstream& firstLine, std::istream& in) {
        ++lines) {
     block += raw;
     block += '\n';
-    std::istringstream tokens(stripComment(raw));
-    std::string keyword;
-    if ((tokens >> keyword) && keyword == "end") {
+    if (util::firstToken(raw) == "end") {
       closed = true;
       break;
     }
@@ -111,6 +132,47 @@ Request parsePredict(std::istringstream& firstLine, std::istream& in) {
   return request;
 }
 
+Request parsePredictBatch(TokenCursor& firstLine, std::istream& in) {
+  Request request;
+  request.verb = Verb::kPredictBatch;
+  rejectTrailing(firstLine, "PREDICT_BATCH");
+
+  // Collect everything up to `end_batch`; the payload is one or more full
+  // `task <name> ... end` blocks in workload syntax, so the whole batch goes
+  // through the workload-file parser in one pass.
+  std::string block;
+  bool closed = false;
+  std::string raw;
+  for (int lines = 0; lines < kMaxBatchBlockLines && std::getline(in, raw);
+       ++lines) {
+    if (util::firstToken(raw) == "end_batch") {
+      closed = true;
+      break;
+    }
+    block += raw;
+    block += '\n';
+  }
+  if (!closed) {
+    fail("PREDICT_BATCH: block not closed with 'end_batch' within " +
+         std::to_string(kMaxBatchBlockLines) + " lines");
+  }
+  std::istringstream blockStream(block);
+  tools::WorkloadFile parsed;
+  try {
+    parsed = tools::parseWorkload(blockStream);
+  } catch (const std::runtime_error& error) {
+    fail(std::string("PREDICT_BATCH: ") + error.what());
+  }
+  if (!parsed.competitors.empty()) {
+    fail("PREDICT_BATCH: competitor lines are not allowed in a batch");
+  }
+  if (parsed.tasks.empty()) {
+    fail("PREDICT_BATCH: batch contains no tasks");
+  }
+  request.batch = std::move(parsed.tasks);
+  return request;
+}
+
 }  // namespace
 
 const char* verbName(Verb verb) {
@@ -127,12 +189,12 @@ std::optional<Verb> verbFromName(std::string_view name) {
 std::optional<Request> readRequest(std::istream& in) {
   std::string raw;
   while (std::getline(in, raw)) {
-    std::istringstream line(stripComment(raw));
-    std::string verbToken;
-    if (!(line >> verbToken)) continue;  // blank / comment-only
+    TokenCursor line(util::stripLineComment(raw));
+    const auto verbToken = line.next();
+    if (!verbToken) continue;  // blank / comment-only
 
-    const auto verb = verbFromName(verbToken);
-    if (!verb) fail("unknown verb '" + verbToken + "'");
+    const auto verb = verbFromName(*verbToken);
+    if (!verb) fail("unknown verb '" + std::string(*verbToken) + "'");
     switch (*verb) {
       case Verb::kArrive:
         return parseArrive(line);
@@ -140,9 +202,11 @@ std::optional<Request> readRequest(std::istream& in) {
         return parseDepart(line);
       case Verb::kPredict:
         return parsePredict(line, in);
+      case Verb::kPredictBatch:
+        return parsePredictBatch(line, in);
       case Verb::kSlowdown:
       case Verb::kStats: {
-        rejectTrailing(line, verbToken);
+        rejectTrailing(line, *verbToken);
         Request request;
         request.verb = *verb;
         return request;
@@ -168,17 +232,22 @@ std::string formatRequest(const Request& request) {
       std::string out =
           "PREDICT " + (task.name.empty() ? std::string("task") : task.name) +
           '\n';
-      out += "front " + formatDouble(task.frontEndSec) + '\n';
-      out += "back " + formatDouble(task.backEndSec) + '\n';
-      for (const model::DataSet& set : task.toBackend) {
-        out += "to_backend " + std::to_string(set.messages) + " x " +
-               std::to_string(set.words) + '\n';
-      }
-      for (const model::DataSet& set : task.fromBackend) {
-        out += "from_backend " + std::to_string(set.messages) + " x " +
-               std::to_string(set.words) + '\n';
-      }
+      out += formatTaskBody(task);
       out += "end\n";
+      return out;
+    }
+    case Verb::kPredictBatch: {
+      if (request.batch.empty()) {
+        fail("formatRequest: PREDICT_BATCH with no tasks");
+      }
+      std::string out = "PREDICT_BATCH\n";
+      for (const tools::TaskSpec& task : request.batch) {
+        out += "task " +
+               (task.name.empty() ? std::string("task") : task.name) + '\n';
+        out += formatTaskBody(task);
+        out += "end\n";
+      }
+      out += "end_batch\n";
       return out;
     }
   }
@@ -207,15 +276,12 @@ const std::string* Response::find(std::string_view key) const {
 double Response::number(std::string_view key) const {
   const std::string* value = find(key);
   if (!value) fail("response missing field '" + std::string(key) + "'");
-  try {
-    std::size_t consumed = 0;
-    const double parsed = std::stod(*value, &consumed);
-    if (consumed != value->size()) throw std::invalid_argument(*value);
-    return parsed;
-  } catch (const std::exception&) {
+  double parsed = 0.0;
+  if (!util::parseDouble(*value, parsed)) {
     fail("response field '" + std::string(key) + "' is not numeric: '" +
          *value + "'");
   }
+  return parsed;
 }
 
 std::string formatResponse(const Response& response) {
@@ -228,7 +294,15 @@ std::string formatResponse(const Response& response) {
     }
     return "ERR " + message;
   }
-  std::string out = "OK";
+  // One pass with a precomputed size: this line is written verbatim to the
+  // socket, so avoid the quadratic-append and intermediate copies.
+  std::size_t length = 2;
+  for (const auto& [key, value] : response.fields) {
+    length += 2 + key.size() + value.size();
+  }
+  std::string out;
+  out.reserve(length);
+  out += "OK";
   for (const auto& [key, value] : response.fields) {
     out += ' ';
     out += key;
@@ -239,23 +313,28 @@ std::string formatResponse(const Response& response) {
 }
 
 Response parseResponse(const std::string& line) {
-  std::istringstream in(line);
-  std::string status;
-  if (!(in >> status)) fail("empty response line");
+  TokenCursor cursor(line);
+  const auto status = cursor.next();
+  if (!status) fail("empty response line");
   Response response;
-  if (status == "ERR") {
+  if (*status == "ERR") {
     response.ok = false;
-    std::getline(in >> std::ws, response.error);
+    // Everything after the status token, trimmed of leading whitespace.
+    const auto start = line.find_first_not_of(
+        util::kTokenSpace, line.find("ERR") + 3);
+    if (start != std::string::npos) response.error = line.substr(start);
     return response;
   }
-  if (status != "OK") fail("bad response status '" + status + "'");
-  std::string token;
-  while (in >> token) {
-    const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      fail("bad response field '" + token + "'");
+  if (*status != "OK") {
+    fail("bad response status '" + std::string(*status) + "'");
+  }
+  while (const auto token = cursor.next()) {
+    const auto eq = token->find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      fail("bad response field '" + std::string(*token) + "'");
     }
-    response.fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    response.fields.emplace_back(std::string(token->substr(0, eq)),
+                                 std::string(token->substr(eq + 1)));
   }
   return response;
 }

@@ -2,7 +2,8 @@
 //
 // Line-based text, one request per line, except PREDICT which carries a task
 // block in the `.workload` task syntax (see tools/workload_file.hpp) and is
-// terminated by an `end` line:
+// terminated by an `end` line, and PREDICT_BATCH which carries one or more
+// full `task ... end` blocks and is terminated by an `end_batch` line:
 //
 //     ARRIVE <commFraction> <messageWords>
 //     DEPART <applicationId>
@@ -14,11 +15,23 @@
 //       to_backend   512 x 512
 //       from_backend 512 x 512
 //     end
+//     PREDICT_BATCH
+//     task solver
+//       front 8.0
+//       back  1.5
+//     end
+//     task tiny
+//       front 1.0
+//       back  0.2
+//     end
+//     end_batch
 //
 // Blank lines and `#` comments between requests are ignored (same convention
 // as workload files). Every response is a single line: `OK key=value ...` or
-// `ERR <message>`. Field order is stable so responses are diff-able; clients
-// should nevertheless look fields up by key.
+// `ERR <message>`; a PREDICT_BATCH response carries the per-task results as
+// indexed fields (`name.0=... front.0=... name.1=...`) so the whole batch is
+// answered in one write. Field order is stable so responses are diff-able;
+// clients should nevertheless look fields up by key.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +48,8 @@
 
 namespace contend::serve {
 
-enum class Verb { kArrive, kDepart, kPredict, kSlowdown, kStats };
-inline constexpr int kVerbCount = 5;
+enum class Verb { kArrive, kDepart, kPredict, kSlowdown, kStats, kPredictBatch };
+inline constexpr int kVerbCount = 6;
 
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);
@@ -50,9 +63,10 @@ class ProtocolError : public std::runtime_error {
 
 struct Request {
   Verb verb = Verb::kSlowdown;
-  model::CompetingApp app;          // ARRIVE
-  std::uint64_t applicationId = 0;  // DEPART
-  tools::TaskSpec task;             // PREDICT
+  model::CompetingApp app;              // ARRIVE
+  std::uint64_t applicationId = 0;      // DEPART
+  tools::TaskSpec task;                 // PREDICT
+  std::vector<tools::TaskSpec> batch;   // PREDICT_BATCH
 };
 
 /// Reads the next request (skipping blanks/comments); nullopt at EOF.
@@ -86,5 +100,9 @@ struct Response {
 /// Cap on PREDICT block length, so a hostile client cannot grow a request
 /// without bound.
 inline constexpr int kMaxPredictBlockLines = 256;
+
+/// Cap on a PREDICT_BATCH block (covers every task block it contains plus
+/// the terminating `end_batch`).
+inline constexpr int kMaxBatchBlockLines = 4096;
 
 }  // namespace contend::serve

@@ -16,6 +16,7 @@
 #include <stdexcept>
 
 #include "serve/net_util.hpp"
+#include "util/tokens.hpp"
 
 namespace contend::serve {
 
@@ -254,34 +255,48 @@ void Server::workerLoop() {
 
 void Server::serveConnection(int fd) {
   FdLineReader reader(fd);
+  BufferedWriter writer(fd);
   std::string line;
-  while (reader.readLine(line)) {
-    // Assemble one logical request: a single line, except PREDICT whose
-    // block runs through its `end` line.
+  // Reads a `PREDICT`/`PREDICT_BATCH` body through its terminator into
+  // requestText; false when the connection ends or the cap is hit first.
+  const auto collectBlock = [&](std::string& requestText,
+                                std::string_view terminator, int maxLines) {
+    for (int extra = 0; extra < maxLines; ++extra) {
+      if (!reader.readLine(line)) return false;
+      requestText += line;
+      requestText += '\n';
+      if (util::firstToken(line) == terminator) return true;
+    }
+    return false;
+  };
+  while (true) {
+    // Responses are buffered; flush only when the client has no further
+    // request already in the read buffer, so pipelined request bursts are
+    // answered with one write syscall.
+    if (!reader.hasBufferedLine() && !writer.flush()) return;
+    if (!reader.readLine(line)) {
+      (void)writer.flush();
+      return;
+    }
+    // Assemble one logical request: a single line, except PREDICT and
+    // PREDICT_BATCH whose blocks run through their terminator lines.
     std::string requestText = line;
     requestText += '\n';
-    std::istringstream probe(line);
-    std::string verbToken;
-    probe >> verbToken;
+    const std::string_view verbToken = util::firstToken(line);
     if (verbToken.empty()) continue;  // blank / keep-alive noise
-    if (verbToken == "PREDICT") {
-      bool closed = false;
-      for (int extra = 0; extra < kMaxPredictBlockLines; ++extra) {
-        if (!reader.readLine(line)) break;
-        requestText += line;
-        requestText += '\n';
-        std::istringstream tokens(line);
-        std::string keyword;
-        if ((tokens >> keyword) && keyword == "end") {
-          closed = true;
-          break;
-        }
-      }
-      if (!closed) {
-        metrics_.countError();
-        if (!sendAll(fd, "ERR PREDICT: block not closed with 'end'\n")) return;
-        return;  // can't resync a half-read block; drop the connection
-      }
+    if (verbToken == "PREDICT" &&
+        !collectBlock(requestText, "end", kMaxPredictBlockLines)) {
+      metrics_.countError();
+      writer.append("ERR PREDICT: block not closed with 'end'\n");
+      (void)writer.flush();
+      return;  // can't resync a half-read block; drop the connection
+    }
+    if (verbToken == "PREDICT_BATCH" &&
+        !collectBlock(requestText, "end_batch", kMaxBatchBlockLines)) {
+      metrics_.countError();
+      writer.append("ERR PREDICT_BATCH: block not closed with 'end_batch'\n");
+      (void)writer.flush();
+      return;
     }
 
     const auto begin = std::chrono::steady_clock::now();
@@ -299,10 +314,8 @@ void Server::serveConnection(int fd) {
     }
     if (verb) metrics_.countRequest(*verb);
     if (!response.ok) metrics_.countError();
-    const std::string wire = formatResponse(response) + '\n';
-    const bool sent = sendAll(fd, wire);
+    writer.append(formatResponse(response) + '\n');
     metrics_.observeLatency(std::chrono::steady_clock::now() - begin);
-    if (!sent) return;
   }
 }
 
@@ -342,6 +355,27 @@ Response Server::handle(const Request& request) {
       response.add("cache", std::string(prediction.cacheHit ? "hit" : "miss"));
       break;
     }
+    case Verb::kPredictBatch: {
+      const std::vector<TaskPrediction> predictions =
+          tracker_.predictBatch(request.batch);
+      response.add("count", static_cast<std::uint64_t>(predictions.size()));
+      // The whole batch is evaluated against one mix snapshot, so a single
+      // epoch field covers every task.
+      response.add("epoch", predictions.front().epoch);
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        const std::string suffix = '.' + std::to_string(i);
+        const TaskPrediction& prediction = predictions[i];
+        response.add("name" + suffix, request.batch[i].name);
+        response.add("front" + suffix, prediction.frontSec);
+        response.add("remote" + suffix, prediction.remoteSec);
+        response.add("decision" + suffix,
+                     std::string(prediction.offload ? "back-end"
+                                                    : "front-end"));
+        response.add("cache" + suffix,
+                     std::string(prediction.cacheHit ? "hit" : "miss"));
+      }
+      break;
+    }
     case Verb::kStats: {
       const TrackerStats stats = tracker_.stats();
       response.add("epoch", stats.epoch);
@@ -350,6 +384,7 @@ Response Server::handle(const Request& request) {
       response.add("departures", stats.departures);
       response.add("cache_hits", stats.cacheHits);
       response.add("cache_misses", stats.cacheMisses);
+      response.add("cache_evictions", stats.cacheEvictions);
       response.add("cache_entries",
                    static_cast<std::uint64_t>(stats.cacheEntries));
       const std::uint64_t lookups = stats.cacheHits + stats.cacheMisses;
@@ -357,6 +392,17 @@ Response Server::handle(const Request& request) {
                    lookups == 0 ? 0.0
                                 : static_cast<double>(stats.cacheHits) /
                                       static_cast<double>(lookups));
+      response.add("cache_shards",
+                   static_cast<std::uint64_t>(stats.cacheShards.size()));
+      for (std::size_t i = 0; i < stats.cacheShards.size(); ++i) {
+        const PredictionCache::ShardStats& shard = stats.cacheShards[i];
+        const std::string prefix = "shard" + std::to_string(i) + '_';
+        response.add(prefix + "hits", shard.hits);
+        response.add(prefix + "misses", shard.misses);
+        response.add(prefix + "evictions", shard.evictions);
+        response.add(prefix + "entries",
+                     static_cast<std::uint64_t>(shard.entries));
+      }
       metrics_.fill(response);
       break;
     }

@@ -2,36 +2,53 @@
 
 #include <fstream>
 #include <optional>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "util/tokens.hpp"
 
 namespace contend::tools {
 
 namespace {
+
+using util::TokenCursor;
 
 [[noreturn]] void fail(int line, const std::string& message) {
   throw std::runtime_error("workload file, line " + std::to_string(line) +
                            ": " + message);
 }
 
-std::string stripComment(const std::string& line) {
-  const auto hash = line.find('#');
-  return hash == std::string::npos ? line : line.substr(0, hash);
+void rejectTrailing(TokenCursor& cursor, int line) {
+  if (const auto extra = cursor.next()) {
+    fail(line, "trailing tokens: '" + std::string(*extra) + "'");
+  }
+}
+
+double parseSeconds(TokenCursor& cursor, int line) {
+  const auto token = cursor.next();
+  double seconds = 0.0;
+  if (!token || !util::parseDouble(*token, seconds) || seconds < 0.0) {
+    fail(line, "expected a non-negative duration in seconds");
+  }
+  return seconds;
 }
 
 /// Parses "N x W" into a DataSet.
-model::DataSet parseDataSet(std::istringstream& in, int line) {
+model::DataSet parseDataSet(TokenCursor& cursor, int line) {
   std::int64_t messages = 0;
-  std::string x;
   Words words = 0;
-  if (!(in >> messages >> x >> words) || x != "x") {
+  const auto count = cursor.next();
+  const auto x = cursor.next();
+  const auto size = cursor.next();
+  if (!count || !x || !size || *x != "x" ||
+      !util::parseInteger(*count, messages) ||
+      !util::parseInteger(*size, words)) {
     fail(line, "expected '<messages> x <words>'");
   }
   if (messages <= 0 || words < 0) {
     fail(line, "message count must be positive and words non-negative");
   }
-  std::string extra;
-  if (in >> extra) fail(line, "trailing tokens: '" + extra + "'");
+  rejectTrailing(cursor, line);
   return model::DataSet{messages, words};
 }
 
@@ -46,14 +63,19 @@ WorkloadFile parseWorkload(std::istream& in) {
   int lineNo = 0;
   while (std::getline(in, raw)) {
     ++lineNo;
-    std::istringstream line(stripComment(raw));
-    std::string keyword;
-    if (!(line >> keyword)) continue;  // blank / comment-only
+    TokenCursor cursor(util::stripLineComment(raw));
+    const auto keywordToken = cursor.next();
+    if (!keywordToken) continue;  // blank / comment-only
+    const std::string_view keyword = *keywordToken;
 
     if (keyword == "competitor") {
       if (current) fail(lineNo, "'competitor' not allowed inside a task");
       model::CompetingApp app;
-      if (!(line >> app.commFraction >> app.messageWords)) {
+      const auto fraction = cursor.next();
+      const auto words = cursor.next();
+      if (!fraction || !words ||
+          !util::parseDouble(*fraction, app.commFraction) ||
+          !util::parseInteger(*words, app.messageWords)) {
         fail(lineNo, "expected 'competitor <fraction> <words>'");
       }
       if (app.commFraction < 0.0 || app.commFraction > 1.0) {
@@ -66,22 +88,25 @@ WorkloadFile parseWorkload(std::istream& in) {
     } else if (keyword == "task") {
       if (current) fail(lineNo, "nested 'task' (missing 'end'?)");
       TaskSpec task;
-      if (!(line >> task.name)) fail(lineNo, "task needs a name");
+      const auto name = cursor.next();
+      if (!name) fail(lineNo, "task needs a name");
+      task.name = std::string(*name);
       current = std::move(task);
       sawFront = sawBack = false;
     } else if (keyword == "front" || keyword == "back") {
-      if (!current) fail(lineNo, "'" + keyword + "' outside a task");
-      double seconds = 0.0;
-      if (!(line >> seconds) || seconds < 0.0) {
-        fail(lineNo, "expected a non-negative duration in seconds");
+      if (!current) {
+        fail(lineNo, "'" + std::string(keyword) + "' outside a task");
       }
+      const double seconds = parseSeconds(cursor, lineNo);
       (keyword == "front" ? current->frontEndSec : current->backEndSec) =
           seconds;
       (keyword == "front" ? sawFront : sawBack) = true;
     } else if (keyword == "to_backend" || keyword == "from_backend") {
-      if (!current) fail(lineNo, "'" + keyword + "' outside a task");
+      if (!current) {
+        fail(lineNo, "'" + std::string(keyword) + "' outside a task");
+      }
       (keyword == "to_backend" ? current->toBackend : current->fromBackend)
-          .push_back(parseDataSet(line, lineNo));
+          .push_back(parseDataSet(cursor, lineNo));
     } else if (keyword == "end") {
       if (!current) fail(lineNo, "'end' without 'task'");
       if (!sawFront || !sawBack) {
@@ -91,7 +116,7 @@ WorkloadFile parseWorkload(std::istream& in) {
       workload.tasks.push_back(std::move(*current));
       current.reset();
     } else {
-      fail(lineNo, "unknown keyword '" + keyword + "'");
+      fail(lineNo, "unknown keyword '" + std::string(keyword) + "'");
     }
   }
   if (current) {

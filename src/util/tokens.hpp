@@ -1,0 +1,98 @@
+// tokens.hpp — allocation-free line tokenization and numeric parsing.
+//
+// The serving hot path (wire protocol, workload task bodies) used to lean on
+// std::istringstream for every line, which costs a stream construction, a
+// locale touch, and several small allocations per line. These helpers give
+// the same split-on-whitespace semantics over a std::string_view with none
+// of that; the numeric parsers are std::from_chars underneath with a strtod
+// fallback so they accept exactly what stream extraction accepted (leading
+// '+', trailing-dot literals like "5.").
+#pragma once
+
+#include <charconv>
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+
+namespace contend::util {
+
+/// Whitespace set matched by stream extraction within a single line.
+inline constexpr std::string_view kTokenSpace = " \t\v\f\r";
+
+/// Iterates whitespace-delimited tokens of one line (no embedded '\n').
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view text) : rest_(text) {}
+
+  /// The next token, or nullopt when the line is exhausted.
+  std::optional<std::string_view> next() {
+    const auto begin = rest_.find_first_not_of(kTokenSpace);
+    if (begin == std::string_view::npos) {
+      rest_ = {};
+      return std::nullopt;
+    }
+    const auto end = rest_.find_first_of(kTokenSpace, begin);
+    const std::string_view token = rest_.substr(
+        begin, end == std::string_view::npos ? std::string_view::npos
+                                             : end - begin);
+    rest_ = end == std::string_view::npos ? std::string_view{}
+                                          : rest_.substr(end);
+    return token;
+  }
+
+  /// True when no token remains (does not consume anything).
+  [[nodiscard]] bool exhausted() const {
+    return rest_.find_first_not_of(kTokenSpace) == std::string_view::npos;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+/// Strict full-token integer parse (signed or unsigned target).
+template <typename Int>
+bool parseInteger(std::string_view token, Int& out) {
+  if (token.empty()) return false;
+  std::string_view body = token;
+  if (body.front() == '+') body.remove_prefix(1);  // stream-extraction compat
+  const char* first = body.data();
+  const char* last = body.data() + body.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Strict full-token double parse with stream-extraction compatibility.
+inline bool parseDouble(std::string_view token, double& out) {
+  if (token.empty()) return false;
+  std::string_view body = token;
+  if (body.front() == '+') body.remove_prefix(1);
+  if (body.empty()) return false;
+  const char* first = body.data();
+  const char* last = body.data() + body.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc{} && ptr == last) return true;
+  // Rare forms from_chars rejects but istream accepted ("5.", hex floats):
+  // strtod handles them; require full consumption just the same.
+  char buffer[64];
+  if (body.size() >= sizeof(buffer)) return false;
+  body.copy(buffer, body.size());
+  buffer[body.size()] = '\0';
+  char* endPtr = nullptr;
+  out = std::strtod(buffer, &endPtr);
+  return endPtr == buffer + body.size() && endPtr != buffer;
+}
+
+/// The line up to an unquoted '#' (comment), as a view — no allocation.
+inline std::string_view stripLineComment(std::string_view line) {
+  const auto hash = line.find('#');
+  return hash == std::string_view::npos ? line : line.substr(0, hash);
+}
+
+/// First whitespace-delimited token of the line (after comment stripping),
+/// or an empty view for blank/comment-only lines.
+inline std::string_view firstToken(std::string_view line) {
+  TokenCursor cursor(stripLineComment(line));
+  return cursor.next().value_or(std::string_view{});
+}
+
+}  // namespace contend::util

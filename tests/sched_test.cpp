@@ -1,6 +1,8 @@
 // Unit tests for the allocation engine, including the paper's Tables 1-4.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "sched/allocation.hpp"
 
 namespace contend::sched {
@@ -116,6 +118,84 @@ TEST(Allocation, Validation) {
   const Machine tooFew[] = {Machine::kFrontEnd};
   EXPECT_THROW((void)chainMakespan(chain, tooFew, SlowdownSet::dedicated()),
                std::invalid_argument);
+}
+
+TEST(Allocation, DpMatchesExhaustiveOnRandomChains) {
+  // bestAllocation is a prefix DP; rankAllocations enumerates all 2^n
+  // assignments. They must agree on the optimal makespan (and produce an
+  // assignment that actually achieves it) across randomized chains of every
+  // length up to 16, under several slowdown regimes.
+  std::mt19937 rng(20260805);
+  std::uniform_real_distribution<double> cost(0.0, 20.0);
+  std::uniform_real_distribution<double> factor(1.0, 6.0);
+  for (std::size_t n = 1; n <= 16; ++n) {
+    for (int trial = 0; trial < 8; ++trial) {
+      TaskChain chain;
+      for (std::size_t i = 0; i < n; ++i) {
+        chain.tasks.push_back(
+            {"t" + std::to_string(i), cost(rng), cost(rng)});
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        chain.edges.push_back({cost(rng), cost(rng)});
+      }
+      SlowdownSet slowdown;
+      switch (trial % 4) {
+        case 0:
+          break;  // dedicated
+        case 1:
+          slowdown.frontEndComp = factor(rng);
+          break;
+        case 2:
+          slowdown = SlowdownSet::uniform(factor(rng));
+          break;
+        default:
+          slowdown.frontEndComp = factor(rng);
+          slowdown.commToBackEnd = factor(rng);
+          slowdown.commToFrontEnd = factor(rng);
+          break;
+      }
+      const Allocation viaDp = bestAllocation(chain, slowdown);
+      const Allocation viaEnum = rankAllocations(chain, slowdown).front();
+      ASSERT_DOUBLE_EQ(viaDp.makespan, viaEnum.makespan)
+          << "n=" << n << " trial=" << trial;
+      // The reported makespan must be the real cost of the DP's assignment,
+      // not just a matching number.
+      ASSERT_DOUBLE_EQ(chainMakespan(chain, viaDp.assignment, slowdown),
+                       viaDp.makespan)
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Allocation, DpHandlesChainsBeyondEnumerationCap) {
+  // rankAllocations refuses n > 24; the DP has no such limit and must stay
+  // exact. Build a chain with a known optimum: expensive front-end tasks,
+  // cheap back-end ones, and free edges -> everything on the back-end.
+  TaskChain chain;
+  for (int i = 0; i < 200; ++i) {
+    chain.tasks.push_back({"t" + std::to_string(i), 5.0, 1.0});
+    if (i > 0) chain.edges.push_back({0.0, 0.0});
+  }
+  const Allocation best = bestAllocation(chain, SlowdownSet::dedicated());
+  EXPECT_DOUBLE_EQ(best.makespan, 200.0);
+  for (const Machine m : best.assignment) {
+    EXPECT_EQ(m, Machine::kBackEnd);
+  }
+  EXPECT_THROW((void)rankAllocations(chain, SlowdownSet::dedicated()),
+               std::invalid_argument);
+}
+
+TEST(Allocation, DpKeepsTieBreakTowardFrontEnd) {
+  // Equal costs everywhere: every assignment with no crossings ties, and the
+  // all-front-end one must win (fewest back-end tasks).
+  TaskChain chain;
+  chain.tasks = {{"a", 3.0, 3.0}, {"b", 3.0, 3.0}, {"c", 3.0, 3.0}};
+  chain.edges = {{1.0, 1.0}, {1.0, 1.0}};
+  const Allocation best = bestAllocation(chain, SlowdownSet::dedicated());
+  EXPECT_DOUBLE_EQ(best.makespan, 9.0);
+  for (const Machine m : best.assignment) {
+    EXPECT_EQ(m, Machine::kFrontEnd);
+  }
 }
 
 TEST(Allocation, MachineNames) {

@@ -22,6 +22,23 @@ Request predictRequest() {
   return request;
 }
 
+Request predictBatchRequest() {
+  Request request;
+  request.verb = Verb::kPredictBatch;
+  tools::TaskSpec solver;
+  solver.name = "solver";
+  solver.frontEndSec = 8.0;
+  solver.backEndSec = 1.5;
+  solver.toBackend.push_back({512, 512});
+  tools::TaskSpec reducer;
+  reducer.name = "reducer";
+  reducer.frontEndSec = 2.0;
+  reducer.backEndSec = 0.5;
+  reducer.fromBackend.push_back({64, 2048});
+  request.batch = {std::move(solver), std::move(reducer)};
+  return request;
+}
+
 TEST(Protocol, VerbNamesRoundTrip) {
   for (int i = 0; i < kVerbCount; ++i) {
     const Verb verb = static_cast<Verb>(i);
@@ -70,6 +87,29 @@ TEST(Protocol, PredictRoundTrips) {
   EXPECT_EQ(parsed->task.toBackend[0].messages, 512);
   ASSERT_EQ(parsed->task.fromBackend.size(), 1u);
   EXPECT_EQ(parsed->task.fromBackend[0].words, 2048);
+}
+
+TEST(Protocol, PredictBatchRoundTrips) {
+  const Request request = predictBatchRequest();
+  std::istringstream in(formatRequest(request));
+  const auto parsed = readRequest(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verb, Verb::kPredictBatch);
+  ASSERT_EQ(parsed->batch.size(), 2u);
+  EXPECT_EQ(parsed->batch[0].name, "solver");
+  EXPECT_DOUBLE_EQ(parsed->batch[0].frontEndSec, 8.0);
+  ASSERT_EQ(parsed->batch[0].toBackend.size(), 1u);
+  EXPECT_EQ(parsed->batch[0].toBackend[0].messages, 512);
+  EXPECT_EQ(parsed->batch[1].name, "reducer");
+  EXPECT_DOUBLE_EQ(parsed->batch[1].backEndSec, 0.5);
+  ASSERT_EQ(parsed->batch[1].fromBackend.size(), 1u);
+  EXPECT_EQ(parsed->batch[1].fromBackend[0].words, 2048);
+}
+
+TEST(Protocol, FormatRejectsEmptyBatch) {
+  Request request;
+  request.verb = Verb::kPredictBatch;
+  EXPECT_THROW((void)formatRequest(request), ProtocolError);
 }
 
 TEST(Protocol, ReadsSeveralRequestsFromOneStream) {
@@ -132,7 +172,18 @@ INSTANTIATE_TEST_SUITE_P(
         BadRequest{"predictCompetitorInside",
                    "PREDICT a\nfront 1\nback 1\ncompetitor 0.1 5\nend\n"},
         BadRequest{"predictNestedTask",
-                   "PREDICT a\nfront 1\nback 1\ntask b\nend\n"}),
+                   "PREDICT a\nfront 1\nback 1\ntask b\nend\n"},
+        BadRequest{"batchTrailing",
+                   "PREDICT_BATCH now\ntask a\nfront 1\nback 1\nend\n"
+                   "end_batch\n"},
+        BadRequest{"batchEmpty", "PREDICT_BATCH\nend_batch\n"},
+        BadRequest{"batchUnclosed", "PREDICT_BATCH\ntask a\nfront 1\n"
+                                    "back 1\nend\n"},
+        BadRequest{"batchCompetitor",
+                   "PREDICT_BATCH\ncompetitor 0.1 5\ntask a\nfront 1\n"
+                   "back 1\nend\nend_batch\n"},
+        BadRequest{"batchOpenTask",
+                   "PREDICT_BATCH\ntask a\nfront 1\nback 1\nend_batch\n"}),
     [](const auto& paramInfo) { return std::string(paramInfo.param.name); });
 
 TEST(Protocol, PredictBlockLengthIsBounded) {
@@ -186,6 +237,7 @@ TEST(Protocol, MutatedRequestsNeverCrash) {
       "SLOWDOWN\n",
       "STATS\n",
       formatRequest(predictRequest()),
+      formatRequest(predictBatchRequest()),
   };
   std::mt19937 rng(20260805u);
   std::uniform_int_distribution<int> byteDist(0, 255);

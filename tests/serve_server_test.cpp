@@ -222,6 +222,87 @@ TEST_F(ServerFixture, GracefulShutdownStopsAccepting) {
       std::runtime_error);
 }
 
+TEST_F(ServerFixture, PredictBatchOverTheWire) {
+  startUnix();
+  Client client(config_.endpoint);
+  ASSERT_TRUE(client.arrive(0.3, 800).ok);
+  const Response slowdown = client.slowdown();
+  ASSERT_TRUE(slowdown.ok);
+
+  tools::TaskSpec solver;
+  solver.name = "solver";
+  solver.frontEndSec = 8.0;
+  solver.backEndSec = 1.5;
+  solver.toBackend.push_back({512, 512});
+  tools::TaskSpec reducer;
+  reducer.name = "reducer";
+  reducer.frontEndSec = 2.0;
+  reducer.backEndSec = 0.5;
+
+  const Response batch = client.predictBatch({solver, reducer});
+  ASSERT_TRUE(batch.ok) << batch.error;
+  EXPECT_EQ(*batch.find("verb"), "PREDICT_BATCH");
+  EXPECT_DOUBLE_EQ(batch.number("count"), 2.0);
+  EXPECT_EQ(*batch.find("name.0"), "solver");
+  EXPECT_EQ(*batch.find("name.1"), "reducer");
+  // Batch answers must match what per-task PREDICTs compute.
+  EXPECT_DOUBLE_EQ(batch.number("front.0"), 8.0 * slowdown.number("comp"));
+  EXPECT_DOUBLE_EQ(batch.number("front.1"), 2.0 * slowdown.number("comp"));
+  EXPECT_NE(batch.find("decision.0"), nullptr);
+  EXPECT_EQ(*batch.find("cache.0"), "miss");
+
+  // Same batch again: every entry now comes from the cache, same numbers,
+  // same (single) epoch field.
+  const Response again = client.predictBatch({solver, reducer});
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(*again.find("cache.0"), "hit");
+  EXPECT_EQ(*again.find("cache.1"), "hit");
+  EXPECT_DOUBLE_EQ(again.number("front.0"), batch.number("front.0"));
+  EXPECT_DOUBLE_EQ(again.number("epoch"), batch.number("epoch"));
+
+  // Per-task PREDICT agrees with the batch (and hits the same cache).
+  const Response single = client.predict(solver);
+  ASSERT_TRUE(single.ok);
+  EXPECT_EQ(*single.find("cache"), "hit");
+  EXPECT_DOUBLE_EQ(single.number("front"), batch.number("front.0"));
+
+  // Verb accounting: STATS sees predict_batch as its own counter.
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.number("predict_batch"), 2.0);
+  EXPECT_GE(stats.number("cache_shards"), 1.0);
+  EXPECT_GE(stats.number("shard0_hits") + stats.number("shard0_misses"), 0.0);
+
+  // Malformed batches answer ERR without killing the connection...
+  const Response empty = client.raw("PREDICT_BATCH\nend_batch\n");
+  EXPECT_FALSE(empty.ok);
+  EXPECT_TRUE(client.slowdown().ok);
+  server_->stop();
+}
+
+TEST_F(ServerFixture, PipelinedRequestsGetCoalescedResponses) {
+  startUnix();
+  Client client(config_.endpoint);
+  // One write carrying three requests; the server must answer all three (in
+  // order) even though it flushes its buffered responses at once.
+  const std::string burst =
+      "SLOWDOWN\n"
+      "ARRIVE 0.3 800\n"
+      "SLOWDOWN\n";
+  const Response first = client.raw(burst);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(*first.find("verb"), "SLOWDOWN");
+  EXPECT_DOUBLE_EQ(first.number("comp"), 1.0);
+  const Response second = client.readResponse();
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(*second.find("verb"), "ARRIVE");
+  const Response third = client.readResponse();
+  ASSERT_TRUE(third.ok);
+  EXPECT_EQ(*third.find("verb"), "SLOWDOWN");
+  EXPECT_DOUBLE_EQ(third.number("comp"), second.number("comp"));
+  server_->stop();
+}
+
 TEST_F(ServerFixture, PredictBlockArrivesOverTheWire) {
   startUnix();
   Client client(config_.endpoint);

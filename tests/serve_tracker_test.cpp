@@ -4,6 +4,8 @@
 // is replayed on a fresh single-owner tracker and compared event by event.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <random>
@@ -238,6 +240,95 @@ TEST(ConcurrentTrackerStress, ConcurrentOpsMatchSerialReplay) {
   }
   EXPECT_EQ(checked,
             static_cast<std::size_t>(kThreads) * kOpsPerThread);
+}
+
+// The lock-free read path, hammered while mutations run: one writer cycles
+// arrivals/departures nonstop while reader threads issue predict /
+// predictBatch / slowdowns / stats with no coordination. Each reader checks
+// the RCU snapshot contract — epochs never go backwards on a thread, every
+// observed snapshot is internally consistent (p == 0 iff both slowdowns are
+// 1), and every task in a batch is priced against the *same* snapshot. Run
+// under TSan this is the data-race proof for the snapshot publication.
+TEST(ConcurrentTrackerStress, ReadersStayConsistentDuringMutations) {
+  constexpr int kReaders = 6;
+  constexpr auto kDuration = std::chrono::milliseconds(300);
+  const auto platform = testPlatform(8);
+  ConcurrentTracker tracker(platform);
+  const std::vector<tools::TaskSpec> batch = {unitTask(), unitTask(),
+                                              unitTask()};
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread writer([&] {
+    std::mt19937 rng(42);
+    const auto deadline = std::chrono::steady_clock::now() + kDuration;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const double fraction = 0.1 * static_cast<double>(rng() % 10);
+      const Words words = fraction > 0.0 ? 100 + 100 * (rng() % 12) : 0;
+      const MutationResult arrived = tracker.arrive({fraction, words});
+      (void)tracker.depart(arrived.id);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::uint64_t lastEpoch = 0;
+      unsigned op = static_cast<unsigned>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::uint64_t epoch = 0;
+        switch (op++ % 4) {
+          case 0: {
+            const SlowdownSnapshot snapshot = tracker.slowdowns();
+            epoch = snapshot.epoch;
+            ASSERT_GE(snapshot.active, 0);
+            if (snapshot.active == 0) {
+              ASSERT_DOUBLE_EQ(snapshot.comp, 1.0);
+              ASSERT_DOUBLE_EQ(snapshot.comm, 1.0);
+            }
+            break;
+          }
+          case 1: {
+            const TaskPrediction prediction = tracker.predict(batch[0]);
+            epoch = prediction.epoch;
+            ASSERT_GE(prediction.frontSec, batch[0].frontEndSec);
+            break;
+          }
+          case 2: {
+            const auto predictions = tracker.predictBatch(batch);
+            ASSERT_EQ(predictions.size(), batch.size());
+            epoch = predictions[0].epoch;
+            for (const TaskPrediction& prediction : predictions) {
+              // The whole batch prices against one snapshot.
+              ASSERT_EQ(prediction.epoch, epoch);
+              ASSERT_DOUBLE_EQ(prediction.frontSec, predictions[0].frontSec);
+            }
+            break;
+          }
+          default: {
+            const TrackerStats stats = tracker.stats();
+            epoch = stats.epoch;
+            ASSERT_GE(stats.arrivals, stats.departures);
+            break;
+          }
+        }
+        // A single atomic snapshot pointer gives coherent loads: a thread
+        // can never observe time moving backwards.
+        ASSERT_GE(epoch, lastEpoch);
+        lastEpoch = epoch;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  const TrackerStats stats = tracker.stats();
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.arrivals, stats.departures);
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 //   contend_client <endpoint> arrive <commFraction> <messageWords>
 //   contend_client <endpoint> depart <applicationId>
 //   contend_client <endpoint> load <file.workload>     # ARRIVE every competitor
-//   contend_client <endpoint> predict <file.workload>  # PREDICT every task
+//   contend_client <endpoint> predict <file.workload> [--batch]
 //   contend_client <endpoint> raw '<request line>'
 //
 // `load` + `predict` together reproduce what `contend_predict` computes
@@ -33,6 +33,8 @@ namespace {
          "  depart <id>                   deregister an app by id\n"
          "  load <file.workload>          ARRIVE every competitor in the file\n"
          "  predict <file.workload>       PREDICT every task in the file\n"
+         "          [--batch]             one PREDICT_BATCH round trip, all\n"
+         "                                tasks priced against one snapshot\n"
          "  raw '<request>'               send one raw request line\n"
          "endpoints: unix:/path/to.sock | tcp:[host:]port\n";
   std::exit(2);
@@ -92,6 +94,33 @@ int predict(serve::Client& client, const std::string& path) {
   return rc;
 }
 
+int predictBatch(serve::Client& client, const std::string& path) {
+  const tools::WorkloadFile workload = tools::parseWorkloadFile(path);
+  if (workload.tasks.empty()) {
+    std::cout << "(no tasks in the workload file)\n";
+    return 0;
+  }
+  const serve::Response response = client.predictBatch(workload.tasks);
+  if (!response.ok) {
+    std::cerr << "ERR " << response.error << "\n";
+    return 1;
+  }
+  TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision",
+                   "cache"});
+  for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
+    const std::string suffix = '.' + std::to_string(i);
+    table.addRow({*response.find("name" + suffix),
+                  TextTable::num(response.number("front" + suffix), 3),
+                  TextTable::num(response.number("remote" + suffix), 3),
+                  *response.find("decision" + suffix),
+                  *response.find("cache" + suffix)});
+  }
+  printTable("live contention-adjusted placement (epoch " +
+                 *response.find("epoch") + ", one snapshot)",
+             table);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,6 +146,10 @@ int main(int argc, char** argv) {
     }
     if (command == "predict" && argc == 4) {
       return predict(client, argv[3]);
+    }
+    if (command == "predict" && argc == 5 &&
+        std::string(argv[4]) == "--batch") {
+      return predictBatch(client, argv[3]);
     }
     if (command == "raw" && argc == 4) {
       std::string text = argv[3];
