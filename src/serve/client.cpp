@@ -60,7 +60,8 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
 }  // namespace
 
 Client::Client(const Endpoint& endpoint, int timeoutMs)
-    : fd_(connectTo(endpoint, timeoutMs)), reader_(fd_) {}
+    : fd_(connectTo(endpoint, timeoutMs)),
+      reader_(fd_, kMaxResponseLineBytes) {}
 
 Client::Client(const std::string& endpointSpec, int timeoutMs)
     : Client(parseEndpoint(endpointSpec), timeoutMs) {}
@@ -81,10 +82,15 @@ Response Client::raw(const std::string& text) {
 Response Client::readResponse() {
   if (fd_ < 0) throw std::runtime_error("client is disconnected");
   std::string line;
-  if (!reader_.readLine(line)) {
-    throw std::runtime_error("server closed the connection (or timed out)");
+  switch (reader_.readLine(line)) {
+    case LineRead::kLine:
+      return parseResponse(line);
+    case LineRead::kTooLong:
+      throw ProtocolError(kErrLineTooLong,
+                          "server response line exceeds the client cap");
+    default:
+      throw std::runtime_error("server closed the connection (or timed out)");
   }
-  return parseResponse(line);
 }
 
 Response Client::call(const Request& request) {

@@ -28,7 +28,8 @@ class Client {
 
   /// Sends one request and reads its one-line response. Throws
   /// std::runtime_error on transport failure, ProtocolError on a garbled
-  /// response. An `ERR` from the server is returned (ok == false), not
+  /// response. An `ERR` from the server is returned (ok == false, with the
+  /// machine-readable `code` and human-readable `error` filled), not
   /// thrown.
   Response call(const Request& request);
 

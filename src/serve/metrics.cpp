@@ -38,6 +38,11 @@ MetricsSnapshot Metrics::snapshot() const {
   snapshot.errors = errors_.load(std::memory_order_relaxed);
   snapshot.connectionsAccepted = accepted_.load(std::memory_order_relaxed);
   snapshot.connectionsRejected = rejected_.load(std::memory_order_relaxed);
+  snapshot.acceptErrors = acceptErrors_.load(std::memory_order_relaxed);
+  snapshot.lineOverflows = lineOverflows_.load(std::memory_order_relaxed);
+  snapshot.deadlinesExpired =
+      deadlinesExpired_.load(std::memory_order_relaxed);
+  snapshot.droppedBytes = droppedBytes_.load(std::memory_order_relaxed);
   snapshot.queueDepthHighWater =
       queueHighWater_.load(std::memory_order_relaxed);
   snapshot.latencySamples = latencyCount_.load(std::memory_order_relaxed);
@@ -77,6 +82,10 @@ void Metrics::fill(Response& response) const {
   response.add("errors", s.errors);
   response.add("accepted", s.connectionsAccepted);
   response.add("rejected", s.connectionsRejected);
+  response.add("accept_errors", s.acceptErrors);
+  response.add("line_overflows", s.lineOverflows);
+  response.add("deadlines_expired", s.deadlinesExpired);
+  response.add("dropped_bytes", s.droppedBytes);
   response.add("queue_hwm", s.queueDepthHighWater);
   response.add("lat_samples", s.latencySamples);
   response.add("p50_us", s.p50Us);

@@ -25,6 +25,10 @@ struct MetricsSnapshot {
   std::uint64_t errors = 0;
   std::uint64_t connectionsAccepted = 0;
   std::uint64_t connectionsRejected = 0;
+  std::uint64_t acceptErrors = 0;
+  std::uint64_t lineOverflows = 0;
+  std::uint64_t deadlinesExpired = 0;
+  std::uint64_t droppedBytes = 0;
   std::uint64_t queueDepthHighWater = 0;
   std::uint64_t latencySamples = 0;  // total observed (ring keeps the tail)
   double p50Us = 0.0;
@@ -41,6 +45,23 @@ class Metrics {
   void countError() { errors_.fetch_add(1, std::memory_order_relaxed); }
   void countAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
   void countRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  /// accept(2) failures (EMFILE/ENFILE fd exhaustion and friends).
+  void countAcceptError() {
+    acceptErrors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Connections dropped for streaming a line past the request-line cap.
+  void countLineOverflow() {
+    lineOverflows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Connections dropped for blowing the per-request wall-clock deadline.
+  void countDeadlineExpired() {
+    deadlinesExpired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Response bytes discarded because the connection died before delivery.
+  void countDroppedBytes(std::size_t bytes) {
+    droppedBytes_.fetch_add(static_cast<std::uint64_t>(bytes),
+                            std::memory_order_relaxed);
+  }
 
   /// Records the observed queue depth; keeps the maximum ever seen.
   void observeQueueDepth(std::size_t depth);
@@ -59,6 +80,10 @@ class Metrics {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> acceptErrors_{0};
+  std::atomic<std::uint64_t> lineOverflows_{0};
+  std::atomic<std::uint64_t> deadlinesExpired_{0};
+  std::atomic<std::uint64_t> droppedBytes_{0};
   std::atomic<std::uint64_t> queueHighWater_{0};
   std::atomic<std::uint64_t> latencyCount_{0};
   std::array<std::atomic<std::uint32_t>, kLatencyRingSize> ringUs_{};

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 
 namespace contend::serve {
@@ -20,12 +21,12 @@ bool sendAll(int fd, std::string_view data) {
 
 bool BufferedWriter::flush() {
   if (buffer_.empty()) return true;
-  const bool sent = sendAll(fd_, buffer_);
+  if (!sendAll(fd_, buffer_)) return false;
   buffer_.clear();
-  return sent;
+  return true;
 }
 
-bool FdLineReader::readLine(std::string& line) {
+LineRead FdLineReader::readLine(std::string& line) {
   line.clear();
   while (true) {
     const auto newline = buffer_.find('\n', pos_);
@@ -38,13 +39,31 @@ bool FdLineReader::readLine(std::string& line) {
         buffer_.erase(0, pos_);
         pos_ = 0;
       }
-      return true;
+      return LineRead::kLine;
+    }
+    if (buffer_.size() - pos_ >= maxLineBytes_) return LineRead::kTooLong;
+    if (armed_ && std::chrono::steady_clock::now() >= deadline_) {
+      return LineRead::kDeadline;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;  // EOF, error, or SO_RCVTIMEO expiry
+    // EOF, error, or SO_RCVTIMEO expiry. A timeout while a deadline is
+    // armed still reports the deadline only once it has actually passed —
+    // the idle receive timeout keeps its own (usually shorter) meaning.
+    if (n <= 0) {
+      if (armed_ && (errno == EAGAIN || errno == EWOULDBLOCK) && n < 0 &&
+          std::chrono::steady_clock::now() >= deadline_) {
+        return LineRead::kDeadline;
+      }
+      return LineRead::kClosed;
+    }
+    if (!armed_ && budget_.count() > 0) {
+      armed_ = true;
+      deadline_ = std::chrono::steady_clock::now() + budget_;
+    }
     buffer_.append(chunk, static_cast<std::size_t>(n));
+    peak_ = std::max(peak_, buffer_.size() - pos_);
   }
 }
 

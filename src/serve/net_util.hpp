@@ -1,6 +1,8 @@
 // net_util.hpp — small fd helpers shared by the server and client halves.
 #pragma once
 
+#include <chrono>
+#include <cstddef>
 #include <string>
 #include <string_view>
 
@@ -10,14 +12,40 @@ namespace contend::serve {
 /// than killing the process). Returns false on any error.
 bool sendAll(int fd, std::string_view data);
 
+/// Default per-line byte cap for FdLineReader when the caller does not pick
+/// one. The server passes the (tighter) protocol request cap; the client
+/// passes the (looser) response cap — see protocol.hpp.
+inline constexpr std::size_t kDefaultMaxLineBytes = std::size_t{1} << 20;
+
+/// Outcome of one readLine call. Anything other than kLine ends the
+/// connection; the distinctions let the server answer with the right `ERR`
+/// code before closing.
+enum class LineRead {
+  kLine,      // a complete line was returned
+  kClosed,    // EOF, socket error, or an idle receive timeout (SO_RCVTIMEO)
+  kTooLong,   // the peer streamed more than maxLineBytes without a newline
+  kDeadline,  // the armed per-request deadline expired mid-request
+};
+
 /// Buffered line reader over a socket fd. readLine strips the trailing
-/// '\n' (and a preceding '\r'); returns false on EOF, error, or a receive
-/// timeout (SO_RCVTIMEO) — in every case the connection is done.
+/// '\n' (and a preceding '\r').
+///
+/// Two abuse guards ride on the reader because this is where the bytes
+/// arrive:
+///  - a hard cap on line length (a peer streaming bytes with no '\n' would
+///    otherwise grow the buffer until OOM), and
+///  - an optional per-request wall-clock deadline: beginRequestWindow(d)
+///    arms a deadline d after the *first byte* of the next request arrives,
+///    so a slow-loris peer dripping one byte per SO_RCVTIMEO window cannot
+///    pin the reader forever, while a silently idle keep-alive connection
+///    is still governed only by SO_RCVTIMEO.
 class FdLineReader {
  public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
+  explicit FdLineReader(int fd,
+                        std::size_t maxLineBytes = kDefaultMaxLineBytes)
+      : fd_(fd), maxLineBytes_(maxLineBytes) {}
 
-  bool readLine(std::string& line);
+  [[nodiscard]] LineRead readLine(std::string& line);
 
   /// True when a complete line is already buffered, i.e. the next readLine
   /// will not block on the socket. Lets a response writer batch its flushes
@@ -26,10 +54,30 @@ class FdLineReader {
     return buffer_.find('\n', pos_) != std::string::npos;
   }
 
+  /// Arms a wall-clock budget for the next request: the deadline starts
+  /// ticking when the first byte of the request is received (bytes already
+  /// buffered count as received). A zero budget disables the deadline.
+  /// Call once per logical request; block bodies read under the same window.
+  void beginRequestWindow(std::chrono::milliseconds budget) {
+    budget_ = budget;
+    armed_ = buffer_.size() > pos_ && budget_.count() > 0;
+    if (armed_) deadline_ = std::chrono::steady_clock::now() + budget_;
+  }
+
+  /// High-water mark of unconsumed buffered bytes; bounded by
+  /// maxLineBytes plus one receive chunk. Exposed so tests can assert the
+  /// cap actually bounds memory.
+  [[nodiscard]] std::size_t peakBufferedBytes() const { return peak_; }
+
  private:
   int fd_;
+  std::size_t maxLineBytes_;
   std::string buffer_;
   std::size_t pos_ = 0;
+  std::size_t peak_ = 0;
+  std::chrono::milliseconds budget_{0};
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 /// Buffered response writer: append() accumulates, flush() performs one
@@ -43,11 +91,14 @@ class BufferedWriter {
   void append(std::string_view data) { buffer_.append(data); }
 
   /// True on success (including an empty buffer); false once the peer is
-  /// gone. The buffer is cleared either way — the connection is done on
-  /// failure.
+  /// gone. On failure the buffer is kept intact, so the caller's error path
+  /// can see (and account for) exactly which bytes were never delivered.
   bool flush();
 
   [[nodiscard]] bool empty() const { return buffer_.empty(); }
+
+  /// Bytes appended but not yet delivered (nonzero after a failed flush).
+  [[nodiscard]] std::size_t pendingBytes() const { return buffer_.size(); }
 
  private:
   int fd_;

@@ -20,6 +20,10 @@ constexpr std::array<const char*, kVerbCount> kVerbNames = {
   throw ProtocolError(message);
 }
 
+[[noreturn]] void fail(std::string_view code, const std::string& message) {
+  throw ProtocolError(code, message);
+}
+
 void rejectTrailing(TokenCursor& cursor, std::string_view verb) {
   if (const auto extra = cursor.next()) {
     fail(std::string(verb) + ": trailing tokens: '" + std::string(*extra) +
@@ -118,8 +122,9 @@ Request parsePredict(TokenCursor& firstLine, std::istream& in) {
     }
   }
   if (!closed) {
-    fail("PREDICT: block not closed with 'end' within " +
-         std::to_string(kMaxPredictBlockLines) + " lines");
+    fail(kErrBlockUnterminated,
+         "PREDICT: block not closed with 'end' within " +
+             std::to_string(kMaxPredictBlockLines) + " lines");
   }
   std::istringstream blockStream(block);
   tools::WorkloadFile parsed;
@@ -153,8 +158,9 @@ Request parsePredictBatch(TokenCursor& firstLine, std::istream& in) {
     block += '\n';
   }
   if (!closed) {
-    fail("PREDICT_BATCH: block not closed with 'end_batch' within " +
-         std::to_string(kMaxBatchBlockLines) + " lines");
+    fail(kErrBlockUnterminated,
+         "PREDICT_BATCH: block not closed with 'end_batch' within " +
+             std::to_string(kMaxBatchBlockLines) + " lines");
   }
   std::istringstream blockStream(block);
   tools::WorkloadFile parsed;
@@ -167,7 +173,7 @@ Request parsePredictBatch(TokenCursor& firstLine, std::istream& in) {
     fail("PREDICT_BATCH: competitor lines are not allowed in a batch");
   }
   if (parsed.tasks.empty()) {
-    fail("PREDICT_BATCH: batch contains no tasks");
+    fail(kErrEmptyBatch, "PREDICT_BATCH: batch contains no tasks");
   }
   request.batch = std::move(parsed.tasks);
   return request;
@@ -194,7 +200,9 @@ std::optional<Request> readRequest(std::istream& in) {
     if (!verbToken) continue;  // blank / comment-only
 
     const auto verb = verbFromName(*verbToken);
-    if (!verb) fail("unknown verb '" + std::string(*verbToken) + "'");
+    if (!verb) {
+      fail(kErrBadVerb, "unknown verb '" + std::string(*verbToken) + "'");
+    }
     switch (*verb) {
       case Verb::kArrive:
         return parseArrive(line);
@@ -286,13 +294,19 @@ double Response::number(std::string_view key) const {
 
 std::string formatResponse(const Response& response) {
   if (!response.ok) {
-    std::string message = response.error.empty() ? "unspecified error"
-                                                 : response.error;
-    // The wire format is line-based; keep the error on one line.
-    for (char& c : message) {
+    // `ERR <code> <message>` — the code is one machine-readable token, the
+    // message is free-form. A code was not always set historically, so an
+    // unset one degrades to the generic "error".
+    std::string line = "ERR ";
+    line += response.code.empty() ? std::string("error") : response.code;
+    line += ' ';
+    line += response.error.empty() ? "unspecified error" : response.error;
+    // The wire format is line-based; keep the whole reply on one line, and
+    // keep the code one token.
+    for (char& c : line) {
       if (c == '\n' || c == '\r') c = ' ';
     }
-    return "ERR " + message;
+    return line;
   }
   // One pass with a precomputed size: this line is written verbatim to the
   // socket, so avoid the quadratic-append and intermediate copies.
@@ -319,10 +333,17 @@ Response parseResponse(const std::string& line) {
   Response response;
   if (*status == "ERR") {
     response.ok = false;
-    // Everything after the status token, trimmed of leading whitespace.
-    const auto start = line.find_first_not_of(
-        util::kTokenSpace, line.find("ERR") + 3);
-    if (start != std::string::npos) response.error = line.substr(start);
+    // First token after ERR is the machine-readable code; the rest of the
+    // line (trimmed of leading whitespace) is the human-readable message.
+    if (const auto codeToken = cursor.next()) {
+      response.code = std::string(*codeToken);
+      const auto codeEnd =
+          static_cast<std::size_t>(codeToken->data() - line.data()) +
+          codeToken->size();
+      const auto start = line.find_first_not_of(util::kTokenSpace, codeEnd);
+      response.error = start == std::string::npos ? response.code
+                                                  : line.substr(start);
+    }
     return response;
   }
   if (*status != "OK") {

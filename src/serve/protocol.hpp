@@ -28,10 +28,12 @@
 //
 // Blank lines and `#` comments between requests are ignored (same convention
 // as workload files). Every response is a single line: `OK key=value ...` or
-// `ERR <message>`; a PREDICT_BATCH response carries the per-task results as
-// indexed fields (`name.0=... front.0=... name.1=...`) so the whole batch is
-// answered in one write. Field order is stable so responses are diff-able;
-// clients should nevertheless look fields up by key.
+// `ERR <code> <message>`, where <code> is a stable machine-readable token
+// (see kErr* below) and the rest of the line is a human-readable message; a
+// PREDICT_BATCH response carries the per-task results as indexed fields
+// (`name.0=... front.0=... name.1=...`) so the whole batch is answered in
+// one write. Field order is stable so responses are diff-able; clients
+// should nevertheless look fields up by key.
 #pragma once
 
 #include <cstdint>
@@ -54,11 +56,32 @@ inline constexpr int kVerbCount = 6;
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);
 
+/// Stable `ERR` codes. Machine-readable, append-only: clients branch on
+/// these, so an existing code never changes meaning or spelling.
+inline constexpr std::string_view kErrParse = "parse";
+inline constexpr std::string_view kErrBadVerb = "bad_verb";
+inline constexpr std::string_view kErrBlockUnterminated = "block_unterminated";
+inline constexpr std::string_view kErrEmptyBatch = "empty_batch";
+inline constexpr std::string_view kErrLineTooLong = "line_too_long";
+inline constexpr std::string_view kErrDeadline = "deadline_exceeded";
+inline constexpr std::string_view kErrOverloaded = "overloaded";
+inline constexpr std::string_view kErrInvalidArgument = "invalid_argument";
+inline constexpr std::string_view kErrInternal = "internal";
+
 /// Thrown on any malformed request or response. The daemon turns these into
-/// `ERR` lines instead of dropping the connection.
+/// `ERR <code> <message>` lines instead of dropping the connection.
 class ProtocolError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit ProtocolError(const std::string& message)
+      : std::runtime_error(message), code_(kErrParse) {}
+  ProtocolError(std::string_view code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  /// The stable machine-readable code (one of the kErr* tokens above).
+  [[nodiscard]] const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
 };
 
 struct Request {
@@ -80,7 +103,8 @@ struct Request {
 
 struct Response {
   bool ok = true;
-  std::string error;  // set when !ok
+  std::string code;   // machine-readable ERR code; set when !ok
+  std::string error;  // human-readable message; set when !ok
   std::vector<std::pair<std::string, std::string>> fields;  // set when ok
 
   void add(std::string key, std::string value);
@@ -93,7 +117,7 @@ struct Response {
   [[nodiscard]] double number(std::string_view key) const;
 };
 
-/// One line, no trailing newline: `OK k=v ...` or `ERR message`.
+/// One line, no trailing newline: `OK k=v ...` or `ERR <code> message`.
 [[nodiscard]] std::string formatResponse(const Response& response);
 [[nodiscard]] Response parseResponse(const std::string& line);
 
@@ -104,5 +128,13 @@ inline constexpr int kMaxPredictBlockLines = 256;
 /// Cap on a PREDICT_BATCH block (covers every task block it contains plus
 /// the terminating `end_batch`).
 inline constexpr int kMaxBatchBlockLines = 4096;
+
+/// Cap on one request line; a peer streaming bytes with no newline is
+/// answered `ERR line_too_long` and disconnected once it crosses this.
+inline constexpr std::size_t kMaxRequestLineBytes = std::size_t{64} << 10;
+
+/// Cap a client enforces on one response line. Looser than the request cap
+/// because a large PREDICT_BATCH legitimately answers with one long line.
+inline constexpr std::size_t kMaxResponseLineBytes = std::size_t{4} << 20;
 
 }  // namespace contend::serve

@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
@@ -92,7 +93,10 @@ Server::~Server() {
   for (int fd : {stopPipe_[0], stopPipe_[1]}) {
     if (fd >= 0) ::close(fd);
   }
-  if (started_ && config_.endpoint.kind == Endpoint::Kind::kUnix) {
+  // Unlink only a socket file we actually created: a failed bind (or a
+  // constructor-only lifetime) must not remove a file a newer server has
+  // since bound at the same path.
+  if (ownsSocketFile_) {
     (void)::unlink(config_.endpoint.path.c_str());
   }
 }
@@ -115,6 +119,7 @@ void Server::start() {
         0) {
       throwErrno("bind(" + ep.path + ")");
     }
+    ownsSocketFile_ = true;  // the file now exists and is ours
   } else {
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0) throwErrno("socket(AF_INET)");
@@ -195,6 +200,7 @@ int Server::popConnection() {
 }
 
 void Server::acceptLoop() {
+  int backoffMs = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listenFd_, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, -1);
@@ -205,12 +211,33 @@ void Server::acceptLoop() {
     if (fds[1].revents != 0) break;  // stop requested
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listenFd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // The peer hanging up between poll and accept is routine, not an
+      // error worth counting.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      metrics_.countAcceptError();
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion: the pending connection stays in the backlog,
+        // so poll() would wake us immediately and the loop would busy-spin.
+        // Back off (exponentially, capped) while staying responsive to the
+        // stop pipe; workers closing fds is what clears the condition.
+        backoffMs = backoffMs == 0 ? 10 : std::min(backoffMs * 2, 1000);
+        pollfd pause{stopPipe_[0], POLLIN, 0};
+        (void)::poll(&pause, 1, backoffMs);
+      }
+      continue;
+    }
+    backoffMs = 0;
     metrics_.countAccepted();
     setRecvTimeout(fd, config_.requestTimeoutMs);
     if (!pushConnection(fd)) {
       metrics_.countRejected();
-      sendAll(fd, "ERR server overloaded, try again\n");
+      Response refused;
+      refused.ok = false;
+      refused.code = kErrOverloaded;
+      refused.error = "server overloaded, try again";
+      sendAll(fd, formatResponse(refused) + '\n');
       ::close(fd);
     }
   }
@@ -254,29 +281,66 @@ void Server::workerLoop() {
 }
 
 void Server::serveConnection(int fd) {
-  FdLineReader reader(fd);
+  FdLineReader reader(fd, kMaxRequestLineBytes);
   BufferedWriter writer(fd);
   std::string line;
+  const auto budget =
+      std::chrono::milliseconds(std::max(config_.requestDeadlineMs, 0));
+  // Answers `ERR <code> <message>` and flushes; used for conditions the
+  // connection cannot be resynchronized from, so the caller closes it.
+  const auto refuse = [&](std::string_view code, const std::string& message) {
+    metrics_.countError();
+    Response response;
+    response.ok = false;
+    response.code = std::string(code);
+    response.error = message;
+    writer.append(formatResponse(response) + '\n');
+    (void)writer.flush();
+  };
+  // Terminal read results other than a plain close get a parting ERR so
+  // the peer learns *why* it was disconnected.
+  const auto failRead = [&](LineRead status, std::string_view context) {
+    if (status == LineRead::kTooLong) {
+      metrics_.countLineOverflow();
+      refuse(kErrLineTooLong,
+             std::string(context) + ": line exceeds " +
+                 std::to_string(kMaxRequestLineBytes) + " bytes");
+    } else if (status == LineRead::kDeadline) {
+      metrics_.countDeadlineExpired();
+      refuse(kErrDeadline,
+             std::string(context) + ": request deadline exceeded");
+    } else {
+      (void)writer.flush();  // EOF / idle timeout: nothing left to say
+    }
+  };
   // Reads a `PREDICT`/`PREDICT_BATCH` body through its terminator into
-  // requestText; false when the connection ends or the cap is hit first.
+  // requestText; kClosed covers both a vanished peer and the line cap
+  // running out before the terminator (neither can be resynchronized).
   const auto collectBlock = [&](std::string& requestText,
-                                std::string_view terminator, int maxLines) {
+                                std::string_view terminator,
+                                int maxLines) -> LineRead {
     for (int extra = 0; extra < maxLines; ++extra) {
-      if (!reader.readLine(line)) return false;
+      const LineRead status = reader.readLine(line);
+      if (status != LineRead::kLine) return status;
       requestText += line;
       requestText += '\n';
-      if (util::firstToken(line) == terminator) return true;
+      if (util::firstToken(line) == terminator) return LineRead::kLine;
     }
-    return false;
+    return LineRead::kClosed;
   };
   while (true) {
     // Responses are buffered; flush only when the client has no further
     // request already in the read buffer, so pipelined request bursts are
     // answered with one write syscall.
-    if (!reader.hasBufferedLine() && !writer.flush()) return;
-    if (!reader.readLine(line)) {
-      (void)writer.flush();
-      return;
+    if (!reader.hasBufferedLine() && !writer.flush()) break;
+    // One wall-clock budget covers the whole logical request (verb line
+    // plus any block body), armed when its first byte arrives; a silent
+    // keep-alive connection is still governed only by SO_RCVTIMEO.
+    reader.beginRequestWindow(budget);
+    const LineRead first = reader.readLine(line);
+    if (first != LineRead::kLine) {
+      failRead(first, "request");
+      break;
     }
     // Assemble one logical request: a single line, except PREDICT and
     // PREDICT_BATCH whose blocks run through their terminator lines.
@@ -284,19 +348,22 @@ void Server::serveConnection(int fd) {
     requestText += '\n';
     const std::string_view verbToken = util::firstToken(line);
     if (verbToken.empty()) continue;  // blank / keep-alive noise
-    if (verbToken == "PREDICT" &&
-        !collectBlock(requestText, "end", kMaxPredictBlockLines)) {
-      metrics_.countError();
-      writer.append("ERR PREDICT: block not closed with 'end'\n");
-      (void)writer.flush();
-      return;  // can't resync a half-read block; drop the connection
-    }
-    if (verbToken == "PREDICT_BATCH" &&
-        !collectBlock(requestText, "end_batch", kMaxBatchBlockLines)) {
-      metrics_.countError();
-      writer.append("ERR PREDICT_BATCH: block not closed with 'end_batch'\n");
-      (void)writer.flush();
-      return;
+    if (verbToken == "PREDICT" || verbToken == "PREDICT_BATCH") {
+      // collectBlock reuses `line`, invalidating views into it.
+      const std::string verb(verbToken);
+      const bool batch = verb == "PREDICT_BATCH";
+      const LineRead block =
+          collectBlock(requestText, batch ? "end_batch" : "end",
+                       batch ? kMaxBatchBlockLines : kMaxPredictBlockLines);
+      if (block == LineRead::kClosed) {
+        refuse(kErrBlockUnterminated, verb + ": block not closed with '" +
+                                          (batch ? "end_batch" : "end") + "'");
+        break;  // can't resync a half-read block; drop the connection
+      }
+      if (block != LineRead::kLine) {
+        failRead(block, verb);
+        break;
+      }
     }
 
     const auto begin = std::chrono::steady_clock::now();
@@ -308,8 +375,19 @@ void Server::serveConnection(int fd) {
       if (!request) continue;
       verb = request->verb;
       response = handle(*request);
+    } catch (const ProtocolError& error) {
+      response.ok = false;
+      response.code = error.code();
+      response.error = error.what();
+    } catch (const std::invalid_argument& error) {
+      // Semantic rejections from the tracker (unknown id, out-of-order
+      // event, mix overflow): the request was well-formed, the state said no.
+      response.ok = false;
+      response.code = kErrInvalidArgument;
+      response.error = error.what();
     } catch (const std::exception& error) {
       response.ok = false;
+      response.code = kErrInternal;
       response.error = error.what();
     }
     if (verb) metrics_.countRequest(*verb);
@@ -317,6 +395,9 @@ void Server::serveConnection(int fd) {
     writer.append(formatResponse(response) + '\n');
     metrics_.observeLatency(std::chrono::steady_clock::now() - begin);
   }
+  // Anything still buffered was never delivered; account for it instead of
+  // letting the close swallow it silently.
+  if (!writer.empty()) metrics_.countDroppedBytes(writer.pendingBytes());
 }
 
 Response Server::handle(const Request& request) {
@@ -358,6 +439,15 @@ Response Server::handle(const Request& request) {
     case Verb::kPredictBatch: {
       const std::vector<TaskPrediction> predictions =
           tracker_.predictBatch(request.batch);
+      if (predictions.empty()) {
+        // The parser rejects empty batches, but predictions.front() below
+        // must never become UB if a tracker refactor (or a future verb
+        // reusing this path) returns nothing.
+        response.ok = false;
+        response.code = kErrEmptyBatch;
+        response.error = "PREDICT_BATCH: tracker returned no predictions";
+        break;
+      }
       response.add("count", static_cast<std::uint64_t>(predictions.size()));
       // The whole batch is evaluated against one mix snapshot, so a single
       // epoch field covers every task.

@@ -46,6 +46,12 @@ struct ServerConfig {
   int workers = 8;
   std::size_t queueCapacity = 128;
   int requestTimeoutMs = 5000;  // per socket read; bounds drain time too
+  // Wall-clock budget for one logical request, armed when its first byte
+  // arrives. SO_RCVTIMEO alone is per-recv, so a slow-loris client dripping
+  // one byte per timeout window would otherwise pin a worker forever. The
+  // worst-case disconnect time is requestDeadlineMs + requestTimeoutMs
+  // (deadline checks happen between recvs). 0 disables the deadline.
+  int requestDeadlineMs = 10000;
 };
 
 class Server {
@@ -89,6 +95,10 @@ class Server {
   int boundPort_ = 0;
   bool started_ = false;
   bool joined_ = false;
+  // True only after we successfully bound a unix endpoint, i.e. the socket
+  // file on disk is ours to unlink. Guards the destructor against removing
+  // a file bound by someone else after our bind failed.
+  bool ownsSocketFile_ = false;
 
   std::thread acceptThread_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,80 @@
+// fuzz_replay_test.cpp — deterministic replay of the protocol fuzz corpus.
+//
+// Links the same LLVMFuzzerTestOneInput as the libFuzzer binary and feeds
+// it every file in tests/fuzz/corpus/, so the malformed-input regression
+// set runs as a normal ctest on every toolchain (no fuzzer runtime
+// required). A crash or sanitizer report here is a protocol-parser bug.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> readFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void replay(const std::string& input) {
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+}
+
+TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
+  const std::filesystem::path corpus = CONTEND_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(corpus))
+      << "corpus directory missing: " << corpus;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    const std::vector<std::uint8_t> bytes = readFile(entry.path());
+    SCOPED_TRACE(entry.path().filename().string());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  // Guard against the corpus silently vanishing from the build tree.
+  EXPECT_GE(replayed, 12) << "corpus shrank unexpectedly";
+}
+
+// Adversarial inputs too large to be pleasant as checked-in files.
+TEST(ProtocolFuzzReplay, SyntheticHostileInputs) {
+  // One line far past any reasonable length, for every dispatch target.
+  const std::string longLine(1 << 20, 'A');
+  for (char selector : {'0', '1', '2', '3'}) {
+    replay(selector + longLine);
+    replay(selector + longLine + "\n");
+  }
+  // A PREDICT block that never terminates, right at and past the line cap.
+  std::string unterminated = "0PREDICT bomb\n";
+  for (int i = 0; i < 5000; ++i) unterminated += "front 1.0\n";
+  replay(unterminated);
+  // A batch of deeply repeated task blocks.
+  std::string batch = "0PREDICT_BATCH\n";
+  for (int i = 0; i < 2000; ++i) {
+    batch += "task t\nfront 1\nback 1\nend\n";
+  }
+  batch += "end_batch\n";
+  replay(batch);
+  // Embedded NUL bytes and control characters.
+  std::string binary = "0ARRIVE ";
+  binary += '\0';
+  binary += " 0.5 100\nDEPART \x01\x02\x03\n";
+  replay(binary);
+  // Numeric edge cases.
+  replay("0ARRIVE 1e308 99999999999999999999\n");
+  replay("0ARRIVE nan inf\n");
+  replay("0DEPART 18446744073709551616\n");
+  replay("1ERR");
+  replay("1OK a=");
+  replay("3tcp:" + std::string(1 << 16, ':'));
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// protocol_fuzz.cpp — libFuzzer harness over the contend-serve parsing
+// surface: readRequest, parseResponse, parseWorkload, and parseEndpoint.
+//
+// The contract under test: every parser either succeeds or throws a typed
+// exception (ProtocolError / std::runtime_error / std::invalid_argument) —
+// it never crashes, never trips a sanitizer, and a request that parses must
+// survive a format → reparse → format round trip byte-identically.
+//
+// Two consumers share this file:
+//  - the `protocol_fuzz` libFuzzer binary (clang, -DCONTEND_FUZZER=ON),
+//    which explores inputs coverage-guided — the CI `fuzz-smoke` job runs
+//    it for 60 s over the checked-in corpus;
+//  - `fuzz_replay_test`, a plain gtest that replays `tests/fuzz/corpus/`
+//    deterministically on every toolchain, so regressions caught by the
+//    fuzzer stay fixed even where libFuzzer is unavailable (gcc).
+//
+// Input format: byte 0 mod 4 selects the target (the corpus uses the ASCII
+// digits '0'–'3' for readability), the rest is the parser's payload.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tools/workload_file.hpp"
+
+namespace {
+
+using contend::serve::ProtocolError;
+
+[[noreturn]] void die(const char* what) {
+  // A failed invariant must register as a fuzzer crash, not an exception
+  // the harness swallows.
+  std::fprintf(stderr, "protocol_fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+void driveReadRequest(const std::string& payload) {
+  std::istringstream in(payload);
+  // Parse every request in the payload; cap the count so a pathological
+  // input of thousands of blank lines stays fast.
+  for (int parsed = 0; parsed < 64; ++parsed) {
+    const auto request = contend::serve::readRequest(in);
+    if (!request) break;
+    // Round trip: a request we accepted must format into wire text that
+    // reparses into a request formatting byte-identically.
+    const std::string wire = contend::serve::formatRequest(*request);
+    std::istringstream again(wire);
+    const auto reparsed = contend::serve::readRequest(again);
+    if (!reparsed) die("formatted request did not reparse");
+    if (reparsed->verb != request->verb) die("verb changed in round trip");
+    if (contend::serve::formatRequest(*reparsed) != wire) {
+      die("request round trip is not a fixed point");
+    }
+  }
+}
+
+void driveParseResponse(const std::string& payload) {
+  // parseResponse takes one line; feed it the first.
+  const std::string line = payload.substr(0, payload.find('\n'));
+  const contend::serve::Response response =
+      contend::serve::parseResponse(line);
+  const std::string wire = contend::serve::formatResponse(response);
+  // Round trip: formatted output must itself parse.
+  const contend::serve::Response reparsed =
+      contend::serve::parseResponse(wire);
+  if (reparsed.ok != response.ok) die("response ok flag changed");
+  if (contend::serve::formatResponse(reparsed) != wire) {
+    die("response round trip is not a fixed point");
+  }
+}
+
+void driveParseWorkload(const std::string& payload) {
+  std::istringstream in(payload);
+  (void)contend::tools::parseWorkload(in);
+}
+
+void driveParseEndpoint(const std::string& payload) {
+  const std::string spec = payload.substr(0, payload.find('\n'));
+  const contend::serve::Endpoint endpoint =
+      contend::serve::parseEndpoint(spec);
+  // An accepted endpoint must stringify into a spec that parses back.
+  (void)contend::serve::parseEndpoint(
+      contend::serve::endpointToString(endpoint));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const int selector = data[0] % 4;
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  try {
+    switch (selector) {
+      case 0:
+        driveReadRequest(payload);
+        break;
+      case 1:
+        driveParseResponse(payload);
+        break;
+      case 2:
+        driveParseWorkload(payload);
+        break;
+      default:
+        driveParseEndpoint(payload);
+        break;
+    }
+  } catch (const ProtocolError&) {
+    // expected rejection path
+  } catch (const std::invalid_argument&) {
+    // parseEndpoint's rejection path
+  } catch (const std::runtime_error&) {
+    // parseWorkload's rejection path
+  }
+  // Anything else (std::bad_alloc aside, which ASan turns into OOM
+  // reports) escapes and crashes the harness — which is the point.
+  return 0;
+}

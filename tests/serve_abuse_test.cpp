@@ -1,0 +1,451 @@
+// serve_abuse_test.cpp — hostile-client tests for the serving stack: the
+// server must answer (or shed) slow, malformed, and abusive peers with a
+// coded `ERR` and bounded resources, while concurrent well-formed clients
+// keep getting answers. Companion unit tests pin the FdLineReader /
+// BufferedWriter guarantees the server builds on.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/net_util.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+model::ParagonPlatformModel testPlatform(int maxContenders = 8) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+std::string uniqueSocketPath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/contend_abuse_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + ".sock";
+}
+
+/// Raw unix-socket connection, for clients that must misbehave in ways the
+/// Client class refuses to.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      ADD_FAILURE() << "socket: " << std::strerror(errno);
+      return;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ADD_FAILURE() << "connect " << path << ": " << std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Sends ignoring EPIPE; returns false once the peer is gone.
+  bool trySend(std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line (newline stripped); empty optional on
+  /// EOF/error before a full line arrived.
+  std::optional<std::string> readLine(int timeoutMs = 5000) {
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string line;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n <= 0) return std::nullopt;
+      if (c == '\n') return line;
+      line += c;
+    }
+  }
+
+  /// True when the next read sees EOF (the server closed the connection).
+  bool atEof() {
+    char c = 0;
+    return ::recv(fd_, &c, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Drips `byte` every 100 ms until the server replies or closes; returns
+/// the server's (newline-stripped) reply line, or nullopt on a bare close.
+std::optional<std::string> dripUntilReply(RawConn& conn, const char* byte) {
+  for (int i = 0; i < 100; ++i) {
+    const bool sent = conn.trySend(byte);
+    char peek = 0;
+    const ssize_t n = ::recv(conn.fd(), &peek, 1, MSG_DONTWAIT);
+    if (n == 1) {
+      std::string reply = peek == '\n' ? "" : std::string(1, peek);
+      if (peek != '\n') {
+        if (const auto tail = conn.readLine()) reply += *tail;
+      }
+      return reply;
+    }
+    if (n == 0) return std::nullopt;  // closed without a reply
+    if (!sent) return conn.readLine(1000);  // closed; drain the parting ERR
+    std::this_thread::sleep_for(100ms);
+  }
+  return std::nullopt;
+}
+
+class ServerAbuseTest : public ::testing::Test {
+ protected:
+  void start(int workers = 2, int timeoutMs = 2000, int deadlineMs = 0,
+             std::size_t queueCapacity = 128) {
+    config_.endpoint = parseEndpoint("unix:" + uniqueSocketPath("abuse"));
+    config_.workers = workers;
+    config_.queueCapacity = queueCapacity;
+    config_.requestTimeoutMs = timeoutMs;
+    config_.requestDeadlineMs = deadlineMs;
+    server_ = std::make_unique<Server>(config_, tracker_, metrics_);
+    server_->start();
+  }
+
+  [[nodiscard]] const std::string& path() const {
+    return config_.endpoint.path;
+  }
+
+  ServerConfig config_;
+  ConcurrentTracker tracker_{testPlatform()};
+  Metrics metrics_;
+  std::unique_ptr<Server> server_;
+};
+
+// --- FdLineReader / BufferedWriter unit guarantees ------------------------
+
+TEST(FdLineReaderGuard, UnterminatedLineIsCappedAndBufferStaysBounded) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  constexpr std::size_t kCap = 64 << 10;
+  std::thread writer([fd = pair[1]] {
+    const std::string chunk(8192, 'x');  // no newline, ever
+    // Far more than the cap; stops when the reader closes its end.
+    for (int i = 0; i < 8192; ++i) {
+      if (::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL) < 0) break;
+    }
+  });
+  {
+    FdLineReader reader(pair[0], kCap);
+    std::string line;
+    EXPECT_EQ(reader.readLine(line), LineRead::kTooLong);
+    // The whole point: memory stays bounded by the cap plus one receive
+    // chunk, no matter how much the peer streams.
+    EXPECT_LE(reader.peakBufferedBytes(), kCap + 4096);
+    // The verdict is sticky: the connection is done.
+    EXPECT_EQ(reader.readLine(line), LineRead::kTooLong);
+  }
+  ::close(pair[0]);
+  writer.join();
+  ::close(pair[1]);
+}
+
+TEST(FdLineReaderGuard, DeadlineFiresOnDrippedBytes) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  std::atomic<bool> stop{false};
+  std::thread dripper([fd = pair[1], &stop] {
+    while (!stop.load()) {
+      if (::send(fd, "S", 1, MSG_NOSIGNAL) < 0) break;
+      std::this_thread::sleep_for(50ms);
+    }
+  });
+  {
+    FdLineReader reader(pair[0], 1 << 16);
+    reader.beginRequestWindow(300ms);
+    std::string line;
+    const auto begin = Clock::now();
+    EXPECT_EQ(reader.readLine(line), LineRead::kDeadline);
+    const auto elapsed = Clock::now() - begin;
+    EXPECT_GE(elapsed, 250ms);
+    EXPECT_LE(elapsed, 2000ms);
+  }
+  stop.store(true);
+  ::close(pair[0]);
+  dripper.join();
+  ::close(pair[1]);
+}
+
+TEST(FdLineReaderGuard, BufferedLineBeforeWindowStillCountsAsStarted) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  // A receive timeout like the server's, so the blocking recv wakes up to
+  // notice the (already-armed) deadline.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ASSERT_EQ(::setsockopt(pair[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)),
+            0);
+  ASSERT_EQ(::send(pair[1], "PING\npartial", 12, MSG_NOSIGNAL), 12);
+  FdLineReader reader(pair[0], 1 << 16);
+  std::string line;
+  EXPECT_EQ(reader.readLine(line), LineRead::kLine);
+  EXPECT_EQ(line, "PING");
+  // "partial" is already buffered when the next window opens, so the
+  // deadline arms immediately rather than waiting for a fresh byte.
+  reader.beginRequestWindow(100ms);
+  const auto begin = Clock::now();
+  EXPECT_EQ(reader.readLine(line), LineRead::kDeadline);
+  EXPECT_LE(Clock::now() - begin, 1500ms);
+  ::close(pair[0]);
+  ::close(pair[1]);
+}
+
+TEST(BufferedWriterGuard, FailedFlushKeepsTheBuffer) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  BufferedWriter writer(pair[0]);
+  writer.append("OK queued=1\n");
+  ::close(pair[1]);  // peer gone: the next flush must fail
+  EXPECT_FALSE(writer.flush());
+  // The un-delivered bytes are still accounted for, not silently dropped.
+  EXPECT_FALSE(writer.empty());
+  EXPECT_EQ(writer.pendingBytes(), 12u);
+  EXPECT_FALSE(writer.flush());  // still failing, still intact
+  EXPECT_EQ(writer.pendingBytes(), 12u);
+  ::close(pair[0]);
+}
+
+// --- Server-level abuse ----------------------------------------------------
+
+TEST_F(ServerAbuseTest, OversizedLineAnsweredWithErrAndDisconnected) {
+  start();
+  RawConn attacker(path());
+  // Stream megabytes with no newline; the server must stop buffering at
+  // kMaxRequestLineBytes, answer ERR line_too_long, and hang up. Our send
+  // fails once the server closes (the socket buffers drain nowhere).
+  const std::string chunk(64 << 10, 'A');
+  std::size_t sent = 0;
+  for (int i = 0; i < 1024; ++i) {  // up to 64 MiB
+    if (!attacker.trySend(chunk)) break;
+    sent += chunk.size();
+  }
+  const auto reply = attacker.readLine();
+  ASSERT_TRUE(reply.has_value()) << "no ERR before close after " << sent
+                                 << " bytes";
+  const Response parsed = parseResponse(*reply);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, kErrLineTooLong);
+  EXPECT_TRUE(attacker.atEof());
+
+  // A well-formed client right after the abuse is answered normally.
+  Client wellFormed(config_.endpoint);
+  const Response ok = wellFormed.slowdown();
+  ASSERT_TRUE(ok.ok);
+  const Response stats = wellFormed.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("line_overflows"), 1.0);
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, SlowLorisIsDisconnectedWithinTwiceTheDeadline) {
+  constexpr int kDeadlineMs = 500;
+  start(/*workers=*/2, /*timeoutMs=*/300, kDeadlineMs);
+  RawConn loris(path());
+  const auto begin = Clock::now();
+  // Drip one byte per 100 ms: each recv succeeds, so SO_RCVTIMEO alone
+  // would never fire and the worker would be pinned forever.
+  const std::optional<std::string> reply = dripUntilReply(loris, "S");
+  const auto elapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - begin)
+                             .count();
+  // Acceptance bound: gone within 2x the configured request deadline.
+  EXPECT_LE(elapsedMs, 2 * kDeadlineMs) << "slow-loris pinned a worker";
+  ASSERT_TRUE(reply.has_value());
+  const Response parsed = parseResponse(*reply);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, kErrDeadline);
+
+  // Meanwhile a concurrent well-formed client keeps getting answers.
+  Client wellFormed(config_.endpoint);
+  ASSERT_TRUE(wellFormed.slowdown().ok);
+  const Response stats = wellFormed.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("deadlines_expired"), 1.0);
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, SlowLorisInsideAPredictBlockAlsoDies) {
+  start(/*workers=*/2, /*timeoutMs=*/300, /*deadlineMs=*/500);
+  RawConn loris(path());
+  // A complete verb line, then the block body dripped one byte at a time:
+  // the deadline window spans the whole logical request, so it still fires
+  // even though every individual recv succeeds.
+  ASSERT_TRUE(loris.trySend("PREDICT stuck\n"));
+  const auto begin = Clock::now();
+  const std::optional<std::string> reply = dripUntilReply(loris, "f");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(parseResponse(*reply).code, kErrDeadline);
+  EXPECT_LE(Clock::now() - begin, 2000ms);
+  Client wellFormed(config_.endpoint);
+  ASSERT_TRUE(wellFormed.slowdown().ok);
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, HalfClosedSocketGetsItsAnswerThenCloses) {
+  start();
+  RawConn client(path());
+  ASSERT_TRUE(client.trySend("SLOWDOWN\n"));
+  ASSERT_EQ(::shutdown(client.fd(), SHUT_WR), 0);
+  const auto reply = client.readLine();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(parseResponse(*reply).ok);
+  EXPECT_TRUE(client.atEof());
+
+  // A half-close with nothing sent must simply end the connection without
+  // wedging the worker.
+  {
+    RawConn silent(path());
+    ASSERT_EQ(::shutdown(silent.fd(), SHUT_WR), 0);
+    EXPECT_TRUE(silent.atEof());
+  }
+  Client wellFormed(config_.endpoint);
+  ASSERT_TRUE(wellFormed.slowdown().ok);
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, GarbageBytesAreAnsweredWithCodedErrNotACrash) {
+  start();
+  Client client(config_.endpoint);
+  const Response binary = client.raw(std::string("\x01\x02\x7f garbage\n"));
+  EXPECT_FALSE(binary.ok);
+  EXPECT_EQ(binary.code, kErrBadVerb);
+  const Response badArgs = client.raw("ARRIVE lots of nonsense\n");
+  EXPECT_FALSE(badArgs.ok);
+  EXPECT_EQ(badArgs.code, kErrParse);
+  const Response unknownId = client.depart(424242);
+  EXPECT_FALSE(unknownId.ok);
+  EXPECT_EQ(unknownId.code, kErrInvalidArgument);
+  const Response emptyBatch = client.raw("PREDICT_BATCH\nend_batch\n");
+  EXPECT_FALSE(emptyBatch.ok);
+  EXPECT_EQ(emptyBatch.code, kErrEmptyBatch);
+  // The connection survived every one of those.
+  EXPECT_TRUE(client.slowdown().ok);
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, UnterminatedBlockErrNamesTheVerbIntact) {
+  start();
+  RawConn conn(path());
+  // Half-close after a partial block: the server sees EOF mid-block and
+  // must refuse with an ERR that still names the verb — a regression test
+  // for the verb token dangling into the reused line buffer once the block
+  // body had been read over it.
+  ASSERT_TRUE(conn.trySend("PREDICT stuck\nfront 1.0\n"));
+  ASSERT_EQ(::shutdown(conn.fd(), SHUT_WR), 0);
+  const auto reply = conn.readLine();
+  ASSERT_TRUE(reply.has_value());
+  const Response parsed = parseResponse(*reply);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, kErrBlockUnterminated);
+  EXPECT_NE(parsed.error.find("PREDICT"), std::string::npos) << parsed.error;
+  EXPECT_NE(parsed.error.find("'end'"), std::string::npos) << parsed.error;
+  EXPECT_TRUE(conn.atEof());
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, PipelinedGarbageBetweenValidRequestsStaysInSync) {
+  start();
+  Client client(config_.endpoint);
+  const Response first =
+      client.raw("SLOWDOWN\nFROBNICATE all the things\nSLOWDOWN\n");
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(*first.find("verb"), "SLOWDOWN");
+  const Response second = client.readResponse();
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(second.code, kErrBadVerb);
+  const Response third = client.readResponse();
+  ASSERT_TRUE(third.ok);
+  EXPECT_EQ(*third.find("verb"), "SLOWDOWN");
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, QueueOverflowReceivesTheFullErrLineBeforeClose) {
+  start(/*workers=*/1, /*timeoutMs=*/3000, /*deadlineMs=*/0,
+        /*queueCapacity=*/1);
+  // Occupy the only worker and the only queue slot with idle connections.
+  RawConn busy(path());
+  std::this_thread::sleep_for(100ms);  // let the worker pop `busy`
+  RawConn queued(path());
+  std::this_thread::sleep_for(100ms);  // let `queued` land in the queue
+  // The next connection must be refused with a complete ERR line, not a
+  // bare close.
+  RawConn refused(path());
+  const auto reply = refused.readLine();
+  ASSERT_TRUE(reply.has_value()) << "connection closed without an ERR line";
+  const Response parsed = parseResponse(*reply);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.code, kErrOverloaded);
+  EXPECT_NE(parsed.error.find("overloaded"), std::string::npos);
+  EXPECT_TRUE(refused.atEof());
+  server_->stop();
+}
+
+TEST_F(ServerAbuseTest, StatsExposeTheNewAbuseCounters) {
+  start();
+  Client client(config_.endpoint);
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  for (const char* field : {"accept_errors", "line_overflows",
+                            "deadlines_expired", "dropped_bytes"}) {
+    ASSERT_NE(stats.find(field), nullptr) << field;
+    EXPECT_GE(stats.number(field), 0.0) << field;
+  }
+  server_->stop();
+}
+
+}  // namespace
+}  // namespace contend::serve

@@ -70,6 +70,38 @@ TEST(Endpoint, RejectsBadSpecs) {
                std::invalid_argument);
 }
 
+// Table of malformed specs: every entry must throw, none may crash or be
+// silently coerced into a listenable endpoint.
+TEST(Endpoint, MalformedSpecTable) {
+  const char* kMalformed[] = {
+      "",              // no scheme at all
+      "tcp",           // scheme without the colon
+      "tcp:",          // scheme with nothing after it
+      "tcp::",         // empty host AND empty port
+      "tcp:host:",     // host present, port missing
+      "tcp:-1",        // negative port
+      "tcp:65536",     // one past the maximum port
+      "tcp:1.2.3.4:65536",
+      "tcp:7411 ",     // trailing junk after the port digits
+      "tcp:0x1f4",     // hex is not a port
+      "unix",          // unix scheme without the colon
+  };
+  for (const char* spec : kMalformed) {
+    SCOPED_TRACE(std::string("spec: '") + spec + "'");
+    EXPECT_THROW((void)parseEndpoint(spec), std::invalid_argument);
+  }
+  // Boundary cases that must be accepted.
+  EXPECT_EQ(parseEndpoint("tcp:0").port, 0);          // ephemeral
+  EXPECT_EQ(parseEndpoint("tcp:65535").port, 65535);  // maximum port
+  EXPECT_EQ(parseEndpoint("tcp::7411").host, "127.0.0.1");  // empty host OK
+  // sun_path is 108 bytes including the NUL: a 107-char path is the longest
+  // bindable one, 108 chars must be rejected before bind() truncates it.
+  const std::string longestOk = "/" + std::string(106, 'a');
+  EXPECT_EQ(parseEndpoint("unix:" + longestOk).path, longestOk);
+  EXPECT_THROW((void)parseEndpoint("unix:/" + std::string(107, 'a')),
+               std::invalid_argument);
+}
+
 class ServerFixture : public ::testing::Test {
  protected:
   void startUnix() {

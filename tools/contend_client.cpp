@@ -42,7 +42,8 @@ namespace {
 
 int printResponse(const serve::Response& response) {
   if (!response.ok) {
-    std::cerr << "ERR " << response.error << "\n";
+    std::cerr << "ERR [" << (response.code.empty() ? "?" : response.code)
+              << "] " << response.error << "\n";
     return 1;
   }
   for (const auto& [key, value] : response.fields) {
@@ -58,7 +59,7 @@ int load(serve::Client& client, const std::string& path) {
     const serve::Response response =
         client.arrive(app.commFraction, app.messageWords);
     if (!response.ok) {
-      std::cerr << "ERR " << response.error << "\n";
+      std::cerr << "ERR [" << response.code << "] " << response.error << "\n";
       rc = 1;
       continue;
     }
@@ -82,7 +83,8 @@ int predict(serve::Client& client, const std::string& path) {
   for (const tools::TaskSpec& task : workload.tasks) {
     const serve::Response response = client.predict(task);
     if (!response.ok) {
-      std::cerr << "task " << task.name << ": ERR " << response.error << "\n";
+      std::cerr << "task " << task.name << ": ERR [" << response.code << "] "
+                << response.error << "\n";
       rc = 1;
       continue;
     }
@@ -102,7 +104,7 @@ int predictBatch(serve::Client& client, const std::string& path) {
   }
   const serve::Response response = client.predictBatch(workload.tasks);
   if (!response.ok) {
-    std::cerr << "ERR " << response.error << "\n";
+    std::cerr << "ERR [" << response.code << "] " << response.error << "\n";
     return 1;
   }
   TextTable table({"task", "front-end (s)", "back-end+comm (s)", "decision",

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   contend_served <profile.txt> [--listen <endpoint>] [--workers N]
-//                  [--queue N] [--timeout-ms N] [--cache N]
+//                  [--queue N] [--timeout-ms N] [--deadline-ms N]
+//                  [--cache N]
 //
 // Loads a calibrated platform profile (see `contend_predict --calibrate`)
 // and serves the Paragon-style slowdown models over a line protocol (see
@@ -33,17 +34,20 @@ void onSignal(int) {
 [[noreturn]] void usage() {
   std::cerr << "usage: contend_served <profile.txt> [--listen <endpoint>]\n"
                "                      [--workers N] [--queue N]\n"
-               "                      [--timeout-ms N] [--cache N]\n"
-               "endpoints: unix:/path/to.sock | tcp:[host:]port\n";
+               "                      [--timeout-ms N] [--deadline-ms N]\n"
+               "                      [--cache N]\n"
+               "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
+               "--deadline-ms is the wall-clock budget per request\n"
+               "  (guards against slow-loris clients; 0 disables)\n";
   std::exit(2);
 }
 
-long parseCount(const char* text, const char* flag) {
+long parseCount(const char* text, const char* flag, long minValue = 1) {
   char* end = nullptr;
   const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || value <= 0) {
-    std::cerr << "error: " << flag << " expects a positive integer, got '"
-              << text << "'\n";
+  if (end == text || *end != '\0' || value < minValue) {
+    std::cerr << "error: " << flag << " expects an integer >= " << minValue
+              << ", got '" << text << "'\n";
     std::exit(2);
   }
   return value;
@@ -73,6 +77,9 @@ int main(int argc, char** argv) {
       } else if (flag == "--timeout-ms") {
         config.requestTimeoutMs =
             static_cast<int>(parseCount(value, "--timeout-ms"));
+      } else if (flag == "--deadline-ms") {
+        config.requestDeadlineMs =
+            static_cast<int>(parseCount(value, "--deadline-ms", 0));
       } else if (flag == "--cache") {
         cacheCapacity = static_cast<std::size_t>(parseCount(value, "--cache"));
       } else {
