@@ -13,11 +13,16 @@
 // Usage: serve_throughput [--seconds S] [--warmup S] [--clients N]
 //                         [--workers N] [--write-ratio F] [--batch N]
 //                         [--min-rps R] [--json <path>]
+//                         [--journal <path>] [--fsync always|interval|off]
+//                         [--nojournal-rps R]
 // Exits non-zero when --min-rps is given and the measured rate is below it
 // (used as the acceptance gate). --json writes a machine-readable
 // BENCH_serve.json-style record so the perf trajectory is diffable across
 // PRs; --baseline-rps embeds a reference number (e.g. the pre-RCU mutex
-// build) and the computed speedup in that record.
+// build) and the computed speedup in that record. --journal runs the bench
+// with the write-ahead journal enabled (--fsync picks the durability
+// mode); --nojournal-rps embeds the journal-less reference rate and the
+// relative overhead in the JSON record.
 #include <unistd.h>
 
 #include <atomic>
@@ -27,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -34,6 +40,7 @@
 
 #include "serve/client.hpp"
 #include "serve/concurrent_tracker.hpp"
+#include "serve/journal.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
@@ -88,6 +95,9 @@ struct BenchConfig {
   double minRps = 0.0;
   double baselineRps = 0.0;
   std::string jsonPath;
+  std::string journalPath;
+  serve::FsyncPolicy fsync = serve::FsyncPolicy::kOff;
+  double nojournalRps = 0.0;
 };
 
 void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
@@ -105,7 +115,11 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
       << "    \"seconds\": " << jsonNumber(config.seconds) << ",\n"
       << "    \"warmup\": " << jsonNumber(config.warmup) << ",\n"
       << "    \"write_ratio\": " << jsonNumber(config.writeRatio) << ",\n"
-      << "    \"batch\": " << config.batch << "\n"
+      << "    \"batch\": " << config.batch << ",\n"
+      << "    \"journal\": "
+      << (config.journalPath.empty() ? "false" : "true") << ",\n"
+      << "    \"fsync\": \"" << serve::fsyncPolicyName(config.fsync)
+      << "\"\n"
       << "  },\n"
       << "  \"results\": {\n"
       << "    \"elapsed_sec\": " << jsonNumber(elapsed) << ",\n"
@@ -128,6 +142,16 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
         << "    \"speedup\": " << jsonNumber(rps / config.baselineRps) << "\n"
         << "  }";
   }
+  if (config.nojournalRps > 0.0) {
+    // overhead < 0.05 is the acceptance bar: journaling with --fsync off
+    // must stay within 5% of the journal-less rate.
+    out << ",\n  \"journal_baseline\": {\n"
+        << "    \"nojournal_rps\": " << jsonNumber(config.nojournalRps)
+        << ",\n"
+        << "    \"overhead\": "
+        << jsonNumber(1.0 - rps / config.nojournalRps) << "\n"
+        << "  }";
+  }
   out << "\n}\n";
 }
 
@@ -147,11 +171,22 @@ int main(int argc, char** argv) {
     else if (flag == "--min-rps") config.minRps = std::atof(value);
     else if (flag == "--baseline-rps") config.baselineRps = std::atof(value);
     else if (flag == "--json") config.jsonPath = value;
+    else if (flag == "--journal") config.journalPath = value;
+    else if (flag == "--nojournal-rps") config.nojournalRps = std::atof(value);
+    else if (flag == "--fsync") {
+      const auto policy = serve::fsyncPolicyFromName(value);
+      if (!policy) {
+        std::cerr << "error: --fsync expects always|interval|off\n";
+        return 2;
+      }
+      config.fsync = *policy;
+    }
     else {
       std::cerr << "usage: serve_throughput [--seconds S] [--warmup S] "
                    "[--clients N] [--workers N] [--write-ratio F] "
                    "[--batch N] [--min-rps R] [--baseline-rps R] "
-                   "[--json <path>]\n";
+                   "[--json <path>] [--journal <path>] "
+                   "[--fsync always|interval|off] [--nojournal-rps R]\n";
       return 2;
     }
   }
@@ -171,7 +206,21 @@ int main(int argc, char** argv) {
 
   // Two base apps plus at most one in-flight transient per writer client.
   serve::ConcurrentTracker tracker(benchPlatform(config.clients + 2));
+  std::unique_ptr<serve::Journal> journal;
   serve::Metrics metrics;
+  try {
+    if (!config.journalPath.empty()) {
+      serve::JournalConfig journalCfg;
+      journalCfg.path = config.journalPath;
+      journalCfg.fsync = config.fsync;
+      journal = std::make_unique<serve::Journal>(journalCfg);
+      (void)tracker.recoverFromJournal(*journal);
+      serverConfig.journal = journal.get();
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
   serve::Server server(serverConfig, tracker, metrics);
   try {
     server.start();

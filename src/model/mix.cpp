@@ -87,6 +87,28 @@ void WorkloadMix::rebuild() {
   }
 }
 
+void WorkloadMix::restore(std::vector<CompetingApp> apps,
+                          std::vector<double> commPoly,
+                          std::vector<double> compPoly) {
+  if (commPoly.size() != apps.size() + 1 ||
+      compPoly.size() != apps.size() + 1) {
+    throw std::invalid_argument(
+        "WorkloadMix::restore: coefficient vectors must be sized p + 1");
+  }
+  for (const CompetingApp& app : apps) validate(app);
+  for (const std::vector<double>* poly : {&commPoly, &compPoly}) {
+    for (const double c : *poly) {
+      if (!std::isfinite(c)) {
+        throw std::invalid_argument(
+            "WorkloadMix::restore: non-finite coefficient");
+      }
+    }
+  }
+  apps_ = std::move(apps);
+  commPoly_ = std::move(commPoly);
+  compPoly_ = std::move(compPoly);
+}
+
 double WorkloadMix::pcomm(int i) const {
   if (i < 0 || i > p()) throw std::out_of_range("pcomm: i outside [0, p]");
   return commPoly_[static_cast<std::size_t>(i)];

@@ -60,6 +60,26 @@ class WorkloadMix {
   /// for the overhead benchmark of the paper's complexity claims.
   void rebuild();
 
+  /// Raw Poisson-binomial coefficient vectors, both sized p + 1
+  /// (commCoefficients()[i] == pcomm(i)). Exposed so a serving-layer
+  /// checkpoint can carry the distributions verbatim: a rebuild() from the
+  /// app list alone can differ from the live state in final ulps once
+  /// removals have gone through the deconvolution fast path, and crash
+  /// recovery promises bit-identical slowdowns.
+  [[nodiscard]] std::span<const double> commCoefficients() const {
+    return commPoly_;
+  }
+  [[nodiscard]] std::span<const double> compCoefficients() const {
+    return compPoly_;
+  }
+
+  /// Restores an exact prior state captured via apps() plus the coefficient
+  /// accessors above. Throws std::invalid_argument when the coefficient
+  /// vectors are not sized p + 1, carry non-finite values, or any app is
+  /// invalid.
+  void restore(std::vector<CompetingApp> apps, std::vector<double> commPoly,
+               std::vector<double> compPoly);
+
  private:
   static void convolve(std::vector<double>& coeff, double q);
   static bool tryDeconvolve(std::vector<double>& coeff, double q);

@@ -71,6 +71,48 @@ double OnlineContentionTracker::predictCommFromBackend(
   return model::dcomm(platform_.fromBackend, dataSets) * commSlowdown_;
 }
 
+TrackerCheckpoint OnlineContentionTracker::exportCheckpoint() const {
+  TrackerCheckpoint checkpoint;
+  checkpoint.ids = idsByMixIndex_;
+  const std::span<const model::CompetingApp> apps = mix_.apps();
+  checkpoint.apps.assign(apps.begin(), apps.end());
+  const std::span<const double> comm = mix_.commCoefficients();
+  checkpoint.commPoly.assign(comm.begin(), comm.end());
+  const std::span<const double> comp = mix_.compCoefficients();
+  checkpoint.compPoly.assign(comp.begin(), comp.end());
+  checkpoint.nextId = nextId_;
+  checkpoint.lastEventTimeSec = lastEventTime_;
+  return checkpoint;
+}
+
+void OnlineContentionTracker::restoreCheckpoint(
+    const TrackerCheckpoint& checkpoint) {
+  if (checkpoint.ids.size() != checkpoint.apps.size()) {
+    throw std::invalid_argument(
+        "restoreCheckpoint: ids and apps must be parallel");
+  }
+  std::vector<std::uint64_t> sorted = checkpoint.ids;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("restoreCheckpoint: duplicate application id");
+  }
+  if (!sorted.empty() && checkpoint.nextId <= sorted.back()) {
+    throw std::invalid_argument(
+        "restoreCheckpoint: nextId must be past every live id");
+  }
+  if (static_cast<int>(checkpoint.apps.size()) >
+      platform_.delays.maxContenders()) {
+    throw std::invalid_argument(
+        "restoreCheckpoint: more apps than the delay tables cover");
+  }
+  mix_.restore(checkpoint.apps, checkpoint.commPoly, checkpoint.compPoly);
+  idsByMixIndex_ = checkpoint.ids;
+  nextId_ = checkpoint.nextId;
+  lastEventTime_ = checkpoint.lastEventTimeSec;
+  history_.clear();
+  recomputeSlowdowns();
+}
+
 std::optional<LoadEvent> OnlineContentionTracker::lastEvent() const {
   if (history_.empty()) return std::nullopt;
   return history_.back();

@@ -35,6 +35,21 @@ struct LoadEvent {
   double commSlowdownAfter = 1.0;
 };
 
+/// Everything needed to rebuild a tracker at an exact point in its history
+/// (the serving layer's crash-recovery snapshot). The Poisson-binomial
+/// coefficients are carried verbatim so the restored slowdowns are
+/// bit-identical to the exported ones — re-deriving them from the app list
+/// can differ in final ulps once departures have gone through the
+/// deconvolution fast path.
+struct TrackerCheckpoint {
+  std::vector<std::uint64_t> ids;  // parallel to apps, in mix order
+  std::vector<model::CompetingApp> apps;
+  std::vector<double> commPoly;  // size p + 1
+  std::vector<double> compPoly;  // size p + 1
+  std::uint64_t nextId = 1;
+  double lastEventTimeSec = 0.0;
+};
+
 /// Tracks the applications sharing the front-end and exposes up-to-date
 /// slowdown factors. Not thread-safe by design: a scheduler daemon owns it.
 class OnlineContentionTracker {
@@ -68,6 +83,18 @@ class OnlineContentionTracker {
 
   /// The most recent event, if any.
   [[nodiscard]] std::optional<LoadEvent> lastEvent() const;
+
+  /// Captures the exact live state (ids, apps, distributions, id counter).
+  /// The audit history is not part of the checkpoint — it is unbounded by
+  /// design, which is the opposite of what a compacting snapshot wants.
+  [[nodiscard]] TrackerCheckpoint exportCheckpoint() const;
+
+  /// Replaces the live state with a previously exported checkpoint and
+  /// recomputes the slowdowns from the restored distributions. Throws
+  /// std::invalid_argument on an internally inconsistent checkpoint
+  /// (mismatched vector sizes, duplicate ids, nextId not past every live
+  /// id). The audit history restarts empty.
+  void restoreCheckpoint(const TrackerCheckpoint& checkpoint);
 
  private:
   void recomputeSlowdowns();

@@ -6,9 +6,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace contend::serve {
@@ -16,7 +18,7 @@ namespace contend::serve {
 namespace {
 
 [[noreturn]] void throwErrno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw TransportError(what + ": " + std::strerror(errno));
 }
 
 int connectTo(const Endpoint& endpoint, int timeoutMs) {
@@ -40,8 +42,8 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
     addr.sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
     if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
       ::close(fd);
-      throw std::runtime_error("bad host '" + endpoint.host +
-                               "' (numeric IPv4 expected)");
+      throw TransportError("bad host '" + endpoint.host +
+                           "' (numeric IPv4 expected)");
     }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       ::close(fd);
@@ -59,28 +61,68 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
 
 }  // namespace
 
-Client::Client(const Endpoint& endpoint, int timeoutMs)
-    : fd_(connectTo(endpoint, timeoutMs)),
+Client::Client(const Endpoint& endpoint, int timeoutMs,
+               ReconnectPolicy reconnect)
+    : endpoint_(endpoint),
+      timeoutMs_(timeoutMs),
+      reconnect_(reconnect),
+      jitterState_(reconnect.jitterSeed != 0 ? reconnect.jitterSeed
+                                             : 0x9e3779b97f4a7c15ull),
+      fd_(connectTo(endpoint, timeoutMs)),
       reader_(fd_, kMaxResponseLineBytes) {}
 
-Client::Client(const std::string& endpointSpec, int timeoutMs)
-    : Client(parseEndpoint(endpointSpec), timeoutMs) {}
+Client::Client(const std::string& endpointSpec, int timeoutMs,
+               ReconnectPolicy reconnect)
+    : Client(parseEndpoint(endpointSpec), timeoutMs, reconnect) {}
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+    : endpoint_(std::move(other.endpoint_)),
+      timeoutMs_(other.timeoutMs_),
+      reconnect_(other.reconnect_),
+      jitterState_(other.jitterState_),
+      reconnects_(other.reconnects_),
+      fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)) {}
 
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connectNow() {
+  fd_ = connectTo(endpoint_, timeoutMs_);  // throws TransportError
+  reader_.reset(fd_);
+}
+
+int Client::backoffDelayMs(int attempt) {
+  const int shift = std::min(attempt, 20);  // cap 2^attempt well below overflow
+  const std::int64_t base =
+      std::min<std::int64_t>(reconnect_.maxDelayMs,
+                             std::int64_t{reconnect_.baseDelayMs} << shift);
+  // xorshift64: deterministic per-client jitter stream.
+  jitterState_ ^= jitterState_ << 13;
+  jitterState_ ^= jitterState_ >> 7;
+  jitterState_ ^= jitterState_ << 17;
+  const std::int64_t jitter =
+      base > 1 ? static_cast<std::int64_t>(jitterState_ %
+                                           static_cast<std::uint64_t>(
+                                               base / 2 + 1))
+               : 0;
+  return static_cast<int>(base + jitter);
 }
 
 Response Client::raw(const std::string& text) {
-  if (fd_ < 0) throw std::runtime_error("client is disconnected");
+  if (fd_ < 0) throw TransportError("client is disconnected");
   if (!sendAll(fd_, text)) throwErrno("send");
   return readResponse();
 }
 
 Response Client::readResponse() {
-  if (fd_ < 0) throw std::runtime_error("client is disconnected");
+  if (fd_ < 0) throw TransportError("client is disconnected");
   std::string line;
   switch (reader_.readLine(line)) {
     case LineRead::kLine:
@@ -89,12 +131,29 @@ Response Client::readResponse() {
       throw ProtocolError(kErrLineTooLong,
                           "server response line exceeds the client cap");
     default:
-      throw std::runtime_error("server closed the connection (or timed out)");
+      throw TransportError("server closed the connection (or timed out)");
   }
 }
 
 Response Client::call(const Request& request) {
-  return raw(formatRequest(request));
+  const std::string wire = formatRequest(request);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) {
+        connectNow();
+        ++reconnects_;
+      }
+      return raw(wire);
+    } catch (const TransportError&) {
+      // The connection is dead either way; only a policy with budget left
+      // turns this into backoff-and-replay instead of a caller-visible
+      // failure.
+      disconnect();
+      if (attempt >= reconnect_.maxAttempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoffDelayMs(attempt)));
+    }
+  }
 }
 
 Response Client::arrive(double commFraction, Words messageWords) {
@@ -135,6 +194,12 @@ Response Client::slowdown() {
 Response Client::stats() {
   Request request;
   request.verb = Verb::kStats;
+  return call(request);
+}
+
+Response Client::health() {
+  Request request;
+  request.verb = Verb::kHealth;
   return call(request);
 }
 

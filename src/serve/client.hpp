@@ -4,9 +4,20 @@
 // the server serializes requests per connection, so a Client must not be
 // shared between threads without external locking (open one per thread —
 // connections are cheap, and that is what the throughput bench does).
+//
+// With a ReconnectPolicy, call() rides through a daemon restart: a
+// transport failure (connection refused, reset, EOF mid-response) tears the
+// connection down, reconnects with exponential backoff plus deterministic
+// jitter, and replays the in-flight request. Replay is at-least-once: the
+// read verbs (PREDICT, SLOWDOWN, STATS, HEALTH) are pure and safe to
+// repeat; for ARRIVE/DEPART the caller must treat only the returned
+// response as authoritative — a mutation whose response was lost may or
+// may not have been journaled before the crash, and the replay re-issues
+// it.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "serve/net_util.hpp"
@@ -15,20 +26,43 @@
 
 namespace contend::serve {
 
+/// Transport-level failure: connect, send, or receive failed, or the server
+/// closed the connection. Distinct from ProtocolError (the bytes arrived
+/// but were garbled) because only transport failures are retriable — the
+/// reconnect path catches exactly this type.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Auto-reconnect knobs. Delays grow as baseDelayMs * 2^attempt, capped at
+/// maxDelayMs, each with up to 50% deterministic jitter (seeded xorshift,
+/// so tests are reproducible and a fleet of restarting clients does not
+/// reconnect in lockstep).
+struct ReconnectPolicy {
+  int maxAttempts = 0;  // reconnect attempts per call(); 0 disables retry
+  int baseDelayMs = 10;
+  int maxDelayMs = 1000;
+  std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ull;
+};
+
 class Client {
  public:
-  /// Connects immediately; throws std::runtime_error on failure.
-  explicit Client(const Endpoint& endpoint, int timeoutMs = 10000);
-  explicit Client(const std::string& endpointSpec, int timeoutMs = 10000);
+  /// Connects immediately; throws TransportError on failure.
+  explicit Client(const Endpoint& endpoint, int timeoutMs = 10000,
+                  ReconnectPolicy reconnect = {});
+  explicit Client(const std::string& endpointSpec, int timeoutMs = 10000,
+                  ReconnectPolicy reconnect = {});
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
   Client& operator=(Client&&) = delete;
 
-  /// Sends one request and reads its one-line response. Throws
-  /// std::runtime_error on transport failure, ProtocolError on a garbled
-  /// response. An `ERR` from the server is returned (ok == false, with the
+  /// Sends one request and reads its one-line response, reconnecting and
+  /// replaying per the ReconnectPolicy. Throws TransportError once the
+  /// retry budget is exhausted, ProtocolError on a garbled response. An
+  /// `ERR` from the server is returned (ok == false, with the
   /// machine-readable `code` and human-readable `error` filled), not
   /// thrown.
   Response call(const Request& request);
@@ -41,16 +75,33 @@ class Client {
   Response predictBatch(const std::vector<tools::TaskSpec>& tasks);
   Response slowdown();
   Response stats();
+  Response health();
 
   /// Sends raw bytes and reads one response line; for protocol tests and
-  /// debugging (`contend_client raw`).
+  /// debugging (`contend_client raw`). Never retries: raw text may carry
+  /// several pipelined requests, which a blind replay could double-apply.
   Response raw(const std::string& text);
 
   /// Reads one response line without sending anything — for draining the
   /// remaining responses after pipelining several requests through raw().
   Response readResponse();
 
+  /// Reconnects performed over the client's lifetime (observability for
+  /// tests and callers that alert on flapping).
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  void disconnect();
+  /// (Re)establishes the connection; throws TransportError on failure.
+  void connectNow();
+  /// Backoff delay before reconnect `attempt` (0-based), with jitter.
+  [[nodiscard]] int backoffDelayMs(int attempt);
+
+  Endpoint endpoint_;
+  int timeoutMs_;
+  ReconnectPolicy reconnect_;
+  std::uint64_t jitterState_;
+  std::uint64_t reconnects_ = 0;
   int fd_ = -1;
   FdLineReader reader_;
 };

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 #include "model/cm2_model.hpp"  // model::shouldOffload (equation 1)
 #include "model/comm_model.hpp"
@@ -72,13 +73,23 @@ void ConcurrentTracker::publishSnapshotLocked() {
 
 MutationResult ConcurrentTracker::arrive(const model::CompetingApp& app) {
   std::lock_guard lock(writeMutex_);
+  const double timeSec = nowSec();
   MutationResult result;
-  result.id = tracker_.applicationArrived(nowSec(), app);  // may throw
+  result.id = tracker_.applicationArrived(timeSec, app);  // may throw
   signature_ += appHash(app);
   ++epoch_;
   arrivals_.fetch_add(1, std::memory_order_relaxed);
   liveApps_.emplace(result.id, app);
   arrivalLog_.push_back({result.id, app});
+  // Apply-then-journal: only mutations that succeeded are ever journaled,
+  // so replay can never throw on data the live path accepted.
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kArrive;
+  record.epoch = epoch_;
+  record.id = result.id;
+  record.timeSec = timeSec;
+  record.app = app;
+  journalMutationLocked(record);
   publishSnapshotLocked();
   result.after = loadSnapshot();
   return result;
@@ -86,17 +97,139 @@ MutationResult ConcurrentTracker::arrive(const model::CompetingApp& app) {
 
 MutationResult ConcurrentTracker::depart(std::uint64_t applicationId) {
   std::lock_guard lock(writeMutex_);
-  tracker_.applicationDeparted(nowSec(), applicationId);  // may throw
+  const double timeSec = nowSec();
+  tracker_.applicationDeparted(timeSec, applicationId);  // may throw
   const auto it = liveApps_.find(applicationId);
   signature_ -= appHash(it->second);
   liveApps_.erase(it);
   ++epoch_;
   departures_.fetch_add(1, std::memory_order_relaxed);
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kDepart;
+  record.epoch = epoch_;
+  record.id = applicationId;
+  record.timeSec = timeSec;
+  journalMutationLocked(record);
   publishSnapshotLocked();
   MutationResult result;
   result.id = applicationId;
   result.after = loadSnapshot();
   return result;
+}
+
+void ConcurrentTracker::journalMutationLocked(const JournalRecord& record) {
+  if (journal_ == nullptr) return;
+  if (record.kind == JournalRecord::Kind::kArrive) {
+    journal_->appendArrive(record.epoch, record.id, record.app,
+                           record.timeSec);
+  } else {
+    journal_->appendDepart(record.epoch, record.id, record.timeSec);
+  }
+  if (journal_->snapshotDue()) {
+    // Runs under the write mutex: mutations stall for one snapshot write
+    // every snapshotEvery records, reads stay lock-free throughout.
+    journal_->writeSnapshot(exportImageLocked());
+  }
+}
+
+SnapshotImage ConcurrentTracker::exportImageLocked() const {
+  SnapshotImage image;
+  image.epoch = epoch_;
+  image.arrivals = arrivals_.load(std::memory_order_relaxed);
+  image.departures = departures_.load(std::memory_order_relaxed);
+  image.checkpoint = tracker_.exportCheckpoint();
+  return image;
+}
+
+void ConcurrentTracker::applyRecordLocked(const JournalRecord& record) {
+  if (record.epoch != epoch_ + 1) {
+    throw std::runtime_error(
+        "journal replay: epoch gap (journal has " +
+        std::to_string(record.epoch) + ", tracker is at " +
+        std::to_string(epoch_) + ")");
+  }
+  if (record.kind == JournalRecord::Kind::kArrive) {
+    const std::uint64_t id =
+        tracker_.applicationArrived(record.timeSec, record.app);
+    if (id != record.id) {
+      throw std::runtime_error("journal replay: id discontinuity (assigned " +
+                               std::to_string(id) + ", journal recorded " +
+                               std::to_string(record.id) + ")");
+    }
+    signature_ += appHash(record.app);
+    arrivals_.fetch_add(1, std::memory_order_relaxed);
+    liveApps_.emplace(record.id, record.app);
+    arrivalLog_.push_back({record.id, record.app});
+  } else {
+    tracker_.applicationDeparted(record.timeSec, record.id);
+    const auto it = liveApps_.find(record.id);
+    if (it == liveApps_.end()) {
+      throw std::runtime_error("journal replay: departure of unknown id " +
+                               std::to_string(record.id));
+    }
+    signature_ -= appHash(it->second);
+    liveApps_.erase(it);
+    departures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++epoch_;
+}
+
+RecoveryReport ConcurrentTracker::recoverFromJournal(Journal& journal) {
+  std::lock_guard lock(writeMutex_);
+  if (epoch_ != 0 || journal_ != nullptr) {
+    throw std::runtime_error(
+        "recoverFromJournal: tracker is not fresh or already journaled");
+  }
+  Journal::LoadedState loaded = journal.load();  // may throw
+  RecoveryReport report;
+  report.truncatedBytes = loaded.truncatedBytes;
+
+  if (loaded.snapshot.has_value()) {
+    const SnapshotImage& image = *loaded.snapshot;
+    tracker_.restoreCheckpoint(image.checkpoint);  // may throw
+    epoch_ = image.epoch;
+    arrivals_.store(image.arrivals, std::memory_order_relaxed);
+    departures_.store(image.departures, std::memory_order_relaxed);
+    signature_ = 0;
+    liveApps_.clear();
+    arrivalLog_.clear();
+    // The pre-crash arrival log is not persisted (it is unbounded); seed it
+    // with the live apps so serial replay still reproduces the mix.
+    for (std::size_t i = 0; i < image.checkpoint.apps.size(); ++i) {
+      const std::uint64_t id = image.checkpoint.ids[i];
+      const model::CompetingApp& app = image.checkpoint.apps[i];
+      signature_ += appHash(app);
+      liveApps_.emplace(id, app);
+      arrivalLog_.push_back({id, app});
+    }
+    report.snapshotLoaded = true;
+  }
+
+  for (const JournalRecord& record : loaded.tail) {
+    // Records at or below the snapshot epoch survive a crash between
+    // snapshot write and journal compaction; the epoch stamp makes the
+    // replay idempotent — they are simply skipped.
+    if (record.epoch <= epoch_) continue;
+    applyRecordLocked(record);
+    ++report.replayedRecords;
+  }
+  report.epoch = epoch_;
+  report.recovered = report.snapshotLoaded || report.replayedRecords > 0 ||
+                     report.truncatedBytes > 0;
+
+  // Re-anchor the event clock so nowSec() continues from the last persisted
+  // event time instead of restarting at zero — otherwise the tracker's
+  // monotonic time-order check would reject the first post-recovery
+  // mutation.
+  const double lastEventSec = tracker_.exportCheckpoint().lastEventTimeSec;
+  start_ = std::chrono::steady_clock::now() -
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(lastEventSec));
+
+  journal.start(report.replayedRecords);  // may throw; replayed tail = lag
+  journal_ = &journal;
+  publishSnapshotLocked();
+  return report;
 }
 
 SlowdownSnapshot ConcurrentTracker::slowdowns() const {
@@ -157,6 +290,7 @@ TrackerStats ConcurrentTracker::stats() const {
   const MixSnapshot snapshot = loadSnapshot();
   TrackerStats stats;
   stats.epoch = snapshot.epoch;
+  stats.signature = snapshot.signature;
   stats.active = snapshot.active;
   stats.arrivals = arrivals_.load(std::memory_order_relaxed);
   stats.departures = departures_.load(std::memory_order_relaxed);

@@ -40,6 +40,7 @@
 #include "model/mix.hpp"
 #include "model/predictor.hpp"
 #include "sched/online.hpp"
+#include "serve/journal.hpp"
 #include "serve/prediction_cache.hpp"
 #include "tools/workload_file.hpp"
 
@@ -147,6 +148,7 @@ struct TaskPrediction {
 /// Counters surfaced through the STATS verb.
 struct TrackerStats {
   std::uint64_t epoch = 0;
+  std::uint64_t signature = 0;  // order-independent content hash of the mix
   int active = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
@@ -174,6 +176,17 @@ class ConcurrentTracker {
   /// untouched on failure.
   MutationResult arrive(const model::CompetingApp& app);
   MutationResult depart(std::uint64_t applicationId);
+
+  /// Rebuilds the tracker from `journal`'s persisted state (snapshot plus
+  /// tail replay), attaches the journal so every subsequent mutation is
+  /// appended, and opens it for writing. Must be called on a fresh tracker,
+  /// before the server starts serving (single-threaded). Apply-then-journal
+  /// ordering on the write path means only mutations that once succeeded
+  /// were ever journaled, so replay re-applies them through the identical
+  /// code path and the recovered epoch, signature, and slowdowns are
+  /// bit-identical to the pre-crash values. Throws std::runtime_error on a
+  /// corrupt snapshot or a tail that breaks id/epoch continuity.
+  RecoveryReport recoverFromJournal(Journal& journal);
 
   /// Lock-free: loads the published snapshot.
   [[nodiscard]] SlowdownSnapshot slowdowns() const;
@@ -210,6 +223,17 @@ class ConcurrentTracker {
   void publishSnapshotLocked();
   [[nodiscard]] double nowSec() const;
 
+  /// Applies one replayed mutation under the write mutex, asserting id and
+  /// epoch continuity against the journal record.
+  void applyRecordLocked(const JournalRecord& record);
+
+  /// Captures the full durable state (epoch, counters, checkpoint).
+  [[nodiscard]] SnapshotImage exportImageLocked() const;
+
+  /// Appends the mutation to the attached journal (if any) and writes a
+  /// compacting snapshot when one is due.
+  void journalMutationLocked(const JournalRecord& record);
+
   // Immutable after construction: the dedicated-mode transfer cost params
   // (every snapshot shares them, so they live here, not in MixSnapshot).
   const model::PiecewiseCommParams toBackend_;
@@ -222,6 +246,7 @@ class ConcurrentTracker {
   std::uint64_t signature_ = 0;  // order-independent sum of per-app hashes
   std::unordered_map<std::uint64_t, model::CompetingApp> liveApps_;
   std::vector<ArrivalRecord> arrivalLog_;
+  Journal* journal_ = nullptr;  // attached by recoverFromJournal
 
   // Read side: the RCU publication point and the sharded prediction cache.
   SnapshotCell snapshot_;

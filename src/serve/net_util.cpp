@@ -5,11 +5,31 @@
 #include <algorithm>
 #include <cerrno>
 
+#include "serve/syscall_hooks.hpp"
+
 namespace contend::serve {
+
+namespace {
+
+// The fault-injection seam (syscall_hooks.hpp): one relaxed atomic load and
+// a predictable branch when no hooks are installed.
+ssize_t sendOrHook(int fd, const void* data, std::size_t size) {
+  const SyscallHooks* hooks = syscallHooks();
+  if (hooks != nullptr && hooks->send) return hooks->send(fd, data, size);
+  return ::send(fd, data, size, MSG_NOSIGNAL);
+}
+
+ssize_t recvOrHook(int fd, void* data, std::size_t size) {
+  const SyscallHooks* hooks = syscallHooks();
+  if (hooks != nullptr && hooks->recv) return hooks->recv(fd, data, size);
+  return ::recv(fd, data, size, 0);
+}
+
+}  // namespace
 
 bool sendAll(int fd, std::string_view data) {
   while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    const ssize_t n = sendOrHook(fd, data.data(), data.size());
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -46,7 +66,7 @@ LineRead FdLineReader::readLine(std::string& line) {
       return LineRead::kDeadline;
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = recvOrHook(fd_, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     // EOF, error, or SO_RCVTIMEO expiry. A timeout while a deadline is
     // armed still reports the deadline only once it has actually passed —

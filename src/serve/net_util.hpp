@@ -47,6 +47,16 @@ class FdLineReader {
 
   [[nodiscard]] LineRead readLine(std::string& line);
 
+  /// Re-targets the reader at a new fd and drops all buffered state (the
+  /// client's auto-reconnect path: a fresh connection shares no bytes with
+  /// the old one).
+  void reset(int fd) {
+    fd_ = fd;
+    buffer_.clear();
+    pos_ = 0;
+    armed_ = false;
+  }
+
   /// True when a complete line is already buffered, i.e. the next readLine
   /// will not block on the socket. Lets a response writer batch its flushes
   /// across pipelined requests.

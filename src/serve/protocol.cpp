@@ -14,7 +14,8 @@ namespace {
 using util::TokenCursor;
 
 constexpr std::array<const char*, kVerbCount> kVerbNames = {
-    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN", "STATS", "PREDICT_BATCH"};
+    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",
+    "STATS",  "PREDICT_BATCH", "HEALTH"};
 
 [[noreturn]] void fail(const std::string& message) {
   throw ProtocolError(message);
@@ -213,7 +214,8 @@ std::optional<Request> readRequest(std::istream& in) {
       case Verb::kPredictBatch:
         return parsePredictBatch(line, in);
       case Verb::kSlowdown:
-      case Verb::kStats: {
+      case Verb::kStats:
+      case Verb::kHealth: {
         rejectTrailing(line, *verbToken);
         Request request;
         request.verb = *verb;
@@ -235,6 +237,8 @@ std::string formatRequest(const Request& request) {
       return "SLOWDOWN\n";
     case Verb::kStats:
       return "STATS\n";
+    case Verb::kHealth:
+      return "HEALTH\n";
     case Verb::kPredict: {
       const tools::TaskSpec& task = request.task;
       std::string out =

@@ -9,6 +9,7 @@
 //     DEPART <applicationId>
 //     SLOWDOWN
 //     STATS
+//     HEALTH
 //     PREDICT <name>
 //       front 8.0
 //       back  1.5
@@ -50,8 +51,16 @@
 
 namespace contend::serve {
 
-enum class Verb { kArrive, kDepart, kPredict, kSlowdown, kStats, kPredictBatch };
-inline constexpr int kVerbCount = 6;
+enum class Verb {
+  kArrive,
+  kDepart,
+  kPredict,
+  kSlowdown,
+  kStats,
+  kPredictBatch,
+  kHealth,
+};
+inline constexpr int kVerbCount = 7;
 
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);

@@ -35,6 +35,24 @@ void setRecvTimeout(int fd, int timeoutMs) {
   (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+/// True when the unix socket at `path` is stale: a file exists but nothing
+/// accepts on it (the previous daemon died without unlinking). A live
+/// server answers the probe connect; ECONNREFUSED/ENOENT mean nobody is
+/// home and the file is safe to unlink and rebind.
+bool unixSocketIsStale(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;  // can't probe; let bind report the real error
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  const int savedErrno = errno;
+  ::close(fd);
+  if (rc == 0) return false;  // a live server is accepting
+  return savedErrno == ECONNREFUSED || savedErrno == ENOENT;
+}
+
 }  // namespace
 
 Endpoint parseEndpoint(const std::string& spec) {
@@ -111,13 +129,23 @@ void Server::start() {
   if (ep.kind == Endpoint::Kind::kUnix) {
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) throwErrno("socket(AF_UNIX)");
-    (void)::unlink(ep.path.c_str());  // stale socket from a previous run
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
     if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0) {
-      throwErrno("bind(" + ep.path + ")");
+      // EADDRINUSE may just mean the previous daemon crashed without
+      // unlinking its socket. Probe before reclaiming: unlinking
+      // unconditionally would silently hijack the endpoint of a *live*
+      // server (both daemons would then believe they own the path).
+      if (errno != EADDRINUSE || !unixSocketIsStale(ep.path)) {
+        throwErrno("bind(" + ep.path + ")");
+      }
+      (void)::unlink(ep.path.c_str());
+      if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throwErrno("bind(" + ep.path + ") after reclaiming stale socket");
+      }
     }
     ownsSocketFile_ = true;  // the file now exists and is ours
   } else {
@@ -148,6 +176,7 @@ void Server::start() {
   if (::listen(listenFd_, 128) != 0) throwErrno("listen");
 
   started_ = true;
+  startTime_ = std::chrono::steady_clock::now();
   acceptThread_ = std::thread([this] { acceptLoop(); });
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
@@ -466,9 +495,35 @@ Response Server::handle(const Request& request) {
       }
       break;
     }
+    case Verb::kHealth: {
+      // The liveness/durability summary a supervisor polls: cheap (one
+      // snapshot load plus journal counter reads), and stable keys.
+      const SlowdownSnapshot snapshot = tracker_.slowdowns();
+      const double uptime =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        startTime_)
+              .count();
+      response.add("uptime_s", uptime);
+      response.add("epoch", snapshot.epoch);
+      response.add("p", static_cast<std::uint64_t>(snapshot.active));
+      response.add("recovered",
+                   static_cast<std::uint64_t>(config_.recovered ? 1 : 0));
+      if (config_.journal != nullptr) {
+        const JournalStats journal = config_.journal->stats();
+        response.add("journal", std::string("on"));
+        response.add("journal_lag_records", journal.lagRecords);
+        response.add("journal_append_errors", journal.appendErrors);
+      } else {
+        response.add("journal", std::string("off"));
+        response.add("journal_lag_records", std::uint64_t{0});
+        response.add("journal_append_errors", std::uint64_t{0});
+      }
+      break;
+    }
     case Verb::kStats: {
       const TrackerStats stats = tracker_.stats();
       response.add("epoch", stats.epoch);
+      response.add("signature", stats.signature);
       response.add("p", static_cast<std::uint64_t>(stats.active));
       response.add("arrivals", stats.arrivals);
       response.add("departures", stats.departures);
@@ -492,6 +547,15 @@ Response Server::handle(const Request& request) {
         response.add(prefix + "evictions", shard.evictions);
         response.add(prefix + "entries",
                      static_cast<std::uint64_t>(shard.entries));
+      }
+      if (config_.journal != nullptr) {
+        const JournalStats journal = config_.journal->stats();
+        response.add("journal_records", journal.records);
+        response.add("journal_bytes", journal.bytes);
+        response.add("journal_snapshots", journal.snapshots);
+        response.add("journal_fsyncs", journal.fsyncs);
+        response.add("journal_append_errors", journal.appendErrors);
+        response.add("journal_lag_records", journal.lagRecords);
       }
       metrics_.fill(response);
       break;

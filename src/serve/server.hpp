@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,6 +53,13 @@ struct ServerConfig {
   // worst-case disconnect time is requestDeadlineMs + requestTimeoutMs
   // (deadline checks happen between recvs). 0 disables the deadline.
   int requestDeadlineMs = 10000;
+  // Optional write-ahead journal (not owned; must outlive the server). Its
+  // counters feed the STATS and HEALTH responses; the tracker does the
+  // actual appending.
+  Journal* journal = nullptr;
+  // True when the tracker was rebuilt from persisted state at startup;
+  // surfaced verbatim as HEALTH's `recovered` field.
+  bool recovered = false;
 };
 
 class Server {
@@ -102,6 +110,7 @@ class Server {
 
   std::thread acceptThread_;
   std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point startTime_{};  // for HEALTH uptime_s
 
   std::mutex queueMutex_;
   std::condition_variable queueCv_;

@@ -1,0 +1,19 @@
+#include "serve/syscall_hooks.hpp"
+
+#include <atomic>
+
+namespace contend::serve {
+
+namespace {
+std::atomic<const SyscallHooks*> gHooks{nullptr};
+}  // namespace
+
+void installSyscallHooks(const SyscallHooks* hooks) {
+  gHooks.store(hooks, std::memory_order_release);
+}
+
+const SyscallHooks* syscallHooks() {
+  return gHooks.load(std::memory_order_acquire);
+}
+
+}  // namespace contend::serve

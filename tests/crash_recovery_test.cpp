@@ -1,0 +1,425 @@
+// End-to-end crash recovery: a forked contend-serve daemon is SIGKILLed at
+// randomized points mid-workload and must come back — via journal replay —
+// with epoch, mix signature, and SLOWDOWN/PREDICT outputs bit-identical to
+// an oracle tracker that never crashed. Also covers client auto-reconnect
+// across a daemon restart and stale-socket reclaim (every respawn rebinds
+// over the dead daemon's socket file).
+//
+// The child is forked while the parent is single-threaded (gtest's main
+// thread only; the oracle tracker and clients spawn no threads), builds the
+// tracker + journal + server in-process, and only ever leaves via _exit or
+// SIGKILL — it never returns into gtest.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/journal.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+namespace {
+
+model::ParagonPlatformModel testPlatform(int maxContenders = 8) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+std::string uniquePath(const char* tag, const char* suffix) {
+  static int counter = 0;
+  return "/tmp/contend_crash_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + suffix;
+}
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+tools::TaskSpec probeTask() {
+  tools::TaskSpec task;
+  task.name = "probe";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  task.fromBackend.push_back({512, 512});
+  return task;
+}
+
+/// One step of the deterministic workload. Departures name a position in
+/// the parent's live-id list, so the parent-driven daemon and the in-process
+/// oracle stay in lockstep without sharing state.
+struct Op {
+  bool arrive = true;
+  double fraction = 0.0;
+  Words words = 0;
+  std::size_t departIndex = 0;
+};
+
+std::vector<Op> makeSchedule(int count, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<Op> ops;
+  std::size_t live = 0;
+  for (int i = 0; i < count; ++i) {
+    Op op;
+    op.arrive = live == 0 || (live < 6 && uniform(rng) < 0.6);
+    if (op.arrive) {
+      op.fraction = 0.1 + 0.8 * uniform(rng);
+      op.words = 64 + static_cast<Words>(900 * uniform(rng));
+      ++live;
+    } else {
+      op.departIndex =
+          static_cast<std::size_t>(uniform(rng) * static_cast<double>(live)) %
+          live;
+      --live;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// Forks the daemon. The child process builds everything in-process (no
+/// exec, so no binary-path plumbing) and blocks in server.wait() until the
+/// parent SIGKILLs it.
+pid_t spawnDaemon(const std::string& socketPath,
+                  const std::string& journalPath) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  try {
+    ConcurrentTracker tracker(testPlatform());
+    JournalConfig journalConfig;
+    journalConfig.path = journalPath;
+    journalConfig.snapshotEvery = 16;  // exercise compaction across kills
+    journalConfig.fsync = FsyncPolicy::kOff;  // page cache survives SIGKILL
+    Journal journal(journalConfig);
+    const RecoveryReport report = tracker.recoverFromJournal(journal);
+    ServerConfig config;
+    config.endpoint = parseEndpoint("unix:" + socketPath);
+    config.workers = 2;
+    config.journal = &journal;
+    config.recovered = report.recovered;
+    Metrics metrics;
+    Server server(config, tracker, metrics);
+    server.start();
+    server.wait();
+  } catch (...) {
+    ::_exit(17);
+  }
+  ::_exit(0);
+}
+
+std::unique_ptr<Client> connectWithRetry(const std::string& socketPath,
+                                         ReconnectPolicy policy = {}) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    try {
+      return std::make_unique<Client>("unix:" + socketPath, 10000, policy);
+    } catch (const TransportError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return nullptr;
+}
+
+void killAndReap(pid_t pid) {
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+/// Connects a bare unix socket and sends one request line without reading
+/// the response — the only way to leave a request genuinely in flight when
+/// the SIGKILL lands.
+void sendWithoutReading(const std::string& socketPath,
+                        const std::string& line) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, line.data(), line.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(line.size()));
+  ::close(fd);
+}
+
+std::string formatOp(const Op& op, const std::vector<std::uint64_t>& live) {
+  Request request;
+  if (op.arrive) {
+    request.verb = Verb::kArrive;
+    request.app.commFraction = op.fraction;
+    request.app.messageWords = op.words;
+  } else {
+    request.verb = Verb::kDepart;
+    request.applicationId = live[op.departIndex];
+  }
+  return formatRequest(request);
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socketPath_ = uniquePath("daemon", ".sock");
+    journalPath_ = uniquePath("daemon", ".jrn");
+  }
+
+  void TearDown() override {
+    if (daemon_ > 0) {
+      ::kill(daemon_, SIGKILL);
+      ::waitpid(daemon_, nullptr, 0);
+    }
+    ::unlink(socketPath_.c_str());
+    ::unlink(journalPath_.c_str());
+    ::unlink((journalPath_ + ".snapshot").c_str());
+    ::unlink((journalPath_ + ".snapshot.tmp").c_str());
+  }
+
+  void spawn() {
+    daemon_ = spawnDaemon(socketPath_, journalPath_);
+    ASSERT_GT(daemon_, 0);
+  }
+
+  void respawn() {
+    killAndReap(daemon_);
+    daemon_ = -1;
+    spawn();
+  }
+
+  std::string socketPath_;
+  std::string journalPath_;
+  pid_t daemon_ = -1;
+};
+
+/// Asserts the daemon's published state is bit-identical to the oracle's:
+/// epoch, signature, active count, both slowdown factors, and a PREDICT.
+/// The protocol prints doubles with shortest-round-trip formatting, so a
+/// parsed response number being bit-equal means the server value is too.
+void expectMatchesOracle(Client& client, ConcurrentTracker& oracle) {
+  const SlowdownSnapshot expected = oracle.slowdowns();
+  const Response slowdown = client.slowdown();
+  ASSERT_TRUE(slowdown.ok) << slowdown.error;
+  EXPECT_EQ(slowdown.number("epoch"), static_cast<double>(expected.epoch));
+  EXPECT_EQ(slowdown.number("p"), static_cast<double>(expected.active));
+  EXPECT_EQ(bits(slowdown.number("comp")), bits(expected.comp));
+  EXPECT_EQ(bits(slowdown.number("comm")), bits(expected.comm));
+
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(*stats.find("epoch"), std::to_string(expected.epoch));
+  EXPECT_EQ(*stats.find("signature"), std::to_string(expected.signature));
+
+  const TaskPrediction expectedPrediction = oracle.predict(probeTask());
+  const Response predict = client.predict(probeTask());
+  ASSERT_TRUE(predict.ok) << predict.error;
+  EXPECT_EQ(bits(predict.number("front")), bits(expectedPrediction.frontSec));
+  EXPECT_EQ(bits(predict.number("remote")),
+            bits(expectedPrediction.remoteSec));
+  EXPECT_EQ(*predict.find("decision"),
+            expectedPrediction.offload ? "back-end" : "front-end");
+}
+
+TEST_F(CrashRecoveryTest, RecoversBitIdenticalAfterRandomizedSigkills) {
+  constexpr int kOps = 80;
+  const std::vector<Op> schedule = makeSchedule(kOps, 0xc0ffee);
+
+  // Six clean kills (between requests) plus three in-flight kills (request
+  // sent, response never read) at distinct randomized schedule positions.
+  std::mt19937 rng(0xdecaf);
+  std::vector<int> killAt;
+  std::vector<int> inflightAt;
+  {
+    std::vector<int> positions(kOps - 10);
+    for (int i = 0; i < kOps - 10; ++i) positions[i] = i + 5;
+    std::shuffle(positions.begin(), positions.end(), rng);
+    killAt.assign(positions.begin(), positions.begin() + 6);
+    inflightAt.assign(positions.begin() + 6, positions.begin() + 9);
+    std::sort(killAt.begin(), killAt.end());
+    std::sort(inflightAt.begin(), inflightAt.end());
+  }
+  auto contains = [](const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+
+  ConcurrentTracker oracle(testPlatform());
+  std::vector<std::uint64_t> live;
+
+  spawn();
+  std::unique_ptr<Client> client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+
+  int kills = 0;
+  int pos = 0;
+  while (pos < kOps) {
+    const Op& op = schedule[static_cast<std::size_t>(pos)];
+    if (contains(killAt, pos)) {
+      // Clean kill: no request in flight, so the recovered epoch must be
+      // exactly the number of acknowledged mutations.
+      respawn();
+      ++kills;
+      client = connectWithRetry(socketPath_);
+      ASSERT_NE(client, nullptr);
+      const Response health = client->health();
+      ASSERT_TRUE(health.ok) << health.error;
+      EXPECT_EQ(*health.find("recovered"), "1");
+      EXPECT_EQ(*health.find("journal"), "on");
+      EXPECT_EQ(health.number("epoch"), static_cast<double>(pos));
+      expectMatchesOracle(*client, oracle);
+      killAt.erase(std::find(killAt.begin(), killAt.end(), pos));
+      continue;  // re-evaluate this position (it may also be in inflightAt)
+    }
+    if (contains(inflightAt, pos)) {
+      // In-flight kill: the mutation was sent but its ack never read. The
+      // daemon may or may not have applied+journaled it before dying —
+      // recovery must land on exactly one of those two states.
+      sendWithoutReading(socketPath_, formatOp(op, live));
+      respawn();
+      ++kills;
+      client = connectWithRetry(socketPath_);
+      ASSERT_NE(client, nullptr);
+      const Response stats = client->stats();
+      ASSERT_TRUE(stats.ok) << stats.error;
+      const std::uint64_t epoch =
+          static_cast<std::uint64_t>(stats.number("epoch"));
+      ASSERT_GE(epoch, static_cast<std::uint64_t>(pos));
+      ASSERT_LE(epoch, static_cast<std::uint64_t>(pos) + 1);
+      inflightAt.erase(std::find(inflightAt.begin(), inflightAt.end(), pos));
+      if (epoch == static_cast<std::uint64_t>(pos)) {
+        continue;  // not applied: re-issue this op through the client
+      }
+      // Applied: advance the oracle past it and verify convergence.
+      if (op.arrive) {
+        live.push_back(oracle.arrive({op.fraction, op.words}).id);
+      } else {
+        oracle.depart(live[op.departIndex]);
+        live.erase(live.begin() +
+                   static_cast<std::ptrdiff_t>(op.departIndex));
+      }
+      expectMatchesOracle(*client, oracle);
+      ++pos;
+      continue;
+    }
+    // Regular op: drive the daemon and the oracle in lockstep.
+    if (op.arrive) {
+      const Response response = client->arrive(op.fraction, op.words);
+      ASSERT_TRUE(response.ok) << response.error;
+      const MutationResult expected = oracle.arrive({op.fraction, op.words});
+      EXPECT_EQ(*response.find("id"), std::to_string(expected.id));
+      EXPECT_EQ(bits(response.number("comp")), bits(expected.after.comp));
+      EXPECT_EQ(bits(response.number("comm")), bits(expected.after.comm));
+      live.push_back(expected.id);
+    } else {
+      const Response response = client->depart(live[op.departIndex]);
+      ASSERT_TRUE(response.ok) << response.error;
+      const MutationResult expected = oracle.depart(live[op.departIndex]);
+      EXPECT_EQ(bits(response.number("comp")), bits(expected.after.comp));
+      EXPECT_EQ(bits(response.number("comm")), bits(expected.after.comm));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(op.departIndex));
+    }
+    ++pos;
+  }
+
+  EXPECT_GE(kills, 9);  // 6 clean + 3 in-flight, all at randomized points
+  // One final restart after the full workload: the recovered daemon and the
+  // never-crashed oracle must still agree bit for bit.
+  respawn();
+  client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  expectMatchesOracle(*client, oracle);
+  const Response health = client->health();
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(*health.find("recovered"), "1");
+}
+
+TEST_F(CrashRecoveryTest, HealthReportsFreshStartWithoutJournalState) {
+  spawn();
+  std::unique_ptr<Client> client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  const Response health = client->health();
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(*health.find("recovered"), "0");
+  EXPECT_EQ(*health.find("epoch"), "0");
+  EXPECT_EQ(*health.find("journal"), "on");
+  EXPECT_EQ(*health.find("journal_lag_records"), "0");
+  ASSERT_NE(health.find("uptime_s"), nullptr);
+  EXPECT_GE(health.number("uptime_s"), 0.0);
+}
+
+TEST_F(CrashRecoveryTest, ClientAutoReconnectRidesThroughRestart) {
+  spawn();
+  ReconnectPolicy policy;
+  policy.maxAttempts = 60;
+  policy.baseDelayMs = 2;
+  policy.maxDelayMs = 50;
+  std::unique_ptr<Client> client = connectWithRetry(socketPath_, policy);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->arrive(0.5, 256).ok);
+  ASSERT_TRUE(client->slowdown().ok);
+  EXPECT_EQ(client->reconnects(), 0u);
+
+  // Restart the daemon under the client's feet. The next call hits a dead
+  // connection, reconnects with backoff, replays, and succeeds — the caller
+  // never sees the restart.
+  respawn();
+  const Response slowdown = client->slowdown();
+  ASSERT_TRUE(slowdown.ok) << slowdown.error;
+  EXPECT_GE(client->reconnects(), 1u);
+  // The recovered state is the pre-crash state (fsync off + SIGKILL keeps
+  // the page cache): the arrival journaled before the kill is still there.
+  EXPECT_EQ(slowdown.number("epoch"), 1.0);
+  EXPECT_EQ(slowdown.number("p"), 1.0);
+
+  const Response health = client->health();
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(*health.find("recovered"), "1");
+}
+
+TEST_F(CrashRecoveryTest, ExhaustedRetryBudgetThrowsTransportError) {
+  spawn();
+  ReconnectPolicy policy;
+  policy.maxAttempts = 2;
+  policy.baseDelayMs = 1;
+  policy.maxDelayMs = 2;
+  std::unique_ptr<Client> client = connectWithRetry(socketPath_, policy);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->slowdown().ok);
+  // Kill without respawn: every reconnect attempt fails, and the budget is
+  // finite, so call() must surface the TransportError instead of spinning.
+  killAndReap(daemon_);
+  daemon_ = -1;
+  ::unlink(socketPath_.c_str());
+  EXPECT_THROW((void)client->slowdown(), TransportError);
+}
+
+}  // namespace
+}  // namespace contend::serve

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/journal.hpp"
+
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size);
 
@@ -41,7 +43,7 @@ TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
     ++replayed;
   }
   // Guard against the corpus silently vanishing from the build tree.
-  EXPECT_GE(replayed, 12) << "corpus shrank unexpectedly";
+  EXPECT_GE(replayed, 40) << "corpus shrank unexpectedly";
 }
 
 // Adversarial inputs too large to be pleasant as checked-in files.
@@ -75,6 +77,68 @@ TEST(ProtocolFuzzReplay, SyntheticHostileInputs) {
   replay("1ERR");
   replay("1OK a=");
   replay("3tcp:" + std::string(1 << 16, ':'));
+}
+
+// Hostile inputs for the journal codecs (selectors '4' records,
+// '5' snapshot): raw garbage, oversized length fields, and bit-flipped
+// variants of genuinely valid encodings.
+TEST(ProtocolFuzzReplay, SyntheticHostileJournalInputs) {
+  using contend::serve::JournalRecord;
+  using contend::serve::SnapshotImage;
+
+  replay("4");
+  replay("5");
+  replay("4" + std::string(1 << 16, '\0'));
+  replay("5" + std::string(1 << 16, '\xff'));
+  // Length field claiming ~2 GiB of payload (built piecewise: the frame
+  // header legitimately contains NUL bytes).
+  std::string huge = "4";
+  huge += "\xff\xff\xff\x7f";
+  huge.append(4, '\0');
+  replay(huge);
+  huge[0] = '5';
+  replay(huge);
+
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kArrive;
+  record.epoch = 3;
+  record.id = 3;
+  record.timeSec = 1.5;
+  record.app.commFraction = 0.25;
+  record.app.messageWords = 640;
+  const std::string frame = contend::serve::encodeRecord(record);
+  replay("4" + frame);              // valid: exercises the round trip
+  replay("4" + frame + frame);      // two frames
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    replay("4" + frame.substr(0, cut));  // every torn-tail length
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string mutated = frame;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
+    replay("4" + frame + mutated);  // corrupt second frame
+  }
+
+  SnapshotImage image;
+  image.epoch = 6;
+  image.arrivals = 4;
+  image.departures = 2;
+  image.checkpoint.ids = {2, 4};
+  image.checkpoint.apps = {{0.5, 100}, {0.75, 2000}};
+  image.checkpoint.commPoly = {0.125, 0.625, 0.25};
+  image.checkpoint.compPoly = {0.125, 0.625, 0.25};
+  image.checkpoint.nextId = 5;
+  image.checkpoint.lastEventTimeSec = 9.0;
+  const std::string snapshot = contend::serve::encodeSnapshot(image);
+  replay("5" + snapshot);  // valid: exercises the round trip
+  for (std::size_t cut = 0; cut < snapshot.size(); ++cut) {
+    replay("5" + snapshot.substr(0, cut));
+  }
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    std::string mutated = snapshot;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    replay("5" + mutated);
+  }
+  replay("5" + snapshot + "x");  // trailing garbage after a valid frame
 }
 
 }  // namespace

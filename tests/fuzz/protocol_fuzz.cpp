@@ -1,5 +1,6 @@
 // protocol_fuzz.cpp — libFuzzer harness over the contend-serve parsing
-// surface: readRequest, parseResponse, parseWorkload, and parseEndpoint.
+// surface: readRequest, parseResponse, parseWorkload, parseEndpoint, and
+// the journal codecs (decodeRecords, decodeSnapshot).
 //
 // The contract under test: every parser either succeeds or throws a typed
 // exception (ProtocolError / std::runtime_error / std::invalid_argument) —
@@ -14,8 +15,10 @@
 //    deterministically on every toolchain, so regressions caught by the
 //    fuzzer stay fixed even where libFuzzer is unavailable (gcc).
 //
-// Input format: byte 0 mod 4 selects the target (the corpus uses the ASCII
-// digits '0'–'3' for readability), the rest is the parser's payload.
+// Input format: byte 0 mod 6 selects the target (the corpus uses the ASCII
+// digits '0'–'5' for readability — their codes map to 0–5 under mod 6, so
+// the pre-journal corpus files keep their meaning), the rest is the
+// parser's payload.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +27,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "tools/workload_file.hpp"
@@ -88,12 +92,40 @@ void driveParseEndpoint(const std::string& payload) {
       contend::serve::endpointToString(endpoint));
 }
 
+void driveJournalRecords(const std::string& payload) {
+  // decodeRecords never throws: it returns the longest clean prefix. The
+  // invariants: the prefix length is in bounds, and every accepted record
+  // re-encodes into the exact bytes it was decoded from (the framing is
+  // canonical — exact payload sizes, verbatim double bit patterns).
+  std::size_t clean = 0;
+  const std::vector<contend::serve::JournalRecord> records =
+      contend::serve::decodeRecords(payload, &clean);
+  if (clean > payload.size()) die("clean prefix longer than the input");
+  std::string reencoded;
+  for (const contend::serve::JournalRecord& record : records) {
+    reencoded += contend::serve::encodeRecord(record);
+  }
+  if (reencoded != payload.substr(0, clean)) {
+    die("journal record round trip is not byte-identical");
+  }
+}
+
+void driveJournalSnapshot(const std::string& payload) {
+  // decodeSnapshot returns nullopt on any framing/CRC/consistency
+  // violation; an accepted snapshot must re-encode byte-identically.
+  const auto image = contend::serve::decodeSnapshot(payload);
+  if (!image) return;
+  if (contend::serve::encodeSnapshot(*image) != payload) {
+    die("snapshot round trip is not byte-identical");
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;
-  const int selector = data[0] % 4;
+  const int selector = data[0] % 6;
   const std::string payload(reinterpret_cast<const char*>(data + 1),
                             size - 1);
   try {
@@ -107,8 +139,14 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       case 2:
         driveParseWorkload(payload);
         break;
-      default:
+      case 3:
         driveParseEndpoint(payload);
+        break;
+      case 4:
+        driveJournalRecords(payload);
+        break;
+      default:
+        driveJournalSnapshot(payload);
         break;
     }
   } catch (const ProtocolError&) {

@@ -74,6 +74,19 @@ TEST(Protocol, DepartRoundTrips) {
   EXPECT_EQ(parsed->applicationId, request.applicationId);
 }
 
+TEST(Protocol, HealthRoundTrips) {
+  Request request;
+  request.verb = Verb::kHealth;
+  EXPECT_EQ(formatRequest(request), "HEALTH\n");
+  std::istringstream in(formatRequest(request));
+  const auto parsed = readRequest(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->verb, Verb::kHealth);
+  // Argument-less verb: trailing tokens are a protocol error.
+  std::istringstream extra("HEALTH now\n");
+  EXPECT_THROW((void)readRequest(extra), ProtocolError);
+}
+
 TEST(Protocol, PredictRoundTrips) {
   const Request request = predictRequest();
   std::istringstream in(formatRequest(request));

@@ -3,6 +3,7 @@
 // concurrent clients, error surfacing, and graceful shutdown.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <memory>
@@ -348,6 +349,85 @@ TEST_F(ServerFixture, PredictBlockArrivesOverTheWire) {
   EXPECT_EQ(*response.find("name"), "wired");
   EXPECT_DOUBLE_EQ(response.number("front"), 2.0);  // dedicated: no mix
   server_->stop();
+}
+
+TEST_F(ServerFixture, HealthVerbOverTheWire) {
+  startUnix();
+  Client client(config_.endpoint);
+  // No journal configured: HEALTH still answers, with the journal off.
+  const Response health = client.health();
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(*health.find("verb"), "HEALTH");
+  EXPECT_GE(health.number("uptime_s"), 0.0);
+  EXPECT_EQ(*health.find("epoch"), "0");
+  EXPECT_EQ(*health.find("recovered"), "0");
+  EXPECT_EQ(*health.find("journal"), "off");
+
+  ASSERT_TRUE(client.arrive(0.4, 500).ok);
+  const Response after = client.health();
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(*after.find("epoch"), "1");
+  server_->stop();
+}
+
+TEST_F(ServerFixture, StatsReportSignature) {
+  startUnix();
+  Client client(config_.endpoint);
+  const Response before = client.stats();
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(*before.find("signature"), "0");  // empty mix
+  ASSERT_TRUE(client.arrive(0.4, 500).ok);
+  const Response after = client.stats();
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(*after.find("signature"), "0");
+  server_->stop();
+}
+
+// A dead daemon leaves its socket file behind; the next start must reclaim
+// it (probe with connect(), unlink on refusal) instead of failing — and
+// must NOT steal the file from a daemon that is still alive.
+TEST(StaleSocket, DeadSocketFileIsReclaimed) {
+  const std::string path = uniqueSocketPath("stale");
+  ConcurrentTracker trackerA(testPlatform());
+  Metrics metricsA;
+  ServerConfig config;
+  config.endpoint = parseEndpoint("unix:" + path);
+  config.workers = 2;
+  // Plant an orphaned socket file with no listener behind it — exactly
+  // what a SIGKILLed daemon leaves on disk.
+  ASSERT_EQ(::mknod(path.c_str(), S_IFSOCK | 0600, 0), 0);
+
+  ConcurrentTracker trackerB(testPlatform());
+  Metrics metricsB;
+  Server serverB(config, trackerB, metricsB);
+  serverB.start();  // must reclaim, not throw
+  Client client(config.endpoint);
+  EXPECT_TRUE(client.slowdown().ok);
+  serverB.stop();
+  ::unlink(path.c_str());
+}
+
+TEST(StaleSocket, LiveServerIsNotHijacked) {
+  const std::string path = uniqueSocketPath("live");
+  ConcurrentTracker trackerA(testPlatform());
+  Metrics metricsA;
+  ServerConfig config;
+  config.endpoint = parseEndpoint("unix:" + path);
+  config.workers = 2;
+  Server serverA(config, trackerA, metricsA);
+  serverA.start();
+
+  // A second daemon pointed at the same path must refuse to start: the
+  // connect() probe succeeds, so the file is NOT stale.
+  ConcurrentTracker trackerB(testPlatform());
+  Metrics metricsB;
+  Server serverB(config, trackerB, metricsB);
+  EXPECT_THROW(serverB.start(), std::runtime_error);
+
+  // And the original server is untouched by the failed takeover.
+  Client client(config.endpoint);
+  EXPECT_TRUE(client.slowdown().ok);
+  serverA.stop();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // Usage:
 //   contend_client <endpoint> slowdown
 //   contend_client <endpoint> stats
+//   contend_client <endpoint> health
 //   contend_client <endpoint> arrive <commFraction> <messageWords>
 //   contend_client <endpoint> depart <applicationId>
 //   contend_client <endpoint> load <file.workload>     # ARRIVE every competitor
@@ -12,6 +13,10 @@
 // `load` + `predict` together reproduce what `contend_predict` computes
 // offline, but against the *live* mix held by the daemon, which other
 // clients may be mutating concurrently.
+//
+// Exit codes (stable, for scripts): 0 on success, 1 when the server
+// answered `ERR`, 2 on transport failure (cannot connect, connection died)
+// or a usage error.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -29,6 +34,8 @@ namespace {
       << "usage: contend_client <endpoint> <command> [args]\n"
          "  slowdown                      current slowdown factors\n"
          "  stats                         serving + cache metrics\n"
+         "  health                        uptime, epoch, journal lag,\n"
+         "                                recovered flag\n"
          "  arrive <fraction> <words>     register one competing app\n"
          "  depart <id>                   deregister an app by id\n"
          "  load <file.workload>          ARRIVE every competitor in the file\n"
@@ -36,7 +43,8 @@ namespace {
          "          [--batch]             one PREDICT_BATCH round trip, all\n"
          "                                tasks priced against one snapshot\n"
          "  raw '<request>'               send one raw request line\n"
-         "endpoints: unix:/path/to.sock | tcp:[host:]port\n";
+         "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
+         "exit codes: 0 ok, 1 server ERR, 2 transport/usage error\n";
   std::exit(2);
 }
 
@@ -136,6 +144,9 @@ int main(int argc, char** argv) {
     if (command == "stats" && argc == 3) {
       return printResponse(client.stats());
     }
+    if (command == "health" && argc == 3) {
+      return printResponse(client.health());
+    }
     if (command == "arrive" && argc == 5) {
       return printResponse(
           client.arrive(std::stod(argv[3]), std::stoll(argv[4])));
@@ -159,8 +170,15 @@ int main(int argc, char** argv) {
       return printResponse(client.raw(text));
     }
     usage();
-  } catch (const std::exception& error) {
+  } catch (const serve::ProtocolError& error) {
+    // The server delivered bytes we could not parse — its fault, but the
+    // conversation did happen; report it like a server-side failure.
     std::cerr << "error: " << error.what() << "\n";
     return 1;
+  } catch (const std::exception& error) {
+    // Transport failures (serve::TransportError and friends): nothing was
+    // exchanged, distinguishable from a server ERR for scripts.
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
   }
 }

@@ -3,7 +3,8 @@
 // Usage:
 //   contend_served <profile.txt> [--listen <endpoint>] [--workers N]
 //                  [--queue N] [--timeout-ms N] [--deadline-ms N]
-//                  [--cache N]
+//                  [--cache N] [--journal <path>] [--snapshot-every N]
+//                  [--fsync always|interval|off]
 //
 // Loads a calibrated platform profile (see `contend_predict --calibrate`)
 // and serves the Paragon-style slowdown models over a line protocol (see
@@ -11,13 +12,19 @@
 // unix:/tmp/contend.sock) or `tcp:[host:]port`. SIGTERM/SIGINT drain
 // gracefully: in-flight and queued connections finish, then the process
 // exits 0.
+//
+// With --journal, every ARRIVE/DEPART is appended to a write-ahead journal
+// and the tracker state is rebuilt from it on startup, so a crash resumes
+// at the exact pre-crash epoch (docs/SERVING.md, "Durability & recovery").
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "calib/profile_io.hpp"
 #include "serve/concurrent_tracker.hpp"
+#include "serve/journal.hpp"
 #include "serve/metrics.hpp"
 #include "serve/server.hpp"
 
@@ -35,10 +42,15 @@ void onSignal(int) {
   std::cerr << "usage: contend_served <profile.txt> [--listen <endpoint>]\n"
                "                      [--workers N] [--queue N]\n"
                "                      [--timeout-ms N] [--deadline-ms N]\n"
-               "                      [--cache N]\n"
+               "                      [--cache N] [--journal <path>]\n"
+               "                      [--snapshot-every N]\n"
+               "                      [--fsync always|interval|off]\n"
                "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
                "--deadline-ms is the wall-clock budget per request\n"
-               "  (guards against slow-loris clients; 0 disables)\n";
+               "  (guards against slow-loris clients; 0 disables)\n"
+               "--journal enables the write-ahead journal (crash recovery);\n"
+               "  --snapshot-every sets records between compacting snapshots\n"
+               "  (0 disables snapshots), --fsync picks the durability mode\n";
   std::exit(2);
 }
 
@@ -61,6 +73,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig config;
   config.endpoint = serve::parseEndpoint("unix:/tmp/contend.sock");
   std::size_t cacheCapacity = 4096;
+  serve::JournalConfig journalConfig;  // path stays empty unless --journal
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -82,6 +95,19 @@ int main(int argc, char** argv) {
             static_cast<int>(parseCount(value, "--deadline-ms", 0));
       } else if (flag == "--cache") {
         cacheCapacity = static_cast<std::size_t>(parseCount(value, "--cache"));
+      } else if (flag == "--journal") {
+        journalConfig.path = value;
+      } else if (flag == "--snapshot-every") {
+        journalConfig.snapshotEvery = static_cast<std::uint64_t>(
+            parseCount(value, "--snapshot-every", 0));
+      } else if (flag == "--fsync") {
+        const auto policy = serve::fsyncPolicyFromName(value);
+        if (!policy) {
+          std::cerr << "error: --fsync expects always|interval|off, got '"
+                    << value << "'\n";
+          return 2;
+        }
+        journalConfig.fsync = *policy;
       } else {
         usage();
       }
@@ -95,6 +121,26 @@ int main(int argc, char** argv) {
     const calib::PlatformProfile profile =
         calib::loadProfileFile(profilePath);
     serve::ConcurrentTracker tracker(profile.paragon, cacheCapacity);
+
+    std::unique_ptr<serve::Journal> journal;
+    if (!journalConfig.path.empty()) {
+      journal = std::make_unique<serve::Journal>(journalConfig);
+      const serve::RecoveryReport report = tracker.recoverFromJournal(*journal);
+      config.journal = journal.get();
+      config.recovered = report.recovered;
+      if (report.recovered) {
+        std::cout << "contend_served: recovered epoch " << report.epoch
+                  << " from '" << journalConfig.path << "' ("
+                  << (report.snapshotLoaded ? "snapshot + " : "")
+                  << report.replayedRecords << " replayed records";
+        if (report.truncatedBytes > 0) {
+          std::cout << ", " << report.truncatedBytes
+                    << " torn tail bytes truncated";
+        }
+        std::cout << ")\n" << std::flush;
+      }
+    }
+
     serve::Metrics metrics;
     serve::Server server(config, tracker, metrics);
     server.start();
