@@ -14,7 +14,7 @@
 //                         [--workers N] [--write-ratio F] [--batch N]
 //                         [--min-rps R] [--json <path>]
 //                         [--journal <path>] [--fsync always|interval|off]
-//                         [--nojournal-rps R]
+//                         [--nojournal-rps R] [--ring-rps R]
 // Exits non-zero when --min-rps is given and the measured rate is below it
 // (used as the acceptance gate). --json writes a machine-readable
 // BENCH_serve.json-style record so the perf trajectory is diffable across
@@ -22,7 +22,11 @@
 // build) and the computed speedup in that record. --journal runs the bench
 // with the write-ahead journal enabled (--fsync picks the durability
 // mode); --nojournal-rps embeds the journal-less reference rate and the
-// relative overhead in the JSON record.
+// relative overhead in the JSON record. --ring-rps embeds the rate measured
+// by the old sampled-latency-ring build and the relative overhead of the
+// per-verb histograms that replaced it (acceptance bar: < 2%).
+// Latency percentiles come from the server's merged log-scale histograms
+// (STATS p50/p90/p99/p999), not from client-side sorted vectors.
 #include <unistd.h>
 
 #include <atomic>
@@ -98,6 +102,7 @@ struct BenchConfig {
   std::string journalPath;
   serve::FsyncPolicy fsync = serve::FsyncPolicy::kOff;
   double nojournalRps = 0.0;
+  double ringRps = 0.0;
 };
 
 void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
@@ -129,7 +134,9 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
     out << ",\n    \"cache_hit_rate\": "
         << jsonNumber(stats.number("cache_hit_rate"))
         << ",\n    \"p50_us\": " << *stats.find("p50_us")
+        << ",\n    \"p90_us\": " << *stats.find("p90_us")
         << ",\n    \"p99_us\": " << *stats.find("p99_us")
+        << ",\n    \"p999_us\": " << *stats.find("p999_us")
         << ",\n    \"queue_hwm\": " << *stats.find("queue_hwm");
     if (const std::string* epoch = stats.find("epoch")) {
       out << ",\n    \"epoch\": " << *epoch;
@@ -152,6 +159,14 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
         << jsonNumber(1.0 - rps / config.nojournalRps) << "\n"
         << "  }";
   }
+  if (config.ringRps > 0.0) {
+    // overhead < 0.02 is the acceptance bar: the per-verb histograms must
+    // stay within 2% of the sampled-ring build they replaced.
+    out << ",\n  \"histogram_baseline\": {\n"
+        << "    \"ring_rps\": " << jsonNumber(config.ringRps) << ",\n"
+        << "    \"overhead\": " << jsonNumber(1.0 - rps / config.ringRps)
+        << "\n  }";
+  }
   out << "\n}\n";
 }
 
@@ -173,6 +188,7 @@ int main(int argc, char** argv) {
     else if (flag == "--json") config.jsonPath = value;
     else if (flag == "--journal") config.journalPath = value;
     else if (flag == "--nojournal-rps") config.nojournalRps = std::atof(value);
+    else if (flag == "--ring-rps") config.ringRps = std::atof(value);
     else if (flag == "--fsync") {
       const auto policy = serve::fsyncPolicyFromName(value);
       if (!policy) {
@@ -186,7 +202,8 @@ int main(int argc, char** argv) {
                    "[--clients N] [--workers N] [--write-ratio F] "
                    "[--batch N] [--min-rps R] [--baseline-rps R] "
                    "[--json <path>] [--journal <path>] "
-                   "[--fsync always|interval|off] [--nojournal-rps R]\n";
+                   "[--fsync always|interval|off] [--nojournal-rps R] "
+                   "[--ring-rps R]\n";
       return 2;
     }
   }
@@ -320,7 +337,9 @@ int main(int argc, char** argv) {
     table.addRow({"cache hit rate",
                   TextTable::num(stats.number("cache_hit_rate"), 4)});
     table.addRow({"p50 latency (us)", *stats.find("p50_us")});
+    table.addRow({"p90 latency (us)", *stats.find("p90_us")});
     table.addRow({"p99 latency (us)", *stats.find("p99_us")});
+    table.addRow({"p99.9 latency (us)", *stats.find("p999_us")});
     table.addRow({"queue high-water", *stats.find("queue_hwm")});
   }
   printTable("contend-serve closed-loop throughput", table);

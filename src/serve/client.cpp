@@ -203,4 +203,39 @@ Response Client::health() {
   return call(request);
 }
 
+std::string Client::metricsText() {
+  if (fd_ < 0) throw TransportError("client is disconnected");
+  if (!sendAll(fd_, "METRICS\n")) throwErrno("send");
+  // Bound the whole exposition, not just each line, so a hostile or broken
+  // server cannot stream an endless "exposition" into client memory.
+  constexpr std::size_t kMaxExpositionBytes = std::size_t{64} << 20;
+  std::string text;
+  std::string line;
+  bool first = true;
+  while (true) {
+    switch (reader_.readLine(line)) {
+      case LineRead::kLine:
+        break;
+      case LineRead::kTooLong:
+        throw ProtocolError(kErrLineTooLong,
+                            "server response line exceeds the client cap");
+      default:
+        throw TransportError(
+            "server closed the connection mid-exposition (or timed out)");
+    }
+    if (first && line.rfind("ERR ", 0) == 0) {
+      const Response error = parseResponse(line);
+      throw ProtocolError(error.code, error.error);
+    }
+    first = false;
+    text += line;
+    text += '\n';
+    if (line == "# EOF") return text;
+    if (text.size() > kMaxExpositionBytes) {
+      throw ProtocolError(kErrLineTooLong,
+                          "metrics exposition exceeds the client cap");
+    }
+  }
+}
+
 }  // namespace contend::serve

@@ -77,6 +77,12 @@ class Client {
   Response stats();
   Response health();
 
+  /// Sends METRICS and reads the multi-line Prometheus exposition through
+  /// its `# EOF` terminator line (included in the returned text). An `ERR`
+  /// answer throws ProtocolError with the server's code; never retries
+  /// (like raw(): a scrape is trivially re-issued by its caller).
+  std::string metricsText();
+
   /// Sends raw bytes and reads one response line; for protocol tests and
   /// debugging (`contend_client raw`). Never retries: raw text may carry
   /// several pipelined requests, which a blind replay could double-apply.

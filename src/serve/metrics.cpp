@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
-#include <limits>
 #include <string>
-#include <vector>
 
 namespace contend::serve {
 
@@ -17,16 +15,11 @@ void Metrics::observeQueueDepth(std::size_t depth) {
   }
 }
 
-void Metrics::observeLatency(std::chrono::nanoseconds elapsed) {
-  const auto us64 = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
-  // Clamp to the slot width and keep zero-duration samples distinguishable
-  // from never-written slots.
-  const std::uint32_t us = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
-      us64 + 1, 1, std::numeric_limits<std::uint32_t>::max()));
-  const std::uint64_t index =
-      latencyCount_.fetch_add(1, std::memory_order_relaxed);
-  ringUs_[index % kLatencyRingSize].store(us, std::memory_order_relaxed);
+void Metrics::observeLatency(Verb verb, std::chrono::nanoseconds elapsed) {
+  const auto us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+             .count()));
+  latency_[static_cast<std::size_t>(verb)].record(us);
 }
 
 MetricsSnapshot Metrics::snapshot() const {
@@ -45,28 +38,18 @@ MetricsSnapshot Metrics::snapshot() const {
   snapshot.droppedBytes = droppedBytes_.load(std::memory_order_relaxed);
   snapshot.queueDepthHighWater =
       queueHighWater_.load(std::memory_order_relaxed);
-  snapshot.latencySamples = latencyCount_.load(std::memory_order_relaxed);
+  snapshot.slowRequests = slowRequests_.load(std::memory_order_relaxed);
 
-  std::vector<std::uint32_t> window;
-  window.reserve(kLatencyRingSize);
-  for (const auto& slot : ringUs_) {
-    const std::uint32_t us = slot.load(std::memory_order_relaxed);
-    if (us > 0) window.push_back(us - 1);  // undo the +1 written above
+  for (std::size_t i = 0; i < latency_.size(); ++i) {
+    snapshot.latencyByVerb[i] = latency_[i].snapshot();
+    snapshot.latencyAll.merge(snapshot.latencyByVerb[i]);
   }
-  if (!window.empty()) {
-    const auto rank = [&](double quantile) {
-      const auto index = static_cast<std::size_t>(
-          quantile * static_cast<double>(window.size() - 1));
-      std::nth_element(window.begin(),
-                       window.begin() + static_cast<std::ptrdiff_t>(index),
-                       window.end());
-      return static_cast<double>(window[index]);
-    };
-    snapshot.p50Us = rank(0.50);
-    snapshot.p99Us = rank(0.99);
-    snapshot.maxUs = static_cast<double>(
-        *std::max_element(window.begin(), window.end()));
-  }
+  snapshot.latencySamples = snapshot.latencyAll.count;
+  snapshot.p50Us = snapshot.latencyAll.quantileUs(0.50);
+  snapshot.p90Us = snapshot.latencyAll.quantileUs(0.90);
+  snapshot.p99Us = snapshot.latencyAll.quantileUs(0.99);
+  snapshot.p999Us = snapshot.latencyAll.quantileUs(0.999);
+  snapshot.maxUs = static_cast<double>(snapshot.latencyAll.maxUs);
   return snapshot;
 }
 
@@ -87,9 +70,12 @@ void Metrics::fill(Response& response) const {
   response.add("deadlines_expired", s.deadlinesExpired);
   response.add("dropped_bytes", s.droppedBytes);
   response.add("queue_hwm", s.queueDepthHighWater);
+  response.add("slow_requests", s.slowRequests);
   response.add("lat_samples", s.latencySamples);
   response.add("p50_us", s.p50Us);
+  response.add("p90_us", s.p90Us);
   response.add("p99_us", s.p99Us);
+  response.add("p999_us", s.p999Us);
   response.add("max_us", s.maxUs);
 }
 

@@ -1,11 +1,13 @@
-// metrics.hpp — lock-free serving counters, surfaced through the STATS verb.
+// metrics.hpp — lock-free serving counters and per-verb latency histograms,
+// surfaced through the STATS and METRICS verbs.
 //
 // Everything here is written from worker threads on the request hot path, so
 // the write side is atomics only: monotonic counters, a CAS-max high-water
-// mark, and a fixed latency ring that overwrites the oldest sample. Reads
-// (snapshot) are approximate by design — a snapshot taken while requests are
-// in flight may tear across counters, which is fine for operational
-// monitoring and keeps zero synchronization on the hot path.
+// mark, and one sharded log-scale histogram per verb (see histogram.hpp —
+// exact counts, never a lost increment, relative bucket width ≤ 12.5%).
+// Reads (snapshot) are approximate by design — a snapshot taken while
+// requests are in flight may tear across counters, which is fine for
+// operational monitoring and keeps zero synchronization on the hot path.
 #pragma once
 
 #include <array>
@@ -13,11 +15,10 @@
 #include <chrono>
 #include <cstdint>
 
+#include "serve/histogram.hpp"
 #include "serve/protocol.hpp"
 
 namespace contend::serve {
-
-inline constexpr std::size_t kLatencyRingSize = 4096;
 
 struct MetricsSnapshot {
   std::array<std::uint64_t, kVerbCount> requestsByVerb{};
@@ -30,9 +31,16 @@ struct MetricsSnapshot {
   std::uint64_t deadlinesExpired = 0;
   std::uint64_t droppedBytes = 0;
   std::uint64_t queueDepthHighWater = 0;
-  std::uint64_t latencySamples = 0;  // total observed (ring keeps the tail)
+  std::uint64_t slowRequests = 0;
+  // Per-verb service-time histograms plus their merge; latencyAll is what
+  // the STATS percentiles (and the ring they replaced) describe.
+  std::array<HistogramSnapshot, kVerbCount> latencyByVerb{};
+  HistogramSnapshot latencyAll;
+  std::uint64_t latencySamples = 0;  // latencyAll.count
   double p50Us = 0.0;
+  double p90Us = 0.0;
   double p99Us = 0.0;
+  double p999Us = 0.0;
   double maxUs = 0.0;
 };
 
@@ -62,14 +70,26 @@ class Metrics {
     droppedBytes_.fetch_add(static_cast<std::uint64_t>(bytes),
                             std::memory_order_relaxed);
   }
+  /// Requests that crossed the --slow-request-us threshold.
+  void countSlowRequest() {
+    slowRequests_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records the observed queue depth; keeps the maximum ever seen.
   void observeQueueDepth(std::size_t depth);
 
-  /// Records one request's service latency into the ring.
-  void observeLatency(std::chrono::nanoseconds elapsed);
+  /// Records one request's service latency into the verb's histogram
+  /// (truncated to whole microseconds).
+  void observeLatency(Verb verb, std::chrono::nanoseconds elapsed);
 
-  /// Approximate totals plus p50/p99/max over the ring's tail window.
+  /// The verb's live histogram (for the Prometheus exposition and tests).
+  [[nodiscard]] const LatencyHistogram& latency(Verb verb) const {
+    return latency_[static_cast<std::size_t>(verb)];
+  }
+
+  /// Totals plus per-verb histograms; percentiles come from the merged
+  /// histogram, so they cover every sample ever recorded (not a tail
+  /// window) with at most one bucket width of error.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Appends the snapshot as `key=value` response fields (STATS verb).
@@ -85,8 +105,8 @@ class Metrics {
   std::atomic<std::uint64_t> deadlinesExpired_{0};
   std::atomic<std::uint64_t> droppedBytes_{0};
   std::atomic<std::uint64_t> queueHighWater_{0};
-  std::atomic<std::uint64_t> latencyCount_{0};
-  std::array<std::atomic<std::uint32_t>, kLatencyRingSize> ringUs_{};
+  std::atomic<std::uint64_t> slowRequests_{0};
+  std::array<LatencyHistogram, kVerbCount> latency_{};
 };
 
 }  // namespace contend::serve

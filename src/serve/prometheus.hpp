@@ -1,0 +1,55 @@
+// prometheus.hpp — Prometheus text exposition for the METRICS verb, plus a
+// promtool-style lint.
+//
+// renderPrometheusText turns one consistent read of the server's state
+// (counters, tracker, journal, per-verb latency histograms) into the
+// Prometheus text format: `# HELP`/`# TYPE` comments, one sample per line,
+// histogram families as `_bucket{le=...}`/`_sum`/`_count` series. The
+// output is terminated by a `# EOF` line — that terminator is what lets the
+// line-based wire protocol carry a multi-line response (the client reads
+// until it sees it), and it matches the OpenMetrics framing scrapers accept.
+//
+// The histogram `le` boundaries are the octave boundaries of the internal
+// log-scale buckets (2^k - 1 for k = 1..36, then +Inf). Because every `le`
+// is an exact internal bucket boundary, the cumulative counts are *exact* —
+// the coarsening drops resolution, never accuracy — and the exposition
+// stays ~37 lines per verb instead of 273.
+//
+// lintPrometheusText is the conformance checker the tests and
+// `contend_client metrics --check` share: a small parser enforcing the
+// rules promtool would (metric/label name syntax, TYPE-before-samples,
+// contiguous families, no duplicate series, monotone cumulative buckets
+// ending in +Inf, _sum/_count consistency), so CI needs no external binary.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/concurrent_tracker.hpp"
+#include "serve/journal.hpp"
+#include "serve/metrics.hpp"
+
+namespace contend::serve {
+
+/// Everything the exposition covers, captured by the caller so rendering is
+/// a pure function (the golden-file test fabricates one deterministically).
+struct PrometheusInput {
+  MetricsSnapshot metrics;
+  TrackerStats tracker;
+  SlowdownSnapshot slowdowns;
+  double uptimeSec = 0.0;
+  bool recovered = false;
+  bool journal = false;        // journal gauges are emitted only when true
+  JournalStats journalStats{};
+};
+
+/// Renders the full exposition, `# EOF` line included.
+[[nodiscard]] std::string renderPrometheusText(const PrometheusInput& input);
+
+/// Returns every conformance violation found (empty means clean). The text
+/// must end with the `# EOF` terminator line the wire format requires.
+[[nodiscard]] std::vector<std::string> lintPrometheusText(
+    std::string_view text);
+
+}  // namespace contend::serve

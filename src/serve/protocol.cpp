@@ -15,7 +15,7 @@ using util::TokenCursor;
 
 constexpr std::array<const char*, kVerbCount> kVerbNames = {
     "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",
-    "STATS",  "PREDICT_BATCH", "HEALTH"};
+    "STATS",  "PREDICT_BATCH", "HEALTH", "METRICS"};
 
 [[noreturn]] void fail(const std::string& message) {
   throw ProtocolError(message);
@@ -215,7 +215,8 @@ std::optional<Request> readRequest(std::istream& in) {
         return parsePredictBatch(line, in);
       case Verb::kSlowdown:
       case Verb::kStats:
-      case Verb::kHealth: {
+      case Verb::kHealth:
+      case Verb::kMetrics: {
         rejectTrailing(line, *verbToken);
         Request request;
         request.verb = *verb;
@@ -239,6 +240,8 @@ std::string formatRequest(const Request& request) {
       return "STATS\n";
     case Verb::kHealth:
       return "HEALTH\n";
+    case Verb::kMetrics:
+      return "METRICS\n";
     case Verb::kPredict: {
       const tools::TaskSpec& task = request.task;
       std::string out =

@@ -10,6 +10,7 @@
 //     SLOWDOWN
 //     STATS
 //     HEALTH
+//     METRICS
 //     PREDICT <name>
 //       front 8.0
 //       back  1.5
@@ -28,7 +29,11 @@
 //     end_batch
 //
 // Blank lines and `#` comments between requests are ignored (same convention
-// as workload files). Every response is a single line: `OK key=value ...` or
+// as workload files). Every response is a single line — except METRICS,
+// which answers with a multi-line Prometheus text exposition terminated by a
+// `# EOF` line (see docs/SERVING.md, "Observability"; the server bypasses
+// Response formatting for it and the client reads through the terminator).
+// All other responses are `OK key=value ...` or
 // `ERR <code> <message>`, where <code> is a stable machine-readable token
 // (see kErr* below) and the rest of the line is a human-readable message; a
 // PREDICT_BATCH response carries the per-task results as indexed fields
@@ -59,8 +64,9 @@ enum class Verb {
   kStats,
   kPredictBatch,
   kHealth,
+  kMetrics,
 };
-inline constexpr int kVerbCount = 7;
+inline constexpr int kVerbCount = 8;
 
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);

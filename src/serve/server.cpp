@@ -12,11 +12,13 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 #include "serve/net_util.hpp"
+#include "serve/prometheus.hpp"
 #include "util/tokens.hpp"
 
 namespace contend::serve {
@@ -211,7 +213,7 @@ bool Server::pushConnection(int fd) {
   {
     std::lock_guard lock(queueMutex_);
     if (queueClosed_ || queue_.size() >= config_.queueCapacity) return false;
-    queue_.push_back(fd);
+    queue_.push_back({fd, std::chrono::steady_clock::now()});
     depth = queue_.size();
   }
   metrics_.observeQueueDepth(depth);
@@ -219,13 +221,13 @@ bool Server::pushConnection(int fd) {
   return true;
 }
 
-int Server::popConnection() {
+std::optional<Server::QueuedConnection> Server::popConnection() {
   std::unique_lock lock(queueMutex_);
   queueCv_.wait(lock, [this] { return queueClosed_ || !queue_.empty(); });
-  if (queue_.empty()) return -1;  // closed and drained
-  const int fd = queue_.front();
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  const QueuedConnection connection = queue_.front();
   queue_.pop_front();
-  return fd;
+  return connection;
 }
 
 void Server::acceptLoop() {
@@ -290,8 +292,14 @@ void Server::acceptLoop() {
 
 void Server::workerLoop() {
   while (true) {
-    const int fd = popConnection();
-    if (fd < 0) return;
+    const std::optional<QueuedConnection> connection = popConnection();
+    if (!connection) return;
+    const int fd = connection->fd;
+    const auto queueWaitUs = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(
+            0, std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - connection->enqueued)
+                   .count()));
     {
       std::lock_guard lock(activeMutex_);
       activeFds_.push_back(fd);
@@ -300,7 +308,7 @@ void Server::workerLoop() {
     // accept loop; give them one short grace window instead of the full
     // request timeout.
     if (stopping_.load(std::memory_order_acquire)) setRecvTimeout(fd, 250);
-    serveConnection(fd);
+    serveConnection(fd, queueWaitUs);
     {
       std::lock_guard lock(activeMutex_);
       std::erase(activeFds_, fd);
@@ -309,10 +317,13 @@ void Server::workerLoop() {
   }
 }
 
-void Server::serveConnection(int fd) {
+void Server::serveConnection(int fd, std::uint64_t queueWaitUs) {
   FdLineReader reader(fd, kMaxRequestLineBytes);
   BufferedWriter writer(fd);
   std::string line;
+  // The queue wait belongs to the first request served on the connection;
+  // later pipelined/keep-alive requests never sat in the accept queue.
+  std::uint64_t pendingQueueWaitUs = queueWaitUs;
   const auto budget =
       std::chrono::milliseconds(std::max(config_.requestDeadlineMs, 0));
   // Answers `ERR <code> <message>` and flushes; used for conditions the
@@ -397,13 +408,20 @@ void Server::serveConnection(int fd) {
 
     const auto begin = std::chrono::steady_clock::now();
     Response response;
+    // METRICS bypasses Response formatting: its answer is the multi-line
+    // Prometheus exposition, written verbatim through its `# EOF` line.
+    std::string exposition;
     std::optional<Verb> verb;
     try {
       std::istringstream in(requestText);
       const std::optional<Request> request = readRequest(in);
       if (!request) continue;
       verb = request->verb;
-      response = handle(*request);
+      if (request->verb == Verb::kMetrics) {
+        exposition = renderMetricsText();
+      } else {
+        response = handle(*request);
+      }
     } catch (const ProtocolError& error) {
       response.ok = false;
       response.code = error.code();
@@ -420,9 +438,30 @@ void Server::serveConnection(int fd) {
       response.error = error.what();
     }
     if (verb) metrics_.countRequest(*verb);
-    if (!response.ok) metrics_.countError();
-    writer.append(formatResponse(response) + '\n');
-    metrics_.observeLatency(std::chrono::steady_clock::now() - begin);
+    if (exposition.empty()) {
+      if (!response.ok) metrics_.countError();
+      writer.append(formatResponse(response) + '\n');
+    } else {
+      writer.append(exposition);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    if (verb) {
+      metrics_.observeLatency(*verb, elapsed);
+      const auto durationUs = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(
+              0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                     .count()));
+      if (config_.slowRequestUs > 0 && durationUs >= config_.slowRequestUs) {
+        metrics_.countSlowRequest();
+        std::fprintf(stderr,
+                     "contend-served: slow request verb=%s bytes=%zu "
+                     "duration_us=%llu queue_wait_us=%llu\n",
+                     verbName(*verb), requestText.size(),
+                     static_cast<unsigned long long>(durationUs),
+                     static_cast<unsigned long long>(pendingQueueWaitUs));
+      }
+    }
+    pendingQueueWaitUs = 0;
   }
   // Anything still buffered was never delivered; account for it instead of
   // letting the close swallow it silently.
@@ -520,6 +559,13 @@ Response Server::handle(const Request& request) {
       }
       break;
     }
+    case Verb::kMetrics:
+      // serveConnection answers METRICS with the exposition before ever
+      // calling handle(); reaching this case means that wiring broke.
+      response.ok = false;
+      response.code = kErrInternal;
+      response.error = "METRICS is answered as an exposition, not a Response";
+      break;
     case Verb::kStats: {
       const TrackerStats stats = tracker_.stats();
       response.add("epoch", stats.epoch);
@@ -562,6 +608,22 @@ Response Server::handle(const Request& request) {
     }
   }
   return response;
+}
+
+std::string Server::renderMetricsText() const {
+  PrometheusInput input;
+  input.metrics = metrics_.snapshot();
+  input.tracker = tracker_.stats();
+  input.slowdowns = tracker_.slowdowns();
+  input.uptimeSec = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - startTime_)
+                        .count();
+  input.recovered = config_.recovered;
+  if (config_.journal != nullptr) {
+    input.journal = true;
+    input.journalStats = config_.journal->stats();
+  }
+  return renderPrometheusText(input);
 }
 
 }  // namespace contend::serve

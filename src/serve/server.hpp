@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +61,10 @@ struct ServerConfig {
   // True when the tracker was rebuilt from persisted state at startup;
   // surfaced verbatim as HEALTH's `recovered` field.
   bool recovered = false;
+  // Requests at least this slow (service time, µs) are counted and logged as
+  // one structured stderr line each (verb, bytes, duration, queue wait).
+  // 0 disables the threshold.
+  std::uint64_t slowRequestUs = 0;
 };
 
 class Server {
@@ -87,12 +92,22 @@ class Server {
   [[nodiscard]] const Endpoint& endpoint() const { return config_.endpoint; }
 
  private:
+  // A connection waiting for a worker, stamped at enqueue so the first
+  // request served on it can report how long it sat in the queue.
+  struct QueuedConnection {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void acceptLoop();
   void workerLoop();
-  void serveConnection(int fd);
+  void serveConnection(int fd, std::uint64_t queueWaitUs);
   [[nodiscard]] Response handle(const Request& request);
+  /// One consistent read of counters/tracker/journal rendered as the
+  /// Prometheus text exposition the METRICS verb answers with.
+  [[nodiscard]] std::string renderMetricsText() const;
   bool pushConnection(int fd);
-  int popConnection();  // -1 once draining is complete
+  [[nodiscard]] std::optional<QueuedConnection> popConnection();
 
   ServerConfig config_;
   ConcurrentTracker& tracker_;
@@ -114,7 +129,7 @@ class Server {
 
   std::mutex queueMutex_;
   std::condition_variable queueCv_;
-  std::deque<int> queue_;
+  std::deque<QueuedConnection> queue_;
   bool queueClosed_ = false;
 
   // Connections currently held by workers; on drain they get a read-side

@@ -14,6 +14,7 @@
 #include "serve/client.hpp"
 #include "serve/concurrent_tracker.hpp"
 #include "serve/metrics.hpp"
+#include "serve/prometheus.hpp"
 #include "serve/server.hpp"
 
 namespace contend::serve {
@@ -367,6 +368,36 @@ TEST_F(ServerFixture, HealthVerbOverTheWire) {
   const Response after = client.health();
   ASSERT_TRUE(after.ok);
   EXPECT_EQ(*after.find("epoch"), "1");
+  server_->stop();
+}
+
+TEST_F(ServerFixture, MetricsVerbEmitsExposition) {
+  startUnix();
+  Client client(config_.endpoint);
+  ASSERT_TRUE(client.arrive(0.3, 800).ok);
+  ASSERT_TRUE(client.slowdown().ok);
+
+  const std::string text = client.metricsText();
+  // The exposition is multi-line, '# EOF'-terminated, and conformant per
+  // the same lint `contend_client metrics --check` runs.
+  ASSERT_GE(text.size(), std::string("# EOF\n").size());
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_NE(text.find("contend_requests_total{verb=\"ARRIVE\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("contend_request_duration_us_count{verb=\"ARRIVE\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("contend_active_applications 1"), std::string::npos);
+  const std::vector<std::string> violations = lintPrometheusText(text);
+  EXPECT_TRUE(violations.empty()) << "first violation: " << violations.front();
+
+  // The connection stays usable after a multi-line response, and METRICS
+  // itself shows up in the counters on the next scrape.
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.number("metrics"), 1.0);
+  EXPECT_NE(client.metricsText().find("contend_requests_total{verb=\"METRICS\"} 1"),
+            std::string::npos);
   server_->stop();
 }
 

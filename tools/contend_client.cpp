@@ -4,6 +4,7 @@
 //   contend_client <endpoint> slowdown
 //   contend_client <endpoint> stats
 //   contend_client <endpoint> health
+//   contend_client <endpoint> metrics [--check]
 //   contend_client <endpoint> arrive <commFraction> <messageWords>
 //   contend_client <endpoint> depart <applicationId>
 //   contend_client <endpoint> load <file.workload>     # ARRIVE every competitor
@@ -22,6 +23,7 @@
 #include <string>
 
 #include "serve/client.hpp"
+#include "serve/prometheus.hpp"
 #include "tools/workload_file.hpp"
 #include "util/table.hpp"
 
@@ -36,6 +38,9 @@ namespace {
          "  stats                         serving + cache metrics\n"
          "  health                        uptime, epoch, journal lag,\n"
          "                                recovered flag\n"
+         "  metrics [--check]             Prometheus text exposition;\n"
+         "                                --check lints it instead of\n"
+         "                                printing (violations -> stderr)\n"
          "  arrive <fraction> <words>     register one competing app\n"
          "  depart <id>                   deregister an app by id\n"
          "  load <file.workload>          ARRIVE every competitor in the file\n"
@@ -146,6 +151,19 @@ int main(int argc, char** argv) {
     }
     if (command == "health" && argc == 3) {
       return printResponse(client.health());
+    }
+    if (command == "metrics" && argc == 3) {
+      std::cout << client.metricsText();
+      return 0;
+    }
+    if (command == "metrics" && argc == 4 &&
+        std::string(argv[3]) == "--check") {
+      const std::vector<std::string> violations =
+          serve::lintPrometheusText(client.metricsText());
+      for (const std::string& violation : violations) {
+        std::cerr << violation << "\n";
+      }
+      return violations.empty() ? 0 : 1;
     }
     if (command == "arrive" && argc == 5) {
       return printResponse(

@@ -4,7 +4,7 @@
 //   contend_served <profile.txt> [--listen <endpoint>] [--workers N]
 //                  [--queue N] [--timeout-ms N] [--deadline-ms N]
 //                  [--cache N] [--journal <path>] [--snapshot-every N]
-//                  [--fsync always|interval|off]
+//                  [--fsync always|interval|off] [--slow-request-us N]
 //
 // Loads a calibrated platform profile (see `contend_predict --calibrate`)
 // and serves the Paragon-style slowdown models over a line protocol (see
@@ -45,12 +45,15 @@ void onSignal(int) {
                "                      [--cache N] [--journal <path>]\n"
                "                      [--snapshot-every N]\n"
                "                      [--fsync always|interval|off]\n"
+               "                      [--slow-request-us N]\n"
                "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
                "--deadline-ms is the wall-clock budget per request\n"
                "  (guards against slow-loris clients; 0 disables)\n"
                "--journal enables the write-ahead journal (crash recovery);\n"
                "  --snapshot-every sets records between compacting snapshots\n"
-               "  (0 disables snapshots), --fsync picks the durability mode\n";
+               "  (0 disables snapshots), --fsync picks the durability mode\n"
+               "--slow-request-us logs one stderr line per request at least\n"
+               "  that slow and counts it in METRICS/STATS (0 disables)\n";
   std::exit(2);
 }
 
@@ -97,6 +100,9 @@ int main(int argc, char** argv) {
         cacheCapacity = static_cast<std::size_t>(parseCount(value, "--cache"));
       } else if (flag == "--journal") {
         journalConfig.path = value;
+      } else if (flag == "--slow-request-us") {
+        config.slowRequestUs = static_cast<std::uint64_t>(
+            parseCount(value, "--slow-request-us", 0));
       } else if (flag == "--snapshot-every") {
         journalConfig.snapshotEvery = static_cast<std::uint64_t>(
             parseCount(value, "--snapshot-every", 0));
