@@ -1,0 +1,110 @@
+// scenario_bench — greedy vs model-informed scheduler comparison harness.
+//
+// Runs the same scenario through both schedulers, prints a side-by-side
+// table, and writes the BENCH_scenario.json comparison record. `--gate`
+// turns the acceptance criterion into the exit code: the model-informed
+// scheduler must beat greedy (strictly fewer SLA0+SLA1 violations at
+// equal-or-better makespan).
+//
+// Usage: scenario_bench <file.scn> [--json <path>] [--gate]
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/schedulers.hpp"
+#include "scenario/summary.hpp"
+#include "util/table.hpp"
+
+using namespace contend;
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string jsonPath;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: scenario_bench <file.scn> [--json <path>] "
+                   "[--gate]\n");
+      return 2;
+    } else {
+      file = arg;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr,
+                 "usage: scenario_bench <file.scn> [--json <path>] [--gate]\n");
+    return 2;
+  }
+
+  try {
+    const scenario::Scenario scn = scenario::parseScenarioFile(file);
+    scenario::GreedyScheduler greedy;
+    scenario::ContentionPricedScheduler model;
+    std::vector<scenario::SchedulerRun> runs;
+    runs.push_back({"greedy", scenario::Engine(scn, greedy).run()});
+    runs.push_back({"model", scenario::Engine(scn, model).run()});
+
+    TextTable table({"metric", "greedy", "model"});
+    const scenario::EngineResult& g = runs[0].result;
+    const scenario::EngineResult& m = runs[1].result;
+    table.addRow({"tasks", std::to_string(g.completed),
+                  std::to_string(m.completed)});
+    table.addRow({"makespan (s)", TextTable::num(g.makespanSec, 3),
+                  TextTable::num(m.makespanSec, 3)});
+    table.addRow({"mean stretch", TextTable::num(g.meanStretch, 3),
+                  TextTable::num(m.meanStretch, 3)});
+    table.addRow({"migrations", std::to_string(g.migrations),
+                  std::to_string(m.migrations)});
+    for (std::size_t tier = 0; tier < 4; ++tier) {
+      const std::string label =
+          std::string(scenario::slaTierName(
+              static_cast<scenario::SlaTier>(tier))) +
+          " violations";
+      table.addRow({label,
+                    std::to_string(g.sla[tier].violations) + "/" +
+                        std::to_string(g.sla[tier].tasks),
+                    std::to_string(m.sla[tier].violations) + "/" +
+                        std::to_string(m.sla[tier].tasks)});
+    }
+    table.addRow({"SLA0+SLA1 violations", std::to_string(g.violations01()),
+                  std::to_string(m.violations01())});
+    printTable("scenario: " + scn.name, table);
+
+    const std::string json = scenario::summaryJson(scn, runs);
+    if (!jsonPath.empty()) {
+      std::ofstream out(jsonPath, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "scenario_bench: cannot write %s\n",
+                     jsonPath.c_str());
+        return 1;
+      }
+      out << json;
+    }
+
+    const bool beats = m.violations01() < g.violations01() &&
+                       m.makespanSec <= g.makespanSec;
+    std::printf("model_beats_greedy: %s\n", beats ? "true" : "false");
+    if (gate && !beats) {
+      std::fprintf(stderr,
+                   "FAIL: model-informed scheduler did not beat greedy "
+                   "(violations01 %llu vs %llu, makespan %.3f vs %.3f)\n",
+                   static_cast<unsigned long long>(m.violations01()),
+                   static_cast<unsigned long long>(g.violations01()),
+                   m.makespanSec, g.makespanSec);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_bench: %s\n", e.what());
+    return 1;
+  }
+}

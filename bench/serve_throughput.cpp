@@ -10,9 +10,19 @@
 // *under mutation* (the mix signature churns and recurs), and `--batch`
 // switches the readers to batched PREDICT so protocol overhead amortizes.
 //
+// `--scenario <file.scn>` replaces the synthetic mix with traffic derived
+// from a scenario's task classes: each client replays one class's arrival
+// schedule (fixed / poisson / burst, from the class seed), every arrival
+// issuing an ARRIVE(comm fraction, message words) + a PREDICT batch sized by
+// the class's SLA tier (SLA0→1, SLA1→4, SLA2→16, SLA3→64) + a DEPART — so
+// verb mix, pacing, and batch sizes all come from the scenario file, and the
+// schedule wraps cyclically until the measurement window closes. The
+// scenario name is recorded in the JSON record.
+//
 // Usage: serve_throughput [--seconds S] [--warmup S] [--clients N]
 //                         [--workers N] [--write-ratio F] [--batch N]
-//                         [--min-rps R] [--json <path>]
+//                         [--scenario <file.scn>] [--min-rps R]
+//                         [--json <path>]
 //                         [--journal <path>] [--fsync always|interval|off]
 //                         [--nojournal-rps R] [--ring-rps R]
 // Exits non-zero when --min-rps is given and the measured rate is below it
@@ -42,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "scenario/scenario.hpp"
 #include "serve/client.hpp"
 #include "serve/concurrent_tracker.hpp"
 #include "serve/journal.hpp"
@@ -103,7 +114,60 @@ struct BenchConfig {
   serve::FsyncPolicy fsync = serve::FsyncPolicy::kOff;
   double nojournalRps = 0.0;
   double ringRps = 0.0;
+  std::string scenarioPath;
+  std::string scenarioName;  // filled after parsing
 };
+
+/// One client's scenario-derived traffic stream: the class's arrival offsets
+/// within [0, windowSec), replayed cyclically, plus the request shapes.
+struct StreamPlan {
+  std::string className;
+  double commFraction = 0.0;
+  Words messageWords = 0;
+  std::vector<double> offsets;
+  double windowSec = 1.0;
+  std::vector<tools::TaskSpec> batch;
+};
+
+int batchForTier(contend::scenario::SlaTier tier) {
+  switch (tier) {
+    case contend::scenario::SlaTier::kSla0: return 1;
+    case contend::scenario::SlaTier::kSla1: return 4;
+    case contend::scenario::SlaTier::kSla2: return 16;
+    case contend::scenario::SlaTier::kSla3: return 64;
+  }
+  return 1;
+}
+
+std::vector<StreamPlan> buildStreamPlans(
+    const contend::scenario::Scenario& scenario) {
+  std::vector<StreamPlan> plans;
+  for (const contend::scenario::TaskClass& taskClass : scenario.taskClasses) {
+    StreamPlan plan;
+    plan.className = taskClass.name;
+    plan.commFraction = taskClass.commFraction;
+    plan.messageWords = taskClass.messageWords;
+    plan.windowSec = taskClass.endSec;
+    contend::scenario::ArrivalSequence arrivals(taskClass);
+    while (const auto at = arrivals.next()) {
+      plan.offsets.push_back(*at);
+      if (plan.offsets.size() >= 200'000) break;  // bound replay memory
+    }
+    if (plan.offsets.empty()) plan.offsets.push_back(taskClass.startSec);
+    tools::TaskSpec task;
+    task.name = taskClass.name;
+    task.frontEndSec = taskClass.runtimeSec * (1.0 - taskClass.commFraction);
+    task.backEndSec = taskClass.runtimeSec * taskClass.commFraction;
+    if (taskClass.messageWords > 0) {
+      task.toBackend.push_back({1, taskClass.messageWords});
+      task.fromBackend.push_back({1, taskClass.messageWords});
+    }
+    plan.batch.assign(static_cast<std::size_t>(batchForTier(taskClass.sla)),
+                      task);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
 
 void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
                double rps, const serve::Response& stats) {
@@ -121,6 +185,9 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
       << "    \"warmup\": " << jsonNumber(config.warmup) << ",\n"
       << "    \"write_ratio\": " << jsonNumber(config.writeRatio) << ",\n"
       << "    \"batch\": " << config.batch << ",\n"
+      << "    \"scenario\": \""
+      << (config.scenarioName.empty() ? "none" : config.scenarioName)
+      << "\",\n"
       << "    \"journal\": "
       << (config.journalPath.empty() ? "false" : "true") << ",\n"
       << "    \"fsync\": \"" << serve::fsyncPolicyName(config.fsync)
@@ -185,6 +252,7 @@ int main(int argc, char** argv) {
     else if (flag == "--batch") config.batch = std::atoi(value);
     else if (flag == "--min-rps") config.minRps = std::atof(value);
     else if (flag == "--baseline-rps") config.baselineRps = std::atof(value);
+    else if (flag == "--scenario") config.scenarioPath = value;
     else if (flag == "--json") config.jsonPath = value;
     else if (flag == "--journal") config.journalPath = value;
     else if (flag == "--nojournal-rps") config.nojournalRps = std::atof(value);
@@ -200,8 +268,8 @@ int main(int argc, char** argv) {
     else {
       std::cerr << "usage: serve_throughput [--seconds S] [--warmup S] "
                    "[--clients N] [--workers N] [--write-ratio F] "
-                   "[--batch N] [--min-rps R] [--baseline-rps R] "
-                   "[--json <path>] [--journal <path>] "
+                   "[--batch N] [--scenario <file.scn>] [--min-rps R] "
+                   "[--baseline-rps R] [--json <path>] [--journal <path>] "
                    "[--fsync always|interval|off] [--nojournal-rps R] "
                    "[--ring-rps R]\n";
       return 2;
@@ -212,6 +280,19 @@ int main(int argc, char** argv) {
       config.batch < 1) {
     std::cerr << "error: bad arguments\n";
     return 2;
+  }
+
+  std::vector<StreamPlan> plans;
+  if (!config.scenarioPath.empty()) {
+    try {
+      const contend::scenario::Scenario scenario =
+          contend::scenario::parseScenarioFile(config.scenarioPath);
+      config.scenarioName = scenario.name;
+      plans = buildStreamPlans(scenario);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 2;
+    }
   }
 
   const std::string socketPath =
@@ -270,6 +351,50 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, c] {
       try {
         serve::Client client(serverConfig.endpoint);
+        if (!plans.empty()) {
+          // Scenario mode: replay one class's arrival schedule (open loop),
+          // each arrival an ARRIVE + tier-sized PREDICT + DEPART.
+          const StreamPlan& plan =
+              plans[static_cast<std::size_t>(c) % plans.size()];
+          const auto start = std::chrono::steady_clock::now();
+          std::size_t index = 0;
+          double cycleSec = 0.0;
+          std::uint64_t sent = 0;
+          int current;
+          while ((current = phase.load(std::memory_order_relaxed)) != 2) {
+            const auto due =
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                cycleSec + plan.offsets[index]));
+            // Sleep in short slices so shutdown never waits out a long gap.
+            while (std::chrono::steady_clock::now() < due &&
+                   phase.load(std::memory_order_relaxed) != 2) {
+              std::this_thread::sleep_for(std::min<
+                  std::chrono::steady_clock::duration>(
+                  due - std::chrono::steady_clock::now(),
+                  std::chrono::milliseconds(20)));
+            }
+            if (phase.load(std::memory_order_relaxed) == 2) break;
+            const serve::Response arrived =
+                client.arrive(plan.commFraction, plan.messageWords);
+            if (!arrived.ok) break;
+            const serve::Response predicted =
+                plan.batch.size() > 1 ? client.predictBatch(plan.batch)
+                                      : client.predict(plan.batch.front());
+            if (!predicted.ok) break;
+            const serve::Response departed = client.depart(
+                static_cast<std::uint64_t>(arrived.number("id")));
+            if (!departed.ok) break;
+            if (current == 1) sent += 2 + plan.batch.size();
+            if (++index == plan.offsets.size()) {
+              index = 0;
+              cycleSec += plan.windowSec;
+            }
+          }
+          counts[static_cast<std::size_t>(c)] = sent;
+          return;
+        }
         std::mt19937 rng(7777u + static_cast<unsigned>(c));
         std::uniform_real_distribution<double> uniform(0.0, 1.0);
         std::uint64_t sent = 0;
@@ -330,6 +455,9 @@ int main(int argc, char** argv) {
   table.addRow({"workers", std::to_string(config.workers)});
   table.addRow({"write ratio", TextTable::num(config.writeRatio, 2)});
   table.addRow({"batch", std::to_string(config.batch)});
+  if (!config.scenarioName.empty()) {
+    table.addRow({"scenario", config.scenarioName});
+  }
   table.addRow({"elapsed (s)", TextTable::num(elapsed, 3)});
   table.addRow({"requests", std::to_string(total)});
   table.addRow({"requests/sec", TextTable::num(rps, 0)});

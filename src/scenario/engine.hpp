@@ -1,0 +1,245 @@
+// engine.hpp — deterministic discrete-event engine over a parsed Scenario.
+//
+// The engine instantiates every machine class as `count` machines of `cores`
+// time-shared front-end CPUs, spawns tasks from each task class's arrival
+// process, and keeps the *live contention mix of every core* in a
+// sched::OnlineContentionTracker — the paper's run-time primitive. A task
+// alternates computing and communicating (its class's Comm fraction), so its
+// wall-clock progress rate is the paper's slowdown arithmetic applied to the
+// mix of the *other* tasks sharing its core:
+//
+//     rate = 1 / ((1 - f) · compSlowdown / speed  +  f · commSlowdown)
+//
+// Progress is integrated piecewise: whenever a core's population changes
+// (arrival, completion, migration), every resident task's remaining work is
+// advanced at the old rate and its completion event is rescheduled at the
+// new one (stale events are generation-guarded). Scheduling policy lives
+// behind the cloudsim-style callback interface (NewTask / TaskComplete /
+// PeriodicCheck / MigrationComplete); the engine supplies the mechanisms —
+// placement, migration with a priced state transfer, PREDICT-style candidate
+// pricing, and ext::adviseMigration consultation.
+//
+// Determinism: ticks are integers, the event queue breaks ties by insertion
+// order, all randomness flows from per-class SplitMix64 seeds, and no
+// container iteration order depends on addresses — the same scenario text
+// always produces bit-identical results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ext/migration.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/online.hpp"
+#include "sim/event_queue.hpp"
+
+namespace contend::scenario {
+
+using TaskId = std::uint64_t;
+
+enum class TaskPhase { kPending, kRunning, kMigrating, kDone };
+
+struct TaskState {
+  std::size_t taskClass = 0;
+  SlaTier sla = SlaTier::kSla3;
+  double arrivalSec = 0.0;
+  double dedicatedSec = 0.0;  // total dedicated work (Speed-1 seconds)
+  double commFraction = 0.0;
+  Words messageWords = 0;
+  Words stateWords = 0;
+
+  TaskPhase phase = TaskPhase::kPending;
+  std::size_t machine = 0;
+  std::size_t core = 0;
+  std::uint64_t trackerId = 0;
+  double remainingSec = 0.0;     // dedicated-equivalent work left
+  double ratePerSec = 1.0;       // dedicated-seconds consumed per wall-second
+  double lastUpdateSec = 0.0;
+  std::uint64_t generation = 0;  // bumps on every reschedule; guards events
+  int migrations = 0;
+  double finishSec = -1.0;
+};
+
+struct MachineInfo {
+  std::size_t machineClass = 0;
+  std::string name;
+  int cores = 1;
+  double speed = 1.0;
+};
+
+class Engine;
+
+/// Scheduling policy, cloudsim-style. The engine owns the clock and the
+/// mechanisms; the scheduler decides placement. NewTask MUST call
+/// Engine::place exactly once for the new task before returning.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void NewTask(Engine& engine, TaskId task) = 0;
+  virtual void TaskComplete(Engine& engine, TaskId task);
+  virtual void PeriodicCheck(Engine& engine);
+  virtual void MigrationComplete(Engine& engine, TaskId task);
+};
+
+struct EngineConfig {
+  /// PeriodicCheck cadence (simulated seconds).
+  double periodicCheckSec = 0.25;
+  /// Delay-table depth per core; a core asked to hold more concurrent tasks
+  /// than this throws (the scenario is hopelessly overloaded).
+  int maxContendersPerCore = 512;
+  /// Spawn cap across all classes; guards runaway scenarios.
+  std::uint64_t maxTasks = 1'000'000;
+  /// ext::adviseMigration hysteresis used by adviseMigration().
+  double migrationHysteresis = 0.1;
+  /// Completion-stretch budget per SLA tier: a task violates its tier when
+  /// (finish - arrival) / bestDedicatedSec exceeds the budget. SLA3 is
+  /// best-effort.
+  std::array<double, 4> slaStretchBudget{
+      1.25, 1.5, 2.5, std::numeric_limits<double>::infinity()};
+};
+
+struct SlaTally {
+  std::uint64_t tasks = 0;
+  std::uint64_t violations = 0;
+};
+
+struct EngineResult {
+  std::uint64_t spawned = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t events = 0;       // discrete events executed
+  double makespanSec = 0.0;       // last completion time
+  double meanStretch = 0.0;       // mean (finish-arrival)/bestDedicated
+  double maxStretch = 0.0;
+  std::array<SlaTally, 4> sla{};
+
+  [[nodiscard]] std::uint64_t violations01() const {
+    return sla[0].violations + sla[1].violations;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Scenario& scenario, Scheduler& scheduler,
+         EngineConfig config = {});
+
+  /// Runs the scenario to completion and returns the tallies. Call once.
+  EngineResult run();
+
+  // ---- scheduler-facing queries ----
+  [[nodiscard]] double nowSec() const;
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+  [[nodiscard]] std::size_t machineCount() const { return machines_.size(); }
+  [[nodiscard]] const MachineInfo& machineInfo(std::size_t m) const;
+  /// Running tasks across all cores of machine m.
+  [[nodiscard]] int machineLoad(std::size_t m) const;
+  /// The core a new task would land on (fewest resident tasks, lowest index
+  /// breaking ties) and its live contention tracker.
+  [[nodiscard]] std::size_t placementCore(std::size_t m) const;
+  [[nodiscard]] const sched::OnlineContentionTracker& coreTracker(
+      std::size_t m, std::size_t core) const;
+  [[nodiscard]] const TaskState& task(TaskId id) const;
+  /// Ids of all currently running tasks, in placement order. Invalidated by
+  /// place/migrate/completions — copy before mutating.
+  [[nodiscard]] const std::vector<TaskId>& runningTasks() const {
+    return running_;
+  }
+  /// Dedicated completion time on the fastest machine class (SLA reference).
+  [[nodiscard]] double bestDedicatedSec(TaskId id) const;
+  [[nodiscard]] double slaStretchBudget(SlaTier tier) const;
+  /// Stretch this task will reach if its current rate holds to completion.
+  [[nodiscard]] double projectedStretch(TaskId id) const;
+
+  // ---- PREDICT-style pricing ----
+  /// Contention-adjusted execution time of `id`'s remaining work if placed
+  /// on machine m now (prices the placement core's mix through the
+  /// tracker's PREDICT arithmetic; excludes state transfer).
+  [[nodiscard]] double predictedCompletionSec(TaskId id, std::size_t m) const;
+  /// Time to push the task's state onto machine m over m's link, at the
+  /// placement core's current comm slowdown.
+  [[nodiscard]] double stateTransferSec(TaskId id, std::size_t m) const;
+  /// Tier-weighted externality: the summed predicted delay (seconds,
+  /// weighted by tierWeight[sla]) that placing `id` on m would inflict on
+  /// the tasks already resident on the placement core.
+  [[nodiscard]] double predictedDisruptionSec(
+      TaskId id, std::size_t m, const std::array<double, 4>& tierWeight) const;
+  /// The paper's migration advisor applied to the live slowdowns: stay at
+  /// the current core vs move to machine m (state transfer priced over m's
+  /// link). Slowdowns are scale-normalized so Speed > 1 machines fit the
+  /// advisor's >= 1 contract; the decision is scale-invariant.
+  [[nodiscard]] ext::MigrationDecision adviseMigration(TaskId id,
+                                                       std::size_t m) const;
+
+  // ---- scheduler-facing actions ----
+  /// Places a task on machine m (NewTask's one mandatory action; also legal
+  /// from MigrationComplete handlers is NOT — the engine re-places itself).
+  void place(TaskId id, std::size_t m);
+  /// Starts migrating a running task to machine m: the task leaves its core
+  /// now, its state travels for stateTransferSec, then it is placed on m and
+  /// MigrationComplete fires. Throws if the task is not running or m is its
+  /// current machine.
+  void migrate(TaskId id, std::size_t m);
+
+ private:
+  struct Core {
+    std::unique_ptr<sched::OnlineContentionTracker> tracker;
+    std::vector<TaskId> resident;  // parallel to the tracker's mix order
+  };
+  struct MachineState {
+    MachineInfo info;
+    model::PiecewiseCommParams link;
+    std::vector<Core> cores;
+  };
+
+  void spawnFromClass(std::size_t taskClass);
+  void scheduleArrival(std::size_t taskClass, double whenSec);
+  void onArrival(std::size_t taskClass, double whenSec);
+  void schedulePeriodic();
+  void onPeriodic();
+  void scheduleCompletion(TaskId id);
+  void onCompletion(TaskId id, std::uint64_t generation);
+  void completeTask(TaskId id);
+  void onMigrationArrived(TaskId id, std::size_t m);
+  /// Advances progress and re-rates every resident task of one core.
+  void refreshCore(std::size_t m, std::size_t core);
+  void advanceProgress(TaskState& task) const;
+  /// Effective slowdown of a task against a given competing mix on machine m
+  /// (the rate formula's denominator).
+  [[nodiscard]] double effectiveFactor(const TaskState& task, std::size_t m,
+                                       double compSlowdown,
+                                       double commSlowdown) const;
+  void removeFromCore(TaskId id);
+  void eraseRunning(TaskId id);
+
+  const Scenario& scenario_;
+  Scheduler& scheduler_;
+  EngineConfig config_;
+  sim::EventQueue queue_;
+  model::DelayTables delays_;  // canonical tables shared by every tracker
+  std::vector<MachineState> machines_;
+  std::vector<TaskState> tasks_;
+  std::vector<TaskId> running_;
+  std::vector<std::unique_ptr<ArrivalSequence>> arrivals_;
+  std::vector<bool> arrivalsDone_;
+  double maxSpeed_ = 1.0;
+  std::uint64_t activeTasks_ = 0;  // running + migrating
+  bool periodicScheduled_ = false;
+  bool ran_ = false;
+  EngineResult result_;
+  double stretchSum_ = 0.0;
+  TaskId placedDuringNewTask_ = 0;
+  bool placeArmed_ = false;  // true only inside NewTask dispatch
+};
+
+/// The canonical synthetic delay tables the engine calibrates every core's
+/// tracker with (documented in docs/SCENARIOS.md): computing contenders
+/// yield the exact p + 1 law; communicating contenders add 0.8·i to
+/// communication and a message-size-binned 0.05/0.20/0.35·i to computation.
+[[nodiscard]] model::DelayTables canonicalDelayTables(int maxContenders);
+
+}  // namespace contend::scenario

@@ -1,0 +1,163 @@
+// scenario.hpp — the scenario DSL: cluster-scale workload descriptions.
+//
+// ROADMAP calls scenario diversity the least-developed axis: the benches
+// reproduce fixed paper figures and the serve benchmark invents a synthetic
+// 90/10 mix. This module adds a small text format (in the spirit of the
+// cloudsim_eec inputs) describing *machine classes* (how many machines, how
+// many time-shared cores each, relative speed, link parameters) and *task
+// classes* (arrival process, dedicated runtime, communication profile, SLA
+// tier, seed). A parsed `Scenario` is immutable; the engine (engine.hpp)
+// spawns thousands of simulated applications from it deterministically.
+//
+// Example:
+//
+//     machine class:
+//     {
+//         Number of machines: 4
+//         Number of cores: 2
+//         Speed: 1.0
+//         Comm alpha: 0.0005      # link startup seconds per message
+//         Comm beta: 2e6          # link bandwidth, words/second
+//         Comm threshold: 1024    # piecewise-linear knee (optional)
+//     }
+//
+//     task class:
+//     {
+//         Start time: 0.0         # seconds
+//         End time: 40.0
+//         Inter arrival: 0.02     # mean gap, seconds
+//         Arrival: poisson        # fixed | poisson | burst (optional)
+//         Expected runtime: 2.0   # dedicated seconds on a Speed-1 machine
+//         Comm fraction: 0.3      # share of the runtime that communicates
+//         Message words: 800
+//         SLA type: SLA1          # SLA0 (tightest) .. SLA3 (best effort)
+//         Seed: 123456
+//     }
+//
+// Errors carry *byte-accurate* positions: every reject names the line,
+// column, and absolute byte offset of the offending token, so tooling can
+// point at the exact character (the parser reuses the util/tokens.hpp
+// from_chars idiom — no locale, no streams).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace contend::scenario {
+
+/// SLA tiers, tightest first (cloudsim convention). The engine maps each
+/// tier to a completion-stretch budget; SLA3 is best-effort (never violated).
+enum class SlaTier { kSla0 = 0, kSla1 = 1, kSla2 = 2, kSla3 = 3 };
+
+[[nodiscard]] const char* slaTierName(SlaTier tier);
+[[nodiscard]] std::optional<SlaTier> slaTierFromName(std::string_view name);
+
+enum class ArrivalProcess { kFixed, kPoisson, kBurst };
+
+[[nodiscard]] const char* arrivalProcessName(ArrivalProcess process);
+
+/// One homogeneous group of machines.
+struct MachineClass {
+  std::string name;             // optional "Name:"; defaults to "machines<i>"
+  int count = 0;                // Number of machines
+  int cores = 0;                // time-shared front-end CPUs per machine
+  double speed = 1.0;           // dedicated-speed multiplier (1.0 = baseline)
+  double commAlphaSec = 0.0;    // link startup per message
+  double commBetaWordsPerSec = 1.0;
+  Words commThresholdWords = 1024;  // piecewise knee; above it the per-word
+                                    // cost doubles (two-piece model)
+};
+
+/// One stream of statistically identical tasks.
+struct TaskClass {
+  std::string name;             // optional; defaults to "tasks<i>"
+  double startSec = 0.0;        // first arrival not before this
+  double endSec = 0.0;          // no arrivals at/after this
+  double interArrivalSec = 0.0; // mean gap between arrivals
+  ArrivalProcess arrival = ArrivalProcess::kFixed;
+  int burstSize = 8;            // arrivals per burst (Arrival: burst only)
+  double runtimeSec = 0.0;      // dedicated runtime on a Speed-1 machine
+  double commFraction = 0.0;    // share of runtime spent communicating
+  Words messageWords = 0;       // competing-app message size (j-bin input)
+  Words stateWords = 0;         // words moved on placement/migration
+  SlaTier sla = SlaTier::kSla3;
+  std::uint64_t seed = 0;       // per-class arrival stream seed
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<MachineClass> machineClasses;
+  std::vector<TaskClass> taskClasses;
+
+  [[nodiscard]] int totalMachines() const;
+  [[nodiscard]] int totalCores() const;
+  /// Largest Speed across machine classes (the SLA reference machine).
+  [[nodiscard]] double maxSpeed() const;
+};
+
+/// Parse failure with a byte-accurate position into the source text.
+/// what() is formatted "<name>:<line>:<column> (byte <offset>): <message>".
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(const std::string& formatted, std::size_t byteOffset, int line,
+                int column)
+      : std::runtime_error(formatted),
+        byteOffset_(byteOffset),
+        line_(line),
+        column_(column) {}
+
+  /// 0-based absolute byte offset of the offending token in the input.
+  [[nodiscard]] std::size_t byteOffset() const { return byteOffset_; }
+  /// 1-based line and column of that byte.
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  std::size_t byteOffset_;
+  int line_;
+  int column_;
+};
+
+/// Parses the DSL. `name` seeds Scenario::name and error messages.
+/// Throws ScenarioError on any syntactic or semantic problem.
+[[nodiscard]] Scenario parseScenario(std::string_view text,
+                                     std::string name = "scenario");
+
+/// Reads and parses a file; the scenario name is the filename stem.
+/// Throws std::runtime_error if the file cannot be read.
+[[nodiscard]] Scenario parseScenarioFile(const std::string& path);
+
+/// Deterministic arrival-time stream for one task class. The three
+/// processes share one contract: next() yields strictly increasing-or-equal
+/// times in [startSec, endSec), then nullopt forever.
+///
+///  - fixed:   start, start + gap, start + 2·gap, ...  (no randomness)
+///  - poisson: exponential gaps of mean `interArrivalSec` (SplitMix64)
+///  - burst:   `burstSize` simultaneous arrivals per burst; burst starts
+///             are exponential with mean `interArrivalSec × burstSize`, so
+///             the long-run rate matches the other two processes
+class ArrivalSequence {
+ public:
+  explicit ArrivalSequence(const TaskClass& taskClass);
+
+  /// Next arrival time, or nullopt once the class window is exhausted.
+  [[nodiscard]] std::optional<double> next();
+
+ private:
+  const TaskClass& taskClass_;
+  SplitMix64 rng_;
+  double nextSec_ = 0.0;
+  int emittedInBurst_ = 0;
+  bool first_ = true;
+  bool done_ = false;
+};
+
+}  // namespace contend::scenario

@@ -1,0 +1,95 @@
+#include "scenario/schedulers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "ext/multi_machine.hpp"
+#include "sched/allocation.hpp"
+
+namespace contend::scenario {
+
+void GreedyScheduler::NewTask(Engine& engine, TaskId task) {
+  std::size_t best = 0;
+  int bestLoad = engine.machineLoad(0);
+  for (std::size_t m = 1; m < engine.machineCount(); ++m) {
+    const int load = engine.machineLoad(m);
+    if (load < bestLoad) {
+      best = m;
+      bestLoad = load;
+    }
+  }
+  engine.place(task, best);
+}
+
+void ContentionPricedScheduler::NewTask(Engine& engine, TaskId task) {
+  const TaskState& t = engine.task(task);
+  const double ownWeight = config_.tierWeight[static_cast<std::size_t>(t.sla)];
+  const auto score = [&](std::size_t m) {
+    return ownWeight * engine.predictedCompletionSec(task, m) +
+           engine.predictedDisruptionSec(task, m, config_.tierWeight);
+  };
+  std::size_t champion = 0;
+  double championScore = score(0);
+  for (std::size_t m = 1; m < engine.machineCount(); ++m) {
+    const double candidateScore = score(m);
+    // The paper's allocation inequality arbitrates the duel: the champion
+    // plays the front-end, the candidate the back-end, and bestAllocation's
+    // tie-break (toward fewer back-end tasks) keeps the incumbent on a draw.
+    sched::TaskChain duel;
+    duel.tasks.push_back({"placement", championScore, candidateScore});
+    const sched::Allocation verdict =
+        sched::bestAllocation(duel, sched::SlowdownSet::dedicated());
+    if (verdict.assignment[0] == sched::Machine::kBackEnd) {
+      champion = m;
+      championScore = candidateScore;
+    }
+  }
+  engine.place(task, champion);
+}
+
+std::size_t ContentionPricedScheduler::rescueTarget(const Engine& engine,
+                                                    TaskId task) const {
+  const TaskState& t = engine.task(task);
+  const double now = engine.nowSec();
+  const double remainingNow =
+      std::max(0.0, t.remainingSec - (now - t.lastUpdateSec) * t.ratePerSec);
+  std::vector<ext::MachineSpec> specs;
+  ext::MultiTask option;
+  option.name = "rescue";
+  for (std::size_t m = 0; m < engine.machineCount(); ++m) {
+    specs.push_back({engine.machineInfo(m).name, 1.0});
+    // Absolute predicted seconds per machine, contention and state transfer
+    // already folded in, so the platform snapshot uses unit slowdowns.
+    option.dedicatedSec.push_back(
+        m == t.machine ? remainingNow / t.ratePerSec
+                       : engine.predictedCompletionSec(task, m) +
+                             engine.stateTransferSec(task, m));
+  }
+  const ext::MultiMachinePlatform snapshot(std::move(specs), {});
+  return ext::placeChain(snapshot, std::span(&option, 1)).assignment[0];
+}
+
+void ContentionPricedScheduler::PeriodicCheck(Engine& engine) {
+  // migrate() mutates the running list; work from a copy.
+  const std::vector<TaskId> running = engine.runningTasks();
+  for (const TaskId id : running) {
+    const TaskState& t = engine.task(id);
+    if (t.phase != TaskPhase::kRunning) continue;
+    if (t.sla != SlaTier::kSla0 && t.sla != SlaTier::kSla1) continue;
+    if (t.migrations >= config_.maxMigrationsPerTask) continue;
+    const double budget = engine.slaStretchBudget(t.sla);
+    if (!std::isfinite(budget)) continue;
+    if (engine.projectedStretch(id) < config_.atRiskFraction * budget) {
+      continue;
+    }
+    const std::size_t target = rescueTarget(engine, id);
+    if (target == t.machine) continue;
+    if (engine.adviseMigration(id, target).migrate) {
+      engine.migrate(id, target);
+    }
+  }
+}
+
+}  // namespace contend::scenario

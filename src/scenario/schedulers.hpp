@@ -1,0 +1,58 @@
+// schedulers.hpp — the two pluggable scenario scheduling policies.
+//
+// The baseline places greedily on the least-loaded machine and never revisits
+// a decision. The model-informed policy prices every candidate machine with
+// the engine's PREDICT arithmetic (remaining work under the candidate core's
+// live mix), adds the tier-weighted disruption it would inflict on already
+// resident tasks, and elects the winner through the paper's allocation
+// engine — `sched::bestAllocation` arbitrates every pairwise duel, including
+// its tie-break toward staying put. At run time it watches SLA0/SLA1 tasks
+// whose projected stretch approaches their budget, asks `ext::placeChain`
+// for the cheapest rescue machine, and only moves when `ext::adviseMigration`
+// clears the hysteresis bar.
+#pragma once
+
+#include <array>
+
+#include "scenario/engine.hpp"
+
+namespace contend::scenario {
+
+/// Least-loaded placement, no migration. The control arm.
+class GreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  void NewTask(Engine& engine, TaskId task) override;
+};
+
+struct ModelSchedulerConfig {
+  /// SLA-tier weights applied to both the task's own predicted time and the
+  /// disruption it inflicts (tightest tier counts the most).
+  std::array<double, 4> tierWeight{8.0, 4.0, 2.0, 1.0};
+  /// A task becomes a rescue candidate when its projected stretch exceeds
+  /// this fraction of its tier budget.
+  double atRiskFraction = 0.9;
+  /// Migration budget per task (migrations are disruptive; cap the churn).
+  int maxMigrationsPerTask = 2;
+};
+
+/// Slowdown-model-informed placement + SLA rescue migration.
+class ContentionPricedScheduler final : public Scheduler {
+ public:
+  explicit ContentionPricedScheduler(ModelSchedulerConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "model"; }
+  void NewTask(Engine& engine, TaskId task) override;
+  void PeriodicCheck(Engine& engine) override;
+
+ private:
+  /// Best machine for a running task's remaining work (its own machine means
+  /// "stay"), chosen by ext::placeChain over a priced snapshot.
+  [[nodiscard]] std::size_t rescueTarget(const Engine& engine,
+                                         TaskId task) const;
+
+  ModelSchedulerConfig config_;
+};
+
+}  // namespace contend::scenario

@@ -1,0 +1,104 @@
+#include "scenario/summary.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace contend::scenario {
+
+namespace {
+
+void appendDouble(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void appendU64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+void appendRun(std::string& out, const SchedulerRun& run) {
+  const EngineResult& r = run.result;
+  out += "    {\n      \"scheduler\": \"" + run.scheduler + "\",\n";
+  out += "      \"spawned\": ";
+  appendU64(out, r.spawned);
+  out += ",\n      \"completed\": ";
+  appendU64(out, r.completed);
+  out += ",\n      \"migrations\": ";
+  appendU64(out, r.migrations);
+  out += ",\n      \"events\": ";
+  appendU64(out, r.events);
+  out += ",\n      \"makespan_sec\": ";
+  appendDouble(out, r.makespanSec);
+  out += ",\n      \"mean_stretch\": ";
+  appendDouble(out, r.meanStretch);
+  out += ",\n      \"max_stretch\": ";
+  appendDouble(out, r.maxStretch);
+  out += ",\n      \"sla\": [\n";
+  for (std::size_t tier = 0; tier < r.sla.size(); ++tier) {
+    const SlaTally& tally = r.sla[tier];
+    out += "        {\"tier\": \"";
+    out += slaTierName(static_cast<SlaTier>(tier));
+    out += "\", \"tasks\": ";
+    appendU64(out, tally.tasks);
+    out += ", \"violations\": ";
+    appendU64(out, tally.violations);
+    out += ", \"violation_rate\": ";
+    appendDouble(out, tally.tasks == 0 ? 0.0
+                                       : static_cast<double>(tally.violations) /
+                                             static_cast<double>(tally.tasks));
+    out += tier + 1 < r.sla.size() ? "},\n" : "}\n";
+  }
+  out += "      ],\n      \"violations01\": ";
+  appendU64(out, r.violations01());
+  out += "\n    }";
+}
+
+}  // namespace
+
+std::string summaryJson(const Scenario& scenario,
+                        std::span<const SchedulerRun> runs) {
+  std::string out = "{\n  \"bench\": \"scenario\",\n";
+  out += "  \"scenario\": \"" + scenario.name + "\",\n";
+  out += "  \"machines\": ";
+  appendU64(out, static_cast<std::uint64_t>(scenario.totalMachines()));
+  out += ",\n  \"cores\": ";
+  appendU64(out, static_cast<std::uint64_t>(scenario.totalCores()));
+  out += ",\n  \"task_classes\": ";
+  appendU64(out, static_cast<std::uint64_t>(scenario.taskClasses.size()));
+  out += ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    appendRun(out, runs[i]);
+    out += i + 1 < runs.size() ? ",\n" : "\n";
+  }
+  out += "  ]";
+
+  const SchedulerRun* greedy = nullptr;
+  const SchedulerRun* model = nullptr;
+  for (const SchedulerRun& run : runs) {
+    if (run.scheduler == "greedy") greedy = &run;
+    if (run.scheduler == "model") model = &run;
+  }
+  if (greedy != nullptr && model != nullptr) {
+    const bool beats =
+        model->result.violations01() < greedy->result.violations01() &&
+        model->result.makespanSec <= greedy->result.makespanSec;
+    out += ",\n  \"comparison\": {\n    \"greedy_violations01\": ";
+    appendU64(out, greedy->result.violations01());
+    out += ",\n    \"model_violations01\": ";
+    appendU64(out, model->result.violations01());
+    out += ",\n    \"greedy_makespan_sec\": ";
+    appendDouble(out, greedy->result.makespanSec);
+    out += ",\n    \"model_makespan_sec\": ";
+    appendDouble(out, model->result.makespanSec);
+    out += ",\n    \"model_beats_greedy\": ";
+    out += beats ? "true" : "false";
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace contend::scenario

@@ -1,0 +1,30 @@
+// summary.hpp — the machine-readable BENCH_scenario.json summary.
+//
+// One schema serves the driver (single scheduler) and the bench harness
+// (greedy vs model comparison): a "runs" array with one entry per scheduler,
+// plus a "comparison" object when both arms are present. Doubles are printed
+// with %.17g, so equal bit patterns always serialize to equal bytes — the
+// determinism test diffs two runs' summaries byte for byte.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "scenario/engine.hpp"
+#include "scenario/scenario.hpp"
+
+namespace contend::scenario {
+
+struct SchedulerRun {
+  std::string scheduler;
+  EngineResult result;
+};
+
+/// Renders the summary JSON (trailing newline included). When `runs` holds
+/// both a "greedy" and a "model" entry, a "comparison" object reports whether
+/// the model-informed arm beat greedy: strictly fewer SLA0+SLA1 violations
+/// at equal-or-better makespan.
+[[nodiscard]] std::string summaryJson(const Scenario& scenario,
+                                      std::span<const SchedulerRun> runs);
+
+}  // namespace contend::scenario

@@ -350,6 +350,55 @@ TEST(MultiMachine, DpMatchesBruteForceOnRandomInstances) {
   }
 }
 
+// The hysteresis bar is *strict*: a gain exactly equal to
+// hysteresis * staySec must not trigger a migration. Every number below is
+// binary-exact, so the comparison really is ==, not "within rounding".
+TEST(Migration, GainExactlyAtHysteresisBarStays) {
+  model::PiecewiseCommParams link;
+  link.small = {0.5, 1.0};  // one 0-word message costs exactly 0.5 s
+  link.large = {0.5, 1.0};
+  link.thresholdWords = 1 << 20;
+  const std::vector<model::DataSet> state = {{1, 0}};
+  // stay = 1 * 2 = 2; move = 0.5 + 1 * 1 = 1.5; gain = 0.5 = 0.25 * stay.
+  const MigrationDecision boundary =
+      adviseMigration(1.0, 2.0, 1.0, link, state, 1.0, 0.25);
+  EXPECT_NEAR(boundary.gainSec(), 0.25 * boundary.staySec, 0.0);
+  EXPECT_FALSE(boundary.migrate);
+  // Any lower bar and the same gain clears it.
+  const MigrationDecision below =
+      adviseMigration(1.0, 2.0, 1.0, link, state, 1.0, 0.2);
+  EXPECT_TRUE(below.migrate);
+}
+
+// A machine with dedicatedSec = +infinity can never host the task, no matter
+// how expensive every alternative is.
+TEST(MultiMachine, InfiniteTimeNeverPlacedEvenWhenAlternativesAreAwful) {
+  const auto platform = triangle();
+  const std::vector<MultiTask> tasks = {
+      {"stuck", {1e12, kInf, 1e12}, {{1, 1}}},
+      {"stuck2", {1e12, kInf, 1e12}, {}},
+  };
+  const MultiAllocation alloc = placeChain(platform, tasks);
+  EXPECT_NE(alloc.assignment[0], 1u);
+  EXPECT_NE(alloc.assignment[1], 1u);
+  EXPECT_TRUE(std::isfinite(alloc.makespan));
+}
+
+// When every machine is infinite for some task, the DP must surface an
+// explicit error instead of silently picking one of the infinite options.
+TEST(MultiMachine, AllInfiniteIsAnExplicitErrorNotASilentPick) {
+  const auto platform = triangle();
+  const std::vector<MultiTask> lone = {{"nowhere", {kInf, kInf, kInf}, {}}};
+  EXPECT_THROW((void)placeChain(platform, lone), std::runtime_error);
+  // Same when the impossible task sits mid-chain between feasible ones.
+  const std::vector<MultiTask> chain = {
+      {"ok1", {1.0, 1.0, 1.0}, {{1, 1}}},
+      {"nowhere", {kInf, kInf, kInf}, {{1, 1}}},
+      {"ok2", {1.0, 1.0, 1.0}, {}},
+  };
+  EXPECT_THROW((void)placeChain(platform, chain), std::runtime_error);
+}
+
 TEST(MultiMachine, Validation) {
   EXPECT_THROW(MultiMachinePlatform({}, {}), std::invalid_argument);
   EXPECT_THROW(MultiMachinePlatform({{"a", 0.5}}, {}), std::invalid_argument);

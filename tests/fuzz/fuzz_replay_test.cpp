@@ -43,17 +43,23 @@ TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
     ++replayed;
   }
   // Guard against the corpus silently vanishing from the build tree.
-  EXPECT_GE(replayed, 43) << "corpus shrank unexpectedly";
+  EXPECT_GE(replayed, 50) << "corpus shrank unexpectedly";
 }
 
 // Adversarial inputs too large to be pleasant as checked-in files.
 TEST(ProtocolFuzzReplay, SyntheticHostileInputs) {
   // One line far past any reasonable length, for every dispatch target.
   const std::string longLine(1 << 20, 'A');
-  for (char selector : {'0', '1', '2', '3'}) {
+  for (char selector : {'0', '1', '2', '3', '6'}) {
     replay(selector + longLine);
     replay(selector + longLine + "\n");
   }
+  // Scenario DSL (selector '6'): deep block nesting, a value that never
+  // ends, and a machine-class count large enough to probe overflow paths.
+  replay("6machine class:\n{\n" + std::string(1 << 16, ' ') + "\n");
+  replay(std::string("6machine class:\n{\n    Speed: ") +
+         std::string(1 << 16, '9') + "\n}\n");
+  replay("6" + std::string(200, '{') + std::string(200, '}'));
   // A PREDICT block that never terminates, right at and past the line cap.
   std::string unterminated = "0PREDICT bomb\n";
   for (int i = 0; i < 5000; ++i) unterminated += "front 1.0\n";

@@ -1,6 +1,7 @@
 // protocol_fuzz.cpp — libFuzzer harness over the contend-serve parsing
-// surface: readRequest, parseResponse, parseWorkload, parseEndpoint, and
-// the journal codecs (decodeRecords, decodeSnapshot).
+// surface: readRequest, parseResponse, parseWorkload, parseEndpoint, the
+// journal codecs (decodeRecords, decodeSnapshot), and the scenario DSL
+// parser (parseScenario).
 //
 // The contract under test: every parser either succeeds or throws a typed
 // exception (ProtocolError / std::runtime_error / std::invalid_argument) —
@@ -15,10 +16,11 @@
 //    deterministically on every toolchain, so regressions caught by the
 //    fuzzer stay fixed even where libFuzzer is unavailable (gcc).
 //
-// Input format: byte 0 mod 6 selects the target (the corpus uses the ASCII
-// digits '0'–'5' for readability — their codes map to 0–5 under mod 6, so
-// the pre-journal corpus files keep their meaning), the rest is the
-// parser's payload.
+// Input format: byte 0 selects the target. ASCII digits map to their face
+// value mod 7 (the corpus uses '0'–'6' for readability), every other byte
+// maps through mod 7 — so pre-scenario corpus files starting with '0'–'5'
+// keep the exact targets they were minimised against. The rest of the
+// input is the parser's payload.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +29,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "scenario/scenario.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -120,12 +123,36 @@ void driveJournalSnapshot(const std::string& payload) {
   }
 }
 
+void driveParseScenario(const std::string& payload) {
+  // parseScenario either returns a validated Scenario or throws a
+  // ScenarioError whose byte offset points inside the input (or exactly at
+  // its end for truncation-class errors). Both invariants are checked here;
+  // an accepted scenario must also survive arrival-sequence generation for
+  // its first task class without crashing.
+  try {
+    const contend::scenario::Scenario scenario =
+        contend::scenario::parseScenario(payload, "fuzz");
+    contend::scenario::ArrivalSequence arrivals(scenario.taskClasses.front());
+    for (int drawn = 0; drawn < 64; ++drawn) {
+      if (!arrivals.next().has_value()) break;
+    }
+  } catch (const contend::scenario::ScenarioError& e) {
+    if (e.byteOffset() > payload.size()) {
+      die("scenario error offset points past the input");
+    }
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;
-  const int selector = data[0] % 6;
+  // Digits select their face value so the checked-in corpus stays readable;
+  // arbitrary lead bytes still reach every target via mod 7.
+  const std::uint8_t lead = data[0];
+  const int selector =
+      (lead >= '0' && lead <= '9') ? (lead - '0') % 7 : lead % 7;
   const std::string payload(reinterpret_cast<const char*>(data + 1),
                             size - 1);
   try {
@@ -145,8 +172,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       case 4:
         driveJournalRecords(payload);
         break;
-      default:
+      case 5:
         driveJournalSnapshot(payload);
+        break;
+      default:
+        driveParseScenario(payload);
         break;
     }
   } catch (const ProtocolError&) {

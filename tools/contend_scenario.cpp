@@ -1,0 +1,107 @@
+// contend_scenario — run a scenario file through a scheduler and print the
+// JSON summary.
+//
+//   contend_scenario <file.scn> [--scheduler greedy|model|both]
+//                    [--out <path>] [--check <file.scn>]
+//
+// --check parses the file and prints "ok" (or the byte-accurate error) —
+// the fast path for editing scenarios. The default scheduler is "model";
+// "both" runs the comparison and emits the BENCH_scenario.json schema with
+// the comparison block.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/schedulers.hpp"
+#include "scenario/summary.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.scn> [--scheduler greedy|model|both] "
+               "[--out <path>]\n       %s --check <file.scn>\n",
+               argv0, argv0);
+  return 2;
+}
+
+contend::scenario::EngineResult runOne(const contend::scenario::Scenario& scn,
+                                       const std::string& which) {
+  using namespace contend::scenario;
+  if (which == "greedy") {
+    GreedyScheduler greedy;
+    return Engine(scn, greedy).run();
+  }
+  ContentionPricedScheduler model;
+  return Engine(scn, model).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string scheduler = "model";
+  std::string out;
+  std::string check;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scheduler" && i + 1 < argc) {
+      scheduler = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      check = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!check.empty()) {
+    try {
+      (void)contend::scenario::parseScenarioFile(check);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (file.empty() ||
+      (scheduler != "greedy" && scheduler != "model" && scheduler != "both")) {
+    return usage(argv[0]);
+  }
+
+  try {
+    const contend::scenario::Scenario scn =
+        contend::scenario::parseScenarioFile(file);
+    std::vector<contend::scenario::SchedulerRun> runs;
+    if (scheduler == "both" || scheduler == "greedy") {
+      runs.push_back({"greedy", runOne(scn, "greedy")});
+    }
+    if (scheduler == "both" || scheduler == "model") {
+      runs.push_back({"model", runOne(scn, "model")});
+    }
+    const std::string json = contend::scenario::summaryJson(scn, runs);
+    if (!out.empty()) {
+      std::ofstream stream(out, std::ios::binary);
+      if (!stream) {
+        std::fprintf(stderr, "contend_scenario: cannot write %s\n",
+                     out.c_str());
+        return 1;
+      }
+      stream << json;
+    }
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "contend_scenario: %s\n", e.what());
+    return 1;
+  }
+}
