@@ -20,11 +20,13 @@
 // scenario name is recorded in the JSON record.
 //
 // Usage: serve_throughput [--seconds S] [--warmup S] [--clients N]
-//                         [--workers N] [--write-ratio F] [--batch N]
+//                         [--workers N] [--engine threads|epoll|auto]
+//                         [--loop-threads N] [--write-ratio F] [--batch N]
 //                         [--scenario <file.scn>] [--min-rps R]
 //                         [--json <path>]
 //                         [--journal <path>] [--fsync always|interval|off]
 //                         [--nojournal-rps R] [--ring-rps R]
+//                         [--threads-rps R]
 // Exits non-zero when --min-rps is given and the measured rate is below it
 // (used as the acceptance gate). --json writes a machine-readable
 // BENCH_serve.json-style record so the perf trajectory is diffable across
@@ -34,7 +36,10 @@
 // mode); --nojournal-rps embeds the journal-less reference rate and the
 // relative overhead in the JSON record. --ring-rps embeds the rate measured
 // by the old sampled-latency-ring build and the relative overhead of the
-// per-verb histograms that replaced it (acceptance bar: < 2%).
+// per-verb histograms that replaced it (acceptance bar: < 2%). --engine
+// selects the serving core (worker pool vs epoll event loops; --loop-threads
+// sizes the latter) and --threads-rps embeds the worker-pool reference rate
+// plus the epoll speedup in the JSON record's epoll_baseline block.
 // Latency percentiles come from the server's merged log-scale histograms
 // (STATS p50/p90/p99/p999), not from client-side sorted vectors.
 #include <unistd.h>
@@ -105,6 +110,9 @@ struct BenchConfig {
   double warmup = 0.0;
   int clients = 8;
   int workers = 8;
+  serve::EngineKind engine = serve::EngineKind::kThreads;
+  int loopThreads = 1;
+  double threadsRps = 0.0;
   double writeRatio = 0.0;
   int batch = 1;
   double minRps = 0.0;
@@ -181,6 +189,9 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
       << "  \"config\": {\n"
       << "    \"clients\": " << config.clients << ",\n"
       << "    \"workers\": " << config.workers << ",\n"
+      << "    \"engine\": \"" << serve::engineKindName(config.engine)
+      << "\",\n"
+      << "    \"loop_threads\": " << config.loopThreads << ",\n"
       << "    \"seconds\": " << jsonNumber(config.seconds) << ",\n"
       << "    \"warmup\": " << jsonNumber(config.warmup) << ",\n"
       << "    \"write_ratio\": " << jsonNumber(config.writeRatio) << ",\n"
@@ -226,6 +237,14 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
         << jsonNumber(1.0 - rps / config.nojournalRps) << "\n"
         << "  }";
   }
+  if (config.threadsRps > 0.0) {
+    // The tentpole comparison: same traffic shape against the worker-pool
+    // core; speedup > 1 means the epoll core wins on this box.
+    out << ",\n  \"epoll_baseline\": {\n"
+        << "    \"threads_rps\": " << jsonNumber(config.threadsRps) << ",\n"
+        << "    \"speedup\": " << jsonNumber(rps / config.threadsRps)
+        << "\n  }";
+  }
   if (config.ringRps > 0.0) {
     // overhead < 0.02 is the acceptance bar: the per-verb histograms must
     // stay within 2% of the sampled-ring build they replaced.
@@ -248,6 +267,16 @@ int main(int argc, char** argv) {
     else if (flag == "--warmup") config.warmup = std::atof(value);
     else if (flag == "--clients") config.clients = std::atoi(value);
     else if (flag == "--workers") config.workers = std::atoi(value);
+    else if (flag == "--engine") {
+      const auto engine = serve::engineKindFromName(value);
+      if (!engine) {
+        std::cerr << "error: --engine expects threads|epoll|auto\n";
+        return 2;
+      }
+      config.engine = *engine;
+    }
+    else if (flag == "--loop-threads") config.loopThreads = std::atoi(value);
+    else if (flag == "--threads-rps") config.threadsRps = std::atof(value);
     else if (flag == "--write-ratio") config.writeRatio = std::atof(value);
     else if (flag == "--batch") config.batch = std::atoi(value);
     else if (flag == "--min-rps") config.minRps = std::atof(value);
@@ -267,15 +296,18 @@ int main(int argc, char** argv) {
     }
     else {
       std::cerr << "usage: serve_throughput [--seconds S] [--warmup S] "
-                   "[--clients N] [--workers N] [--write-ratio F] "
+                   "[--clients N] [--workers N] "
+                   "[--engine threads|epoll|auto] [--loop-threads N] "
+                   "[--write-ratio F] "
                    "[--batch N] [--scenario <file.scn>] [--min-rps R] "
                    "[--baseline-rps R] [--json <path>] [--journal <path>] "
                    "[--fsync always|interval|off] [--nojournal-rps R] "
-                   "[--ring-rps R]\n";
+                   "[--ring-rps R] [--threads-rps R]\n";
       return 2;
     }
   }
   if (config.seconds <= 0 || config.clients < 1 || config.workers < 1 ||
+      config.loopThreads < 1 ||
       config.writeRatio < 0.0 || config.writeRatio > 1.0 ||
       config.batch < 1) {
     std::cerr << "error: bad arguments\n";
@@ -300,6 +332,8 @@ int main(int argc, char** argv) {
   serve::ServerConfig serverConfig;
   serverConfig.endpoint = serve::parseEndpoint("unix:" + socketPath);
   serverConfig.workers = config.workers;
+  serverConfig.engine = config.engine;
+  serverConfig.loopThreads = config.loopThreads;
   serverConfig.queueCapacity = static_cast<std::size_t>(config.clients) * 4;
 
   // Two base apps plus at most one in-flight transient per writer client.
@@ -453,6 +487,9 @@ int main(int argc, char** argv) {
   TextTable table({"metric", "value"});
   table.addRow({"clients", std::to_string(config.clients)});
   table.addRow({"workers", std::to_string(config.workers)});
+  table.addRow({"engine",
+                std::string(serve::engineKindName(config.engine))});
+  table.addRow({"loop threads", std::to_string(config.loopThreads)});
   table.addRow({"write ratio", TextTable::num(config.writeRatio, 2)});
   table.addRow({"batch", std::to_string(config.batch)});
   if (!config.scenarioName.empty()) {

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -49,6 +50,10 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
       ::close(fd);
       throwErrno("connect(" + endpointToString(endpoint) + ")");
     }
+    // One-line requests must not wait out Nagle vs delayed-ACK; the server
+    // sets the same option on its side of every tcp connection.
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   if (timeoutMs > 0) {
     timeval tv{};

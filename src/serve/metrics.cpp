@@ -39,6 +39,13 @@ MetricsSnapshot Metrics::snapshot() const {
   snapshot.queueDepthHighWater =
       queueHighWater_.load(std::memory_order_relaxed);
   snapshot.slowRequests = slowRequests_.load(std::memory_order_relaxed);
+  snapshot.loopWakeups = loopWakeups_.load(std::memory_order_relaxed);
+  snapshot.loopEvents = loopEvents_.load(std::memory_order_relaxed);
+  snapshot.loopEagainReads =
+      loopEagainReads_.load(std::memory_order_relaxed);
+  snapshot.loopEagainWrites =
+      loopEagainWrites_.load(std::memory_order_relaxed);
+  snapshot.loopReadyBatch = loopReadyBatch_.snapshot();
 
   for (std::size_t i = 0; i < latency_.size(); ++i) {
     snapshot.latencyByVerb[i] = latency_[i].snapshot();
@@ -71,6 +78,10 @@ void Metrics::fill(Response& response) const {
   response.add("dropped_bytes", s.droppedBytes);
   response.add("queue_hwm", s.queueDepthHighWater);
   response.add("slow_requests", s.slowRequests);
+  response.add("loop_wakeups", s.loopWakeups);
+  response.add("loop_events", s.loopEvents);
+  response.add("loop_eagain_reads", s.loopEagainReads);
+  response.add("loop_eagain_writes", s.loopEagainWrites);
   response.add("lat_samples", s.latencySamples);
   response.add("p50_us", s.p50Us);
   response.add("p90_us", s.p90Us);

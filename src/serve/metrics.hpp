@@ -32,6 +32,15 @@ struct MetricsSnapshot {
   std::uint64_t droppedBytes = 0;
   std::uint64_t queueDepthHighWater = 0;
   std::uint64_t slowRequests = 0;
+  // Event-loop instrumentation (epoll engine; all zero under the threads
+  // engine, but always exported so dashboards have a stable schema).
+  std::uint64_t loopWakeups = 0;
+  std::uint64_t loopEvents = 0;
+  std::uint64_t loopEagainReads = 0;
+  std::uint64_t loopEagainWrites = 0;
+  // Ready-event batch size per epoll_wait return (the log-scale histogram
+  // machinery is unit-agnostic: buckets count events here, not µs).
+  HistogramSnapshot loopReadyBatch;
   // Per-verb service-time histograms plus their merge; latencyAll is what
   // the STATS percentiles (and the ring they replaced) describe.
   std::array<HistogramSnapshot, kVerbCount> latencyByVerb{};
@@ -74,6 +83,25 @@ class Metrics {
   void countSlowRequest() {
     slowRequests_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// One epoll_wait return (epoll engine), timeouts included.
+  void countLoopWakeup() {
+    loopWakeups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One epoll_wait return that delivered `events` ready events: bumps the
+  /// events counter and feeds the ready-batch-size histogram.
+  void observeLoopBatch(std::size_t events) {
+    loopEvents_.fetch_add(static_cast<std::uint64_t>(events),
+                          std::memory_order_relaxed);
+    loopReadyBatch_.record(static_cast<std::uint64_t>(events));
+  }
+  /// recv() drained a readable socket down to EAGAIN (edge-triggered reads).
+  void countEagainRead() {
+    loopEagainReads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// sendmsg() hit EAGAIN and the connection armed EPOLLOUT backpressure.
+  void countEagainWrite() {
+    loopEagainWrites_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records the observed queue depth; keeps the maximum ever seen.
   void observeQueueDepth(std::size_t depth);
@@ -106,6 +134,11 @@ class Metrics {
   std::atomic<std::uint64_t> droppedBytes_{0};
   std::atomic<std::uint64_t> queueHighWater_{0};
   std::atomic<std::uint64_t> slowRequests_{0};
+  std::atomic<std::uint64_t> loopWakeups_{0};
+  std::atomic<std::uint64_t> loopEvents_{0};
+  std::atomic<std::uint64_t> loopEagainReads_{0};
+  std::atomic<std::uint64_t> loopEagainWrites_{0};
+  LatencyHistogram loopReadyBatch_{};
   std::array<LatencyHistogram, kVerbCount> latency_{};
 };
 

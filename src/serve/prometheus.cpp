@@ -106,6 +106,33 @@ void histogramSeries(std::string& out, std::string_view name,
          std::to_string(snapshot.count));
 }
 
+/// Label-free variant of histogramSeries (same octave coarsening) for
+/// families with exactly one series, e.g. the ready-batch-size histogram.
+void histogramSeriesNoLabels(std::string& out, std::string_view name,
+                             const HistogramSnapshot& snapshot) {
+  const std::string prefix = std::string(name) + "_bucket{le=\"";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBucketCount; ++i) {
+    cumulative += snapshot.counts[i];
+    const std::uint64_t upper = histogramBucketUpperBoundUs(i);
+    if (i + 1 == kHistogramBucketCount) break;  // overflow → +Inf below
+    if (!std::has_single_bit(upper + 1)) continue;
+    out += prefix;
+    out += std::to_string(upper);
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += prefix;
+  out += "+Inf\"} ";
+  out += std::to_string(snapshot.count);
+  out += '\n';
+  sample(out, std::string(name) + "_sum", "",
+         std::to_string(snapshot.sumUs));
+  sample(out, std::string(name) + "_count", "",
+         std::to_string(snapshot.count));
+}
+
 }  // namespace
 
 std::string renderPrometheusText(const PrometheusInput& input) {
@@ -152,6 +179,24 @@ std::string renderPrometheusText(const PrometheusInput& input) {
   gauge(out, "contend_queue_depth_high_water",
         "Maximum connection-queue depth ever observed.",
         std::to_string(m.queueDepthHighWater));
+
+  // Event-loop gauges (epoll engine). Always emitted — zero under the
+  // threads engine — so scrapers see one stable schema per daemon.
+  counter(out, "contend_loop_wakeups_total",
+          "epoll_wait returns across all event loops (epoll engine).",
+          m.loopWakeups);
+  counter(out, "contend_loop_events_total",
+          "Ready events delivered to the event loops (epoll engine).",
+          m.loopEvents);
+  counter(out, "contend_loop_eagain_reads_total",
+          "Reads that drained a socket to EAGAIN (edge-triggered recv).",
+          m.loopEagainReads);
+  counter(out, "contend_loop_eagain_writes_total",
+          "Writes that hit EAGAIN and armed EPOLLOUT backpressure.",
+          m.loopEagainWrites);
+  family(out, "contend_loop_ready_batch", "histogram",
+         "Ready-event batch size per epoll_wait wakeup (epoll engine).");
+  histogramSeriesNoLabels(out, "contend_loop_ready_batch", m.loopReadyBatch);
 
   gauge(out, "contend_epoch", "Mutations applied to the mix so far.",
         std::to_string(input.tracker.epoch));

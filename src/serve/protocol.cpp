@@ -180,6 +180,107 @@ Request parsePredictBatch(TokenCursor& firstLine, std::istream& in) {
   return request;
 }
 
+/// Walks '\n'-terminated lines of a view without copying; strips one
+/// trailing '\r' per line (CRLF peers), mirroring FdLineReader.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : rest_(text) {}
+
+  std::optional<std::string_view> next() {
+    if (rest_.empty()) return std::nullopt;
+    const std::size_t nl = rest_.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? rest_ : rest_.substr(0, nl);
+    rest_.remove_prefix(nl == std::string_view::npos ? rest_.size() : nl + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    return line;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+Request parsePredictView(TokenCursor& firstLine, LineCursor& lines) {
+  Request request;
+  request.verb = Verb::kPredict;
+  const auto nameToken = firstLine.next();
+  const std::string name =
+      nameToken ? std::string(*nameToken) : std::string("task");
+  rejectTrailing(firstLine, "PREDICT");
+
+  // Mirror parsePredict's two phases exactly: first collect the block up to
+  // its `end` (so an unterminated block reports block_unterminated even if
+  // an earlier line is also malformed), then parse.
+  std::vector<std::string_view> block;
+  bool closed = false;
+  for (int count = 0; count < kMaxPredictBlockLines; ++count) {
+    const auto raw = lines.next();
+    if (!raw) break;
+    block.push_back(*raw);
+    if (util::firstToken(*raw) == "end") {
+      closed = true;
+      break;
+    }
+  }
+  if (!closed) {
+    fail(kErrBlockUnterminated,
+         "PREDICT: block not closed with 'end' within " +
+             std::to_string(kMaxPredictBlockLines) + " lines");
+  }
+  tools::WorkloadFile parsed;
+  try {
+    tools::WorkloadParser parser;
+    // The synthesized `task <name>` header is line 1, matching the block
+    // string the istream path hands to parseWorkload.
+    parser.feedLine("task " + name);
+    for (const std::string_view line : block) parser.feedLine(line);
+    parsed = parser.finish();
+  } catch (const std::runtime_error& error) {
+    fail(std::string("PREDICT: ") + error.what());
+  }
+  request.task = std::move(parsed.tasks.at(0));
+  return request;
+}
+
+Request parsePredictBatchView(TokenCursor& firstLine, LineCursor& lines) {
+  Request request;
+  request.verb = Verb::kPredictBatch;
+  rejectTrailing(firstLine, "PREDICT_BATCH");
+
+  std::vector<std::string_view> block;
+  bool closed = false;
+  for (int count = 0; count < kMaxBatchBlockLines; ++count) {
+    const auto raw = lines.next();
+    if (!raw) break;
+    if (util::firstToken(*raw) == "end_batch") {
+      closed = true;
+      break;
+    }
+    block.push_back(*raw);
+  }
+  if (!closed) {
+    fail(kErrBlockUnterminated,
+         "PREDICT_BATCH: block not closed with 'end_batch' within " +
+             std::to_string(kMaxBatchBlockLines) + " lines");
+  }
+  tools::WorkloadFile parsed;
+  try {
+    tools::WorkloadParser parser;
+    for (const std::string_view line : block) parser.feedLine(line);
+    parsed = parser.finish();
+  } catch (const std::runtime_error& error) {
+    fail(std::string("PREDICT_BATCH: ") + error.what());
+  }
+  if (!parsed.competitors.empty()) {
+    fail("PREDICT_BATCH: competitor lines are not allowed in a batch");
+  }
+  if (parsed.tasks.empty()) {
+    fail(kErrEmptyBatch, "PREDICT_BATCH: batch contains no tasks");
+  }
+  request.batch = std::move(parsed.tasks);
+  return request;
+}
+
 }  // namespace
 
 const char* verbName(Verb verb) {
@@ -213,6 +314,40 @@ std::optional<Request> readRequest(std::istream& in) {
         return parsePredict(line, in);
       case Verb::kPredictBatch:
         return parsePredictBatch(line, in);
+      case Verb::kSlowdown:
+      case Verb::kStats:
+      case Verb::kHealth:
+      case Verb::kMetrics: {
+        rejectTrailing(line, *verbToken);
+        Request request;
+        request.verb = *verb;
+        return request;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Request> parseRequestText(std::string_view text) {
+  LineCursor lines(text);
+  while (const auto raw = lines.next()) {
+    TokenCursor line(util::stripLineComment(*raw));
+    const auto verbToken = line.next();
+    if (!verbToken) continue;  // blank / comment-only
+
+    const auto verb = verbFromName(*verbToken);
+    if (!verb) {
+      fail(kErrBadVerb, "unknown verb '" + std::string(*verbToken) + "'");
+    }
+    switch (*verb) {
+      case Verb::kArrive:
+        return parseArrive(line);
+      case Verb::kDepart:
+        return parseDepart(line);
+      case Verb::kPredict:
+        return parsePredictView(line, lines);
+      case Verb::kPredictBatch:
+        return parsePredictBatchView(line, lines);
       case Verb::kSlowdown:
       case Verb::kStats:
       case Verb::kHealth:

@@ -112,6 +112,15 @@ struct Request {
 /// oversized PREDICT block.
 [[nodiscard]] std::optional<Request> readRequest(std::istream& in);
 
+/// Parses one request already assembled in memory: `text` is a view over
+/// the raw received bytes of a complete logical request (the verb line plus,
+/// for PREDICT/PREDICT_BATCH, the whole block through its terminator line).
+/// This is the epoll engine's zero-copy path — no istream, no line copies;
+/// lines may end in "\r\n" or "\n". Grammar, ERR codes, and error messages
+/// are identical to readRequest; nullopt when the text holds only blank or
+/// comment lines.
+[[nodiscard]] std::optional<Request> parseRequestText(std::string_view text);
+
 /// Serializes a request in wire format (always newline-terminated;
 /// round-trips through readRequest).
 [[nodiscard]] std::string formatRequest(const Request& request);

@@ -3,20 +3,28 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "serve/event_engine.hpp"
 #include "serve/net_util.hpp"
 #include "serve/prometheus.hpp"
 #include "util/tokens.hpp"
@@ -100,19 +108,385 @@ std::string endpointToString(const Endpoint& endpoint) {
   return "tcp:" + endpoint.host + ':' + std::to_string(endpoint.port);
 }
 
+const char* engineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kThreads: return "threads";
+    case EngineKind::kEpoll: return "epoll";
+    case EngineKind::kAuto: return "auto";
+  }
+  return "threads";
+}
+
+std::optional<EngineKind> engineKindFromName(std::string_view name) {
+  if (name == "threads") return EngineKind::kThreads;
+  if (name == "epoll") return EngineKind::kEpoll;
+  if (name == "auto") return EngineKind::kAuto;
+  return std::nullopt;
+}
+
+void applyAcceptedSocketOptions(int fd, const ServerConfig& config) {
+  if (config.endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (config.sendBufBytes > 0) {
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config.sendBufBytes,
+                       sizeof(config.sendBufBytes));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadsEngine — the original accept-thread + bounded-queue + worker-pool
+// core, now behind the Engine interface. One worker owns one connection at a
+// time; blocking reads are bounded by SO_RCVTIMEO plus FdLineReader's
+// per-request deadline window.
+// ---------------------------------------------------------------------------
+class ThreadsEngine final : public Engine {
+ public:
+  explicit ThreadsEngine(Server& server)
+      : server_(server), config_(server.config_), metrics_(server.metrics_) {}
+
+  ~ThreadsEngine() override {
+    for (int fd : {stopPipe_[0], stopPipe_[1]}) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  void start() override {
+    if (::pipe(stopPipe_) != 0) throwErrno("pipe");
+    (void)::fcntl(stopPipe_[0], F_SETFD, FD_CLOEXEC);
+    (void)::fcntl(stopPipe_[1], F_SETFD, FD_CLOEXEC);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    workers_.reserve(static_cast<std::size_t>(config_.workers));
+    for (int i = 0; i < config_.workers; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void requestStop() override {
+    stopping_.store(true, std::memory_order_release);
+    if (stopPipe_[1] >= 0) {
+      const char byte = 's';
+      [[maybe_unused]] const auto n = ::write(stopPipe_[1], &byte, 1);
+    }
+  }
+
+  void wait() override {
+    if (acceptThread_.joinable()) acceptThread_.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+ private:
+  // A connection waiting for a worker, stamped at enqueue so the first
+  // request served on it can report how long it sat in the queue.
+  struct QueuedConnection {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  bool pushConnection(int fd) {
+    std::size_t depth = 0;
+    {
+      std::lock_guard lock(queueMutex_);
+      if (queueClosed_ || queue_.size() >= config_.queueCapacity) return false;
+      queue_.push_back({fd, std::chrono::steady_clock::now()});
+      depth = queue_.size();
+    }
+    metrics_.observeQueueDepth(depth);
+    queueCv_.notify_one();
+    return true;
+  }
+
+  std::optional<QueuedConnection> popConnection() {
+    std::unique_lock lock(queueMutex_);
+    queueCv_.wait(lock, [this] { return queueClosed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    const QueuedConnection connection = queue_.front();
+    queue_.pop_front();
+    return connection;
+  }
+
+  void acceptLoop() {
+    int backoffMs = 0;
+    while (!stopping_.load(std::memory_order_acquire)) {
+      pollfd fds[2] = {{server_.listenFd_, POLLIN, 0},
+                       {stopPipe_[0], POLLIN, 0}};
+      const int ready = ::poll(fds, 2, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (fds[1].revents != 0) break;  // stop requested
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(server_.listenFd_, nullptr, nullptr);
+      if (fd < 0) {
+        // The peer hanging up between poll and accept is routine, not an
+        // error worth counting.
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        metrics_.countAcceptError();
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+            errno == ENOMEM) {
+          // Resource exhaustion: the pending connection stays in the backlog,
+          // so poll() would wake us immediately and the loop would busy-spin.
+          // Back off (exponentially, capped) while staying responsive to the
+          // stop pipe; workers closing fds is what clears the condition.
+          backoffMs = backoffMs == 0 ? 10 : std::min(backoffMs * 2, 1000);
+          pollfd pause{stopPipe_[0], POLLIN, 0};
+          (void)::poll(&pause, 1, backoffMs);
+        }
+        continue;
+      }
+      backoffMs = 0;
+      metrics_.countAccepted();
+      setRecvTimeout(fd, config_.requestTimeoutMs);
+      applyAcceptedSocketOptions(fd, config_);
+      if (!pushConnection(fd)) {
+        metrics_.countRejected();
+        Response refused;
+        refused.ok = false;
+        refused.code = kErrOverloaded;
+        refused.error = "server overloaded, try again";
+        sendAll(fd, formatResponse(refused) + '\n');
+        ::close(fd);
+      }
+    }
+    // Graceful drain: close the listen socket so late connects fail fast
+    // (ECONNREFUSED instead of queueing in the kernel backlog), stop feeding
+    // workers, and nudge in-flight connections: a read-side shutdown lets
+    // requests already received finish while idle keep-alives end immediately.
+    const int listening = server_.listenFd_;
+    server_.listenFd_ = -1;
+    ::close(listening);
+    {
+      std::lock_guard lock(queueMutex_);
+      queueClosed_ = true;
+    }
+    queueCv_.notify_all();
+    {
+      std::lock_guard lock(activeMutex_);
+      for (const int fd : activeFds_) (void)::shutdown(fd, SHUT_RD);
+    }
+  }
+
+  void workerLoop() {
+    while (true) {
+      const std::optional<QueuedConnection> connection = popConnection();
+      if (!connection) return;
+      const int fd = connection->fd;
+      const auto queueWaitUs = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(
+              0, std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - connection->enqueued)
+                     .count()));
+      {
+        std::lock_guard lock(activeMutex_);
+        activeFds_.push_back(fd);
+      }
+      // Connections popped after the drain began were never swept by the
+      // accept loop; give them one short grace window instead of the full
+      // request timeout.
+      if (stopping_.load(std::memory_order_acquire)) setRecvTimeout(fd, 250);
+      serveConnection(fd, queueWaitUs);
+      {
+        std::lock_guard lock(activeMutex_);
+        std::erase(activeFds_, fd);
+      }
+      ::close(fd);
+    }
+  }
+
+  void serveConnection(int fd, std::uint64_t queueWaitUs) {
+    FdLineReader reader(fd, kMaxRequestLineBytes);
+    BufferedWriter writer(fd);
+    std::string line;
+    // The queue wait belongs to the first request served on the connection;
+    // later pipelined/keep-alive requests never sat in the accept queue.
+    std::uint64_t pendingQueueWaitUs = queueWaitUs;
+    const auto budget =
+        std::chrono::milliseconds(std::max(config_.requestDeadlineMs, 0));
+    // Answers `ERR <code> <message>` and flushes; used for conditions the
+    // connection cannot be resynchronized from, so the caller closes it.
+    const auto refuse = [&](std::string_view code,
+                            const std::string& message) {
+      metrics_.countError();
+      Response response;
+      response.ok = false;
+      response.code = std::string(code);
+      response.error = message;
+      writer.append(formatResponse(response) + '\n');
+      (void)writer.flush();
+    };
+    // Terminal read results other than a plain close get a parting ERR so
+    // the peer learns *why* it was disconnected.
+    const auto failRead = [&](LineRead status, std::string_view context) {
+      if (status == LineRead::kTooLong) {
+        metrics_.countLineOverflow();
+        refuse(kErrLineTooLong,
+               std::string(context) + ": line exceeds " +
+                   std::to_string(kMaxRequestLineBytes) + " bytes");
+      } else if (status == LineRead::kDeadline) {
+        metrics_.countDeadlineExpired();
+        refuse(kErrDeadline,
+               std::string(context) + ": request deadline exceeded");
+      } else {
+        (void)writer.flush();  // EOF / idle timeout: nothing left to say
+      }
+    };
+    // Reads a `PREDICT`/`PREDICT_BATCH` body through its terminator into
+    // requestText; kClosed covers both a vanished peer and the line cap
+    // running out before the terminator (neither can be resynchronized).
+    const auto collectBlock = [&](std::string& requestText,
+                                  std::string_view terminator,
+                                  int maxLines) -> LineRead {
+      for (int extra = 0; extra < maxLines; ++extra) {
+        const LineRead status = reader.readLine(line);
+        if (status != LineRead::kLine) return status;
+        requestText += line;
+        requestText += '\n';
+        if (util::firstToken(line) == terminator) return LineRead::kLine;
+      }
+      return LineRead::kClosed;
+    };
+    while (true) {
+      // Responses are buffered; flush only when the client has no further
+      // request already in the read buffer, so pipelined request bursts are
+      // answered with one write syscall.
+      if (!reader.hasBufferedLine() && !writer.flush()) break;
+      // One wall-clock budget covers the whole logical request (verb line
+      // plus any block body), armed when its first byte arrives; a silent
+      // keep-alive connection is still governed only by SO_RCVTIMEO.
+      reader.beginRequestWindow(budget);
+      const LineRead first = reader.readLine(line);
+      if (first != LineRead::kLine) {
+        failRead(first, "request");
+        break;
+      }
+      // Assemble one logical request: a single line, except PREDICT and
+      // PREDICT_BATCH whose blocks run through their terminator lines.
+      std::string requestText = line;
+      requestText += '\n';
+      const std::string_view verbToken = util::firstToken(line);
+      if (verbToken.empty()) continue;  // blank / keep-alive noise
+      if (verbToken == "PREDICT" || verbToken == "PREDICT_BATCH") {
+        // collectBlock reuses `line`, invalidating views into it.
+        const std::string verb(verbToken);
+        const bool batch = verb == "PREDICT_BATCH";
+        const LineRead block =
+            collectBlock(requestText, batch ? "end_batch" : "end",
+                         batch ? kMaxBatchBlockLines : kMaxPredictBlockLines);
+        if (block == LineRead::kClosed) {
+          refuse(kErrBlockUnterminated,
+                 verb + ": block not closed with '" +
+                     (batch ? "end_batch" : "end") + "'");
+          break;  // can't resync a half-read block; drop the connection
+        }
+        if (block != LineRead::kLine) {
+          failRead(block, verb);
+          break;
+        }
+      }
+
+      const auto begin = std::chrono::steady_clock::now();
+      Response response;
+      // METRICS bypasses Response formatting: its answer is the multi-line
+      // Prometheus exposition, written verbatim through its `# EOF` line.
+      std::string exposition;
+      std::optional<Verb> verb;
+      try {
+        std::istringstream in(requestText);
+        const std::optional<Request> request = readRequest(in);
+        if (!request) continue;
+        verb = request->verb;
+        if (request->verb == Verb::kMetrics) {
+          exposition = server_.renderMetricsText();
+        } else {
+          response = server_.handle(*request);
+        }
+      } catch (const ProtocolError& error) {
+        response.ok = false;
+        response.code = error.code();
+        response.error = error.what();
+      } catch (const std::invalid_argument& error) {
+        // Semantic rejections from the tracker (unknown id, out-of-order
+        // event, mix overflow): the request was well-formed, the state said
+        // no.
+        response.ok = false;
+        response.code = kErrInvalidArgument;
+        response.error = error.what();
+      } catch (const std::exception& error) {
+        response.ok = false;
+        response.code = kErrInternal;
+        response.error = error.what();
+      }
+      if (verb) metrics_.countRequest(*verb);
+      if (exposition.empty()) {
+        if (!response.ok) metrics_.countError();
+        writer.append(formatResponse(response) + '\n');
+      } else {
+        writer.append(exposition);
+      }
+      const auto elapsed = std::chrono::steady_clock::now() - begin;
+      if (verb) {
+        metrics_.observeLatency(*verb, elapsed);
+        const auto durationUs = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(
+                0,
+                std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                    .count()));
+        if (config_.slowRequestUs > 0 &&
+            durationUs >= config_.slowRequestUs) {
+          metrics_.countSlowRequest();
+          std::fprintf(stderr,
+                       "contend-served: slow request verb=%s bytes=%zu "
+                       "duration_us=%llu queue_wait_us=%llu\n",
+                       verbName(*verb), requestText.size(),
+                       static_cast<unsigned long long>(durationUs),
+                       static_cast<unsigned long long>(pendingQueueWaitUs));
+        }
+      }
+      pendingQueueWaitUs = 0;
+    }
+    // Anything still buffered was never delivered; account for it instead of
+    // letting the close swallow it silently.
+    if (!writer.empty()) metrics_.countDroppedBytes(writer.pendingBytes());
+  }
+
+  Server& server_;
+  const ServerConfig& config_;
+  Metrics& metrics_;
+
+  int stopPipe_[2] = {-1, -1};
+  std::thread acceptThread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<QueuedConnection> queue_;
+  bool queueClosed_ = false;
+
+  // Connections currently held by workers; on drain they get a read-side
+  // shutdown so already-received requests finish but idle ones end now.
+  std::mutex activeMutex_;
+  std::vector<int> activeFds_;
+
+  std::atomic<bool> stopping_{false};
+};
+
 Server::Server(ServerConfig config, ConcurrentTracker& tracker,
                Metrics& metrics)
     : config_(std::move(config)), tracker_(tracker), metrics_(metrics) {
   if (config_.workers < 1) config_.workers = 1;
   if (config_.queueCapacity < 1) config_.queueCapacity = 1;
+  if (config_.loopThreads < 1) config_.loopThreads = 1;
+  if (config_.backlog < 1) config_.backlog = 1;
 }
 
 Server::~Server() {
   if (started_ && !joined_) stop();
+  engine_.reset();
   if (listenFd_ >= 0) ::close(listenFd_);
-  for (int fd : {stopPipe_[0], stopPipe_[1]}) {
-    if (fd >= 0) ::close(fd);
-  }
   // Unlink only a socket file we actually created: a failed bind (or a
   // constructor-only lifetime) must not remove a file a newer server has
   // since bound at the same path.
@@ -123,9 +497,6 @@ Server::~Server() {
 
 void Server::start() {
   if (started_) throw std::runtime_error("Server::start called twice");
-  if (::pipe(stopPipe_) != 0) throwErrno("pipe");
-  (void)::fcntl(stopPipe_[0], F_SETFD, FD_CLOEXEC);
-  (void)::fcntl(stopPipe_[1], F_SETFD, FD_CLOEXEC);
 
   const Endpoint& ep = config_.endpoint;
   if (ep.kind == Endpoint::Kind::kUnix) {
@@ -175,297 +546,35 @@ void Server::start() {
     boundPort_ = ntohs(bound.sin_port);
     config_.endpoint.port = boundPort_;
   }
-  if (::listen(listenFd_, 128) != 0) throwErrno("listen");
+  if (::listen(listenFd_, config_.backlog) != 0) throwErrno("listen");
 
-  started_ = true;
-  startTime_ = std::chrono::steady_clock::now();
-  acceptThread_ = std::thread([this] { acceptLoop(); });
-  workers_.reserve(static_cast<std::size_t>(config_.workers));
-  for (int i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+  resolvedEngine_ = config_.engine == EngineKind::kAuto ? EngineKind::kEpoll
+                                                        : config_.engine;
+  if (resolvedEngine_ == EngineKind::kEpoll) {
+    engine_ = std::make_unique<EventEngine>(*this);
+  } else {
+    engine_ = std::make_unique<ThreadsEngine>(*this);
   }
+  startTime_ = std::chrono::steady_clock::now();
+  engine_->start();
+  started_ = true;
 }
 
 void Server::requestStop() {
-  stopping_.store(true, std::memory_order_release);
-  if (stopPipe_[1] >= 0) {
-    const char byte = 's';
-    [[maybe_unused]] const auto n = ::write(stopPipe_[1], &byte, 1);
-  }
+  // Async-signal-safe: a raw pointer read plus the engine's atomic flag and
+  // self-pipe write. No locks, no allocation.
+  if (Engine* engine = engine_.get()) engine->requestStop();
 }
 
 void Server::wait() {
   if (!started_ || joined_) return;
-  if (acceptThread_.joinable()) acceptThread_.join();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
+  engine_->wait();
   joined_ = true;
 }
 
 void Server::stop() {
   requestStop();
   wait();
-}
-
-bool Server::pushConnection(int fd) {
-  std::size_t depth = 0;
-  {
-    std::lock_guard lock(queueMutex_);
-    if (queueClosed_ || queue_.size() >= config_.queueCapacity) return false;
-    queue_.push_back({fd, std::chrono::steady_clock::now()});
-    depth = queue_.size();
-  }
-  metrics_.observeQueueDepth(depth);
-  queueCv_.notify_one();
-  return true;
-}
-
-std::optional<Server::QueuedConnection> Server::popConnection() {
-  std::unique_lock lock(queueMutex_);
-  queueCv_.wait(lock, [this] { return queueClosed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // closed and drained
-  const QueuedConnection connection = queue_.front();
-  queue_.pop_front();
-  return connection;
-}
-
-void Server::acceptLoop() {
-  int backoffMs = 0;
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd fds[2] = {{listenFd_, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (fds[1].revents != 0) break;  // stop requested
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
-    if (fd < 0) {
-      // The peer hanging up between poll and accept is routine, not an
-      // error worth counting.
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      metrics_.countAcceptError();
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        // Resource exhaustion: the pending connection stays in the backlog,
-        // so poll() would wake us immediately and the loop would busy-spin.
-        // Back off (exponentially, capped) while staying responsive to the
-        // stop pipe; workers closing fds is what clears the condition.
-        backoffMs = backoffMs == 0 ? 10 : std::min(backoffMs * 2, 1000);
-        pollfd pause{stopPipe_[0], POLLIN, 0};
-        (void)::poll(&pause, 1, backoffMs);
-      }
-      continue;
-    }
-    backoffMs = 0;
-    metrics_.countAccepted();
-    setRecvTimeout(fd, config_.requestTimeoutMs);
-    if (!pushConnection(fd)) {
-      metrics_.countRejected();
-      Response refused;
-      refused.ok = false;
-      refused.code = kErrOverloaded;
-      refused.error = "server overloaded, try again";
-      sendAll(fd, formatResponse(refused) + '\n');
-      ::close(fd);
-    }
-  }
-  // Graceful drain: close the listen socket so late connects fail fast
-  // (ECONNREFUSED instead of queueing in the kernel backlog), stop feeding
-  // workers, and nudge in-flight connections: a read-side shutdown lets
-  // requests already received finish while idle keep-alives end immediately.
-  const int listening = listenFd_;
-  listenFd_ = -1;
-  ::close(listening);
-  {
-    std::lock_guard lock(queueMutex_);
-    queueClosed_ = true;
-  }
-  queueCv_.notify_all();
-  {
-    std::lock_guard lock(activeMutex_);
-    for (const int fd : activeFds_) (void)::shutdown(fd, SHUT_RD);
-  }
-}
-
-void Server::workerLoop() {
-  while (true) {
-    const std::optional<QueuedConnection> connection = popConnection();
-    if (!connection) return;
-    const int fd = connection->fd;
-    const auto queueWaitUs = static_cast<std::uint64_t>(
-        std::max<std::int64_t>(
-            0, std::chrono::duration_cast<std::chrono::microseconds>(
-                   std::chrono::steady_clock::now() - connection->enqueued)
-                   .count()));
-    {
-      std::lock_guard lock(activeMutex_);
-      activeFds_.push_back(fd);
-    }
-    // Connections popped after the drain began were never swept by the
-    // accept loop; give them one short grace window instead of the full
-    // request timeout.
-    if (stopping_.load(std::memory_order_acquire)) setRecvTimeout(fd, 250);
-    serveConnection(fd, queueWaitUs);
-    {
-      std::lock_guard lock(activeMutex_);
-      std::erase(activeFds_, fd);
-    }
-    ::close(fd);
-  }
-}
-
-void Server::serveConnection(int fd, std::uint64_t queueWaitUs) {
-  FdLineReader reader(fd, kMaxRequestLineBytes);
-  BufferedWriter writer(fd);
-  std::string line;
-  // The queue wait belongs to the first request served on the connection;
-  // later pipelined/keep-alive requests never sat in the accept queue.
-  std::uint64_t pendingQueueWaitUs = queueWaitUs;
-  const auto budget =
-      std::chrono::milliseconds(std::max(config_.requestDeadlineMs, 0));
-  // Answers `ERR <code> <message>` and flushes; used for conditions the
-  // connection cannot be resynchronized from, so the caller closes it.
-  const auto refuse = [&](std::string_view code, const std::string& message) {
-    metrics_.countError();
-    Response response;
-    response.ok = false;
-    response.code = std::string(code);
-    response.error = message;
-    writer.append(formatResponse(response) + '\n');
-    (void)writer.flush();
-  };
-  // Terminal read results other than a plain close get a parting ERR so
-  // the peer learns *why* it was disconnected.
-  const auto failRead = [&](LineRead status, std::string_view context) {
-    if (status == LineRead::kTooLong) {
-      metrics_.countLineOverflow();
-      refuse(kErrLineTooLong,
-             std::string(context) + ": line exceeds " +
-                 std::to_string(kMaxRequestLineBytes) + " bytes");
-    } else if (status == LineRead::kDeadline) {
-      metrics_.countDeadlineExpired();
-      refuse(kErrDeadline,
-             std::string(context) + ": request deadline exceeded");
-    } else {
-      (void)writer.flush();  // EOF / idle timeout: nothing left to say
-    }
-  };
-  // Reads a `PREDICT`/`PREDICT_BATCH` body through its terminator into
-  // requestText; kClosed covers both a vanished peer and the line cap
-  // running out before the terminator (neither can be resynchronized).
-  const auto collectBlock = [&](std::string& requestText,
-                                std::string_view terminator,
-                                int maxLines) -> LineRead {
-    for (int extra = 0; extra < maxLines; ++extra) {
-      const LineRead status = reader.readLine(line);
-      if (status != LineRead::kLine) return status;
-      requestText += line;
-      requestText += '\n';
-      if (util::firstToken(line) == terminator) return LineRead::kLine;
-    }
-    return LineRead::kClosed;
-  };
-  while (true) {
-    // Responses are buffered; flush only when the client has no further
-    // request already in the read buffer, so pipelined request bursts are
-    // answered with one write syscall.
-    if (!reader.hasBufferedLine() && !writer.flush()) break;
-    // One wall-clock budget covers the whole logical request (verb line
-    // plus any block body), armed when its first byte arrives; a silent
-    // keep-alive connection is still governed only by SO_RCVTIMEO.
-    reader.beginRequestWindow(budget);
-    const LineRead first = reader.readLine(line);
-    if (first != LineRead::kLine) {
-      failRead(first, "request");
-      break;
-    }
-    // Assemble one logical request: a single line, except PREDICT and
-    // PREDICT_BATCH whose blocks run through their terminator lines.
-    std::string requestText = line;
-    requestText += '\n';
-    const std::string_view verbToken = util::firstToken(line);
-    if (verbToken.empty()) continue;  // blank / keep-alive noise
-    if (verbToken == "PREDICT" || verbToken == "PREDICT_BATCH") {
-      // collectBlock reuses `line`, invalidating views into it.
-      const std::string verb(verbToken);
-      const bool batch = verb == "PREDICT_BATCH";
-      const LineRead block =
-          collectBlock(requestText, batch ? "end_batch" : "end",
-                       batch ? kMaxBatchBlockLines : kMaxPredictBlockLines);
-      if (block == LineRead::kClosed) {
-        refuse(kErrBlockUnterminated, verb + ": block not closed with '" +
-                                          (batch ? "end_batch" : "end") + "'");
-        break;  // can't resync a half-read block; drop the connection
-      }
-      if (block != LineRead::kLine) {
-        failRead(block, verb);
-        break;
-      }
-    }
-
-    const auto begin = std::chrono::steady_clock::now();
-    Response response;
-    // METRICS bypasses Response formatting: its answer is the multi-line
-    // Prometheus exposition, written verbatim through its `# EOF` line.
-    std::string exposition;
-    std::optional<Verb> verb;
-    try {
-      std::istringstream in(requestText);
-      const std::optional<Request> request = readRequest(in);
-      if (!request) continue;
-      verb = request->verb;
-      if (request->verb == Verb::kMetrics) {
-        exposition = renderMetricsText();
-      } else {
-        response = handle(*request);
-      }
-    } catch (const ProtocolError& error) {
-      response.ok = false;
-      response.code = error.code();
-      response.error = error.what();
-    } catch (const std::invalid_argument& error) {
-      // Semantic rejections from the tracker (unknown id, out-of-order
-      // event, mix overflow): the request was well-formed, the state said no.
-      response.ok = false;
-      response.code = kErrInvalidArgument;
-      response.error = error.what();
-    } catch (const std::exception& error) {
-      response.ok = false;
-      response.code = kErrInternal;
-      response.error = error.what();
-    }
-    if (verb) metrics_.countRequest(*verb);
-    if (exposition.empty()) {
-      if (!response.ok) metrics_.countError();
-      writer.append(formatResponse(response) + '\n');
-    } else {
-      writer.append(exposition);
-    }
-    const auto elapsed = std::chrono::steady_clock::now() - begin;
-    if (verb) {
-      metrics_.observeLatency(*verb, elapsed);
-      const auto durationUs = static_cast<std::uint64_t>(
-          std::max<std::int64_t>(
-              0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                     .count()));
-      if (config_.slowRequestUs > 0 && durationUs >= config_.slowRequestUs) {
-        metrics_.countSlowRequest();
-        std::fprintf(stderr,
-                     "contend-served: slow request verb=%s bytes=%zu "
-                     "duration_us=%llu queue_wait_us=%llu\n",
-                     verbName(*verb), requestText.size(),
-                     static_cast<unsigned long long>(durationUs),
-                     static_cast<unsigned long long>(pendingQueueWaitUs));
-      }
-    }
-    pendingQueueWaitUs = 0;
-  }
-  // Anything still buffered was never delivered; account for it instead of
-  // letting the close swallow it silently.
-  if (!writer.empty()) metrics_.countDroppedBytes(writer.pendingBytes());
 }
 
 Response Server::handle(const Request& request) {
@@ -547,6 +656,8 @@ Response Server::handle(const Request& request) {
       response.add("p", static_cast<std::uint64_t>(snapshot.active));
       response.add("recovered",
                    static_cast<std::uint64_t>(config_.recovered ? 1 : 0));
+      response.add("engine", std::string(engineKindName(resolvedEngine_)));
+      response.add("backlog", static_cast<std::uint64_t>(config_.backlog));
       if (config_.journal != nullptr) {
         const JournalStats journal = config_.journal->stats();
         response.add("journal", std::string("on"));
@@ -560,8 +671,8 @@ Response Server::handle(const Request& request) {
       break;
     }
     case Verb::kMetrics:
-      // serveConnection answers METRICS with the exposition before ever
-      // calling handle(); reaching this case means that wiring broke.
+      // The engines answer METRICS with the exposition before ever calling
+      // handle(); reaching this case means that wiring broke.
       response.ok = false;
       response.code = kErrInternal;
       response.error = "METRICS is answered as an exposition, not a Response";
@@ -571,6 +682,8 @@ Response Server::handle(const Request& request) {
       response.add("epoch", stats.epoch);
       response.add("signature", stats.signature);
       response.add("p", static_cast<std::uint64_t>(stats.active));
+      response.add("engine", std::string(engineKindName(resolvedEngine_)));
+      response.add("backlog", static_cast<std::uint64_t>(config_.backlog));
       response.add("arrivals", stats.arrivals);
       response.add("departures", stats.departures);
       response.add("cache_hits", stats.cacheHits);

@@ -1,27 +1,35 @@
-// server.hpp — the contend-serve network front: accept loop, bounded
-// connection queue, fixed worker pool, graceful drain.
+// server.hpp — the contend-serve network front.
 //
-// Design: one thread accepts connections and pushes the fds onto a bounded
-// queue; N workers pop a connection each and serve its requests until the
-// client closes, errors, or a read times out (per-request timeout via
-// SO_RCVTIMEO, so a stalled client can never pin a worker forever). When the
-// queue is full, new connections are refused with a one-line `ERR` so
-// clients fail fast instead of piling up. `requestStop()` is async-signal
-// safe (an atomic flag plus a self-pipe write), which is what lets the
-// daemon drain gracefully from a SIGTERM handler: stop accepting, finish
-// queued and in-flight connections, join.
+// Two interchangeable serving cores answer the same protocol behind the
+// Engine interface:
+//
+//  - ThreadsEngine (--engine threads, the default): one thread accepts
+//    connections and pushes the fds onto a bounded queue; N workers pop a
+//    connection each and serve its requests with blocking reads until the
+//    client closes, errors, or a read times out (per-request timeout via
+//    SO_RCVTIMEO). When the queue is full, new connections are refused with
+//    a one-line `ERR` so clients fail fast instead of piling up.
+//
+//  - EventEngine (--engine epoll, see event_engine.hpp): a small ring of
+//    event-loop threads runs a non-blocking edge-triggered epoll state
+//    machine — per-connection incremental parsing straight over recv
+//    buffers, iovec-coalesced pipelined writes with EAGAIN backpressure,
+//    and a timer wheel enforcing the same idle-timeout and slow-loris
+//    deadline guarantees. `--engine auto` prefers epoll.
+//
+// Both engines answer identical verbs with identical ERR codes and feed
+// the same Metrics. `requestStop()` is async-signal safe in both (an atomic
+// flag plus a self-pipe write), which is what lets the daemon drain
+// gracefully from a SIGTERM handler: stop accepting, finish queued and
+// in-flight connections, join.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
-#include <thread>
-#include <vector>
+#include <string_view>
 
 #include "serve/concurrent_tracker.hpp"
 #include "serve/metrics.hpp"
@@ -43,6 +51,14 @@ struct Endpoint {
 [[nodiscard]] Endpoint parseEndpoint(const std::string& spec);
 [[nodiscard]] std::string endpointToString(const Endpoint& endpoint);
 
+/// Which serving core runs the socket I/O.
+enum class EngineKind { kThreads, kEpoll, kAuto };
+
+[[nodiscard]] const char* engineKindName(EngineKind kind);
+/// nullopt on anything other than "threads" | "epoll" | "auto".
+[[nodiscard]] std::optional<EngineKind> engineKindFromName(
+    std::string_view name);
+
 struct ServerConfig {
   Endpoint endpoint;
   int workers = 8;
@@ -54,6 +70,19 @@ struct ServerConfig {
   // worst-case disconnect time is requestDeadlineMs + requestTimeoutMs
   // (deadline checks happen between recvs). 0 disables the deadline.
   int requestDeadlineMs = 10000;
+  // Serving core; kAuto resolves to epoll at start(). The workers/queue
+  // knobs above govern the threads engine directly; the epoll engine reuses
+  // workers + queueCapacity as its connection admission cap, so overload
+  // semantics (ERR overloaded before close) stay identical across engines.
+  EngineKind engine = EngineKind::kThreads;
+  // Event-loop threads for the epoll engine (threads engine ignores this).
+  int loopThreads = 1;
+  // listen(2) backlog; surfaced in STATS and HEALTH.
+  int backlog = 1024;
+  // Testing knob: when > 0, shrink accepted sockets' SO_SNDBUF to this many
+  // bytes to force partial writes / EAGAIN (exercises the epoll engine's
+  // write-resumption path). 0 leaves the kernel default.
+  int sendBufBytes = 0;
   // Optional write-ahead journal (not owned; must outlive the server). Its
   // counters feed the STATS and HEALTH responses; the tracker does the
   // actual appending.
@@ -67,6 +96,25 @@ struct ServerConfig {
   std::uint64_t slowRequestUs = 0;
 };
 
+/// One serving core, created by Server::start() after the listen socket
+/// exists. Implementations: ThreadsEngine (server.cpp) and EventEngine
+/// (event_engine.{hpp,cpp}).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  /// Spawns the engine's threads. Throws std::runtime_error on failure.
+  virtual void start() = 0;
+  /// Async-signal-safe shutdown trigger.
+  virtual void requestStop() = 0;
+  /// Blocks until every engine thread has drained and joined.
+  virtual void wait() = 0;
+};
+
+/// Socket options every accepted connection gets, in both engines:
+/// TCP_NODELAY on tcp sockets (small pipelined request/response lines must
+/// not sit out Nagle/delayed-ACK stalls) and the optional SO_SNDBUF shrink.
+void applyAcceptedSocketOptions(int fd, const ServerConfig& config);
+
 class Server {
  public:
   Server(ServerConfig config, ConcurrentTracker& tracker, Metrics& metrics);
@@ -74,14 +122,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept thread plus workers. Throws
+  /// Binds, listens, and starts the configured engine. Throws
   /// std::runtime_error on socket errors.
   void start();
 
   /// Async-signal-safe shutdown trigger (callable from a SIGTERM handler).
   void requestStop();
 
-  /// Blocks until the accept loop has stopped and all workers have drained.
+  /// Blocks until the engine has stopped and all its threads have drained.
   void wait();
 
   /// requestStop() + wait().
@@ -90,31 +138,25 @@ class Server {
   /// The port actually bound (after start()); useful with `tcp:...:0`.
   [[nodiscard]] int boundPort() const { return boundPort_; }
   [[nodiscard]] const Endpoint& endpoint() const { return config_.endpoint; }
+  /// The engine actually serving (kAuto resolved); meaningful after start().
+  [[nodiscard]] EngineKind engineKind() const { return resolvedEngine_; }
 
  private:
-  // A connection waiting for a worker, stamped at enqueue so the first
-  // request served on it can report how long it sat in the queue.
-  struct QueuedConnection {
-    int fd = -1;
-    std::chrono::steady_clock::time_point enqueued{};
-  };
+  // Both engines drive the same request dispatch and observability surface;
+  // they differ only in how bytes move.
+  friend class ThreadsEngine;
+  friend class EventEngine;
 
-  void acceptLoop();
-  void workerLoop();
-  void serveConnection(int fd, std::uint64_t queueWaitUs);
   [[nodiscard]] Response handle(const Request& request);
   /// One consistent read of counters/tracker/journal rendered as the
   /// Prometheus text exposition the METRICS verb answers with.
   [[nodiscard]] std::string renderMetricsText() const;
-  bool pushConnection(int fd);
-  [[nodiscard]] std::optional<QueuedConnection> popConnection();
 
   ServerConfig config_;
   ConcurrentTracker& tracker_;
   Metrics& metrics_;
 
   int listenFd_ = -1;
-  int stopPipe_[2] = {-1, -1};
   int boundPort_ = 0;
   bool started_ = false;
   bool joined_ = false;
@@ -123,21 +165,9 @@ class Server {
   // a file bound by someone else after our bind failed.
   bool ownsSocketFile_ = false;
 
-  std::thread acceptThread_;
-  std::vector<std::thread> workers_;
+  EngineKind resolvedEngine_ = EngineKind::kThreads;
+  std::unique_ptr<Engine> engine_;
   std::chrono::steady_clock::time_point startTime_{};  // for HEALTH uptime_s
-
-  std::mutex queueMutex_;
-  std::condition_variable queueCv_;
-  std::deque<QueuedConnection> queue_;
-  bool queueClosed_ = false;
-
-  // Connections currently held by workers; on drain they get a read-side
-  // shutdown so already-received requests finish but idle ones end now.
-  std::mutex activeMutex_;
-  std::vector<int> activeFds_;
-
-  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace contend::serve

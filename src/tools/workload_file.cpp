@@ -54,76 +54,78 @@ model::DataSet parseDataSet(TokenCursor& cursor, int line) {
 
 }  // namespace
 
-WorkloadFile parseWorkload(std::istream& in) {
-  WorkloadFile workload;
-  std::optional<TaskSpec> current;
-  bool sawFront = false, sawBack = false;
+void WorkloadParser::feedLine(std::string_view raw) {
+  const int lineNo = ++lineNo_;
+  TokenCursor cursor(util::stripLineComment(raw));
+  const auto keywordToken = cursor.next();
+  if (!keywordToken) return;  // blank / comment-only
+  const std::string_view keyword = *keywordToken;
 
-  std::string raw;
-  int lineNo = 0;
-  while (std::getline(in, raw)) {
-    ++lineNo;
-    TokenCursor cursor(util::stripLineComment(raw));
-    const auto keywordToken = cursor.next();
-    if (!keywordToken) continue;  // blank / comment-only
-    const std::string_view keyword = *keywordToken;
-
-    if (keyword == "competitor") {
-      if (current) fail(lineNo, "'competitor' not allowed inside a task");
-      model::CompetingApp app;
-      const auto fraction = cursor.next();
-      const auto words = cursor.next();
-      if (!fraction || !words ||
-          !util::parseDouble(*fraction, app.commFraction) ||
-          !util::parseInteger(*words, app.messageWords)) {
-        fail(lineNo, "expected 'competitor <fraction> <words>'");
-      }
-      if (app.commFraction < 0.0 || app.commFraction > 1.0) {
-        fail(lineNo, "comm fraction outside [0, 1]");
-      }
-      if (app.commFraction > 0.0 && app.messageWords <= 0) {
-        fail(lineNo, "communicating competitor needs a message size");
-      }
-      workload.competitors.push_back(app);
-    } else if (keyword == "task") {
-      if (current) fail(lineNo, "nested 'task' (missing 'end'?)");
-      TaskSpec task;
-      const auto name = cursor.next();
-      if (!name) fail(lineNo, "task needs a name");
-      task.name = std::string(*name);
-      current = std::move(task);
-      sawFront = sawBack = false;
-    } else if (keyword == "front" || keyword == "back") {
-      if (!current) {
-        fail(lineNo, "'" + std::string(keyword) + "' outside a task");
-      }
-      const double seconds = parseSeconds(cursor, lineNo);
-      (keyword == "front" ? current->frontEndSec : current->backEndSec) =
-          seconds;
-      (keyword == "front" ? sawFront : sawBack) = true;
-    } else if (keyword == "to_backend" || keyword == "from_backend") {
-      if (!current) {
-        fail(lineNo, "'" + std::string(keyword) + "' outside a task");
-      }
-      (keyword == "to_backend" ? current->toBackend : current->fromBackend)
-          .push_back(parseDataSet(cursor, lineNo));
-    } else if (keyword == "end") {
-      if (!current) fail(lineNo, "'end' without 'task'");
-      if (!sawFront || !sawBack) {
-        fail(lineNo, "task '" + current->name +
-                         "' needs both 'front' and 'back' costs");
-      }
-      workload.tasks.push_back(std::move(*current));
-      current.reset();
-    } else {
-      fail(lineNo, "unknown keyword '" + std::string(keyword) + "'");
+  if (keyword == "competitor") {
+    if (current_) fail(lineNo, "'competitor' not allowed inside a task");
+    model::CompetingApp app;
+    const auto fraction = cursor.next();
+    const auto words = cursor.next();
+    if (!fraction || !words ||
+        !util::parseDouble(*fraction, app.commFraction) ||
+        !util::parseInteger(*words, app.messageWords)) {
+      fail(lineNo, "expected 'competitor <fraction> <words>'");
     }
+    if (app.commFraction < 0.0 || app.commFraction > 1.0) {
+      fail(lineNo, "comm fraction outside [0, 1]");
+    }
+    if (app.commFraction > 0.0 && app.messageWords <= 0) {
+      fail(lineNo, "communicating competitor needs a message size");
+    }
+    workload_.competitors.push_back(app);
+  } else if (keyword == "task") {
+    if (current_) fail(lineNo, "nested 'task' (missing 'end'?)");
+    TaskSpec task;
+    const auto name = cursor.next();
+    if (!name) fail(lineNo, "task needs a name");
+    task.name = std::string(*name);
+    current_ = std::move(task);
+    sawFront_ = sawBack_ = false;
+  } else if (keyword == "front" || keyword == "back") {
+    if (!current_) {
+      fail(lineNo, "'" + std::string(keyword) + "' outside a task");
+    }
+    const double seconds = parseSeconds(cursor, lineNo);
+    (keyword == "front" ? current_->frontEndSec : current_->backEndSec) =
+        seconds;
+    (keyword == "front" ? sawFront_ : sawBack_) = true;
+  } else if (keyword == "to_backend" || keyword == "from_backend") {
+    if (!current_) {
+      fail(lineNo, "'" + std::string(keyword) + "' outside a task");
+    }
+    (keyword == "to_backend" ? current_->toBackend : current_->fromBackend)
+        .push_back(parseDataSet(cursor, lineNo));
+  } else if (keyword == "end") {
+    if (!current_) fail(lineNo, "'end' without 'task'");
+    if (!sawFront_ || !sawBack_) {
+      fail(lineNo, "task '" + current_->name +
+                       "' needs both 'front' and 'back' costs");
+    }
+    workload_.tasks.push_back(std::move(*current_));
+    current_.reset();
+  } else {
+    fail(lineNo, "unknown keyword '" + std::string(keyword) + "'");
   }
-  if (current) {
-    throw std::runtime_error("workload file: task '" + current->name +
+}
+
+WorkloadFile WorkloadParser::finish() {
+  if (current_) {
+    throw std::runtime_error("workload file: task '" + current_->name +
                              "' not closed with 'end'");
   }
-  return workload;
+  return std::move(workload_);
+}
+
+WorkloadFile parseWorkload(std::istream& in) {
+  WorkloadParser parser;
+  std::string raw;
+  while (std::getline(in, raw)) parser.feedLine(raw);
+  return parser.finish();
 }
 
 WorkloadFile parseWorkloadFile(const std::string& path) {

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/comm_model.hpp"
@@ -39,6 +41,30 @@ struct TaskSpec {
 struct WorkloadFile {
   std::vector<model::CompetingApp> competitors;
   std::vector<TaskSpec> tasks;
+};
+
+/// Incremental line-at-a-time form of the parser. parseWorkload(istream)
+/// below and the serve-side zero-copy request path (which tokenizes views
+/// straight over recv buffers, never materializing a stream) both drive this
+/// one core, so the line-numbered error messages are identical by
+/// construction across both entry points.
+class WorkloadParser {
+ public:
+  /// Feeds the next input line (no trailing newline). Lines are numbered
+  /// from 1 in the order fed. Throws std::runtime_error with a
+  /// "workload file, line N: ..." message on any syntax/semantic problem.
+  void feedLine(std::string_view raw);
+
+  /// Final validation (e.g. a task never closed with 'end') and result
+  /// handoff; the parser is spent afterwards.
+  [[nodiscard]] WorkloadFile finish();
+
+ private:
+  WorkloadFile workload_;
+  std::optional<TaskSpec> current_;
+  bool sawFront_ = false;
+  bool sawBack_ = false;
+  int lineNo_ = 0;
 };
 
 /// Parses the format above. Throws std::runtime_error with a line-numbered

@@ -143,11 +143,14 @@ std::optional<std::string> dripUntilReply(RawConn& conn, const char* byte) {
   return std::nullopt;
 }
 
-class ServerAbuseTest : public ::testing::Test {
+/// Every abuse guarantee must hold under both serving cores, so the whole
+/// suite runs once per engine.
+class ServerAbuseTest : public ::testing::TestWithParam<EngineKind> {
  protected:
   void start(int workers = 2, int timeoutMs = 2000, int deadlineMs = 0,
              std::size_t queueCapacity = 128) {
     config_.endpoint = parseEndpoint("unix:" + uniqueSocketPath("abuse"));
+    config_.engine = GetParam();
     config_.workers = workers;
     config_.queueCapacity = queueCapacity;
     config_.requestTimeoutMs = timeoutMs;
@@ -261,7 +264,7 @@ TEST(BufferedWriterGuard, FailedFlushKeepsTheBuffer) {
 
 // --- Server-level abuse ----------------------------------------------------
 
-TEST_F(ServerAbuseTest, OversizedLineAnsweredWithErrAndDisconnected) {
+TEST_P(ServerAbuseTest, OversizedLineAnsweredWithErrAndDisconnected) {
   start();
   RawConn attacker(path());
   // Stream megabytes with no newline; the server must stop buffering at
@@ -291,7 +294,7 @@ TEST_F(ServerAbuseTest, OversizedLineAnsweredWithErrAndDisconnected) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, SlowLorisIsDisconnectedWithinTwiceTheDeadline) {
+TEST_P(ServerAbuseTest, SlowLorisIsDisconnectedWithinTwiceTheDeadline) {
   constexpr int kDeadlineMs = 500;
   start(/*workers=*/2, /*timeoutMs=*/300, kDeadlineMs);
   RawConn loris(path());
@@ -318,7 +321,7 @@ TEST_F(ServerAbuseTest, SlowLorisIsDisconnectedWithinTwiceTheDeadline) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, SlowLorisInsideAPredictBlockAlsoDies) {
+TEST_P(ServerAbuseTest, SlowLorisInsideAPredictBlockAlsoDies) {
   start(/*workers=*/2, /*timeoutMs=*/300, /*deadlineMs=*/500);
   RawConn loris(path());
   // A complete verb line, then the block body dripped one byte at a time:
@@ -335,7 +338,7 @@ TEST_F(ServerAbuseTest, SlowLorisInsideAPredictBlockAlsoDies) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, HalfClosedSocketGetsItsAnswerThenCloses) {
+TEST_P(ServerAbuseTest, HalfClosedSocketGetsItsAnswerThenCloses) {
   start();
   RawConn client(path());
   ASSERT_TRUE(client.trySend("SLOWDOWN\n"));
@@ -357,7 +360,7 @@ TEST_F(ServerAbuseTest, HalfClosedSocketGetsItsAnswerThenCloses) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, GarbageBytesAreAnsweredWithCodedErrNotACrash) {
+TEST_P(ServerAbuseTest, GarbageBytesAreAnsweredWithCodedErrNotACrash) {
   start();
   Client client(config_.endpoint);
   const Response binary = client.raw(std::string("\x01\x02\x7f garbage\n"));
@@ -377,7 +380,7 @@ TEST_F(ServerAbuseTest, GarbageBytesAreAnsweredWithCodedErrNotACrash) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, UnterminatedBlockErrNamesTheVerbIntact) {
+TEST_P(ServerAbuseTest, UnterminatedBlockErrNamesTheVerbIntact) {
   start();
   RawConn conn(path());
   // Half-close after a partial block: the server sees EOF mid-block and
@@ -397,7 +400,7 @@ TEST_F(ServerAbuseTest, UnterminatedBlockErrNamesTheVerbIntact) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, PipelinedGarbageBetweenValidRequestsStaysInSync) {
+TEST_P(ServerAbuseTest, PipelinedGarbageBetweenValidRequestsStaysInSync) {
   start();
   Client client(config_.endpoint);
   const Response first =
@@ -413,7 +416,7 @@ TEST_F(ServerAbuseTest, PipelinedGarbageBetweenValidRequestsStaysInSync) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, QueueOverflowReceivesTheFullErrLineBeforeClose) {
+TEST_P(ServerAbuseTest, QueueOverflowReceivesTheFullErrLineBeforeClose) {
   start(/*workers=*/1, /*timeoutMs=*/3000, /*deadlineMs=*/0,
         /*queueCapacity=*/1);
   // Occupy the only worker and the only queue slot with idle connections.
@@ -434,7 +437,7 @@ TEST_F(ServerAbuseTest, QueueOverflowReceivesTheFullErrLineBeforeClose) {
   server_->stop();
 }
 
-TEST_F(ServerAbuseTest, StatsExposeTheNewAbuseCounters) {
+TEST_P(ServerAbuseTest, StatsExposeTheNewAbuseCounters) {
   start();
   Client client(config_.endpoint);
   const Response stats = client.stats();
@@ -446,6 +449,13 @@ TEST_F(ServerAbuseTest, StatsExposeTheNewAbuseCounters) {
   }
   server_->stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ServerAbuseTest,
+    ::testing::Values(EngineKind::kThreads, EngineKind::kEpoll),
+    [](const ::testing::TestParamInfo<EngineKind>& param) {
+      return std::string(engineKindName(param.param));
+    });
 
 }  // namespace
 }  // namespace contend::serve

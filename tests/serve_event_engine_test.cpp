@@ -1,0 +1,136 @@
+// serve_event_engine_test.cpp — behaviors specific to the event-driven
+// serving core, plus latency guarantees that must hold under both engines.
+//
+// The TCP round-trip test pins TCP_NODELAY: with Nagle left on, a one-line
+// request from a freshly connected client can stall against delayed ACKs
+// for ~40 ms per direction, which a tight client deadline turns into a
+// visible failure. The EAGAIN test shrinks the accepted socket's SO_SNDBUF
+// so a pipelined burst of responses is guaranteed to overrun the kernel
+// buffer, forcing the epoll engine through its partial-write / EPOLLOUT
+// resumption path — the one path a friendly localhost client never hits.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+model::ParagonPlatformModel testPlatform(int maxContenders = 8) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+std::string uniqueSocketPath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/contend_event_test_" + std::to_string(::getpid()) + "_" + tag +
+         "_" + std::to_string(counter++) + ".sock";
+}
+
+class EventEngineTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void startTcp() {
+    config_.endpoint = parseEndpoint("tcp:127.0.0.1:0");  // ephemeral port
+    config_.engine = GetParam();
+    config_.workers = 2;
+    config_.requestTimeoutMs = 2000;
+    server_ = std::make_unique<Server>(config_, tracker_, metrics_);
+    server_->start();
+    ASSERT_GT(server_->boundPort(), 0);
+  }
+
+  ServerConfig config_;
+  ConcurrentTracker tracker_{testPlatform()};
+  Metrics metrics_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_P(EventEngineTest, SingleTcpRequestRoundTripsUnderATightDeadline) {
+  startTcp();
+  // A 250 ms client receive deadline: generous for loopback, but far below
+  // the ~40 ms-per-direction stalls Nagle-vs-delayed-ACK introduces when
+  // TCP_NODELAY is missing on either side, amplified across retries.
+  const auto begin = Clock::now();
+  Client client(server_->endpoint(), /*timeoutMs=*/250);
+  const Response response = client.slowdown();
+  const auto elapsed = Clock::now() - begin;
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_DOUBLE_EQ(response.number("comp"), 1.0);
+  EXPECT_LE(elapsed, 250ms) << "one-request TCP round-trip stalled";
+  server_->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EventEngineTest,
+    ::testing::Values(EngineKind::kThreads, EngineKind::kEpoll),
+    [](const ::testing::TestParamInfo<EngineKind>& param) {
+      return std::string(engineKindName(param.param));
+    });
+
+TEST(EventEngineEagain, PartialWriteResumesViaEpollout) {
+  ServerConfig config;
+  config.endpoint = parseEndpoint("unix:" + uniqueSocketPath("eagain"));
+  config.engine = EngineKind::kEpoll;
+  config.requestTimeoutMs = 5000;
+  // Shrink the kernel send buffer on accepted sockets so the coalesced
+  // response burst below cannot fit: the engine must take the EAGAIN path
+  // and finish the delivery from an EPOLLOUT wakeup.
+  config.sendBufBytes = 4096;
+  ConcurrentTracker tracker(testPlatform());
+  Metrics metrics;
+  Server server(config, tracker, metrics);
+  server.start();
+
+  // ~600 pipelined requests -> tens of KiB of responses while the client
+  // deliberately reads nothing.
+  constexpr int kRequests = 600;
+  Client client(config.endpoint);
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) burst += "SLOWDOWN\n";
+  const Response first = client.raw(burst);
+  ASSERT_TRUE(first.ok) << first.error;
+  // Let the server run into the full socket buffer before we start
+  // draining; everything past this point only succeeds if the engine
+  // resumes the interrupted write.
+  std::this_thread::sleep_for(100ms);
+  for (int i = 1; i < kRequests; ++i) {
+    const Response response = client.readResponse();
+    ASSERT_TRUE(response.ok) << "response " << i << ": " << response.error;
+    ASSERT_NE(response.find("verb"), nullptr) << "response " << i;
+    EXPECT_EQ(*response.find("verb"), "SLOWDOWN") << "response " << i;
+  }
+
+  const Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.number("loop_eagain_writes"), 1.0)
+      << "the burst never hit EAGAIN; the resumption path went untested";
+  server.stop();
+}
+
+}  // namespace
+}  // namespace contend::serve

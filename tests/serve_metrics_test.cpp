@@ -260,6 +260,17 @@ PrometheusInput goldenInput() {
   m.droppedBytes = 321;
   m.queueDepthHighWater = 6;
   m.slowRequests = 7;
+  m.loopWakeups = 40;
+  m.loopEvents = 55;
+  m.loopEagainReads = 9;
+  m.loopEagainWrites = 2;
+  // Ready-batch sizes: 30 single-event wakeups, 10 batches of 2..3.
+  m.loopReadyBatch.counts[1] = 30;
+  m.loopReadyBatch.counts[2] = 6;
+  m.loopReadyBatch.counts[3] = 4;
+  m.loopReadyBatch.count = 40;
+  m.loopReadyBatch.sumUs = 30 + 6 * 2 + 4 * 3;
+  m.loopReadyBatch.maxUs = 3;
   // One verb with a small, internally consistent histogram: counts in
   // buckets 3 (value 3), 20 (values 24..25), and 100 (24576..26623).
   HistogramSnapshot& predict =

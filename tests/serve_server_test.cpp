@@ -104,12 +104,15 @@ TEST(Endpoint, MalformedSpecTable) {
                std::invalid_argument);
 }
 
-class ServerFixture : public ::testing::Test {
+// Every end-to-end case runs against both serving cores: the protocol,
+// error surfacing, and shutdown behavior must be engine-independent.
+class ServerFixture : public ::testing::TestWithParam<EngineKind> {
  protected:
   void startUnix() {
     config_.endpoint = parseEndpoint("unix:" + uniqueSocketPath("fixture"));
     config_.workers = 4;
     config_.requestTimeoutMs = 2000;
+    config_.engine = GetParam();
     server_ = std::make_unique<Server>(config_, tracker_, metrics_);
     server_->start();
   }
@@ -120,7 +123,7 @@ class ServerFixture : public ::testing::Test {
   std::unique_ptr<Server> server_;
 };
 
-TEST_F(ServerFixture, FullVerbSetOverUnixSocket) {
+TEST_P(ServerFixture, FullVerbSetOverUnixSocket) {
   startUnix();
   Client client(config_.endpoint);
 
@@ -169,7 +172,7 @@ TEST_F(ServerFixture, FullVerbSetOverUnixSocket) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, ErrorsAreReportedNotFatal) {
+TEST_P(ServerFixture, ErrorsAreReportedNotFatal) {
   startUnix();
   Client client(config_.endpoint);
 
@@ -196,9 +199,10 @@ TEST_F(ServerFixture, ErrorsAreReportedNotFatal) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, ServesOverTcp) {
+TEST_P(ServerFixture, ServesOverTcp) {
   config_.endpoint = parseEndpoint("tcp:127.0.0.1:0");  // ephemeral port
   config_.workers = 2;
+  config_.engine = GetParam();
   server_ = std::make_unique<Server>(config_, tracker_, metrics_);
   server_->start();
   ASSERT_GT(server_->boundPort(), 0);
@@ -210,7 +214,7 @@ TEST_F(ServerFixture, ServesOverTcp) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, ManyConcurrentClients) {
+TEST_P(ServerFixture, ManyConcurrentClients) {
   startUnix();
   constexpr int kClients = 8;
   constexpr int kRequests = 50;
@@ -239,7 +243,7 @@ TEST_F(ServerFixture, ManyConcurrentClients) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, GracefulShutdownStopsAccepting) {
+TEST_P(ServerFixture, GracefulShutdownStopsAccepting) {
   startUnix();
   {
     Client client(config_.endpoint);
@@ -256,7 +260,7 @@ TEST_F(ServerFixture, GracefulShutdownStopsAccepting) {
       std::runtime_error);
 }
 
-TEST_F(ServerFixture, PredictBatchOverTheWire) {
+TEST_P(ServerFixture, PredictBatchOverTheWire) {
   startUnix();
   Client client(config_.endpoint);
   ASSERT_TRUE(client.arrive(0.3, 800).ok);
@@ -314,7 +318,7 @@ TEST_F(ServerFixture, PredictBatchOverTheWire) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, PipelinedRequestsGetCoalescedResponses) {
+TEST_P(ServerFixture, PipelinedRequestsGetCoalescedResponses) {
   startUnix();
   Client client(config_.endpoint);
   // One write carrying three requests; the server must answer all three (in
@@ -337,7 +341,7 @@ TEST_F(ServerFixture, PipelinedRequestsGetCoalescedResponses) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, PredictBlockArrivesOverTheWire) {
+TEST_P(ServerFixture, PredictBlockArrivesOverTheWire) {
   startUnix();
   Client client(config_.endpoint);
   const Response response = client.raw(
@@ -352,7 +356,7 @@ TEST_F(ServerFixture, PredictBlockArrivesOverTheWire) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, HealthVerbOverTheWire) {
+TEST_P(ServerFixture, HealthVerbOverTheWire) {
   startUnix();
   Client client(config_.endpoint);
   // No journal configured: HEALTH still answers, with the journal off.
@@ -371,7 +375,7 @@ TEST_F(ServerFixture, HealthVerbOverTheWire) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, MetricsVerbEmitsExposition) {
+TEST_P(ServerFixture, MetricsVerbEmitsExposition) {
   startUnix();
   Client client(config_.endpoint);
   ASSERT_TRUE(client.arrive(0.3, 800).ok);
@@ -401,7 +405,7 @@ TEST_F(ServerFixture, MetricsVerbEmitsExposition) {
   server_->stop();
 }
 
-TEST_F(ServerFixture, StatsReportSignature) {
+TEST_P(ServerFixture, StatsReportSignature) {
   startUnix();
   Client client(config_.endpoint);
   const Response before = client.stats();
@@ -417,6 +421,13 @@ TEST_F(ServerFixture, StatsReportSignature) {
 // A dead daemon leaves its socket file behind; the next start must reclaim
 // it (probe with connect(), unlink on refusal) instead of failing — and
 // must NOT steal the file from a daemon that is still alive.
+INSTANTIATE_TEST_SUITE_P(Engines, ServerFixture,
+                         ::testing::Values(EngineKind::kThreads,
+                                           EngineKind::kEpoll),
+                         [](const auto& param) {
+                           return std::string(engineKindName(param.param));
+                         });
+
 TEST(StaleSocket, DeadSocketFileIsReclaimed) {
   const std::string path = uniqueSocketPath("stale");
   ConcurrentTracker trackerA(testPlatform());

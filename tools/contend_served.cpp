@@ -3,8 +3,10 @@
 // Usage:
 //   contend_served <profile.txt> [--listen <endpoint>] [--workers N]
 //                  [--queue N] [--timeout-ms N] [--deadline-ms N]
-//                  [--cache N] [--journal <path>] [--snapshot-every N]
-//                  [--fsync always|interval|off] [--slow-request-us N]
+//                  [--engine threads|epoll|auto] [--loop-threads N]
+//                  [--backlog N] [--cache N] [--journal <path>]
+//                  [--snapshot-every N] [--fsync always|interval|off]
+//                  [--slow-request-us N]
 //
 // Loads a calibrated platform profile (see `contend_predict --calibrate`)
 // and serves the Paragon-style slowdown models over a line protocol (see
@@ -42,6 +44,8 @@ void onSignal(int) {
   std::cerr << "usage: contend_served <profile.txt> [--listen <endpoint>]\n"
                "                      [--workers N] [--queue N]\n"
                "                      [--timeout-ms N] [--deadline-ms N]\n"
+               "                      [--engine threads|epoll|auto]\n"
+               "                      [--loop-threads N] [--backlog N]\n"
                "                      [--cache N] [--journal <path>]\n"
                "                      [--snapshot-every N]\n"
                "                      [--fsync always|interval|off]\n"
@@ -49,6 +53,10 @@ void onSignal(int) {
                "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
                "--deadline-ms is the wall-clock budget per request\n"
                "  (guards against slow-loris clients; 0 disables)\n"
+               "--engine picks the serving core: threads (worker pool,\n"
+               "  the default), epoll (event loops), auto (prefers epoll);\n"
+               "  --loop-threads sets the epoll event-loop count and\n"
+               "  --backlog the listen(2) queue length\n"
                "--journal enables the write-ahead journal (crash recovery);\n"
                "  --snapshot-every sets records between compacting snapshots\n"
                "  (0 disables snapshots), --fsync picks the durability mode\n"
@@ -96,6 +104,19 @@ int main(int argc, char** argv) {
       } else if (flag == "--deadline-ms") {
         config.requestDeadlineMs =
             static_cast<int>(parseCount(value, "--deadline-ms", 0));
+      } else if (flag == "--engine") {
+        const auto engine = serve::engineKindFromName(value);
+        if (!engine) {
+          std::cerr << "error: --engine expects threads|epoll|auto, got '"
+                    << value << "'\n";
+          return 2;
+        }
+        config.engine = *engine;
+      } else if (flag == "--loop-threads") {
+        config.loopThreads =
+            static_cast<int>(parseCount(value, "--loop-threads"));
+      } else if (flag == "--backlog") {
+        config.backlog = static_cast<int>(parseCount(value, "--backlog"));
       } else if (flag == "--cache") {
         cacheCapacity = static_cast<std::size_t>(parseCount(value, "--cache"));
       } else if (flag == "--journal") {
@@ -156,9 +177,14 @@ int main(int argc, char** argv) {
 
     std::cout << "contend_served: profile '" << profile.platformName
               << "', listening on "
-              << serve::endpointToString(server.endpoint()) << ", "
-              << config.workers << " workers\n"
-              << std::flush;
+              << serve::endpointToString(server.endpoint()) << ", engine "
+              << serve::engineKindName(server.engineKind());
+    if (server.engineKind() == serve::EngineKind::kEpoll) {
+      std::cout << " (" << config.loopThreads << " loop threads)";
+    } else {
+      std::cout << " (" << config.workers << " workers)";
+    }
+    std::cout << "\n" << std::flush;
     server.wait();
     gServer = nullptr;
 
