@@ -1,0 +1,258 @@
+// drift_bench.cpp — A/B prediction error under parameter drift: stale
+// tables vs online recalibration (CALIBRATE OBSERVE + APPLY).
+//
+// Setup: a "truth" platform whose delay tables and link parameters have
+// drifted away from the boot-time profile (aged hardware, shifted
+// co-location — the scenario the recalibration subsystem exists for). Three
+// trackers run the identical application mix:
+//
+//   truth  — built on the drifted platform; its predictions are the target.
+//   stale  — boot tables, never recalibrated (the pre-CALIBRATE daemon).
+//   recal  — boot tables, fed noisy observations of the truth values
+//            through the same observeCalibration/applyCalibration path the
+//            CALIBRATE verb uses, then swapped once.
+//
+// The benchmark reports the mean relative error of stale and recalibrated
+// predictions against truth over a deterministic task pool, and fails if
+// recalibration does not improve on the stale tables. --json writes a
+// BENCH_serve.json-style record so the A/B is diffable across runs.
+//
+// Usage: drift_bench [--json <path>]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/concurrent_tracker.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using contend::Words;
+using contend::serve::CalibrationObservation;
+using contend::serve::ConcurrentTracker;
+using contend::serve::ObservationFamily;
+using contend::serve::TaskPrediction;
+
+constexpr int kMaxContenders = 8;
+
+contend::model::ParagonPlatformModel bootPlatform() {
+  contend::model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= kMaxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+/// The drifted reality the boot tables no longer describe: contention
+/// delays up 60%, links slower (higher per-message setup, lower bandwidth).
+contend::model::ParagonPlatformModel truthPlatform() {
+  contend::model::ParagonPlatformModel platform = bootPlatform();
+  for (double& d : platform.delays.commFromComp) d *= 1.6;
+  for (double& d : platform.delays.commFromComm) d *= 1.6;
+  for (auto& row : platform.delays.compFromComm) {
+    for (double& d : row) d *= 1.6;
+  }
+  for (contend::model::PiecewiseCommParams* link :
+       {&platform.toBackend, &platform.fromBackend}) {
+    link->small.alphaSec *= 2.5;
+    link->small.betaWordsPerSec *= 0.6;
+    link->large.alphaSec *= 2.5;
+    link->large.betaWordsPerSec *= 0.6;
+  }
+  return platform;
+}
+
+/// Per-message transfer time on one piecewise link, the quantity a link
+/// observation reports.
+double linkSeconds(const contend::model::PiecewiseCommParams& link,
+                   Words words) {
+  return link.messageCost(words);
+}
+
+/// Feeds `recal` noisy measurements of the truth platform: every delay cell
+/// and both segments of both links, 12 samples each with a deterministic
+/// alternating +/-1% measurement error (so the EW fold has real noise to
+/// average out, and the run stays bit-reproducible).
+void observeTruth(ConcurrentTracker& recal,
+                  const contend::model::ParagonPlatformModel& truth) {
+  int draw = 0;
+  const auto noisy = [&draw](double value) {
+    return value * (draw++ % 2 == 0 ? 1.01 : 0.99);
+  };
+  for (int sample = 0; sample < 12; ++sample) {
+    for (int i = 1; i <= kMaxContenders; ++i) {
+      CalibrationObservation obs;
+      obs.contenders = i;
+      obs.family = ObservationFamily::kCommFromComp;
+      obs.value = noisy(truth.delays.commFromComp[static_cast<std::size_t>(
+          i - 1)]);
+      recal.observeCalibration(obs);
+      obs.family = ObservationFamily::kCommFromComm;
+      obs.value = noisy(truth.delays.commFromComm[static_cast<std::size_t>(
+          i - 1)]);
+      recal.observeCalibration(obs);
+      for (std::size_t bin = 0; bin < truth.delays.jBins.size(); ++bin) {
+        obs.family = ObservationFamily::kCompFromComm;
+        obs.words = truth.delays.jBins[bin];
+        obs.value = noisy(
+            truth.delays.compFromComm[bin][static_cast<std::size_t>(i - 1)]);
+        recal.observeCalibration(obs);
+      }
+    }
+    // Link samples spanning both piecewise segments.
+    for (const Words words : {Words{64}, Words{256}, Words{512}, Words{960},
+                              Words{1100}, Words{2048}, Words{4096}}) {
+      CalibrationObservation obs;
+      obs.words = words;
+      obs.family = ObservationFamily::kLinkToBackend;
+      obs.value = noisy(linkSeconds(truth.toBackend, words));
+      recal.observeCalibration(obs);
+      obs.family = ObservationFamily::kLinkFromBackend;
+      obs.value = noisy(linkSeconds(truth.fromBackend, words));
+      recal.observeCalibration(obs);
+    }
+  }
+}
+
+std::vector<contend::tools::TaskSpec> taskPool() {
+  std::vector<contend::tools::TaskSpec> pool;
+  int tag = 0;
+  for (const double frontSec : {0.5, 2.0, 8.0}) {
+    for (const Words words : {Words{128}, Words{768}, Words{1500},
+                              Words{3000}}) {
+      for (const std::int64_t messages : {std::int64_t{8},
+                                          std::int64_t{256}}) {
+        contend::tools::TaskSpec task;
+        task.name = "drift" + std::to_string(tag++);
+        task.frontEndSec = frontSec;
+        task.backEndSec = 0.2 * frontSec;
+        task.toBackend.push_back({messages, words});
+        task.fromBackend.push_back({messages / 2 + 1, words / 2 + 1});
+        pool.push_back(task);
+      }
+    }
+  }
+  return pool;
+}
+
+double relativeError(double predicted, double truth) {
+  return truth == 0.0 ? 0.0 : std::abs(predicted - truth) / truth;
+}
+
+std::string jsonNumber(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else {
+      std::cerr << "usage: drift_bench [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const contend::model::ParagonPlatformModel boot = bootPlatform();
+  const contend::model::ParagonPlatformModel truth = truthPlatform();
+  ConcurrentTracker truthTracker(truth);
+  ConcurrentTracker staleTracker(boot);
+  ConcurrentTracker recalTracker(boot);
+
+  // Identical mix everywhere: prediction differences below are purely the
+  // tables' doing.
+  for (const auto& [fraction, words] :
+       std::vector<std::pair<double, Words>>{
+           {0.3, 800}, {0.5, 200}, {0.7, 1200}, {0.2, 400}}) {
+    (void)truthTracker.arrive({fraction, words});
+    (void)staleTracker.arrive({fraction, words});
+    (void)recalTracker.arrive({fraction, words});
+  }
+
+  observeTruth(recalTracker, truth);
+  const auto applied = recalTracker.applyCalibration();
+
+  double staleFront = 0.0, staleRemote = 0.0;
+  double recalFront = 0.0, recalRemote = 0.0;
+  const std::vector<contend::tools::TaskSpec> pool = taskPool();
+  for (const contend::tools::TaskSpec& task : pool) {
+    const TaskPrediction want = truthTracker.predict(task);
+    const TaskPrediction stale = staleTracker.predict(task);
+    const TaskPrediction recal = recalTracker.predict(task);
+    staleFront += relativeError(stale.frontSec, want.frontSec);
+    staleRemote += relativeError(stale.remoteSec, want.remoteSec);
+    recalFront += relativeError(recal.frontSec, want.frontSec);
+    recalRemote += relativeError(recal.remoteSec, want.remoteSec);
+  }
+  const double n = static_cast<double>(pool.size());
+  const double staleErr = (staleFront + staleRemote) / (2.0 * n);
+  const double recalErr = (recalFront + recalRemote) / (2.0 * n);
+
+  contend::TextTable table(
+      {"tables", "front-end err", "remote err", "mean err"});
+  table.addRow({"stale", contend::TextTable::percent(staleFront / n),
+                contend::TextTable::percent(staleRemote / n),
+                contend::TextTable::percent(staleErr)});
+  table.addRow({"recalibrated", contend::TextTable::percent(recalFront / n),
+                contend::TextTable::percent(recalRemote / n),
+                contend::TextTable::percent(recalErr)});
+  contend::printTable("drift A/B: stale vs recalibrated prediction error",
+                      table);
+  const double improvement = recalErr > 0.0 ? staleErr / recalErr : 0.0;
+  std::cout << "drift_bench: " << pool.size() << " tasks, table generation "
+            << applied.generation << ", stale mean error "
+            << jsonNumber(staleErr) << ", recalibrated "
+            << jsonNumber(recalErr) << " (" << jsonNumber(improvement)
+            << "x better)\n";
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::cerr << "warning: cannot write " << jsonPath << "\n";
+    } else {
+      out << "{\n"
+          << "  \"bench\": \"drift_bench\",\n"
+          << "  \"config\": {\n"
+          << "    \"tasks\": " << pool.size() << ",\n"
+          << "    \"delay_drift\": 1.6,\n"
+          << "    \"link_alpha_drift\": 2.5,\n"
+          << "    \"link_beta_drift\": 0.6,\n"
+          << "    \"observation_noise\": 0.01\n"
+          << "  },\n"
+          << "  \"results\": {\n"
+          << "    \"stale_mean_rel_err\": " << jsonNumber(staleErr) << ",\n"
+          << "    \"recalibrated_mean_rel_err\": " << jsonNumber(recalErr)
+          << ",\n"
+          << "    \"improvement\": " << jsonNumber(improvement) << "\n"
+          << "  }\n"
+          << "}\n";
+    }
+  }
+
+  if (recalErr >= staleErr) {
+    std::cerr << "drift_bench: FAIL — recalibrated tables predict no better "
+                 "than stale ones\n";
+    return 1;
+  }
+  return 0;
+}

@@ -113,6 +113,19 @@ void OnlineContentionTracker::restoreCheckpoint(
   recomputeSlowdowns();
 }
 
+void OnlineContentionTracker::recalibrate(
+    model::ParagonPlatformModel platform) {
+  platform.delays.validate();
+  if (mix_.p() > platform.delays.maxContenders()) {
+    throw std::invalid_argument(
+        "recalibrate: new delay tables cover " +
+        std::to_string(platform.delays.maxContenders()) +
+        " contenders but " + std::to_string(mix_.p()) + " are live");
+  }
+  platform_ = std::move(platform);
+  recomputeSlowdowns();
+}
+
 std::optional<LoadEvent> OnlineContentionTracker::lastEvent() const {
   if (history_.empty()) return std::nullopt;
   return history_.back();

@@ -96,6 +96,16 @@ class OnlineContentionTracker {
   /// id). The audit history restarts empty.
   void restoreCheckpoint(const TrackerCheckpoint& checkpoint);
 
+  /// Replaces the platform model (delay tables + link parameters) in place
+  /// and recomputes the slowdowns for the live mix — the online half of a
+  /// recalibration swap. Throws std::invalid_argument if the new tables are
+  /// invalid or cover fewer contenders than are currently live.
+  void recalibrate(model::ParagonPlatformModel platform);
+
+  [[nodiscard]] const model::ParagonPlatformModel& platform() const {
+    return platform_;
+  }
+
  private:
   void recomputeSlowdowns();
   void log(LoadEventKind kind, double timeSec, std::uint64_t id);

@@ -64,6 +64,16 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
   return fd;
 }
 
+// splitmix64 finalizer: one cheap, well-mixed step used to derive a copy's
+// jitter seed from its parent's, so related clients land far apart in the
+// jitter state space even when the inputs differ by a single bit.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Client::Client(const Endpoint& endpoint, int timeoutMs,
@@ -79,6 +89,21 @@ Client::Client(const Endpoint& endpoint, int timeoutMs,
 Client::Client(const std::string& endpointSpec, int timeoutMs,
                ReconnectPolicy reconnect)
     : Client(parseEndpoint(endpointSpec), timeoutMs, reconnect) {}
+
+Client::Client(const Client& other)
+    : endpoint_(other.endpoint_),
+      timeoutMs_(other.timeoutMs_),
+      reconnect_(other.reconnect_),
+      // A straight copy of jitterState_ would give both clients the same
+      // backoff stream, so a fleet of copies would reconnect in lockstep.
+      // Perturb with the new object's address (unique while it is alive) so
+      // every copy — including copies of copies — diverges immediately.
+      jitterState_(splitmix64(other.jitterState_ ^
+                              reinterpret_cast<std::uintptr_t>(this))),
+      fd_(connectTo(other.endpoint_, other.timeoutMs_)),
+      reader_(fd_, kMaxResponseLineBytes) {
+  if (jitterState_ == 0) jitterState_ = 0x9e3779b97f4a7c15ull;  // xorshift fixpoint
+}
 
 Client::Client(Client&& other) noexcept
     : endpoint_(std::move(other.endpoint_)),
@@ -112,10 +137,15 @@ int Client::backoffDelayMs(int attempt) {
   jitterState_ ^= jitterState_ << 13;
   jitterState_ ^= jitterState_ >> 7;
   jitterState_ ^= jitterState_ << 17;
+  // Map the draw into [0, base/2] with a 128-bit multiply-high instead of a
+  // modulo: `state % range` over-weights the low residues whenever 2^64 is
+  // not a multiple of `range`, skewing the fleet's delays toward the short
+  // end — the opposite of what de-synchronizing jitter wants.
+  const std::uint64_t range = static_cast<std::uint64_t>(base / 2 + 1);
   const std::int64_t jitter =
-      base > 1 ? static_cast<std::int64_t>(jitterState_ %
-                                           static_cast<std::uint64_t>(
-                                               base / 2 + 1))
+      base > 1 ? static_cast<std::int64_t>(static_cast<std::uint64_t>(
+                     (static_cast<unsigned __int128>(jitterState_) * range) >>
+                     64))
                : 0;
   return static_cast<int>(base + jitter);
 }
@@ -205,6 +235,34 @@ Response Client::stats() {
 Response Client::health() {
   Request request;
   request.verb = Verb::kHealth;
+  return call(request);
+}
+
+Response Client::calibrateReport() {
+  Request request;
+  request.verb = Verb::kCalibrate;
+  request.calibrate = CalibrateAction::kReport;
+  return call(request);
+}
+
+Response Client::calibrateObserve(const CalibrationObservation& observation) {
+  Request request;
+  request.verb = Verb::kCalibrate;
+  request.calibrate = CalibrateAction::kObserve;
+  request.observation = observation;
+  return call(request);
+}
+
+Response Client::calibrateApply() {
+  Request request;
+  request.verb = Verb::kCalibrate;
+  request.calibrate = CalibrateAction::kApply;
+  return call(request);
+}
+
+Response Client::drift() {
+  Request request;
+  request.verb = Verb::kDrift;
   return call(request);
 }
 

@@ -54,7 +54,11 @@ class Client {
   explicit Client(const std::string& endpointSpec, int timeoutMs = 10000,
                   ReconnectPolicy reconnect = {});
   ~Client();
-  Client(const Client&) = delete;
+  /// Copies open their own connection to the same endpoint (throws
+  /// TransportError on failure) and perturb the jitter state, so a fleet of
+  /// copied clients does not draw identical backoff streams and reconnect in
+  /// lockstep — the exact thundering herd the jitter exists to prevent.
+  Client(const Client& other);
   Client& operator=(const Client&) = delete;
   Client(Client&& other) noexcept;
   Client& operator=(Client&&) = delete;
@@ -76,6 +80,10 @@ class Client {
   Response slowdown();
   Response stats();
   Response health();
+  Response calibrateReport();
+  Response calibrateObserve(const CalibrationObservation& observation);
+  Response calibrateApply();
+  Response drift();
 
   /// Sends METRICS and reads the multi-line Prometheus exposition through
   /// its `# EOF` terminator line (included in the returned text). An `ERR`
@@ -96,12 +104,19 @@ class Client {
   /// tests and callers that alert on flapping).
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
 
+  /// Current jitter PRNG state (observability: tests assert that copies
+  /// diverge instead of sharing one stream).
+  [[nodiscard]] std::uint64_t jitterState() const { return jitterState_; }
+
+  /// Backoff delay before reconnect `attempt` (0-based), with jitter in
+  /// [base, base + base/2]. Advances the jitter stream; public so tests can
+  /// drive the stream without a live server to kill.
+  [[nodiscard]] int backoffDelayMs(int attempt);
+
  private:
   void disconnect();
   /// (Re)establishes the connection; throws TransportError on failure.
   void connectNow();
-  /// Backoff delay before reconnect `attempt` (0-based), with jitter.
-  [[nodiscard]] int backoffDelayMs(int attempt);
 
   Endpoint endpoint_;
   int timeoutMs_;

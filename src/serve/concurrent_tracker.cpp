@@ -52,11 +52,11 @@ std::uint64_t taskHash(const tools::TaskSpec& task) {
 ConcurrentTracker::ConcurrentTracker(model::ParagonPlatformModel platform,
                                      std::size_t cacheCapacity,
                                      std::size_t cacheShards)
-    : toBackend_(platform.toBackend),
-      fromBackend_(platform.fromBackend),
-      tracker_(std::move(platform)),
+    : tracker_(std::move(platform)),
       cache_(cacheCapacity, cacheShards),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+  installTablesLocked(0, tracker_.platform());
+}
 
 double ConcurrentTracker::nowSec() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -65,10 +65,34 @@ double ConcurrentTracker::nowSec() const {
 }
 
 void ConcurrentTracker::publishSnapshotLocked() {
-  snapshot_.publish(MixSnapshot{epoch_, signature_,
+  snapshot_.publish(MixSnapshot{epoch_, signature_, tableGen_,
                                 tracker_.activeApplications(),
                                 tracker_.compSlowdown(),
                                 tracker_.commSlowdown()});
+}
+
+void ConcurrentTracker::installTablesLocked(
+    std::uint64_t generation, const model::ParagonPlatformModel& platform) {
+  auto tables = std::make_shared<const TableSet>(TableSet{generation, platform});
+  // Release order: the TableSet contents must be visible before any snapshot
+  // carrying `generation` is — loadReadView's acquire pairs with this.
+  tableRing_[generation % kTableRingSlots].store(tables.get(),
+                                                 std::memory_order_release);
+  tableSets_.push_back(std::move(tables));
+  tableGen_ = generation;
+}
+
+ConcurrentTracker::ReadView ConcurrentTracker::loadReadView() const {
+  for (;;) {
+    ReadView view;
+    view.snapshot = loadSnapshot();
+    view.tables = tableRing_[view.snapshot.tableGen % kTableRingSlots].load(
+        std::memory_order_acquire);
+    if (view.tables != nullptr &&
+        view.tables->generation == view.snapshot.tableGen) {
+      return view;
+    }
+  }
 }
 
 MutationResult ConcurrentTracker::arrive(const model::CompetingApp& app) {
@@ -119,11 +143,18 @@ MutationResult ConcurrentTracker::depart(std::uint64_t applicationId) {
 
 void ConcurrentTracker::journalMutationLocked(const JournalRecord& record) {
   if (journal_ == nullptr) return;
-  if (record.kind == JournalRecord::Kind::kArrive) {
-    journal_->appendArrive(record.epoch, record.id, record.app,
-                           record.timeSec);
-  } else {
-    journal_->appendDepart(record.epoch, record.id, record.timeSec);
+  switch (record.kind) {
+    case JournalRecord::Kind::kArrive:
+      journal_->appendArrive(record.epoch, record.id, record.app,
+                             record.timeSec);
+      break;
+    case JournalRecord::Kind::kDepart:
+      journal_->appendDepart(record.epoch, record.id, record.timeSec);
+      break;
+    case JournalRecord::Kind::kTableSwap:
+      journal_->appendTableSwap(record.epoch, record.id, record.tables,
+                                record.timeSec);
+      break;
   }
   if (journal_->snapshotDue()) {
     // Runs under the write mutex: mutations stall for one snapshot write
@@ -137,7 +168,9 @@ SnapshotImage ConcurrentTracker::exportImageLocked() const {
   image.epoch = epoch_;
   image.arrivals = arrivals_.load(std::memory_order_relaxed);
   image.departures = departures_.load(std::memory_order_relaxed);
+  image.tableGeneration = tableGen_;
   image.checkpoint = tracker_.exportCheckpoint();
+  image.tables = tracker_.platform();
   return image;
 }
 
@@ -160,7 +193,7 @@ void ConcurrentTracker::applyRecordLocked(const JournalRecord& record) {
     arrivals_.fetch_add(1, std::memory_order_relaxed);
     liveApps_.emplace(record.id, record.app);
     arrivalLog_.push_back({record.id, record.app});
-  } else {
+  } else if (record.kind == JournalRecord::Kind::kDepart) {
     tracker_.applicationDeparted(record.timeSec, record.id);
     const auto it = liveApps_.find(record.id);
     if (it == liveApps_.end()) {
@@ -170,6 +203,18 @@ void ConcurrentTracker::applyRecordLocked(const JournalRecord& record) {
     signature_ -= appHash(it->second);
     liveApps_.erase(it);
     departures_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // kTableSwap carries the complete swapped-in tables, so replay installs
+    // them verbatim — bit-identical to the pre-crash swap, no estimator
+    // state needed.
+    if (record.id != tableGen_ + 1) {
+      throw std::runtime_error(
+          "journal replay: table generation gap (journal has " +
+          std::to_string(record.id) + ", tracker is at " +
+          std::to_string(tableGen_) + ")");
+    }
+    tracker_.recalibrate(record.tables);  // validates; may throw
+    installTablesLocked(record.id, tracker_.platform());
   }
   ++epoch_;
 }
@@ -186,6 +231,11 @@ RecoveryReport ConcurrentTracker::recoverFromJournal(Journal& journal) {
 
   if (loaded.snapshot.has_value()) {
     const SnapshotImage& image = *loaded.snapshot;
+    // Tables first: restoreCheckpoint validates the app count against the
+    // live tables and recomputes the slowdowns from them, so it must see
+    // the tables that were live at snapshot time, not the boot-time ones.
+    tracker_.recalibrate(image.tables);  // validates; may throw
+    installTablesLocked(image.tableGeneration, tracker_.platform());
     tracker_.restoreCheckpoint(image.checkpoint);  // may throw
     epoch_ = image.epoch;
     arrivals_.store(image.arrivals, std::memory_order_relaxed);
@@ -236,12 +286,73 @@ SlowdownSnapshot ConcurrentTracker::slowdowns() const {
   return loadSnapshot();
 }
 
-TaskPrediction ConcurrentTracker::predictFromSnapshot(
-    const MixSnapshot& snapshot, const tools::TaskSpec& task,
+void ConcurrentTracker::observeCalibration(
+    const CalibrationObservation& observation) {
+  std::lock_guard lock(writeMutex_);
+  // No epoch bump, no snapshot publish: observations refine the estimator,
+  // they do not change what readers price with.
+  recalibrator_.observe(observation, platformLocked());  // may throw
+}
+
+CalibrationReportData ConcurrentTracker::calibrationReport() const {
+  std::lock_guard lock(writeMutex_);
+  return recalibrator_.report(platformLocked(), nowSec());
+}
+
+ConcurrentTracker::DriftResult ConcurrentTracker::drift() const {
+  std::lock_guard lock(writeMutex_);
+  const CalibrationReportData report =
+      recalibrator_.report(platformLocked(), nowSec());
+  DriftResult result;
+  result.score = report.driftScore;
+  result.drifting = report.drifting;
+  result.threshold = recalibrator_.config().driftThreshold;
+  result.eligibleCells = report.eligibleCells;
+  result.generation = tableGen_;
+  return result;
+}
+
+ConcurrentTracker::CalibrationApplyResult
+ConcurrentTracker::applyCalibration() {
+  std::lock_guard lock(writeMutex_);
+  const double timeSec = nowSec();
+  std::optional<model::ParagonPlatformModel> updated =
+      recalibrator_.build(platformLocked());
+  if (!updated.has_value()) {
+    throw std::invalid_argument(
+        "CALIBRATE APPLY: no cell has reached minSamples; nothing to apply");
+  }
+  tracker_.recalibrate(std::move(*updated));  // validates; may throw
+  installTablesLocked(tableGen_ + 1, platformLocked());
+  ++epoch_;
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kTableSwap;
+  record.epoch = epoch_;
+  record.id = tableGen_;
+  record.timeSec = timeSec;
+  record.tables = platformLocked();
+  journalMutationLocked(record);
+  recalibrator_.noteApplied(timeSec);
+  // The snapshot published here is the commit point: it carries the new
+  // generation, and the ring slot for that generation is already visible.
+  publishSnapshotLocked();
+  CalibrationApplyResult result;
+  result.generation = tableGen_;
+  result.after = loadSnapshot();
+  return result;
+}
+
+TaskPrediction ConcurrentTracker::predictFromView(
+    const ReadView& view, const tools::TaskSpec& task,
     std::uint64_t taskHashValue) {
+  const MixSnapshot& snapshot = view.snapshot;
   TaskPrediction out;
   out.epoch = snapshot.epoch;
-  const PredictionCache::Key key{snapshot.signature, taskHashValue};
+  // The table generation is part of the key: a cached price is only valid
+  // for the tables that computed it, so an accepted CALIBRATE APPLY
+  // implicitly invalidates every earlier entry.
+  const PredictionCache::Key key{snapshot.signature, taskHashValue,
+                                 snapshot.tableGen};
   PredictionCache::Value cached;
   if (cache_.lookup(key, cached)) {
     out.frontSec = cached.frontSec;
@@ -250,13 +361,14 @@ TaskPrediction ConcurrentTracker::predictFromSnapshot(
     out.cacheHit = true;
     return out;
   }
-  // A prediction is a pure function of the snapshot and the immutable
-  // transfer-cost parameters, so the model evaluation runs outside every
-  // lock (same arithmetic as OnlineContentionTracker's predict helpers).
-  const double toBackend = model::dcomm(toBackend_, task.toBackend) *
-                           snapshot.comm;
-  const double fromBackend = model::dcomm(fromBackend_, task.fromBackend) *
-                             snapshot.comm;
+  // A prediction is a pure function of the view (snapshot plus its matched
+  // immutable TableSet), so the model evaluation runs outside every lock
+  // (same arithmetic as OnlineContentionTracker's predict helpers).
+  const model::ParagonPlatformModel& platform = view.tables->platform;
+  const double toBackend =
+      model::dcomm(platform.toBackend, task.toBackend) * snapshot.comm;
+  const double fromBackend =
+      model::dcomm(platform.fromBackend, task.fromBackend) * snapshot.comm;
   out.frontSec = task.frontEndSec * snapshot.comp;
   out.remoteSec = task.backEndSec + toBackend + fromBackend;
   out.offload = model::shouldOffload(out.frontSec, task.backEndSec, toBackend,
@@ -266,8 +378,8 @@ TaskPrediction ConcurrentTracker::predictFromSnapshot(
 }
 
 TaskPrediction ConcurrentTracker::predict(const tools::TaskSpec& task) {
-  const MixSnapshot snapshot = loadSnapshot();
-  return predictFromSnapshot(snapshot, task, taskHash(task));
+  const ReadView view = loadReadView();
+  return predictFromView(view, task, taskHash(task));
 }
 
 std::vector<TaskPrediction> ConcurrentTracker::predictBatch(
@@ -275,13 +387,14 @@ std::vector<TaskPrediction> ConcurrentTracker::predictBatch(
   if (tasks.empty()) {
     throw std::invalid_argument("predictBatch: empty batch");
   }
-  // One snapshot load for the whole batch: every result is consistent with
-  // the same mix version even while mutations land concurrently.
-  const MixSnapshot snapshot = loadSnapshot();
+  // One view load for the whole batch: every result is consistent with the
+  // same mix version and table generation even while mutations land
+  // concurrently.
+  const ReadView view = loadReadView();
   std::vector<TaskPrediction> out;
   out.reserve(tasks.size());
   for (const tools::TaskSpec& task : tasks) {
-    out.push_back(predictFromSnapshot(snapshot, task, taskHash(task)));
+    out.push_back(predictFromView(view, task, taskHash(task)));
   }
   return out;
 }
@@ -291,6 +404,7 @@ TrackerStats ConcurrentTracker::stats() const {
   TrackerStats stats;
   stats.epoch = snapshot.epoch;
   stats.signature = snapshot.signature;
+  stats.tableGeneration = snapshot.tableGen;
   stats.active = snapshot.active;
   stats.arrivals = arrivals_.load(std::memory_order_relaxed);
   stats.departures = departures_.load(std::memory_order_relaxed);

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -42,6 +43,7 @@
 #include "sched/online.hpp"
 #include "serve/journal.hpp"
 #include "serve/prediction_cache.hpp"
+#include "serve/recalibration.hpp"
 #include "tools/workload_file.hpp"
 
 namespace contend::serve {
@@ -52,6 +54,7 @@ namespace contend::serve {
 struct MixSnapshot {
   std::uint64_t epoch = 0;      // mutations applied so far
   std::uint64_t signature = 0;  // content hash of the mix
+  std::uint64_t tableGen = 0;   // generation of the tables that priced it
   int active = 0;               // the paper's p
   double comp = 1.0;
   double comm = 1.0;
@@ -81,6 +84,7 @@ class SnapshotCell {
     std::atomic_thread_fence(std::memory_order_release);
     slot.epoch.store(snapshot.epoch, std::memory_order_relaxed);
     slot.signature.store(snapshot.signature, std::memory_order_relaxed);
+    slot.tableGen.store(snapshot.tableGen, std::memory_order_relaxed);
     slot.active.store(snapshot.active, std::memory_order_relaxed);
     slot.comp.store(snapshot.comp, std::memory_order_relaxed);
     slot.comm.store(snapshot.comm, std::memory_order_relaxed);
@@ -100,6 +104,7 @@ class SnapshotCell {
       MixSnapshot out;
       out.epoch = slot.epoch.load(std::memory_order_relaxed);
       out.signature = slot.signature.load(std::memory_order_relaxed);
+      out.tableGen = slot.tableGen.load(std::memory_order_relaxed);
       out.active = slot.active.load(std::memory_order_relaxed);
       out.comp = slot.comp.load(std::memory_order_relaxed);
       out.comm = slot.comm.load(std::memory_order_relaxed);
@@ -115,6 +120,7 @@ class SnapshotCell {
     std::atomic<std::uint64_t> seq{0};
     std::atomic<std::uint64_t> epoch{0};
     std::atomic<std::uint64_t> signature{0};
+    std::atomic<std::uint64_t> tableGen{0};
     std::atomic<int> active{0};
     std::atomic<double> comp{1.0};
     std::atomic<double> comm{1.0};
@@ -149,6 +155,7 @@ struct TaskPrediction {
 struct TrackerStats {
   std::uint64_t epoch = 0;
   std::uint64_t signature = 0;  // order-independent content hash of the mix
+  std::uint64_t tableGeneration = 0;  // accepted CALIBRATE APPLY swaps
   int active = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
@@ -191,6 +198,46 @@ class ConcurrentTracker {
   /// Lock-free: loads the published snapshot.
   [[nodiscard]] SlowdownSnapshot slowdowns() const;
 
+  /// Folds one CALIBRATE OBSERVE residual into the online estimator. Takes
+  /// the write mutex but does not mutate the mix: the epoch, signature, and
+  /// published snapshot are untouched, so observation-only calibration
+  /// cannot perturb a serve-vs-offline differential replay. Throws
+  /// std::invalid_argument on an observation the live tables cannot index.
+  void observeCalibration(const CalibrationObservation& observation);
+
+  /// The CALIBRATE staleness report against the live tables.
+  [[nodiscard]] CalibrationReportData calibrationReport() const;
+
+  /// The DRIFT verdict.
+  struct DriftResult {
+    bool drifting = false;
+    double score = 0.0;
+    double threshold = 0.0;
+    std::uint64_t eligibleCells = 0;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] DriftResult drift() const;
+
+  /// CALIBRATE APPLY: builds updated tables from the accumulated
+  /// observations and swaps them in atomically — a new immutable TableSet is
+  /// published through the generation ring *before* the seqlock snapshot
+  /// carrying the new generation, so every reader prices with a matched
+  /// (snapshot, tables) pair and no prediction ever mixes generations. The
+  /// swap bumps the epoch, is journaled as a kTableSwap record (recovery
+  /// replays it to bit-identical tables), and resets the estimator. Throws
+  /// std::invalid_argument when no cell has enough samples to build from,
+  /// or when the built tables fail validation.
+  struct CalibrationApplyResult {
+    std::uint64_t generation = 0;
+    SlowdownSnapshot after;
+  };
+  CalibrationApplyResult applyCalibration();
+
+  /// Lock-free: the generation of the tables readers currently price with.
+  [[nodiscard]] std::uint64_t tableGeneration() const {
+    return loadSnapshot().tableGen;
+  }
+
   /// Lock-free except for the one sharded-LRU lock covering the entry's
   /// cache line; never touches the write mutex.
   TaskPrediction predict(const tools::TaskSpec& task);
@@ -212,12 +259,45 @@ class ConcurrentTracker {
   [[nodiscard]] std::vector<ArrivalRecord> arrivals() const;
 
  private:
-  /// Computes a prediction from a snapshot alone (no tracker state): the
-  /// slowdowns scale the dedicated-mode costs given by the immutable
+  /// One immutable generation of pricing state. TableSets are heap-allocated
+  /// once per accepted swap, retained for the tracker's lifetime (swaps are
+  /// rare — operator cadence, not request cadence), and published to readers
+  /// through a generation-indexed ring of raw pointers, so the read path
+  /// stays allocation- and RMW-free.
+  struct TableSet {
+    std::uint64_t generation = 0;
+    model::ParagonPlatformModel platform;
+  };
+
+  /// A matched (snapshot, tables) pair: the tables are exactly the ones the
+  /// snapshot's slowdowns were computed against.
+  struct ReadView {
+    MixSnapshot snapshot;
+    const TableSet* tables = nullptr;
+  };
+
+  /// Computes a prediction from a read view alone (no tracker state): the
+  /// slowdowns scale the dedicated-mode costs given by the view's
   /// platform communication parameters.
-  [[nodiscard]] TaskPrediction predictFromSnapshot(
-      const MixSnapshot& snapshot, const tools::TaskSpec& task,
-      std::uint64_t taskHashValue);
+  [[nodiscard]] TaskPrediction predictFromView(const ReadView& view,
+                                               const tools::TaskSpec& task,
+                                               std::uint64_t taskHashValue);
+
+  /// Loads a consistent (snapshot, tables) pair. Retries only if a writer
+  /// lapped the 64-slot table ring between the snapshot load and the ring
+  /// read — 64 accepted swaps inside one read, effectively never.
+  [[nodiscard]] ReadView loadReadView() const;
+
+  /// Installs `platform` as generation `generation` (writeMutex_ held):
+  /// retains the TableSet and publishes its pointer in the ring. The caller
+  /// publishes the snapshot that makes it visible.
+  void installTablesLocked(std::uint64_t generation,
+                           const model::ParagonPlatformModel& platform);
+
+  /// The platform the next mutation/calibration sees (writeMutex_ held).
+  [[nodiscard]] const model::ParagonPlatformModel& platformLocked() const {
+    return tracker_.platform();
+  }
 
   [[nodiscard]] MixSnapshot loadSnapshot() const { return snapshot_.load(); }
   void publishSnapshotLocked();
@@ -234,19 +314,24 @@ class ConcurrentTracker {
   /// compacting snapshot when one is due.
   void journalMutationLocked(const JournalRecord& record);
 
-  // Immutable after construction: the dedicated-mode transfer cost params
-  // (every snapshot shares them, so they live here, not in MixSnapshot).
-  const model::PiecewiseCommParams toBackend_;
-  const model::PiecewiseCommParams fromBackend_;
-
   // Write side: everything below is guarded by writeMutex_.
   mutable std::mutex writeMutex_;
   sched::OnlineContentionTracker tracker_;
   std::uint64_t epoch_ = 0;
   std::uint64_t signature_ = 0;  // order-independent sum of per-app hashes
+  std::uint64_t tableGen_ = 0;   // generation of the live tables
   std::unordered_map<std::uint64_t, model::CompetingApp> liveApps_;
   std::vector<ArrivalRecord> arrivalLog_;
   Journal* journal_ = nullptr;  // attached by recoverFromJournal
+  Recalibrator recalibrator_;
+  std::vector<std::shared_ptr<const TableSet>> tableSets_;  // retained
+
+  // Read side of the table swap: ring slot tableGen % kTableRingSlots holds
+  // the TableSet for that generation (written under writeMutex_ with
+  // release order *before* the snapshot carrying the generation is
+  // published, so a reader that sees the snapshot also sees the tables).
+  static constexpr std::size_t kTableRingSlots = 64;
+  std::array<std::atomic<const TableSet*>, kTableRingSlots> tableRing_{};
 
   // Read side: the RCU publication point and the sharded prediction cache.
   SnapshotCell snapshot_;

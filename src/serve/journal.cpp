@@ -18,16 +18,27 @@ namespace contend::serve {
 namespace {
 
 constexpr std::string_view kJournalMagic = "CONTJRN1";
-constexpr std::string_view kSnapshotMagic = "CONTSNP1";
+constexpr std::string_view kSnapshotMagic = "CONTSNP2";
 
-// Frame caps: a mutation record is tens of bytes; a snapshot scales with p
-// but p is bounded by the calibrated delay tables (tens of contenders). A
-// length field past these caps is corruption, not data.
-constexpr std::uint32_t kMaxRecordPayload = 256;
+// Frame caps: an arrive/depart record is tens of bytes and a table-swap
+// record carries full delay tables (bounded below by kMaxTableContenders ×
+// kMaxTableBins, well under 1 MiB); a snapshot additionally scales with p.
+// A length field past these caps is corruption, not data.
+constexpr std::uint32_t kMaxRecordPayload = 1u << 20;
 constexpr std::uint32_t kMaxSnapshotPayload = 64u << 20;
 
 constexpr std::size_t kArrivePayloadBytes = 1 + 8 + 8 + 8 + 8 + 8;
 constexpr std::size_t kDepartPayloadBytes = 1 + 8 + 8 + 8;
+
+// Decode-side sanity bounds on table dimensions. Calibrated tables cover
+// tens of contenders and a handful of message-size bins; anything bigger is
+// a hostile or corrupt length field.
+constexpr std::uint32_t kMaxTableContenders = 1024;
+constexpr std::uint32_t kMaxTableBins = 32;
+
+// Fixed-size part of an encoded platform model: two piecewise links (2×4
+// f64 + u64 threshold each) plus the two table-dimension counts.
+constexpr std::size_t kPlatformTablesFixedBytes = 2 * (4 * 8 + 8) + 4 + 4;
 
 // Little-endian scalar (de)serialization; explicit byte order keeps the
 // files portable across hosts sharing a journal directory.
@@ -94,6 +105,73 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+// Platform-model tables, as carried by kTableSwap records and snapshots:
+// two piecewise links, then n (contender count) and b (j-bin count), then
+// the three delay tables. Encoded and decoded by the same two helpers so
+// the formats cannot drift apart.
+void encodePlatformTables(std::string& payload,
+                          const model::ParagonPlatformModel& tables) {
+  for (const model::PiecewiseCommParams* link :
+       {&tables.toBackend, &tables.fromBackend}) {
+    putF64(payload, link->small.alphaSec);
+    putF64(payload, link->small.betaWordsPerSec);
+    putF64(payload, link->large.alphaSec);
+    putF64(payload, link->large.betaWordsPerSec);
+    putU64(payload, static_cast<std::uint64_t>(link->thresholdWords));
+  }
+  const model::DelayTables& delays = tables.delays;
+  putU32(payload, static_cast<std::uint32_t>(delays.commFromComp.size()));
+  putU32(payload, static_cast<std::uint32_t>(delays.jBins.size()));
+  for (const double d : delays.commFromComp) putF64(payload, d);
+  for (const double d : delays.commFromComm) putF64(payload, d);
+  for (const Words w : delays.jBins) {
+    putU64(payload, static_cast<std::uint64_t>(w));
+  }
+  for (const std::vector<double>& row : delays.compFromComm) {
+    for (const double d : row) putF64(payload, d);
+  }
+}
+
+bool decodePlatformTables(ByteReader& reader,
+                          model::ParagonPlatformModel& out) {
+  for (model::PiecewiseCommParams* link : {&out.toBackend, &out.fromBackend}) {
+    std::uint64_t threshold = 0;
+    if (!reader.f64(link->small.alphaSec) ||
+        !reader.f64(link->small.betaWordsPerSec) ||
+        !reader.f64(link->large.alphaSec) ||
+        !reader.f64(link->large.betaWordsPerSec) || !reader.u64(threshold)) {
+      return false;
+    }
+    link->thresholdWords = static_cast<Words>(threshold);
+  }
+  std::uint32_t contenders = 0;
+  std::uint32_t bins = 0;
+  if (!reader.u32(contenders) || !reader.u32(bins)) return false;
+  if (contenders > kMaxTableContenders || bins > kMaxTableBins) return false;
+  model::DelayTables& delays = out.delays;
+  delays.commFromComp.resize(contenders);
+  for (double& d : delays.commFromComp) {
+    if (!reader.f64(d)) return false;
+  }
+  delays.commFromComm.resize(contenders);
+  for (double& d : delays.commFromComm) {
+    if (!reader.f64(d)) return false;
+  }
+  delays.jBins.resize(bins);
+  for (Words& w : delays.jBins) {
+    std::uint64_t raw = 0;
+    if (!reader.u64(raw)) return false;
+    w = static_cast<Words>(raw);
+  }
+  delays.compFromComm.assign(bins, std::vector<double>(contenders));
+  for (std::vector<double>& row : delays.compFromComm) {
+    for (double& d : row) {
+      if (!reader.f64(d)) return false;
+    }
+  }
+  return true;
+}
+
 std::string recordPayload(const JournalRecord& record) {
   std::string payload;
   payload.reserve(kArrivePayloadBytes);
@@ -104,6 +182,8 @@ std::string recordPayload(const JournalRecord& record) {
   if (record.kind == JournalRecord::Kind::kArrive) {
     putF64(payload, record.app.commFraction);
     putU64(payload, static_cast<std::uint64_t>(record.app.messageWords));
+  } else if (record.kind == JournalRecord::Kind::kTableSwap) {
+    encodePlatformTables(payload, record.tables);
   }
   return payload;
 }
@@ -113,7 +193,8 @@ bool decodeRecordPayload(std::string_view payload, JournalRecord& out) {
   std::uint8_t kind = 0;
   if (!reader.u8(kind)) return false;
   if (kind != static_cast<std::uint8_t>(JournalRecord::Kind::kArrive) &&
-      kind != static_cast<std::uint8_t>(JournalRecord::Kind::kDepart)) {
+      kind != static_cast<std::uint8_t>(JournalRecord::Kind::kDepart) &&
+      kind != static_cast<std::uint8_t>(JournalRecord::Kind::kTableSwap)) {
     return false;
   }
   out.kind = static_cast<JournalRecord::Kind>(kind);
@@ -121,12 +202,14 @@ bool decodeRecordPayload(std::string_view payload, JournalRecord& out) {
       !reader.f64(out.timeSec)) {
     return false;
   }
+  out.app = model::CompetingApp{};
+  out.tables = model::ParagonPlatformModel{};
   if (out.kind == JournalRecord::Kind::kArrive) {
     std::uint64_t words = 0;
     if (!reader.f64(out.app.commFraction) || !reader.u64(words)) return false;
     out.app.messageWords = static_cast<Words>(words);
-  } else {
-    out.app = model::CompetingApp{};
+  } else if (out.kind == JournalRecord::Kind::kTableSwap) {
+    if (!decodePlatformTables(reader, out.tables)) return false;
   }
   return reader.exhausted();
 }
@@ -297,6 +380,8 @@ std::string encodeSnapshot(const SnapshotImage& image) {
        {&checkpoint.commPoly, &checkpoint.compPoly}) {
     for (const double c : *poly) putF64(payload, c);
   }
+  putU64(payload, image.tableGeneration);
+  encodePlatformTables(payload, image.tables);
   std::string out;
   out.reserve(8 + payload.size());
   putU32(out, static_cast<std::uint32_t>(payload.size()));
@@ -324,12 +409,15 @@ std::optional<SnapshotImage> decodeSnapshot(std::string_view bytes) {
       !reader.f64(checkpoint.lastEventTimeSec) || !reader.u32(appCount)) {
     return std::nullopt;
   }
-  // The remaining payload is exactly appCount app triples plus two
-  // (appCount + 1)-sized coefficient vectors; anything else is corruption.
-  const std::size_t expected =
+  // The remaining payload is appCount app triples, two (appCount + 1)-sized
+  // coefficient vectors, the table generation, and the platform tables. The
+  // tables are variable-sized, so this is a lower bound that stops a hostile
+  // appCount from driving the reserves below; decodePlatformTables and the
+  // final exhaustion check enforce exactness.
+  const std::size_t minimum =
       reader.position() + std::size_t{appCount} * 24 +
-      2 * (std::size_t{appCount} + 1) * 8;
-  if (payload.size() != expected) return std::nullopt;
+      2 * (std::size_t{appCount} + 1) * 8 + 8 + kPlatformTablesFixedBytes;
+  if (payload.size() < minimum) return std::nullopt;
   checkpoint.ids.reserve(appCount);
   checkpoint.apps.reserve(appCount);
   for (std::uint32_t i = 0; i < appCount; ++i) {
@@ -351,6 +439,8 @@ std::optional<SnapshotImage> decodeSnapshot(std::string_view bytes) {
       if (!reader.f64(c)) return std::nullopt;
     }
   }
+  if (!reader.u64(image.tableGeneration)) return std::nullopt;
+  if (!decodePlatformTables(reader, image.tables)) return std::nullopt;
   if (!reader.exhausted()) return std::nullopt;
   return image;
 }
@@ -480,6 +570,18 @@ void Journal::appendDepart(std::uint64_t epoch, std::uint64_t id,
   record.epoch = epoch;
   record.id = id;
   record.timeSec = timeSec;
+  append(record);
+}
+
+void Journal::appendTableSwap(std::uint64_t epoch, std::uint64_t generation,
+                              const model::ParagonPlatformModel& tables,
+                              double timeSec) {
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kTableSwap;
+  record.epoch = epoch;
+  record.id = generation;
+  record.timeSec = timeSec;
+  record.tables = tables;
   append(record);
 }
 

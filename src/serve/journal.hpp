@@ -58,22 +58,31 @@ struct JournalConfig {
   int fsyncIntervalMs = 100;
 };
 
-/// One journaled mutation. `app` is meaningful for kArrive only.
+/// One journaled mutation. `app` is meaningful for kArrive only; `tables`
+/// for kTableSwap only (a CALIBRATE APPLY carries the complete swapped-in
+/// platform model so replay needs no estimator state — `id` is the table
+/// generation the swap produced).
 struct JournalRecord {
-  enum class Kind : std::uint8_t { kArrive = 1, kDepart = 2 };
+  enum class Kind : std::uint8_t { kArrive = 1, kDepart = 2, kTableSwap = 3 };
   Kind kind = Kind::kArrive;
   std::uint64_t epoch = 0;  // tracker epoch *after* the mutation
-  std::uint64_t id = 0;     // application id assigned / departed
+  std::uint64_t id = 0;     // application id assigned / departed / table gen
   double timeSec = 0.0;     // tracker-relative event time (audit only)
   model::CompetingApp app;
+  model::ParagonPlatformModel tables;
 };
 
-/// Full tracker state at `epoch`, as persisted by a snapshot.
+/// Full tracker state at `epoch`, as persisted by a snapshot. The platform
+/// tables (and their generation) ride along so recovery re-prices with
+/// exactly the tables that were live — a recalibrated daemon must not wake
+/// up with its boot-time tables.
 struct SnapshotImage {
   std::uint64_t epoch = 0;
   std::uint64_t arrivals = 0;
   std::uint64_t departures = 0;
+  std::uint64_t tableGeneration = 0;
   sched::TrackerCheckpoint checkpoint;
+  model::ParagonPlatformModel tables;
 };
 
 /// What recovery found. `recovered` is false only for a genuinely fresh
@@ -99,7 +108,9 @@ struct JournalStats {
 // Pure (de)serialization core, no file I/O — shared by the Journal, the
 // framing tests, and the `journal_fuzz` targets in protocol_fuzz.cpp.
 
-/// 8-byte file magics ("CONTJRN1" / "CONTSNP1").
+/// 8-byte file magics ("CONTJRN1" / "CONTSNP2" — the snapshot magic was
+/// bumped when the image grew the platform tables; a pre-recalibration
+/// snapshot is refused with a clear error instead of misdecoded).
 [[nodiscard]] std::string_view journalMagic();
 [[nodiscard]] std::string_view snapshotMagic();
 
@@ -158,6 +169,11 @@ class Journal {
   void appendArrive(std::uint64_t epoch, std::uint64_t id,
                     const model::CompetingApp& app, double timeSec);
   void appendDepart(std::uint64_t epoch, std::uint64_t id, double timeSec);
+  /// Journals an accepted CALIBRATE APPLY: `generation` is the new table
+  /// generation, `tables` the complete swapped-in platform model.
+  void appendTableSwap(std::uint64_t epoch, std::uint64_t generation,
+                       const model::ParagonPlatformModel& tables,
+                       double timeSec);
 
   /// True once the compaction lag reached snapshotEvery.
   [[nodiscard]] bool snapshotDue() const;

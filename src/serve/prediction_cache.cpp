@@ -19,7 +19,8 @@ std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
 
 std::size_t PredictionCache::KeyHash::operator()(
     const Key& key) const noexcept {
-  return static_cast<std::size_t>(fnvMix(key.signature, key.taskHash));
+  return static_cast<std::size_t>(
+      fnvMix(fnvMix(key.signature, key.taskHash), key.tableGeneration));
 }
 
 PredictionCache::PredictionCache(std::size_t capacity, std::size_t shards)
@@ -32,7 +33,8 @@ PredictionCache::PredictionCache(std::size_t capacity, std::size_t shards)
 PredictionCache::Shard& PredictionCache::shardFor(const Key& key) {
   // The map already consumes the low bits of the FNV hash; pick the shard
   // from the high bits so shard choice and bucket choice stay decorrelated.
-  const std::uint64_t hash = fnvMix(key.signature, key.taskHash);
+  const std::uint64_t hash =
+      fnvMix(fnvMix(key.signature, key.taskHash), key.tableGeneration);
   return shards_[(hash >> 48) % shards_.size()];
 }
 

@@ -27,6 +27,11 @@ class PredictionCache {
   struct Key {
     std::uint64_t signature = 0;  // content hash of the mix
     std::uint64_t taskHash = 0;   // hash of the prediction-relevant fields
+    // Generation of the delay tables the entry was priced with. A CALIBRATE
+    // APPLY bumps the generation, so entries computed from superseded tables
+    // can never be served again — without this field a table swap would keep
+    // returning prices from the old tables for every recurring mix.
+    std::uint64_t tableGeneration = 0;
     bool operator==(const Key&) const = default;
   };
   struct Value {

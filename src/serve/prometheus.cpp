@@ -200,6 +200,9 @@ std::string renderPrometheusText(const PrometheusInput& input) {
 
   gauge(out, "contend_epoch", "Mutations applied to the mix so far.",
         std::to_string(input.tracker.epoch));
+  gauge(out, "contend_table_generation",
+        "Delay-table generation (bumped by every CALIBRATE APPLY swap).",
+        std::to_string(input.tracker.tableGeneration));
   gauge(out, "contend_active_applications",
         "Competing applications currently in the mix (the paper's p).",
         std::to_string(input.slowdowns.active));
@@ -260,6 +263,10 @@ std::string renderPrometheusText(const PrometheusInput& input) {
     gauge(out, "contend_journal_append_errors",
           "Latched journal append failures (nonzero means durability lost).",
           std::to_string(input.journalStats.appendErrors));
+    gauge(out, "contend_journal_healthy",
+          "1 while every append has succeeded; 0 once any append failed "
+          "(matches HEALTH reporting journal=degraded).",
+          input.journalStats.appendErrors == 0 ? "1" : "0");
   }
 
   family(out, "contend_request_duration_us", "histogram",

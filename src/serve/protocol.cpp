@@ -14,8 +14,8 @@ namespace {
 using util::TokenCursor;
 
 constexpr std::array<const char*, kVerbCount> kVerbNames = {
-    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",
-    "STATS",  "PREDICT_BATCH", "HEALTH", "METRICS"};
+    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",  "STATS",
+    "PREDICT_BATCH", "HEALTH", "METRICS", "CALIBRATE", "DRIFT"};
 
 [[noreturn]] void fail(const std::string& message) {
   throw ProtocolError(message);
@@ -180,6 +180,59 @@ Request parsePredictBatch(TokenCursor& firstLine, std::istream& in) {
   return request;
 }
 
+Request parseCalibrate(TokenCursor& line) {
+  Request request;
+  request.verb = Verb::kCalibrate;
+  const auto sub = line.next();
+  if (!sub) {
+    request.calibrate = CalibrateAction::kReport;
+    return request;
+  }
+  if (*sub == "APPLY") {
+    request.calibrate = CalibrateAction::kApply;
+    rejectTrailing(line, "CALIBRATE APPLY");
+    return request;
+  }
+  if (*sub != "OBSERVE") {
+    fail("CALIBRATE: expected no arguments, 'APPLY', or 'OBSERVE ...', got '" +
+         std::string(*sub) + "'");
+  }
+  request.calibrate = CalibrateAction::kObserve;
+  const auto familyToken = line.next();
+  const auto contendersToken = line.next();
+  const auto wordsToken = line.next();
+  const auto valueToken = line.next();
+  if (!familyToken || !contendersToken || !wordsToken || !valueToken) {
+    fail(
+        "CALIBRATE OBSERVE: expected "
+        "'<family> <contenders> <words> <value>'");
+  }
+  const auto family = observationFamilyFromName(*familyToken);
+  if (!family) {
+    fail("CALIBRATE OBSERVE: unknown family '" + std::string(*familyToken) +
+         "'");
+  }
+  request.observation.family = *family;
+  std::int64_t contenders = 0;
+  if (!util::parseInteger(*contendersToken, contenders) || contenders < 0 ||
+      contenders > 1'000'000) {
+    fail("CALIBRATE OBSERVE: bad contender count '" +
+         std::string(*contendersToken) + "'");
+  }
+  request.observation.contenders = static_cast<int>(contenders);
+  if (!util::parseInteger(*wordsToken, request.observation.words) ||
+      request.observation.words < 0) {
+    fail("CALIBRATE OBSERVE: bad message words '" + std::string(*wordsToken) +
+         "'");
+  }
+  if (!util::parseDouble(*valueToken, request.observation.value) ||
+      !(request.observation.value >= 0.0)) {
+    fail("CALIBRATE OBSERVE: bad value '" + std::string(*valueToken) + "'");
+  }
+  rejectTrailing(line, "CALIBRATE OBSERVE");
+  return request;
+}
+
 /// Walks '\n'-terminated lines of a view without copying; strips one
 /// trailing '\r' per line (CRLF peers), mirroring FdLineReader.
 class LineCursor {
@@ -314,10 +367,13 @@ std::optional<Request> readRequest(std::istream& in) {
         return parsePredict(line, in);
       case Verb::kPredictBatch:
         return parsePredictBatch(line, in);
+      case Verb::kCalibrate:
+        return parseCalibrate(line);
       case Verb::kSlowdown:
       case Verb::kStats:
       case Verb::kHealth:
-      case Verb::kMetrics: {
+      case Verb::kMetrics:
+      case Verb::kDrift: {
         rejectTrailing(line, *verbToken);
         Request request;
         request.verb = *verb;
@@ -348,10 +404,13 @@ std::optional<Request> parseRequestText(std::string_view text) {
         return parsePredictView(line, lines);
       case Verb::kPredictBatch:
         return parsePredictBatchView(line, lines);
+      case Verb::kCalibrate:
+        return parseCalibrate(line);
       case Verb::kSlowdown:
       case Verb::kStats:
       case Verb::kHealth:
-      case Verb::kMetrics: {
+      case Verb::kMetrics:
+      case Verb::kDrift: {
         rejectTrailing(line, *verbToken);
         Request request;
         request.verb = *verb;
@@ -377,6 +436,22 @@ std::string formatRequest(const Request& request) {
       return "HEALTH\n";
     case Verb::kMetrics:
       return "METRICS\n";
+    case Verb::kDrift:
+      return "DRIFT\n";
+    case Verb::kCalibrate:
+      switch (request.calibrate) {
+        case CalibrateAction::kReport:
+          return "CALIBRATE\n";
+        case CalibrateAction::kApply:
+          return "CALIBRATE APPLY\n";
+        case CalibrateAction::kObserve:
+          return std::string("CALIBRATE OBSERVE ") +
+                 observationFamilyName(request.observation.family) + ' ' +
+                 std::to_string(request.observation.contenders) + ' ' +
+                 std::to_string(request.observation.words) + ' ' +
+                 formatDouble(request.observation.value) + '\n';
+      }
+      fail("formatRequest: invalid CALIBRATE action");
     case Verb::kPredict: {
       const tools::TaskSpec& task = request.task;
       std::string out =

@@ -11,6 +11,8 @@
 //     STATS
 //     HEALTH
 //     METRICS
+//     CALIBRATE [OBSERVE <family> <contenders> <words> <value> | APPLY]
+//     DRIFT
 //     PREDICT <name>
 //       front 8.0
 //       back  1.5
@@ -52,10 +54,13 @@
 #include <vector>
 
 #include "model/mix.hpp"
+#include "serve/recalibration.hpp"
 #include "tools/workload_file.hpp"
 
 namespace contend::serve {
 
+// Appended only: verb indices feed fixed-size metrics arrays and persisted
+// expositions, so existing entries never renumber.
 enum class Verb {
   kArrive,
   kDepart,
@@ -65,8 +70,10 @@ enum class Verb {
   kPredictBatch,
   kHealth,
   kMetrics,
+  kCalibrate,
+  kDrift,
 };
-inline constexpr int kVerbCount = 8;
+inline constexpr int kVerbCount = 10;
 
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);
@@ -99,12 +106,25 @@ class ProtocolError : public std::runtime_error {
   std::string code_;
 };
 
+/// CALIBRATE subcommands (all single-line):
+///
+///     CALIBRATE                                     — staleness report
+///     CALIBRATE OBSERVE <family> <contenders> <words> <value>
+///     CALIBRATE APPLY                               — swap in built tables
+///
+/// where <family> is one of comm_from_comp, comm_from_comm, comp_from_comm,
+/// link_to, link_from (see serve/recalibration.hpp for the value
+/// conventions). DRIFT takes no arguments.
+enum class CalibrateAction { kReport, kObserve, kApply };
+
 struct Request {
   Verb verb = Verb::kSlowdown;
   model::CompetingApp app;              // ARRIVE
   std::uint64_t applicationId = 0;      // DEPART
   tools::TaskSpec task;                 // PREDICT
   std::vector<tools::TaskSpec> batch;   // PREDICT_BATCH
+  CalibrateAction calibrate = CalibrateAction::kReport;  // CALIBRATE
+  CalibrationObservation observation;   // CALIBRATE OBSERVE
 };
 
 /// Reads the next request (skipping blanks/comments); nullopt at EOF.

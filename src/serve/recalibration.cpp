@@ -1,0 +1,284 @@
+#include "serve/recalibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "model/paragon_model.hpp"
+
+namespace contend::serve {
+namespace {
+
+// Relative residuals divide by the live-table value; near-zero table cells
+// would turn any noise into an unbounded score, so the denominator is
+// floored.
+constexpr double kResidualFloor = 0.1;
+
+// Caps folded into cellKey(): contenders and bins each pack into 12 bits.
+constexpr int kMaxCellContenders = 4095;
+constexpr std::size_t kMaxCellBins = 4095;
+
+[[nodiscard]] bool isLinkFamily(ObservationFamily family) {
+  return family == ObservationFamily::kLinkToBackend ||
+         family == ObservationFamily::kLinkFromBackend;
+}
+
+[[nodiscard]] double relativeResidual(double mean, double current) {
+  return std::abs(mean - current) /
+         std::max(std::abs(current), kResidualFloor);
+}
+
+}  // namespace
+
+const char* observationFamilyName(ObservationFamily family) {
+  switch (family) {
+    case ObservationFamily::kCommFromComp:
+      return "comm_from_comp";
+    case ObservationFamily::kCommFromComm:
+      return "comm_from_comm";
+    case ObservationFamily::kCompFromComm:
+      return "comp_from_comm";
+    case ObservationFamily::kLinkToBackend:
+      return "link_to";
+    case ObservationFamily::kLinkFromBackend:
+      return "link_from";
+  }
+  return "unknown";
+}
+
+std::optional<ObservationFamily> observationFamilyFromName(
+    std::string_view name) {
+  for (int f = 0; f < kObservationFamilyCount; ++f) {
+    const auto family = static_cast<ObservationFamily>(f);
+    if (name == observationFamilyName(family)) return family;
+  }
+  return std::nullopt;
+}
+
+Recalibrator::Recalibrator(RecalibrationConfig config) : config_(config) {
+  if (!(config_.decay > 0.0) || config_.decay > 1.0) {
+    throw std::invalid_argument("Recalibrator: decay must be in (0, 1]");
+  }
+  if (config_.minSamples == 0) {
+    throw std::invalid_argument("Recalibrator: minSamples must be positive");
+  }
+  if (!(config_.driftThreshold > 0.0)) {
+    throw std::invalid_argument(
+        "Recalibrator: driftThreshold must be positive");
+  }
+}
+
+std::uint32_t Recalibrator::cellKey(ObservationFamily family, int contenders,
+                                    std::size_t bin) {
+  return (static_cast<std::uint32_t>(family) << 24) |
+         (static_cast<std::uint32_t>(contenders) << 12) |
+         static_cast<std::uint32_t>(bin);
+}
+
+double Recalibrator::currentValue(const model::ParagonPlatformModel& current,
+                                  ObservationFamily family, int contenders,
+                                  std::size_t bin) {
+  const std::size_t index = static_cast<std::size_t>(contenders) - 1;
+  switch (family) {
+    case ObservationFamily::kCommFromComp:
+      return current.delays.commFromComp.at(index);
+    case ObservationFamily::kCommFromComm:
+      return current.delays.commFromComm.at(index);
+    case ObservationFamily::kCompFromComm:
+      return current.delays.compFromComm.at(bin).at(index);
+    case ObservationFamily::kLinkToBackend:
+    case ObservationFamily::kLinkFromBackend:
+      // Link cells track the observed/modeled cost ratio, so the ideal
+      // ("table") value is identically 1.
+      return 1.0;
+  }
+  return 0.0;
+}
+
+void Recalibrator::observe(const CalibrationObservation& observation,
+                           const model::ParagonPlatformModel& current) {
+  if (!std::isfinite(observation.value) || observation.value < 0.0) {
+    throw std::invalid_argument(
+        "CALIBRATE OBSERVE: value must be finite and non-negative");
+  }
+  if (observation.words < 0) {
+    throw std::invalid_argument("CALIBRATE OBSERVE: words must be >= 0");
+  }
+
+  if (isLinkFamily(observation.family)) {
+    const model::PiecewiseCommParams& link =
+        observation.family == ObservationFamily::kLinkToBackend
+            ? current.toBackend
+            : current.fromBackend;
+    const int segment = observation.words <= link.thresholdWords ? 0 : 1;
+    const int direction =
+        observation.family == ObservationFamily::kLinkToBackend ? 0 : 1;
+
+    LinkAccumulator& acc = links_[direction][segment];
+    const double x = static_cast<double>(observation.words);
+    const double y = observation.value;
+    acc.sw = config_.decay * acc.sw + 1.0;
+    acc.sx = config_.decay * acc.sx + x;
+    acc.sy = config_.decay * acc.sy + y;
+    acc.sxx = config_.decay * acc.sxx + x * x;
+    acc.sxy = config_.decay * acc.sxy + x * y;
+    acc.samples += 1;
+
+    // The drift/report cell tracks the observed/modeled cost ratio for the
+    // same segment.
+    const double modeled = link.messageCost(observation.words);
+    const double ratio = modeled > 0.0 ? y / modeled : 0.0;
+    Cell& cell = cells_[cellKey(observation.family, segment, 0)];
+    cell.weight = config_.decay * cell.weight + 1.0;
+    cell.sum = config_.decay * cell.sum + ratio;
+    cell.samples += 1;
+  } else {
+    const int maxContenders =
+        static_cast<int>(current.delays.maxContenders());
+    if (observation.contenders < 1 || observation.contenders > maxContenders ||
+        observation.contenders > kMaxCellContenders) {
+      throw std::invalid_argument(
+          "CALIBRATE OBSERVE: contenders must be in [1, " +
+          std::to_string(maxContenders) + "]");
+    }
+    std::size_t bin = 0;
+    if (observation.family == ObservationFamily::kCompFromComm) {
+      bin = model::chooseJBin(current.delays.jBins, observation.words);
+      if (bin > kMaxCellBins) {
+        throw std::invalid_argument("CALIBRATE OBSERVE: too many j bins");
+      }
+    }
+    Cell& cell =
+        cells_[cellKey(observation.family, observation.contenders, bin)];
+    cell.weight = config_.decay * cell.weight + 1.0;
+    cell.sum = config_.decay * cell.sum + observation.value;
+    cell.samples += 1;
+  }
+
+  observations_ += 1;
+  observationsTotal_ += 1;
+}
+
+CalibrationReportData Recalibrator::report(
+    const model::ParagonPlatformModel& current, double nowSec) const {
+  CalibrationReportData data;
+  data.observations = observations_;
+  data.observationsTotal = observationsTotal_;
+  data.applies = applies_;
+  data.totalCells = cells_.size();
+  data.sinceApplySec = everApplied_ ? nowSec - lastApplySec_ : -1.0;
+
+  data.cells.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    CalibrationCellReport entry;
+    entry.family = static_cast<ObservationFamily>(key >> 24);
+    entry.contenders = static_cast<int>((key >> 12) & 0xfff);
+    entry.bin = key & 0xfff;
+    entry.samples = cell.samples;
+    entry.weight = cell.weight;
+    entry.mean = cell.weight > 0.0 ? cell.sum / cell.weight : 0.0;
+    entry.current =
+        currentValue(current, entry.family, entry.contenders, entry.bin);
+    entry.residual = relativeResidual(entry.mean, entry.current);
+    if (cell.samples >= config_.minSamples) {
+      data.eligibleCells += 1;
+      data.driftScore = std::max(data.driftScore, entry.residual);
+    }
+    data.cells.push_back(entry);
+  }
+  data.drifting = data.driftScore > config_.driftThreshold;
+
+  // Worst residual first; ties broken on the packed key so the order is a
+  // pure function of the observation history.
+  std::stable_sort(data.cells.begin(), data.cells.end(),
+                   [](const CalibrationCellReport& a,
+                      const CalibrationCellReport& b) {
+                     return a.residual > b.residual;
+                   });
+  return data;
+}
+
+double Recalibrator::driftScore(
+    const model::ParagonPlatformModel& current) const {
+  double score = 0.0;
+  for (const auto& [key, cell] : cells_) {
+    if (cell.samples < config_.minSamples) continue;
+    const auto family = static_cast<ObservationFamily>(key >> 24);
+    const int contenders = static_cast<int>((key >> 12) & 0xfff);
+    const std::size_t bin = key & 0xfff;
+    const double mean = cell.weight > 0.0 ? cell.sum / cell.weight : 0.0;
+    score = std::max(
+        score, relativeResidual(
+                   mean, currentValue(current, family, contenders, bin)));
+  }
+  return score;
+}
+
+std::optional<model::ParagonPlatformModel> Recalibrator::build(
+    const model::ParagonPlatformModel& current) const {
+  model::ParagonPlatformModel updated = current;
+  bool changed = false;
+
+  for (const auto& [key, cell] : cells_) {
+    if (cell.samples < config_.minSamples) continue;
+    const auto family = static_cast<ObservationFamily>(key >> 24);
+    if (isLinkFamily(family)) continue;  // links refit below
+    const int contenders = static_cast<int>((key >> 12) & 0xfff);
+    const std::size_t bin = key & 0xfff;
+    const std::size_t index = static_cast<std::size_t>(contenders) - 1;
+    const double mean = cell.sum / cell.weight;
+    switch (family) {
+      case ObservationFamily::kCommFromComp:
+        updated.delays.commFromComp.at(index) = mean;
+        break;
+      case ObservationFamily::kCommFromComm:
+        updated.delays.commFromComm.at(index) = mean;
+        break;
+      case ObservationFamily::kCompFromComm:
+        updated.delays.compFromComm.at(bin).at(index) = mean;
+        break;
+      default:
+        break;
+    }
+    changed = true;
+  }
+
+  for (int direction = 0; direction < 2; ++direction) {
+    model::PiecewiseCommParams& link =
+        direction == 0 ? updated.toBackend : updated.fromBackend;
+    for (int segment = 0; segment < 2; ++segment) {
+      const LinkAccumulator& acc = links_[direction][segment];
+      if (acc.samples < config_.minSamples) continue;
+      // Weighted normal equations, as in util/regression.hpp's fitLine.
+      const double denom = acc.sw * acc.sxx - acc.sx * acc.sx;
+      if (!(denom > 1e-12 * std::max(acc.sxx, 1.0))) continue;  // no x spread
+      const double slope = (acc.sw * acc.sxy - acc.sx * acc.sy) / denom;
+      const double intercept = (acc.sy - slope * acc.sx) / acc.sw;
+      // cost(words) = alpha + words / beta: a non-positive slope or negative
+      // startup has no physical reading, so keep the current piece.
+      if (!(slope > 0.0) || intercept < 0.0) continue;
+      model::LinkParams& piece = segment == 0 ? link.small : link.large;
+      piece.alphaSec = intercept;
+      piece.betaWordsPerSec = 1.0 / slope;
+      changed = true;
+    }
+  }
+
+  if (!changed) return std::nullopt;
+  updated.delays.validate();
+  return updated;
+}
+
+void Recalibrator::noteApplied(double nowSec) {
+  cells_.clear();
+  for (auto& direction : links_) {
+    for (auto& acc : direction) acc = LinkAccumulator{};
+  }
+  observations_ = 0;
+  applies_ += 1;
+  lastApplySec_ = nowSec;
+  everApplied_ = true;
+}
+
+}  // namespace contend::serve

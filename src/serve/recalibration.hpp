@@ -1,0 +1,198 @@
+// recalibration.hpp — online recalibration of the contention model from
+// observed residuals.
+//
+// The paper measures its delay tables and piecewise-linear comm parameters
+// once, with a dedicated calibration suite, and then trusts them forever
+// (§3.2.1). A serving daemon cannot: hardware ages, co-located workloads
+// shift, and the interference the tables encode drifts with them (see
+// PAPERS.md — HW-counter interference prediction, arXiv:2410.18126, and
+// MISE-style slowdown estimation, arXiv:1805.05926; both refresh their
+// models online from observed slowdowns). This module is that refresh loop
+// for contend-serve:
+//
+//   * observe() folds one model-vs-observed residual into a per-cell
+//     exponentially-weighted estimator. Cells mirror the table layout:
+//     (family, contender count, message-size bin) for the delay tables,
+//     (direction, size segment) for the piecewise link parameters.
+//   * report() summarizes staleness: per-cell decayed sample weight, EW
+//     mean, the value currently in the live tables, and the relative
+//     residual between them.
+//   * driftScore() condenses the report to one number (the worst relative
+//     residual across cells with enough samples); the DRIFT verb compares
+//     it against a threshold and answers `ok` or `drifting`.
+//   * build() produces a full updated ParagonPlatformModel: eligible delay
+//     cells are replaced by their EW means, eligible link segments by a
+//     decayed weighted least-squares line (the same normal equations as
+//     util/regression.hpp's fitLine, maintained incrementally).
+//
+// Everything here is deterministic and timestamp-free: the state is a pure
+// left fold of the observation sequence, so two estimators fed identical
+// observations build bit-identical tables. That property is what lets the
+// crash-recovery and differential tests replay calibration against an
+// oracle. Timestamps appear only in the staleness report (seconds since the
+// last accepted swap) and are supplied by the caller.
+//
+// Thread-compatibility, not thread-safety: the ConcurrentTracker owns one
+// Recalibrator and serializes every call under its write mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "model/predictor.hpp"
+#include "util/units.hpp"
+
+namespace contend::serve {
+
+/// Which table (or link segment family) an observation calibrates.
+enum class ObservationFamily : std::uint8_t {
+  kCommFromComp = 0,   // delay_comp^i: comm slowdown from i computing apps
+  kCommFromComm = 1,   // delay_comm^i: comm slowdown from i communicating apps
+  kCompFromComm = 2,   // delay_comm^{i,j}: comp slowdown, binned by msg size
+  kLinkToBackend = 3,  // dedicated per-message cost, front-end -> back-end
+  kLinkFromBackend = 4,  // dedicated per-message cost, back-end -> front-end
+};
+inline constexpr int kObservationFamilyCount = 5;
+
+[[nodiscard]] const char* observationFamilyName(ObservationFamily family);
+[[nodiscard]] std::optional<ObservationFamily> observationFamilyFromName(
+    std::string_view name);
+
+/// One measured data point, as carried by `CALIBRATE OBSERVE`.
+///
+/// Delay families: `value` is the observed *excess* delay factor imposed by
+/// exactly `contenders` contending applications (the same convention as the
+/// tables: a probe running r times slower contributes r - 1). For
+/// kCompFromComm, `words` selects the message-size bin via chooseJBin.
+///
+/// Link families: `value` is the observed per-message transfer time in
+/// seconds for a `words`-sized message under no contention; `contenders` is
+/// ignored.
+struct CalibrationObservation {
+  ObservationFamily family = ObservationFamily::kCommFromComp;
+  int contenders = 0;
+  Words words = 0;
+  double value = 0.0;
+};
+
+struct RecalibrationConfig {
+  /// Exponential decay per fold: cell state is weight' = decay*weight + 1,
+  /// sum' = decay*sum + value, so older observations fade geometrically.
+  double decay = 0.9;
+  /// Raw observations a cell (or link segment) needs before it is eligible
+  /// for build() and counted by driftScore().
+  std::uint64_t minSamples = 8;
+  /// DRIFT answers `drifting` once the worst eligible relative residual
+  /// crosses this.
+  double driftThreshold = 0.25;
+};
+
+/// One cell of the staleness report.
+struct CalibrationCellReport {
+  ObservationFamily family = ObservationFamily::kCommFromComp;
+  int contenders = 0;    // i for delay families; segment index for links
+  std::size_t bin = 0;   // jBin for kCompFromComm, else 0
+  std::uint64_t samples = 0;
+  double weight = 0.0;   // decayed sample weight
+  double mean = 0.0;     // EW mean of the observed values
+  double current = 0.0;  // the value in the live tables (1.0 ideal for links)
+  double residual = 0.0;  // relative |mean - current|
+};
+
+/// The CALIBRATE (report) payload.
+struct CalibrationReportData {
+  std::uint64_t observations = 0;  // folded since the last accepted swap
+  std::uint64_t observationsTotal = 0;  // folded over the tracker's lifetime
+  std::uint64_t applies = 0;            // accepted swaps so far
+  std::uint64_t totalCells = 0;
+  std::uint64_t eligibleCells = 0;  // samples >= minSamples
+  double driftScore = 0.0;
+  bool drifting = false;
+  /// Seconds since the last accepted swap; negative when none was ever
+  /// accepted.
+  double sinceApplySec = -1.0;
+  /// Cells ordered worst residual first (deterministic tie-break on the
+  /// cell key), capped by the caller's needs — report() returns all.
+  std::vector<CalibrationCellReport> cells;
+};
+
+class Recalibrator {
+ public:
+  explicit Recalibrator(RecalibrationConfig config = {});
+
+  /// Folds one observation. `current` supplies the live tables (bin choice
+  /// for kCompFromComm, the dedicated cost a link observation is measured
+  /// against). Throws std::invalid_argument on an observation the tables
+  /// cannot index (contender count out of range, negative value, ...).
+  void observe(const CalibrationObservation& observation,
+               const model::ParagonPlatformModel& current);
+
+  /// Full staleness report against the live tables. `nowSec` feeds only
+  /// sinceApplySec.
+  [[nodiscard]] CalibrationReportData report(
+      const model::ParagonPlatformModel& current, double nowSec) const;
+
+  /// Worst relative residual across eligible cells; 0 when none is
+  /// eligible.
+  [[nodiscard]] double driftScore(
+      const model::ParagonPlatformModel& current) const;
+
+  /// Updated platform model: `current` with every eligible delay cell
+  /// replaced by its EW mean and every eligible link segment refitted by
+  /// decayed weighted least squares. nullopt when nothing is eligible.
+  /// Deterministic and timestamp-free.
+  [[nodiscard]] std::optional<model::ParagonPlatformModel> build(
+      const model::ParagonPlatformModel& current) const;
+
+  /// Marks a swap as accepted at `nowSec`: clears the accumulated cells (a
+  /// fresh table starts with a clean residual slate) and stamps the
+  /// staleness clock.
+  void noteApplied(double nowSec);
+
+  [[nodiscard]] const RecalibrationConfig& config() const { return config_; }
+
+ private:
+  /// Per-cell EW fold state. mean() = sum / weight.
+  struct Cell {
+    double weight = 0.0;
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+  };
+  /// Decayed weighted-OLS accumulators for one link segment (x = message
+  /// words, y = per-message seconds). Same normal equations as fitLine.
+  struct LinkAccumulator {
+    double sw = 0.0;   // Σ decayed weights
+    double sx = 0.0;   // Σ w·x
+    double sy = 0.0;   // Σ w·y
+    double sxx = 0.0;  // Σ w·x²
+    double sxy = 0.0;  // Σ w·x·y
+    std::uint64_t samples = 0;
+  };
+
+  /// Packs (family, contenders, bin) into one ordered key so iteration — and
+  /// therefore every report and drift score — is deterministic.
+  [[nodiscard]] static std::uint32_t cellKey(ObservationFamily family,
+                                             int contenders, std::size_t bin);
+
+  /// The live-table value a cell is compared against (1.0 for link ratio
+  /// cells).
+  [[nodiscard]] static double currentValue(
+      const model::ParagonPlatformModel& current, ObservationFamily family,
+      int contenders, std::size_t bin);
+
+  RecalibrationConfig config_;
+  std::map<std::uint32_t, Cell> cells_;
+  // Indexed [family - kLinkToBackend][segment]; segment 0 = small piece,
+  // 1 = large piece.
+  LinkAccumulator links_[2][2];
+  std::uint64_t observations_ = 0;       // since the last accepted swap
+  std::uint64_t observationsTotal_ = 0;  // lifetime
+  std::uint64_t applies_ = 0;
+  double lastApplySec_ = 0.0;
+  bool everApplied_ = false;
+};
+
+}  // namespace contend::serve

@@ -660,7 +660,12 @@ Response Server::handle(const Request& request) {
       response.add("backlog", static_cast<std::uint64_t>(config_.backlog));
       if (config_.journal != nullptr) {
         const JournalStats journal = config_.journal->stats();
-        response.add("journal", std::string("on"));
+        // A journal that has ever failed an append is no longer a complete
+        // record of the mix; report it degraded so supervisors alert instead
+        // of trusting a silently lossy durability story.
+        response.add("journal", std::string(journal.appendErrors > 0
+                                                ? "degraded"
+                                                : "on"));
         response.add("journal_lag_records", journal.lagRecords);
         response.add("journal_append_errors", journal.appendErrors);
       } else {
@@ -668,6 +673,69 @@ Response Server::handle(const Request& request) {
         response.add("journal_lag_records", std::uint64_t{0});
         response.add("journal_append_errors", std::uint64_t{0});
       }
+      break;
+    }
+    case Verb::kCalibrate:
+      switch (request.calibrate) {
+        case CalibrateAction::kReport: {
+          const CalibrationReportData report = tracker_.calibrationReport();
+          response.add("generation", tracker_.tableGeneration());
+          response.add("observations", report.observations);
+          response.add("observations_total", report.observationsTotal);
+          response.add("applies", report.applies);
+          response.add("cells", report.totalCells);
+          response.add("eligible", report.eligibleCells);
+          response.add("drift", report.driftScore);
+          response.add("status",
+                       std::string(report.drifting ? "drifting" : "ok"));
+          if (report.sinceApplySec >= 0.0) {
+            response.add("since_apply_s", report.sinceApplySec);
+          }
+          // The worst cells, residual-sorted, as indexed fields; capped so a
+          // long-lived estimator cannot grow the response without bound.
+          const std::size_t top = std::min<std::size_t>(report.cells.size(),
+                                                        16);
+          response.add("top", static_cast<std::uint64_t>(top));
+          for (std::size_t i = 0; i < top; ++i) {
+            const CalibrationCellReport& cell = report.cells[i];
+            const std::string suffix = '.' + std::to_string(i);
+            response.add("family" + suffix,
+                         std::string(observationFamilyName(cell.family)));
+            response.add("contenders" + suffix,
+                         static_cast<std::uint64_t>(cell.contenders));
+            response.add("bin" + suffix,
+                         static_cast<std::uint64_t>(cell.bin));
+            response.add("samples" + suffix, cell.samples);
+            response.add("mean" + suffix, cell.mean);
+            response.add("current" + suffix, cell.current);
+            response.add("residual" + suffix, cell.residual);
+          }
+          break;
+        }
+        case CalibrateAction::kObserve: {
+          tracker_.observeCalibration(request.observation);
+          response.add("action", std::string("observe"));
+          response.add("generation", tracker_.tableGeneration());
+          break;
+        }
+        case CalibrateAction::kApply: {
+          const ConcurrentTracker::CalibrationApplyResult result =
+              tracker_.applyCalibration();
+          response.add("action", std::string("apply"));
+          response.add("generation", result.generation);
+          addSnapshot(result.after);
+          break;
+        }
+      }
+      break;
+    case Verb::kDrift: {
+      const ConcurrentTracker::DriftResult drift = tracker_.drift();
+      response.add("status",
+                   std::string(drift.drifting ? "drifting" : "ok"));
+      response.add("score", drift.score);
+      response.add("threshold", drift.threshold);
+      response.add("eligible", drift.eligibleCells);
+      response.add("generation", drift.generation);
       break;
     }
     case Verb::kMetrics:
@@ -682,6 +750,7 @@ Response Server::handle(const Request& request) {
       response.add("epoch", stats.epoch);
       response.add("signature", stats.signature);
       response.add("p", static_cast<std::uint64_t>(stats.active));
+      response.add("table_generation", stats.tableGeneration);
       response.add("engine", std::string(engineKindName(resolvedEngine_)));
       response.add("backlog", static_cast<std::uint64_t>(config_.backlog));
       response.add("arrivals", stats.arrivals);

@@ -361,6 +361,122 @@ TEST_F(CrashRecoveryTest, RecoversBitIdenticalAfterRandomizedSigkills) {
   EXPECT_EQ(*health.find("recovered"), "1");
 }
 
+TEST_F(CrashRecoveryTest, TableSwapSurvivesStraddlingSigkill) {
+  // The CALIBRATE APPLY analogue of the in-flight mutation kill: the swap
+  // request is sent but its ack never read, and the SIGKILL lands while the
+  // kTableSwap record may or may not have reached the journal. Recovery must
+  // land on exactly one of the two states, and either way the daemon must
+  // converge to the oracle bit for bit.
+  spawn();
+  std::unique_ptr<Client> client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  ConcurrentTracker oracle(testPlatform());
+  std::vector<std::uint64_t> live;
+
+  const std::vector<std::pair<double, Words>> mix = {
+      {0.3, 800}, {0.5, 200}, {0.7, 1200}};
+  for (const auto& [fraction, words] : mix) {
+    ASSERT_TRUE(client->arrive(fraction, words).ok);
+    live.push_back(oracle.arrive({fraction, words}).id);
+  }
+
+  // One comm-delay cell and the to-backend link, both past the eligibility
+  // floor and well away from the boot tables, so the swap moves slowdowns
+  // AND the probe task's transfer pricing.
+  std::vector<CalibrationObservation> observations;
+  for (int i = 1; i <= 8; ++i) {
+    CalibrationObservation delay;
+    delay.family = ObservationFamily::kCommFromComp;
+    delay.contenders = 2;
+    delay.value = 1.7;
+    observations.push_back(delay);
+    CalibrationObservation link;
+    link.family = ObservationFamily::kLinkToBackend;
+    link.words = 100 * i;
+    link.value = 0.015 + static_cast<double>(100 * i) / 600.0;
+    observations.push_back(link);
+  }
+  for (const CalibrationObservation& observation : observations) {
+    ASSERT_TRUE(client->calibrateObserve(observation).ok);
+  }
+
+  // The straddling kill: APPLY in flight, ack never read.
+  sendWithoutReading(socketPath_, "CALIBRATE APPLY\n");
+  respawn();
+  client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  const Response stats = client->stats();
+  ASSERT_TRUE(stats.ok) << stats.error;
+  const auto generation =
+      static_cast<std::uint64_t>(stats.number("table_generation"));
+  ASSERT_LE(generation, 1u);
+  // APPLY bumps the epoch with the swap, so the two must agree.
+  EXPECT_EQ(static_cast<std::uint64_t>(stats.number("epoch")),
+            mix.size() + generation);
+  if (generation == 0) {
+    // The swap never reached the journal — and estimator state is not
+    // journaled, so the observations died with the daemon. Re-feeding the
+    // identical fold and applying must build the identical tables (the
+    // estimator is deterministic and timestamp-free).
+    for (const CalibrationObservation& observation : observations) {
+      ASSERT_TRUE(client->calibrateObserve(observation).ok);
+    }
+    const Response applied = client->calibrateApply();
+    ASSERT_TRUE(applied.ok) << applied.error;
+    EXPECT_EQ(*applied.find("generation"), "1");
+  }
+  // The oracle performs the swap exactly once; both daemons (the one that
+  // journaled the swap pre-kill and the one that redid it) must match it.
+  for (const CalibrationObservation& observation : observations) {
+    oracle.observeCalibration(observation);
+  }
+  ASSERT_EQ(oracle.applyCalibration().generation, 1u);
+  {
+    SCOPED_TRACE("after straddled swap");
+    expectMatchesOracle(*client, oracle);
+  }
+
+  // A clean kill after the swap: replay restores generation 1 from the
+  // kTableSwap tail record.
+  respawn();
+  client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  const Response replayed = client->stats();
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  EXPECT_EQ(*replayed.find("table_generation"), "1");
+  {
+    SCOPED_TRACE("after clean kill (tail replay)");
+    expectMatchesOracle(*client, oracle);
+  }
+
+  // Drive past snapshotEvery (16) so compaction folds the swap into the
+  // snapshot, then kill again: the snapshot path must restore the tables
+  // too, not just tail replay.
+  for (int i = 0; i < 10; ++i) {
+    const double fraction = 0.2 + 0.05 * i;
+    ASSERT_TRUE(client->arrive(fraction, 400).ok);
+    const std::uint64_t id = oracle.arrive({fraction, 400}).id;
+    ASSERT_TRUE(client->depart(id).ok);
+    oracle.depart(id);
+  }
+  // One extra arrival so the final mix signature is fresh on both sides:
+  // the arrive/depart pairs return the mix to its earlier 3-app signature,
+  // and the oracle would otherwise answer the upcoming PREDICT from its own
+  // cache — priced from pre-drift polynomials — instead of recomputing.
+  ASSERT_TRUE(client->arrive(0.9, 950).ok);
+  (void)oracle.arrive({0.9, 950});
+  respawn();
+  client = connectWithRetry(socketPath_);
+  ASSERT_NE(client, nullptr);
+  const Response fromSnapshot = client->stats();
+  ASSERT_TRUE(fromSnapshot.ok) << fromSnapshot.error;
+  EXPECT_EQ(*fromSnapshot.find("table_generation"), "1");
+  {
+    SCOPED_TRACE("after snapshot compaction");
+    expectMatchesOracle(*client, oracle);
+  }
+}
+
 TEST_F(CrashRecoveryTest, HealthReportsFreshStartWithoutJournalState) {
   spawn();
   std::unique_ptr<Client> client = connectWithRetry(socketPath_);

@@ -43,7 +43,7 @@ TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
     ++replayed;
   }
   // Guard against the corpus silently vanishing from the build tree.
-  EXPECT_GE(replayed, 50) << "corpus shrank unexpectedly";
+  EXPECT_GE(replayed, 56) << "corpus shrank unexpectedly";
 }
 
 // Adversarial inputs too large to be pleasant as checked-in files.
@@ -122,6 +122,33 @@ TEST(ProtocolFuzzReplay, SyntheticHostileJournalInputs) {
     std::string mutated = frame;
     mutated[i] = static_cast<char>(mutated[i] ^ 0x10);
     replay("4" + frame + mutated);  // corrupt second frame
+  }
+
+  // A kTableSwap frame too: the variable-sized table payload has its own
+  // dimension checks, and every torn/corrupt variant must reject cleanly.
+  JournalRecord swap;
+  swap.kind = JournalRecord::Kind::kTableSwap;
+  swap.epoch = 4;
+  swap.id = 1;
+  swap.timeSec = 2.0;
+  swap.tables.toBackend.small = {0.001, 1000.0};
+  swap.tables.toBackend.large = {0.002, 800.0};
+  swap.tables.toBackend.thresholdWords = 1024;
+  swap.tables.fromBackend = swap.tables.toBackend;
+  swap.tables.delays.jBins = {1, 500};
+  swap.tables.delays.commFromComp = {0.5, 1.0};
+  swap.tables.delays.commFromComm = {0.2, 0.4};
+  swap.tables.delays.compFromComm = {{0.1, 0.2}, {0.3, 0.6}};
+  const std::string swapFrame = contend::serve::encodeRecord(swap);
+  replay("4" + swapFrame);
+  replay("4" + frame + swapFrame);  // mixed-kind stream
+  for (std::size_t cut = 0; cut < swapFrame.size(); ++cut) {
+    replay("4" + swapFrame.substr(0, cut));
+  }
+  for (std::size_t i = 0; i < swapFrame.size(); ++i) {
+    std::string mutated = swapFrame;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x08);
+    replay("4" + mutated);
   }
 
   SnapshotImage image;

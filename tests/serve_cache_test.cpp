@@ -86,6 +86,26 @@ TEST(PredictionCache, CountsHitsAndMissesExactly) {
   EXPECT_EQ(misses, 2u);
 }
 
+TEST(PredictionCache, TableGenerationIsPartOfTheKey) {
+  // The stale-cache bugfix: entries priced under different delay-table
+  // generations must never alias, or a CALIBRATE APPLY would keep serving
+  // prices computed from the superseded tables.
+  PredictionCache cache(/*capacity=*/8, /*shards=*/1);
+  PredictionCache::Key gen0{7, 7, 0};
+  PredictionCache::Key gen1{7, 7, 1};
+  EXPECT_FALSE(gen0 == gen1);
+  cache.insert(gen0, value(1.0));
+  PredictionCache::Value out;
+  EXPECT_FALSE(cache.lookup(gen1, out));
+  ASSERT_TRUE(cache.lookup(gen0, out));
+  EXPECT_DOUBLE_EQ(out.frontSec, 1.0);
+  cache.insert(gen1, value(2.0));
+  ASSERT_TRUE(cache.lookup(gen1, out));
+  EXPECT_DOUBLE_EQ(out.frontSec, 2.0);
+  ASSERT_TRUE(cache.lookup(gen0, out));
+  EXPECT_DOUBLE_EQ(out.frontSec, 1.0);
+}
+
 TEST(PredictionCache, ClampsDegenerateConfiguration) {
   // capacity 0 and shards 0 must still yield a working one-entry cache
   // rather than a divide-by-zero or an unbounded map.
@@ -167,6 +187,42 @@ TEST(ConcurrentTrackerCache, RecurringMixStillHitsAfterEvictions) {
   EXPECT_GT(tracker.stats().cacheEvictions, 0u);
   EXPECT_DOUBLE_EQ(recurred.frontSec, original.frontSec);
   EXPECT_GT(recurred.epoch, original.epoch);
+}
+
+TEST(ConcurrentTrackerCache, TableSwapInvalidatesWarmEntries) {
+  // Regression for the stale-cache bug: before the tableGeneration key
+  // field, a CALIBRATE APPLY left every warm entry reachable and PREDICT
+  // kept answering from the pre-swap tables for any recurring mix.
+  ConcurrentTracker tracker(cachePlatform(), /*cacheCapacity=*/64,
+                            /*cacheShards=*/1);
+  (void)tracker.arrive({0.3, 800});
+  tools::TaskSpec task = namedTask(1.0);
+  task.toBackend.push_back({4, 512});  // transfers make the link price felt
+  const TaskPrediction before = tracker.predict(task);
+  EXPECT_FALSE(before.cacheHit);
+  EXPECT_TRUE(tracker.predict(task).cacheHit);
+
+  // Feed the to-backend small segment past the eligibility floor along a
+  // line far from the table's (alpha 0.001 -> 0.01, beta 1000 -> 500 words
+  // per second), then swap.
+  for (int i = 1; i <= 8; ++i) {
+    CalibrationObservation observation;
+    observation.family = ObservationFamily::kLinkToBackend;
+    observation.words = 100 * i;
+    observation.value = 0.01 + static_cast<double>(100 * i) / 500.0;
+    tracker.observeCalibration(observation);
+  }
+  const auto applied = tracker.applyCalibration();
+  EXPECT_EQ(applied.generation, 1u);
+  EXPECT_EQ(tracker.tableGeneration(), 1u);
+
+  // Same mix, same task: the swap must force a miss and a reprice from the
+  // new tables (the refitted link makes the transfers several times
+  // costlier).
+  const TaskPrediction after = tracker.predict(task);
+  EXPECT_FALSE(after.cacheHit);
+  EXPECT_NE(after.remoteSec, before.remoteSec);
+  EXPECT_TRUE(tracker.predict(task).cacheHit);
 }
 
 TEST(ConcurrentTrackerCache, StatsAggregateShardCounters) {

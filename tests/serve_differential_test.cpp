@@ -286,8 +286,33 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
   int predicts = 0;
   int batches = 0;
 
+  int observes = 0;
   for (int op = 0; op < kOps; ++op) {
     const std::string tag = "op " + std::to_string(op);
+    // Recalibration traffic without an APPLY must be invisible to the
+    // differential check: OBSERVE folds into the estimator and DRIFT /
+    // CALIBRATE only read it — no epoch bump, no snapshot publish, no cache
+    // key change. Injected on a fixed cadence outside the RNG stream so the
+    // randomized schedule (and the oracle lockstep) is untouched.
+    if (op % 50 == 25) {
+      CalibrationObservation observation;
+      observation.family = (op / 50) % 2 == 0
+                               ? ObservationFamily::kCommFromComp
+                               : ObservationFamily::kLinkFromBackend;
+      observation.contenders = 1 + (op / 50) % kMaxContenders;
+      observation.words = 64 * (1 + (op / 50) % 10);
+      observation.value = 1.0 + 0.01 * (op / 50);
+      const Response observed = client.calibrateObserve(observation);
+      ASSERT_TRUE(observed.ok) << tag << ": " << observed.error;
+      EXPECT_EQ(*observed.find("generation"), "0") << tag;
+      const Response drift = client.drift();
+      ASSERT_TRUE(drift.ok) << tag << ": " << drift.error;
+      EXPECT_EQ(*drift.find("generation"), "0") << tag;
+      const Response report = client.calibrateReport();
+      ASSERT_TRUE(report.ok) << tag << ": " << report.error;
+      EXPECT_EQ(*report.find("generation"), "0") << tag;
+      ++observes;
+    }
     const int dice = percent(rng);
     if (dice < 30 && static_cast<int>(liveIds.size()) < kMaxActive) {
       model::CompetingApp app;
@@ -364,6 +389,7 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
   EXPECT_GE(mutations, 100);
   EXPECT_GE(predicts, 150);
   EXPECT_GE(batches, 10);
+  EXPECT_GE(observes, 10);
 
   // Final state agreement, via both SLOWDOWN and STATS.
   expectSnapshotMatches(client.slowdown(), oracle, "final SLOWDOWN");
@@ -371,6 +397,8 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
   ASSERT_TRUE(stats.ok);
   EXPECT_EQ(stats.number("epoch"), static_cast<double>(oracle.epoch()));
   EXPECT_EQ(stats.number("p"), static_cast<double>(oracle.active()));
+  // All those observations, and the tables never moved.
+  EXPECT_EQ(*stats.find("table_generation"), "0");
 
   server.stop();
 }

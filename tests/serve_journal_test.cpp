@@ -194,6 +194,73 @@ TEST(JournalFraming, HostileLengthsRejected) {
   EXPECT_TRUE(decodeRecords(framed, &clean).empty());
 }
 
+TEST(JournalFraming, TableSwapRecordRoundTrip) {
+  JournalRecord swap;
+  swap.kind = JournalRecord::Kind::kTableSwap;
+  swap.epoch = 11;
+  swap.id = 3;  // table generation
+  swap.timeSec = 4.5;
+  swap.tables = testPlatform();
+  swap.tables.delays.commFromComp[2] = 1.6180339887;  // a non-default cell
+
+  const std::string bytes = encodeRecord(swap);
+  std::size_t clean = 0;
+  const std::vector<JournalRecord> decoded = decodeRecords(bytes, &clean);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(clean, bytes.size());
+  const JournalRecord& out = decoded[0];
+  EXPECT_EQ(out.kind, JournalRecord::Kind::kTableSwap);
+  EXPECT_EQ(out.epoch, 11u);
+  EXPECT_EQ(out.id, 3u);
+  EXPECT_EQ(bits(out.timeSec), bits(4.5));
+  // The tables replay bit-identically: every link parameter and delay cell.
+  EXPECT_EQ(bits(out.tables.toBackend.small.alphaSec),
+            bits(swap.tables.toBackend.small.alphaSec));
+  EXPECT_EQ(bits(out.tables.toBackend.large.betaWordsPerSec),
+            bits(swap.tables.toBackend.large.betaWordsPerSec));
+  EXPECT_EQ(out.tables.toBackend.thresholdWords,
+            swap.tables.toBackend.thresholdWords);
+  EXPECT_EQ(out.tables.fromBackend.thresholdWords,
+            swap.tables.fromBackend.thresholdWords);
+  EXPECT_EQ(out.tables.delays.commFromComp, swap.tables.delays.commFromComp);
+  EXPECT_EQ(out.tables.delays.commFromComm, swap.tables.delays.commFromComm);
+  EXPECT_EQ(out.tables.delays.jBins, swap.tables.delays.jBins);
+  EXPECT_EQ(out.tables.delays.compFromComm, swap.tables.delays.compFromComm);
+
+  // A table-swap frame with a corrupted byte is rejected like any other.
+  std::string bad = bytes;
+  bad[bytes.size() / 2] = static_cast<char>(bad[bytes.size() / 2] ^ 0x10);
+  EXPECT_TRUE(decodeRecords(bad, &clean).empty());
+}
+
+TEST(JournalFraming, TableSwapHostileDimensionsRejected) {
+  // A valid-CRC kTableSwap frame whose table header claims absurd
+  // dimensions must stop the parse, not drive a giant allocation. Payload:
+  // kind, epoch, id, timeSec, then the two links (2 x 40 bytes), then
+  // n = 0xffffffff.
+  std::string payload;
+  payload.push_back(3);  // kTableSwap
+  payload.append(8, '\0');   // epoch
+  payload.append(8, '\0');   // id
+  payload.append(8, '\0');   // timeSec
+  payload.append(2 * (4 * 8 + 8), '\0');  // both links, all zeros
+  payload.append(4, static_cast<char>(0xff));  // contender count
+  payload.append(4, '\0');                     // bin count
+  std::string framed;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<char>((length >> (8 * i)) & 0xffu));
+  }
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<char>((crc >> (8 * i)) & 0xffu));
+  }
+  framed += payload;
+  std::size_t clean = 0;
+  EXPECT_TRUE(decodeRecords(framed, &clean).empty());
+  EXPECT_EQ(clean, 0u);
+}
+
 TEST(JournalFraming, SnapshotRoundTrip) {
   SnapshotImage image;
   image.epoch = 42;
@@ -205,6 +272,9 @@ TEST(JournalFraming, SnapshotRoundTrip) {
   image.checkpoint.compPoly = {0.1875, 0.625, 0.1875};
   image.checkpoint.nextId = 10;
   image.checkpoint.lastEventTimeSec = 123.456;
+  image.tableGeneration = 3;
+  image.tables = testPlatform();
+  image.tables.fromBackend.small.alphaSec = 0.0025;  // a recalibrated link
 
   const std::optional<SnapshotImage> decoded =
       decodeSnapshot(encodeSnapshot(image));
@@ -220,6 +290,16 @@ TEST(JournalFraming, SnapshotRoundTrip) {
   EXPECT_EQ(bits(decoded->checkpoint.commPoly[1]), bits(0.625));
   EXPECT_EQ(decoded->checkpoint.nextId, 10u);
   EXPECT_EQ(bits(decoded->checkpoint.lastEventTimeSec), bits(123.456));
+  // The platform tables ride along bit-identically.
+  EXPECT_EQ(decoded->tableGeneration, 3u);
+  EXPECT_EQ(bits(decoded->tables.fromBackend.small.alphaSec), bits(0.0025));
+  EXPECT_EQ(bits(decoded->tables.toBackend.large.alphaSec),
+            bits(image.tables.toBackend.large.alphaSec));
+  EXPECT_EQ(decoded->tables.delays.commFromComp,
+            image.tables.delays.commFromComp);
+  EXPECT_EQ(decoded->tables.delays.jBins, image.tables.delays.jBins);
+  EXPECT_EQ(decoded->tables.delays.compFromComm,
+            image.tables.delays.compFromComm);
 }
 
 TEST(JournalFraming, SnapshotCorruptionRejected) {
@@ -274,6 +354,38 @@ TEST(Journal, AppendLoadRoundTrip) {
   EXPECT_EQ(state.tail[0].epoch, 1u);
   EXPECT_EQ(state.tail[1].kind, JournalRecord::Kind::kDepart);
   EXPECT_EQ(state.tail[1].epoch, 2u);
+  ::unlink(path.c_str());
+}
+
+TEST(Journal, TableSwapAppendReloads) {
+  const std::string path = uniqueJournalPath("tableswap");
+  model::ParagonPlatformModel swapped = testPlatform();
+  swapped.toBackend.small = {0.0075, 640.0};
+  swapped.delays.commFromComp[0] = 0.55;
+  {
+    JournalConfig config;
+    config.path = path;
+    config.fsync = FsyncPolicy::kOff;
+    Journal journal(config);
+    (void)journal.load();
+    journal.start(0);
+    journal.appendArrive(1, 1, {0.5, 256}, 0.1);
+    journal.appendTableSwap(1, 2, swapped, 0.2);
+    EXPECT_EQ(journal.stats().records, 2u);
+  }
+  JournalConfig config;
+  config.path = path;
+  Journal reopened(config);
+  const Journal::LoadedState state = reopened.load();
+  ASSERT_EQ(state.tail.size(), 2u);
+  EXPECT_EQ(state.tail[1].kind, JournalRecord::Kind::kTableSwap);
+  EXPECT_EQ(state.tail[1].id, 2u);  // the generation the swap produced
+  EXPECT_EQ(bits(state.tail[1].tables.toBackend.small.alphaSec),
+            bits(0.0075));
+  EXPECT_EQ(bits(state.tail[1].tables.toBackend.small.betaWordsPerSec),
+            bits(640.0));
+  EXPECT_EQ(state.tail[1].tables.delays.commFromComp,
+            swapped.delays.commFromComp);
   ::unlink(path.c_str());
 }
 
@@ -403,6 +515,55 @@ TEST(JournalRecovery, ReplayMatchesLiveBitIdentical) {
   EXPECT_EQ(nextA.id, nextB.id);
   EXPECT_EQ(bits(nextA.after.comp), bits(nextB.after.comp));
   EXPECT_EQ(bits(nextA.after.comm), bits(nextB.after.comm));
+
+  ::unlink(path.c_str());
+  ::unlink((path + ".snapshot").c_str());
+}
+
+TEST(JournalRecovery, TableSwapReplaysBitIdentical) {
+  const std::string path = uniqueJournalPath("swapident");
+  JournalConfig config;
+  config.path = path;
+  config.snapshotEvery = 1000;  // keep the swap in the tail, not a snapshot
+  config.fsync = FsyncPolicy::kOff;
+
+  tools::TaskSpec task;
+  task.name = "probe";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  task.fromBackend.push_back({512, 512});
+
+  Journal journalA(config);
+  ConcurrentTracker trackerA(testPlatform());
+  ASSERT_FALSE(trackerA.recoverFromJournal(journalA).recovered);
+  applyOps(trackerA, 11, 99u);
+  // Recalibrate the to-backend link well away from the boot tables, swap.
+  for (int i = 1; i <= 8; ++i) {
+    CalibrationObservation observation;
+    observation.family = ObservationFamily::kLinkToBackend;
+    observation.words = 100 * i;
+    observation.value = 0.02 + static_cast<double>(100 * i) / 400.0;
+    trackerA.observeCalibration(observation);
+  }
+  ASSERT_EQ(trackerA.applyCalibration().generation, 1u);
+  // A couple of post-swap mutations (bounded: applyOps again would forget
+  // the first batch's survivors and overflow the 8-contender tables).
+  (void)trackerA.arrive({0.4, 300});
+  (void)trackerA.arrive({0.6, 700});
+  const TaskPrediction livePrediction = trackerA.predict(task);
+
+  // Rebuild from the files: the kTableSwap record must restore generation
+  // and tables without any estimator state.
+  Journal journalB(config);
+  ConcurrentTracker trackerB(testPlatform());
+  const RecoveryReport report = trackerB.recoverFromJournal(journalB);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(trackerB.tableGeneration(), 1u);
+  const TaskPrediction recovered = trackerB.predict(task);
+  EXPECT_EQ(bits(recovered.frontSec), bits(livePrediction.frontSec));
+  EXPECT_EQ(bits(recovered.remoteSec), bits(livePrediction.remoteSec));
+  EXPECT_EQ(recovered.offload, livePrediction.offload);
 
   ::unlink(path.c_str());
   ::unlink((path + ".snapshot").c_str());

@@ -9,6 +9,10 @@
 //   contend_client <endpoint> depart <applicationId>
 //   contend_client <endpoint> load <file.workload>     # ARRIVE every competitor
 //   contend_client <endpoint> predict <file.workload> [--batch]
+//   contend_client <endpoint> calibrate
+//   contend_client <endpoint> calibrate observe <family> <contenders> <words> <value>
+//   contend_client <endpoint> calibrate apply
+//   contend_client <endpoint> drift
 //   contend_client <endpoint> raw '<request line>'
 //
 // `load` + `predict` together reproduce what `contend_predict` computes
@@ -47,6 +51,15 @@ namespace {
          "  predict <file.workload>       PREDICT every task in the file\n"
          "          [--batch]             one PREDICT_BATCH round trip, all\n"
          "                                tasks priced against one snapshot\n"
+         "  calibrate                     recalibration staleness report\n"
+         "  calibrate observe <family> <contenders> <words> <value>\n"
+         "                                feed one model-vs-observed sample\n"
+         "                                (family: comm_from_comp |\n"
+         "                                comm_from_comm | comp_from_comm |\n"
+         "                                link_to | link_from)\n"
+         "  calibrate apply               build + atomically swap in the\n"
+         "                                recalibrated delay tables\n"
+         "  drift                         drift check: ok | drifting <score>\n"
          "  raw '<request>'               send one raw request line\n"
          "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
          "exit codes: 0 ok, 1 server ERR, 2 transport/usage error\n";
@@ -181,6 +194,31 @@ int main(int argc, char** argv) {
     if (command == "predict" && argc == 5 &&
         std::string(argv[4]) == "--batch") {
       return predictBatch(client, argv[3]);
+    }
+    if (command == "calibrate" && argc == 3) {
+      return printResponse(client.calibrateReport());
+    }
+    if (command == "calibrate" && argc == 4 &&
+        std::string(argv[3]) == "apply") {
+      return printResponse(client.calibrateApply());
+    }
+    if (command == "calibrate" && argc == 8 &&
+        std::string(argv[3]) == "observe") {
+      const auto family = serve::observationFamilyFromName(argv[4]);
+      if (!family) {
+        std::cerr << "error: unknown observation family '" << argv[4]
+                  << "'\n";
+        return 2;
+      }
+      serve::CalibrationObservation observation;
+      observation.family = *family;
+      observation.contenders = std::stoi(argv[5]);
+      observation.words = std::stoll(argv[6]);
+      observation.value = std::stod(argv[7]);
+      return printResponse(client.calibrateObserve(observation));
+    }
+    if (command == "drift" && argc == 3) {
+      return printResponse(client.drift());
     }
     if (command == "raw" && argc == 4) {
       std::string text = argv[3];
