@@ -40,6 +40,11 @@
 // selects the serving core (worker pool vs epoll event loops; --loop-threads
 // sizes the latter) and --threads-rps embeds the worker-pool reference rate
 // plus the epoll speedup in the JSON record's epoll_baseline block.
+// `--cluster <topology>` boots every replica of the topology in-process
+// (followers replicating live), drives topology-aware ClusterClients
+// instead of single-socket clients, and reports aggregate + per-shard
+// rates; --single-rps embeds the single-node reference rate and the
+// cluster speedup in the JSON record's cluster_baseline block.
 // Latency percentiles come from the server's merged log-scale histograms
 // (STATS p50/p90/p99/p999), not from client-side sorted vectors.
 #include <unistd.h>
@@ -59,9 +64,12 @@
 
 #include "scenario/scenario.hpp"
 #include "serve/client.hpp"
+#include "serve/cluster_client.hpp"
 #include "serve/concurrent_tracker.hpp"
 #include "serve/journal.hpp"
 #include "serve/metrics.hpp"
+#include "serve/replication.hpp"
+#include "serve/ring.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
 
@@ -124,6 +132,8 @@ struct BenchConfig {
   double ringRps = 0.0;
   std::string scenarioPath;
   std::string scenarioName;  // filled after parsing
+  std::string clusterPath;
+  double singleRps = 0.0;
 };
 
 /// One client's scenario-derived traffic stream: the class's arrival offsets
@@ -175,6 +185,255 @@ std::vector<StreamPlan> buildStreamPlans(
     plans.push_back(std::move(plan));
   }
   return plans;
+}
+
+/// One in-process replica of the benched ring: primaries take routed
+/// traffic, followers replicate their shard's journal stream live, so the
+/// measured rate includes the cost of feeding REPL SINCE/ACK polls.
+struct BenchReplica {
+  BenchReplica(const std::string& endpointSpec, serve::ReplRole role,
+               const BenchConfig& config, int maxContenders)
+      : tracker(benchPlatform(maxContenders)) {
+    repl.setRole(role);
+    repl.log().start(0);
+    tracker.attachReplicationLog(&repl.log());
+    serve::ServerConfig serverConfig;
+    serverConfig.endpoint = serve::parseEndpoint(endpointSpec);
+    serverConfig.workers = config.workers;
+    serverConfig.engine = config.engine;
+    serverConfig.loopThreads = config.loopThreads;
+    serverConfig.queueCapacity = static_cast<std::size_t>(config.clients) * 4;
+    serverConfig.replication = &repl;
+    server = std::make_unique<serve::Server>(serverConfig, tracker, metrics);
+    server->start();
+  }
+  ~BenchReplica() {
+    if (follower) follower->stop();
+    server->stop();
+  }
+
+  serve::ConcurrentTracker tracker;
+  serve::ReplicationState repl;
+  serve::Metrics metrics;
+  std::unique_ptr<serve::Server> server;
+  std::unique_ptr<serve::ReplicationFollower> follower;
+};
+
+std::uint64_t servedRequests(const serve::Metrics& metrics) {
+  return metrics.snapshot().requestsTotal;
+}
+
+int runClusterBench(const BenchConfig& config) {
+  serve::ClusterTopology topology;
+  try {
+    topology = serve::loadTopologyFile(config.clusterPath);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  const int shards = topology.shardCount();
+
+  // Boot the whole ring in-process: every replica of every shard, with
+  // followers streaming from their shard's primary for the entire run.
+  std::vector<std::vector<std::unique_ptr<BenchReplica>>> ring(
+      static_cast<std::size_t>(shards));
+  try {
+    for (int s = 0; s < shards; ++s) {
+      const std::vector<std::string> endpoints =
+          serve::shardEndpoints(topology, s);
+      for (std::size_t r = 0; r < endpoints.size(); ++r) {
+        auto replica = std::make_unique<BenchReplica>(
+            endpoints[r],
+            r == 0 ? serve::ReplRole::kPrimary : serve::ReplRole::kFollower,
+            config, config.clients + 8);
+        if (r > 0) {
+          serve::ReplicationFollowerConfig followerConfig;
+          followerConfig.primary = serve::parseEndpoint(endpoints[0]);
+          replica->follower = std::make_unique<serve::ReplicationFollower>(
+              followerConfig, replica->tracker, replica->repl);
+          replica->follower->start();
+        }
+        ring[static_cast<std::size_t>(s)].push_back(std::move(replica));
+      }
+    }
+    // The same base mix on every shard, so each one prices a realistic,
+    // cacheable signature rather than an empty platform.
+    for (int s = 0; s < shards; ++s) {
+      serve::Client setup(serve::shardEndpoints(topology, s)[0]);
+      if (!setup.arrive(0.30, 800).ok || !setup.arrive(0.0, 0).ok) {
+        std::cerr << "error: mix setup failed on shard " << s << "\n";
+        return 1;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+
+  // A spread of tasks whose pricing keys scatter across the ring; each
+  // client cycles through them, so every shard takes routed read traffic.
+  std::vector<tools::TaskSpec> tasks;
+  {
+    const serve::ConsistentHashRing router(shards);
+    std::vector<int> perShard(static_cast<std::size_t>(shards), 0);
+    tools::TaskSpec task = benchTask();
+    for (int i = 0; tasks.size() < 16 && i < 100000; ++i) {
+      task.frontEndSec = 2.0 + 0.001 * i;
+      const int shard =
+          router.shardFor(serve::taskRouteKey(task));
+      // Take the first 16 overall but make sure no shard is left out.
+      if (tasks.size() < 12 ||
+          perShard[static_cast<std::size_t>(shard)] == 0) {
+        tasks.push_back(task);
+        ++perShard[static_cast<std::size_t>(shard)];
+      }
+    }
+  }
+
+  std::atomic<int> phase{config.warmup > 0.0 ? 0 : 1};
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(config.clients),
+                                    0);
+  std::vector<std::uint64_t> shardBase(static_cast<std::size_t>(shards), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::ClusterClient cluster(topology);
+        std::mt19937 rng(7777u + static_cast<unsigned>(c));
+        std::uniform_real_distribution<double> uniform(0.0, 1.0);
+        std::uint64_t sent = 0;
+        std::size_t next = static_cast<std::size_t>(c);
+        int current;
+        while ((current = phase.load(std::memory_order_relaxed)) != 2) {
+          std::uint64_t requests = 0;
+          if (config.writeRatio > 0.0 && uniform(rng) < config.writeRatio) {
+            const double fraction = 0.15 + 0.5 * uniform(rng);
+            const Words words = 200 + static_cast<Words>(600 * uniform(rng));
+            model::CompetingApp app;
+            app.commFraction = fraction;
+            app.messageWords = words;
+            const serve::Response arrived = cluster.arrive(fraction, words);
+            if (!arrived.ok) break;
+            const serve::Response departed = cluster.depart(
+                static_cast<std::uint64_t>(arrived.number("id")),
+                cluster.shardForApp(app));
+            if (!departed.ok) break;
+            requests = 2;
+          } else if (config.batch > 1) {
+            // Scatter-gather: one PREDICT_BATCH fanned across the ring.
+            const serve::Response response = cluster.predictBatch(tasks);
+            if (!response.ok) break;
+            requests = tasks.size();
+          } else {
+            const serve::Response response =
+                cluster.predict(tasks[next++ % tasks.size()]);
+            if (!response.ok) break;
+            requests = 1;
+          }
+          if (current == 1) sent += requests;
+        }
+        counts[static_cast<std::size_t>(c)] = sent;
+      } catch (const std::exception& error) {
+        std::cerr << "client " << c << ": " << error.what() << "\n";
+      }
+    });
+  }
+  if (config.warmup > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(config.warmup));
+    phase.store(1, std::memory_order_relaxed);
+  }
+  for (int s = 0; s < shards; ++s) {
+    shardBase[static_cast<std::size_t>(s)] =
+        servedRequests(ring[static_cast<std::size_t>(s)][0]->metrics);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(config.seconds));
+  phase.store(2, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts) total += count;
+  const double rps = static_cast<double>(total) / elapsed;
+  // Per-shard rates come from each primary's own metrics and count wire
+  // requests: a 16-task PREDICT_BATCH is one wire request on each shard it
+  // scatters to, while the aggregate counts the 16 batch items — so under
+  // --batch the breakdown is deliberately in a smaller unit than the total.
+  std::vector<double> shardRps(static_cast<std::size_t>(shards), 0.0);
+  for (int s = 0; s < shards; ++s) {
+    const std::uint64_t served =
+        servedRequests(ring[static_cast<std::size_t>(s)][0]->metrics) -
+        shardBase[static_cast<std::size_t>(s)];
+    shardRps[static_cast<std::size_t>(s)] =
+        static_cast<double>(served) / elapsed;
+  }
+
+  TextTable table({"metric", "value"});
+  table.addRow({"topology", config.clusterPath});
+  table.addRow({"shards", std::to_string(shards)});
+  table.addRow({"clients", std::to_string(config.clients)});
+  table.addRow({"workers/shard", std::to_string(config.workers)});
+  table.addRow({"engine",
+                std::string(serve::engineKindName(config.engine))});
+  table.addRow({"write ratio", TextTable::num(config.writeRatio, 2)});
+  table.addRow({"batch", std::to_string(config.batch)});
+  table.addRow({"elapsed (s)", TextTable::num(elapsed, 3)});
+  table.addRow({"requests", std::to_string(total)});
+  table.addRow({"aggregate req/s", TextTable::num(rps, 0)});
+  for (int s = 0; s < shards; ++s) {
+    table.addRow({"shard " + std::to_string(s) + " wire req/s",
+                  TextTable::num(shardRps[static_cast<std::size_t>(s)], 0)});
+  }
+  printTable("contend-serve cluster closed-loop throughput", table);
+
+  if (!config.jsonPath.empty()) {
+    std::ofstream out(config.jsonPath);
+    if (!out) {
+      std::cerr << "warning: cannot write " << config.jsonPath << "\n";
+    } else {
+      out << "{\n"
+          << "  \"bench\": \"serve_throughput_cluster\",\n"
+          << "  \"config\": {\n"
+          << "    \"topology\": \"" << config.clusterPath << "\",\n"
+          << "    \"shards\": " << shards << ",\n"
+          << "    \"clients\": " << config.clients << ",\n"
+          << "    \"workers\": " << config.workers << ",\n"
+          << "    \"engine\": \"" << serve::engineKindName(config.engine)
+          << "\",\n"
+          << "    \"seconds\": " << jsonNumber(config.seconds) << ",\n"
+          << "    \"warmup\": " << jsonNumber(config.warmup) << ",\n"
+          << "    \"write_ratio\": " << jsonNumber(config.writeRatio) << ",\n"
+          << "    \"batch\": " << config.batch << "\n"
+          << "  },\n"
+          << "  \"results\": {\n"
+          << "    \"elapsed_sec\": " << jsonNumber(elapsed) << ",\n"
+          << "    \"requests\": " << total << ",\n"
+          << "    \"aggregate_rps\": " << jsonNumber(rps) << ",\n"
+          << "    \"shard_wire_rps\": [";
+      for (int s = 0; s < shards; ++s) {
+        out << (s == 0 ? "" : ", ")
+            << jsonNumber(shardRps[static_cast<std::size_t>(s)]);
+      }
+      out << "]\n  }";
+      if (config.singleRps > 0.0) {
+        out << ",\n  \"cluster_baseline\": {\n"
+            << "    \"single_node_rps\": " << jsonNumber(config.singleRps)
+            << ",\n"
+            << "    \"speedup\": " << jsonNumber(rps / config.singleRps)
+            << "\n  }";
+      }
+      out << "\n}\n";
+    }
+  }
+  if (config.minRps > 0.0 && rps < config.minRps) {
+    std::cerr << "FAIL: " << rps << " req/s below required " << config.minRps
+              << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
@@ -282,6 +541,8 @@ int main(int argc, char** argv) {
     else if (flag == "--min-rps") config.minRps = std::atof(value);
     else if (flag == "--baseline-rps") config.baselineRps = std::atof(value);
     else if (flag == "--scenario") config.scenarioPath = value;
+    else if (flag == "--cluster") config.clusterPath = value;
+    else if (flag == "--single-rps") config.singleRps = std::atof(value);
     else if (flag == "--json") config.jsonPath = value;
     else if (flag == "--journal") config.journalPath = value;
     else if (flag == "--nojournal-rps") config.nojournalRps = std::atof(value);
@@ -299,7 +560,8 @@ int main(int argc, char** argv) {
                    "[--clients N] [--workers N] "
                    "[--engine threads|epoll|auto] [--loop-threads N] "
                    "[--write-ratio F] "
-                   "[--batch N] [--scenario <file.scn>] [--min-rps R] "
+                   "[--batch N] [--scenario <file.scn>] "
+                   "[--cluster <topology>] [--single-rps R] [--min-rps R] "
                    "[--baseline-rps R] [--json <path>] [--journal <path>] "
                    "[--fsync always|interval|off] [--nojournal-rps R] "
                    "[--ring-rps R] [--threads-rps R]\n";
@@ -312,6 +574,15 @@ int main(int argc, char** argv) {
       config.batch < 1) {
     std::cerr << "error: bad arguments\n";
     return 2;
+  }
+
+  if (!config.clusterPath.empty()) {
+    if (!config.scenarioPath.empty() || !config.journalPath.empty()) {
+      std::cerr << "error: --cluster composes with the traffic flags "
+                   "(--write-ratio/--batch), not --scenario/--journal\n";
+      return 2;
+    }
+    return runClusterBench(config);
   }
 
   std::vector<StreamPlan> plans;

@@ -1,5 +1,7 @@
 #include "serve/client.hpp"
 
+#include "serve/syscall_hooks.hpp"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -22,6 +24,14 @@ namespace {
   throw TransportError(what + ": " + std::strerror(errno));
 }
 
+int connectOrHook(int fd, const sockaddr* addr, socklen_t len) {
+  if (const SyscallHooks* hooks = syscallHooks();
+      hooks != nullptr && hooks->connect) {
+    return hooks->connect(fd, addr, len);
+  }
+  return ::connect(fd, addr, len);
+}
+
 int connectTo(const Endpoint& endpoint, int timeoutMs) {
   int fd = -1;
   if (endpoint.kind == Endpoint::Kind::kUnix) {
@@ -31,7 +41,8 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, endpoint.path.c_str(),
                  sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (connectOrHook(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
       ::close(fd);
       throwErrno("connect(" + endpoint.path + ")");
     }
@@ -46,7 +57,8 @@ int connectTo(const Endpoint& endpoint, int timeoutMs) {
       throw TransportError("bad host '" + endpoint.host +
                            "' (numeric IPv4 expected)");
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (connectOrHook(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
       ::close(fd);
       throwErrno("connect(" + endpointToString(endpoint) + ")");
     }
@@ -263,6 +275,27 @@ Response Client::calibrateApply() {
 Response Client::drift() {
   Request request;
   request.verb = Verb::kDrift;
+  return call(request);
+}
+
+Response Client::replStatus() {
+  Request request;
+  request.verb = Verb::kRepl;
+  request.repl = ReplAction::kStatus;
+  return call(request);
+}
+
+Response Client::replHello() {
+  Request request;
+  request.verb = Verb::kRepl;
+  request.repl = ReplAction::kHello;
+  return call(request);
+}
+
+Response Client::replPromote() {
+  Request request;
+  request.verb = Verb::kRepl;
+  request.repl = ReplAction::kPromote;
   return call(request);
 }
 

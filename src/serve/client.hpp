@@ -84,6 +84,13 @@ class Client {
   Response calibrateObserve(const CalibrationObservation& observation);
   Response calibrateApply();
   Response drift();
+  /// Replication control-plane helpers (one REPL round trip each). SINCE,
+  /// ACK, and SNAPSHOT are driven by ReplicationFollower directly; these
+  /// cover the operator-facing subset (`contend_client repl status`,
+  /// failover promotion, handshake probing).
+  Response replStatus();
+  Response replHello();
+  Response replPromote();
 
   /// Sends METRICS and reads the multi-line Prometheus exposition through
   /// its `# EOF` terminator line (included in the returned text). An `ERR`

@@ -1,0 +1,222 @@
+#include "serve/cluster_client.hpp"
+
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace contend::serve {
+
+ClusterClient::ClusterClient(ClusterTopology topology, int timeoutMs,
+                             ReconnectPolicy reconnect)
+    : topology_(std::move(topology)),
+      timeoutMs_(timeoutMs),
+      reconnect_(reconnect),
+      ring_(topology_.shardCount()),
+      shards_(static_cast<std::size_t>(topology_.shardCount())) {
+  for (int shard = 0; shard < topology_.shardCount(); ++shard) {
+    shards_[static_cast<std::size_t>(shard)].endpoints =
+        shardEndpoints(topology_, shard);
+  }
+}
+
+Client& ClusterClient::clientFor(int shard) {
+  ShardState& state = shards_[static_cast<std::size_t>(shard)];
+  if (!state.client) {
+    // Derive a distinct jitter seed per shard so a topology-wide restart
+    // does not reconnect every shard's client in lockstep.
+    ReconnectPolicy policy = reconnect_;
+    policy.jitterSeed ^= 0x9e3779b97f4a7c15ull * (std::uint64_t{1} + shard);
+    state.client = std::make_unique<Client>(state.endpoints[state.active],
+                                            timeoutMs_, policy);
+  }
+  return *state.client;
+}
+
+void ClusterClient::dropClient(int shard) {
+  shards_[static_cast<std::size_t>(shard)].client.reset();
+}
+
+Response ClusterClient::callOnShard(int shard, const Request& request) {
+  if (shard < 0 || shard >= shardCount()) {
+    throw std::invalid_argument("callOnShard: shard " + std::to_string(shard) +
+                                " out of range");
+  }
+  ShardState& state = shards_[static_cast<std::size_t>(shard)];
+  // Two full laps over the endpoint list: every replica gets a chance even
+  // when the walk starts mid-list after an earlier failover, and a replica
+  // that was still catching up on the first lap gets one more look.
+  const std::size_t attempts = state.endpoints.size() * 2;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return clientFor(shard).call(request);
+    } catch (const TransportError&) {
+      // clientFor can throw too (lazy connect); either way the endpoint is
+      // unreachable after the inner Client's own reconnect budget.
+      dropClient(shard);
+      if (attempt + 1 >= attempts) throw;
+      if (state.endpoints.size() > 1) {
+        state.active = (state.active + 1) % state.endpoints.size();
+        ++failovers_;
+      }
+    }
+  }
+}
+
+Response ClusterClient::arrive(double commFraction, Words messageWords) {
+  Request request;
+  request.verb = Verb::kArrive;
+  request.app.commFraction = commFraction;
+  request.app.messageWords = messageWords;
+  const int shard = ring_.shardFor(appRouteKey(request.app));
+  Response response = callOnShard(shard, request);
+  if (response.ok) {
+    appShard_.emplace(static_cast<std::uint64_t>(response.number("id")),
+                      shard);
+  }
+  return response;
+}
+
+Response ClusterClient::depart(std::uint64_t applicationId) {
+  const auto [first, last] = appShard_.equal_range(applicationId);
+  if (first == last) {
+    throw std::invalid_argument(
+        "depart: application id " + std::to_string(applicationId) +
+        " was not assigned through this ClusterClient");
+  }
+  if (std::next(first) != last) {
+    throw std::invalid_argument(
+        "depart: application id " + std::to_string(applicationId) +
+        " is live on multiple shards; use depart(id, shard)");
+  }
+  return depart(applicationId, first->second);
+}
+
+Response ClusterClient::depart(std::uint64_t applicationId, int shard) {
+  const auto [first, last] = appShard_.equal_range(applicationId);
+  auto owner = last;
+  for (auto it = first; it != last; ++it) {
+    if (it->second == shard) {
+      owner = it;
+      break;
+    }
+  }
+  if (owner == last) {
+    throw std::invalid_argument(
+        "depart: application id " + std::to_string(applicationId) +
+        " was not assigned by shard " + std::to_string(shard) +
+        " through this ClusterClient");
+  }
+  Request request;
+  request.verb = Verb::kDepart;
+  request.applicationId = applicationId;
+  Response response = callOnShard(shard, request);
+  if (response.ok) appShard_.erase(owner);
+  return response;
+}
+
+Response ClusterClient::predict(const tools::TaskSpec& task) {
+  Request request;
+  request.verb = Verb::kPredict;
+  request.task = task;
+  return callOnShard(ring_.shardFor(taskRouteKey(task)), request);
+}
+
+Response ClusterClient::predictBatch(
+    const std::vector<tools::TaskSpec>& tasks) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("predictBatch: empty batch");
+  }
+  // Partition FIRST, then exactly one call per shard. The partition is the
+  // exactly-once boundary: a shard that fails over replays only its own
+  // sub-batch inside callOnShard, and shards that already answered are
+  // never revisited.
+  std::vector<std::vector<std::size_t>> byShard(shards_.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    byShard[static_cast<std::size_t>(ring_.shardFor(taskRouteKey(tasks[i])))]
+        .push_back(i);
+  }
+
+  struct TaskResult {
+    int shard = 0;
+    std::string front, remote, decision, cache;
+  };
+  std::vector<TaskResult> results(tasks.size());
+  std::vector<std::pair<int, std::string>> shardEpochs;
+
+  for (int shard = 0; shard < shardCount(); ++shard) {
+    const std::vector<std::size_t>& indices =
+        byShard[static_cast<std::size_t>(shard)];
+    if (indices.empty()) continue;
+    Request request;
+    request.verb = Verb::kPredictBatch;
+    for (const std::size_t i : indices) request.batch.push_back(tasks[i]);
+    Response response = callOnShard(shard, request);
+    if (!response.ok) return response;  // first shard error wins, verbatim
+    const std::string* epoch = response.find("epoch");
+    if (epoch == nullptr) {
+      throw ProtocolError(kErrInternal,
+                          "PREDICT_BATCH answer from shard " +
+                              std::to_string(shard) + " lacks epoch");
+    }
+    shardEpochs.emplace_back(shard, *epoch);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::string suffix = '.' + std::to_string(j);
+      TaskResult& result = results[indices[j]];
+      result.shard = shard;
+      for (const auto& [key, out] :
+           {std::pair<const char*, std::string*>{"front", &result.front},
+            {"remote", &result.remote},
+            {"decision", &result.decision},
+            {"cache", &result.cache}}) {
+        const std::string* value = response.find(key + suffix);
+        if (value == nullptr) {
+          throw ProtocolError(kErrInternal,
+                              "PREDICT_BATCH answer from shard " +
+                                  std::to_string(shard) + " lacks " + key +
+                                  suffix);
+        }
+        *out = *value;
+      }
+    }
+  }
+
+  // Merge in the caller's task order. Field values are copied verbatim so
+  // the merged answer is bit-identical to the per-shard answers.
+  Response merged;
+  merged.add("count", static_cast<std::uint64_t>(tasks.size()));
+  for (const auto& [shard, epoch] : shardEpochs) {
+    merged.add("epoch.shard" + std::to_string(shard), epoch);
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::string suffix = '.' + std::to_string(i);
+    const TaskResult& result = results[i];
+    merged.add("name" + suffix, tasks[i].name);
+    merged.add("front" + suffix, result.front);
+    merged.add("remote" + suffix, result.remote);
+    merged.add("decision" + suffix, result.decision);
+    merged.add("cache" + suffix, result.cache);
+    merged.add("shard" + suffix,
+               static_cast<std::uint64_t>(result.shard));
+  }
+  return merged;
+}
+
+Response ClusterClient::slowdownShard(int shard) {
+  Request request;
+  request.verb = Verb::kSlowdown;
+  return callOnShard(shard, request);
+}
+
+Response ClusterClient::statsShard(int shard) {
+  Request request;
+  request.verb = Verb::kStats;
+  return callOnShard(shard, request);
+}
+
+Response ClusterClient::healthShard(int shard) {
+  Request request;
+  request.verb = Verb::kHealth;
+  return callOnShard(shard, request);
+}
+
+}  // namespace contend::serve

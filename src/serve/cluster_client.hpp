@@ -1,0 +1,108 @@
+// cluster_client.hpp — topology-aware client for a contend-serve cluster.
+//
+// A ClusterClient owns one lazily-opened Client per shard and routes every
+// request through the consistent-hash ring, so callers keep the single-node
+// Client surface (arrive/depart/predict/predictBatch/...) while the cluster
+// stays invisible. Routing is deterministic: the same topology file yields
+// the same ring on every client and daemon, so a key always lands on the
+// shard whose primary journals it.
+//
+// Failover: each shard's endpoint list is primary-first, followers in
+// declared order. When a call fails at the transport level (after the inner
+// Client's own reconnect budget against the *current* endpoint is spent),
+// the ClusterClient advances to the shard's next endpoint — wrapping back to
+// the primary — and replays the request there. Replay keeps the Client's
+// at-least-once contract, and crucially it is scoped to the failing shard:
+// a scatter-gather PREDICT_BATCH never re-sends sub-batches to shards that
+// already answered (see predictBatch).
+//
+// Like Client, a ClusterClient is not thread-safe; open one per thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/ring.hpp"
+
+namespace contend::serve {
+
+class ClusterClient {
+ public:
+  /// Derives the ring from the topology; connections open lazily on first
+  /// use, so constructing a ClusterClient never touches the network.
+  explicit ClusterClient(ClusterTopology topology, int timeoutMs = 10000,
+                         ReconnectPolicy reconnect = {});
+
+  /// Routes by the application's mix-signature key; on success remembers
+  /// which shard assigned the returned id so depart() can find it again.
+  Response arrive(double commFraction, Words messageWords);
+
+  /// Routes to the shard that served the matching arrive(). Ids are
+  /// per-shard sequences, so the same numeric id can be live on two shards
+  /// at once; this form throws std::invalid_argument for an id this client
+  /// did not obtain or one that is ambiguous across shards.
+  Response depart(std::uint64_t applicationId);
+
+  /// Disambiguated depart: `shard` is the value shardForApp() returned for
+  /// the application's mix at arrive() time.
+  Response depart(std::uint64_t applicationId, int shard);
+
+  /// Routes by the task's pricing key.
+  Response predict(const tools::TaskSpec& task);
+
+  /// Scatter-gather: partitions the batch across shards by task key, sends
+  /// each shard exactly one sub-batch, and merges the answers back into one
+  /// Response in the caller's task order (per-index fields plus `shard.N`,
+  /// per-shard epochs as `epoch.shard<K>`). A shard that fails over retries
+  /// only its own sub-batch — shards that already answered are never
+  /// re-sent, so their mutation-free request count stays exactly one.
+  Response predictBatch(const std::vector<tools::TaskSpec>& tasks);
+
+  /// Single-shard reads, addressed explicitly (aggregate views live in the
+  /// bench/tools layer, which knows what it wants to sum).
+  Response slowdownShard(int shard);
+  Response statsShard(int shard);
+  Response healthShard(int shard);
+
+  /// Sends an arbitrary request to one shard with failover. The building
+  /// block the verbs above share; public for tools and tests.
+  Response callOnShard(int shard, const Request& request);
+
+  [[nodiscard]] int shardCount() const { return topology_.shardCount(); }
+  [[nodiscard]] int shardForTask(const tools::TaskSpec& task) const {
+    return ring_.shardFor(taskRouteKey(task));
+  }
+  [[nodiscard]] int shardForApp(const model::CompetingApp& app) const {
+    return ring_.shardFor(appRouteKey(app));
+  }
+
+  /// Endpoint switches performed across all shards (observability: tests
+  /// assert a kill produced exactly the expected failovers).
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  struct ShardState {
+    std::vector<std::string> endpoints;  // primary first, failover order
+    std::size_t active = 0;              // index into endpoints
+    std::unique_ptr<Client> client;      // lazily opened to endpoints[active]
+  };
+
+  Client& clientFor(int shard);
+  void dropClient(int shard);
+
+  ClusterTopology topology_;
+  int timeoutMs_;
+  ReconnectPolicy reconnect_;
+  ConsistentHashRing ring_;
+  std::vector<ShardState> shards_;
+  // id -> owning shard; a multimap because each shard runs its own id
+  // sequence, so distinct applications on distinct shards share numbers.
+  std::multimap<std::uint64_t, int> appShard_;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace contend::serve

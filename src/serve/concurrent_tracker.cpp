@@ -6,6 +6,7 @@
 
 #include "model/cm2_model.hpp"  // model::shouldOffload (equation 1)
 #include "model/comm_model.hpp"
+#include "serve/replication.hpp"
 
 namespace contend::serve {
 
@@ -142,6 +143,12 @@ MutationResult ConcurrentTracker::depart(std::uint64_t applicationId) {
 }
 
 void ConcurrentTracker::journalMutationLocked(const JournalRecord& record) {
+  if (replLog_ != nullptr) {
+    // Mirror the exact journal frame into the replication log — followers
+    // replay these bytes through the same decode path as crash recovery,
+    // so primary and follower state are bit-identical at equal epochs.
+    replLog_->append(record.epoch, encodeRecord(record));
+  }
   if (journal_ == nullptr) return;
   switch (record.kind) {
     case JournalRecord::Kind::kArrive:
@@ -280,6 +287,72 @@ RecoveryReport ConcurrentTracker::recoverFromJournal(Journal& journal) {
   journal_ = &journal;
   publishSnapshotLocked();
   return report;
+}
+
+void ConcurrentTracker::attachReplicationLog(ReplicationLog* log) {
+  std::lock_guard lock(writeMutex_);
+  replLog_ = log;
+}
+
+void ConcurrentTracker::applyReplicated(const JournalRecord& record) {
+  std::lock_guard lock(writeMutex_);
+  applyRecordLocked(record);  // may throw; state untouched on failure
+  // The record carries the primary's event-clock stamp, which can run ahead
+  // of this process's clock (the primary booted earlier). Drag the local
+  // anchor forward so the first post-promotion mutation cannot look like
+  // time going backwards; a primary clock running behind needs no
+  // correction — local stamps are already past it.
+  if (record.timeSec > nowSec()) {
+    start_ = std::chrono::steady_clock::now() -
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(record.timeSec));
+  }
+  // A follower journals (and re-mirrors) the applied record exactly like a
+  // local mutation, so its own crash recovery — and, after promotion, its
+  // own followers — see one continuous stream.
+  journalMutationLocked(record);
+  publishSnapshotLocked();
+}
+
+void ConcurrentTracker::installImage(const SnapshotImage& image) {
+  std::lock_guard lock(writeMutex_);
+  if (image.epoch < epoch_) {
+    throw std::runtime_error(
+        "installImage: image epoch " + std::to_string(image.epoch) +
+        " is behind local epoch " + std::to_string(epoch_));
+  }
+  // Same order as the recovery snapshot branch: tables first, so
+  // restoreCheckpoint validates the app count against the tables that were
+  // live at export time.
+  tracker_.recalibrate(image.tables);  // validates; may throw
+  installTablesLocked(image.tableGeneration, tracker_.platform());
+  tracker_.restoreCheckpoint(image.checkpoint);  // may throw
+  epoch_ = image.epoch;
+  arrivals_.store(image.arrivals, std::memory_order_relaxed);
+  departures_.store(image.departures, std::memory_order_relaxed);
+  signature_ = 0;
+  liveApps_.clear();
+  arrivalLog_.clear();
+  for (std::size_t i = 0; i < image.checkpoint.apps.size(); ++i) {
+    const std::uint64_t id = image.checkpoint.ids[i];
+    const model::CompetingApp& app = image.checkpoint.apps[i];
+    signature_ += appHash(app);
+    liveApps_.emplace(id, app);
+    arrivalLog_.push_back({id, app});
+  }
+  // Re-anchor the event clock at the image's last event time, as recovery
+  // does — the next applied record must not look like time went backwards.
+  start_ = std::chrono::steady_clock::now() -
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(
+                   image.checkpoint.lastEventTimeSec));
+  if (replLog_ != nullptr) replLog_->start(epoch_);
+  publishSnapshotLocked();
+}
+
+SnapshotImage ConcurrentTracker::exportImage() const {
+  std::lock_guard lock(writeMutex_);
+  return exportImageLocked();
 }
 
 SlowdownSnapshot ConcurrentTracker::slowdowns() const {

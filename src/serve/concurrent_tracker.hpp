@@ -172,6 +172,8 @@ struct ArrivalRecord {
   model::CompetingApp app;
 };
 
+class ReplicationLog;  // serve/replication.hpp
+
 class ConcurrentTracker {
  public:
   explicit ConcurrentTracker(model::ParagonPlatformModel platform,
@@ -194,6 +196,29 @@ class ConcurrentTracker {
   /// bit-identical to the pre-crash values. Throws std::runtime_error on a
   /// corrupt snapshot or a tail that breaks id/epoch continuity.
   RecoveryReport recoverFromJournal(Journal& journal);
+
+  /// Attaches a replication log: every subsequent mutation's encoded
+  /// journal frame is mirrored into it under the write mutex, in epoch
+  /// order. Call before the server starts serving (single-threaded), after
+  /// any journal recovery; the caller anchors the log at the recovered
+  /// epoch via ReplicationLog::start.
+  void attachReplicationLog(ReplicationLog* log);
+
+  /// Applies one replicated journal record (the follower apply path):
+  /// identical machinery to journal tail replay — same continuity asserts,
+  /// same journaling, same replication-log mirroring — so a caught-up
+  /// follower is bit-identical to the primary at the same epoch. Throws
+  /// std::runtime_error on an epoch gap or id discontinuity.
+  void applyReplicated(const JournalRecord& record);
+
+  /// Installs a full snapshot image (cold-follower catch-up). Forward-only:
+  /// throws std::runtime_error if the image's epoch is behind the local
+  /// one. Unlike recoverFromJournal this works on a non-fresh tracker — a
+  /// follower that lagged past the primary's log floor re-bases here.
+  void installImage(const SnapshotImage& image);
+
+  /// Captures the full durable state (the REPL SNAPSHOT export).
+  [[nodiscard]] SnapshotImage exportImage() const;
 
   /// Lock-free: loads the published snapshot.
   [[nodiscard]] SlowdownSnapshot slowdowns() const;
@@ -323,6 +348,7 @@ class ConcurrentTracker {
   std::unordered_map<std::uint64_t, model::CompetingApp> liveApps_;
   std::vector<ArrivalRecord> arrivalLog_;
   Journal* journal_ = nullptr;  // attached by recoverFromJournal
+  ReplicationLog* replLog_ = nullptr;  // attached by attachReplicationLog
   Recalibrator recalibrator_;
   std::vector<std::shared_ptr<const TableSet>> tableSets_;  // retained
 

@@ -269,6 +269,19 @@ std::string renderPrometheusText(const PrometheusInput& input) {
           input.journalStats.appendErrors == 0 ? "1" : "0");
   }
 
+  // Replication: always exported (0/standalone when unclustered) so
+  // dashboards have a stable schema, mirroring repl_* in STATS/HEALTH.
+  gauge(out, "contend_repl_role",
+        "Replication role: 0 standalone, 1 primary, 2 follower.",
+        std::to_string(input.replRole));
+  gauge(out, "contend_repl_lag_records",
+        "Journal records the local replica trails its primary by "
+        "(0 on a primary or standalone daemon).",
+        std::to_string(input.replLagRecords));
+  gauge(out, "contend_repl_acked_epoch",
+        "Highest epoch a follower has acknowledged to this primary.",
+        std::to_string(input.replAckedEpoch));
+
   family(out, "contend_request_duration_us", "histogram",
          "Request service time in microseconds, by verb.");
   for (int verb = 0; verb < kVerbCount; ++verb) {

@@ -42,6 +42,12 @@ struct PrometheusInput {
   bool recovered = false;
   bool journal = false;        // journal gauges are emitted only when true
   JournalStats journalStats{};
+  // Replication role/lag; always emitted (0 = standalone, 1 = primary,
+  // 2 = follower — the ReplRole enum order) so dashboards have a stable
+  // schema whether or not the daemon is clustered.
+  int replRole = 0;
+  std::uint64_t replLagRecords = 0;
+  std::uint64_t replAckedEpoch = 0;
 };
 
 /// Renders the full exposition, `# EOF` line included.

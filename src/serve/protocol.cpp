@@ -14,8 +14,8 @@ namespace {
 using util::TokenCursor;
 
 constexpr std::array<const char*, kVerbCount> kVerbNames = {
-    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",  "STATS",
-    "PREDICT_BATCH", "HEALTH", "METRICS", "CALIBRATE", "DRIFT"};
+    "ARRIVE", "DEPART", "PREDICT", "SLOWDOWN",  "STATS", "PREDICT_BATCH",
+    "HEALTH", "METRICS", "CALIBRATE", "DRIFT", "REPL"};
 
 [[noreturn]] void fail(const std::string& message) {
   throw ProtocolError(message);
@@ -233,6 +233,66 @@ Request parseCalibrate(TokenCursor& line) {
   return request;
 }
 
+std::uint64_t parseReplU64(TokenCursor& line, std::string_view what) {
+  const auto token = line.next();
+  if (!token) fail("REPL: expected " + std::string(what));
+  std::uint64_t value = 0;
+  const char* first = token->data();
+  const char* last = token->data() + token->size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    fail("REPL: bad " + std::string(what) + " '" + std::string(*token) + "'");
+  }
+  return value;
+}
+
+Request parseRepl(TokenCursor& line) {
+  Request request;
+  request.verb = Verb::kRepl;
+  const auto sub = line.next();
+  if (!sub) {
+    fail("REPL: expected HELLO, STATUS, SINCE, ACK, SNAPSHOT, or PROMOTE");
+  }
+  if (*sub == "HELLO") {
+    request.repl = ReplAction::kHello;
+    rejectTrailing(line, "REPL HELLO");
+  } else if (*sub == "STATUS") {
+    request.repl = ReplAction::kStatus;
+    rejectTrailing(line, "REPL STATUS");
+  } else if (*sub == "PROMOTE") {
+    request.repl = ReplAction::kPromote;
+    rejectTrailing(line, "REPL PROMOTE");
+  } else if (*sub == "ACK") {
+    request.repl = ReplAction::kAck;
+    request.replEpoch = parseReplU64(line, "ack epoch");
+    rejectTrailing(line, "REPL ACK");
+  } else if (*sub == "SNAPSHOT") {
+    request.repl = ReplAction::kSnapshot;
+    request.replOffset = parseReplU64(line, "snapshot offset");
+    rejectTrailing(line, "REPL SNAPSHOT");
+  } else if (*sub == "SINCE") {
+    request.repl = ReplAction::kSince;
+    request.replEpoch = parseReplU64(line, "since epoch");
+    if (const auto maxToken = line.next()) {
+      std::uint64_t max = 0;
+      const char* first = maxToken->data();
+      const char* last = maxToken->data() + maxToken->size();
+      const auto [ptr, ec] = std::from_chars(first, last, max);
+      if (ec != std::errc{} || ptr != last || max == 0 ||
+          max > kReplMaxFrames) {
+        fail("REPL SINCE: max frames must be in [1, " +
+             std::to_string(kReplMaxFrames) + "], got '" +
+             std::string(*maxToken) + "'");
+      }
+      request.replMax = max;
+      rejectTrailing(line, "REPL SINCE");
+    }
+  } else {
+    fail("REPL: unknown subcommand '" + std::string(*sub) + "'");
+  }
+  return request;
+}
+
 /// Walks '\n'-terminated lines of a view without copying; strips one
 /// trailing '\r' per line (CRLF peers), mirroring FdLineReader.
 class LineCursor {
@@ -369,6 +429,8 @@ std::optional<Request> readRequest(std::istream& in) {
         return parsePredictBatch(line, in);
       case Verb::kCalibrate:
         return parseCalibrate(line);
+      case Verb::kRepl:
+        return parseRepl(line);
       case Verb::kSlowdown:
       case Verb::kStats:
       case Verb::kHealth:
@@ -406,6 +468,8 @@ std::optional<Request> parseRequestText(std::string_view text) {
         return parsePredictBatchView(line, lines);
       case Verb::kCalibrate:
         return parseCalibrate(line);
+      case Verb::kRepl:
+        return parseRepl(line);
       case Verb::kSlowdown:
       case Verb::kStats:
       case Verb::kHealth:
@@ -452,6 +516,23 @@ std::string formatRequest(const Request& request) {
                  formatDouble(request.observation.value) + '\n';
       }
       fail("formatRequest: invalid CALIBRATE action");
+    case Verb::kRepl:
+      switch (request.repl) {
+        case ReplAction::kHello:
+          return "REPL HELLO\n";
+        case ReplAction::kStatus:
+          return "REPL STATUS\n";
+        case ReplAction::kPromote:
+          return "REPL PROMOTE\n";
+        case ReplAction::kAck:
+          return "REPL ACK " + std::to_string(request.replEpoch) + '\n';
+        case ReplAction::kSnapshot:
+          return "REPL SNAPSHOT " + std::to_string(request.replOffset) + '\n';
+        case ReplAction::kSince:
+          return "REPL SINCE " + std::to_string(request.replEpoch) + ' ' +
+                 std::to_string(request.replMax) + '\n';
+      }
+      fail("formatRequest: invalid REPL action");
     case Verb::kPredict: {
       const tools::TaskSpec& task = request.task;
       std::string out =

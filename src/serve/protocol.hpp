@@ -13,6 +13,8 @@
 //     METRICS
 //     CALIBRATE [OBSERVE <family> <contenders> <words> <value> | APPLY]
 //     DRIFT
+//     REPL [HELLO | STATUS | PROMOTE | SINCE <epoch> [<max>] |
+//           ACK <epoch> | SNAPSHOT <offset>]
 //     PREDICT <name>
 //       front 8.0
 //       back  1.5
@@ -72,8 +74,9 @@ enum class Verb {
   kMetrics,
   kCalibrate,
   kDrift,
+  kRepl,
 };
-inline constexpr int kVerbCount = 10;
+inline constexpr int kVerbCount = 11;
 
 [[nodiscard]] const char* verbName(Verb verb);
 [[nodiscard]] std::optional<Verb> verbFromName(std::string_view name);
@@ -89,6 +92,8 @@ inline constexpr std::string_view kErrDeadline = "deadline_exceeded";
 inline constexpr std::string_view kErrOverloaded = "overloaded";
 inline constexpr std::string_view kErrInvalidArgument = "invalid_argument";
 inline constexpr std::string_view kErrInternal = "internal";
+inline constexpr std::string_view kErrNotCaughtUp = "not_caught_up";
+inline constexpr std::string_view kErrReadOnly = "read_only";
 
 /// Thrown on any malformed request or response. The daemon turns these into
 /// `ERR <code> <message>` lines instead of dropping the connection.
@@ -117,6 +122,23 @@ class ProtocolError : public std::runtime_error {
 /// conventions). DRIFT takes no arguments.
 enum class CalibrateAction { kReport, kObserve, kApply };
 
+/// REPL subcommands (all single-line; see docs/SERVING.md, "Clustering &
+/// replication"):
+///
+///     REPL HELLO                — handshake: role, epoch, log floor
+///     REPL STATUS               — role, epoch, lag, caught-up flag
+///     REPL SINCE <epoch> [max]  — journal frames with epoch > <epoch>,
+///                                 hex-encoded as frame.N fields, or
+///                                 snapshot_needed=1 when compacted away
+///     REPL ACK <epoch>          — follower acknowledges applied epoch
+///     REPL SNAPSHOT <offset>    — one hex chunk of the snapshot image
+///     REPL PROMOTE              — follower becomes a writable primary
+enum class ReplAction { kHello, kStatus, kSince, kAck, kSnapshot, kPromote };
+
+/// Default and ceiling for the REPL SINCE frame-count argument.
+inline constexpr std::uint64_t kReplDefaultMaxFrames = 256;
+inline constexpr std::uint64_t kReplMaxFrames = 4096;
+
 struct Request {
   Verb verb = Verb::kSlowdown;
   model::CompetingApp app;              // ARRIVE
@@ -125,6 +147,10 @@ struct Request {
   std::vector<tools::TaskSpec> batch;   // PREDICT_BATCH
   CalibrateAction calibrate = CalibrateAction::kReport;  // CALIBRATE
   CalibrationObservation observation;   // CALIBRATE OBSERVE
+  ReplAction repl = ReplAction::kStatus;  // REPL
+  std::uint64_t replEpoch = 0;          // REPL SINCE / ACK
+  std::uint64_t replMax = kReplDefaultMaxFrames;  // REPL SINCE
+  std::uint64_t replOffset = 0;         // REPL SNAPSHOT
 };
 
 /// Reads the next request (skipping blanks/comments); nullopt at EOF.

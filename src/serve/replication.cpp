@@ -1,0 +1,267 @@
+#include "serve/replication.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+
+namespace contend::serve {
+
+namespace {
+
+Request replRequest(ReplAction action) {
+  Request request;
+  request.verb = Verb::kRepl;
+  request.repl = action;
+  return request;
+}
+
+}  // namespace
+
+const char* replRoleName(ReplRole role) {
+  switch (role) {
+    case ReplRole::kStandalone:
+      return "standalone";
+    case ReplRole::kPrimary:
+      return "primary";
+    case ReplRole::kFollower:
+      return "follower";
+  }
+  return "unknown";
+}
+
+std::string encodeHex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto byte = static_cast<unsigned char>(c);
+    out += kDigits[byte >> 4];
+    out += kDigits[byte & 0x0f];
+  }
+  return out;
+}
+
+std::optional<std::string> decodeHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int high = nibble(hex[i]);
+    const int low = nibble(hex[i + 1]);
+    if (high < 0 || low < 0) return std::nullopt;
+    out += static_cast<char>((high << 4) | low);
+  }
+  return out;
+}
+
+std::string encodeReplFrame(const JournalRecord& record) {
+  return encodeHex(encodeRecord(record));
+}
+
+std::optional<JournalRecord> decodeReplFrame(std::string_view hex) {
+  const std::optional<std::string> bytes = decodeHex(hex);
+  if (!bytes) return std::nullopt;
+  std::size_t cleanBytes = 0;
+  const std::vector<JournalRecord> records =
+      decodeRecords(*bytes, &cleanBytes);
+  // Exactly one record, no torn tail, no trailing garbage: a replication
+  // frame is a unit, not a stream.
+  if (records.size() != 1 || cleanBytes != bytes->size()) return std::nullopt;
+  return records.front();
+}
+
+ReplicationLog::ReplicationLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void ReplicationLog::start(std::uint64_t baseEpoch) {
+  std::lock_guard lock(mutex_);
+  frames_.clear();
+  baseEpoch_ = baseEpoch;
+  headEpoch_ = baseEpoch;
+}
+
+void ReplicationLog::append(std::uint64_t epoch, std::string frame) {
+  std::lock_guard lock(mutex_);
+  frames_.emplace_back(epoch, std::move(frame));
+  headEpoch_ = epoch;
+  while (frames_.size() > capacity_) {
+    baseEpoch_ = frames_.front().first;
+    frames_.pop_front();
+  }
+}
+
+ReplicationLog::Batch ReplicationLog::since(std::uint64_t fromEpoch,
+                                            std::size_t maxFrames,
+                                            std::size_t maxBytes) const {
+  std::lock_guard lock(mutex_);
+  Batch batch;
+  batch.headEpoch = headEpoch_;
+  if (fromEpoch < baseEpoch_) {
+    batch.snapshotNeeded = true;  // compacted past the requested epoch
+    return batch;
+  }
+  // Epochs are consecutive (the single-writer tracker increments by one
+  // per mutation), so frames_[i] holds epoch baseEpoch_ + 1 + i.
+  std::size_t index = static_cast<std::size_t>(fromEpoch - baseEpoch_);
+  std::size_t bytes = 0;
+  while (index < frames_.size() && batch.frames.size() < maxFrames) {
+    const auto& [epoch, frame] = frames_[index];
+    if (!batch.frames.empty() && bytes + frame.size() > maxBytes) break;
+    bytes += frame.size();
+    batch.frames.emplace_back(epoch, frame);
+    ++index;
+  }
+  return batch;
+}
+
+std::uint64_t ReplicationLog::floorEpoch() const {
+  std::lock_guard lock(mutex_);
+  return baseEpoch_;
+}
+
+std::uint64_t ReplicationLog::headEpoch() const {
+  std::lock_guard lock(mutex_);
+  return headEpoch_;
+}
+
+ReplicationFollower::ReplicationFollower(ReplicationFollowerConfig config,
+                                         ConcurrentTracker& tracker,
+                                         ReplicationState& state)
+    : config_(std::move(config)), tracker_(tracker), state_(state) {}
+
+ReplicationFollower::~ReplicationFollower() { stop(); }
+
+void ReplicationFollower::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ReplicationFollower::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplicationFollower::loop() {
+  while (running_.load(std::memory_order_relaxed) &&
+         state_.role() == ReplRole::kFollower) {
+    try {
+      Client client(config_.primary, config_.timeoutMs, config_.reconnect);
+      const Response hello = client.call(replRequest(ReplAction::kHello));
+      if (!hello.ok) throw ProtocolError(hello.code, hello.error);
+      while (running_.load(std::memory_order_relaxed) &&
+             state_.role() == ReplRole::kFollower) {
+        const std::size_t appliedNow = pollOnce(client);
+        if (appliedNow == 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(config_.pollIntervalMs));
+        }
+      }
+    } catch (const TransportError&) {
+      // Primary unreachable. Lag keeps its last-known value — a follower
+      // that was caught up stays servable while the primary is gone — and
+      // the outer loop keeps retrying until stopped or promoted.
+    } catch (const ProtocolError&) {
+      // A confused peer (e.g. a mid-restart primary still recovering).
+      // Back off and retry from a fresh handshake.
+    }
+    if (running_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.pollIntervalMs * 4 + 1));
+    }
+  }
+}
+
+std::size_t ReplicationFollower::pollOnce(Client& client) {
+  const std::uint64_t local = tracker_.slowdowns().epoch;
+  Request request = replRequest(ReplAction::kSince);
+  request.replEpoch = local;
+  request.replMax = config_.maxFramesPerPoll;
+  const Response response = client.call(request);
+  if (!response.ok) throw ProtocolError(response.code, response.error);
+  if (response.find("snapshot_needed") != nullptr) {
+    catchUpFromSnapshot(client);
+    return 1;  // progress was made; re-poll immediately
+  }
+  const auto head = static_cast<std::uint64_t>(response.number("epoch"));
+  const auto count = static_cast<std::size_t>(response.number("count"));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string* hex = response.find("frame." + std::to_string(i));
+    if (hex == nullptr) {
+      throw ProtocolError(kErrInternal, "REPL SINCE: missing frame field");
+    }
+    const std::optional<JournalRecord> record = decodeReplFrame(*hex);
+    if (!record) {
+      throw ProtocolError(kErrInternal, "REPL SINCE: undecodable frame");
+    }
+    tracker_.applyReplicated(*record);
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t after = tracker_.slowdowns().epoch;
+  state_.setLagRecords(head > after ? head - after : 0);
+  if (count > 0) {
+    Request ack = replRequest(ReplAction::kAck);
+    ack.replEpoch = after;
+    const Response acked = client.call(ack);
+    if (!acked.ok) throw ProtocolError(acked.code, acked.error);
+  }
+  return count;
+}
+
+void ReplicationFollower::catchUpFromSnapshot(Client& client) {
+  // The primary re-exports the image per chunk; the epoch stamp detects a
+  // mutation landing mid-transfer (the image changed), in which case the
+  // whole transfer restarts. The single-writer epoch uniquely identifies
+  // the state, so an unchanged epoch means unchanged bytes.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::string bytes;
+    std::uint64_t imageEpoch = 0;
+    std::uint64_t total = 0;
+    bool torn = false;
+    while (running_.load(std::memory_order_relaxed)) {
+      Request request = replRequest(ReplAction::kSnapshot);
+      request.replOffset = bytes.size();
+      const Response response = client.call(request);
+      if (!response.ok) throw ProtocolError(response.code, response.error);
+      const auto epoch =
+          static_cast<std::uint64_t>(response.number("epoch"));
+      if (bytes.empty()) {
+        imageEpoch = epoch;
+      } else if (epoch != imageEpoch) {
+        torn = true;
+        break;
+      }
+      total = static_cast<std::uint64_t>(response.number("total"));
+      const std::string* chunkHex = response.find("chunk");
+      if (chunkHex != nullptr) {
+        const std::optional<std::string> chunk = decodeHex(*chunkHex);
+        if (!chunk) {
+          throw ProtocolError(kErrInternal,
+                              "REPL SNAPSHOT: undecodable chunk");
+        }
+        bytes += *chunk;
+      }
+      if (bytes.size() >= total) break;
+    }
+    if (torn) continue;
+    if (!running_.load(std::memory_order_relaxed)) return;
+    const std::optional<SnapshotImage> image = decodeSnapshot(bytes);
+    if (!image) {
+      throw ProtocolError(kErrInternal,
+                          "REPL SNAPSHOT: image failed to decode");
+    }
+    tracker_.installImage(*image);
+    snapshotCatchups_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  throw ProtocolError(kErrInternal,
+                      "REPL SNAPSHOT: image kept changing; giving up");
+}
+
+}  // namespace contend::serve

@@ -1,0 +1,211 @@
+// replication.hpp — journal-streaming replication for contend-serve.
+//
+// The primary's write-ahead journal already produces epoch-stamped,
+// CRC-framed, bit-identically-replayable records; replication is that
+// stream given a transport. Every mutation's encoded record frame is
+// mirrored into a bounded in-memory ReplicationLog, and followers pull it
+// over a dedicated REPL connection using the normal line protocol:
+//
+//     follower                                primary
+//     --------                                -------
+//     REPL HELLO                           -> role/epoch handshake
+//     REPL SNAPSHOT <offset>  (cold start) -> hex chunks of the snapshot
+//     REPL SINCE <epoch> [max]             -> frame.N=<hex> ... (in order)
+//     REPL ACK <epoch>                     -> primary records follower lag
+//
+// Frames apply through the same applyRecordLocked machinery as crash
+// recovery, so a caught-up follower is bit-identical to the primary at a
+// known epoch. The log is bounded: a follower that falls behind its floor
+// is told `snapshot_needed=1` and catches up from a full snapshot image
+// instead (chunked under the response-line cap).
+//
+// Pull-based "streaming" keeps the primary passive — no follower registry,
+// no push threads, no half-dead connections to reap. A follower polling a
+// quiet primary costs one small request per interval; under write load the
+// batch size amortizes the round trip.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/journal.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+
+enum class ReplRole { kStandalone, kPrimary, kFollower };
+
+[[nodiscard]] const char* replRoleName(ReplRole role);
+
+/// Lowercase hex codec for record frames on the text protocol (a journal
+/// frame is binary; a response field must be one whitespace-free token).
+[[nodiscard]] std::string encodeHex(std::string_view bytes);
+[[nodiscard]] std::optional<std::string> decodeHex(std::string_view hex);
+
+/// One replication frame: hex over the journal's CRC-framed record
+/// encoding. Decoding demands exactly one record covering every byte —
+/// a torn, corrupt, or trailing-garbage frame is rejected as a whole.
+[[nodiscard]] std::string encodeReplFrame(const JournalRecord& record);
+[[nodiscard]] std::optional<JournalRecord> decodeReplFrame(
+    std::string_view hex);
+
+/// Bounded in-memory tail of the journal stream, appended by the tracker
+/// on every mutation (under its write mutex) and read by REPL SINCE
+/// handlers from server worker threads.
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(std::size_t capacity = 65536);
+
+  /// Anchors the log: epochs at or below `baseEpoch` predate it (a fresh
+  /// follower below the base needs a snapshot). Called once after journal
+  /// recovery, before any append.
+  void start(std::uint64_t baseEpoch);
+
+  /// Appends one encoded record frame; drops the oldest frame (advancing
+  /// the floor) once past capacity.
+  void append(std::uint64_t epoch, std::string frame);
+
+  struct Batch {
+    std::uint64_t headEpoch = 0;  // last epoch the log has seen
+    bool snapshotNeeded = false;  // fromEpoch predates the retained floor
+    std::vector<std::pair<std::uint64_t, std::string>> frames;
+  };
+
+  /// Frames with epoch > fromEpoch, oldest first, capped at maxFrames and
+  /// maxBytes of frame payload (a batch must fit one response line).
+  [[nodiscard]] Batch since(std::uint64_t fromEpoch, std::size_t maxFrames,
+                            std::size_t maxBytes) const;
+
+  [[nodiscard]] std::uint64_t floorEpoch() const;
+  [[nodiscard]] std::uint64_t headEpoch() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::pair<std::uint64_t, std::string>> frames_;
+  std::size_t capacity_;
+  std::uint64_t baseEpoch_ = 0;  // floor: epochs <= base are gone
+  std::uint64_t headEpoch_ = 0;
+};
+
+/// Role + lag shared between the server (REPL handling, follower read
+/// gating, STATS/HEALTH/METRICS) and the follower apply thread. One per
+/// daemon; standalone daemons simply have none.
+class ReplicationState {
+ public:
+  explicit ReplicationState(std::uint64_t maxLagRecords = 64,
+                            std::size_t logCapacity = 65536)
+      : maxLagRecords_(maxLagRecords), log_(logCapacity) {}
+
+  [[nodiscard]] ReplRole role() const {
+    return static_cast<ReplRole>(role_.load(std::memory_order_acquire));
+  }
+  void setRole(ReplRole role) {
+    role_.store(static_cast<int>(role), std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t lagRecords() const {
+    return lag_.load(std::memory_order_relaxed);
+  }
+  void setLagRecords(std::uint64_t lag) {
+    lag_.store(lag, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t ackedEpoch() const {
+    return acked_.load(std::memory_order_relaxed);
+  }
+  void noteAck(std::uint64_t epoch) {
+    acked_.store(epoch, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t maxLagRecords() const { return maxLagRecords_; }
+  [[nodiscard]] bool caughtUp() const {
+    return lagRecords() <= maxLagRecords_;
+  }
+
+  /// Follower -> writable primary (REPL PROMOTE). The log already holds
+  /// the replicated tail — applyReplicated mirrors frames into it exactly
+  /// like primary mutations — so a promoted follower can serve SINCE to
+  /// the remaining followers immediately. The apply thread notices the
+  /// role change and stops on its own.
+  void promote() {
+    setLagRecords(0);
+    setRole(ReplRole::kPrimary);
+  }
+
+  [[nodiscard]] ReplicationLog& log() { return log_; }
+  [[nodiscard]] const ReplicationLog& log() const { return log_; }
+
+ private:
+  std::atomic<int> role_{static_cast<int>(ReplRole::kStandalone)};
+  std::atomic<std::uint64_t> lag_{0};
+  std::atomic<std::uint64_t> acked_{0};
+  std::uint64_t maxLagRecords_;
+  ReplicationLog log_;
+};
+
+/// Snapshot chunking: raw bytes per REPL SNAPSHOT response. Hex doubles
+/// it; 512 KiB keeps the line comfortably under kMaxResponseLineBytes.
+inline constexpr std::size_t kReplSnapshotChunkBytes = std::size_t{512}
+                                                       << 10;
+
+/// Byte budget for one REPL SINCE batch (hex), same headroom rationale.
+inline constexpr std::size_t kReplSinceMaxBytes = std::size_t{1} << 20;
+
+struct ReplicationFollowerConfig {
+  Endpoint primary;
+  int pollIntervalMs = 2;  // tight poll when idle; batches when busy
+  std::uint64_t maxFramesPerPoll = kReplDefaultMaxFrames;
+  int timeoutMs = 10000;
+  ReconnectPolicy reconnect;  // transient primary outages ride through this
+};
+
+/// The follower's apply loop: a thread owning a Client to the primary,
+/// pulling frames (or a snapshot when cold) and applying them to the local
+/// tracker. Lag is published through the shared ReplicationState; on a
+/// dead primary the last-known lag sticks, so a follower that was caught
+/// up keeps serving reads while the primary is gone.
+class ReplicationFollower {
+ public:
+  ReplicationFollower(ReplicationFollowerConfig config,
+                      ConcurrentTracker& tracker, ReplicationState& state);
+  ~ReplicationFollower();
+
+  ReplicationFollower(const ReplicationFollower&) = delete;
+  ReplicationFollower& operator=(const ReplicationFollower&) = delete;
+
+  void start();
+  void stop();  // idempotent; joins the apply thread
+
+  [[nodiscard]] std::uint64_t appliedRecords() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t snapshotCatchups() const {
+    return snapshotCatchups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  /// One poll round against a connected client. Returns the number of
+  /// frames applied; throws TransportError/ProtocolError upward.
+  std::size_t pollOnce(Client& client);
+  void catchUpFromSnapshot(Client& client);
+
+  ReplicationFollowerConfig config_;
+  ConcurrentTracker& tracker_;
+  ReplicationState& state_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> snapshotCatchups_{0};
+  std::thread thread_;
+};
+
+}  // namespace contend::serve

@@ -1,0 +1,198 @@
+#include "serve/ring.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "serve/server.hpp"
+#include "util/tokens.hpp"
+
+namespace contend::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// splitmix64: places each vnode pseudo-uniformly on the circle so shard
+/// ownership stays balanced without coordinating point positions.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void badTopology(int lineNo, const std::string& message) {
+  throw std::invalid_argument("topology line " + std::to_string(lineNo) +
+                              ": " + message);
+}
+
+}  // namespace
+
+ClusterTopology parseTopology(std::istream& in) {
+  // Collected as (shard, isPrimary, endpoint); validated once the whole
+  // file is read so out-of-order declarations are fine.
+  struct Entry {
+    std::int64_t shard = 0;
+    bool primary = false;
+    std::string endpoint;
+  };
+  std::vector<Entry> entries;
+  std::unordered_set<std::string> seenEndpoints;
+  std::int64_t maxShard = -1;
+
+  std::string raw;
+  int lineNo = 0;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    util::TokenCursor line(util::stripLineComment(raw));
+    const auto keyword = line.next();
+    if (!keyword) continue;  // blank / comment-only
+    if (*keyword != "shard") {
+      badTopology(lineNo, "expected 'shard', got '" + std::string(*keyword) +
+                              "'");
+    }
+    Entry entry;
+    const auto indexToken = line.next();
+    if (!indexToken || !util::parseInteger(*indexToken, entry.shard) ||
+        entry.shard < 0 || entry.shard > 4096) {
+      badTopology(lineNo, "expected a shard index in [0, 4096]");
+    }
+    const auto roleToken = line.next();
+    if (!roleToken || (*roleToken != "primary" && *roleToken != "follower")) {
+      badTopology(lineNo, "expected 'primary' or 'follower'");
+    }
+    entry.primary = *roleToken == "primary";
+    const auto endpointToken = line.next();
+    if (!endpointToken) badTopology(lineNo, "expected an endpoint spec");
+    entry.endpoint = std::string(*endpointToken);
+    try {
+      (void)parseEndpoint(entry.endpoint);  // validate the spec now
+    } catch (const std::invalid_argument& error) {
+      badTopology(lineNo, error.what());
+    }
+    if (const auto extra = line.next()) {
+      badTopology(lineNo, "trailing tokens: '" + std::string(*extra) + "'");
+    }
+    if (!seenEndpoints.insert(entry.endpoint).second) {
+      badTopology(lineNo, "duplicate endpoint '" + entry.endpoint + "'");
+    }
+    maxShard = std::max(maxShard, entry.shard);
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    throw std::invalid_argument("topology declares no shards");
+  }
+
+  ClusterTopology topology;
+  topology.shards.resize(static_cast<std::size_t>(maxShard + 1));
+  for (Entry& entry : entries) {
+    ShardSpec& shard = topology.shards[static_cast<std::size_t>(entry.shard)];
+    if (entry.primary) {
+      if (!shard.primary.empty()) {
+        throw std::invalid_argument("shard " + std::to_string(entry.shard) +
+                                    " declares more than one primary");
+      }
+      shard.primary = std::move(entry.endpoint);
+    } else {
+      shard.followers.push_back(std::move(entry.endpoint));
+    }
+  }
+  for (std::size_t i = 0; i < topology.shards.size(); ++i) {
+    if (topology.shards[i].primary.empty()) {
+      throw std::invalid_argument("shard " + std::to_string(i) +
+                                  " has no primary (indices must be "
+                                  "contiguous from 0)");
+    }
+  }
+  return topology;
+}
+
+ClusterTopology loadTopologyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open topology file: " + path);
+  }
+  return parseTopology(in);
+}
+
+std::vector<std::string> shardEndpoints(const ClusterTopology& topology,
+                                        int shard) {
+  if (shard < 0 || shard >= topology.shardCount()) {
+    throw std::invalid_argument("shard index out of range: " +
+                                std::to_string(shard));
+  }
+  const ShardSpec& spec = topology.shards[static_cast<std::size_t>(shard)];
+  std::vector<std::string> endpoints;
+  endpoints.reserve(1 + spec.followers.size());
+  endpoints.push_back(spec.primary);
+  endpoints.insert(endpoints.end(), spec.followers.begin(),
+                   spec.followers.end());
+  return endpoints;
+}
+
+std::uint64_t appRouteKey(const model::CompetingApp& app) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(app.commFraction));
+  hash = fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+  return hash;
+}
+
+std::uint64_t taskRouteKey(const tools::TaskSpec& task) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.frontEndSec));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.backEndSec));
+  for (const model::DataSet& set : task.toBackend) {
+    hash = fnvMix(hash, static_cast<std::uint64_t>(set.messages));
+    hash = fnvMix(hash, static_cast<std::uint64_t>(set.words));
+  }
+  for (const model::DataSet& set : task.fromBackend) {
+    hash = fnvMix(hash, ~static_cast<std::uint64_t>(set.messages));
+    hash = fnvMix(hash, ~static_cast<std::uint64_t>(set.words));
+  }
+  return hash;
+}
+
+ConsistentHashRing::ConsistentHashRing(int shards, int vnodesPerShard)
+    : shards_(shards) {
+  if (shards <= 0) {
+    throw std::invalid_argument("ring needs at least one shard");
+  }
+  if (vnodesPerShard <= 0) {
+    throw std::invalid_argument("ring needs at least one vnode per shard");
+  }
+  points_.reserve(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(vnodesPerShard));
+  for (int shard = 0; shard < shards; ++shard) {
+    for (int vnode = 0; vnode < vnodesPerShard; ++vnode) {
+      const std::uint64_t seed =
+          (static_cast<std::uint64_t>(shard) << 20) |
+          static_cast<std::uint64_t>(vnode);
+      points_.emplace_back(splitmix64(seed), shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+int ConsistentHashRing::shardFor(std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, int>& point, std::uint64_t k) {
+        return point.first < k;
+      });
+  return it == points_.end() ? points_.front().second : it->second;
+}
+
+}  // namespace contend::serve

@@ -1,0 +1,77 @@
+// ring.hpp — static cluster topology + consistent-hash shard routing.
+//
+// A cluster is declared in a small text file, one replica per line:
+//
+//     # shard <index> <primary|follower> <endpoint>
+//     shard 0 primary  unix:/tmp/contend_shard0.sock
+//     shard 0 follower unix:/tmp/contend_shard0_f.sock
+//     shard 1 primary  tcp:127.0.0.1:7101
+//
+// Shard indices must be contiguous from 0 and each shard must declare
+// exactly one primary; followers are optional and ordered as written (the
+// failover order ClusterClient walks). Blank lines and `#` comments are
+// ignored, matching every other text format in the repo.
+//
+// Routing is a consistent-hash ring over the shard set: each shard owns a
+// fixed number of virtual points on a 64-bit circle, and a key routes to
+// the owner of the first point at or after it. The ring is static — the
+// topology file is the membership, there is no gossip — so every client
+// and daemon derives the identical mapping from the same file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/mix.hpp"
+#include "tools/workload_file.hpp"
+
+namespace contend::serve {
+
+struct ShardSpec {
+  std::string primary;                 // endpoint spec, e.g. "unix:/tmp/a"
+  std::vector<std::string> followers;  // failover order
+};
+
+struct ClusterTopology {
+  std::vector<ShardSpec> shards;
+
+  [[nodiscard]] int shardCount() const {
+    return static_cast<int>(shards.size());
+  }
+};
+
+/// Parses a topology stream / file. Throws std::invalid_argument on grammar
+/// errors, non-contiguous shard indices, a shard without (or with more than
+/// one) primary, an unparseable endpoint, or a duplicate endpoint.
+[[nodiscard]] ClusterTopology parseTopology(std::istream& in);
+[[nodiscard]] ClusterTopology loadTopologyFile(const std::string& path);
+
+/// All endpoints of one shard in failover order: primary first, then the
+/// followers as declared.
+[[nodiscard]] std::vector<std::string> shardEndpoints(
+    const ClusterTopology& topology, int shard);
+
+/// Routing keys. Applications hash by their mix signature contribution
+/// (comm fraction bits + message words — the same fields the tracker's
+/// order-independent signature folds); tasks hash by the fields that price
+/// them (name excluded, so renaming a task never re-routes it).
+[[nodiscard]] std::uint64_t appRouteKey(const model::CompetingApp& app);
+[[nodiscard]] std::uint64_t taskRouteKey(const tools::TaskSpec& task);
+
+/// The static ring: vnodesPerShard points per shard on a 64-bit circle.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int shards, int vnodesPerShard = 64);
+
+  [[nodiscard]] int shardFor(std::uint64_t key) const;
+  [[nodiscard]] int shardCount() const { return shards_; }
+
+ private:
+  int shards_;
+  std::vector<std::pair<std::uint64_t, int>> points_;  // sorted by hash
+};
+
+}  // namespace contend::serve

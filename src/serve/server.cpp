@@ -27,6 +27,7 @@
 #include "serve/event_engine.hpp"
 #include "serve/net_util.hpp"
 #include "serve/prometheus.hpp"
+#include "serve/replication.hpp"
 #include "util/tokens.hpp"
 
 namespace contend::serve {
@@ -586,6 +587,48 @@ Response Server::handle(const Request& request) {
     response.add("comp", snapshot.comp);
     response.add("comm", snapshot.comm);
   };
+  // Follower gating: mutations must go through the shard primary (the
+  // replication stream is the only writer), and reads are refused once the
+  // follower lags past its configured threshold — a stale answer labeled
+  // `not_caught_up` beats a silently wrong one. Observability verbs and
+  // REPL itself always answer, or operators couldn't diagnose the lag.
+  if (config_.replication != nullptr &&
+      config_.replication->role() == ReplRole::kFollower) {
+    switch (request.verb) {
+      case Verb::kArrive:
+      case Verb::kDepart:
+        response.ok = false;
+        response.code = kErrReadOnly;
+        response.error = "follower is read-only; send mutations to the "
+                         "shard primary";
+        return response;
+      case Verb::kCalibrate:
+        if (request.calibrate != CalibrateAction::kReport) {
+          response.ok = false;
+          response.code = kErrReadOnly;
+          response.error = "follower is read-only; calibrate via the shard "
+                           "primary";
+          return response;
+        }
+        break;
+      case Verb::kPredict:
+      case Verb::kPredictBatch:
+      case Verb::kSlowdown:
+        if (!config_.replication->caughtUp()) {
+          response.ok = false;
+          response.code = kErrNotCaughtUp;
+          response.error =
+              "follower lags " +
+              std::to_string(config_.replication->lagRecords()) +
+              " records behind the primary (threshold " +
+              std::to_string(config_.replication->maxLagRecords()) + ")";
+          return response;
+        }
+        break;
+      default:
+        break;
+    }
+  }
   switch (request.verb) {
     case Verb::kArrive: {
       const MutationResult result = tracker_.arrive(request.app);
@@ -672,6 +715,17 @@ Response Server::handle(const Request& request) {
         response.add("journal", std::string("off"));
         response.add("journal_lag_records", std::uint64_t{0});
         response.add("journal_append_errors", std::uint64_t{0});
+      }
+      // Always present (0 / standalone when unclustered) so dashboards and
+      // supervisors have a stable schema.
+      if (config_.replication != nullptr) {
+        response.add("repl_role",
+                     std::string(replRoleName(config_.replication->role())));
+        response.add("repl_lag_records", config_.replication->lagRecords());
+      } else {
+        response.add("repl_role",
+                     std::string(replRoleName(ReplRole::kStandalone)));
+        response.add("repl_lag_records", std::uint64_t{0});
       }
       break;
     }
@@ -785,11 +839,129 @@ Response Server::handle(const Request& request) {
         response.add("journal_append_errors", journal.appendErrors);
         response.add("journal_lag_records", journal.lagRecords);
       }
+      if (config_.replication != nullptr) {
+        response.add("repl_role",
+                     std::string(replRoleName(config_.replication->role())));
+        response.add("repl_lag_records", config_.replication->lagRecords());
+        response.add("repl_acked_epoch", config_.replication->ackedEpoch());
+      } else {
+        response.add("repl_role",
+                     std::string(replRoleName(ReplRole::kStandalone)));
+        response.add("repl_lag_records", std::uint64_t{0});
+        response.add("repl_acked_epoch", std::uint64_t{0});
+      }
       metrics_.fill(response);
       break;
     }
+    case Verb::kRepl:
+      handleRepl(request, response);
+      break;
   }
   return response;
+}
+
+void Server::handleRepl(const Request& request, Response& response) {
+  ReplicationState* repl = config_.replication;
+  const ReplRole role =
+      repl != nullptr ? repl->role() : ReplRole::kStandalone;
+  const auto refuse = [&response](std::string message) {
+    response.ok = false;
+    response.code = kErrInvalidArgument;
+    response.error = std::move(message);
+  };
+  switch (request.repl) {
+    case ReplAction::kHello: {
+      response.add("role", std::string(replRoleName(role)));
+      response.add("epoch", tracker_.slowdowns().epoch);
+      if (repl != nullptr) {
+        response.add("log_floor", repl->log().floorEpoch());
+      }
+      break;
+    }
+    case ReplAction::kStatus: {
+      response.add("role", std::string(replRoleName(role)));
+      response.add("epoch", tracker_.slowdowns().epoch);
+      if (repl != nullptr) {
+        response.add("repl_lag_records", repl->lagRecords());
+        response.add("acked_epoch", repl->ackedEpoch());
+        response.add("threshold", repl->maxLagRecords());
+        response.add("caught_up",
+                     static_cast<std::uint64_t>(repl->caughtUp() ? 1 : 0));
+      } else {
+        response.add("repl_lag_records", std::uint64_t{0});
+        response.add("acked_epoch", std::uint64_t{0});
+        response.add("threshold", std::uint64_t{0});
+        response.add("caught_up", std::uint64_t{1});
+      }
+      break;
+    }
+    case ReplAction::kSince: {
+      if (repl == nullptr) {
+        refuse("REPL SINCE: replication is not configured");
+        return;
+      }
+      const ReplicationLog::Batch batch = repl->log().since(
+          request.replEpoch, request.replMax, kReplSinceMaxBytes);
+      response.add("epoch", batch.headEpoch);
+      if (batch.snapshotNeeded) {
+        response.add("snapshot_needed", std::uint64_t{1});
+        break;
+      }
+      response.add("count",
+                   static_cast<std::uint64_t>(batch.frames.size()));
+      for (std::size_t i = 0; i < batch.frames.size(); ++i) {
+        response.add("frame." + std::to_string(i),
+                     encodeHex(batch.frames[i].second));
+      }
+      break;
+    }
+    case ReplAction::kAck: {
+      if (repl == nullptr) {
+        refuse("REPL ACK: replication is not configured");
+        return;
+      }
+      repl->noteAck(request.replEpoch);
+      response.add("acked", request.replEpoch);
+      break;
+    }
+    case ReplAction::kSnapshot: {
+      if (repl == nullptr) {
+        refuse("REPL SNAPSHOT: replication is not configured");
+        return;
+      }
+      const SnapshotImage image = tracker_.exportImage();
+      const std::string bytes = encodeSnapshot(image);
+      if (request.replOffset > bytes.size()) {
+        refuse("REPL SNAPSHOT: offset " +
+               std::to_string(request.replOffset) + " past image size " +
+               std::to_string(bytes.size()));
+        return;
+      }
+      const std::size_t length =
+          std::min(kReplSnapshotChunkBytes,
+                   bytes.size() - static_cast<std::size_t>(
+                                      request.replOffset));
+      response.add("epoch", image.epoch);
+      response.add("total", static_cast<std::uint64_t>(bytes.size()));
+      response.add("offset", request.replOffset);
+      response.add(
+          "chunk",
+          encodeHex(std::string_view(bytes).substr(
+              static_cast<std::size_t>(request.replOffset), length)));
+      break;
+    }
+    case ReplAction::kPromote: {
+      if (repl == nullptr) {
+        refuse("REPL PROMOTE: replication is not configured");
+        return;
+      }
+      // Idempotent: promoting a primary (or standalone) is a no-op answer.
+      if (repl->role() == ReplRole::kFollower) repl->promote();
+      response.add("role", std::string(replRoleName(repl->role())));
+      response.add("epoch", tracker_.slowdowns().epoch);
+      break;
+    }
+  }
 }
 
 std::string Server::renderMetricsText() const {
@@ -804,6 +976,11 @@ std::string Server::renderMetricsText() const {
   if (config_.journal != nullptr) {
     input.journal = true;
     input.journalStats = config_.journal->stats();
+  }
+  if (config_.replication != nullptr) {
+    input.replRole = static_cast<int>(config_.replication->role());
+    input.replLagRecords = config_.replication->lagRecords();
+    input.replAckedEpoch = config_.replication->ackedEpoch();
   }
   return renderPrometheusText(input);
 }

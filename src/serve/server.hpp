@@ -37,6 +37,8 @@
 
 namespace contend::serve {
 
+class ReplicationState;  // serve/replication.hpp
+
 /// Where to listen/connect. Specs: `unix:/path/to.sock`,
 /// `tcp:host:port`, or `tcp:port` (host defaults to 127.0.0.1).
 struct Endpoint {
@@ -94,6 +96,10 @@ struct ServerConfig {
   // one structured stderr line each (verb, bytes, duration, queue wait).
   // 0 disables the threshold.
   std::uint64_t slowRequestUs = 0;
+  // Cluster role + lag state (not owned; must outlive the server). nullptr
+  // for a standalone daemon. A primary serves REPL SINCE/SNAPSHOT from it;
+  // a follower gates reads on its lag and refuses mutations.
+  ReplicationState* replication = nullptr;
 };
 
 /// One serving core, created by Server::start() after the listen socket
@@ -148,6 +154,9 @@ class Server {
   friend class EventEngine;
 
   [[nodiscard]] Response handle(const Request& request);
+  /// The REPL verb (handshake, frame streaming, snapshot chunks, ack,
+  /// promote) — split out of handle() for readability.
+  void handleRepl(const Request& request, Response& response);
   /// One consistent read of counters/tracker/journal rendered as the
   /// Prometheus text exposition the METRICS verb answers with.
   [[nodiscard]] std::string renderMetricsText() const;

@@ -15,6 +15,7 @@
 // itself (the raw syscalls stay visible to hook implementations).
 #pragma once
 
+#include <sys/socket.h>
 #include <sys/types.h>
 
 #include <cstddef>
@@ -32,6 +33,11 @@ struct SyscallHooks {
   std::function<ssize_t(int fd, const void* buf, std::size_t len)> write;
   /// Intercepts the fsync(2) issued by the journal's durability policy.
   std::function<int(int fd)> fsync;
+  /// Intercepts the connect(2) inside Client::connectNow — the seam the
+  /// replication fault-injection tests use to make a primary transiently
+  /// unreachable without tearing down its listener.
+  std::function<int(int fd, const struct sockaddr* addr, socklen_t len)>
+      connect;
 };
 
 /// Installs (or, with nullptr, clears) the process-wide hook set. The

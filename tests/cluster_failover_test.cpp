@@ -1,0 +1,302 @@
+// Kill-a-shard failover: a forked shard-0 primary is SIGKILLed at a
+// randomized point mid-schedule while an in-process follower replicates its
+// journal stream. After promotion the follower must answer SLOWDOWN, STATS,
+// and PREDICT bit-identical to an oracle tracker that saw every shard-0
+// mutation and never crashed, and the topology-aware ClusterClient must
+// ride through the kill with zero client-visible errors — failing over to
+// the promoted follower and continuing the mutation stream on it.
+//
+// The primary is forked while the parent is single-threaded (the in-process
+// shard-1 daemon, the follower, and its apply loop all start after the
+// fork) and only ever leaves via SIGKILL — it never returns into gtest.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/cluster_client.hpp"
+#include "serve/concurrent_tracker.hpp"
+#include "serve/metrics.hpp"
+#include "serve/replication.hpp"
+#include "serve/ring.hpp"
+#include "serve/server.hpp"
+
+namespace contend::serve {
+namespace {
+
+model::ParagonPlatformModel testPlatform(int maxContenders = 64) {
+  model::ParagonPlatformModel platform;
+  platform.toBackend.small = {0.001, 1000.0};
+  platform.toBackend.large = {0.002, 800.0};
+  platform.toBackend.thresholdWords = 1024;
+  platform.fromBackend = platform.toBackend;
+  platform.delays.jBins = {1, 500, 1000};
+  platform.delays.compFromComm.assign(3, {});
+  for (int i = 1; i <= maxContenders; ++i) {
+    platform.delays.commFromComp.push_back(0.5 * i);
+    platform.delays.commFromComm.push_back(0.2 * i);
+    platform.delays.compFromComm[0].push_back(0.1 * i);
+    platform.delays.compFromComm[1].push_back(0.3 * i);
+    platform.delays.compFromComm[2].push_back(0.4 * i);
+  }
+  return platform;
+}
+
+std::string uniquePath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/contend_killshard_test_" + std::to_string(::getpid()) + "_" +
+         tag + "_" + std::to_string(counter++) + ".sock";
+}
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 2500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate();
+}
+
+/// Forks the shard-0 primary: replication-enabled, journal-free (its state
+/// lives on only through the follower), blocking in wait() until SIGKILL.
+pid_t spawnPrimary(const std::string& socketPath) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  try {
+    ConcurrentTracker tracker(testPlatform());
+    ReplicationState repl;
+    repl.setRole(ReplRole::kPrimary);
+    repl.log().start(0);
+    tracker.attachReplicationLog(&repl.log());
+    ServerConfig config;
+    config.endpoint = parseEndpoint("unix:" + socketPath);
+    config.workers = 2;
+    config.replication = &repl;
+    Metrics metrics;
+    Server server(config, tracker, metrics);
+    server.start();
+    server.wait();
+  } catch (...) {
+    ::_exit(17);
+  }
+  ::_exit(0);
+}
+
+void killAndReap(pid_t pid) {
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+bool waitForListener(const std::string& socketPath) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    try {
+      Client probe("unix:" + socketPath);
+      return probe.health().ok;
+    } catch (const TransportError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return false;
+}
+
+/// One in-process replica: tracker + replication state + server.
+struct Node {
+  Node(const std::string& socketPath, ReplRole role)
+      : socket(socketPath), tracker(testPlatform()) {
+    repl.setRole(role);
+    repl.log().start(0);
+    tracker.attachReplicationLog(&repl.log());
+    ServerConfig config;
+    config.endpoint = parseEndpoint("unix:" + socketPath);
+    config.workers = 2;
+    config.replication = &repl;
+    server = std::make_unique<Server>(config, tracker, metrics);
+    server->start();
+  }
+  ~Node() {
+    server->stop();
+    ::unlink(socket.c_str());
+  }
+
+  std::string socket;
+  ConcurrentTracker tracker;
+  ReplicationState repl;
+  Metrics metrics;
+  std::unique_ptr<Server> server;
+};
+
+tools::TaskSpec shard0Probe(const ClusterClient& cluster) {
+  tools::TaskSpec task;
+  task.name = "probe0";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  task.fromBackend.push_back({512, 512});
+  for (int i = 0; i < 100000; ++i) {
+    task.frontEndSec = 2.0 + 0.001 * i;
+    if (cluster.shardForTask(task) == 0) return task;
+  }
+  ADD_FAILURE() << "no probe task routes to shard 0";
+  return task;
+}
+
+/// The scenario: `killAfter` shard-0 mutations into the schedule (the
+/// position is derived from the seed by the callers), SIGKILL the forked
+/// primary, promote the caught-up follower, and keep driving.
+void runKillScenario(unsigned seed, double killFraction) {
+  const std::string s0 = uniquePath("s0");
+  const std::string s0f = uniquePath("s0f");
+  const std::string s1 = uniquePath("s1");
+
+  // Fork first: the parent is still single-threaded here.
+  const pid_t primaryPid = spawnPrimary(s0);
+  ASSERT_GT(primaryPid, 0);
+  ASSERT_TRUE(waitForListener(s0));
+
+  Node shard1(s1, ReplRole::kPrimary);
+  Node follower(s0f, ReplRole::kFollower);
+  ReplicationFollowerConfig followerConfig;
+  followerConfig.primary = parseEndpoint("unix:" + s0);
+  ReplicationFollower apply(followerConfig, follower.tracker, follower.repl);
+  apply.start();
+
+  ClusterTopology topology;
+  topology.shards.resize(2);
+  topology.shards[0].primary = "unix:" + s0;
+  topology.shards[0].followers = {"unix:" + s0f};
+  topology.shards[1].primary = "unix:" + s1;
+  ReconnectPolicy reconnect;
+  reconnect.maxAttempts = 1;
+  reconnect.baseDelayMs = 1;
+  reconnect.maxDelayMs = 4;
+  ClusterClient cluster(topology, 10000, reconnect);
+  const tools::TaskSpec probe = shard0Probe(cluster);
+
+  ConcurrentTracker oracle0(testPlatform());
+  std::vector<std::pair<std::uint64_t, int>> live;  // (id, shard)
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  constexpr int kOps = 48;
+  const int killAt = 4 + static_cast<int>(killFraction * (kOps - 8));
+  bool killed = false;
+  int shard0Mutations = 0;
+
+  for (int pos = 0; pos < kOps; ++pos) {
+    if (pos == killAt) {
+      // Replication is asynchronous: the follower must have applied every
+      // acknowledged shard-0 mutation before the primary dies, or the
+      // promoted state would legitimately trail the oracle.
+      ASSERT_TRUE(eventually([&] {
+        return follower.tracker.slowdowns().epoch ==
+               oracle0.slowdowns().epoch;
+      }));
+      killAndReap(primaryPid);
+      Client followerDirect("unix:" + s0f);
+      const Response promoted = followerDirect.replPromote();
+      ASSERT_TRUE(promoted.ok) << promoted.error;
+      EXPECT_EQ(*promoted.find("role"), "primary");
+      killed = true;
+    }
+
+    const bool doArrive = live.empty() || uniform(rng) < 0.65;
+    if (doArrive) {
+      model::CompetingApp app;
+      app.commFraction = 0.1 + 0.8 * uniform(rng);
+      app.messageWords = 64 + static_cast<Words>(900 * uniform(rng));
+      const int shard = cluster.shardForApp(app);
+      const Response response =
+          cluster.arrive(app.commFraction, app.messageWords);
+      ASSERT_TRUE(response.ok) << "op " << pos << ": " << response.error;
+      const auto id = static_cast<std::uint64_t>(response.number("id"));
+      live.emplace_back(id, shard);
+      if (shard == 0) {
+        const MutationResult expected = oracle0.arrive(app);
+        ++shard0Mutations;
+        ASSERT_EQ(id, expected.id);
+        EXPECT_EQ(bits(response.number("comp")), bits(expected.after.comp));
+        EXPECT_EQ(bits(response.number("comm")), bits(expected.after.comm));
+      }
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          uniform(rng) * static_cast<double>(live.size())) %
+                               live.size();
+      const auto [id, shard] = live[pick];
+      const Response response = cluster.depart(id, shard);
+      ASSERT_TRUE(response.ok) << "op " << pos << ": " << response.error;
+      if (shard == 0) {
+        const MutationResult expected = oracle0.depart(id);
+        ++shard0Mutations;
+        EXPECT_EQ(bits(response.number("comp")), bits(expected.after.comp));
+        EXPECT_EQ(bits(response.number("comm")), bits(expected.after.comm));
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    // Periodic reads ride through whatever endpoint shard 0 is on.
+    if (pos % 7 == 3) {
+      const Response prediction = cluster.predict(probe);
+      ASSERT_TRUE(prediction.ok) << "op " << pos << ": " << prediction.error;
+      const TaskPrediction expected = oracle0.predict(probe);
+      EXPECT_EQ(bits(prediction.number("front")), bits(expected.frontSec));
+      EXPECT_EQ(bits(prediction.number("remote")), bits(expected.remoteSec));
+      EXPECT_EQ(*prediction.find("decision"),
+                expected.offload ? "back-end" : "front-end");
+    }
+  }
+
+  ASSERT_TRUE(killed);
+  ASSERT_GT(shard0Mutations, 4);
+  EXPECT_GE(cluster.failovers(), 1u);
+
+  // The shard-0 survivor — the promoted follower — answers every read verb
+  // bit-identical to the never-crashed oracle, over the wire.
+  const SlowdownSnapshot expected = oracle0.slowdowns();
+  const Response slowdown = cluster.slowdownShard(0);
+  ASSERT_TRUE(slowdown.ok) << slowdown.error;
+  EXPECT_EQ(slowdown.number("epoch"), static_cast<double>(expected.epoch));
+  EXPECT_EQ(slowdown.number("p"), static_cast<double>(expected.active));
+  EXPECT_EQ(bits(slowdown.number("comp")), bits(expected.comp));
+  EXPECT_EQ(bits(slowdown.number("comm")), bits(expected.comm));
+
+  const Response stats = cluster.statsShard(0);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(*stats.find("epoch"), std::to_string(expected.epoch));
+  EXPECT_EQ(*stats.find("signature"),
+            std::to_string(oracle0.stats().signature));
+  EXPECT_EQ(*stats.find("repl_role"), "primary");
+
+  // And the promoted tracker agrees in-process, not just over the wire.
+  const SlowdownSnapshot survivor = follower.tracker.slowdowns();
+  EXPECT_EQ(survivor.epoch, expected.epoch);
+  EXPECT_EQ(bits(survivor.comp), bits(expected.comp));
+  EXPECT_EQ(bits(survivor.comm), bits(expected.comm));
+
+  apply.stop();
+  ::unlink(s0.c_str());
+}
+
+TEST(KillShard, FailoverEarlyInTheSchedule) { runKillScenario(0xa11ce, 0.2); }
+
+TEST(KillShard, FailoverMidSchedule) { runKillScenario(0xb0b, 0.5); }
+
+TEST(KillShard, FailoverLateInTheSchedule) { runKillScenario(0xcafe, 0.9); }
+
+}  // namespace
+}  // namespace contend::serve

@@ -6,6 +6,7 @@
 // required). A crash or sanitizer report here is a protocol-parser bug.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "serve/journal.hpp"
+#include "serve/replication.hpp"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size);
@@ -43,7 +45,7 @@ TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
     ++replayed;
   }
   // Guard against the corpus silently vanishing from the build tree.
-  EXPECT_GE(replayed, 56) << "corpus shrank unexpectedly";
+  EXPECT_GE(replayed, 64) << "corpus shrank unexpectedly";
 }
 
 // Adversarial inputs too large to be pleasant as checked-in files.
@@ -172,6 +174,46 @@ TEST(ProtocolFuzzReplay, SyntheticHostileJournalInputs) {
     replay("5" + mutated);
   }
   replay("5" + snapshot + "x");  // trailing garbage after a valid frame
+}
+
+// Hostile inputs for the replication surface (selector '7'): the REPL verb
+// grammar on line one, the hex frame codec on line two.
+TEST(ProtocolFuzzReplay, SyntheticHostileReplicationInputs) {
+  using contend::serve::JournalRecord;
+
+  replay("7");
+  replay("7HELLO");
+  replay("7SINCE");                  // missing arguments
+  replay("7SINCE -1 -1");            // negative epochs
+  replay("7SINCE 18446744073709551616 0");
+  replay("7ACK not-a-number");
+  replay("7SNAPSHOT 0 " + std::string(1 << 16, '9'));
+  replay("7PROMOTE trailing junk");
+  replay("7" + std::string(1 << 20, 'S'));  // one enormous verb token
+
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kDepart;
+  record.epoch = 9;
+  record.id = 7;
+  record.timeSec = 4.25;
+  const std::string hex = contend::serve::encodeReplFrame(record);
+  replay("7HELLO\n" + hex);          // valid: exercises the round trip
+  // Uppercase spelling decodes to the same record; the harness checks the
+  // re-encode lands on the canonical lowercase form.
+  std::string upper = hex;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  replay("7HELLO\n" + upper);
+  replay("7HELLO\n" + hex + hex);    // two frames where one is demanded
+  for (std::size_t cut = 0; cut < hex.size(); ++cut) {
+    replay("7HELLO\n" + hex.substr(0, cut));  // every torn length
+  }
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    std::string mutated = hex;
+    mutated[i] = (mutated[i] == '0') ? '1' : '0';
+    replay("7HELLO\n" + mutated);    // every single-nibble corruption
+  }
+  replay("7HELLO\n" + std::string(1 << 16, 'a'));  // huge well-formed hex
+  replay("7HELLO\nzz" + hex);        // non-hex bytes ahead of a real frame
 }
 
 }  // namespace

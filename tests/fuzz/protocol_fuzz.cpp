@@ -1,7 +1,8 @@
 // protocol_fuzz.cpp — libFuzzer harness over the contend-serve parsing
 // surface: readRequest, parseResponse, parseWorkload, parseEndpoint, the
-// journal codecs (decodeRecords, decodeSnapshot), and the scenario DSL
-// parser (parseScenario).
+// journal codecs (decodeRecords, decodeSnapshot), the scenario DSL parser
+// (parseScenario), and the replication surface (the REPL verb grammar plus
+// the hex frame codec, decodeReplFrame).
 //
 // The contract under test: every parser either succeeds or throws a typed
 // exception (ProtocolError / std::runtime_error / std::invalid_argument) —
@@ -17,8 +18,8 @@
 //    fuzzer stay fixed even where libFuzzer is unavailable (gcc).
 //
 // Input format: byte 0 selects the target. ASCII digits map to their face
-// value mod 7 (the corpus uses '0'–'6' for readability), every other byte
-// maps through mod 7 — so pre-scenario corpus files starting with '0'–'5'
+// value mod 8 (the corpus uses '0'–'7' for readability), every other byte
+// maps through mod 8 — so pre-existing corpus files starting with '0'–'6'
 // keep the exact targets they were minimised against. The rest of the
 // input is the parser's payload.
 
@@ -32,6 +33,7 @@
 #include "scenario/scenario.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
+#include "serve/replication.hpp"
 #include "serve/server.hpp"
 #include "tools/workload_file.hpp"
 
@@ -143,6 +145,39 @@ void driveParseScenario(const std::string& payload) {
   }
 }
 
+void driveReplProtocol(const std::string& payload) {
+  // Line 1 is a REPL verb tail ("HELLO", "SINCE 12 64", ...): prefix it
+  // with the verb and run it through the request parser's round-trip
+  // check. Everything after the first newline is a hex-framed replication
+  // record for decodeReplFrame.
+  const std::size_t split = payload.find('\n');
+  std::istringstream in("REPL " + payload.substr(0, split) + "\n");
+  const auto request = contend::serve::readRequest(in);  // may throw
+  if (request) {
+    const std::string wire = contend::serve::formatRequest(*request);
+    std::istringstream again(wire);
+    const auto reparsed = contend::serve::readRequest(again);
+    if (!reparsed) die("formatted REPL request did not reparse");
+    if (contend::serve::formatRequest(*reparsed) != wire) {
+      die("REPL request round trip is not a fixed point");
+    }
+  }
+  if (split == std::string::npos) return;
+  std::string hex = payload.substr(split + 1);
+  // decodeReplFrame returns nullopt on odd length, non-hex bytes, torn or
+  // trailing payload, and CRC mismatch. An accepted frame must re-encode
+  // to the canonical (lowercase) spelling of the input hex — the framing
+  // underneath is the byte-exact journal codec.
+  const auto record = contend::serve::decodeReplFrame(hex);
+  if (!record) return;
+  for (char& c : hex) {
+    if (c >= 'A' && c <= 'F') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (contend::serve::encodeReplFrame(*record) != hex) {
+    die("replication frame round trip is not canonical");
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -152,7 +187,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   // arbitrary lead bytes still reach every target via mod 7.
   const std::uint8_t lead = data[0];
   const int selector =
-      (lead >= '0' && lead <= '9') ? (lead - '0') % 7 : lead % 7;
+      (lead >= '0' && lead <= '9') ? (lead - '0') % 8 : lead % 8;
   const std::string payload(reinterpret_cast<const char*>(data + 1),
                             size - 1);
   try {
@@ -175,8 +210,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       case 5:
         driveJournalSnapshot(payload);
         break;
-      default:
+      case 6:
         driveParseScenario(payload);
+        break;
+      default:
+        driveReplProtocol(payload);
         break;
     }
   } catch (const ProtocolError&) {

@@ -1,0 +1,147 @@
+// Topology parsing and consistent-hash routing: the grammar's error cases,
+// the primary-first failover order, and the determinism + coverage
+// properties every client and daemon rely on to derive the identical
+// key -> shard mapping from the same file.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/ring.hpp"
+
+namespace contend::serve {
+namespace {
+
+ClusterTopology parse(const std::string& text) {
+  std::istringstream in(text);
+  return parseTopology(in);
+}
+
+TEST(Ring, ParsesTopologyWithCommentsAndFollowers) {
+  const ClusterTopology topology = parse(
+      "# a three-shard ring\n"
+      "\n"
+      "shard 0 primary  unix:/tmp/ring_a.sock\n"
+      "shard 0 follower unix:/tmp/ring_a_f1.sock\n"
+      "shard 0 follower tcp:127.0.0.1:7200\n"
+      "shard 1 primary  tcp:127.0.0.1:7101\n"
+      "shard 2 primary  unix:/tmp/ring_c.sock\n");
+  ASSERT_EQ(topology.shardCount(), 3);
+  EXPECT_EQ(topology.shards[0].primary, "unix:/tmp/ring_a.sock");
+  ASSERT_EQ(topology.shards[0].followers.size(), 2u);
+  EXPECT_EQ(topology.shards[0].followers[0], "unix:/tmp/ring_a_f1.sock");
+  EXPECT_EQ(topology.shards[0].followers[1], "tcp:127.0.0.1:7200");
+  EXPECT_TRUE(topology.shards[1].followers.empty());
+
+  const std::vector<std::string> endpoints = shardEndpoints(topology, 0);
+  ASSERT_EQ(endpoints.size(), 3u);
+  EXPECT_EQ(endpoints[0], "unix:/tmp/ring_a.sock");  // primary first
+}
+
+TEST(Ring, RejectsMalformedTopologies) {
+  // Non-contiguous shard indices.
+  EXPECT_THROW(parse("shard 0 primary unix:/tmp/a.sock\n"
+                     "shard 2 primary unix:/tmp/b.sock\n"),
+               std::invalid_argument);
+  // A shard with two primaries.
+  EXPECT_THROW(parse("shard 0 primary unix:/tmp/a.sock\n"
+                     "shard 0 primary unix:/tmp/b.sock\n"),
+               std::invalid_argument);
+  // A shard with no primary.
+  EXPECT_THROW(parse("shard 0 follower unix:/tmp/a.sock\n"),
+               std::invalid_argument);
+  // Unknown role token.
+  EXPECT_THROW(parse("shard 0 leader unix:/tmp/a.sock\n"),
+               std::invalid_argument);
+  // Unparseable endpoint.
+  EXPECT_THROW(parse("shard 0 primary carrier-pigeon:coop\n"),
+               std::invalid_argument);
+  // Duplicate endpoint across replicas.
+  EXPECT_THROW(parse("shard 0 primary unix:/tmp/a.sock\n"
+                     "shard 1 primary unix:/tmp/a.sock\n"),
+               std::invalid_argument);
+  // Trailing tokens.
+  EXPECT_THROW(parse("shard 0 primary unix:/tmp/a.sock extra\n"),
+               std::invalid_argument);
+  // Not a shard line at all.
+  EXPECT_THROW(parse("replica 0 primary unix:/tmp/a.sock\n"),
+               std::invalid_argument);
+  // Empty topology.
+  EXPECT_THROW(parse("# nothing here\n"), std::invalid_argument);
+}
+
+TEST(Ring, ShardForIsDeterministicAcrossConstructions) {
+  const ConsistentHashRing a(5);
+  const ConsistentHashRing b(5);
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    const std::uint64_t spread = key * 0x9e3779b97f4a7c15ull;
+    ASSERT_EQ(a.shardFor(spread), b.shardFor(spread));
+  }
+}
+
+TEST(Ring, EveryShardOwnsASliceOfTheKeySpace) {
+  const ConsistentHashRing ring(7);
+  std::vector<int> hits(7, 0);
+  for (std::uint64_t key = 0; key < 20000; ++key) {
+    const int shard = ring.shardFor(key * 0x9e3779b97f4a7c15ull);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 7);
+    ++hits[static_cast<std::size_t>(shard)];
+  }
+  // With 64 vnodes per shard the split is not exactly uniform, but no shard
+  // may be starved or hog the circle.
+  for (const int count : hits) {
+    EXPECT_GT(count, 20000 / 7 / 4);
+    EXPECT_LT(count, 20000 * 3 / 7);
+  }
+}
+
+TEST(Ring, SingleShardRingRoutesEverythingToShardZero) {
+  const ConsistentHashRing ring(1);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_EQ(ring.shardFor(key * 0x9e3779b97f4a7c15ull), 0);
+  }
+}
+
+TEST(Ring, AppKeyHashesMixFieldsOnly) {
+  model::CompetingApp a;
+  a.commFraction = 0.4;
+  a.messageWords = 2048;
+  model::CompetingApp b = a;
+  EXPECT_EQ(appRouteKey(a), appRouteKey(b));
+  b.messageWords = 2049;
+  EXPECT_NE(appRouteKey(a), appRouteKey(b));
+  b = a;
+  b.commFraction = 0.41;
+  EXPECT_NE(appRouteKey(a), appRouteKey(b));
+}
+
+TEST(Ring, TaskKeyIgnoresTheName) {
+  tools::TaskSpec task;
+  task.name = "solver";
+  task.frontEndSec = 8.0;
+  task.backEndSec = 1.5;
+  task.toBackend.push_back({512, 512});
+  task.fromBackend.push_back({256, 1024});
+
+  tools::TaskSpec renamed = task;
+  renamed.name = "renamed-solver";
+  EXPECT_EQ(taskRouteKey(task), taskRouteKey(renamed));
+
+  tools::TaskSpec changed = task;
+  changed.backEndSec = 1.6;
+  EXPECT_NE(taskRouteKey(task), taskRouteKey(changed));
+  changed = task;
+  changed.toBackend.push_back({1, 1});
+  EXPECT_NE(taskRouteKey(task), taskRouteKey(changed));
+}
+
+TEST(Ring, LoadTopologyFileRejectsMissingFile) {
+  EXPECT_THROW((void)loadTopologyFile("/nonexistent/ring.topology"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contend::serve

@@ -300,6 +300,10 @@ PrometheusInput goldenInput() {
   input.journalStats.fsyncs = 8;
   input.journalStats.appendErrors = 0;
   input.journalStats.lagRecords = 3;
+
+  input.replRole = 2;  // follower, so the golden pins a non-default role
+  input.replLagRecords = 5;
+  input.replAckedEpoch = 7;
   return input;
 }
 

@@ -13,6 +13,8 @@
 //   contend_client <endpoint> calibrate observe <family> <contenders> <words> <value>
 //   contend_client <endpoint> calibrate apply
 //   contend_client <endpoint> drift
+//   contend_client <endpoint> repl status [--check]
+//   contend_client <endpoint> repl promote
 //   contend_client <endpoint> raw '<request line>'
 //
 // `load` + `predict` together reproduce what `contend_predict` computes
@@ -60,6 +62,9 @@ namespace {
          "  calibrate apply               build + atomically swap in the\n"
          "                                recalibrated delay tables\n"
          "  drift                         drift check: ok | drifting <score>\n"
+         "  repl status [--check]         replication role, epoch, lag;\n"
+         "                                --check exits 0 iff caught up\n"
+         "  repl promote                  promote a follower to primary\n"
          "  raw '<request>'               send one raw request line\n"
          "endpoints: unix:/path/to.sock | tcp:[host:]port\n"
          "exit codes: 0 ok, 1 server ERR, 2 transport/usage error\n";
@@ -219,6 +224,20 @@ int main(int argc, char** argv) {
     }
     if (command == "drift" && argc == 3) {
       return printResponse(client.drift());
+    }
+    if (command == "repl" && argc == 4 && std::string(argv[3]) == "status") {
+      return printResponse(client.replStatus());
+    }
+    if (command == "repl" && argc == 5 && std::string(argv[3]) == "status" &&
+        std::string(argv[4]) == "--check") {
+      const serve::Response response = client.replStatus();
+      const int rc = printResponse(response);
+      if (rc != 0) return rc;
+      const std::string* caughtUp = response.find("caught_up");
+      return (caughtUp != nullptr && *caughtUp == "1") ? 0 : 1;
+    }
+    if (command == "repl" && argc == 4 && std::string(argv[3]) == "promote") {
+      return printResponse(client.replPromote());
     }
     if (command == "raw" && argc == 4) {
       std::string text = argv[3];

@@ -7,6 +7,8 @@
 //                  [--backlog N] [--cache N] [--journal <path>]
 //                  [--snapshot-every N] [--fsync always|interval|off]
 //                  [--slow-request-us N]
+//                  [--cluster <topology> --shard-id K [--replica R]
+//                   [--repl-max-lag N]]
 //
 // Loads a calibrated platform profile (see `contend_predict --calibrate`)
 // and serves the Paragon-style slowdown models over a line protocol (see
@@ -18,6 +20,13 @@
 // With --journal, every ARRIVE/DEPART is appended to a write-ahead journal
 // and the tracker state is rebuilt from it on startup, so a crash resumes
 // at the exact pre-crash epoch (docs/SERVING.md, "Durability & recovery").
+//
+// With --cluster, the daemon is one replica of one shard of a static ring
+// (docs/SERVING.md, "Clustering & replication"): --shard-id picks the shard,
+// --replica the replica within it (0 = primary, R >= 1 = the R-th declared
+// follower), and the listen endpoint comes from the topology file (--listen
+// is rejected to keep one source of truth). A follower pulls the primary's
+// journal stream and serves reads only while caught up (--repl-max-lag).
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -28,6 +37,8 @@
 #include "serve/concurrent_tracker.hpp"
 #include "serve/journal.hpp"
 #include "serve/metrics.hpp"
+#include "serve/replication.hpp"
+#include "serve/ring.hpp"
 #include "serve/server.hpp"
 
 using namespace contend;
@@ -61,7 +72,12 @@ void onSignal(int) {
                "  --snapshot-every sets records between compacting snapshots\n"
                "  (0 disables snapshots), --fsync picks the durability mode\n"
                "--slow-request-us logs one stderr line per request at least\n"
-               "  that slow and counts it in METRICS/STATS (0 disables)\n";
+               "  that slow and counts it in METRICS/STATS (0 disables)\n"
+               "--cluster joins a static ring declared in <topology>;\n"
+               "  --shard-id picks the shard, --replica the replica in it\n"
+               "  (0 = primary, R >= 1 = the R-th follower; default 0) and\n"
+               "  --repl-max-lag the records a follower may lag while still\n"
+               "  serving reads (default 64)\n";
   std::exit(2);
 }
 
@@ -85,6 +101,11 @@ int main(int argc, char** argv) {
   config.endpoint = serve::parseEndpoint("unix:/tmp/contend.sock");
   std::size_t cacheCapacity = 4096;
   serve::JournalConfig journalConfig;  // path stays empty unless --journal
+  std::string clusterPath;
+  int shardId = -1;
+  int replica = 0;
+  std::uint64_t replMaxLag = 64;
+  bool listenGiven = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -93,6 +114,16 @@ int main(int argc, char** argv) {
     try {
       if (flag == "--listen") {
         config.endpoint = serve::parseEndpoint(value);
+        listenGiven = true;
+      } else if (flag == "--cluster") {
+        clusterPath = value;
+      } else if (flag == "--shard-id") {
+        shardId = static_cast<int>(parseCount(value, "--shard-id", 0));
+      } else if (flag == "--replica") {
+        replica = static_cast<int>(parseCount(value, "--replica", 0));
+      } else if (flag == "--repl-max-lag") {
+        replMaxLag =
+            static_cast<std::uint64_t>(parseCount(value, "--repl-max-lag", 0));
       } else if (flag == "--workers") {
         config.workers = static_cast<int>(parseCount(value, "--workers"));
       } else if (flag == "--queue") {
@@ -145,6 +176,36 @@ int main(int argc, char** argv) {
   }
 
   try {
+    serve::ClusterTopology topology;
+    std::string primarySpec;  // set when this daemon is a follower
+    if (!clusterPath.empty()) {
+      if (listenGiven) {
+        std::cerr << "error: --listen conflicts with --cluster (the topology "
+                     "file is the one source of endpoints)\n";
+        return 2;
+      }
+      topology = serve::loadTopologyFile(clusterPath);
+      if (shardId < 0 || shardId >= topology.shardCount()) {
+        std::cerr << "error: --cluster requires --shard-id in [0, "
+                  << topology.shardCount() << ")\n";
+        return 2;
+      }
+      const std::vector<std::string> endpoints =
+          serve::shardEndpoints(topology, shardId);
+      if (static_cast<std::size_t>(replica) >= endpoints.size()) {
+        std::cerr << "error: shard " << shardId << " declares "
+                  << endpoints.size() - 1 << " follower(s); --replica "
+                  << replica << " does not exist\n";
+        return 2;
+      }
+      config.endpoint =
+          serve::parseEndpoint(endpoints[static_cast<std::size_t>(replica)]);
+      if (replica > 0) primarySpec = endpoints[0];
+    } else if (shardId >= 0) {
+      std::cerr << "error: --shard-id requires --cluster\n";
+      return 2;
+    }
+
     const calib::PlatformProfile profile =
         calib::loadProfileFile(profilePath);
     serve::ConcurrentTracker tracker(profile.paragon, cacheCapacity);
@@ -168,9 +229,31 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Clustered daemons attach the in-memory replication log before serving,
+    // so the very first mutation is streamable; the log's floor is anchored
+    // at whatever epoch journal recovery reached.
+    std::unique_ptr<serve::ReplicationState> replication;
+    std::unique_ptr<serve::ReplicationFollower> follower;
+    if (!clusterPath.empty()) {
+      replication = std::make_unique<serve::ReplicationState>(replMaxLag);
+      replication->setRole(replica == 0 ? serve::ReplRole::kPrimary
+                                        : serve::ReplRole::kFollower);
+      replication->log().start(tracker.stats().epoch);
+      tracker.attachReplicationLog(&replication->log());
+      config.replication = replication.get();
+      if (replica > 0) {
+        serve::ReplicationFollowerConfig followerConfig;
+        followerConfig.primary = serve::parseEndpoint(primarySpec);
+        followerConfig.reconnect.maxAttempts = 2;
+        follower = std::make_unique<serve::ReplicationFollower>(
+            followerConfig, tracker, *replication);
+      }
+    }
+
     serve::Metrics metrics;
     serve::Server server(config, tracker, metrics);
     server.start();
+    if (follower) follower->start();
     gServer = &server;
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
@@ -184,8 +267,13 @@ int main(int argc, char** argv) {
     } else {
       std::cout << " (" << config.workers << " workers)";
     }
+    if (replication) {
+      std::cout << ", shard " << shardId << " "
+                << serve::replRoleName(replication->role());
+    }
     std::cout << "\n" << std::flush;
     server.wait();
+    if (follower) follower->stop();
     gServer = nullptr;
 
     const serve::TrackerStats stats = tracker.stats();
