@@ -2,6 +2,7 @@
 // and prints (optionally saves) the resulting PlatformProfile.
 //
 // Usage: calibrate_tool [output-path] [--two-hop] [--max-contenders N]
+//        [--io-contenders N]
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -51,6 +52,19 @@ void printProfile(const calib::PlatformProfile& profile) {
                    TextTable::num(d.compFromComm[2][idx])});
   }
   printTable("Delay tables (excess factor)", delays);
+
+  if (profile.io.maxContenders() > 0) {
+    TextTable io({"i", "delay_io^i (comp)", "delay_dev^i (io)",
+                  "delay_cpu^i (io)"});
+    for (int i = 1; i <= profile.io.maxContenders(); ++i) {
+      const auto idx = static_cast<std::size_t>(i - 1);
+      io.addRow({TextTable::integer(i),
+                 TextTable::num(profile.io.compFromIo[idx]),
+                 TextTable::num(profile.io.ioFromIo[idx]),
+                 TextTable::num(profile.io.ioFromComp[idx])});
+    }
+    printTable("I/O delay tables (excess factor)", io);
+  }
 }
 
 }  // namespace
@@ -59,11 +73,14 @@ int main(int argc, char** argv) {
   std::string outputPath;
   bool twoHop = false;
   int maxContenders = 4;
+  int ioContenders = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--two-hop") == 0) {
       twoHop = true;
     } else if (std::strcmp(argv[i], "--max-contenders") == 0 && i + 1 < argc) {
       maxContenders = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--io-contenders") == 0 && i + 1 < argc) {
+      ioContenders = std::atoi(argv[++i]);
     } else {
       outputPath = argv[i];
     }
@@ -74,9 +91,11 @@ int main(int argc, char** argv) {
 
   calib::CalibrationOptions options;
   options.delays.maxContenders = maxContenders;
+  options.io.maxContenders = ioContenders;
 
   std::cout << "Calibrating " << config.paragon.name
-            << " platform (maxContenders=" << maxContenders << ")...\n";
+            << " platform (maxContenders=" << maxContenders
+            << ", ioContenders=" << ioContenders << ")...\n";
   const calib::PlatformProfile profile =
       calib::calibratePlatform(config, options);
   printProfile(profile);

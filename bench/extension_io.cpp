@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "calib/calibration.hpp"
 #include "ext/io_model.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -19,10 +20,15 @@ using namespace contend::ext;
 
 int main() {
   const sim::PlatformConfig config;
+  // The tables come from the calibration pass (the same one calibrate_tool
+  // runs and saves into platform profiles), not an ad-hoc local probe — so
+  // this bench validates exactly what the serving/engine paths consume.
   std::cout << "calibrating I/O delay tables...\n";
-  IoProbeOptions options;
-  options.maxContenders = 3;
-  const IoDelayTables tables = measureIoDelayTables(config, options);
+  calib::CalibrationOptions calibOptions;
+  calibOptions.io.maxContenders = 3;
+  calib::PlatformProfile profile;
+  profile.io = measureIoDelayTables(config, calibOptions.io);
+  const IoDelayTables& tables = profile.io;
 
   TextTable delayTable({"i", "delay on comp (comp_io^i)",
                         "delay on I/O from I/O (dev^i)",

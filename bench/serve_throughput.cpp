@@ -19,6 +19,16 @@
 // schedule wraps cyclically until the measurement window closes. The
 // scenario name is recorded in the JSON record.
 //
+// `--trace <file.trace>` instead derives the traffic from a replayable job
+// trace (trace/job_trace.hpp): every job becomes one stream whose single
+// arrival offset is the job's trace arrival time, the ARRIVE carries the
+// job's comm *and I/O* shape (§4 io suffix on the wire), and the PREDICTs
+// price the job's own task spec via the shared tools::traceTaskSpec mapping
+// — so the bench and contend_tracegen agree byte-for-byte on what a trace
+// means. The replay wraps after the last arrival + 1s. Composes with
+// --journal (I/O-bearing ARRIVEs land in the write-ahead journal); mutually
+// exclusive with --scenario and --cluster.
+//
 // Usage: serve_throughput [--seconds S] [--warmup S] [--clients N]
 //                         [--workers N] [--engine threads|epoll|auto]
 //                         [--loop-threads N] [--write-ratio F] [--batch N]
@@ -49,6 +59,7 @@
 // (STATS p50/p90/p99/p999), not from client-side sorted vectors.
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -71,6 +82,8 @@
 #include "serve/replication.hpp"
 #include "serve/ring.hpp"
 #include "serve/server.hpp"
+#include "tools/trace_schedule.hpp"
+#include "trace/job_trace.hpp"
 #include "util/table.hpp"
 
 using namespace contend;
@@ -132,6 +145,8 @@ struct BenchConfig {
   double ringRps = 0.0;
   std::string scenarioPath;
   std::string scenarioName;  // filled after parsing
+  std::string tracePath;
+  std::string traceName;  // filled after parsing
   std::string clusterPath;
   double singleRps = 0.0;
 };
@@ -142,6 +157,8 @@ struct StreamPlan {
   std::string className;
   double commFraction = 0.0;
   Words messageWords = 0;
+  double ioFraction = 0.0;     // disk share the ARRIVE advertises (trace mode)
+  std::int64_t ioOps = 0;
   std::vector<double> offsets;
   double windowSec = 1.0;
   std::vector<tools::TaskSpec> batch;
@@ -182,6 +199,35 @@ std::vector<StreamPlan> buildStreamPlans(
     }
     plan.batch.assign(static_cast<std::size_t>(batchForTier(taskClass.sla)),
                       task);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+/// Trace mode: one stream per trace job. The stream fires once per window at
+/// the job's own arrival offset, the window spanning the whole trace (last
+/// arrival + 1s) so cyclic replay preserves relative spacing. ARRIVE shape
+/// and PREDICT task both come from tools::trace_schedule, the same mapping
+/// contend_tracegen serializes.
+std::vector<StreamPlan> buildTracePlans(
+    const std::vector<trace::JobProfile>& jobs) {
+  double window = 0.0;
+  for (const trace::JobProfile& job : jobs) {
+    window = std::max(window, job.arriveSec);
+  }
+  window += 1.0;
+  std::vector<StreamPlan> plans;
+  plans.reserve(jobs.size());
+  for (const trace::JobProfile& job : jobs) {
+    StreamPlan plan;
+    plan.className = job.className.empty() ? job.name : job.className;
+    plan.commFraction = job.commFraction;
+    plan.messageWords = job.messageWords;
+    plan.ioFraction = job.ioFraction;
+    plan.ioOps = job.ioOps;
+    plan.offsets.push_back(job.arriveSec);
+    plan.windowSec = window;
+    plan.batch.assign(4, tools::traceTaskSpec(job));
     plans.push_back(std::move(plan));
   }
   return plans;
@@ -458,6 +504,8 @@ void writeJson(const BenchConfig& config, double elapsed, std::uint64_t total,
       << "    \"scenario\": \""
       << (config.scenarioName.empty() ? "none" : config.scenarioName)
       << "\",\n"
+      << "    \"trace\": \""
+      << (config.traceName.empty() ? "none" : config.traceName) << "\",\n"
       << "    \"journal\": "
       << (config.journalPath.empty() ? "false" : "true") << ",\n"
       << "    \"fsync\": \"" << serve::fsyncPolicyName(config.fsync)
@@ -541,6 +589,7 @@ int main(int argc, char** argv) {
     else if (flag == "--min-rps") config.minRps = std::atof(value);
     else if (flag == "--baseline-rps") config.baselineRps = std::atof(value);
     else if (flag == "--scenario") config.scenarioPath = value;
+    else if (flag == "--trace") config.tracePath = value;
     else if (flag == "--cluster") config.clusterPath = value;
     else if (flag == "--single-rps") config.singleRps = std::atof(value);
     else if (flag == "--json") config.jsonPath = value;
@@ -561,6 +610,7 @@ int main(int argc, char** argv) {
                    "[--engine threads|epoll|auto] [--loop-threads N] "
                    "[--write-ratio F] "
                    "[--batch N] [--scenario <file.scn>] "
+                   "[--trace <file.trace>] "
                    "[--cluster <topology>] [--single-rps R] [--min-rps R] "
                    "[--baseline-rps R] [--json <path>] [--journal <path>] "
                    "[--fsync always|interval|off] [--nojournal-rps R] "
@@ -577,12 +627,18 @@ int main(int argc, char** argv) {
   }
 
   if (!config.clusterPath.empty()) {
-    if (!config.scenarioPath.empty() || !config.journalPath.empty()) {
+    if (!config.scenarioPath.empty() || !config.tracePath.empty() ||
+        !config.journalPath.empty()) {
       std::cerr << "error: --cluster composes with the traffic flags "
-                   "(--write-ratio/--batch), not --scenario/--journal\n";
+                   "(--write-ratio/--batch), not --scenario/--trace/"
+                   "--journal\n";
       return 2;
     }
     return runClusterBench(config);
+  }
+  if (!config.scenarioPath.empty() && !config.tracePath.empty()) {
+    std::cerr << "error: --scenario and --trace are mutually exclusive\n";
+    return 2;
   }
 
   std::vector<StreamPlan> plans;
@@ -592,6 +648,19 @@ int main(int argc, char** argv) {
           contend::scenario::parseScenarioFile(config.scenarioPath);
       config.scenarioName = scenario.name;
       plans = buildStreamPlans(scenario);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 2;
+    }
+  } else if (!config.tracePath.empty()) {
+    try {
+      const trace::JobTrace parsed = trace::parseTraceFile(config.tracePath);
+      config.traceName = parsed.name;
+      plans = buildTracePlans(trace::profileTrace(parsed));
+      if (plans.empty()) {
+        std::cerr << "error: trace has no jobs\n";
+        return 2;
+      }
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << "\n";
       return 2;
@@ -681,8 +750,14 @@ int main(int argc, char** argv) {
                   std::chrono::milliseconds(20)));
             }
             if (phase.load(std::memory_order_relaxed) == 2) break;
+            // Trace-derived plans advertise their disk shape; the io-free
+            // overload keeps the scenario-mode wire lines byte-identical to
+            // what they were before the I/O extension.
             const serve::Response arrived =
-                client.arrive(plan.commFraction, plan.messageWords);
+                plan.ioFraction > 0.0
+                    ? client.arrive(plan.commFraction, plan.messageWords,
+                                    plan.ioFraction, plan.ioOps)
+                    : client.arrive(plan.commFraction, plan.messageWords);
             if (!arrived.ok) break;
             const serve::Response predicted =
                 plan.batch.size() > 1 ? client.predictBatch(plan.batch)
@@ -765,6 +840,9 @@ int main(int argc, char** argv) {
   table.addRow({"batch", std::to_string(config.batch)});
   if (!config.scenarioName.empty()) {
     table.addRow({"scenario", config.scenarioName});
+  }
+  if (!config.traceName.empty()) {
+    table.addRow({"trace", config.traceName});
   }
   table.addRow({"elapsed (s)", TextTable::num(elapsed, 3)});
   table.addRow({"requests", std::to_string(total)});

@@ -27,6 +27,7 @@ PlatformProfile calibratePlatform(const sim::PlatformConfig& config,
                                   const CalibrationOptions& options) {
   PlatformProfile profile = calibrateDedicatedOnly(config, options);
   profile.paragon.delays = measureDelayTables(config, options.delays);
+  profile.io = ext::measureIoDelayTables(config, options.io);
   return profile;
 }
 

@@ -13,6 +13,7 @@
 #include "calib/cm2_calib.hpp"
 #include "calib/delay_probe.hpp"
 #include "calib/pingpong.hpp"
+#include "ext/io_model.hpp"
 #include "model/predictor.hpp"
 #include "sim/platform.hpp"
 
@@ -25,11 +26,17 @@ struct CalibrationOptions {
   std::int64_t burstMessages = 1000;  // the paper's burst size
   Cm2CalibrationOptions cm2;
   DelayProbeOptions delays;
+  ext::IoProbeOptions io;
 };
 
 struct PlatformProfile {
   model::Cm2PlatformModel cm2;
   model::ParagonPlatformModel paragon;
+
+  /// I/O delay tables measured against the simulator's disk (§4 extension).
+  /// Empty (maxContenders() == 0) in profiles from calibrateDedicatedOnly or
+  /// loaded from pre-I/O profile files.
+  model::IoDelayTables io;
 
   /// Raw sweep samples kept for inspection, ablations, and plotting.
   std::vector<PingPongSample> pingTx;

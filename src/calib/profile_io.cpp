@@ -164,6 +164,13 @@ void saveProfile(const PlatformProfile& profile, std::ostream& out) {
     out << "delays.compFromComm." << b << " = "
         << joinDoubles(d.compFromComm[b]) << '\n';
   }
+  // I/O tables are optional: dedicated-only profiles and files written
+  // before the §4 extension carry none, and still load.
+  if (profile.io.maxContenders() > 0) {
+    out << "io.compFromIo = " << joinDoubles(profile.io.compFromIo) << '\n';
+    out << "io.ioFromIo = " << joinDoubles(profile.io.ioFromIo) << '\n';
+    out << "io.ioFromComp = " << joinDoubles(profile.io.ioFromComp) << '\n';
+  }
   out << "ping.tx = " << joinSamples(profile.pingTx) << '\n';
   out << "ping.rx = " << joinSamples(profile.pingRx) << '\n';
 }
@@ -193,10 +200,16 @@ PlatformProfile loadProfile(std::istream& in) {
     d.compFromComm.push_back(
         parseDoubles(r.take("delays.compFromComm." + std::to_string(b))));
   }
+  if (r.contains("io.compFromIo")) {
+    profile.io.compFromIo = parseDoubles(r.take("io.compFromIo"));
+    profile.io.ioFromIo = parseDoubles(r.take("io.ioFromIo"));
+    profile.io.ioFromComp = parseDoubles(r.take("io.ioFromComp"));
+  }
   profile.pingTx = parseSamples(r.take("ping.tx"));
   profile.pingRx = parseSamples(r.take("ping.rx"));
   r.requireDrained();
   d.validate();
+  if (profile.io.maxContenders() > 0) profile.io.validate();
   return profile;
 }
 

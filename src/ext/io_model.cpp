@@ -10,20 +10,6 @@
 
 namespace contend::ext {
 
-void IoDelayTables::validate() const {
-  if (ioFromIo.size() != compFromIo.size() ||
-      ioFromComp.size() != compFromIo.size()) {
-    throw std::invalid_argument("IoDelayTables: table size mismatch");
-  }
-  for (const auto& table : {compFromIo, ioFromIo, ioFromComp}) {
-    for (double d : table) {
-      if (d < -0.05) {
-        throw std::invalid_argument("IoDelayTables: negative delay");
-      }
-    }
-  }
-}
-
 void IoMix::add(const IoApp& app) {
   if (app.ioFraction < 0.0 || app.ioFraction > 1.0) {
     throw std::invalid_argument("IoMix: ioFraction outside [0, 1]");

@@ -16,27 +16,17 @@
 
 #include <vector>
 
+#include "model/io_tables.hpp"
 #include "model/mix.hpp"
 #include "sim/platform.hpp"
 #include "util/units.hpp"
 
 namespace contend::ext {
 
-/// Calibrated I/O delay tables; entry [i-1] = excess factor from exactly i
-/// contenders of the given kind.
-struct IoDelayTables {
-  /// Excess delay on *computation* from i I/O-bound applications.
-  std::vector<double> compFromIo;
-  /// Excess delay on *I/O* from i I/O-bound applications (device queueing).
-  std::vector<double> ioFromIo;
-  /// Excess delay on *I/O* from i CPU-bound applications (syscall stretch).
-  std::vector<double> ioFromComp;
-
-  [[nodiscard]] int maxContenders() const {
-    return static_cast<int>(compFromIo.size());
-  }
-  void validate() const;
-};
+/// The tables themselves live in model so the serving path and the scenario
+/// engine can compose them without linking the simulator; the measurement
+/// side (below) stays here.
+using IoDelayTables = model::IoDelayTables;
 
 /// An application characterized by its I/O behaviour: it spends
 /// `ioFraction` of its (dedicated) time in disk requests of `requestWords`.

@@ -1,0 +1,60 @@
+#include "model/io_tables.hpp"
+
+#include <stdexcept>
+
+namespace contend::model {
+
+void IoDelayTables::validate() const {
+  if (ioFromIo.size() != compFromIo.size() ||
+      ioFromComp.size() != compFromIo.size()) {
+    throw std::invalid_argument("IoDelayTables: table size mismatch");
+  }
+  for (const auto& table : {compFromIo, ioFromIo, ioFromComp}) {
+    for (double d : table) {
+      if (d < -0.05) {
+        throw std::invalid_argument("IoDelayTables: negative delay");
+      }
+    }
+  }
+}
+
+IoDelayTables canonicalIoDelayTables(int maxContenders) {
+  if (maxContenders < 1) {
+    throw std::invalid_argument(
+        "canonicalIoDelayTables: need >= 1 contender");
+  }
+  IoDelayTables tables;
+  for (int i = 1; i <= maxContenders; ++i) {
+    tables.compFromIo.push_back(0.05 * i);
+    tables.ioFromIo.push_back(1.0 * i);
+    tables.ioFromComp.push_back(0.1 * i);
+  }
+  tables.validate();
+  return tables;
+}
+
+double mixIoSlowdown(const WorkloadMix& mix, const IoDelayTables& tables) {
+  if (mix.p() > tables.maxContenders()) {
+    throw std::out_of_range("mixIoSlowdown: tables too small for mix");
+  }
+  double slowdown = 1.0;
+  for (int i = 1; i <= mix.p(); ++i) {
+    const auto idx = static_cast<std::size_t>(i - 1);
+    slowdown += mix.pio(i) * tables.ioFromIo[idx];
+    slowdown += mix.pcomp(i) * tables.ioFromComp[idx];
+  }
+  return slowdown;
+}
+
+double mixIoCompExcess(const WorkloadMix& mix, const IoDelayTables& tables) {
+  if (mix.p() > tables.maxContenders()) {
+    throw std::out_of_range("mixIoCompExcess: tables too small for mix");
+  }
+  double excess = 0.0;
+  for (int i = 1; i <= mix.p(); ++i) {
+    excess += mix.pio(i) * tables.compFromIo[static_cast<std::size_t>(i - 1)];
+  }
+  return excess;
+}
+
+}  // namespace contend::model

@@ -1,0 +1,60 @@
+// io_tables.hpp — I/O delay tables and their Poisson-binomial composition
+// over a WorkloadMix, the §4 extension's third contention dimension.
+//
+// The tables follow the paper's delay-table discipline exactly: entry
+// [i-1] is the measured excess factor from exactly i contenders of the
+// given kind, and slowdowns compose additively under the mix's
+// Poisson-binomial concurrency probabilities. The struct lives in model
+// (not ext) so the serving path and the scenario engine can price I/O
+// without linking the simulator; ext::measureIoDelayTables still owns the
+// calibration side.
+#pragma once
+
+#include <vector>
+
+#include "model/mix.hpp"
+
+namespace contend::model {
+
+/// Calibrated I/O delay tables; entry [i-1] = excess factor from exactly i
+/// contenders of the given kind.
+struct IoDelayTables {
+  /// Excess delay on *computation* from i I/O-bound applications.
+  std::vector<double> compFromIo;
+  /// Excess delay on *I/O* from i I/O-bound applications (device queueing).
+  std::vector<double> ioFromIo;
+  /// Excess delay on *I/O* from i CPU-bound applications (syscall stretch).
+  std::vector<double> ioFromComp;
+
+  [[nodiscard]] int maxContenders() const {
+    return static_cast<int>(compFromIo.size());
+  }
+  void validate() const;
+};
+
+/// The canonical synthetic I/O tables (documented in docs/IO_TRACES.md),
+/// the I/O analogue of scenario::canonicalDelayTables: the shared device is
+/// FIFO, so i I/O-bound contenders queue a request behind them almost
+/// linearly (1.0·i); they barely tax the CPU between requests (0.05·i on
+/// computation); and i CPU-bound contenders stretch only the syscall part
+/// of a request (0.1·i). The engine, the serving tracker, and the property
+/// tests all share these exact constants.
+[[nodiscard]] IoDelayTables canonicalIoDelayTables(int maxContenders);
+
+/// Slowdown of an application's own I/O phases against the mix of its
+/// device contenders, the paper's additive form in the I/O dimension:
+///   1 + Σ pio_i · ioFromIo[i-1] + Σ pcomp_i · ioFromComp[i-1].
+/// Exact 1.0 for an empty mix. Throws std::out_of_range when the mix holds
+/// more applications than the tables cover.
+[[nodiscard]] double mixIoSlowdown(const WorkloadMix& mix,
+                                   const IoDelayTables& tables);
+
+/// Excess delay the mix's I/O-bound applications inflict on *computation*:
+///   Σ pio_i · compFromIo[i-1],
+/// additive on top of paragonCompSlowdown. Exactly 0.0 when no application
+/// in the mix performs I/O, so adding it preserves pure CPU/comm slowdowns
+/// bit for bit.
+[[nodiscard]] double mixIoCompExcess(const WorkloadMix& mix,
+                                     const IoDelayTables& tables);
+
+}  // namespace contend::model

@@ -18,6 +18,20 @@ void validate(const CompetingApp& app) {
     throw std::invalid_argument(
         "CompetingApp: communicating applications need a message size");
   }
+  if (app.ioFraction < 0.0 || app.ioFraction > 1.0) {
+    throw std::invalid_argument("CompetingApp: ioFraction outside [0, 1]");
+  }
+  if (app.commFraction + app.ioFraction > 1.0) {
+    throw std::invalid_argument(
+        "CompetingApp: commFraction + ioFraction exceeds 1");
+  }
+  if (app.ioOps < 0) {
+    throw std::invalid_argument("CompetingApp: negative I/O op count");
+  }
+  if (app.ioFraction > 0.0 && app.ioOps <= 0) {
+    throw std::invalid_argument(
+        "CompetingApp: I/O-bound applications need an op count");
+  }
 }
 }  // namespace
 
@@ -58,7 +72,10 @@ void WorkloadMix::add(const CompetingApp& app) {
   validate(app);
   apps_.push_back(app);
   convolve(commPoly_, app.commFraction);
-  convolve(compPoly_, 1.0 - app.commFraction);
+  // Subtracting a 0.0 ioFraction and convolving ioPoly_ by 0.0 are both
+  // IEEE-exact no-ops, so mixes without I/O keep their pre-extension bits.
+  convolve(compPoly_, 1.0 - app.commFraction - app.ioFraction);
+  convolve(ioPoly_, app.ioFraction);
 }
 
 void WorkloadMix::removeAt(std::size_t index) {
@@ -66,13 +83,17 @@ void WorkloadMix::removeAt(std::size_t index) {
     throw std::out_of_range("WorkloadMix::removeAt: bad index");
   }
   const double f = apps_[index].commFraction;
+  const double g = apps_[index].ioFraction;
   apps_.erase(apps_.begin() + static_cast<std::ptrdiff_t>(index));
 
   std::vector<double> comm = commPoly_;
   std::vector<double> comp = compPoly_;
-  if (tryDeconvolve(comm, f) && tryDeconvolve(comp, 1.0 - f)) {
+  std::vector<double> io = ioPoly_;
+  if (tryDeconvolve(comm, f) && tryDeconvolve(comp, 1.0 - f - g) &&
+      tryDeconvolve(io, g)) {
     commPoly_ = std::move(comm);
     compPoly_ = std::move(comp);
+    ioPoly_ = std::move(io);
     return;
   }
   rebuild();
@@ -81,22 +102,26 @@ void WorkloadMix::removeAt(std::size_t index) {
 void WorkloadMix::rebuild() {
   commPoly_.assign(1, 1.0);
   compPoly_.assign(1, 1.0);
+  ioPoly_.assign(1, 1.0);
   for (const CompetingApp& app : apps_) {
     convolve(commPoly_, app.commFraction);
-    convolve(compPoly_, 1.0 - app.commFraction);
+    convolve(compPoly_, 1.0 - app.commFraction - app.ioFraction);
+    convolve(ioPoly_, app.ioFraction);
   }
 }
 
 void WorkloadMix::restore(std::vector<CompetingApp> apps,
                           std::vector<double> commPoly,
-                          std::vector<double> compPoly) {
+                          std::vector<double> compPoly,
+                          std::vector<double> ioPoly) {
   if (commPoly.size() != apps.size() + 1 ||
-      compPoly.size() != apps.size() + 1) {
+      compPoly.size() != apps.size() + 1 ||
+      ioPoly.size() != apps.size() + 1) {
     throw std::invalid_argument(
         "WorkloadMix::restore: coefficient vectors must be sized p + 1");
   }
   for (const CompetingApp& app : apps) validate(app);
-  for (const std::vector<double>* poly : {&commPoly, &compPoly}) {
+  for (const std::vector<double>* poly : {&commPoly, &compPoly, &ioPoly}) {
     for (const double c : *poly) {
       if (!std::isfinite(c)) {
         throw std::invalid_argument(
@@ -107,6 +132,7 @@ void WorkloadMix::restore(std::vector<CompetingApp> apps,
   apps_ = std::move(apps);
   commPoly_ = std::move(commPoly);
   compPoly_ = std::move(compPoly);
+  ioPoly_ = std::move(ioPoly);
 }
 
 double WorkloadMix::pcomm(int i) const {
@@ -117,6 +143,11 @@ double WorkloadMix::pcomm(int i) const {
 double WorkloadMix::pcomp(int i) const {
   if (i < 0 || i > p()) throw std::out_of_range("pcomp: i outside [0, p]");
   return compPoly_[static_cast<std::size_t>(i)];
+}
+
+double WorkloadMix::pio(int i) const {
+  if (i < 0 || i > p()) throw std::out_of_range("pio: i outside [0, p]");
+  return ioPoly_[static_cast<std::size_t>(i)];
 }
 
 Words WorkloadMix::maxMessageWords() const {

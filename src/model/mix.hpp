@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,14 @@ struct CompetingApp {
   /// delay_comm^{i,j} ("j should reflect the maximum message size used in
   /// the system"). Zero for purely CPU-bound applications.
   Words messageWords = 0;
+  /// Fraction of time spent in disk I/O (the §4 extension's third
+  /// dimension), in [0, 1 - commFraction]. The application computes the
+  /// remaining 1 - commFraction - ioFraction.
+  double ioFraction = 0.0;
+  /// Disk requests per I/O cycle; selects nothing today but is part of the
+  /// application's identity (mix signatures and journal records carry it).
+  /// Zero for applications that perform no I/O.
+  std::int64_t ioOps = 0;
 };
 
 class WorkloadMix {
@@ -52,6 +61,10 @@ class WorkloadMix {
   [[nodiscard]] double pcomm(int i) const;
   /// P[exactly i of the p apps are computing], 0 <= i <= p.
   [[nodiscard]] double pcomp(int i) const;
+  /// P[exactly i of the p apps are doing disk I/O], 0 <= i <= p. Exactly
+  /// {1, 0, ..., 0} while no application has an I/O fraction, so the I/O
+  /// terms vanish bit-exactly from mixes that predate the extension.
+  [[nodiscard]] double pio(int i) const;
 
   /// Largest message size among competing apps (0 if none communicate).
   [[nodiscard]] Words maxMessageWords() const;
@@ -72,22 +85,27 @@ class WorkloadMix {
   [[nodiscard]] std::span<const double> compCoefficients() const {
     return compPoly_;
   }
+  [[nodiscard]] std::span<const double> ioCoefficients() const {
+    return ioPoly_;
+  }
 
   /// Restores an exact prior state captured via apps() plus the coefficient
   /// accessors above. Throws std::invalid_argument when the coefficient
   /// vectors are not sized p + 1, carry non-finite values, or any app is
   /// invalid.
   void restore(std::vector<CompetingApp> apps, std::vector<double> commPoly,
-               std::vector<double> compPoly);
+               std::vector<double> compPoly, std::vector<double> ioPoly);
 
  private:
   static void convolve(std::vector<double>& coeff, double q);
   static bool tryDeconvolve(std::vector<double>& coeff, double q);
 
   std::vector<CompetingApp> apps_;
-  // commPoly_[i] = pcomm_i, compPoly_[i] = pcomp_i; both sized p, + 1.
+  // commPoly_[i] = pcomm_i, compPoly_[i] = pcomp_i, ioPoly_[i] = pio_i;
+  // all sized p + 1.
   std::vector<double> commPoly_{1.0};
   std::vector<double> compPoly_{1.0};
+  std::vector<double> ioPoly_{1.0};
 };
 
 }  // namespace contend::model

@@ -50,11 +50,29 @@ Engine::Engine(const Scenario& scenario, Scheduler& scheduler,
     : scenario_(scenario),
       scheduler_(scheduler),
       config_(config),
-      delays_(canonicalDelayTables(config.maxContendersPerCore)) {
+      delays_(canonicalDelayTables(config.maxContendersPerCore)),
+      ioTables_(model::canonicalIoDelayTables(config.maxContendersPerCore)) {
   if (scenario_.machineClasses.empty() || scenario_.taskClasses.empty()) {
     throw std::invalid_argument("Engine: scenario has no machines or tasks");
   }
   maxSpeed_ = scenario_.maxSpeed();
+  traceJobs_.resize(scenario_.taskClasses.size());
+  traceOrder_.resize(scenario_.taskClasses.size());
+  traceCursor_.assign(scenario_.taskClasses.size(), 0);
+  for (std::size_t k = 0; k < scenario_.taskClasses.size(); ++k) {
+    const TaskClass& tc = scenario_.taskClasses[k];
+    if (tc.tracePath.empty()) continue;
+    traceJobs_[k] = trace::profileTrace(trace::parseTraceFile(tc.tracePath));
+    std::vector<std::size_t>& order = traceOrder_[k];
+    order.resize(traceJobs_[k].size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Jobs spawn in arrival order; equal times keep file order (stable).
+    std::stable_sort(order.begin(), order.end(),
+                     [this, k](std::size_t a, std::size_t b) {
+                       return traceJobs_[k][a].arriveSec <
+                              traceJobs_[k][b].arriveSec;
+                     });
+  }
   for (std::size_t k = 0; k < scenario_.machineClasses.size(); ++k) {
     const MachineClass& mc = scenario_.machineClasses[k];
     model::ParagonPlatformModel platform;
@@ -87,7 +105,9 @@ EngineResult Engine::run() {
   arrivalsDone_.assign(scenario_.taskClasses.size(), false);
   for (std::size_t k = 0; k < scenario_.taskClasses.size(); ++k) {
     arrivals_.push_back(
-        std::make_unique<ArrivalSequence>(scenario_.taskClasses[k]));
+        scenario_.taskClasses[k].tracePath.empty()
+            ? std::make_unique<ArrivalSequence>(scenario_.taskClasses[k])
+            : nullptr);
     spawnFromClass(k);
   }
   schedulePeriodic();
@@ -135,10 +155,27 @@ const sched::OnlineContentionTracker& Engine::coreTracker(
 
 const TaskState& Engine::task(TaskId id) const { return tasks_.at(id); }
 
+const std::vector<trace::JobProfile>& Engine::traceJobs(
+    std::size_t taskClass) const {
+  return traceJobs_.at(taskClass);
+}
+
+double Engine::ioSlowdown(TaskId id) const {
+  const TaskState& t = tasks_.at(id);
+  if (t.phase != TaskPhase::kRunning) {
+    throw std::logic_error("Engine::ioSlowdown: task is not running");
+  }
+  if (t.ioFraction <= 0.0) return 1.0;
+  return model::mixIoSlowdown(deviceOthers(t.machine, id), ioTables_);
+}
+
 double Engine::bestDedicatedSec(TaskId id) const {
   const TaskState& t = tasks_.at(id);
+  // Communication and disk I/O do not speed up with the machine's CPU
+  // multiplier; only the compute share does.
   return t.dedicatedSec *
-         ((1.0 - t.commFraction) / maxSpeed_ + t.commFraction);
+         ((1.0 - t.commFraction - t.ioFraction) / maxSpeed_ +
+          t.commFraction + t.ioFraction);
 }
 
 double Engine::slaStretchBudget(SlaTier tier) const {
@@ -166,11 +203,24 @@ double Engine::projectedStretch(TaskId id) const {
 }
 
 double Engine::effectiveFactor(const TaskState& task, std::size_t m,
-                               double compSlowdown,
-                               double commSlowdown) const {
+                               double compSlowdown, double commSlowdown,
+                               double ioSlowdown) const {
   const double f = task.commFraction;
-  return (1.0 - f) * compSlowdown / machines_[m].info.speed +
-         f * commSlowdown;
+  const double g = task.ioFraction;
+  return (1.0 - f - g) * compSlowdown / machines_[m].info.speed +
+         f * commSlowdown + g * ioSlowdown;
+}
+
+model::WorkloadMix Engine::deviceOthers(std::size_t m, TaskId id) const {
+  const MachineState& machine = machines_[m];
+  model::WorkloadMix others = machine.deviceMix;
+  for (std::size_t i = 0; i < machine.deviceResident.size(); ++i) {
+    if (machine.deviceResident[i] == id) {
+      others.removeAt(i);
+      break;
+    }
+  }
+  return others;
 }
 
 double Engine::predictedCompletionSec(TaskId id, std::size_t m) const {
@@ -180,12 +230,19 @@ double Engine::predictedCompletionSec(TaskId id, std::size_t m) const {
   const double remaining = remainingNowSec(t, nowSec());
   // The PREDICT arithmetic: dedicated parts times the mix slowdowns the
   // tracker maintains (the candidate is not yet in the mix, so the tracker's
-  // view is exactly the competition the newcomer would face).
+  // view is exactly the competition the newcomer would face). The I/O part
+  // prices the machine-wide device mix the same way.
   const double compSec =
-      tracker.predictFrontEndComp(remaining * (1.0 - t.commFraction)) /
+      tracker.predictFrontEndComp(remaining *
+                                  (1.0 - t.commFraction - t.ioFraction)) /
       machines_[m].info.speed;
   const double commSec = remaining * t.commFraction * tracker.commSlowdown();
-  return compSec + commSec;
+  double ioSec = 0.0;
+  if (t.ioFraction > 0.0) {
+    ioSec = remaining * t.ioFraction *
+            model::mixIoSlowdown(deviceOthers(m, id), ioTables_);
+  }
+  return compSec + commSec + ioSec;
 }
 
 double Engine::stateTransferSec(TaskId id, std::size_t m) const {
@@ -202,7 +259,8 @@ double Engine::predictedDisruptionSec(
   const TaskState& t = tasks_.at(id);
   const Core& core = machines_.at(m).cores[placementCore(m)];
   const model::WorkloadMix& full = core.tracker->mix();
-  const model::CompetingApp candidate{t.commFraction, t.messageWords};
+  const model::CompetingApp candidate{t.commFraction, t.messageWords,
+                                      t.ioFraction, t.ioOps};
   const double now = nowSec();
   double total = 0.0;
   for (std::size_t i = 0; i < core.resident.size(); ++i) {
@@ -210,9 +268,17 @@ double Engine::predictedDisruptionSec(
     model::WorkloadMix withCandidate = full;
     withCandidate.removeAt(i);  // resident's own entry
     withCandidate.add(candidate);
+    double io = 1.0;
+    if (resident.ioFraction > 0.0) {
+      model::WorkloadMix device = deviceOthers(m, core.resident[i]);
+      if (t.ioFraction > 0.0) device.add(candidate);
+      io = model::mixIoSlowdown(device, ioTables_);
+    }
     const double after = effectiveFactor(
-        resident, m, model::paragonCompSlowdown(withCandidate, delays_),
-        model::paragonCommSlowdown(withCandidate, delays_));
+        resident, m,
+        model::paragonCompSlowdown(withCandidate, delays_) +
+            model::mixIoCompExcess(withCandidate, ioTables_),
+        model::paragonCommSlowdown(withCandidate, delays_), io);
     // The resident's live rate already reflects the mix without the
     // candidate, so 1/rate is the "before" factor.
     const double delta = std::max(0.0, after - 1.0 / resident.ratePerSec);
@@ -234,8 +300,13 @@ ext::MigrationDecision Engine::adviseMigration(TaskId id,
   const sched::OnlineContentionTracker& target =
       coreTracker(m, placementCore(m));
   const double here = 1.0 / t.ratePerSec;
-  const double there = effectiveFactor(t, m, target.compSlowdown(),
-                                       target.commSlowdown());
+  const double there = effectiveFactor(
+      t, m,
+      target.compSlowdown() + model::mixIoCompExcess(target.mix(), ioTables_),
+      target.commSlowdown(),
+      t.ioFraction > 0.0
+          ? model::mixIoSlowdown(deviceOthers(m, id), ioTables_)
+          : 1.0);
   const double transferSlowdown = target.commSlowdown();
   // Speed > 1 machines make the effective factor drop below 1, which the
   // advisor's contract forbids; scaling every factor by a common constant
@@ -266,15 +337,16 @@ void Engine::place(TaskId id, std::size_t m) {
   const double now = nowSec();
   const std::uint64_t trackerId =
       machines_[m].cores[core].tracker->applicationArrived(
-          now, {t.commFraction, t.messageWords});
+          now, {t.commFraction, t.messageWords, t.ioFraction, t.ioOps});
   machines_[m].cores[core].resident.push_back(id);
+  addToDevice(m, id);
   t.phase = TaskPhase::kRunning;
   t.machine = m;
   t.core = core;
   t.trackerId = trackerId;
   t.lastUpdateSec = now;
   running_.push_back(id);
-  refreshCore(m, core);
+  refreshAfterChange(m, core, t.ioFraction > 0.0);
 }
 
 void Engine::migrate(TaskId id, std::size_t m) {
@@ -299,7 +371,7 @@ void Engine::migrate(TaskId id, std::size_t m) {
   ++t.generation;  // invalidate any pending completion event
   ++t.migrations;
   ++result_.migrations;
-  refreshCore(sourceMachine, sourceCore);
+  refreshAfterChange(sourceMachine, sourceCore, t.ioFraction > 0.0);
   queue_.scheduleAfter(std::max<Tick>(fromSeconds(transferSec), 0),
                        [this, id, m] { onMigrationArrived(id, m); });
 }
@@ -310,21 +382,33 @@ void Engine::onMigrationArrived(TaskId id, std::size_t m) {
   const double now = nowSec();
   const std::uint64_t trackerId =
       machines_[m].cores[core].tracker->applicationArrived(
-          now, {t.commFraction, t.messageWords});
+          now, {t.commFraction, t.messageWords, t.ioFraction, t.ioOps});
   machines_[m].cores[core].resident.push_back(id);
+  addToDevice(m, id);
   t.phase = TaskPhase::kRunning;
   t.machine = m;
   t.core = core;
   t.trackerId = trackerId;
   t.lastUpdateSec = now;
   running_.push_back(id);
-  refreshCore(m, core);
+  refreshAfterChange(m, core, t.ioFraction > 0.0);
   scheduler_.MigrationComplete(*this, id);
 }
 
 // ---- spawning -------------------------------------------------------------
 
 void Engine::spawnFromClass(std::size_t taskClass) {
+  if (!scenario_.taskClasses[taskClass].tracePath.empty()) {
+    const std::size_t cursor = traceCursor_[taskClass];
+    if (cursor >= traceOrder_[taskClass].size()) {
+      arrivalsDone_[taskClass] = true;
+      return;
+    }
+    const trace::JobProfile& job =
+        traceJobs_[taskClass][traceOrder_[taskClass][cursor]];
+    scheduleArrival(taskClass, job.arriveSec);
+    return;
+  }
   const auto next = arrivals_[taskClass]->next();
   if (!next) {
     arrivalsDone_[taskClass] = true;
@@ -352,12 +436,28 @@ void Engine::onArrival(std::size_t taskClass, double) {
   t.taskClass = taskClass;
   t.sla = tc.sla;
   t.arrivalSec = nowSec();
-  t.dedicatedSec = tc.runtimeSec;
-  t.commFraction = tc.commFraction;
-  t.messageWords = tc.messageWords;
-  t.stateWords = tc.stateWords;
+  if (!tc.tracePath.empty()) {
+    const std::size_t jobIndex =
+        traceOrder_[taskClass][traceCursor_[taskClass]++];
+    const trace::JobProfile& job = traceJobs_[taskClass][jobIndex];
+    t.dedicatedSec = job.dedicatedSec;
+    t.commFraction = job.commFraction;
+    t.ioFraction = job.ioFraction;
+    t.ioOps = job.ioOps;
+    t.messageWords = job.messageWords;
+    t.stateWords = tc.stateWords > 0 ? tc.stateWords : 4 * job.messageWords;
+    t.traceJob = static_cast<std::int64_t>(jobIndex);
+    t.remainingSec = job.dedicatedSec;
+  } else {
+    t.dedicatedSec = tc.runtimeSec;
+    t.commFraction = tc.commFraction;
+    t.ioFraction = tc.ioFraction;
+    t.ioOps = tc.ioOps;
+    t.messageWords = tc.messageWords;
+    t.stateWords = tc.stateWords;
+    t.remainingSec = tc.runtimeSec;
+  }
   t.phase = TaskPhase::kPending;
-  t.remainingSec = tc.runtimeSec;
   t.ratePerSec = 1.0;
   t.lastUpdateSec = t.arrivalSec;
   tasks_.push_back(t);
@@ -435,7 +535,7 @@ void Engine::completeTask(TaskId id) {
   if (stretch > config_.slaStretchBudget[static_cast<std::size_t>(t.sla)]) {
     ++tally.violations;
   }
-  refreshCore(machine, core);
+  refreshAfterChange(machine, core, t.ioFraction > 0.0);
   scheduler_.TaskComplete(*this, id);
 }
 
@@ -445,14 +545,34 @@ void Engine::refreshCore(std::size_t m, std::size_t coreIndex) {
   for (std::size_t i = 0; i < core.resident.size(); ++i) {
     TaskState& t = tasks_[core.resident[i]];
     advanceProgress(t);
-    // The mix as this task sees it: everyone on the core but itself.
+    // The mix as this task sees it: everyone on the core but itself. The
+    // compute slowdown gains the I/O-from-compute excess of core-mates that
+    // touch the disk (exactly 0.0 when none do); the disk slowdown prices
+    // the machine-wide device population.
     model::WorkloadMix others = full;
     others.removeAt(i);
-    t.ratePerSec =
-        1.0 / effectiveFactor(t, m,
-                              model::paragonCompSlowdown(others, delays_),
-                              model::paragonCommSlowdown(others, delays_));
+    const double comp = model::paragonCompSlowdown(others, delays_) +
+                        model::mixIoCompExcess(others, ioTables_);
+    const double comm = model::paragonCommSlowdown(others, delays_);
+    const double io =
+        t.ioFraction > 0.0
+            ? model::mixIoSlowdown(deviceOthers(m, core.resident[i]),
+                                   ioTables_)
+            : 1.0;
+    t.ratePerSec = 1.0 / effectiveFactor(t, m, comp, comm, io);
     scheduleCompletion(core.resident[i]);
+  }
+}
+
+void Engine::refreshAfterChange(std::size_t m, std::size_t coreIndex,
+                                bool ioBearing) {
+  if (!ioBearing) {
+    refreshCore(m, coreIndex);
+    return;
+  }
+  // The shared device couples every core on the machine.
+  for (std::size_t c = 0; c < machines_[m].cores.size(); ++c) {
+    refreshCore(m, c);
   }
 }
 
@@ -465,6 +585,14 @@ void Engine::advanceProgress(TaskState& t) const {
   t.lastUpdateSec = now;
 }
 
+void Engine::addToDevice(std::size_t m, TaskId id) {
+  const TaskState& t = tasks_[id];
+  if (t.ioFraction <= 0.0) return;
+  machines_[m].deviceMix.add(
+      {t.commFraction, t.messageWords, t.ioFraction, t.ioOps});
+  machines_[m].deviceResident.push_back(id);
+}
+
 void Engine::removeFromCore(TaskId id) {
   TaskState& t = tasks_[id];
   Core& core = machines_[t.machine].cores[t.core];
@@ -475,6 +603,17 @@ void Engine::removeFromCore(TaskId id) {
   }
   core.tracker->applicationDeparted(nowSec(), t.trackerId);
   core.resident.erase(it);
+  if (t.ioFraction > 0.0) {
+    MachineState& machine = machines_[t.machine];
+    const auto dit = std::find(machine.deviceResident.begin(),
+                               machine.deviceResident.end(), id);
+    if (dit == machine.deviceResident.end()) {
+      throw std::logic_error("Engine: task missing from its machine's disk");
+    }
+    machine.deviceMix.removeAt(
+        static_cast<std::size_t>(dit - machine.deviceResident.begin()));
+    machine.deviceResident.erase(dit);
+  }
 }
 
 void Engine::eraseRunning(TaskId id) {

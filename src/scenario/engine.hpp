@@ -4,11 +4,21 @@
 // time-shared front-end CPUs, spawns tasks from each task class's arrival
 // process, and keeps the *live contention mix of every core* in a
 // sched::OnlineContentionTracker — the paper's run-time primitive. A task
-// alternates computing and communicating (its class's Comm fraction), so its
-// wall-clock progress rate is the paper's slowdown arithmetic applied to the
-// mix of the *other* tasks sharing its core:
+// alternates computing, communicating, and performing disk I/O (its class's
+// Comm and Io fractions), so its wall-clock progress rate is the paper's
+// slowdown arithmetic applied to the mix of the *other* tasks sharing its
+// core — plus the §4 extension's third dimension, a per-machine shared disk
+// whose contention is priced by the canonical I/O delay tables:
 //
-//     rate = 1 / ((1 - f) · compSlowdown / speed  +  f · commSlowdown)
+//     rate = 1 / ((1-f-g) · compSlowdown / speed + f · commSlowdown
+//                 + g · ioSlowdown)
+//
+// compSlowdown includes the I/O-from-compute excess of core-mates that touch
+// the disk (their syscall CPU time competes on the core); ioSlowdown is
+// priced against every *other* I/O-bearing task on the machine, whatever
+// core it runs on, because the device is machine-wide. Tasks with g = 0
+// take the exact pre-I/O arithmetic (all the extra terms are IEEE-exact
+// zeros), so scenarios without I/O reproduce bit-identical results.
 //
 // Progress is integrated piecewise: whenever a core's population changes
 // (arrival, completion, migration), every resident task's remaining work is
@@ -33,9 +43,11 @@
 #include <vector>
 
 #include "ext/migration.hpp"
+#include "model/io_tables.hpp"
 #include "scenario/scenario.hpp"
 #include "sched/online.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/job_trace.hpp"
 
 namespace contend::scenario {
 
@@ -49,8 +61,11 @@ struct TaskState {
   double arrivalSec = 0.0;
   double dedicatedSec = 0.0;  // total dedicated work (Speed-1 seconds)
   double commFraction = 0.0;
+  double ioFraction = 0.0;    // share of dedicatedSec spent on disk I/O
+  std::int64_t ioOps = 0;     // competing-app disk operation count
   Words messageWords = 0;
   Words stateWords = 0;
+  std::int64_t traceJob = -1;  // index into the class's trace jobs, or -1
 
   TaskPhase phase = TaskPhase::kPending;
   std::size_t machine = 0;
@@ -144,6 +159,13 @@ class Engine {
   [[nodiscard]] const sched::OnlineContentionTracker& coreTracker(
       std::size_t m, std::size_t core) const;
   [[nodiscard]] const TaskState& task(TaskId id) const;
+  /// The profiled jobs of a trace-backed task class (empty for statistical
+  /// classes). TaskState::traceJob indexes into this vector.
+  [[nodiscard]] const std::vector<trace::JobProfile>& traceJobs(
+      std::size_t taskClass) const;
+  /// Live disk-contention slowdown the task currently experiences (1.0 when
+  /// the task performs no I/O). Throws if the task is not running.
+  [[nodiscard]] double ioSlowdown(TaskId id) const;
   /// Ids of all currently running tasks, in placement order. Invalidated by
   /// place/migrate/completions — copy before mutating.
   [[nodiscard]] const std::vector<TaskId>& runningTasks() const {
@@ -194,6 +216,11 @@ class Engine {
     MachineInfo info;
     model::PiecewiseCommParams link;
     std::vector<Core> cores;
+    /// The machine's shared disk: the mix of every resident task with a
+    /// nonzero Io fraction, whatever core it occupies. Parallel vectors in
+    /// tracker discipline (deviceResident[i] owns deviceMix entry i).
+    model::WorkloadMix deviceMix;
+    std::vector<TaskId> deviceResident;
   };
 
   void spawnFromClass(std::size_t taskClass);
@@ -207,12 +234,21 @@ class Engine {
   void onMigrationArrived(TaskId id, std::size_t m);
   /// Advances progress and re-rates every resident task of one core.
   void refreshCore(std::size_t m, std::size_t core);
+  /// Core refresh, widened to the whole machine when the population change
+  /// involved an I/O-bearing task (the shared disk couples every core).
+  void refreshAfterChange(std::size_t m, std::size_t core, bool ioBearing);
   void advanceProgress(TaskState& task) const;
   /// Effective slowdown of a task against a given competing mix on machine m
   /// (the rate formula's denominator).
   [[nodiscard]] double effectiveFactor(const TaskState& task, std::size_t m,
                                        double compSlowdown,
-                                       double commSlowdown) const;
+                                       double commSlowdown,
+                                       double ioSlowdown) const;
+  /// Device mix as task `id` on machine m sees it (everyone at the disk but
+  /// itself). The task need not be on the device list (candidate pricing).
+  [[nodiscard]] model::WorkloadMix deviceOthers(std::size_t m,
+                                                TaskId id) const;
+  void addToDevice(std::size_t m, TaskId id);
   void removeFromCore(TaskId id);
   void eraseRunning(TaskId id);
 
@@ -221,11 +257,18 @@ class Engine {
   EngineConfig config_;
   sim::EventQueue queue_;
   model::DelayTables delays_;  // canonical tables shared by every tracker
+  model::IoDelayTables ioTables_;  // canonical disk tables, same depth
   std::vector<MachineState> machines_;
   std::vector<TaskState> tasks_;
   std::vector<TaskId> running_;
   std::vector<std::unique_ptr<ArrivalSequence>> arrivals_;
   std::vector<bool> arrivalsDone_;
+  /// Per task class: profiled trace jobs (empty unless the class has a
+  /// Trace), spawn order (job indices sorted by arrival time), and the
+  /// next-to-spawn cursor.
+  std::vector<std::vector<trace::JobProfile>> traceJobs_;
+  std::vector<std::vector<std::size_t>> traceOrder_;
+  std::vector<std::size_t> traceCursor_;
   double maxSpeed_ = 1.0;
   std::uint64_t activeTasks_ = 0;  // running + migrating
   bool periodicScheduled_ = false;

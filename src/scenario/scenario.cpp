@@ -321,7 +321,7 @@ class Parser {
     TaskClass task;
     task.name = "tasks" + std::to_string(index);
     FieldSlot start, end, inter, arrival, burst, runtime, fraction, words,
-        state, sla, seed, name;
+        ioFraction, ioOps, state, sla, seed, name, tracePath;
     while (const auto field = nextField()) {
       if (field->key == "start time") {
         claim(start, *field, kKind);
@@ -364,6 +364,19 @@ class Parser {
       } else if (field->key == "message words") {
         claim(words, *field, kKind);
         task.messageWords = parseIntValue<Words>(*field, 0, "message words");
+      } else if (field->key == "io fraction") {
+        claim(ioFraction, *field, kKind);
+        task.ioFraction = parseDoubleValue(*field, 0.0, true, "io fraction");
+        if (task.ioFraction > 1.0) {
+          fail(field->valueOffset, "io fraction must be <= 1, got " +
+                                       std::string(field->value));
+        }
+      } else if (field->key == "io ops") {
+        claim(ioOps, *field, kKind);
+        task.ioOps = parseIntValue<std::int64_t>(*field, 0, "io ops");
+      } else if (field->key == "trace") {
+        claim(tracePath, *field, kKind);
+        task.tracePath = parseNameValue(*field);
       } else if (field->key == "state words") {
         claim(state, *field, kKind);
         task.stateWords = parseIntValue<Words>(*field, 0, "state words");
@@ -386,17 +399,46 @@ class Parser {
         fail(field->keyOffset, "task class has no field '" + field->key + "'");
       }
     }
-    requireField(start, kKind, "Start time");
-    requireField(end, kKind, "End time");
-    requireField(inter, kKind, "Inter arrival");
-    requireField(runtime, kKind, "Expected runtime");
-    requireField(sla, kKind, "SLA type");
-    requireField(seed, kKind, "Seed");
-    if (task.endSec <= task.startSec) {
-      fail(end.valueOffset, "end time must be after start time");
-    }
-    if (burst.seen && task.arrival != ArrivalProcess::kBurst) {
-      fail(burst.valueOffset, "burst size requires 'Arrival: burst'");
+    if (tracePath.seen) {
+      // A trace class takes its runtimes, fractions, and arrival times from
+      // the trace; the statistical fields would be silently ignored, so any
+      // of them present is a hard reject at the offending field.
+      const struct { const FieldSlot* slot; const char* key; } forbidden[] = {
+          {&start, "Start time"},       {&end, "End time"},
+          {&inter, "Inter arrival"},    {&arrival, "Arrival"},
+          {&burst, "Burst size"},       {&runtime, "Expected runtime"},
+          {&fraction, "Comm fraction"}, {&words, "Message words"},
+          {&ioFraction, "Io fraction"}, {&ioOps, "Io ops"},
+          {&seed, "Seed"},
+      };
+      for (const auto& entry : forbidden) {
+        if (entry.slot->seen) {
+          fail(entry.slot->keyOffset,
+               std::string("task class with 'Trace' must not set '") +
+                   entry.key + "'");
+        }
+      }
+    } else {
+      requireField(start, kKind, "Start time");
+      requireField(end, kKind, "End time");
+      requireField(inter, kKind, "Inter arrival");
+      requireField(runtime, kKind, "Expected runtime");
+      requireField(sla, kKind, "SLA type");
+      requireField(seed, kKind, "Seed");
+      if (task.endSec <= task.startSec) {
+        fail(end.valueOffset, "end time must be after start time");
+      }
+      if (burst.seen && task.arrival != ArrivalProcess::kBurst) {
+        fail(burst.valueOffset, "burst size requires 'Arrival: burst'");
+      }
+      if (task.commFraction + task.ioFraction > 1.0) {
+        fail((ioFraction.seen ? ioFraction : fraction).valueOffset,
+             "comm fraction + io fraction must be <= 1");
+      }
+      if (task.ioFraction > 0.0 && task.ioOps <= 0) {
+        fail(ioFraction.valueOffset,
+             "io fraction > 0 requires 'Io ops' >= 1");
+      }
     }
     if (!state.seen) task.stateWords = 4 * task.messageWords;
     (void)headerOffset;
@@ -492,7 +534,19 @@ Scenario parseScenarioFile(const std::string& path) {
   if (slash != std::string::npos) name = name.substr(slash + 1);
   const auto dot = name.find_last_of('.');
   if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
-  return parseScenario(buffer.str(), std::move(name));
+  Scenario scenario = parseScenario(buffer.str(), std::move(name));
+  // Trace paths are written relative to the scenario file's directory, so a
+  // scenario bundle stays relocatable.
+  const auto dirEnd = path.find_last_of('/');
+  if (dirEnd != std::string::npos) {
+    const std::string dir = path.substr(0, dirEnd + 1);
+    for (TaskClass& tc : scenario.taskClasses) {
+      if (!tc.tracePath.empty() && tc.tracePath.front() != '/') {
+        tc.tracePath = dir + tc.tracePath;
+      }
+    }
+  }
+  return scenario;
 }
 
 ArrivalSequence::ArrivalSequence(const TaskClass& taskClass)

@@ -30,9 +30,17 @@
 //         Expected runtime: 2.0   # dedicated seconds on a Speed-1 machine
 //         Comm fraction: 0.3      # share of the runtime that communicates
 //         Message words: 800
+//         Io fraction: 0.2        # share of the runtime on disk I/O (optional)
+//         Io ops: 40              # disk ops per task (required with Io fraction)
 //         SLA type: SLA1          # SLA0 (tightest) .. SLA3 (best effort)
 //         Seed: 123456
 //     }
+//
+//     task class:
+//     {
+//         Trace: jobs.trace       # replay a job trace (trace/job_trace.hpp)
+//         SLA type: SLA2          # optional; the only fields a trace class
+//     }                           # may add are Name, SLA type, State words
 //
 // Errors carry *byte-accurate* positions: every reject names the line,
 // column, and absolute byte offset of the offending token, so tooling can
@@ -86,10 +94,17 @@ struct TaskClass {
   int burstSize = 8;            // arrivals per burst (Arrival: burst only)
   double runtimeSec = 0.0;      // dedicated runtime on a Speed-1 machine
   double commFraction = 0.0;    // share of runtime spent communicating
+  double ioFraction = 0.0;      // share of runtime spent on disk I/O
+  std::int64_t ioOps = 0;       // competing-app disk operation count
   Words messageWords = 0;       // competing-app message size (j-bin input)
   Words stateWords = 0;         // words moved on placement/migration
   SlaTier sla = SlaTier::kSla3;
   std::uint64_t seed = 0;       // per-class arrival stream seed
+  /// When non-empty the class replays the job trace at this path (see
+  /// trace/job_trace.hpp) instead of sampling an arrival process: one task
+  /// per job, at the job's arrival time, with the job's profiled runtime and
+  /// comm/IO fractions. Mutually exclusive with the statistical fields.
+  std::string tracePath;
 };
 
 struct Scenario {

@@ -9,6 +9,7 @@ OnlineContentionTracker::OnlineContentionTracker(
     model::ParagonPlatformModel platform)
     : platform_(std::move(platform)) {
   platform_.delays.validate();
+  ioTables_ = model::canonicalIoDelayTables(platform_.delays.maxContenders());
   recomputeSlowdowns();
 }
 
@@ -80,6 +81,8 @@ TrackerCheckpoint OnlineContentionTracker::exportCheckpoint() const {
   checkpoint.commPoly.assign(comm.begin(), comm.end());
   const std::span<const double> comp = mix_.compCoefficients();
   checkpoint.compPoly.assign(comp.begin(), comp.end());
+  const std::span<const double> io = mix_.ioCoefficients();
+  checkpoint.ioPoly.assign(io.begin(), io.end());
   checkpoint.nextId = nextId_;
   checkpoint.lastEventTimeSec = lastEventTime_;
   return checkpoint;
@@ -105,7 +108,8 @@ void OnlineContentionTracker::restoreCheckpoint(
     throw std::invalid_argument(
         "restoreCheckpoint: more apps than the delay tables cover");
   }
-  mix_.restore(checkpoint.apps, checkpoint.commPoly, checkpoint.compPoly);
+  mix_.restore(checkpoint.apps, checkpoint.commPoly, checkpoint.compPoly,
+               checkpoint.ioPoly);
   idsByMixIndex_ = checkpoint.ids;
   nextId_ = checkpoint.nextId;
   lastEventTime_ = checkpoint.lastEventTimeSec;
@@ -123,6 +127,7 @@ void OnlineContentionTracker::recalibrate(
         " contenders but " + std::to_string(mix_.p()) + " are live");
   }
   platform_ = std::move(platform);
+  ioTables_ = model::canonicalIoDelayTables(platform_.delays.maxContenders());
   recomputeSlowdowns();
 }
 
@@ -135,6 +140,7 @@ void OnlineContentionTracker::recomputeSlowdowns() {
   // O(p) given the maintained distributions (the paper's headline bound).
   compSlowdown_ = model::paragonCompSlowdown(mix_, platform_.delays);
   commSlowdown_ = model::paragonCommSlowdown(mix_, platform_.delays);
+  ioSlowdown_ = model::mixIoSlowdown(mix_, ioTables_);
 }
 
 void OnlineContentionTracker::log(LoadEventKind kind, double timeSec,

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "model/io_tables.hpp"
 #include "model/mix.hpp"
 #include "model/paragon_model.hpp"
 #include "model/predictor.hpp"
@@ -46,6 +47,7 @@ struct TrackerCheckpoint {
   std::vector<model::CompetingApp> apps;
   std::vector<double> commPoly;  // size p + 1
   std::vector<double> compPoly;  // size p + 1
+  std::vector<double> ioPoly;    // size p + 1
   std::uint64_t nextId = 1;
   double lastEventTimeSec = 0.0;
 };
@@ -67,6 +69,10 @@ class OnlineContentionTracker {
   [[nodiscard]] int activeApplications() const;
   [[nodiscard]] double compSlowdown() const { return compSlowdown_; }
   [[nodiscard]] double commSlowdown() const { return commSlowdown_; }
+  /// Slowdown a newcomer's disk-I/O phases would see against the live mix
+  /// (the §4 extension): 1 + Σ pio_i·ioFromIo + Σ pcomp_i·ioFromComp over
+  /// the canonical I/O tables. Exactly 1.0 for an empty mix.
+  [[nodiscard]] double ioSlowdown() const { return ioSlowdown_; }
   [[nodiscard]] const model::WorkloadMix& mix() const { return mix_; }
 
   /// Contention-adjusted prediction helpers (delegate to the model).
@@ -111,11 +117,17 @@ class OnlineContentionTracker {
   void log(LoadEventKind kind, double timeSec, std::uint64_t id);
 
   model::ParagonPlatformModel platform_;
+  // Canonical I/O tables sized to the platform's delay-table depth. Not
+  // part of CALIBRATE table swaps: they are a fixed convention (like the
+  // scenario engine's canonical comm tables), so recovery and replication
+  // reproduce them without journaling a single byte.
+  model::IoDelayTables ioTables_;
   model::WorkloadMix mix_;
   std::vector<std::uint64_t> idsByMixIndex_;  // parallel to mix_.apps()
   std::uint64_t nextId_ = 1;
   double compSlowdown_ = 1.0;
   double commSlowdown_ = 1.0;
+  double ioSlowdown_ = 1.0;
   double lastEventTime_ = 0.0;
   std::vector<LoadEvent> history_;
 };

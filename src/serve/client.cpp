@@ -211,6 +211,17 @@ Response Client::arrive(double commFraction, Words messageWords) {
   return call(request);
 }
 
+Response Client::arrive(double commFraction, Words messageWords,
+                        double ioFraction, std::int64_t ioOps) {
+  Request request;
+  request.verb = Verb::kArrive;
+  request.app.commFraction = commFraction;
+  request.app.messageWords = messageWords;
+  request.app.ioFraction = ioFraction;
+  request.app.ioOps = ioOps;
+  return call(request);
+}
+
 Response Client::depart(std::uint64_t applicationId) {
   Request request;
   request.verb = Verb::kDepart;

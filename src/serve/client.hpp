@@ -72,6 +72,9 @@ class Client {
   Response call(const Request& request);
 
   Response arrive(double commFraction, Words messageWords);
+  /// ARRIVE with the §4 I/O extension fields (io <fraction> <ops> suffix).
+  Response arrive(double commFraction, Words messageWords, double ioFraction,
+                  std::int64_t ioOps);
   Response depart(std::uint64_t applicationId);
   Response predict(const tools::TaskSpec& task);
   /// One PREDICT_BATCH round trip; per-task results come back as indexed

@@ -29,7 +29,9 @@ std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
 std::uint64_t appHash(const model::CompetingApp& app) {
   std::uint64_t hash = fnvMix(kFnvOffset,
                               std::bit_cast<std::uint64_t>(app.commFraction));
-  return fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+  hash = fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(app.ioFraction));
+  return fnvMix(hash, static_cast<std::uint64_t>(app.ioOps));
 }
 
 /// Hash of the prediction-relevant task fields (the name is presentation
@@ -38,6 +40,8 @@ std::uint64_t taskHash(const tools::TaskSpec& task) {
   std::uint64_t hash = fnvMix(kFnvOffset,
                               std::bit_cast<std::uint64_t>(task.frontEndSec));
   hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.backEndSec));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.ioFraction));
+  hash = fnvMix(hash, static_cast<std::uint64_t>(task.ioOps));
   for (const auto* sets : {&task.toBackend, &task.fromBackend}) {
     hash = fnvMix(hash, sets->size());
     for (const model::DataSet& set : *sets) {
@@ -69,7 +73,8 @@ void ConcurrentTracker::publishSnapshotLocked() {
   snapshot_.publish(MixSnapshot{epoch_, signature_, tableGen_,
                                 tracker_.activeApplications(),
                                 tracker_.compSlowdown(),
-                                tracker_.commSlowdown()});
+                                tracker_.commSlowdown(),
+                                tracker_.ioSlowdown()});
 }
 
 void ConcurrentTracker::installTablesLocked(
@@ -442,7 +447,14 @@ TaskPrediction ConcurrentTracker::predictFromView(
       model::dcomm(platform.toBackend, task.toBackend) * snapshot.comm;
   const double fromBackend =
       model::dcomm(platform.fromBackend, task.fromBackend) * snapshot.comm;
-  out.frontSec = task.frontEndSec * snapshot.comp;
+  // The front-end cost splits by the task's I/O fraction: the compute share
+  // stretches by the comp slowdown, the disk share by the device slowdown.
+  // For ioFraction == 0 both factors below are IEEE-exact no-ops
+  // ((fe·1.0)·comp + (fe·0.0)·io ≡ fe·comp), so pre-I/O predictions keep
+  // their exact bits.
+  out.frontSec =
+      (task.frontEndSec * (1.0 - task.ioFraction)) * snapshot.comp +
+      (task.frontEndSec * task.ioFraction) * snapshot.io;
   out.remoteSec = task.backEndSec + toBackend + fromBackend;
   out.offload = model::shouldOffload(out.frontSec, task.backEndSec, toBackend,
                                      fromBackend);

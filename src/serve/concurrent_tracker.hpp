@@ -58,6 +58,7 @@ struct MixSnapshot {
   int active = 0;               // the paper's p
   double comp = 1.0;
   double comm = 1.0;
+  double io = 1.0;  // disk-I/O slowdown (§4 extension), canonical tables
 };
 
 /// Lock-free publication point for MixSnapshot: a ring of generation-stamped
@@ -88,6 +89,7 @@ class SnapshotCell {
     slot.active.store(snapshot.active, std::memory_order_relaxed);
     slot.comp.store(snapshot.comp, std::memory_order_relaxed);
     slot.comm.store(snapshot.comm, std::memory_order_relaxed);
+    slot.io.store(snapshot.io, std::memory_order_relaxed);
     slot.seq.store(2 * next, std::memory_order_release);
     version_.store(next, std::memory_order_release);
   }
@@ -108,6 +110,7 @@ class SnapshotCell {
       out.active = slot.active.load(std::memory_order_relaxed);
       out.comp = slot.comp.load(std::memory_order_relaxed);
       out.comm = slot.comm.load(std::memory_order_relaxed);
+      out.io = slot.io.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) == 2 * version) {
         return out;
@@ -124,6 +127,7 @@ class SnapshotCell {
     std::atomic<int> active{0};
     std::atomic<double> comp{1.0};
     std::atomic<double> comm{1.0};
+    std::atomic<double> io{1.0};
   };
   // Slot 0 starts even at generation 0 holding the empty-mix defaults, so a
   // freshly constructed cell already publishes a valid snapshot.

@@ -17,8 +17,12 @@ namespace contend::serve {
 
 namespace {
 
-constexpr std::string_view kJournalMagic = "CONTJRN1";
-constexpr std::string_view kSnapshotMagic = "CONTSNP2";
+// Both magics were bumped when arrive records and checkpoints grew the I/O
+// dimension (ioFraction/ioOps per app, the io Poisson-binomial polynomial):
+// a pre-I/O journal or snapshot is refused with a clear error instead of
+// misdecoded into a mix with garbage I/O state.
+constexpr std::string_view kJournalMagic = "CONTJRN2";
+constexpr std::string_view kSnapshotMagic = "CONTSNP3";
 
 // Frame caps: an arrive/depart record is tens of bytes and a table-swap
 // record carries full delay tables (bounded below by kMaxTableContenders ×
@@ -27,7 +31,7 @@ constexpr std::string_view kSnapshotMagic = "CONTSNP2";
 constexpr std::uint32_t kMaxRecordPayload = 1u << 20;
 constexpr std::uint32_t kMaxSnapshotPayload = 64u << 20;
 
-constexpr std::size_t kArrivePayloadBytes = 1 + 8 + 8 + 8 + 8 + 8;
+constexpr std::size_t kArrivePayloadBytes = 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8;
 constexpr std::size_t kDepartPayloadBytes = 1 + 8 + 8 + 8;
 
 // Decode-side sanity bounds on table dimensions. Calibrated tables cover
@@ -182,6 +186,8 @@ std::string recordPayload(const JournalRecord& record) {
   if (record.kind == JournalRecord::Kind::kArrive) {
     putF64(payload, record.app.commFraction);
     putU64(payload, static_cast<std::uint64_t>(record.app.messageWords));
+    putF64(payload, record.app.ioFraction);
+    putU64(payload, static_cast<std::uint64_t>(record.app.ioOps));
   } else if (record.kind == JournalRecord::Kind::kTableSwap) {
     encodePlatformTables(payload, record.tables);
   }
@@ -206,8 +212,13 @@ bool decodeRecordPayload(std::string_view payload, JournalRecord& out) {
   out.tables = model::ParagonPlatformModel{};
   if (out.kind == JournalRecord::Kind::kArrive) {
     std::uint64_t words = 0;
-    if (!reader.f64(out.app.commFraction) || !reader.u64(words)) return false;
+    std::uint64_t ioOps = 0;
+    if (!reader.f64(out.app.commFraction) || !reader.u64(words) ||
+        !reader.f64(out.app.ioFraction) || !reader.u64(ioOps)) {
+      return false;
+    }
     out.app.messageWords = static_cast<Words>(words);
+    out.app.ioOps = static_cast<std::int64_t>(ioOps);
   } else if (out.kind == JournalRecord::Kind::kTableSwap) {
     if (!decodePlatformTables(reader, out.tables)) return false;
   }
@@ -375,9 +386,11 @@ std::string encodeSnapshot(const SnapshotImage& image) {
     putF64(payload, checkpoint.apps[i].commFraction);
     putU64(payload,
            static_cast<std::uint64_t>(checkpoint.apps[i].messageWords));
+    putF64(payload, checkpoint.apps[i].ioFraction);
+    putU64(payload, static_cast<std::uint64_t>(checkpoint.apps[i].ioOps));
   }
   for (const std::vector<double>* poly :
-       {&checkpoint.commPoly, &checkpoint.compPoly}) {
+       {&checkpoint.commPoly, &checkpoint.compPoly, &checkpoint.ioPoly}) {
     for (const double c : *poly) putF64(payload, c);
   }
   putU64(payload, image.tableGeneration);
@@ -409,14 +422,14 @@ std::optional<SnapshotImage> decodeSnapshot(std::string_view bytes) {
       !reader.f64(checkpoint.lastEventTimeSec) || !reader.u32(appCount)) {
     return std::nullopt;
   }
-  // The remaining payload is appCount app triples, two (appCount + 1)-sized
-  // coefficient vectors, the table generation, and the platform tables. The
-  // tables are variable-sized, so this is a lower bound that stops a hostile
-  // appCount from driving the reserves below; decodePlatformTables and the
-  // final exhaustion check enforce exactness.
+  // The remaining payload is appCount app quintuples, three
+  // (appCount + 1)-sized coefficient vectors, the table generation, and the
+  // platform tables. The tables are variable-sized, so this is a lower bound
+  // that stops a hostile appCount from driving the reserves below;
+  // decodePlatformTables and the final exhaustion check enforce exactness.
   const std::size_t minimum =
-      reader.position() + std::size_t{appCount} * 24 +
-      2 * (std::size_t{appCount} + 1) * 8 + 8 + kPlatformTablesFixedBytes;
+      reader.position() + std::size_t{appCount} * 40 +
+      3 * (std::size_t{appCount} + 1) * 8 + 8 + kPlatformTablesFixedBytes;
   if (payload.size() < minimum) return std::nullopt;
   checkpoint.ids.reserve(appCount);
   checkpoint.apps.reserve(appCount);
@@ -424,16 +437,19 @@ std::optional<SnapshotImage> decodeSnapshot(std::string_view bytes) {
     std::uint64_t id = 0;
     model::CompetingApp app;
     std::uint64_t words = 0;
+    std::uint64_t ioOps = 0;
     if (!reader.u64(id) || !reader.f64(app.commFraction) ||
-        !reader.u64(words)) {
+        !reader.u64(words) || !reader.f64(app.ioFraction) ||
+        !reader.u64(ioOps)) {
       return std::nullopt;
     }
     app.messageWords = static_cast<Words>(words);
+    app.ioOps = static_cast<std::int64_t>(ioOps);
     checkpoint.ids.push_back(id);
     checkpoint.apps.push_back(app);
   }
   for (std::vector<double>* poly :
-       {&checkpoint.commPoly, &checkpoint.compPoly}) {
+       {&checkpoint.commPoly, &checkpoint.compPoly, &checkpoint.ioPoly}) {
     poly->resize(std::size_t{appCount} + 1);
     for (double& c : *poly) {
       if (!reader.f64(c)) return std::nullopt;

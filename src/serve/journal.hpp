@@ -108,9 +108,10 @@ struct JournalStats {
 // Pure (de)serialization core, no file I/O — shared by the Journal, the
 // framing tests, and the `journal_fuzz` targets in protocol_fuzz.cpp.
 
-/// 8-byte file magics ("CONTJRN1" / "CONTSNP2" — the snapshot magic was
-/// bumped when the image grew the platform tables; a pre-recalibration
-/// snapshot is refused with a clear error instead of misdecoded).
+/// 8-byte file magics ("CONTJRN2" / "CONTSNP3" — both were bumped when the
+/// mix grew the I/O dimension, and the snapshot magic earlier when the image
+/// grew the platform tables; a file from an older format is refused with a
+/// clear error instead of misdecoded).
 [[nodiscard]] std::string_view journalMagic();
 [[nodiscard]] std::string_view snapshotMagic();
 

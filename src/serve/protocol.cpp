@@ -49,6 +49,11 @@ std::string formatDouble(double value) {
 std::string formatTaskBody(const tools::TaskSpec& task) {
   std::string out = "front " + formatDouble(task.frontEndSec) + '\n';
   out += "back " + formatDouble(task.backEndSec) + '\n';
+  // Emitted only when present so pre-I/O payloads keep their exact bytes.
+  if (task.ioFraction > 0.0 || task.ioOps > 0) {
+    out += "io " + formatDouble(task.ioFraction) + ' ' +
+           std::to_string(task.ioOps) + '\n';
+  }
   for (const model::DataSet& set : task.toBackend) {
     out += "to_backend " + std::to_string(set.messages) + " x " +
            std::to_string(set.words) + '\n';
@@ -79,7 +84,32 @@ Request parseArrive(TokenCursor& line) {
   if (request.app.commFraction > 0.0 && request.app.messageWords <= 0) {
     fail("ARRIVE: communicating application needs a message size");
   }
-  rejectTrailing(line, "ARRIVE");
+  // Optional I/O suffix: `ARRIVE <f> <words> io <g> <ops>`.
+  if (const auto io = line.next()) {
+    if (*io != "io") {
+      fail("ARRIVE: expected 'io <fraction> <ops>' after message words");
+    }
+    const auto ioFraction = line.next();
+    const auto ioOps = line.next();
+    if (!ioFraction || !ioOps ||
+        !util::parseDouble(*ioFraction, request.app.ioFraction) ||
+        !util::parseInteger(*ioOps, request.app.ioOps)) {
+      fail("ARRIVE: expected 'io <fraction> <ops>'");
+    }
+    if (request.app.ioFraction < 0.0 || request.app.ioFraction > 1.0) {
+      fail("ARRIVE: io fraction outside [0, 1]");
+    }
+    if (request.app.commFraction + request.app.ioFraction > 1.0) {
+      fail("ARRIVE: comm + io fractions exceed 1");
+    }
+    if (request.app.ioOps < 0) {
+      fail("ARRIVE: io ops must be non-negative");
+    }
+    if (request.app.ioFraction > 0.0 && request.app.ioOps <= 0) {
+      fail("ARRIVE: I/O-doing application needs an op count");
+    }
+    rejectTrailing(line, "ARRIVE");
+  }
   return request;
 }
 
@@ -487,9 +517,16 @@ std::optional<Request> parseRequestText(std::string_view text) {
 
 std::string formatRequest(const Request& request) {
   switch (request.verb) {
-    case Verb::kArrive:
-      return "ARRIVE " + formatDouble(request.app.commFraction) + ' ' +
-             std::to_string(request.app.messageWords) + '\n';
+    case Verb::kArrive: {
+      std::string out = "ARRIVE " + formatDouble(request.app.commFraction) +
+                        ' ' + std::to_string(request.app.messageWords);
+      if (request.app.ioFraction > 0.0 || request.app.ioOps > 0) {
+        out += " io " + formatDouble(request.app.ioFraction) + ' ' +
+               std::to_string(request.app.ioOps);
+      }
+      out += '\n';
+      return out;
+    }
     case Verb::kDepart:
       return "DEPART " + std::to_string(request.applicationId) + '\n';
     case Verb::kSlowdown:

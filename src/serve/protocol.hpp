@@ -5,7 +5,7 @@
 // terminated by an `end` line, and PREDICT_BATCH which carries one or more
 // full `task ... end` blocks and is terminated by an `end_batch` line:
 //
-//     ARRIVE <commFraction> <messageWords>
+//     ARRIVE <commFraction> <messageWords> [io <ioFraction> <ioOps>]
 //     DEPART <applicationId>
 //     SLOWDOWN
 //     STATS

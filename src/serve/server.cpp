@@ -586,6 +586,7 @@ Response Server::handle(const Request& request) {
     response.add("p", static_cast<std::uint64_t>(snapshot.active));
     response.add("comp", snapshot.comp);
     response.add("comm", snapshot.comm);
+    response.add("io", snapshot.io);
   };
   // Follower gating: mutations must go through the shard primary (the
   // replication stream is the only writer), and reads are refused once the

@@ -1,0 +1,44 @@
+#include "tools/trace_schedule.hpp"
+
+namespace contend::tools {
+
+model::CompetingApp traceCompetitor(const trace::JobProfile& job) {
+  model::CompetingApp app;
+  app.commFraction = job.commFraction;
+  app.messageWords = job.messageWords;
+  app.ioFraction = job.ioFraction;
+  app.ioOps = job.ioOps;
+  return app;
+}
+
+TaskSpec traceTaskSpec(const trace::JobProfile& job) {
+  TaskSpec task;
+  task.name = job.name;
+  const double front = job.dedicatedSec * (1.0 - job.commFraction);
+  task.frontEndSec = front;
+  task.backEndSec = job.dedicatedSec * job.commFraction;
+  if (job.ioFraction > 0.0 && front > 0.0) {
+    // TaskSpec::ioFraction is the disk share *of the front-end time*; the
+    // profile's ioFraction is the share of the whole dedicated time.
+    task.ioFraction = job.ioFraction * job.dedicatedSec / front;
+    task.ioOps = job.ioOps;
+  }
+  if (job.messageWords > 0) {
+    task.toBackend.push_back({1, job.messageWords});
+    task.fromBackend.push_back({1, job.messageWords});
+  }
+  return task;
+}
+
+WorkloadFile traceWorkload(const std::vector<trace::JobProfile>& jobs) {
+  WorkloadFile workload;
+  workload.competitors.reserve(jobs.size());
+  workload.tasks.reserve(jobs.size());
+  for (const trace::JobProfile& job : jobs) {
+    workload.competitors.push_back(traceCompetitor(job));
+    workload.tasks.push_back(traceTaskSpec(job));
+  }
+  return workload;
+}
+
+}  // namespace contend::tools

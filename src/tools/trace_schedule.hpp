@@ -1,0 +1,32 @@
+// trace_schedule.hpp — job traces reduced to the serving vocabulary.
+//
+// A profiled trace job (trace/job_trace.hpp) carries dedicated time plus
+// comm/IO fractions; the serving path speaks competitor apps (ARRIVE) and
+// task specs (PREDICT). This is the one place that mapping lives, so the
+// contend_tracegen converter and `serve_throughput --trace` emit identical
+// schedules for the same trace.
+#pragma once
+
+#include <vector>
+
+#include "model/mix.hpp"
+#include "tools/workload_file.hpp"
+#include "trace/job_trace.hpp"
+
+namespace contend::tools {
+
+/// The competitor entry a job contributes to the mix while it runs: the
+/// job's comm/IO fractions and shapes, verbatim.
+[[nodiscard]] model::CompetingApp traceCompetitor(const trace::JobProfile& job);
+
+/// The PREDICT task spec for a job. `front` is the non-communication share
+/// of the dedicated time (compute + disk I/O), `back` the communication
+/// share; the task's io fraction is re-expressed relative to `front`, which
+/// is how TaskSpec::ioFraction is defined.
+[[nodiscard]] TaskSpec traceTaskSpec(const trace::JobProfile& job);
+
+/// A whole trace as a workload file: one competitor and one task per job.
+[[nodiscard]] WorkloadFile traceWorkload(
+    const std::vector<trace::JobProfile>& jobs);
+
+}  // namespace contend::tools

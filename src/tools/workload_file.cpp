@@ -52,6 +52,25 @@ model::DataSet parseDataSet(TokenCursor& cursor, int line) {
   return model::DataSet{messages, words};
 }
 
+/// Parses the shared "<fraction> <ops>" I/O pair (competitor suffix and
+/// task `io` line) with its range checks.
+void parseIoPair(TokenCursor& cursor, int line, double& ioFraction,
+                 std::int64_t& ioOps) {
+  const auto fraction = cursor.next();
+  const auto ops = cursor.next();
+  if (!fraction || !ops || !util::parseDouble(*fraction, ioFraction) ||
+      !util::parseInteger(*ops, ioOps)) {
+    fail(line, "expected 'io <fraction> <ops>'");
+  }
+  if (ioFraction < 0.0 || ioFraction > 1.0) {
+    fail(line, "io fraction outside [0, 1]");
+  }
+  if (ioOps < 0) fail(line, "io ops must be non-negative");
+  if (ioFraction > 0.0 && ioOps <= 0) {
+    fail(line, "I/O-doing entry needs an op count");
+  }
+}
+
 }  // namespace
 
 void WorkloadParser::feedLine(std::string_view raw) {
@@ -77,6 +96,16 @@ void WorkloadParser::feedLine(std::string_view raw) {
     if (app.commFraction > 0.0 && app.messageWords <= 0) {
       fail(lineNo, "communicating competitor needs a message size");
     }
+    if (const auto io = cursor.next()) {
+      if (*io != "io") {
+        fail(lineNo, "expected 'io <fraction> <ops>' after message words");
+      }
+      parseIoPair(cursor, lineNo, app.ioFraction, app.ioOps);
+      if (app.commFraction + app.ioFraction > 1.0) {
+        fail(lineNo, "comm + io fractions exceed 1");
+      }
+      rejectTrailing(cursor, lineNo);
+    }
     workload_.competitors.push_back(app);
   } else if (keyword == "task") {
     if (current_) fail(lineNo, "nested 'task' (missing 'end'?)");
@@ -94,6 +123,10 @@ void WorkloadParser::feedLine(std::string_view raw) {
     (keyword == "front" ? current_->frontEndSec : current_->backEndSec) =
         seconds;
     (keyword == "front" ? sawFront_ : sawBack_) = true;
+  } else if (keyword == "io") {
+    if (!current_) fail(lineNo, "'io' outside a task");
+    parseIoPair(cursor, lineNo, current_->ioFraction, current_->ioOps);
+    rejectTrailing(cursor, lineNo);
   } else if (keyword == "to_backend" || keyword == "from_backend") {
     if (!current_) {
       fail(lineNo, "'" + std::string(keyword) + "' outside a task");
@@ -137,13 +170,21 @@ WorkloadFile parseWorkloadFile(const std::string& path) {
 void writeWorkload(const WorkloadFile& workload, std::ostream& out) {
   out << "# contend workload description\n";
   for (const model::CompetingApp& app : workload.competitors) {
-    out << "competitor " << app.commFraction << ' ' << app.messageWords
-        << '\n';
+    out << "competitor " << app.commFraction << ' ' << app.messageWords;
+    // The io suffix is emitted only when present, so pre-I/O files
+    // round-trip byte-identically.
+    if (app.ioFraction > 0.0 || app.ioOps > 0) {
+      out << " io " << app.ioFraction << ' ' << app.ioOps;
+    }
+    out << '\n';
   }
   for (const TaskSpec& task : workload.tasks) {
     out << "task " << task.name << '\n';
     out << "  front " << task.frontEndSec << '\n';
     out << "  back " << task.backEndSec << '\n';
+    if (task.ioFraction > 0.0 || task.ioOps > 0) {
+      out << "  io " << task.ioFraction << ' ' << task.ioOps << '\n';
+    }
     for (const model::DataSet& ds : task.toBackend) {
       out << "  to_backend " << ds.messages << " x " << ds.words << '\n';
     }

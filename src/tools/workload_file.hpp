@@ -8,17 +8,23 @@
 //     # two competitors share the front-end
 //     competitor 0.30 800      # comm fraction, message words
 //     competitor 0.0  0        # CPU-bound
+//     competitor 0.1 64 io 0.3 40   # plus: disk fraction, ops per cycle
 //
 //     task solver
 //       front 8.0              # dedicated front-end seconds
 //       back  1.5              # back-end seconds (space-shared)
+//       io 0.25 120            # share of `front` spent in disk I/O, op count
 //       to_backend   512 x 512 # messages x words per message
 //       from_backend 512 x 512
 //     end
 //
+// The `io ...` suffix and the task `io` line are optional; files that never
+// mention I/O parse (and re-serialize) exactly as before.
+//
 // Lines are independent; '#' starts a comment; blank lines ignored.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -34,6 +40,10 @@ struct TaskSpec {
   std::string name;
   double frontEndSec = 0.0;
   double backEndSec = 0.0;
+  /// Share of frontEndSec spent in disk I/O (0 = pure compute) and the
+  /// number of disk operations behind it — the §4 I/O extension.
+  double ioFraction = 0.0;
+  std::int64_t ioOps = 0;
   std::vector<model::DataSet> toBackend;
   std::vector<model::DataSet> fromBackend;
 };

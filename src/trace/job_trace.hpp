@@ -1,0 +1,148 @@
+// job_trace.hpp — replayable job traces: the third contention dimension's
+// input format.
+//
+// The scenario DSL (scenario/scenario.hpp) describes *statistical* task
+// classes; a trace describes *specific* jobs — the phase list a real
+// application executed, as captured by an I/O-instrumented profiler. The
+// engine replays each job phase-accurately, so model-vs-simulation error can
+// be measured per job class on the workloads the paper's §4 extension is
+// meant to price (compute / communicate / disk-I/O applications).
+//
+// Format: strict line-oriented text, one job per block.
+//
+//     # SOR solver, instrumented run 3
+//     job sor-0
+//       class solver          # job class for error aggregation (optional)
+//       arrive 0.5            # arrival time in seconds (optional, default 0)
+//       compute 2.0           # dedicated CPU seconds
+//       comm 64 800           # messages, words per message
+//       io 120 65536 r        # disk ops, total bytes, r|w|rw
+//       compute 1.0
+//     end
+//
+// '#' starts a comment; blank lines are ignored; every other deviation is a
+// hard reject. Errors carry byte-accurate positions exactly like the
+// scenario parser's (TraceError mirrors ScenarioError: line, column, and the
+// absolute byte offset of the offending token), so tooling can point at the
+// exact character.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace contend::trace {
+
+/// Direction of an I/O phase. Replay treats them identically (the simulated
+/// disk is direction-blind); the distinction is preserved for tooling.
+enum class IoDirection { kRead, kWrite, kReadWrite };
+
+[[nodiscard]] const char* ioDirectionName(IoDirection direction);
+
+/// One phase of a job, in execution order. Exactly one of the three shapes
+/// is populated, keyed by `kind`.
+struct TracePhase {
+  enum class Kind { kCompute, kComm, kIo };
+  Kind kind = Kind::kCompute;
+  double seconds = 0.0;     // kCompute: dedicated CPU time
+  std::int64_t messages = 0;  // kComm: message count
+  Words words = 0;            // kComm: words per message
+  std::int64_t ops = 0;       // kIo: disk operation count
+  std::int64_t bytes = 0;     // kIo: total bytes moved
+  IoDirection direction = IoDirection::kRead;  // kIo
+};
+
+/// One job: a named, classed, timestamped phase list.
+struct TraceJob {
+  std::string name;
+  std::string className;  // defaults to the job name
+  double arriveSec = 0.0;
+  std::vector<TracePhase> phases;
+};
+
+/// An immutable parsed trace.
+struct JobTrace {
+  std::string name;  // source name (file stem), for error/report labels
+  std::vector<TraceJob> jobs;
+
+  /// Distinct class names, in first-appearance order.
+  [[nodiscard]] std::vector<std::string> classNames() const;
+};
+
+/// Parse failure with a byte-accurate position into the source text.
+/// what() is formatted "<name>:<line>:<column> (byte <offset>): <message>" —
+/// the same discipline as scenario::ScenarioError.
+class TraceError : public std::runtime_error {
+ public:
+  TraceError(const std::string& formatted, std::size_t byteOffset, int line,
+             int column)
+      : std::runtime_error(formatted),
+        byteOffset_(byteOffset),
+        line_(line),
+        column_(column) {}
+
+  /// 0-based absolute byte offset of the offending token in the input.
+  [[nodiscard]] std::size_t byteOffset() const { return byteOffset_; }
+  /// 1-based line and column of that byte.
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  std::size_t byteOffset_;
+  int line_;
+  int column_;
+};
+
+/// Parses the format above. `name` seeds JobTrace::name and error messages.
+/// Throws TraceError on any syntactic or semantic problem.
+[[nodiscard]] JobTrace parseTrace(std::string_view text,
+                                  std::string name = "trace");
+
+/// Reads and parses a file; the trace name is the filename stem.
+/// Throws std::runtime_error if the file cannot be read.
+[[nodiscard]] JobTrace parseTraceFile(const std::string& path);
+
+/// Serializes back to the same format (round-trip tested: parse ∘ write is
+/// the identity on parsed traces).
+[[nodiscard]] std::string writeTrace(const JobTrace& trace);
+
+/// Converts trace phases into the model's (fraction, words, ops) language.
+/// The communication and I/O costs mirror the simulator's dedicated-mode
+/// arithmetic so a profile derived here and a replay of the same trace agree
+/// on the dedicated baseline.
+struct TraceCostModel {
+  double commAlphaSec = 0.0005;        // link startup per message
+  double commBetaWordsPerSec = 2.0e6;  // link bandwidth
+  double ioOpSec = 0.01215;            // syscall + seek per disk op
+                                       // (sim defaults: 150 us + 12 ms)
+  double ioWordSec = 5.0e-7;           // per-word transfer time (sim default)
+  double bytesPerWord = 8.0;           // trace bytes -> simulator words
+
+  [[nodiscard]] double commPhaseSec(const TracePhase& phase) const;
+  [[nodiscard]] double ioPhaseSec(const TracePhase& phase) const;
+};
+
+/// One job reduced to the engine/serving parameter space.
+struct JobProfile {
+  std::string name;
+  std::string className;
+  double arriveSec = 0.0;
+  double dedicatedSec = 0.0;   // compute + comm + io, uncontended
+  double commFraction = 0.0;   // comm share of dedicatedSec
+  double ioFraction = 0.0;     // io share of dedicatedSec
+  Words messageWords = 0;      // largest per-message size (j-bin input)
+  std::int64_t ioOps = 0;      // total disk ops
+  std::int64_t ioWords = 0;    // total disk words moved
+};
+
+/// Reduces each job with the cost model. Throws std::invalid_argument on a
+/// job whose phases reduce to zero dedicated time (nothing to price).
+[[nodiscard]] std::vector<JobProfile> profileTrace(
+    const JobTrace& trace, const TraceCostModel& cost = {});
+
+}  // namespace contend::trace

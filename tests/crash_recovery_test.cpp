@@ -73,6 +73,17 @@ tools::TaskSpec probeTask() {
   return task;
 }
 
+/// A second probe with a §4 disk share: its front-end prediction mixes the
+/// comp and device slowdowns, so it detects a recovery that restored the
+/// comm/comp mix state but lost the I/O dimension.
+tools::TaskSpec ioProbeTask() {
+  tools::TaskSpec task = probeTask();
+  task.name = "io-probe";
+  task.ioFraction = 0.375;
+  task.ioOps = 256;
+  return task;
+}
+
 /// One step of the deterministic workload. Departures name a position in
 /// the parent's live-id list, so the parent-driven daemon and the in-process
 /// oracle stay in lockstep without sharing state.
@@ -80,6 +91,8 @@ struct Op {
   bool arrive = true;
   double fraction = 0.0;
   Words words = 0;
+  double ioFraction = 0.0;
+  std::int64_t ioOps = 0;
   std::size_t departIndex = 0;
 };
 
@@ -94,6 +107,15 @@ std::vector<Op> makeSchedule(int count, unsigned seed) {
     if (op.arrive) {
       op.fraction = 0.1 + 0.8 * uniform(rng);
       op.words = 64 + static_cast<Words>(900 * uniform(rng));
+      // Roughly 40% of arrivals carry the §4 `io <fraction> <ops>` suffix;
+      // the disk share stays under 1 - fraction so the protocol's
+      // fraction-sum validation never rejects a generated op. These must
+      // round-trip through the journal (and its snapshots) bit-exactly for
+      // recovery to keep matching the oracle.
+      if (uniform(rng) < 0.4) {
+        op.ioFraction = (1.0 - op.fraction) * (0.2 + 0.7 * uniform(rng));
+        op.ioOps = 32 + static_cast<std::int64_t>(500.0 * uniform(rng));
+      }
       ++live;
     } else {
       op.departIndex =
@@ -180,6 +202,8 @@ std::string formatOp(const Op& op, const std::vector<std::uint64_t>& live) {
     request.verb = Verb::kArrive;
     request.app.commFraction = op.fraction;
     request.app.messageWords = op.words;
+    request.app.ioFraction = op.ioFraction;
+    request.app.ioOps = op.ioOps;
   } else {
     request.verb = Verb::kDepart;
     request.applicationId = live[op.departIndex];
@@ -233,25 +257,39 @@ void expectMatchesOracle(Client& client, ConcurrentTracker& oracle) {
   EXPECT_EQ(slowdown.number("p"), static_cast<double>(expected.active));
   EXPECT_EQ(bits(slowdown.number("comp")), bits(expected.comp));
   EXPECT_EQ(bits(slowdown.number("comm")), bits(expected.comm));
+  EXPECT_EQ(bits(slowdown.number("io")), bits(expected.io));
 
   const Response stats = client.stats();
   ASSERT_TRUE(stats.ok) << stats.error;
   EXPECT_EQ(*stats.find("epoch"), std::to_string(expected.epoch));
   EXPECT_EQ(*stats.find("signature"), std::to_string(expected.signature));
 
-  const TaskPrediction expectedPrediction = oracle.predict(probeTask());
-  const Response predict = client.predict(probeTask());
-  ASSERT_TRUE(predict.ok) << predict.error;
-  EXPECT_EQ(bits(predict.number("front")), bits(expectedPrediction.frontSec));
-  EXPECT_EQ(bits(predict.number("remote")),
-            bits(expectedPrediction.remoteSec));
-  EXPECT_EQ(*predict.find("decision"),
-            expectedPrediction.offload ? "back-end" : "front-end");
+  for (const tools::TaskSpec& probe : {probeTask(), ioProbeTask()}) {
+    const TaskPrediction expectedPrediction = oracle.predict(probe);
+    const Response predict = client.predict(probe);
+    ASSERT_TRUE(predict.ok) << probe.name << ": " << predict.error;
+    EXPECT_EQ(bits(predict.number("front")),
+              bits(expectedPrediction.frontSec))
+        << probe.name;
+    EXPECT_EQ(bits(predict.number("remote")),
+              bits(expectedPrediction.remoteSec))
+        << probe.name;
+    EXPECT_EQ(*predict.find("decision"),
+              expectedPrediction.offload ? "back-end" : "front-end")
+        << probe.name;
+  }
 }
 
 TEST_F(CrashRecoveryTest, RecoversBitIdenticalAfterRandomizedSigkills) {
   constexpr int kOps = 80;
   const std::vector<Op> schedule = makeSchedule(kOps, 0xc0ffee);
+  // The fixed seed must actually journal I/O-bearing arrivals, or the
+  // recovery coverage this test claims for the §4 extension is vacuous.
+  int ioArrivals = 0;
+  for (const Op& op : schedule) {
+    if (op.arrive && op.ioFraction > 0.0) ++ioArrivals;
+  }
+  ASSERT_GE(ioArrivals, 8);
 
   // Six clean kills (between requests) plus three in-flight kills (request
   // sent, response never read) at distinct randomized schedule positions.
@@ -319,7 +357,9 @@ TEST_F(CrashRecoveryTest, RecoversBitIdenticalAfterRandomizedSigkills) {
       }
       // Applied: advance the oracle past it and verify convergence.
       if (op.arrive) {
-        live.push_back(oracle.arrive({op.fraction, op.words}).id);
+        live.push_back(
+            oracle.arrive({op.fraction, op.words, op.ioFraction, op.ioOps})
+                .id);
       } else {
         oracle.depart(live[op.departIndex]);
         live.erase(live.begin() +
@@ -331,12 +371,17 @@ TEST_F(CrashRecoveryTest, RecoversBitIdenticalAfterRandomizedSigkills) {
     }
     // Regular op: drive the daemon and the oracle in lockstep.
     if (op.arrive) {
-      const Response response = client->arrive(op.fraction, op.words);
+      // The 4-arg arrive with zeros formats byte-identical wire lines to the
+      // 2-arg one, so pre-I/O ops journal their exact pre-extension bytes.
+      const Response response =
+          client->arrive(op.fraction, op.words, op.ioFraction, op.ioOps);
       ASSERT_TRUE(response.ok) << response.error;
-      const MutationResult expected = oracle.arrive({op.fraction, op.words});
+      const MutationResult expected =
+          oracle.arrive({op.fraction, op.words, op.ioFraction, op.ioOps});
       EXPECT_EQ(*response.find("id"), std::to_string(expected.id));
       EXPECT_EQ(bits(response.number("comp")), bits(expected.after.comp));
       EXPECT_EQ(bits(response.number("comm")), bits(expected.after.comm));
+      EXPECT_EQ(bits(response.number("io")), bits(expected.after.io));
       live.push_back(expected.id);
     } else {
       const Response response = client->depart(live[op.departIndex]);

@@ -45,7 +45,7 @@ TEST(ProtocolFuzzReplay, CheckedInCorpusNeverCrashes) {
     ++replayed;
   }
   // Guard against the corpus silently vanishing from the build tree.
-  EXPECT_GE(replayed, 64) << "corpus shrank unexpectedly";
+  EXPECT_GE(replayed, 72) << "corpus shrank unexpectedly";
 }
 
 // Adversarial inputs too large to be pleasant as checked-in files.
@@ -158,9 +158,10 @@ TEST(ProtocolFuzzReplay, SyntheticHostileJournalInputs) {
   image.arrivals = 4;
   image.departures = 2;
   image.checkpoint.ids = {2, 4};
-  image.checkpoint.apps = {{0.5, 100}, {0.75, 2000}};
+  image.checkpoint.apps = {{0.5, 100}, {0.6, 2000, 0.25, 30}};
   image.checkpoint.commPoly = {0.125, 0.625, 0.25};
   image.checkpoint.compPoly = {0.125, 0.625, 0.25};
+  image.checkpoint.ioPoly = {0.75, 0.25, 0.0};
   image.checkpoint.nextId = 5;
   image.checkpoint.lastEventTimeSec = 9.0;
   const std::string snapshot = contend::serve::encodeSnapshot(image);
@@ -174,6 +175,51 @@ TEST(ProtocolFuzzReplay, SyntheticHostileJournalInputs) {
     replay("5" + mutated);
   }
   replay("5" + snapshot + "x");  // trailing garbage after a valid frame
+}
+
+// Hostile inputs for the job-trace parser (selector '8'): pathological
+// sizes, numeric edge cases, binary garbage, and structurally deep inputs.
+// Every one must reject with a typed, offset-checked TraceError (or parse
+// and survive the write/reparse fixed-point check inside the harness).
+TEST(ProtocolFuzzReplay, SyntheticHostileTraceInputs) {
+  // One token far past any reasonable length, in every syntactic position.
+  const std::string longToken(1 << 20, 'A');
+  replay("8job " + longToken + "\n  compute 1.0\nend\n");
+  replay("8job j\n  class " + longToken + "\n  compute 1.0\nend\n");
+  replay("8" + longToken);
+  replay("8# " + longToken + "\njob j\n  compute 1.0\nend\n");
+  // A job with thousands of phases, and thousands of one-phase jobs.
+  std::string phases = "8job burst\n";
+  for (int i = 0; i < 5000; ++i) phases += "  compute 0.001\n";
+  phases += "end\n";
+  replay(phases);
+  std::string jobs = "8";
+  for (int i = 0; i < 2000; ++i) {
+    jobs += "job j" + std::to_string(i) + "\n  io 1 8 rw\nend\n";
+  }
+  replay(jobs);
+  // Numeric edge cases: overflow-scale counts, huge magnitudes, nan/inf,
+  // and values that parse but violate semantic floors.
+  replay("8job j\n  compute 1e308\nend\n");
+  replay("8job j\n  compute nan\nend\n");
+  replay("8job j\n  compute inf\nend\n");
+  replay("8job j\n  comm 99999999999999999999 1\nend\n");
+  replay("8job j\n  io 1 9223372036854775807 r\nend\n");
+  replay("8job j\n  io 1 9223372036854775808 r\nend\n");
+  replay("8job j\n  arrive 1e-320\n  compute 1.0\nend\n");
+  // Embedded NUL bytes and control characters.
+  std::string binary = "8job j";
+  binary += '\0';
+  binary += "\n  compute 1.0\n\x01\x02end\n";
+  replay(binary);
+  // Nested/unterminated structure: job inside job, end floods, no newline
+  // at EOF right after each keyword.
+  replay("8job a\n  job b\n  compute 1.0\nend\n");
+  replay("8" + std::string(1000, '\n') + "end\n");
+  for (const char* tail : {"job", "job j", "job j\n  compute",
+                           "job j\n  comm 1", "job j\n  io 1 8"}) {
+    replay(std::string("8") + tail);
+  }
 }
 
 // Hostile inputs for the replication surface (selector '7'): the REPL verb

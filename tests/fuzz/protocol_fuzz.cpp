@@ -1,8 +1,9 @@
 // protocol_fuzz.cpp — libFuzzer harness over the contend-serve parsing
 // surface: readRequest, parseResponse, parseWorkload, parseEndpoint, the
 // journal codecs (decodeRecords, decodeSnapshot), the scenario DSL parser
-// (parseScenario), and the replication surface (the REPL verb grammar plus
-// the hex frame codec, decodeReplFrame).
+// (parseScenario), the replication surface (the REPL verb grammar plus
+// the hex frame codec, decodeReplFrame), and the job-trace parser
+// (parseTrace).
 //
 // The contract under test: every parser either succeeds or throws a typed
 // exception (ProtocolError / std::runtime_error / std::invalid_argument) —
@@ -18,8 +19,8 @@
 //    fuzzer stay fixed even where libFuzzer is unavailable (gcc).
 //
 // Input format: byte 0 selects the target. ASCII digits map to their face
-// value mod 8 (the corpus uses '0'–'7' for readability), every other byte
-// maps through mod 8 — so pre-existing corpus files starting with '0'–'6'
+// value mod 9 (the corpus uses '0'–'8' for readability), every other byte
+// maps through mod 9 — so pre-existing corpus files starting with '0'–'7'
 // keep the exact targets they were minimised against. The rest of the
 // input is the parser's payload.
 
@@ -36,6 +37,7 @@
 #include "serve/replication.hpp"
 #include "serve/server.hpp"
 #include "tools/workload_file.hpp"
+#include "trace/job_trace.hpp"
 
 namespace {
 
@@ -178,16 +180,50 @@ void driveReplProtocol(const std::string& payload) {
   }
 }
 
+void driveParseTrace(const std::string& payload) {
+  // parseTrace either returns a validated trace or throws a TraceError whose
+  // byte offset points inside the input (or exactly at its end for
+  // truncation-class errors, e.g. an unclosed job block).
+  contend::trace::JobTrace trace;
+  try {
+    trace = contend::trace::parseTrace(payload, "fuzz");
+  } catch (const contend::trace::TraceError& e) {
+    if (e.byteOffset() > payload.size()) {
+      die("trace error offset points past the input");
+    }
+    return;
+  }
+  // An accepted trace must survive write -> reparse -> write byte-identically
+  // (writeTrace emits the canonical spelling, so it is the fixed point).
+  const std::string written = contend::trace::writeTrace(trace);
+  try {
+    const contend::trace::JobTrace reparsed =
+        contend::trace::parseTrace(written, "fuzz");
+    if (contend::trace::writeTrace(reparsed) != written) {
+      die("trace round trip is not a fixed point");
+    }
+  } catch (const contend::trace::TraceError&) {
+    die("written trace did not reparse");
+  }
+  // Profiling an accepted trace must price it or reject a zero-duration job
+  // with the documented typed error — never crash.
+  try {
+    (void)contend::trace::profileTrace(trace);
+  } catch (const std::invalid_argument&) {
+    // a parsed job can still reduce to zero dedicated time
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;
   // Digits select their face value so the checked-in corpus stays readable;
-  // arbitrary lead bytes still reach every target via mod 7.
+  // arbitrary lead bytes still reach every target via mod 9.
   const std::uint8_t lead = data[0];
   const int selector =
-      (lead >= '0' && lead <= '9') ? (lead - '0') % 8 : lead % 8;
+      (lead >= '0' && lead <= '9') ? (lead - '0') % 9 : lead % 9;
   const std::string payload(reinterpret_cast<const char*>(data + 1),
                             size - 1);
   try {
@@ -213,8 +249,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       case 6:
         driveParseScenario(payload);
         break;
-      default:
+      case 7:
         driveReplProtocol(payload);
+        break;
+      default:
+        driveParseTrace(payload);
         break;
     }
   } catch (const ProtocolError&) {

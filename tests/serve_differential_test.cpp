@@ -1,6 +1,8 @@
 // Differential test: a live server driven through a randomized (but seeded)
-// ARRIVE/DEPART/PREDICT/PREDICT_BATCH/SLOWDOWN schedule, checked op-by-op
-// against an offline oracle that never touches serve::ConcurrentTracker.
+// ARRIVE/DEPART/PREDICT/PREDICT_BATCH/SLOWDOWN schedule — including
+// I/O-bearing arrivals (the §4 `io <fraction> <ops>` suffix) and tasks with
+// disk shares — checked op-by-op against an offline oracle that never
+// touches serve::ConcurrentTracker.
 //
 // The oracle owns its own sched::OnlineContentionTracker and applies the
 // *identical* mutation sequence — that is the only way to get bit-identical
@@ -83,13 +85,17 @@ std::uint64_t fnvMix(std::uint64_t hash, std::uint64_t value) {
 std::uint64_t appHash(const model::CompetingApp& app) {
   std::uint64_t hash = fnvMix(kFnvOffset,
                               std::bit_cast<std::uint64_t>(app.commFraction));
-  return fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+  hash = fnvMix(hash, static_cast<std::uint64_t>(app.messageWords));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(app.ioFraction));
+  return fnvMix(hash, static_cast<std::uint64_t>(app.ioOps));
 }
 
 std::uint64_t taskHash(const tools::TaskSpec& task) {
   std::uint64_t hash = fnvMix(kFnvOffset,
                               std::bit_cast<std::uint64_t>(task.frontEndSec));
   hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.backEndSec));
+  hash = fnvMix(hash, std::bit_cast<std::uint64_t>(task.ioFraction));
+  hash = fnvMix(hash, static_cast<std::uint64_t>(task.ioOps));
   for (const auto* sets : {&task.toBackend, &task.fromBackend}) {
     hash = fnvMix(hash, sets->size());
     for (const model::DataSet& set : *sets) {
@@ -138,6 +144,7 @@ class ModelOracle {
   [[nodiscard]] int active() const { return tracker_.activeApplications(); }
   [[nodiscard]] double comp() const { return tracker_.compSlowdown(); }
   [[nodiscard]] double comm() const { return tracker_.commSlowdown(); }
+  [[nodiscard]] double io() const { return tracker_.ioSlowdown(); }
 
   /// Same arithmetic as ConcurrentTracker::predictFromSnapshot, memoized on
   /// the same (mix signature, task hash) key so the hit/miss flag is an
@@ -156,7 +163,12 @@ class ModelOracle {
         model::dcomm(toBackend_, task.toBackend) * comm();
     const double fromBackend =
         model::dcomm(fromBackend_, task.fromBackend) * comm();
-    out.frontSec = task.frontEndSec * comp();
+    // Mirrors ConcurrentTracker::predictFromView's io-split front-end: the
+    // compute share stretches by comp, the disk share by the device
+    // slowdown. For ioFraction == 0 this is the IEEE-exact pre-I/O value.
+    out.frontSec =
+        (task.frontEndSec * (1.0 - task.ioFraction)) * comp() +
+        (task.frontEndSec * task.ioFraction) * io();
     out.remoteSec = task.backEndSec + toBackend + fromBackend;
     out.offload = model::shouldOffload(out.frontSec, task.backEndSec,
                                        toBackend, fromBackend);
@@ -198,6 +210,7 @@ void expectSnapshotMatches(const Response& response, const ModelOracle& oracle,
       << what;
   expectBitEqual(response.number("comp"), oracle.comp(), what + " comp");
   expectBitEqual(response.number("comm"), oracle.comm(), what + " comm");
+  expectBitEqual(response.number("io"), oracle.io(), what + " io");
 }
 
 void expectPredictionMatches(const Response& response,
@@ -228,10 +241,19 @@ tools::TaskSpec makeTask(std::mt19937& rng) {
   // dcomm are exercised.
   std::uniform_int_distribution<std::int64_t> words(16, 5000);
   std::uniform_real_distribution<double> seconds(0.05, 20.0);
+  std::uniform_real_distribution<double> ioShare(0.05, 0.9);
+  std::uniform_int_distribution<std::int64_t> ioOps(1, 4096);
   tools::TaskSpec task;
   task.name = "t" + std::to_string(rng() % 100000);
   task.frontEndSec = seconds(rng);
   task.backEndSec = seconds(rng) * 0.25;
+  // About half the tasks carry a §4 disk share, so PREDICT exercises the
+  // io-split front-end arithmetic (and its extended cache keying) as hard
+  // as the pre-I/O path.
+  if (rng() % 2 == 0) {
+    task.ioFraction = ioShare(rng);
+    task.ioOps = ioOps(rng);
+  }
   for (int i = setCount(rng); i > 0; --i) {
     task.toBackend.push_back({messages(rng), words(rng)});
   }
@@ -277,12 +299,21 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
   std::uniform_int_distribution<int> percent(0, 99);
 
   // A small task pool: re-predicting a pooled task under an unchanged mix is
-  // how the schedule provokes cache hits on purpose.
+  // how the schedule provokes cache hits on purpose. Both shapes must be
+  // represented, or the io-split prediction path (or the pre-I/O one) would
+  // silently drop out of the cache-hit traffic.
   std::vector<tools::TaskSpec> pool;
   for (int i = 0; i < 6; ++i) pool.push_back(makeTask(rng));
+  int ioPoolTasks = 0;
+  for (const tools::TaskSpec& task : pool) {
+    if (task.ioFraction > 0.0) ++ioPoolTasks;
+  }
+  ASSERT_GT(ioPoolTasks, 0);
+  ASSERT_LT(ioPoolTasks, 6);
 
   std::vector<std::uint64_t> liveIds;
   int mutations = 0;
+  int ioArrives = 0;
   int predicts = 0;
   int batches = 0;
 
@@ -318,8 +349,19 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
       model::CompetingApp app;
       app.commFraction = fraction(rng);
       app.messageWords = appWords(rng);
+      // Roughly 40% of arrivals are I/O-bearing (ARRIVE's §4 `io` suffix);
+      // the disk share is scaled under 1 - commFraction so the wire-level
+      // fraction-sum validation never rejects a generated op. The 4-arg
+      // arrive with zeros formats byte-identical lines to the 2-arg one, so
+      // pre-I/O ops keep their exact wire bytes.
+      if (percent(rng) < 40) {
+        app.ioFraction = fraction(rng) * (1.0 - app.commFraction);
+        app.ioOps = 1 + appWords(rng);
+        ++ioArrives;
+      }
       const Response response = client.arrive(app.commFraction,
-                                              app.messageWords);
+                                              app.messageWords,
+                                              app.ioFraction, app.ioOps);
       const std::uint64_t expectedId = oracle.arrive(app);
       ASSERT_TRUE(response.ok) << tag << ": " << response.error;
       EXPECT_EQ(response.number("id"), static_cast<double>(expectedId)) << tag;
@@ -387,6 +429,7 @@ TEST_P(ServeDifferential, RandomScheduleMatchesOfflineOracleBitExactly) {
   // The schedule really exercised every path (guards against a degenerate
   // RNG draw silently weakening the test).
   EXPECT_GE(mutations, 100);
+  EXPECT_GE(ioArrives, 20);
   EXPECT_GE(predicts, 150);
   EXPECT_GE(batches, 10);
   EXPECT_GE(observes, 10);

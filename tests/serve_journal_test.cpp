@@ -267,9 +267,10 @@ TEST(JournalFraming, SnapshotRoundTrip) {
   image.arrivals = 30;
   image.departures = 12;
   image.checkpoint.ids = {5, 9};
-  image.checkpoint.apps = {{0.25, 128}, {0.75, 4096}};
+  image.checkpoint.apps = {{0.25, 128}, {0.55, 4096, 0.2, 40}};
   image.checkpoint.commPoly = {0.1875, 0.625, 0.1875};
   image.checkpoint.compPoly = {0.1875, 0.625, 0.1875};
+  image.checkpoint.ioPoly = {0.8, 0.2, 0.0};
   image.checkpoint.nextId = 10;
   image.checkpoint.lastEventTimeSec = 123.456;
   image.tableGeneration = 3;
@@ -284,10 +285,14 @@ TEST(JournalFraming, SnapshotRoundTrip) {
   EXPECT_EQ(decoded->departures, 12u);
   EXPECT_EQ(decoded->checkpoint.ids, image.checkpoint.ids);
   ASSERT_EQ(decoded->checkpoint.apps.size(), 2u);
-  EXPECT_EQ(bits(decoded->checkpoint.apps[1].commFraction), bits(0.75));
+  EXPECT_EQ(bits(decoded->checkpoint.apps[1].commFraction), bits(0.55));
   EXPECT_EQ(decoded->checkpoint.apps[1].messageWords, 4096);
+  EXPECT_EQ(bits(decoded->checkpoint.apps[1].ioFraction), bits(0.2));
+  EXPECT_EQ(decoded->checkpoint.apps[1].ioOps, 40);
   ASSERT_EQ(decoded->checkpoint.commPoly.size(), 3u);
   EXPECT_EQ(bits(decoded->checkpoint.commPoly[1]), bits(0.625));
+  ASSERT_EQ(decoded->checkpoint.ioPoly.size(), 3u);
+  EXPECT_EQ(bits(decoded->checkpoint.ioPoly[0]), bits(0.8));
   EXPECT_EQ(decoded->checkpoint.nextId, 10u);
   EXPECT_EQ(bits(decoded->checkpoint.lastEventTimeSec), bits(123.456));
   // The platform tables ride along bit-identically.
@@ -309,6 +314,7 @@ TEST(JournalFraming, SnapshotCorruptionRejected) {
   image.checkpoint.apps = {{0.5, 64}};
   image.checkpoint.commPoly = {0.5, 0.5};
   image.checkpoint.compPoly = {0.5, 0.5};
+  image.checkpoint.ioPoly = {1.0, 0.0};
   image.checkpoint.nextId = 2;
   const std::string good = encodeSnapshot(image);
   ASSERT_TRUE(decodeSnapshot(good).has_value());
